@@ -1,0 +1,128 @@
+//! The ten applications of the paper's evaluation (§6.1), as simulator
+//! workloads.
+//!
+//! Each module plants exactly the races and false positives the paper's
+//! Table 1 reports for that app — the detector must rediscover them
+//! from the recorded trace — plus enough benign filler activity to
+//! reach the paper's per-app event count. `compute_units` tunes the
+//! uninstrumented CPU work per filler event, which sets where the app
+//! lands in the 2×–6× tracing-overhead band of Figure 8.
+
+use cafa_sim::ProgramBuilder;
+
+use crate::patterns::Patterns;
+use crate::truth::ExpectedRow;
+use crate::AppSpec;
+
+pub mod browser;
+pub mod camera;
+pub mod connectbot;
+pub mod fbreader;
+pub mod firefox;
+pub mod music;
+pub mod mytracks;
+pub mod todolist;
+pub mod vlc;
+pub mod zxing;
+
+/// Shared scaffold: a single app process with one main looper, the
+/// recipe closure planting patterns, and filler to the exact event
+/// target. The recipe runs twice, producing the deterministic Table 1
+/// program and a *stress* variant where the harmful patterns' racing
+/// sides land simultaneously (the §6.2 survey configuration).
+pub(crate) fn build_app(
+    name: &'static str,
+    expected: ExpectedRow,
+    lowlevel_pairs: Option<usize>,
+    compute_units: u32,
+    recipe: impl Fn(&mut Patterns<'_>),
+) -> AppSpec {
+    let build = |stress: bool| {
+        let mut p = ProgramBuilder::new(name);
+        let proc = p.process();
+        let looper = p.looper(proc);
+        let mut pats = if stress {
+            Patterns::new_stress(&mut p, proc, looper)
+        } else {
+            Patterns::new(&mut p, proc, looper)
+        };
+        recipe(&mut pats);
+        pats.fill_to(expected.events, compute_units);
+        let planted = pats.events_planted();
+        assert_eq!(planted, expected.events, "{name}: event budget mismatch");
+        let truth = pats.finish();
+        (p.build(), truth)
+    };
+    let (program, truth) = build(false);
+    let (stress_program, stress_truth) = build(true);
+    // Both builds declare variables in the same order, so the label
+    // tables must be identical.
+    debug_assert_eq!(truth.len(), stress_truth.len());
+    AppSpec { name, program, stress_program, truth, expected, lowlevel_pairs }
+}
+
+/// Builds every evaluated application, in the order of Table 1.
+pub fn all_apps() -> Vec<AppSpec> {
+    vec![
+        connectbot::build(),
+        mytracks::build(),
+        zxing::build(),
+        todolist::build(),
+        browser::build(),
+        firefox::build(),
+        vlc::build(),
+        fbreader::build(),
+        camera::build(),
+        music::build(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_apps_have_consistent_expected_rows() {
+        let apps = all_apps();
+        assert_eq!(apps.len(), 10);
+        for app in &apps {
+            assert!(app.expected.is_consistent(), "{} row inconsistent", app.name);
+        }
+        // The paper's overall row.
+        let reported: usize = apps.iter().map(|a| a.expected.reported).sum();
+        let a: usize = apps.iter().map(|x| x.expected.a).sum();
+        let b: usize = apps.iter().map(|x| x.expected.b).sum();
+        let c: usize = apps.iter().map(|x| x.expected.c).sum();
+        let f1: usize = apps.iter().map(|x| x.expected.fp1).sum();
+        let f2: usize = apps.iter().map(|x| x.expected.fp2).sum();
+        let f3: usize = apps.iter().map(|x| x.expected.fp3).sum();
+        assert_eq!(reported, 115);
+        assert_eq!((a, b, c), (13, 25, 31));
+        assert_eq!((f1, f2, f3), (9, 32, 5));
+    }
+
+    #[test]
+    fn truth_matches_expected_rows() {
+        use crate::truth::{FpType, TrueClass};
+        for app in all_apps() {
+            let e = app.expected;
+            assert_eq!(app.truth.harmful_count(TrueClass::IntraThread), e.a, "{} (a)", app.name);
+            assert_eq!(app.truth.harmful_count(TrueClass::InterThread), e.b, "{} (b)", app.name);
+            assert_eq!(app.truth.harmful_count(TrueClass::Conventional), e.c, "{} (c)", app.name);
+            assert_eq!(app.truth.benign_count(FpType::MissingListener), e.fp1, "{} I", app.name);
+            assert_eq!(
+                app.truth.benign_count(FpType::ImpreciseCommutativity),
+                e.fp2,
+                "{} II",
+                app.name
+            );
+            assert_eq!(app.truth.benign_count(FpType::DerefMismatch), e.fp3, "{} III", app.name);
+        }
+    }
+
+    #[test]
+    fn exactly_two_known_bugs() {
+        let known: usize = all_apps().iter().map(|a| a.truth.known_count()).sum();
+        assert_eq!(known, 2, "ConnectBot r90632bd and MyTracks Figure 1");
+    }
+}

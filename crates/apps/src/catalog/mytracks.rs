@@ -1,0 +1,105 @@
+//! MyTracks: Google's GPS track recorder (tested version 1.1.7, which
+//! contains the Figure 1 bug). Trace scenario of §6.1: record a short
+//! track, pause by switching away, switch back.
+//!
+//! Table 1 row: 8 reported = 1 intra-thread (the known Figure 1
+//! use-after-free of `providerUtils`) + 3 inter-thread + 4 Type II
+//! false positives (§6.2 shows the `onServiceConnected` try/finally
+//! hack whose flag-style guards the heuristics cannot verify).
+
+use cafa_sim::{Action, Body};
+
+use crate::patterns::Patterns;
+use crate::truth::ExpectedRow;
+use crate::AppSpec;
+
+/// The GPS fix pipeline: the location service delivers a sequence of
+/// fixes as events; each fix updates the track distance under the
+/// recording lock, which the stats thread also takes to snapshot the
+/// distance. Lock-protected on both sides, so the lockset check (not a
+/// happens-before edge — CAFA derives none from locks) is what keeps
+/// the detector quiet.
+///
+/// Plants `fixes` events.
+fn gps_fix_pipeline(pats: &mut Patterns<'_>, fixes: u32) {
+    let t = pats.next_slot();
+    let proc = pats.proc();
+    let looper = pats.looper();
+    let p = &mut *pats.p;
+    let distance = p.scalar_var(0);
+    let m = p.monitor();
+
+    let budget = p.counter(fixes - 1);
+    let on_fix = {
+        let me = p.next_handler_id();
+        p.handler(
+            "mytracks:onLocationChanged",
+            Body::from_actions(vec![
+                Action::Lock(m),
+                Action::ReadScalar(distance),
+                Action::WriteScalar(distance, 1),
+                Action::Unlock(m),
+                Action::Compute(20),
+                Action::PostChain { looper, handler: me, delay_ms: 5, budget },
+            ]),
+        )
+    };
+    p.thread(
+        proc,
+        "mytracks:gpsSource",
+        Body::from_actions(vec![Action::Sleep(t), Action::Post {
+            looper,
+            handler: on_fix,
+            delay_ms: 0,
+        }]),
+    );
+    p.thread(
+        proc,
+        "mytracks:statsThread",
+        Body::from_actions(vec![
+            Action::Sleep(t + 60),
+            Action::Lock(m),
+            Action::ReadScalar(distance),
+            Action::Unlock(m),
+        ]),
+    );
+    pats.add_events(fixes as usize);
+}
+
+/// Paper numbers for this app.
+pub const EXPECTED: ExpectedRow =
+    ExpectedRow { events: 6_628, reported: 8, a: 1, b: 3, c: 0, fp1: 0, fp2: 4, fp3: 0 };
+
+/// Builds the MyTracks workload.
+pub fn build() -> AppSpec {
+    super::build_app("MyTracks", EXPECTED, None, 1350, |pats| {
+        // The known bug: onResume binds TrackRecordingService over
+        // Binder; the service posts onServiceConnected (which uses
+        // providerUtils) racing with the user's onDestroy free.
+        pats.fig1_binder("TrackRecordingService");
+        // Recording-state teardown races between the service connection
+        // thread and track updates.
+        for _ in 0..3 {
+            pats.inter(false);
+        }
+        // startRecordingNewTrack guards pointer uses with boolean
+        // recording-state flags: safe, but reported (Type II).
+        for _ in 0..4 {
+            pats.fp_bool_guard();
+        }
+        // Commutative patterns the heuristics prune correctly.
+        pats.filtered_alloc();
+        pats.filtered_guard();
+        // Send-ordered teardown pairs: safe under CAFA's queue rules,
+        // racy under an EventRacer-style model (ablation material).
+        pats.queue_protected();
+        pats.queue_protected();
+        // Benign plumbing: Binder polls, a decode pipeline, front-posted
+        // input, a framework listener, and a background HandlerThread.
+        pats.flavor_bundle("GoogleLocationService", 6);
+        // The GPS fix stream with lock-protected distance accounting.
+        gps_fix_pipeline(pats, 10);
+        // GPS fix / map redraw counters.
+        pats.scalar_burst(6, 20);
+    })
+}

@@ -1,0 +1,204 @@
+//! Benign "flavor" machinery: realistic app plumbing that exercises
+//! every runtime feature (Binder round-trips, monitor handoffs,
+//! front-posted input, framework listeners, handler threads) without
+//! planting races.
+//!
+//! Real traces are mostly this: synchronization-heavy plumbing that the
+//! causality model must order correctly so the detector stays silent
+//! about it. Every helper here is safe by construction — ordered by
+//! sends, joins, or monitor generations — so adding flavor never
+//! changes a workload's Table 1 row, only the richness of its trace.
+
+use cafa_sim::{Action, Body, GuardStyle, HandlerId};
+use cafa_trace::DerefKind;
+
+use crate::patterns::Patterns;
+
+impl Patterns<'_> {
+    /// A settings/service poll: a gesture handler makes a synchronous
+    /// Binder call to a per-pattern service, then posts a UI-update
+    /// event that reads the fetched value. Exercises the full
+    /// call/handle/reply/receive causality across processes.
+    ///
+    /// Plants 2 events (the poll and the update).
+    pub fn flavor_service_poll(&mut self, service_name: &str) {
+        let t = self.next_slot();
+        let tag = self.tag("fsp");
+        let value = self.p.scalar_var(0);
+        let svcp = self.p.process();
+        let svc = self.p.service(svcp, service_name);
+        let get = self.p.method(svc, "query", Body::new().write(value, 7).compute(5));
+        let update = self.p.handler(&format!("{tag}:onValue"), Body::new().read(value));
+        let looper = self.looper();
+        let poll = self.p.handler(
+            &format!("{tag}:onPoll"),
+            Body::from_actions(vec![
+                Action::Call { service: svc, method: get },
+                Action::Post { looper, handler: update, delay_ms: 0 },
+            ]),
+        );
+        self.p.gesture(t, looper, poll);
+        self.add_events(2);
+    }
+
+    /// A worker pipeline: the handler forks a compute thread, hands a
+    /// buffer through a monitor (lock/notify/wait), joins it, and posts
+    /// a completion event. Exercises fork/join and wait/notify
+    /// generations inside one pattern.
+    ///
+    /// Plants 2 events.
+    pub fn flavor_worker_pipeline(&mut self) {
+        let t = self.next_slot();
+        let tag = self.tag("fwp");
+        let buffer = self.p.ptr_var_alloc();
+        let m = self.p.monitor();
+        let worker = {
+            let proc = self.proc();
+            self.p.thread_spec(
+                proc,
+                &format!("{tag}:decoder"),
+                Body::from_actions(vec![
+                    Action::Lock(m),
+                    Action::UsePtr { var: buffer, kind: DerefKind::Field, catch_npe: false },
+                    Action::Compute(20),
+                    Action::Notify(m),
+                    Action::Unlock(m),
+                ]),
+            )
+        };
+        let looper = self.looper();
+        let noise = self.noise_var();
+        let done = self.p.handler(&format!("{tag}:onDecoded"), Body::new().read(noise));
+        let kick = self.p.handler(
+            &format!("{tag}:onDecode"),
+            Body::from_actions(vec![
+                Action::Lock(m),
+                Action::Fork(worker),
+                Action::Wait(m),
+                Action::Unlock(m),
+                Action::JoinLast,
+                Action::Post { looper, handler: done, delay_ms: 0 },
+            ]),
+        );
+        self.p.gesture(t, looper, kick);
+        self.add_events(2);
+    }
+
+    /// An input burst: one handler front-posts `count` vsync-style
+    /// events (Android's `sendMessageAtFrontOfQueue` for latency-
+    /// critical input). Queue rule 4 orders each front-post before the
+    /// previously front-posted ones — the Figure 4d machinery on real
+    /// plumbing.
+    ///
+    /// Plants `count + 1` events.
+    pub fn flavor_input_burst(&mut self, count: usize) {
+        let t = self.next_slot();
+        let tag = self.tag("fib");
+        let pos = self.p.scalar_var(0);
+        let looper = self.looper();
+        let mut actions = Vec::with_capacity(count);
+        for k in 0..count {
+            let vsync = self.p.handler(&format!("{tag}:vsync{k}"), Body::new().write(pos, k as i64));
+            actions.push(Action::PostFront { looper, handler: vsync });
+        }
+        let dispatch = self.p.handler(&format!("{tag}:dispatchInput"), Body::from_actions(actions));
+        self.p.gesture(t, looper, dispatch);
+        self.add_events(count + 1);
+    }
+
+    /// A framework-covered listener round: registration in one event,
+    /// performance in a later one, both in `android.view` (always
+    /// instrumented) — the model orders them via the listener rule so
+    /// the guarded teardown below it stays silent.
+    ///
+    /// Plants 2 events.
+    pub fn flavor_covered_listener(&mut self) {
+        let t = self.next_slot();
+        let tag = self.tag("fcl");
+        let ptr = self.p.ptr_var_alloc();
+        let listener = self.p.listener("android.view");
+        let setup = self.p.handler(
+            &format!("{tag}:onAttach"),
+            Body::from_actions(vec![
+                Action::Register(listener),
+                Action::GuardedUse { var: ptr, kind: DerefKind::Invoke, style: GuardStyle::IfNez },
+            ]),
+        );
+        let teardown = self.p.handler(
+            &format!("{tag}:onDetach"),
+            Body::from_actions(vec![Action::Perform(listener), Action::FreePtr(ptr)]),
+        );
+        // Two independent source threads; only the listener rule (plus
+        // atomicity) orders setup before teardown for the analyzer.
+        self.spawn_post(&format!("{tag}:attachSrc"), t, setup, 0);
+        self.spawn_post(&format!("{tag}:detachSrc"), t + 50, teardown, 0);
+        self.add_events(2);
+    }
+
+    /// A background handler thread (Android `HandlerThread`): a second
+    /// looper in the app process running a bounded work chain. The
+    /// model must keep the two loopers' atomicity domains separate.
+    ///
+    /// Plants `len` events (on the *second* looper, which still count
+    /// toward the trace's event total).
+    pub fn flavor_handler_thread(&mut self, len: usize) {
+        let tag = self.tag("fht");
+        let proc = self.proc();
+        let side = self.p.looper(proc);
+        let budget = self.p.counter(len as u32 - 1);
+        let var = self.p.scalar_var(0);
+        let me = self.p.next_handler_id();
+        let work = self.p.handler(
+            &format!("{tag}:sideWork"),
+            Body::from_actions(vec![
+                Action::ReadScalar(var),
+                Action::Compute(8),
+                Action::WriteScalar(var, 1),
+                Action::PostChain { looper: side, handler: me, delay_ms: 2, budget },
+            ]),
+        );
+        self.p.thread(proc, &format!("{tag}:sideSrc"), Body::new().post(side, work, 0));
+        self.add_events(len);
+    }
+
+    /// The whole flavor bundle most apps use: one of each, sized small.
+    ///
+    /// Plants `9 + burst` events; pass the burst size to vary apps.
+    pub fn flavor_bundle(&mut self, service_name: &str, burst: usize) {
+        self.flavor_service_poll(service_name);
+        self.flavor_worker_pipeline();
+        self.flavor_input_burst(burst);
+        self.flavor_covered_listener();
+        self.flavor_handler_thread(3);
+    }
+}
+
+// A handful of accessors Patterns keeps private to this crate.
+impl<'a> Patterns<'a> {
+    pub(crate) fn looper(&self) -> cafa_sim::LooperId {
+        self.looper_id()
+    }
+
+    pub(crate) fn proc(&self) -> cafa_sim::ProcId {
+        self.proc_id()
+    }
+
+    /// Spawns a thread that sleeps then posts `handler`.
+    pub(crate) fn spawn_post(&mut self, name: &str, at_ms: u64, handler: HandlerId, delay: u64) {
+        let looper = self.looper();
+        let proc = self.proc();
+        self.p.thread(
+            proc,
+            name,
+            Body::from_actions(vec![
+                Action::Sleep(at_ms),
+                Action::Post { looper, handler, delay_ms: delay },
+            ]),
+        );
+    }
+
+    /// A throwaway scalar for do-nothing handler bodies.
+    pub(crate) fn noise_var(&mut self) -> cafa_sim::SimVar {
+        self.p.scalar_var(0)
+    }
+}

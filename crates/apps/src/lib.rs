@@ -1,0 +1,118 @@
+//! Workload models of the ten Android applications evaluated in the
+//! CAFA paper (§6.1).
+//!
+//! The paper's evaluation ran instrumented builds of ConnectBot,
+//! MyTracks, ZXing, ToDoList, Browser, Firefox, VLC, FBReader, Camera,
+//! and Music on a Nexus 4 and reported, per app, the event count, the
+//! use-free races found, their true/false classification, and the
+//! tracing overhead. This crate rebuilds each app as a `cafa-sim`
+//! workload that plants the same population of races and
+//! false-positive patterns (with labelled ground truth) and generates
+//! the same number of events, so the whole pipeline — record with
+//! `cafa-sim`, analyze with `cafa-core` — regenerates Table 1 row by
+//! row.
+//!
+//! The detector never sees the ground truth: it must rediscover every
+//! planted pattern from the trace alone. The labels only enter when the
+//! evaluation harness splits the detector's report into the
+//! true (a)/(b)/(c) and false I/II/III columns.
+//!
+//! # Examples
+//!
+//! ```
+//! use cafa_apps::all_apps;
+//!
+//! let apps = all_apps();
+//! assert_eq!(apps.len(), 10);
+//! let total_reported: usize = apps.iter().map(|a| a.expected.reported).sum();
+//! assert_eq!(total_reported, 115); // the paper's overall row
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod catalog;
+mod flavor;
+pub mod patterns;
+pub mod prober;
+mod truth;
+
+pub use catalog::all_apps;
+pub use truth::{ExpectedRow, FpType, GroundTruth, Label, TrueClass};
+
+use cafa_sim::{run, InstrumentConfig, Program, RunOutcome, SimConfig, SimError};
+
+/// One evaluated application: its workload program, oracle labels, and
+/// the paper's published Table 1 row.
+#[derive(Debug)]
+pub struct AppSpec {
+    /// Application name as it appears in Table 1.
+    pub name: &'static str,
+    /// The simulator workload (deterministic benign-order timing; the
+    /// Table 1 configuration).
+    pub program: Program,
+    /// The stress variant: harmful patterns race for real, so
+    /// violations manifest under some schedules (the §6.2 survey
+    /// configuration).
+    pub stress_program: Program,
+    /// Oracle labels for every planted pattern variable.
+    pub truth: GroundTruth,
+    /// The paper's numbers for this app.
+    pub expected: ExpectedRow,
+    /// Expected conventional-definition racy site pairs, where the
+    /// paper publishes one (ConnectBot's 1,664 of §4.1).
+    pub lowlevel_pairs: Option<usize>,
+}
+
+impl AppSpec {
+    /// Records a trace with the paper's instrumentation coverage
+    /// (framework listener packages only — the configuration Table 1
+    /// was produced with).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures; the shipped workloads run clean.
+    pub fn record(&self, seed: u64) -> Result<RunOutcome, SimError> {
+        let mut config = SimConfig::with_seed(seed);
+        config.instrument = InstrumentConfig::paper_packages();
+        run(&self.program, &config)
+    }
+
+    /// Records with *full* listener coverage (Type I false positives
+    /// disappear — the fix §6.3 anticipates).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures; the shipped workloads run clean.
+    pub fn record_full_coverage(&self, seed: u64) -> Result<RunOutcome, SimError> {
+        let mut config = SimConfig::with_seed(seed);
+        config.instrument = InstrumentConfig::full();
+        run(&self.program, &config)
+    }
+
+    /// Runs without instrumentation (the stock ROM), for Figure 8
+    /// overhead baselines.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures; the shipped workloads run clean.
+    pub fn record_uninstrumented(&self, seed: u64) -> Result<RunOutcome, SimError> {
+        let mut config = SimConfig::with_seed(seed);
+        config.instrument = InstrumentConfig::off();
+        run(&self.program, &config)
+    }
+
+    /// Runs the *stress* variant uninstrumented: harmful patterns race
+    /// for real, so use-after-free violations manifest under some
+    /// schedules — the §6.2 survey.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures; the shipped workloads run clean.
+    pub fn run_stress(&self, seed: u64) -> Result<RunOutcome, SimError> {
+        let mut config = SimConfig::with_seed(seed);
+        config.instrument = InstrumentConfig::off();
+        run(&self.stress_program, &config)
+    }
+}

@@ -1,0 +1,614 @@
+//! Reusable race and false-positive pattern builders.
+//!
+//! Every entry of Table 1 is produced by planting one of these patterns
+//! in a workload. Patterns are mutually independent: each uses fresh
+//! variables, fresh threads with unique names, and a private time slot,
+//! so detector reports never merge or interfere across patterns.
+//!
+//! A design subtlety shared by all harmful patterns: the *use* is
+//! scheduled to execute while the pointer is still valid (use first,
+//! free a few virtual milliseconds later). The race is a property of
+//! the happens-before relation, not of the observed order — but the
+//! trace only contains a `use` if the dereference actually executed, so
+//! the recorded run must take the benign order. The paper's runs have
+//! the same property: CAFA reports races from crash-free executions.
+
+use cafa_sim::{Action, Body, GuardStyle, LooperId, ProcId, ProgramBuilder, SimVar};
+use cafa_trace::{DerefKind, VarId};
+
+use crate::truth::{FpType, GroundTruth, Label, TrueClass};
+
+/// Spacing between pattern time slots, in virtual milliseconds.
+const SLOT_MS: u64 = 400;
+/// First slot start.
+const SLOT_BASE_MS: u64 = 100;
+
+/// Pattern-planting context for one workload.
+#[derive(Debug)]
+pub struct Patterns<'a> {
+    /// The program under construction.
+    pub p: &'a mut ProgramBuilder,
+    looper: LooperId,
+    proc: ProcId,
+    truth: GroundTruth,
+    slot: u64,
+    seq: u32,
+    events: usize,
+    stress: bool,
+}
+
+impl<'a> Patterns<'a> {
+    /// Starts planting patterns into `p`, targeting `looper` in `proc`.
+    pub fn new(p: &'a mut ProgramBuilder, proc: ProcId, looper: LooperId) -> Self {
+        Self { p, looper, proc, truth: GroundTruth::new(), slot: 0, seq: 0, events: 0, stress: false }
+    }
+
+    /// Like [`new`](Self::new), but in **stress mode**: harmful
+    /// patterns lose their benign-order timing margins, so the racing
+    /// sides land simultaneously and the schedule decides who wins —
+    /// the configuration the §6.2 violation survey runs. Patterns that
+    /// are benign *because of a real platform guarantee* (listener
+    /// registration order, flag atomicity) keep their guarantees.
+    pub fn new_stress(p: &'a mut ProgramBuilder, proc: ProcId, looper: LooperId) -> Self {
+        Self { stress: true, ..Self::new(p, proc, looper) }
+    }
+
+    /// Timing margin between the racy sides of a harmful pattern: a
+    /// comfortable gap normally (the recorded run takes the benign
+    /// order), zero under stress (the schedule decides).
+    fn gap(&self, ms: u64) -> u64 {
+        if self.stress {
+            0
+        } else {
+            ms
+        }
+    }
+
+    /// Events the planted patterns will generate when run.
+    pub fn events_planted(&self) -> usize {
+        self.events
+    }
+
+    /// Consumes the context, returning the accumulated ground truth.
+    pub fn finish(self) -> GroundTruth {
+        self.truth
+    }
+
+    pub(crate) fn add_events(&mut self, n: usize) {
+        self.events += n;
+    }
+
+    pub(crate) fn looper_id(&self) -> LooperId {
+        self.looper
+    }
+
+    pub(crate) fn proc_id(&self) -> ProcId {
+        self.proc
+    }
+
+    pub(crate) fn next_slot(&mut self) -> u64 {
+        let t = SLOT_BASE_MS + self.slot * SLOT_MS;
+        self.slot += 1;
+        t
+    }
+
+    pub(crate) fn tag(&mut self, kind: &str) -> String {
+        let n = self.seq;
+        self.seq += 1;
+        format!("{kind}{n}")
+    }
+
+    /// Spawns a thread that sleeps until `at_ms` and then runs `rest`.
+    fn thread_at(&mut self, name: &str, at_ms: u64, rest: Vec<Action>) {
+        let mut actions = vec![Action::Sleep(at_ms)];
+        actions.extend(rest);
+        self.p.thread(self.proc, name, Body::from_actions(actions));
+    }
+
+    fn var_id(v: SimVar) -> VarId {
+        // SimVar indices map one-to-one onto trace VarIds.
+        VarId::new(v.index())
+    }
+
+    // ---- harmful patterns --------------------------------------------------
+
+    /// Class (a): two logically concurrent events on the main looper,
+    /// one using a pointer the other frees — the Figure 1 shape without
+    /// the Binder detour. `caught` models handlers that swallow the NPE
+    /// (the ToDoList pattern of §6.2, still harmful: data loss).
+    pub fn intra(&mut self, known: bool, caught: bool) {
+        let t = self.next_slot();
+        let tag = self.tag("ia");
+        let ptr = self.p.ptr_var_alloc();
+        let use_h = self.p.handler(
+            &format!("{tag}:onUpdate"),
+            Body::from_actions(vec![Action::UsePtr {
+                var: ptr,
+                kind: DerefKind::Invoke,
+                catch_npe: caught,
+            }]),
+        );
+        let free_h = self.p.handler(&format!("{tag}:onCleanup"), Body::new().free(ptr));
+        let (l, u, f) = (self.looper, use_h, free_h);
+        self.thread_at(&format!("{tag}:userSrc"), t, vec![Action::Post {
+            looper: l,
+            handler: u,
+            delay_ms: 0,
+        }]);
+        let gap = self.gap(30);
+        self.thread_at(&format!("{tag}:freeSrc"), t + gap, vec![Action::Post {
+            looper: l,
+            handler: f,
+            delay_ms: 0,
+        }]);
+        self.events += 2;
+        self.truth.insert(
+            Self::var_id(ptr),
+            Label::Harmful { class: TrueClass::IntraThread, known },
+        );
+    }
+
+    /// Class (a), full Figure 1: a gesture binds a Binder service
+    /// asynchronously; the service posts `onServiceConnected`, which
+    /// uses `providerUtils`; a later gesture (`onDestroy`) frees it.
+    /// This is the known MyTracks bug.
+    pub fn fig1_binder(&mut self, service_name: &str) {
+        let t = self.next_slot();
+        let tag = self.tag("f1");
+        let ptr = self.p.ptr_var_alloc();
+        let connected = self.p.handler(
+            &format!("{tag}:onServiceConnected"),
+            Body::new().use_ptr(ptr),
+        );
+        let svcp = self.p.process();
+        let svc = self.p.service(svcp, service_name);
+        let bind = self.p.method(
+            svc,
+            "onBind",
+            Body::new().post(self.looper, connected, 0),
+        );
+        let resume = self.p.handler(
+            &format!("{tag}:onResume"),
+            Body::from_actions(vec![Action::CallAsync { service: svc, method: bind }]),
+        );
+        let destroy = self.p.handler(&format!("{tag}:onDestroy"), Body::new().free(ptr));
+        self.p.gesture(t, self.looper, resume);
+        // Under stress the destroy gesture lands while the Binder
+        // round-trip is still in flight, so the schedule decides
+        // whether onServiceConnected still sees a live pointer.
+        self.p.gesture(t + self.gap(300).max(1), self.looper, destroy);
+        self.events += 3;
+        self.truth.insert(
+            Self::var_id(ptr),
+            Label::Harmful { class: TrueClass::IntraThread, known: true },
+        );
+    }
+
+    /// Class (b): the free happens on a regular thread that then posts a
+    /// bridge event; a later event uses the pointer (revalidated by an
+    /// independent re-allocating thread, so the recorded run is clean).
+    /// The conventional model orders free ≺ use through the looper's
+    /// total event order; CAFA correctly leaves them concurrent.
+    pub fn inter(&mut self, known: bool) {
+        let t = self.next_slot();
+        let tag = self.tag("ib");
+        let ptr = self.p.ptr_var_alloc();
+        let noise = self.p.scalar_var(0);
+        let bridge = self.p.handler(&format!("{tag}:bridge"), Body::new().read(noise));
+        let use_h = self.p.handler(&format!("{tag}:onRefresh"), Body::new().use_ptr(ptr));
+        let (l, b, u) = (self.looper, bridge, use_h);
+        self.thread_at(&format!("{tag}:freer"), t, vec![
+            Action::FreePtr(ptr),
+            Action::Post { looper: l, handler: b, delay_ms: 0 },
+        ]);
+        self.thread_at(&format!("{tag}:realloc"), t + self.gap(20), vec![Action::AllocPtr(ptr)]);
+        self.thread_at(&format!("{tag}:userSrc"), t + self.gap(40), vec![Action::Post {
+            looper: l,
+            handler: u,
+            delay_ms: 0,
+        }]);
+        self.events += 2;
+        self.truth.insert(
+            Self::var_id(ptr),
+            Label::Harmful { class: TrueClass::InterThread, known },
+        );
+    }
+
+    /// Class (c): a plain thread-versus-thread use-after-free hazard.
+    /// Both models see it; a conventional detector reports it too.
+    pub fn conv(&mut self) {
+        let t = self.next_slot();
+        let tag = self.tag("cv");
+        let ptr = self.p.ptr_var_alloc();
+        self.thread_at(&format!("{tag}:worker"), t, vec![Action::UsePtr {
+            var: ptr,
+            kind: DerefKind::Field,
+            catch_npe: false,
+        }]);
+        self.thread_at(&format!("{tag}:closer"), t + self.gap(30), vec![Action::FreePtr(ptr)]);
+        self.truth.insert(
+            Self::var_id(ptr),
+            Label::Harmful { class: TrueClass::Conventional, known: false },
+        );
+    }
+
+    // ---- false-positive patterns -------------------------------------------
+
+    /// Type I: the using event registers a listener from an
+    /// *uninstrumented* package; the freeing event performs it first.
+    /// The real execution is ordered use ≺ register ≺ perform ≺ free,
+    /// but with the paper's partial listener coverage the analyzer
+    /// never sees the register/perform records and reports a race.
+    pub fn fp_listener(&mut self, package: &str) {
+        let t = self.next_slot();
+        let tag = self.tag("l1");
+        let ptr = self.p.ptr_var_alloc();
+        let listener = self.p.listener(package);
+        let use_h = self.p.handler(
+            &format!("{tag}:onShow"),
+            Body::from_actions(vec![
+                Action::UsePtr { var: ptr, kind: DerefKind::Invoke, catch_npe: false },
+                Action::Register(listener),
+            ]),
+        );
+        let free_h = self.p.handler(
+            &format!("{tag}:onHide"),
+            Body::from_actions(vec![Action::Perform(listener), Action::FreePtr(ptr)]),
+        );
+        let (l, u, f) = (self.looper, use_h, free_h);
+        self.thread_at(&format!("{tag}:showSrc"), t, vec![Action::Post {
+            looper: l,
+            handler: u,
+            delay_ms: 0,
+        }]);
+        self.thread_at(&format!("{tag}:hideSrc"), t + 50, vec![Action::Post {
+            looper: l,
+            handler: f,
+            delay_ms: 0,
+        }]);
+        self.events += 2;
+        self.truth.insert(Self::var_id(ptr), Label::Benign { fp: FpType::MissingListener });
+    }
+
+    /// Type II: a boolean flag guards the use; flag and pointer are
+    /// updated together in the freeing event, so any same-looper order
+    /// is safe — but the if-guard heuristic only understands pointer
+    /// tests and reports the race.
+    pub fn fp_bool_guard(&mut self) {
+        let t = self.next_slot();
+        let tag = self.tag("b2");
+        let ptr = self.p.ptr_var_alloc();
+        let flag = self.p.scalar_var(1);
+        let use_h = self.p.handler(
+            &format!("{tag}:onDraw"),
+            Body::new().bool_guarded_use(flag, ptr),
+        );
+        let free_h = self.p.handler(
+            &format!("{tag}:onStop"),
+            Body::from_actions(vec![Action::WriteScalar(flag, 0), Action::FreePtr(ptr)]),
+        );
+        let (l, u, f) = (self.looper, use_h, free_h);
+        self.thread_at(&format!("{tag}:drawSrc"), t, vec![Action::Post {
+            looper: l,
+            handler: u,
+            delay_ms: 0,
+        }]);
+        self.thread_at(&format!("{tag}:stopSrc"), t + 30, vec![Action::Post {
+            looper: l,
+            handler: f,
+            delay_ms: 0,
+        }]);
+        self.events += 2;
+        self.truth.insert(
+            Self::var_id(ptr),
+            Label::Benign { fp: FpType::ImpreciseCommutativity },
+        );
+    }
+
+    /// Type III: a decoy variable aliases the object actually
+    /// dereferenced; the nearest-previous-read matcher attributes the
+    /// use to the decoy, whose concurrent free then looks racy even
+    /// though the dereference goes through the other pointer.
+    pub fn fp_alias(&mut self) {
+        let t = self.next_slot();
+        let tag = self.tag("a3");
+        let real = self.p.ptr_var_alloc();
+        let decoy = self.p.ptr_var();
+        let setup = self.p.handler(
+            &format!("{tag}:onInit"),
+            Body::from_actions(vec![Action::CopyPtr { from: real, to: decoy }]),
+        );
+        let use_h = self.p.handler(
+            &format!("{tag}:onRender"),
+            Body::from_actions(vec![Action::AliasedUse {
+                first: real,
+                second: decoy,
+                kind: DerefKind::Field,
+            }]),
+        );
+        let free_h = self.p.handler(&format!("{tag}:onEvict"), Body::new().free(decoy));
+        let (l, s, u, f) = (self.looper, setup, use_h, free_h);
+        // setup and use posted in order from one thread (queue rule 1
+        // orders them); the free comes from an independent thread.
+        self.thread_at(&format!("{tag}:renderSrc"), t, vec![
+            Action::Post { looper: l, handler: s, delay_ms: 0 },
+            Action::Post { looper: l, handler: u, delay_ms: 0 },
+        ]);
+        self.thread_at(&format!("{tag}:evictSrc"), t + 60, vec![Action::Post {
+            looper: l,
+            handler: f,
+            delay_ms: 0,
+        }]);
+        self.events += 3;
+        self.truth.insert(Self::var_id(decoy), Label::Benign { fp: FpType::DerefMismatch });
+    }
+
+    // ---- commutative patterns the heuristics must filter ---------------------
+
+    /// Figure 5's `onFocus`: an if-guard makes the concurrent free
+    /// commutative; the detector must *filter* this candidate.
+    pub fn filtered_guard(&mut self) {
+        let t = self.next_slot();
+        let tag = self.tag("fg");
+        let ptr = self.p.ptr_var_alloc();
+        let use_h = self.p.handler(
+            &format!("{tag}:onFocus"),
+            Body::from_actions(vec![Action::GuardedUse {
+                var: ptr,
+                kind: DerefKind::Invoke,
+                style: GuardStyle::IfEqz,
+            }]),
+        );
+        let free_h = self.p.handler(&format!("{tag}:onPause"), Body::new().free(ptr));
+        let (l, u, f) = (self.looper, use_h, free_h);
+        self.thread_at(&format!("{tag}:focusSrc"), t, vec![Action::Post {
+            looper: l,
+            handler: u,
+            delay_ms: 0,
+        }]);
+        self.thread_at(&format!("{tag}:pauseSrc"), t + 30, vec![Action::Post {
+            looper: l,
+            handler: f,
+            delay_ms: 0,
+        }]);
+        self.events += 2;
+        self.truth.insert(Self::var_id(ptr), Label::Filtered);
+    }
+
+    /// Figure 5's `onResume`: an allocation inside the using event makes
+    /// the pattern commutative; the detector must filter it.
+    pub fn filtered_alloc(&mut self) {
+        let t = self.next_slot();
+        let tag = self.tag("fa");
+        let ptr = self.p.ptr_var_alloc();
+        let use_h = self.p.handler(
+            &format!("{tag}:onResume"),
+            Body::new().alloc(ptr).use_ptr(ptr),
+        );
+        let free_h = self.p.handler(&format!("{tag}:onPause"), Body::new().free(ptr));
+        let (l, u, f) = (self.looper, use_h, free_h);
+        self.thread_at(&format!("{tag}:resumeSrc"), t, vec![Action::Post {
+            looper: l,
+            handler: u,
+            delay_ms: 0,
+        }]);
+        self.thread_at(&format!("{tag}:pauseSrc"), t + 30, vec![Action::Post {
+            looper: l,
+            handler: f,
+            delay_ms: 0,
+        }]);
+        self.events += 2;
+        self.truth.insert(Self::var_id(ptr), Label::Filtered);
+    }
+
+    /// A use/free pair that is *safe because of queue rule 1*: one
+    /// thread posts the using event and then the freeing event with
+    /// equal delays, so the FIFO guarantee orders use ≺ free. CAFA
+    /// derives the order and stays silent; an EventRacer-style model
+    /// without queue rules (§7.1.1) reports it — the ablation bench
+    /// quantifies exactly this difference.
+    pub fn queue_protected(&mut self) {
+        let t = self.next_slot();
+        let tag = self.tag("qp");
+        let ptr = self.p.ptr_var_alloc();
+        let use_h = self.p.handler(&format!("{tag}:onLoad"), Body::new().use_ptr(ptr));
+        let free_h = self.p.handler(&format!("{tag}:onUnload"), Body::new().free(ptr));
+        let (l, u, f) = (self.looper, use_h, free_h);
+        self.thread_at(&format!("{tag}:src"), t, vec![
+            Action::Post { looper: l, handler: u, delay_ms: 2 },
+            Action::Post { looper: l, handler: f, delay_ms: 2 },
+        ]);
+        self.events += 2;
+        self.truth.insert(Self::var_id(ptr), Label::Ordered);
+    }
+
+    // ---- low-level-race texture -----------------------------------------------
+
+    /// Figure 2's ConnectBot pattern: a scalar read-write race between
+    /// `onPause` and `onLayout` that is *not* a use-free race (CAFA
+    /// stays silent; the low-level counter sees one racy pair).
+    pub fn fig2_scalar_rw(&mut self) {
+        let t = self.next_slot();
+        let tag = self.tag("f2");
+        let resize_allowed = self.p.scalar_var(1);
+        let pause = self.p.handler(
+            &format!("{tag}:onPause"),
+            Body::new().write(resize_allowed, 0),
+        );
+        let layout = self.p.handler(
+            &format!("{tag}:onLayout"),
+            Body::new().read(resize_allowed).read(resize_allowed),
+        );
+        let (l, pa, la) = (self.looper, pause, layout);
+        self.thread_at(&format!("{tag}:pauseSrc"), t, vec![Action::Post {
+            looper: l,
+            handler: pa,
+            delay_ms: 0,
+        }]);
+        self.thread_at(&format!("{tag}:layoutSrc"), t + 30, vec![Action::Post {
+            looper: l,
+            handler: la,
+            delay_ms: 0,
+        }]);
+        self.events += 2;
+    }
+
+    /// A burst of `writers + readers` mutually concurrent events on one
+    /// scalar: one thread posts them with strictly *decreasing* delays,
+    /// so no queue-rule pair fires and every pair stays logically
+    /// concurrent. Contributes `w·r + C(w,2)` racy low-level site pairs
+    /// — the raw material of the §4.1 "1,664 races" measurement.
+    pub fn scalar_burst(&mut self, writers: usize, readers: usize) {
+        let t = self.next_slot();
+        let tag = self.tag("sb");
+        let var = self.p.scalar_var(0);
+        let n = writers + readers;
+        let mut posts = Vec::with_capacity(n);
+        for k in 0..n {
+            let (role, body) = if k < writers {
+                ("W", Body::new().write(var, k as i64))
+            } else {
+                ("R", Body::new().read(var))
+            };
+            let h = self.p.handler(&format!("{tag}:{role}{k}"), body);
+            // Strictly decreasing delays: no send pair satisfies
+            // delay₁ ≤ delay₂, so rule 1 never orders the events.
+            posts.push(Action::Post {
+                looper: self.looper,
+                handler: h,
+                delay_ms: (n - k) as u64,
+            });
+        }
+        self.thread_at(&format!("{tag}:src"), t, posts);
+        self.events += n;
+    }
+
+    /// Expected racy low-level pairs for a `scalar_burst(w, r)`.
+    pub fn burst_pairs(writers: usize, readers: usize) -> usize {
+        writers * readers + writers * (writers - 1) / 2
+    }
+
+    // ---- filler -----------------------------------------------------------------
+
+    /// Adds timer-chain filler until the workload will generate exactly
+    /// `target` events, mirroring the thousands of benign events per
+    /// second a real trace contains. Each chain is an external kick-off
+    /// gesture plus a self-reposting handler with a bounded budget;
+    /// queue rule 1 orders every chain, so filler adds no races.
+    /// `compute_units` is uninstrumented CPU work per filler event — the
+    /// per-app knob behind the Figure 8 overhead spread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more events are already planted than `target`.
+    pub fn fill_to(&mut self, target: usize, compute_units: u32) {
+        assert!(
+            self.events <= target,
+            "planted {} events, above the target {target}",
+            self.events
+        );
+        let mut remaining = target - self.events;
+
+        // A few plain user taps for external-input realism (taps are
+        // chained by the external-input rule but post nothing, so they
+        // never interact with the repost chains).
+        let taps = remaining.min(3);
+        if taps > 0 {
+            let var = self.p.scalar_var(0);
+            let tap = self.p.handler("user:tap", Body::new().read(var));
+            for k in 0..taps {
+                self.p.gesture(10 + 10 * k as u64, self.looper, tap);
+            }
+            self.events += taps;
+            remaining -= taps;
+        }
+
+        // Timer chains, each kicked off by its own thread. Kicking from
+        // threads (not gestures) keeps the chains mutually concurrent:
+        // gesture-kicked chains would be pairwise ordered rung by rung
+        // through the external-input rule, which both deviates from the
+        // intended filler shape and makes the rule fixpoint crawl one
+        // rung per round.
+        const CHAIN_MAX: usize = 2000;
+        let mut chain_no = 0;
+        while remaining > 0 {
+            let len = remaining.min(CHAIN_MAX);
+            let budget = self.p.counter(len as u32 - 1);
+            let var = self.p.scalar_var(0);
+            let l = self.looper;
+            let me = self.p.next_handler_id();
+            let tick = self.p.handler(
+                &format!("filler:tick{chain_no}"),
+                Body::from_actions(vec![
+                    Action::ReadScalar(var),
+                    Action::Compute(compute_units),
+                    Action::WriteScalar(var, 1),
+                    Action::PostChain { looper: l, handler: me, delay_ms: 3, budget },
+                ]),
+            );
+            self.p.thread(
+                self.proc,
+                &format!("filler:src{chain_no}"),
+                Body::new().post(l, tick, 0),
+            );
+            self.events += len;
+            remaining -= len;
+            chain_no += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_pair_arithmetic() {
+        assert_eq!(Patterns::burst_pairs(8, 46), 8 * 46 + 28);
+        assert_eq!(Patterns::burst_pairs(1, 1), 1);
+        assert_eq!(Patterns::burst_pairs(2, 1), 3);
+    }
+
+    #[test]
+    fn planting_counts_events() {
+        let mut p = ProgramBuilder::new("t");
+        let proc = p.process();
+        let looper = p.looper(proc);
+        let mut pats = Patterns::new(&mut p, proc, looper);
+        pats.intra(false, false); // 2
+        pats.inter(false); // 2
+        pats.conv(); // 0
+        pats.fp_listener("com.example"); // 2
+        pats.fp_bool_guard(); // 2
+        pats.fp_alias(); // 3
+        assert_eq!(pats.events_planted(), 11);
+        let truth = pats.finish();
+        assert_eq!(truth.len(), 6);
+        assert_eq!(truth.harmful_count(TrueClass::IntraThread), 1);
+        assert_eq!(truth.harmful_count(TrueClass::InterThread), 1);
+        assert_eq!(truth.harmful_count(TrueClass::Conventional), 1);
+        assert_eq!(truth.benign_count(FpType::MissingListener), 1);
+    }
+
+    #[test]
+    fn fill_to_reaches_target_exactly() {
+        let mut p = ProgramBuilder::new("t");
+        let proc = p.process();
+        let looper = p.looper(proc);
+        let mut pats = Patterns::new(&mut p, proc, looper);
+        pats.intra(false, false);
+        pats.fill_to(4500, 2);
+        assert_eq!(pats.events_planted(), 4500);
+    }
+
+    #[test]
+    #[should_panic(expected = "above the target")]
+    fn fill_below_planted_panics() {
+        let mut p = ProgramBuilder::new("t");
+        let proc = p.process();
+        let looper = p.looper(proc);
+        let mut pats = Patterns::new(&mut p, proc, looper);
+        pats.intra(false, false);
+        pats.fill_to(1, 0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Dynamic confirmation of detected races by schedule search.
+//!
+//! CAFA is *predictive* (§7.1.3): it reports races from executions in
+//! which nothing went wrong, accepting false positives in exchange for
+//! coverage. The paper's authors confirmed harmfulness by inspecting
+//! and re-running the applications (§6.2); this module mechanizes that
+//! step for the bundled workloads: given a reported race, search the
+//! stress variant's schedules for one where the violation actually
+//! fires on that variable. A witness seed both proves the race harmful
+//! and gives a reproducible crashing schedule to debug.
+
+use cafa_trace::VarId;
+
+use crate::AppSpec;
+
+/// The outcome of probing one reported race.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Confirmation {
+    /// A schedule was found where the violation fires on the variable;
+    /// the seed reproduces it deterministically.
+    Confirmed {
+        /// Seed of the witnessing schedule.
+        witness_seed: u64,
+        /// Whether the violation crashed the app (false = the exception
+        /// was swallowed, the ToDoList pattern).
+        crashes: bool,
+    },
+    /// No schedule in the budget fired the violation. For benign
+    /// patterns this is the expected (and, for the commutative ones,
+    /// guaranteed) outcome; for a harmful race it means the budget was
+    /// too small or the hazard window is narrow.
+    Unconfirmed {
+        /// Schedules tried.
+        tried: u64,
+    },
+}
+
+impl Confirmation {
+    /// True when a witness schedule was found.
+    pub fn is_confirmed(&self) -> bool {
+        matches!(self, Confirmation::Confirmed { .. })
+    }
+}
+
+/// Searches up to `budget` stress-variant schedules for one where a
+/// use-after-free violation fires on `var`.
+///
+/// # Panics
+///
+/// Panics if a run fails (the bundled workloads run clean).
+pub fn confirm(app: &AppSpec, var: VarId, budget: u64) -> Confirmation {
+    for seed in 0..budget {
+        let outcome = app.run_stress(seed).expect("stress run succeeds");
+        if let Some(npe) = outcome.npes.iter().find(|n| n.var == var) {
+            return Confirmation::Confirmed { witness_seed: seed, crashes: !npe.caught };
+        }
+    }
+    Confirmation::Unconfirmed { tried: budget }
+}
+
+/// Probes every race a detector report contains, returning
+/// `(var, confirmation)` pairs in report order.
+///
+/// # Panics
+///
+/// Panics if a stress run fails.
+pub fn confirm_report(
+    app: &AppSpec,
+    report: &cafa_core::RaceReport,
+    budget: u64,
+) -> Vec<(VarId, Confirmation)> {
+    report.races.iter().map(|race| (race.var, confirm(app, race.var, budget))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::truth::{Label, TrueClass};
+
+    #[test]
+    fn harmful_races_confirm_and_benign_do_not() {
+        // Music is small and has both kinds: 2 intra-thread harmful
+        // races, 2 Type II + 1 Type III benign reports.
+        let apps = crate::all_apps();
+        let app = apps.iter().find(|a| a.name == "Music").unwrap();
+
+        let mut confirmed_harmful = 0;
+        let mut probed_benign = 0;
+        for (var, label) in app.truth.iter() {
+            match label {
+                Label::Harmful { class: TrueClass::IntraThread, .. } => {
+                    let c = confirm(app, var, 24);
+                    assert!(c.is_confirmed(), "harmful {var} should confirm");
+                    confirmed_harmful += 1;
+                    // Witness seeds are reproducible.
+                    if let Confirmation::Confirmed { witness_seed, .. } = c {
+                        let again = app.run_stress(witness_seed).unwrap();
+                        assert!(again.npes.iter().any(|n| n.var == var));
+                    }
+                }
+                Label::Benign { .. } => {
+                    let c = confirm(app, var, 8);
+                    assert!(!c.is_confirmed(), "benign {var} must never fire");
+                    probed_benign += 1;
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(confirmed_harmful, 2);
+        assert_eq!(probed_benign, 3);
+    }
+
+    #[test]
+    fn todolist_confirms_without_crashing() {
+        let apps = crate::all_apps();
+        let app = apps.iter().find(|a| a.name == "ToDoList").unwrap();
+        let (var, _) = app
+            .truth
+            .iter()
+            .find(|(_, l)| matches!(l, Label::Harmful { .. }))
+            .expect("has harmful races");
+        match confirm(app, var, 24) {
+            Confirmation::Confirmed { crashes, .. } => {
+                assert!(!crashes, "ToDoList swallows the NPE (§6.2)")
+            }
+            Confirmation::Unconfirmed { .. } => panic!("should confirm"),
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Ground-truth labels for planted patterns.
+//!
+//! Each race/false-positive pattern a workload plants uses a dedicated
+//! pointer variable; the label table maps that variable to what an
+//! oracle knows about it. The detector never sees these labels — the
+//! evaluation harness joins the detector's report against them to
+//! produce the true/false-positive columns of Table 1.
+
+use std::collections::HashMap;
+
+use cafa_trace::VarId;
+
+/// The true-race classes of Table 1 (columns a/b/c).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TrueClass {
+    /// (a) Intra-thread: both endpoints are events of one looper.
+    IntraThread,
+    /// (b) Inter-thread, invisible to a conventional detector.
+    InterThread,
+    /// (c) Conventionally detectable.
+    Conventional,
+}
+
+/// The false-positive taxonomy of §6.3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FpType {
+    /// Type I: a listener registration edge the instrumentation missed.
+    MissingListener,
+    /// Type II: commutativity the heuristics cannot see (e.g. boolean
+    /// flag guards).
+    ImpreciseCommutativity,
+    /// Type III: the dereference was matched to the wrong pointer read.
+    DerefMismatch,
+}
+
+/// What the oracle knows about a planted pattern's variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Label {
+    /// A real use-after-free hazard.
+    Harmful {
+        /// Which Table 1 class the race belongs to.
+        class: TrueClass,
+        /// True for the two previously-known bugs (ConnectBot r90632bd
+        /// and the MyTracks Figure 1 bug).
+        known: bool,
+    },
+    /// A benign report the detector should ideally not have made.
+    Benign {
+        /// Why the detector reports it anyway.
+        fp: FpType,
+    },
+    /// A commutative pattern the heuristics are expected to filter
+    /// (never reported; used to verify the filters actually fire).
+    Filtered,
+    /// A pattern ordered by the event-queue rules and therefore safe:
+    /// never reported by CAFA, but reported by an EventRacer-style
+    /// model without queue rules (the §7.1.1 comparison; exercised by
+    /// the ablation bench).
+    Ordered,
+}
+
+/// Label table for one workload.
+#[derive(Clone, Debug, Default)]
+pub struct GroundTruth {
+    labels: HashMap<VarId, Label>,
+}
+
+impl GroundTruth {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Labels `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is already labelled (each pattern must use a
+    /// fresh variable).
+    pub fn insert(&mut self, var: VarId, label: Label) {
+        let prev = self.labels.insert(var, label);
+        assert!(prev.is_none(), "variable {var} labelled twice");
+    }
+
+    /// The label of `var`, if any.
+    pub fn get(&self, var: VarId) -> Option<Label> {
+        self.labels.get(&var).copied()
+    }
+
+    /// Iterates over all labels.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, Label)> + '_ {
+        self.labels.iter().map(|(&v, &l)| (v, l))
+    }
+
+    /// Number of labelled variables.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when no variable is labelled.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Count of harmful labels of a class.
+    pub fn harmful_count(&self, class: TrueClass) -> usize {
+        self.labels
+            .values()
+            .filter(|l| matches!(l, Label::Harmful { class: c, .. } if *c == class))
+            .count()
+    }
+
+    /// Count of benign labels of an FP type.
+    pub fn benign_count(&self, fp: FpType) -> usize {
+        self.labels
+            .values()
+            .filter(|l| matches!(l, Label::Benign { fp: f } if *f == fp))
+            .count()
+    }
+
+    /// Count of known-bug labels.
+    pub fn known_count(&self) -> usize {
+        self.labels
+            .values()
+            .filter(|l| matches!(l, Label::Harmful { known: true, .. }))
+            .count()
+    }
+}
+
+/// One row of Table 1: the paper's published numbers for an app.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExpectedRow {
+    /// The "Events" column.
+    pub events: usize,
+    /// Races reported.
+    pub reported: usize,
+    /// True races (a): intra-thread violations.
+    pub a: usize,
+    /// True races (b): inter-thread violations.
+    pub b: usize,
+    /// True races (c): conventional violations.
+    pub c: usize,
+    /// Type I false positives.
+    pub fp1: usize,
+    /// Type II false positives.
+    pub fp2: usize,
+    /// Type III false positives.
+    pub fp3: usize,
+}
+
+impl ExpectedRow {
+    /// Total true races.
+    pub fn true_races(&self) -> usize {
+        self.a + self.b + self.c
+    }
+
+    /// Total false positives.
+    pub fn false_positives(&self) -> usize {
+        self.fp1 + self.fp2 + self.fp3
+    }
+
+    /// Internal consistency: reported = true + false.
+    pub fn is_consistent(&self) -> bool {
+        self.reported == self.true_races() + self.false_positives()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_by_kind() {
+        let mut t = GroundTruth::new();
+        t.insert(VarId::new(0), Label::Harmful { class: TrueClass::IntraThread, known: true });
+        t.insert(VarId::new(1), Label::Harmful { class: TrueClass::InterThread, known: false });
+        t.insert(VarId::new(2), Label::Benign { fp: FpType::DerefMismatch });
+        t.insert(VarId::new(3), Label::Filtered);
+        assert_eq!(t.harmful_count(TrueClass::IntraThread), 1);
+        assert_eq!(t.harmful_count(TrueClass::Conventional), 0);
+        assert_eq!(t.benign_count(FpType::DerefMismatch), 1);
+        assert_eq!(t.known_count(), 1);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.get(VarId::new(3)), Some(Label::Filtered));
+        assert_eq!(t.get(VarId::new(9)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "labelled twice")]
+    fn double_label_panics() {
+        let mut t = GroundTruth::new();
+        t.insert(VarId::new(0), Label::Filtered);
+        t.insert(VarId::new(0), Label::Filtered);
+    }
+
+    #[test]
+    fn expected_row_consistency() {
+        let row = ExpectedRow { events: 10, reported: 5, a: 1, b: 1, c: 1, fp1: 1, fp2: 1, fp3: 0 };
+        assert!(row.is_consistent());
+        assert_eq!(row.true_races(), 3);
+        assert_eq!(row.false_positives(), 2);
+    }
+}

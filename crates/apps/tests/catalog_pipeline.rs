@@ -1,0 +1,117 @@
+//! Per-app structural checks: each workload really contains the
+//! app-specific machinery its module documents, and the pipeline
+//! behaves accordingly.
+
+use cafa_apps::{all_apps, AppSpec, Label, TrueClass};
+use cafa_core::Analyzer;
+use cafa_trace::Record;
+
+fn app(name: &str) -> AppSpec {
+    all_apps().into_iter().find(|a| a.name == name).unwrap()
+}
+
+#[test]
+fn mytracks_uses_binder() {
+    let a = app("MyTracks");
+    let trace = a.record(0).unwrap().trace.unwrap();
+    // The Figure 1 pattern binds a service in a second process.
+    assert!(trace.process_count() >= 2, "service process exists");
+    let rpc_calls =
+        trace.iter_ops().filter(|(_, r)| matches!(r, Record::RpcCall { .. })).count();
+    assert!(rpc_calls >= 1, "onResume binds over Binder");
+    // Its known bug is an intra-thread race.
+    let known: Vec<_> = a
+        .truth
+        .iter()
+        .filter(|(_, l)| matches!(l, Label::Harmful { known: true, .. }))
+        .collect();
+    assert_eq!(known.len(), 1);
+    assert!(matches!(
+        known[0].1,
+        Label::Harmful { class: TrueClass::IntraThread, known: true }
+    ));
+}
+
+#[test]
+fn connectbot_has_figure2_and_known_interthread_bug() {
+    let a = app("ConnectBot");
+    let known: Vec<_> = a
+        .truth
+        .iter()
+        .filter(|(_, l)| matches!(l, Label::Harmful { known: true, .. }))
+        .collect();
+    assert_eq!(known.len(), 1);
+    assert!(matches!(
+        known[0].1,
+        Label::Harmful { class: TrueClass::InterThread, known: true }
+    ));
+    // The Figure 2 scalar is a write in onPause#? — shape check via the
+    // low-level counter: ConnectBot has its calibrated 1,664 pairs.
+    assert_eq!(a.lowlevel_pairs, Some(1664));
+}
+
+#[test]
+fn todolist_swallows_every_violation() {
+    let a = app("ToDoList");
+    // Under stress, violations fire but never crash (§6.2).
+    let mut fired = 0;
+    for seed in 0..12 {
+        let o = a.run_stress(seed).unwrap();
+        assert!(!o.crashed(), "ToDoList catches its NPEs");
+        fired += o.npes.len();
+    }
+    assert!(fired > 0, "the races do manifest");
+}
+
+#[test]
+fn listener_fp_apps_have_uncovered_packages() {
+    // Apps with Type I FPs register listeners outside the four
+    // instrumented framework packages; with paper coverage those
+    // listeners never appear in the trace.
+    for name in ["ConnectBot", "ZXing", "Firefox", "FBReader", "Browser"] {
+        let a = app(name);
+        let paper = a.record(0).unwrap().trace.unwrap();
+        let full = a.record_full_coverage(0).unwrap().trace.unwrap();
+        assert!(
+            paper.listener_count() < full.listener_count(),
+            "{name}: paper coverage drops app-package listeners"
+        );
+    }
+}
+
+#[test]
+fn every_app_report_is_stable_across_detector_runs() {
+    for a in all_apps().iter().take(3) {
+        let trace = a.record(0).unwrap().trace.unwrap();
+        let r1 = Analyzer::new().analyze(&trace).unwrap();
+        let r2 = Analyzer::new().analyze(&trace).unwrap();
+        assert_eq!(r1.races, r2.races, "{}", a.name);
+    }
+}
+
+#[test]
+fn event_counts_are_schedule_independent() {
+    // The "Events" column must not depend on the seed.
+    for a in all_apps().iter().take(2) {
+        let e0 = a.record(0).unwrap().events_processed;
+        let e1 = a.record(17).unwrap().events_processed;
+        assert_eq!(e0, e1, "{}", a.name);
+        assert_eq!(e0 as usize, a.expected.events, "{}", a.name);
+    }
+}
+
+#[test]
+fn stress_and_normal_variants_share_label_tables() {
+    for a in all_apps() {
+        // Same pattern variables in both builds: every labelled var is
+        // a pointer slot in both programs (indices match by recipe
+        // determinism; spot-check the count).
+        assert!(!a.truth.is_empty(), "{}", a.name);
+        assert_eq!(
+            a.program.var_count(),
+            a.stress_program.var_count(),
+            "{}: builds declare identical variable tables",
+            a.name
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! The bespoke per-app pipelines really exist in the recorded traces
+//! and behave as documented (ordered plumbing, no reports).
+
+use cafa_apps::all_apps;
+
+#[test]
+fn bespoke_pipeline_handlers_appear_in_traces() {
+    let expectations = [
+        ("ConnectBot", "connectbot:onTermUpdate"),
+        ("MyTracks", "mytracks:onLocationChanged"),
+        ("ZXing", "zxing:onDecodeResult"),
+        ("ToDoList", "todolist:onSaveNote"),
+        ("Browser", "browser:parse"),
+        ("Firefox", "firefox:composite"),
+        ("VLC", "vlc:decodePacket"),
+        ("FBReader", "fbreader:onPageTurn0"),
+        ("Camera", "camera:onReview"),
+        ("Music", "music:onSeekTick"),
+    ];
+    for app in all_apps() {
+        let trace = app.record(0).unwrap().trace.unwrap();
+        let (_, handler) = expectations
+            .iter()
+            .find(|(n, _)| *n == app.name)
+            .expect("every app has a pipeline expectation");
+        assert!(
+            trace.events().any(|e| trace.names().resolve(e.name) == *handler),
+            "{}: pipeline handler {handler} missing from the trace",
+            app.name
+        );
+    }
+}
+
+#[test]
+fn dual_looper_apps_have_two_plus_queues() {
+    // Every app gets a HandlerThread from the flavor bundle; Firefox
+    // and VLC add dedicated compositor/video loopers on top.
+    for app in all_apps() {
+        let trace = app.record(0).unwrap().trace.unwrap();
+        let min = match app.name {
+            "Firefox" | "VLC" => 3,
+            _ => 2,
+        };
+        assert!(
+            trace.queue_count() >= min,
+            "{}: expected >= {min} loopers, got {}",
+            app.name,
+            trace.queue_count()
+        );
+        // Every queue processed at least one event.
+        for (qid, q) in trace.queues() {
+            assert!(!q.events.is_empty(), "{}: empty looper {qid}", app.name);
+        }
+    }
+}
+
+#[test]
+fn pipelines_never_crash_under_any_survey_seed() {
+    // The bespoke plumbing must be schedule-safe: its pointers are
+    // never freed, so even stress runs can only crash on pattern vars.
+    for app in all_apps().iter().take(4) {
+        for seed in 0..6 {
+            let outcome = app.run_stress(seed).unwrap();
+            for npe in &outcome.npes {
+                assert!(
+                    app.truth.get(npe.var).is_some(),
+                    "{}: NPE on unplanted var {} in {}",
+                    app.name,
+                    npe.var,
+                    npe.context
+                );
+            }
+        }
+    }
+}

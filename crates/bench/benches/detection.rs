@@ -1,0 +1,34 @@
+//! Criterion: end-to-end use-free race detection per app trace,
+//! with and without the §4.3 pruning heuristics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cafa_apps::all_apps;
+use cafa_core::{Analyzer, DetectorConfig};
+
+fn bench_detect(c: &mut Criterion) {
+    let apps = all_apps();
+    let mut group = c.benchmark_group("detect");
+    group.sample_size(10);
+    for name in ["ConnectBot", "Browser", "Camera"] {
+        let app = apps.iter().find(|a| a.name == name).unwrap();
+        let trace = app.record(0).unwrap().trace.unwrap();
+        group.bench_with_input(BenchmarkId::new("cafa", name), &trace, |b, t| {
+            b.iter(|| Analyzer::new().analyze(black_box(t)).unwrap().races.len())
+        });
+        group.bench_with_input(BenchmarkId::new("unfiltered", name), &trace, |b, t| {
+            b.iter(|| {
+                Analyzer::with_config(DetectorConfig::unfiltered())
+                    .analyze(black_box(t))
+                    .unwrap()
+                    .races
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detect);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion: happens-before model construction cost.
+//!
+//! Measures `HbModel::build` — base edges plus the atomicity/queue-rule
+//! fixpoint — on the smallest and largest app traces and under the
+//! baseline configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cafa_apps::all_apps;
+use cafa_hb::{CausalityConfig, HbModel};
+
+fn bench_build(c: &mut Criterion) {
+    let apps = all_apps();
+    let mut group = c.benchmark_group("hb_build");
+    group.sample_size(10);
+    for name in ["VLC", "Camera"] {
+        let app = apps.iter().find(|a| a.name == name).unwrap();
+        let trace = app.record(0).unwrap().trace.unwrap();
+        group.bench_with_input(BenchmarkId::new("cafa", name), &trace, |b, t| {
+            b.iter(|| HbModel::build(black_box(t), CausalityConfig::cafa()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("conventional", name), &trace, |b, t| {
+            b.iter(|| HbModel::build(black_box(t), CausalityConfig::conventional()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("no_queue_rules", name), &trace, |b, t| {
+            b.iter(|| HbModel::build(black_box(t), CausalityConfig::no_queue_rules()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion: trace serialization throughput (the §5.1 logger-device
+//! path: dump to flash, read back offline).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use cafa_apps::all_apps;
+use cafa_trace::{from_binary_slice, from_text_str, to_binary_vec, to_text_string};
+
+fn bench_serialization(c: &mut Criterion) {
+    let apps = all_apps();
+    let app = apps.iter().find(|a| a.name == "ConnectBot").unwrap();
+    let trace = app.record(0).unwrap().trace.unwrap();
+    let text = to_text_string(&trace);
+    let bin = to_binary_vec(&trace);
+
+    let mut group = c.benchmark_group("serialization");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.bench_with_input(BenchmarkId::new("write_text", "ConnectBot"), &trace, |b, t| {
+        b.iter(|| to_text_string(black_box(t)).len())
+    });
+    group.bench_with_input(BenchmarkId::new("read_text", "ConnectBot"), &text, |b, s| {
+        b.iter(|| from_text_str(black_box(s)).unwrap().task_count())
+    });
+    group.throughput(Throughput::Bytes(bin.len() as u64));
+    group.bench_with_input(BenchmarkId::new("write_binary", "ConnectBot"), &trace, |b, t| {
+        b.iter(|| to_binary_vec(black_box(t)).len())
+    });
+    group.bench_with_input(BenchmarkId::new("read_binary", "ConnectBot"), &bin, |b, s| {
+        b.iter(|| from_binary_slice(black_box(s)).unwrap().task_count())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_serialization);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion: simulator throughput, instrumented versus stock — the
+//! microbenchmark behind Figure 8.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cafa_apps::all_apps;
+
+fn bench_sim(c: &mut Criterion) {
+    let apps = all_apps();
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    for name in ["ConnectBot", "Music"] {
+        let app = apps.iter().find(|a| a.name == name).unwrap();
+        group.bench_with_input(BenchmarkId::new("stock", name), app, |b, a| {
+            b.iter(|| black_box(a.record_uninstrumented(0).unwrap().sink))
+        });
+        group.bench_with_input(BenchmarkId::new("traced", name), app, |b, a| {
+            b.iter(|| black_box(a.record(0).unwrap().sink))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Runs the design-choice ablations (queue rules, heuristics, coverage).
+fn main() {
+    cafa_bench::ablation::main();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the §6.4 analysis-time observation.
+fn main() {
+    cafa_bench::scaling::main();
+}

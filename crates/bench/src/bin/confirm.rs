@@ -1,0 +1,4 @@
+//! Detect races, then dynamically confirm them by schedule search.
+fn main() {
+    cafa_bench::confirm::main();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 8 of the paper (tracing slowdown).
+fn main() {
+    cafa_bench::fig8::main();
+}

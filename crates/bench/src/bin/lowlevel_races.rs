@@ -1,0 +1,4 @@
+//! Regenerates the §4.1 low-level race measurement.
+fn main() {
+    cafa_bench::lowlevel::main();
+}

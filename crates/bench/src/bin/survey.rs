@@ -1,0 +1,4 @@
+//! Runs the §6.2 use-after-free violation survey.
+fn main() {
+    cafa_bench::survey::main();
+}

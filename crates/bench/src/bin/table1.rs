@@ -1,0 +1,4 @@
+//! Regenerates Table 1 of the paper.
+fn main() {
+    cafa_bench::table1::main();
+}

@@ -1,0 +1,21 @@
+//! Benchmark and evaluation harnesses regenerating every table and
+//! figure of the CAFA paper's evaluation (§6), plus ablations.
+//!
+//! Binaries:
+//! * `table1` — Table 1 (races per app, classified);
+//! * `fig8` — Figure 8 (tracing slowdown per app);
+//! * `lowlevel_races` — §4.1 (1,664 conventional races in ConnectBot);
+//! * `analysis_scaling` — §6.4 (analysis time vs events);
+//! * `ablation` — queue rules / heuristics / listener coverage;
+//! * `survey` — the §6.2 use-after-free violation survey.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod confirm;
+pub mod survey;
+pub mod fig8;
+pub mod lowlevel;
+pub mod scaling;
+pub mod table1;

@@ -1,0 +1,447 @@
+//! `cafa` — record and analyze event-driven execution traces.
+//!
+//! ```text
+//! cafa apps                          list the bundled app workloads
+//! cafa record <app> [opts]           simulate an app and write its trace
+//! cafa analyze <trace> [opts]        detect use-free races in a trace
+//! cafa stats <trace>                 print trace statistics
+//! ```
+//!
+//! Run `cafa help` for the full option list.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write as _};
+use std::process::ExitCode;
+
+use cafa_core::{Analyzer, DetectorConfig};
+use cafa_hb::CausalityConfig;
+use cafa_sim::{run, InstrumentConfig, SimConfig};
+use cafa_trace::Trace;
+
+const USAGE: &str = "\
+cafa — use-free race detection for event-driven traces (after Yu et al., PLDI 2014)
+
+USAGE:
+    cafa apps
+        List the bundled application workloads and their Table 1 rows.
+
+    cafa record <app> [--seed N] [--out FILE] [--format text|binary]
+                      [--coverage paper|full]
+        Simulate the named app workload with instrumentation on and
+        write the recorded trace (default: <app>.trace, text format).
+        --coverage paper limits listener instrumentation to the four
+        framework packages of the paper (the Table 1 configuration).
+
+    cafa analyze <trace> [--model cafa|conventional|no-queue-rules]
+                         [--no-if-guard] [--no-intra-alloc] [--no-lockset]
+                         [--json] [--verbose]
+        Run the race detector over a trace file (text or binary,
+        auto-detected) and print the report. --json emits a stable
+        machine-readable format; --verbose adds happens-before
+        derivation statistics.
+
+    cafa stats <trace>
+        Print trace statistics (tasks, events, records, frees, ...).
+
+    cafa help
+        Show this message.
+";
+
+fn main() -> ExitCode {
+    // Writing to a closed pipe (`cafa dump | head`) makes println!
+    // panic with a BrokenPipe error; treat that as an ordinary
+    // truncated-output exit instead of a crash (and keep the default
+    // hook's backtrace off stderr for that case).
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if !payload_is_broken_pipe(info.payload()) {
+            default_hook(info);
+        }
+    }));
+    match std::panic::catch_unwind(run_cli) {
+        Ok(code) => code,
+        Err(payload) => {
+            if payload_is_broken_pipe(payload.as_ref()) {
+                ExitCode::SUCCESS
+            } else {
+                std::panic::resume_unwind(payload)
+            }
+        }
+    }
+}
+
+/// Panic payloads are `String` (formatted panics) or `&'static str`
+/// (literal panics); check both for the stdio BrokenPipe message.
+fn payload_is_broken_pipe(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&'static str>().copied())
+        .is_some_and(|s| s.contains("Broken pipe"))
+}
+
+fn run_cli() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("apps") => cmd_apps(),
+        Some("record") => cmd_record(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("order") => cmd_order(&args[1..]),
+        Some("dump") => cmd_dump(&args[1..]),
+        Some("convert") => cmd_convert(&args[1..]),
+        Some("graph") => cmd_graph(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`; try `cafa help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_apps() -> Result<(), String> {
+    println!(
+        "{:<12} {:>7} {:>9} {:>9} {:>10}",
+        "App", "events", "reported", "true", "false-pos"
+    );
+    for app in cafa_apps::all_apps() {
+        let e = app.expected;
+        println!(
+            "{:<12} {:>7} {:>9} {:>9} {:>10}",
+            app.name,
+            e.events,
+            e.reported,
+            e.true_races(),
+            e.false_positives()
+        );
+    }
+    Ok(())
+}
+
+/// Pulls `--flag value` out of `args`; returns the value.
+fn opt_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        if pos + 1 >= args.len() {
+            return Err(format!("{flag} needs a value"));
+        }
+        let v = args.remove(pos + 1);
+        args.remove(pos);
+        Ok(Some(v))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Pulls a boolean `--flag` out of `args`.
+fn opt_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        args.remove(pos);
+        true
+    } else {
+        false
+    }
+}
+
+fn cmd_record(rest: &[String]) -> Result<(), String> {
+    let mut args = rest.to_vec();
+    let seed = opt_value(&mut args, "--seed")?
+        .map(|s| s.parse::<u64>().map_err(|_| format!("bad seed `{s}`")))
+        .transpose()?
+        .unwrap_or(0);
+    let format = opt_value(&mut args, "--format")?.unwrap_or_else(|| "text".to_owned());
+    let coverage = opt_value(&mut args, "--coverage")?.unwrap_or_else(|| "paper".to_owned());
+    let out = opt_value(&mut args, "--out")?;
+    let [name] = args.as_slice() else {
+        return Err("usage: cafa record <app> [--seed N] [--out FILE] ...".to_owned());
+    };
+
+    let apps = cafa_apps::all_apps();
+    let app = apps
+        .iter()
+        .find(|a| a.name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown app `{name}`; see `cafa apps`"))?;
+
+    let mut config = SimConfig::with_seed(seed);
+    config.instrument = match coverage.as_str() {
+        "paper" => InstrumentConfig::paper_packages(),
+        "full" => InstrumentConfig::full(),
+        other => return Err(format!("bad coverage `{other}` (paper|full)")),
+    };
+    let mut outcome = run(&app.program, &config).map_err(|e| format!("simulation failed: {e}"))?;
+    let trace = outcome.trace.take().expect("instrumentation is on");
+
+    let path = out.unwrap_or_else(|| format!("{}.trace", app.name.to_lowercase()));
+    let file = File::create(&path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    let mut w = BufWriter::new(file);
+    match format.as_str() {
+        "text" => cafa_trace::write_text(&trace, &mut w).map_err(|e| e.to_string())?,
+        "binary" => cafa_trace::write_binary(&trace, &mut w).map_err(|e| e.to_string())?,
+        other => return Err(format!("bad format `{other}` (text|binary)")),
+    }
+    w.flush().map_err(|e| e.to_string())?;
+
+    let s = trace.stats();
+    println!(
+        "recorded {}: {} events, {} records, {} virtual ms -> {path} ({format})",
+        app.name,
+        s.events,
+        s.records,
+        trace.meta().virtual_ms
+    );
+    if outcome.crashed() {
+        println!("note: the run observed an uncaught NPE (races manifested)");
+    }
+    Ok(())
+}
+
+fn load_trace(path: &str) -> Result<Trace, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let mut reader = BufReader::new(file);
+    // Sniff the magic: binary traces start with "CAFT".
+    use std::io::{Read, Seek, SeekFrom};
+    let mut magic = [0u8; 4];
+    let is_binary = reader.read_exact(&mut magic).is_ok() && &magic == b"CAFT";
+    reader.seek(SeekFrom::Start(0)).map_err(|e| e.to_string())?;
+    if is_binary {
+        cafa_trace::read_binary(reader).map_err(|e| format!("reading {path}: {e}"))
+    } else {
+        cafa_trace::read_text(reader).map_err(|e| format!("reading {path}: {e}"))
+    }
+}
+
+fn cmd_analyze(rest: &[String]) -> Result<(), String> {
+    let mut args = rest.to_vec();
+    let model = opt_value(&mut args, "--model")?.unwrap_or_else(|| "cafa".to_owned());
+    let no_if_guard = opt_flag(&mut args, "--no-if-guard");
+    let no_intra_alloc = opt_flag(&mut args, "--no-intra-alloc");
+    let no_lockset = opt_flag(&mut args, "--no-lockset");
+    let json = opt_flag(&mut args, "--json");
+    let verbose = opt_flag(&mut args, "--verbose");
+    let [path] = args.as_slice() else {
+        return Err("usage: cafa analyze <trace> [options]".to_owned());
+    };
+
+    let trace = load_trace(path)?;
+    let mut config = DetectorConfig::cafa();
+    config.causality = match model.as_str() {
+        "cafa" => CausalityConfig::cafa(),
+        "conventional" => CausalityConfig::conventional(),
+        "no-queue-rules" => CausalityConfig::no_queue_rules(),
+        other => return Err(format!("bad model `{other}` (cafa|conventional|no-queue-rules)")),
+    };
+    config.if_guard = !no_if_guard;
+    config.intra_event_alloc = !no_intra_alloc;
+    config.lockset_filter = !no_lockset;
+
+    let report = Analyzer::with_config(config)
+        .analyze(&trace)
+        .map_err(|e| format!("analysis failed: {e}"))?;
+    if json {
+        print!("{}", cafa_core::json::render_json(&report, &trace));
+        return Ok(());
+    }
+    print!("{}", report.render(&trace));
+    if verbose {
+        let d = report.stats.derivation;
+        println!(
+            "derivation: {} round(s), {} atomicity edge(s), queue rules 1-4: {:?}",
+            d.rounds, d.atomicity_edges, d.queue_edges
+        );
+    }
+    println!(
+        "filtered candidates: {} ({} if-guard, {} intra-event-alloc, {} lockset)",
+        report.filtered.len(),
+        report
+            .filtered
+            .iter()
+            .filter(|f| f.reason == cafa_core::FilterReason::IfGuard)
+            .count(),
+        report
+            .filtered
+            .iter()
+            .filter(|f| matches!(
+                f.reason,
+                cafa_core::FilterReason::AllocBeforeUse | cafa_core::FilterReason::AllocAfterFree
+            ))
+            .count(),
+        report
+            .filtered
+            .iter()
+            .filter(|f| f.reason == cafa_core::FilterReason::CommonLock)
+            .count(),
+    );
+    println!("analysis time: {:.3}s", report.elapsed.as_secs_f64());
+    Ok(())
+}
+
+fn cmd_graph(rest: &[String]) -> Result<(), String> {
+    let mut args = rest.to_vec();
+    let out_path = opt_value(&mut args, "--out")?;
+    let [path] = args.as_slice() else {
+        return Err("usage: cafa graph <trace> [--out FILE]".to_owned());
+    };
+    let trace = load_trace(path)?;
+    if trace.task_count() > 400 {
+        return Err(format!(
+            "trace has {} tasks; DOT export is only readable for small scenarios",
+            trace.task_count()
+        ));
+    }
+    let model = cafa_hb::HbModel::build(&trace, CausalityConfig::cafa())
+        .map_err(|e| format!("model build failed: {e}"))?;
+    let dot = cafa_hb::dot::render_model(&model);
+    match out_path {
+        Some(p) => {
+            std::fs::write(&p, dot).map_err(|e| format!("cannot write {p}: {e}"))?;
+            println!("wrote {p}");
+        }
+        None => print!("{dot}"),
+    }
+    Ok(())
+}
+
+fn cmd_convert(rest: &[String]) -> Result<(), String> {
+    let mut args = rest.to_vec();
+    let format = opt_value(&mut args, "--format")?;
+    let [input, output] = args.as_slice() else {
+        return Err("usage: cafa convert <in> <out> [--format text|binary]".to_owned());
+    };
+    let trace = load_trace(input)?;
+    // Default: flip to the opposite of the input format.
+    let input_is_binary = std::fs::File::open(input)
+        .ok()
+        .and_then(|mut f| {
+            use std::io::Read;
+            let mut magic = [0u8; 4];
+            f.read_exact(&mut magic).ok().map(|_| &magic == b"CAFT")
+        })
+        .unwrap_or(false);
+    let format = format.unwrap_or_else(|| {
+        if input_is_binary { "text".to_owned() } else { "binary".to_owned() }
+    });
+    let file = File::create(output).map_err(|e| format!("cannot create {output}: {e}"))?;
+    let mut w = BufWriter::new(file);
+    match format.as_str() {
+        "text" => cafa_trace::write_text(&trace, &mut w).map_err(|e| e.to_string())?,
+        "binary" => cafa_trace::write_binary(&trace, &mut w).map_err(|e| e.to_string())?,
+        other => return Err(format!("bad format `{other}` (text|binary)")),
+    }
+    w.flush().map_err(|e| e.to_string())?;
+    println!("wrote {output} ({format})");
+    Ok(())
+}
+
+fn cmd_dump(rest: &[String]) -> Result<(), String> {
+    let mut args = rest.to_vec();
+    let all = opt_flag(&mut args, "--all");
+    let limit = opt_value(&mut args, "--limit")?
+        .map(|s| s.parse::<usize>().map_err(|_| format!("bad limit `{s}`")))
+        .transpose()?;
+    let [path] = args.as_slice() else {
+        return Err("usage: cafa dump <trace> [--limit N] [--all]".to_owned());
+    };
+    let trace = load_trace(path)?;
+    let options = cafa_trace::pretty::PrettyOptions {
+        max_records_per_task: if all { usize::MAX } else { limit.unwrap_or(16) },
+        skip_empty_tasks: !all,
+    };
+    print!("{}", cafa_trace::pretty::render(&trace, &options));
+    Ok(())
+}
+
+fn cmd_order(rest: &[String]) -> Result<(), String> {
+    let [path, task_a, idx_a, task_b, idx_b] = rest else {
+        return Err("usage: cafa order <trace> <taskA> <indexA> <taskB> <indexB>".to_owned());
+    };
+    let trace = load_trace(path)?;
+    let parse_task = |s: &str| -> Result<cafa_trace::TaskId, String> {
+        let n: u32 = s
+            .trim_start_matches('t')
+            .parse()
+            .map_err(|_| format!("bad task id `{s}` (expected e.g. t12)"))?;
+        if (n as usize) < trace.task_count() {
+            Ok(cafa_trace::TaskId::new(n))
+        } else {
+            Err(format!("task {s} out of range (trace has {} tasks)", trace.task_count()))
+        }
+    };
+    let parse_idx = |s: &str| -> Result<u32, String> {
+        s.parse().map_err(|_| format!("bad record index `{s}`"))
+    };
+    let a = cafa_trace::OpRef::new(parse_task(task_a)?, parse_idx(idx_a)?);
+    let b = cafa_trace::OpRef::new(parse_task(task_b)?, parse_idx(idx_b)?);
+    for at in [a, b] {
+        if trace.get_record(at).is_none() {
+            return Err(format!("{at} is out of range"));
+        }
+    }
+
+    let model = cafa_hb::HbModel::build(&trace, CausalityConfig::cafa())
+        .map_err(|e| format!("model build failed: {e}"))?;
+    println!(
+        "{} ({} in {})  vs  {} ({} in {})",
+        a,
+        trace.record(a).kind_tag(),
+        trace.task_name(a.task),
+        b,
+        trace.record(b).kind_tag(),
+        trace.task_name(b.task),
+    );
+    let (ordered, x, y) = match model.order(a, b) {
+        cafa_hb::OpOrder::Same => {
+            println!("=> the same operation");
+            return Ok(());
+        }
+        cafa_hb::OpOrder::Before => (true, a, b),
+        cafa_hb::OpOrder::After => (true, b, a),
+        cafa_hb::OpOrder::Concurrent => (false, a, b),
+    };
+    if !ordered {
+        println!("=> logically CONCURRENT under the CAFA model");
+        return Ok(());
+    }
+    println!("=> {x} happens-before {y}; causal chain:");
+    if let Some(chain) = model.explain(x, y) {
+        for step in chain {
+            println!(
+                "     {:?} in {} --[{:?}]--> {:?} in {}",
+                step.from.point,
+                trace.task_name(step.from.task),
+                step.kind,
+                step.to.point,
+                trace.task_name(step.to.task),
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_stats(rest: &[String]) -> Result<(), String> {
+    let [path] = rest else {
+        return Err("usage: cafa stats <trace>".to_owned());
+    };
+    let trace = load_trace(path)?;
+    let s = trace.stats();
+    println!("app:             {}", trace.meta().app);
+    println!("seed:            {}", trace.meta().seed);
+    println!("virtual ms:      {}", trace.meta().virtual_ms);
+    println!("processes:       {}", trace.process_count());
+    println!("queues:          {}", trace.queue_count());
+    println!("tasks:           {} ({} threads, {} events)", s.tasks, s.threads, s.events);
+    println!("external events: {}", s.external_events);
+    println!("records:         {} ({} sync)", s.records, s.sync_records);
+    println!("accesses:        {}", s.accesses);
+    println!("frees:           {}", s.frees);
+    println!("allocations:     {}", s.allocations);
+    println!("dereferences:    {}", s.derefs);
+    println!("guard branches:  {}", s.guards);
+    println!("sends:           {}", s.sends);
+    Ok(())
+}

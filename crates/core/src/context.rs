@@ -1,0 +1,113 @@
+//! Calling-context reconstruction (§5.3).
+//!
+//! The instrumented interpreter logs method entries and exits "to
+//! provide context information for reasoning about races". This module
+//! rebuilds the context stack at any trace position, so a race report
+//! can say *where* the racing use and free executed, not just which
+//! record raced.
+
+use cafa_trace::{OpRef, Pc, Record, Trace};
+
+/// One frame of a reconstructed context stack.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Entry address of the method.
+    pub pc: Pc,
+    /// Method name.
+    pub name: String,
+}
+
+/// The context stack at the record `at`, outermost frame first.
+///
+/// Reconstructed by replaying the task's `MethodEnter`/`MethodExit`
+/// records up to (and including) position `at`. Unbalanced exits —
+/// possible in truncated traces — are tolerated by ignoring pops of an
+/// empty stack.
+pub fn stack_at(trace: &Trace, at: OpRef) -> Vec<Frame> {
+    let mut stack: Vec<Frame> = Vec::new();
+    for (i, r) in trace.body(at.task).iter().enumerate() {
+        if i as u32 > at.index {
+            break;
+        }
+        match *r {
+            Record::MethodEnter { pc, name } => {
+                stack.push(Frame { pc, name: trace.names().resolve(name).to_owned() });
+            }
+            Record::MethodExit { .. } => {
+                stack.pop();
+            }
+            _ => {}
+        }
+    }
+    stack
+}
+
+/// Renders a stack as `outer > inner`, or a placeholder when the trace
+/// carries no frame records for that task.
+pub fn render_stack(trace: &Trace, at: OpRef) -> String {
+    let stack = stack_at(trace, at);
+    if stack.is_empty() {
+        format!("<{}>", trace.task_name(at.task))
+    } else {
+        stack.iter().map(|f| f.name.as_str()).collect::<Vec<_>>().join(" > ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cafa_trace::{TraceBuilder, VarId};
+
+    #[test]
+    fn nested_frames_reconstruct() {
+        let mut b = TraceBuilder::new("t");
+        let p = b.add_process();
+        let t = b.add_thread(p, "main");
+        b.method_enter(t, Pc::new(0x1000), "outer"); // 0
+        b.read(t, VarId::new(0)); // 1: [outer]
+        b.method_enter(t, Pc::new(0x2000), "inner"); // 2
+        let deep = b.read(t, VarId::new(0)); // 3: [outer, inner]
+        b.method_exit(t, Pc::new(0x2000), false); // 4
+        let shallow = b.read(t, VarId::new(0)); // 5: [outer]
+        b.method_exit(t, Pc::new(0x1000), false); // 6
+        let trace = b.finish().unwrap();
+
+        let stack = stack_at(&trace, deep);
+        assert_eq!(stack.len(), 2);
+        assert_eq!(stack[0].name, "outer");
+        assert_eq!(stack[1].name, "inner");
+        assert_eq!(render_stack(&trace, deep), "outer > inner");
+
+        assert_eq!(stack_at(&trace, shallow).len(), 1);
+        // After the final exit the stack is empty; rendering falls back
+        // to the task name.
+        assert_eq!(render_stack(&trace, OpRef::new(t, 6)), "<main>");
+    }
+
+    #[test]
+    fn unbalanced_exits_are_tolerated() {
+        let mut b = TraceBuilder::new("t");
+        let p = b.add_process();
+        let t = b.add_thread(p, "main");
+        b.method_exit(t, Pc::new(0x1000), true); // stray
+        let at = b.read(t, VarId::new(0));
+        let trace = b.finish().unwrap();
+        assert!(stack_at(&trace, at).is_empty());
+    }
+
+    #[test]
+    fn sim_traces_carry_handler_frames() {
+        use cafa_sim::{run, Body, ProgramBuilder, SimConfig};
+        let mut p = ProgramBuilder::new("frames");
+        let pr = p.process();
+        let l = p.looper(pr);
+        let v = p.ptr_var_alloc();
+        let h = p.handler("onDraw", Body::new().use_ptr(v));
+        p.gesture(0, l, h);
+        let trace = run(&p.build(), &SimConfig::with_seed(0)).unwrap().trace.unwrap();
+        // The use inside the event reports its handler as context.
+        let ops = crate::usefree::extract(&trace);
+        assert_eq!(ops.uses.len(), 1);
+        assert_eq!(render_stack(&trace, ops.uses[0].at), "onDraw");
+    }
+}

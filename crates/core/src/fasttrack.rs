@@ -1,0 +1,561 @@
+//! A FastTrack-style conventional race detector (Flanagan & Freund,
+//! PLDI 2009), the canonical thread-based baseline the paper contrasts
+//! with (§7.1: "FastTrack assumes that all memory accesses from the
+//! same thread are totally ordered").
+//!
+//! The detector runs the classic epoch/vector-clock algorithm over a
+//! linearization of the trace in which each **looper is one thread**
+//! (its events concatenated in processing order — exactly the
+//! assumption CAFA identifies as too strict) and lock release/acquire
+//! induces order. It therefore reports only class-(c) races: the
+//! cross-validation tests assert its racy-variable set matches the
+//! graph-based model under [`CausalityConfig::fasttrack_like`].
+//!
+//! [`CausalityConfig::fasttrack_like`]: cafa_hb::CausalityConfig::fasttrack_like
+
+use std::collections::{HashMap, HashSet};
+
+use cafa_hb::{base_graph, CausalityConfig, HbError, NodePoint, SyncGraph};
+use cafa_trace::{NameId, OpRef, Record, TaskId, Trace, VarId};
+
+/// A dense pseudo-thread id: one per regular thread, one per looper.
+type Tid = usize;
+
+/// A vector clock over pseudo-threads.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct Vc(Vec<u32>);
+
+impl Vc {
+    fn new(n: usize) -> Self {
+        Vc(vec![0; n])
+    }
+
+    fn join(&mut self, other: &Vc) {
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    fn get(&self, t: Tid) -> u32 {
+        self.0[t]
+    }
+
+    fn set(&mut self, t: Tid, v: u32) {
+        self.0[t] = v;
+    }
+}
+
+/// An epoch `c@t`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Epoch {
+    tid: Tid,
+    clock: u32,
+}
+
+impl Epoch {
+    const ZERO: Epoch = Epoch { tid: 0, clock: 0 };
+
+    fn le(self, vc: &Vc) -> bool {
+        self.clock <= vc.get(self.tid)
+    }
+}
+
+/// The read state of one variable: an exclusive epoch or a shared
+/// vector clock (FastTrack's adaptive representation).
+#[derive(Clone, Debug)]
+enum ReadState {
+    Epoch(Epoch),
+    Shared(Vc),
+}
+
+/// An access site, for race deduplication.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct Site {
+    name: NameId,
+    pc: u32,
+}
+
+#[derive(Clone, Debug)]
+struct VarState {
+    write: Epoch,
+    write_site: Site,
+    read: ReadState,
+    read_sites: HashMap<Tid, Site>,
+}
+
+/// One race found by FastTrack.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FastTrackRace {
+    /// The variable raced on.
+    pub var: VarId,
+    /// Position of the access that exposed the race.
+    pub at: OpRef,
+    /// True when the exposing access is a write.
+    pub is_write: bool,
+}
+
+/// FastTrack run summary.
+#[derive(Clone, Debug, Default)]
+pub struct FastTrackReport {
+    /// Races, one per distinct (variable, prior site, current site).
+    pub races: Vec<FastTrackRace>,
+    /// Distinct variables with at least one race.
+    pub racy_vars: usize,
+}
+
+/// Runs FastTrack over `trace`.
+///
+/// # Errors
+///
+/// Returns [`HbError`] if the conventional sync graph is cyclic (the
+/// linearization needs a topological order).
+pub fn fasttrack(trace: &Trace) -> Result<FastTrackReport, HbError> {
+    let config = CausalityConfig::fasttrack_like();
+    let graph = base_graph(trace, &config);
+    let order = linearize(trace, &graph)?;
+
+    // Pseudo-thread assignment.
+    let mut tid_of_task: Vec<Tid> = vec![0; trace.task_count()];
+    let mut next = trace.queue_count(); // tids 0..queues are loopers
+    for t in trace.tasks() {
+        tid_of_task[t.id.index()] = match t.queue() {
+            Some(q) => q.index(),
+            None => {
+                let tid = next;
+                next += 1;
+                tid
+            }
+        };
+    }
+    let ntids = next;
+
+    let mut clocks: Vec<Vc> = (0..ntids)
+        .map(|t| {
+            let mut vc = Vc::new(ntids);
+            vc.set(t, 1);
+            vc
+        })
+        .collect();
+    let mut msg: HashMap<TaskId, Vc> = HashMap::new();
+    let mut lock_vc: HashMap<cafa_trace::MonitorId, Vc> = HashMap::new();
+    let mut cond: HashMap<(cafa_trace::MonitorId, u32), Vc> = HashMap::new();
+    let mut reg: HashMap<cafa_trace::ListenerId, Vc> = HashMap::new();
+    let mut rpc_fwd: HashMap<cafa_trace::TxnId, Vc> = HashMap::new();
+    let mut rpc_back: HashMap<cafa_trace::TxnId, Vc> = HashMap::new();
+    let mut vars: HashMap<VarId, VarState> = HashMap::new();
+
+    let mut seen: HashSet<(VarId, Site, Site)> = HashSet::new();
+    let mut report = FastTrackReport::default();
+    let mut racy_vars: HashSet<VarId> = HashSet::new();
+
+    let mut record_race = |report: &mut FastTrackReport,
+                           racy_vars: &mut HashSet<VarId>,
+                           var: VarId,
+                           prior: Site,
+                           site: Site,
+                           at: OpRef,
+                           is_write: bool| {
+        let key = (var, prior.min(site), prior.max(site));
+        if seen.insert(key) {
+            report.races.push(FastTrackRace { var, at, is_write });
+            racy_vars.insert(var);
+        }
+    };
+
+    for action in order {
+        match action {
+            Action::Begin(task) => {
+                if let Some(vc) = msg.remove(&task) {
+                    let tid = tid_of_task[task.index()];
+                    clocks[tid].join(&vc);
+                }
+            }
+            Action::End(_) => {}
+            Action::Op(at) => {
+                let tid = tid_of_task[at.task.index()];
+                let record = trace.record(at);
+                let site = Site {
+                    name: trace.task(at.task).name,
+                    pc: match *record {
+                        Record::ObjRead { pc, .. } | Record::ObjWrite { pc, .. } => pc.addr(),
+                        _ => 0,
+                    },
+                };
+                match *record {
+                    Record::Fork { child } => {
+                        let cid = tid_of_task[child.index()];
+                        if cid != tid {
+                            let snapshot = clocks[tid].clone();
+                            clocks[cid].join(&snapshot);
+                            let c = clocks[tid].get(tid);
+                            clocks[tid].set(tid, c + 1);
+                        }
+                    }
+                    Record::Join { child } => {
+                        let cid = tid_of_task[child.index()];
+                        if cid != tid {
+                            let snapshot = clocks[cid].clone();
+                            clocks[tid].join(&snapshot);
+                            let c = clocks[cid].get(cid);
+                            clocks[cid].set(cid, c + 1);
+                        }
+                    }
+                    Record::Lock { monitor, .. } => {
+                        if let Some(vc) = lock_vc.get(&monitor) {
+                            clocks[tid].join(&vc.clone());
+                        }
+                    }
+                    Record::Unlock { monitor, .. } => {
+                        lock_vc.insert(monitor, clocks[tid].clone());
+                        let c = clocks[tid].get(tid);
+                        clocks[tid].set(tid, c + 1);
+                    }
+                    Record::Notify { monitor, gen } => {
+                        cond.entry((monitor, gen))
+                            .or_insert_with(|| Vc::new(ntids))
+                            .join(&clocks[tid].clone());
+                        let c = clocks[tid].get(tid);
+                        clocks[tid].set(tid, c + 1);
+                    }
+                    Record::Wait { monitor, gen } => {
+                        if let Some(vc) = cond.get(&(monitor, gen)) {
+                            clocks[tid].join(&vc.clone());
+                        }
+                    }
+                    Record::Send { event, .. } | Record::SendAtFront { event, .. } => {
+                        msg.entry(event)
+                            .or_insert_with(|| Vc::new(ntids))
+                            .join(&clocks[tid].clone());
+                        let c = clocks[tid].get(tid);
+                        clocks[tid].set(tid, c + 1);
+                    }
+                    Record::Register { listener } => {
+                        reg.entry(listener)
+                            .or_insert_with(|| Vc::new(ntids))
+                            .join(&clocks[tid].clone());
+                        let c = clocks[tid].get(tid);
+                        clocks[tid].set(tid, c + 1);
+                    }
+                    Record::Perform { listener } => {
+                        if let Some(vc) = reg.get(&listener) {
+                            clocks[tid].join(&vc.clone());
+                        }
+                    }
+                    Record::RpcCall { txn } => {
+                        rpc_fwd.insert(txn, clocks[tid].clone());
+                        let c = clocks[tid].get(tid);
+                        clocks[tid].set(tid, c + 1);
+                    }
+                    Record::RpcHandle { txn } => {
+                        if let Some(vc) = rpc_fwd.get(&txn) {
+                            clocks[tid].join(&vc.clone());
+                        }
+                    }
+                    Record::RpcReply { txn } => {
+                        rpc_back.insert(txn, clocks[tid].clone());
+                        let c = clocks[tid].get(tid);
+                        clocks[tid].set(tid, c + 1);
+                    }
+                    Record::RpcReceive { txn } => {
+                        if let Some(vc) = rpc_back.get(&txn) {
+                            clocks[tid].join(&vc.clone());
+                        }
+                    }
+                    Record::Read { var } | Record::ObjRead { var, .. } => {
+                        let epoch = Epoch { tid, clock: clocks[tid].get(tid) };
+                        let state = vars.entry(var).or_insert_with(|| VarState {
+                            write: Epoch::ZERO,
+                            write_site: site,
+                            read: ReadState::Epoch(Epoch::ZERO),
+                            read_sites: HashMap::new(),
+                        });
+                        // Same-epoch fast path.
+                        if let ReadState::Epoch(r) = state.read {
+                            if r == epoch {
+                                continue;
+                            }
+                        }
+                        // Write-read race check.
+                        if state.write != Epoch::ZERO && !state.write.le(&clocks[tid]) {
+                            record_race(
+                                &mut report,
+                                &mut racy_vars,
+                                var,
+                                state.write_site,
+                                site,
+                                at,
+                                false,
+                            );
+                        }
+                        // Update read state adaptively.
+                        match &mut state.read {
+                            ReadState::Epoch(r) => {
+                                if *r == Epoch::ZERO || r.le(&clocks[tid]) {
+                                    *r = epoch;
+                                    state.read_sites.clear();
+                                    state.read_sites.insert(tid, site);
+                                } else {
+                                    let mut vc = Vc::new(ntids);
+                                    vc.set(r.tid, r.clock);
+                                    vc.set(tid, epoch.clock);
+                                    state.read = ReadState::Shared(vc);
+                                    state.read_sites.insert(tid, site);
+                                }
+                            }
+                            ReadState::Shared(vc) => {
+                                vc.set(tid, epoch.clock);
+                                state.read_sites.insert(tid, site);
+                            }
+                        }
+                    }
+                    Record::Write { var } | Record::ObjWrite { var, .. } => {
+                        let epoch = Epoch { tid, clock: clocks[tid].get(tid) };
+                        let state = vars.entry(var).or_insert_with(|| VarState {
+                            write: Epoch::ZERO,
+                            write_site: site,
+                            read: ReadState::Epoch(Epoch::ZERO),
+                            read_sites: HashMap::new(),
+                        });
+                        if state.write == epoch {
+                            continue;
+                        }
+                        // Write-write race check.
+                        if state.write != Epoch::ZERO && !state.write.le(&clocks[tid]) {
+                            record_race(
+                                &mut report,
+                                &mut racy_vars,
+                                var,
+                                state.write_site,
+                                site,
+                                at,
+                                true,
+                            );
+                        }
+                        // Read-write race checks.
+                        match &state.read {
+                            ReadState::Epoch(r) => {
+                                if *r != Epoch::ZERO && !r.le(&clocks[tid]) {
+                                    let prior =
+                                        state.read_sites.get(&r.tid).copied().unwrap_or(site);
+                                    record_race(
+                                        &mut report,
+                                        &mut racy_vars,
+                                        var,
+                                        prior,
+                                        site,
+                                        at,
+                                        true,
+                                    );
+                                }
+                            }
+                            ReadState::Shared(vc) => {
+                                for t in 0..ntids {
+                                    if vc.get(t) > clocks[tid].get(t) {
+                                        let prior =
+                                            state.read_sites.get(&t).copied().unwrap_or(site);
+                                        record_race(
+                                            &mut report,
+                                            &mut racy_vars,
+                                            var,
+                                            prior,
+                                            site,
+                                            at,
+                                            true,
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                        state.write = epoch;
+                        state.write_site = site;
+                        state.read = ReadState::Epoch(Epoch::ZERO);
+                        state.read_sites.clear();
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    report.racy_vars = racy_vars.len();
+    Ok(report)
+}
+
+/// A step of the linearized execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Action {
+    Begin(TaskId),
+    Op(OpRef),
+    End(TaskId),
+}
+
+/// Produces a global order of all records consistent with the graph.
+fn linearize(trace: &Trace, graph: &SyncGraph) -> Result<Vec<Action>, HbError> {
+    let topo = graph
+        .topo_order()
+        .map_err(|nodes| HbError::CyclicHappensBefore { cycle_len: nodes.len() })?;
+    let mut cursor: Vec<u32> = vec![0; trace.task_count()];
+    let mut out = Vec::with_capacity(trace.stats().records + 2 * trace.task_count());
+    for n in topo {
+        let info = graph.node(n);
+        let task = info.task;
+        match info.point {
+            NodePoint::Begin => out.push(Action::Begin(task)),
+            NodePoint::Record(i) => {
+                for j in cursor[task.index()]..=i {
+                    out.push(Action::Op(OpRef::new(task, j)));
+                }
+                cursor[task.index()] = i + 1;
+            }
+            NodePoint::End => {
+                let len = trace.body_len(task);
+                for j in cursor[task.index()]..len {
+                    out.push(Action::Op(OpRef::new(task, j)));
+                }
+                cursor[task.index()] = len;
+                out.push(Action::End(task));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lowlevel::count_races;
+
+    #[test]
+    fn unsynchronized_threads_race() {
+        let mut b = cafa_trace::TraceBuilder::new("t");
+        let p = b.add_process();
+        let a = b.add_thread(p, "a");
+        let c = b.add_thread(p, "c");
+        let v = VarId::new(0);
+        b.write(a, v);
+        b.write(c, v);
+        let trace = b.finish().unwrap();
+        let r = fasttrack(&trace).unwrap();
+        assert_eq!(r.racy_vars, 1);
+        assert_eq!(r.races.len(), 1);
+        assert!(r.races[0].is_write);
+    }
+
+    #[test]
+    fn fork_join_orders_accesses() {
+        let mut b = cafa_trace::TraceBuilder::new("t");
+        let p = b.add_process();
+        let t = b.add_thread(p, "main");
+        let v = VarId::new(0);
+        b.write(t, v);
+        let w = b.fork(t, p, "w");
+        b.write(w, v);
+        b.join(t, w);
+        b.read(t, v);
+        let trace = b.finish().unwrap();
+        let r = fasttrack(&trace).unwrap();
+        assert_eq!(r.racy_vars, 0);
+    }
+
+    #[test]
+    fn locks_order_critical_sections() {
+        let mut b = cafa_trace::TraceBuilder::new("t");
+        let p = b.add_process();
+        let a = b.add_thread(p, "a");
+        let c = b.add_thread(p, "c");
+        let v = VarId::new(0);
+        let m = cafa_trace::MonitorId::new(0);
+        b.lock(a, m, 0);
+        b.write(a, v);
+        b.unlock(a, m, 0);
+        b.lock(c, m, 1);
+        b.write(c, v);
+        b.unlock(c, m, 1);
+        let trace = b.finish().unwrap();
+        let r = fasttrack(&trace).unwrap();
+        assert_eq!(r.racy_vars, 0, "lock_hb orders the critical sections");
+    }
+
+    #[test]
+    fn events_on_one_looper_never_race() {
+        // The defining blind spot of the conventional baseline.
+        let mut b = cafa_trace::TraceBuilder::new("t");
+        let p = b.add_process();
+        let q = b.add_queue(p);
+        let t1 = b.add_thread(p, "s1");
+        let t2 = b.add_thread(p, "s2");
+        let v = VarId::new(0);
+        let e1 = b.post(t1, q, "e1", 0);
+        let e2 = b.post(t2, q, "e2", 0);
+        b.process_event(e1);
+        b.write(e1, v);
+        b.process_event(e2);
+        b.write(e2, v);
+        let trace = b.finish().unwrap();
+        let r = fasttrack(&trace).unwrap();
+        assert_eq!(r.racy_vars, 0);
+    }
+
+    #[test]
+    fn thread_vs_event_races() {
+        let mut b = cafa_trace::TraceBuilder::new("t");
+        let p = b.add_process();
+        let q = b.add_queue(p);
+        let worker = b.add_thread(p, "worker");
+        let t2 = b.add_thread(p, "src");
+        let v = VarId::new(0);
+        b.write(worker, v);
+        let e = b.post(t2, q, "ev", 0);
+        b.process_event(e);
+        b.write(e, v);
+        let trace = b.finish().unwrap();
+        let r = fasttrack(&trace).unwrap();
+        assert_eq!(r.racy_vars, 1);
+    }
+
+    #[test]
+    fn read_shared_then_write_races_all_readers() {
+        let mut b = cafa_trace::TraceBuilder::new("t");
+        let p = b.add_process();
+        let t = b.add_thread(p, "main");
+        let v = VarId::new(0);
+        b.write(t, v);
+        let r1 = b.fork(t, p, "r1");
+        let r2 = b.fork(t, p, "r2");
+        b.read(r1, v);
+        b.read(r2, v);
+        let w = b.fork(t, p, "w");
+        b.write(w, v);
+        let trace = b.finish().unwrap();
+        let r = fasttrack(&trace).unwrap();
+        assert_eq!(r.racy_vars, 1);
+        // Two distinct read-write site pairs.
+        assert_eq!(r.races.len(), 2);
+    }
+
+    #[test]
+    fn racy_vars_agree_with_graph_model() {
+        // Cross-validation: FastTrack's racy-variable set equals the
+        // graph-based fasttrack_like model's.
+        let mut b = cafa_trace::TraceBuilder::new("t");
+        let p = b.add_process();
+        let q = b.add_queue(p);
+        let main = b.add_thread(p, "main");
+        let w = b.fork(main, p, "w");
+        let v_synced = VarId::new(0);
+        let v_racy = VarId::new(1);
+        b.write(main, v_synced);
+        let e = b.post(main, q, "ev", 0);
+        b.process_event(e);
+        b.read(e, v_synced); // ordered via send
+        b.write(w, v_racy);
+        b.read(e, v_racy); // racy: no order to w
+        b.join(main, w);
+        let trace = b.finish().unwrap();
+
+        let ft = fasttrack(&trace).unwrap();
+        let graph = count_races(&trace, CausalityConfig::fasttrack_like()).unwrap();
+        assert_eq!(ft.racy_vars, graph.racy_vars);
+        assert_eq!(ft.racy_vars, 1);
+    }
+}

@@ -1,0 +1,266 @@
+//! False-positive pruning heuristics (§4.3).
+//!
+//! Two concurrent same-looper events containing a use-free race can
+//! still be *commutative*. CAFA recognizes the two common patterns:
+//!
+//! * **if-guard**: the use sits in a code region a pointer-test branch
+//!   proves non-null, so when the free runs first the use is skipped
+//!   (or dominated by a fresh value) — Figure 5's `onFocus`;
+//! * **intra-event-allocation**: an allocation inside the same event
+//!   masks the free (alloc after free) or feeds the use (alloc before
+//!   use) — Figure 5's `onResume`.
+//!
+//! Both heuristics rely on event atomicity, so they are "only
+//! applicable to events that are sent to the same event queue and
+//! processed by the same looper thread" — the caller enforces that
+//! scope; these functions judge a single endpoint.
+
+use cafa_trace::{BranchKind, Pc};
+
+use crate::usefree::{FreeSite, GuardSite, MemoryOps, UseSite};
+
+/// Why a candidate use-free race was suppressed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FilterReason {
+    /// The use is inside an if-guard-protected region (§4.3).
+    IfGuard,
+    /// An allocation precedes the use within the use's event.
+    AllocBeforeUse,
+    /// An allocation follows the free within the free's event.
+    AllocAfterFree,
+    /// Use and free both execute under a common monitor; CAFA trusts
+    /// explicit mutual exclusion (§3.2).
+    CommonLock,
+}
+
+impl std::fmt::Display for FilterReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FilterReason::IfGuard => "if-guard",
+            FilterReason::AllocBeforeUse => "intra-event allocation before use",
+            FilterReason::AllocAfterFree => "intra-event allocation after free",
+            FilterReason::CommonLock => "common lockset",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The address region a guard proves non-null, per Figure 6.
+///
+/// Returns `(lo, hi)` — uses with `lo ≤ pc < hi` in the same method,
+/// executed after the branch, are safe.
+fn safe_region(g: &GuardSite) -> (Pc, Pc) {
+    let forward = g.target.addr() > g.pc.addr();
+    match (g.kind, forward) {
+        // if-eqz jumps away when null; logged when NOT taken, so the
+        // fall-through up to the target is non-null.
+        (BranchKind::IfEqz, true) => (g.pc, g.target),
+        // if-eqz jumping backward when null: the fall-through to the end
+        // of the method is non-null.
+        (BranchKind::IfEqz, false) => (g.pc, g.pc.method_end()),
+        // if-nez / if-eq jump when non-null; logged when taken. Forward:
+        // from the target to the end of the method.
+        (BranchKind::IfNez | BranchKind::IfEq, true) => (g.target, g.pc.method_end()),
+        // Backward: the loop body between target and branch.
+        (BranchKind::IfNez | BranchKind::IfEq, false) => (g.target, g.pc),
+    }
+}
+
+/// If-guard check: is `use_site` protected by a guard on the same
+/// variable, earlier in the same task, whose safe region covers the
+/// use's read address?
+pub fn if_guarded(ops: &MemoryOps, use_site: &UseSite) -> bool {
+    let Some(var_ops) = ops.var_ops(use_site.var) else { return false };
+    var_ops.guards.iter().map(|&gi| &ops.guards[gi]).any(|g| {
+        if g.at.task != use_site.at.task || g.at.index >= use_site.at.index {
+            return false;
+        }
+        let (lo, hi) = safe_region(g);
+        let pc = use_site.read_pc;
+        pc.same_method(g.pc) && lo.addr() <= pc.addr() && pc.addr() < hi.addr()
+    })
+}
+
+/// Intra-event-allocation, use side: an allocation to the same variable
+/// earlier in the same task guarantees the use cannot observe a null
+/// written outside the event.
+pub fn alloc_before_use(ops: &MemoryOps, use_site: &UseSite) -> bool {
+    let Some(var_ops) = ops.var_ops(use_site.var) else { return false };
+    var_ops
+        .allocs
+        .iter()
+        .map(|&ai| &ops.allocs[ai])
+        .any(|a| a.at.task == use_site.at.task && a.at.index < use_site.at.index)
+}
+
+/// Intra-event-allocation, free side: an allocation to the same
+/// variable later in the same task means the null value never becomes
+/// visible to other events of the looper.
+pub fn alloc_after_free(ops: &MemoryOps, free_site: &FreeSite) -> bool {
+    let Some(var_ops) = ops.var_ops(free_site.var) else { return false };
+    var_ops
+        .allocs
+        .iter()
+        .map(|&ai| &ops.allocs[ai])
+        .any(|a| a.at.task == free_site.at.task && a.at.index > free_site.at.index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::usefree::extract;
+    use cafa_trace::{DerefKind, ObjId, TraceBuilder, VarId};
+
+    /// Figure 5's onFocus: `if (handler != null) handler.run();`
+    #[test]
+    fn guarded_use_is_filtered() {
+        let mut b = TraceBuilder::new("fig5");
+        let p = b.add_process();
+        let q = b.add_queue(p);
+        let e = b.external(q, "onFocus");
+        b.process_event(e);
+        let v = VarId::new(0);
+        let o = ObjId::new(1);
+        // read handler; if-eqz jumps to 0x1040 when null; use at 0x1018.
+        b.obj_read(e, v, Some(o), Pc::new(0x1010));
+        b.guard(e, BranchKind::IfEqz, Pc::new(0x1014), Pc::new(0x1040), o);
+        b.obj_read(e, v, Some(o), Pc::new(0x1018));
+        b.deref(e, o, Pc::new(0x101c), DerefKind::Invoke);
+        let trace = b.finish().unwrap();
+        let ops = extract(&trace);
+        // The second read is the guarded use.
+        let guarded_use = ops.uses.iter().find(|u| u.read_pc == Pc::new(0x1018)).unwrap();
+        assert!(if_guarded(&ops, guarded_use));
+    }
+
+    #[test]
+    fn use_outside_guard_region_is_not_filtered() {
+        let mut b = TraceBuilder::new("t");
+        let p = b.add_process();
+        let q = b.add_queue(p);
+        let e = b.external(q, "ev");
+        b.process_event(e);
+        let v = VarId::new(0);
+        let o = ObjId::new(1);
+        b.obj_read(e, v, Some(o), Pc::new(0x1010));
+        b.guard(e, BranchKind::IfEqz, Pc::new(0x1014), Pc::new(0x1020), o);
+        // Use beyond the guarded region (pc ≥ target).
+        b.obj_read(e, v, Some(o), Pc::new(0x1024));
+        b.deref(e, o, Pc::new(0x1028), DerefKind::Field);
+        let trace = b.finish().unwrap();
+        let ops = extract(&trace);
+        let u = ops.uses.iter().find(|u| u.read_pc == Pc::new(0x1024)).unwrap();
+        assert!(!if_guarded(&ops, u));
+    }
+
+    #[test]
+    fn guard_in_other_method_does_not_protect() {
+        let mut b = TraceBuilder::new("t");
+        let p = b.add_process();
+        let q = b.add_queue(p);
+        let e = b.external(q, "ev");
+        b.process_event(e);
+        let v = VarId::new(0);
+        let o = ObjId::new(1);
+        b.obj_read(e, v, Some(o), Pc::new(0x1010));
+        // Backward if-eqz guard: protects to end of *its* method block.
+        b.guard(e, BranchKind::IfEqz, Pc::new(0x1014), Pc::new(0x1004), o);
+        // Use in a different method block (0x2000), even though later.
+        b.obj_read(e, v, Some(o), Pc::new(0x2010));
+        b.deref(e, o, Pc::new(0x2014), DerefKind::Field);
+        let trace = b.finish().unwrap();
+        let ops = extract(&trace);
+        let u = ops.uses.iter().find(|u| u.read_pc == Pc::new(0x2010)).unwrap();
+        assert!(!if_guarded(&ops, u));
+    }
+
+    #[test]
+    fn ifnez_taken_protects_target_region() {
+        let mut b = TraceBuilder::new("t");
+        let p = b.add_process();
+        let q = b.add_queue(p);
+        let e = b.external(q, "ev");
+        b.process_event(e);
+        let v = VarId::new(0);
+        let o = ObjId::new(1);
+        b.obj_read(e, v, Some(o), Pc::new(0x1010));
+        b.guard(e, BranchKind::IfNez, Pc::new(0x1014), Pc::new(0x1030), o);
+        b.obj_read(e, v, Some(o), Pc::new(0x1034)); // inside [target, end)
+        b.deref(e, o, Pc::new(0x1038), DerefKind::Invoke);
+        let trace = b.finish().unwrap();
+        let ops = extract(&trace);
+        let u = ops.uses.iter().find(|u| u.read_pc == Pc::new(0x1034)).unwrap();
+        assert!(if_guarded(&ops, u));
+    }
+
+    #[test]
+    fn backward_ifnez_protects_loop_body() {
+        let mut b = TraceBuilder::new("t");
+        let p = b.add_process();
+        let q = b.add_queue(p);
+        let e = b.external(q, "ev");
+        b.process_event(e);
+        let v = VarId::new(0);
+        let o = ObjId::new(1);
+        b.obj_read(e, v, Some(o), Pc::new(0x1030));
+        b.guard(e, BranchKind::IfNez, Pc::new(0x1034), Pc::new(0x1010), o);
+        b.obj_read(e, v, Some(o), Pc::new(0x1018)); // inside [target, pc)
+        b.deref(e, o, Pc::new(0x101c), DerefKind::Field);
+        let trace = b.finish().unwrap();
+        let ops = extract(&trace);
+        let u = ops.uses.iter().find(|u| u.read_pc == Pc::new(0x1018)).unwrap();
+        assert!(if_guarded(&ops, u));
+    }
+
+    /// Figure 5's onResume: `handler = new Handler(); handler.run();`
+    #[test]
+    fn alloc_before_use_filters() {
+        let mut b = TraceBuilder::new("fig5");
+        let p = b.add_process();
+        let q = b.add_queue(p);
+        let e = b.external(q, "onResume");
+        b.process_event(e);
+        let v = VarId::new(0);
+        let o = ObjId::new(2);
+        b.obj_write(e, v, Some(o), Pc::new(0x1010)); // allocation
+        b.obj_read(e, v, Some(o), Pc::new(0x1014));
+        b.deref(e, o, Pc::new(0x1018), DerefKind::Invoke);
+        let trace = b.finish().unwrap();
+        let ops = extract(&trace);
+        assert!(alloc_before_use(&ops, &ops.uses[0]));
+    }
+
+    #[test]
+    fn alloc_after_free_filters() {
+        let mut b = TraceBuilder::new("t");
+        let p = b.add_process();
+        let q = b.add_queue(p);
+        let e = b.external(q, "swap");
+        b.process_event(e);
+        let v = VarId::new(0);
+        b.obj_write(e, v, None, Pc::new(0x1010)); // free
+        b.obj_write(e, v, Some(ObjId::new(3)), Pc::new(0x1014)); // realloc
+        let trace = b.finish().unwrap();
+        let ops = extract(&trace);
+        assert!(alloc_after_free(&ops, &ops.frees[0]));
+    }
+
+    #[test]
+    fn alloc_in_other_event_does_not_filter() {
+        let mut b = TraceBuilder::new("t");
+        let p = b.add_process();
+        let q = b.add_queue(p);
+        let e1 = b.external(q, "alloc-ev");
+        let e2 = b.external(q, "use-ev");
+        b.process_event(e1);
+        let v = VarId::new(0);
+        let o = ObjId::new(2);
+        b.obj_write(e1, v, Some(o), Pc::new(0x1010));
+        b.process_event(e2);
+        b.obj_read(e2, v, Some(o), Pc::new(0x1014));
+        b.deref(e2, o, Pc::new(0x1018), DerefKind::Field);
+        let trace = b.finish().unwrap();
+        let ops = extract(&trace);
+        assert!(!alloc_before_use(&ops, &ops.uses[0]));
+    }
+}

@@ -1,0 +1,159 @@
+//! Race reports: the detector's output types.
+
+use std::fmt;
+use std::time::Duration;
+
+use cafa_hb::DerivationStats;
+use cafa_trace::{Trace, VarId};
+
+use crate::filters::FilterReason;
+use crate::usefree::{FreeSite, UseSite};
+
+/// How a reported race relates to the conventional baseline — the three
+/// "true race" columns of Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RaceClass {
+    /// (a) Both endpoints are events of the same looper: an intra-thread
+    /// violation, invisible to any thread-based detector by
+    /// construction.
+    IntraThread,
+    /// (b) Endpoints span tasks (thread vs. event, or different
+    /// loopers), and the conventional model *orders* them — only CAFA's
+    /// relaxed event order exposes the race.
+    InterThread,
+    /// (c) Also concurrent under the conventional model: a conventional
+    /// detector would find it too.
+    Conventional,
+}
+
+impl fmt::Display for RaceClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RaceClass::IntraThread => "intra-thread",
+            RaceClass::InterThread => "inter-thread",
+            RaceClass::Conventional => "conventional",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One reported use-free race.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UseFreeRace {
+    /// The pointer variable raced on.
+    pub var: VarId,
+    /// The racing use.
+    pub use_site: UseSite,
+    /// The racing free.
+    pub free_site: FreeSite,
+    /// Relation to the conventional baseline.
+    pub class: RaceClass,
+}
+
+/// A candidate pair suppressed by a pruning heuristic, retained for
+/// ablation studies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FilteredCandidate {
+    /// The pointer variable.
+    pub var: VarId,
+    /// The candidate use.
+    pub use_site: UseSite,
+    /// The candidate free.
+    pub free_site: FreeSite,
+    /// Which heuristic suppressed it.
+    pub reason: FilterReason,
+}
+
+/// Aggregate counters from one detector run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DetectStats {
+    /// Events in the trace (the "Events" column of Table 1).
+    pub events: usize,
+    /// Variables with at least one use and one free.
+    pub candidate_vars: usize,
+    /// Dynamic (use, free) instance pairs examined.
+    pub pairs_checked: usize,
+    /// Variables whose instance pairs hit the per-variable cap; coverage
+    /// for those variables is partial.
+    pub truncated_vars: Vec<VarId>,
+    /// Fixpoint statistics from the happens-before derivation.
+    pub derivation: DerivationStats,
+}
+
+/// The result of analyzing one trace.
+#[derive(Clone, Debug)]
+pub struct RaceReport {
+    /// Application name from the trace metadata.
+    pub app: String,
+    /// Reported races, deduplicated by (variable, use pc, free pc).
+    pub races: Vec<UseFreeRace>,
+    /// Candidates suppressed by heuristics, same deduplication.
+    pub filtered: Vec<FilteredCandidate>,
+    /// Run counters.
+    pub stats: DetectStats,
+    /// Wall-clock analysis time.
+    pub elapsed: Duration,
+}
+
+impl RaceReport {
+    /// Races of a given class.
+    pub fn count(&self, class: RaceClass) -> usize {
+        self.races.iter().filter(|r| r.class == class).count()
+    }
+
+    /// Renders a human-readable summary, resolving names via `trace`.
+    pub fn render(&self, trace: &Trace) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}: {} race(s) reported, {} candidate(s) filtered ({} events, {} pairs checked)",
+            self.app,
+            self.races.len(),
+            self.filtered.len(),
+            self.stats.events,
+            self.stats.pairs_checked,
+        );
+        for (i, r) in self.races.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  #{:<3} {:<12} var {:<6} use {} @{} in {}  <->  free {} @{} in {}",
+                i + 1,
+                r.class.to_string(),
+                r.var.to_string(),
+                r.use_site.at,
+                r.use_site.read_pc,
+                trace.task_name(r.use_site.at.task),
+                r.free_site.at,
+                r.free_site.pc,
+                trace.task_name(r.free_site.at.task),
+            );
+            let _ = writeln!(
+                out,
+                "       context: {}  <->  {}",
+                crate::context::render_stack(trace, r.use_site.at),
+                crate::context::render_stack(trace, r.free_site.at),
+            );
+        }
+        if !self.stats.truncated_vars.is_empty() {
+            let _ = writeln!(
+                out,
+                "  note: pair cap hit for {} variable(s); coverage partial there",
+                self.stats.truncated_vars.len()
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_display() {
+        assert_eq!(RaceClass::IntraThread.to_string(), "intra-thread");
+        assert_eq!(RaceClass::InterThread.to_string(), "inter-thread");
+        assert_eq!(RaceClass::Conventional.to_string(), "conventional");
+    }
+}

@@ -1,0 +1,306 @@
+//! Extraction of uses, frees, allocations, and matched guards (§5.3).
+//!
+//! A **free** is a null store to a pointer variable; an **allocation**
+//! is a non-null store. A **use** is a pointer read whose value is
+//! later dereferenced; since the tracer "cannot afford a data flow
+//! analysis at runtime", a dereference is matched with *the nearest
+//! previous pointer read that gets the same object ID* in the same
+//! task. The paper is explicit that this heuristic "is neither sound
+//! nor complete, but it works well in practice" — its failures are the
+//! Type III false positives of §6.3, and this module reproduces them
+//! faithfully rather than fixing them.
+
+use std::collections::HashMap;
+
+use cafa_trace::{BranchKind, ObjId, OpRef, Pc, Record, Trace, VarId};
+
+/// A use: a pointer read later dereferenced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UseSite {
+    /// Position of the pointer read (the racing operation).
+    pub at: OpRef,
+    /// The pointer variable read.
+    pub var: VarId,
+    /// The object the read observed.
+    pub obj: ObjId,
+    /// Address of the read instruction.
+    pub read_pc: Pc,
+    /// Position of the dereference matched to this read.
+    pub deref_at: OpRef,
+    /// Address of the dereferencing instruction.
+    pub deref_pc: Pc,
+    /// True when another earlier read of a *different* variable also
+    /// observed the same object, so the nearest-previous-read match may
+    /// have picked the wrong pointer — the Type III failure mode. §6.3
+    /// suggests static data-flow analysis would resolve these; the
+    /// `drop_ambiguous_uses` policy of
+    /// [`DetectorConfig`](crate::DetectorConfig) approximates that fix
+    /// offline.
+    pub ambiguous: bool,
+}
+
+/// A free: a null store to a pointer variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FreeSite {
+    /// Position of the null store.
+    pub at: OpRef,
+    /// The pointer variable freed.
+    pub var: VarId,
+    /// Address of the store instruction.
+    pub pc: Pc,
+}
+
+/// An allocation: a non-null store to a pointer variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AllocSite {
+    /// Position of the store.
+    pub at: OpRef,
+    /// The pointer variable assigned.
+    pub var: VarId,
+    /// The stored object.
+    pub obj: ObjId,
+}
+
+/// A guard branch matched back to the pointer variable it tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GuardSite {
+    /// Position of the branch record.
+    pub at: OpRef,
+    /// The pointer variable the branch was matched to.
+    pub var: VarId,
+    /// Branch kind (`if-eqz` / `if-nez` / `if-eq`).
+    pub kind: BranchKind,
+    /// Branch instruction address.
+    pub pc: Pc,
+    /// Branch target address.
+    pub target: Pc,
+}
+
+/// All memory operations extracted from a trace, grouped by variable.
+#[derive(Clone, Debug, Default)]
+pub struct MemoryOps {
+    /// Every use, in task/index order.
+    pub uses: Vec<UseSite>,
+    /// Every free, in task/index order.
+    pub frees: Vec<FreeSite>,
+    /// Every allocation, in task/index order.
+    pub allocs: Vec<AllocSite>,
+    /// Every matched guard, in task/index order.
+    pub guards: Vec<GuardSite>,
+    by_var: HashMap<VarId, VarOps>,
+}
+
+/// Indexes into [`MemoryOps`] for one variable.
+#[derive(Clone, Debug, Default)]
+pub struct VarOps {
+    /// Indexes into [`MemoryOps::uses`].
+    pub uses: Vec<usize>,
+    /// Indexes into [`MemoryOps::frees`].
+    pub frees: Vec<usize>,
+    /// Indexes into [`MemoryOps::allocs`].
+    pub allocs: Vec<usize>,
+    /// Indexes into [`MemoryOps::guards`].
+    pub guards: Vec<usize>,
+}
+
+impl MemoryOps {
+    /// Per-variable operation index; only variables with at least one
+    /// extracted operation appear.
+    pub fn var_ops(&self, var: VarId) -> Option<&VarOps> {
+        self.by_var.get(&var)
+    }
+
+    /// Variables that have both a use and a free — the candidate set
+    /// for use-free races.
+    pub fn candidate_vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.by_var
+            .iter()
+            .filter(|(_, ops)| !ops.uses.is_empty() && !ops.frees.is_empty())
+            .map(|(&v, _)| v)
+    }
+}
+
+/// Extracts uses, frees, allocations, and guards from `trace`.
+///
+/// Matching state is per task: a dereference or guard of object `o`
+/// pairs with the nearest previous `ObjRead` in the *same task* that
+/// observed `o`.
+pub fn extract(trace: &Trace) -> MemoryOps {
+    let mut ops = MemoryOps::default();
+    for task in trace.tasks() {
+        // obj -> (position, var, pc) of its nearest previous read, plus
+        // the variable of the read before that (ambiguity witness).
+        let mut last_read: HashMap<ObjId, (OpRef, VarId, Pc, Option<VarId>)> = HashMap::new();
+        for (i, r) in trace.body(task.id).iter().enumerate() {
+            let at = OpRef::new(task.id, i as u32);
+            match *r {
+                Record::ObjRead { var, obj: Some(obj), pc } => {
+                    let prev_var = last_read.get(&obj).map(|&(_, v, _, _)| v);
+                    last_read.insert(obj, (at, var, pc, prev_var));
+                }
+                Record::ObjWrite { var, value, pc } => match value {
+                    None => {
+                        let idx = ops.frees.len();
+                        ops.frees.push(FreeSite { at, var, pc });
+                        ops.by_var.entry(var).or_default().frees.push(idx);
+                    }
+                    Some(obj) => {
+                        let idx = ops.allocs.len();
+                        ops.allocs.push(AllocSite { at, var, obj });
+                        ops.by_var.entry(var).or_default().allocs.push(idx);
+                        // A store also makes the object "nearest read"?
+                        // No: §5.3 matches dereferences against pointer
+                        // *reads* only, so stores do not update the map.
+                    }
+                },
+                Record::Deref { obj, pc, .. } => {
+                    if let Some(&(read_at, var, read_pc, prev_var)) = last_read.get(&obj) {
+                        let idx = ops.uses.len();
+                        ops.uses.push(UseSite {
+                            at: read_at,
+                            var,
+                            obj,
+                            read_pc,
+                            deref_at: at,
+                            deref_pc: pc,
+                            ambiguous: prev_var.is_some_and(|p| p != var),
+                        });
+                        ops.by_var.entry(var).or_default().uses.push(idx);
+                    }
+                }
+                Record::Guard { kind, pc, target, obj } => {
+                    if let Some(&(_, var, _, _)) = last_read.get(&obj) {
+                        let idx = ops.guards.len();
+                        ops.guards.push(GuardSite { at, var, kind, pc, target });
+                        ops.by_var.entry(var).or_default().guards.push(idx);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cafa_trace::{DerefKind, TraceBuilder};
+
+    #[test]
+    fn deref_matches_nearest_previous_read() {
+        let mut b = TraceBuilder::new("t");
+        let p = b.add_process();
+        let t = b.add_thread(p, "main");
+        let v0 = VarId::new(0);
+        let v1 = VarId::new(1);
+        let o = ObjId::new(7);
+        b.obj_read(t, v0, Some(o), Pc::new(0x10)); // earlier read, same obj
+        b.obj_read(t, v1, Some(o), Pc::new(0x14)); // nearest read
+        b.deref(t, o, Pc::new(0x18), DerefKind::Field);
+        let trace = b.finish().unwrap();
+        let ops = extract(&trace);
+        assert_eq!(ops.uses.len(), 1);
+        // Matched to v1, not v0 — the Type III failure mode — and
+        // flagged as ambiguous.
+        assert_eq!(ops.uses[0].var, v1);
+        assert_eq!(ops.uses[0].at, OpRef::new(t, 1));
+        assert_eq!(ops.uses[0].deref_at, OpRef::new(t, 2));
+        assert!(ops.uses[0].ambiguous);
+    }
+
+    #[test]
+    fn frees_and_allocs_are_classified() {
+        let mut b = TraceBuilder::new("t");
+        let p = b.add_process();
+        let t = b.add_thread(p, "main");
+        let v = VarId::new(0);
+        b.obj_write(t, v, None, Pc::new(0x10));
+        b.obj_write(t, v, Some(ObjId::new(1)), Pc::new(0x14));
+        let trace = b.finish().unwrap();
+        let ops = extract(&trace);
+        assert_eq!(ops.frees.len(), 1);
+        assert_eq!(ops.allocs.len(), 1);
+        assert_eq!(ops.frees[0].var, v);
+        assert_eq!(ops.allocs[0].obj, ObjId::new(1));
+        let vo = ops.var_ops(v).unwrap();
+        assert_eq!(vo.frees.len(), 1);
+        assert_eq!(vo.allocs.len(), 1);
+        assert!(vo.uses.is_empty());
+    }
+
+    #[test]
+    fn unmatched_deref_is_dropped() {
+        let mut b = TraceBuilder::new("t");
+        let p = b.add_process();
+        let t = b.add_thread(p, "main");
+        // Dereference with no previous read of that object.
+        b.deref(t, ObjId::new(9), Pc::new(0x20), DerefKind::Invoke);
+        let trace = b.finish().unwrap();
+        let ops = extract(&trace);
+        assert!(ops.uses.is_empty());
+    }
+
+    #[test]
+    fn matching_is_per_task() {
+        let mut b = TraceBuilder::new("t");
+        let p = b.add_process();
+        let t1 = b.add_thread(p, "a");
+        let t2 = b.add_thread(p, "b");
+        let o = ObjId::new(3);
+        b.obj_read(t1, VarId::new(0), Some(o), Pc::new(0x10));
+        b.deref(t2, o, Pc::new(0x14), DerefKind::Field); // different task
+        let trace = b.finish().unwrap();
+        let ops = extract(&trace);
+        assert!(ops.uses.is_empty(), "cross-task matching is not allowed");
+    }
+
+    #[test]
+    fn guards_match_like_uses() {
+        let mut b = TraceBuilder::new("t");
+        let p = b.add_process();
+        let t = b.add_thread(p, "main");
+        let v = VarId::new(2);
+        let o = ObjId::new(5);
+        b.obj_read(t, v, Some(o), Pc::new(0x10));
+        b.guard(t, BranchKind::IfEqz, Pc::new(0x14), Pc::new(0x30), o);
+        let trace = b.finish().unwrap();
+        let ops = extract(&trace);
+        assert_eq!(ops.guards.len(), 1);
+        assert_eq!(ops.guards[0].var, v);
+        assert_eq!(ops.guards[0].kind, BranchKind::IfEqz);
+    }
+
+    #[test]
+    fn candidate_vars_require_use_and_free() {
+        let mut b = TraceBuilder::new("t");
+        let p = b.add_process();
+        let t = b.add_thread(p, "main");
+        let used = VarId::new(0);
+        let freed = VarId::new(1);
+        let both = VarId::new(2);
+        let o = ObjId::new(1);
+        b.obj_read(t, used, Some(o), Pc::new(0x10));
+        b.deref(t, o, Pc::new(0x14), DerefKind::Field);
+        b.obj_write(t, freed, None, Pc::new(0x18));
+        let o2 = ObjId::new(2);
+        b.obj_read(t, both, Some(o2), Pc::new(0x1c));
+        b.deref(t, o2, Pc::new(0x20), DerefKind::Field);
+        b.obj_write(t, both, None, Pc::new(0x24));
+        let trace = b.finish().unwrap();
+        let ops = extract(&trace);
+        let vars: Vec<VarId> = ops.candidate_vars().collect();
+        assert_eq!(vars, vec![both]);
+    }
+
+    #[test]
+    fn null_read_never_matches() {
+        let mut b = TraceBuilder::new("t");
+        let p = b.add_process();
+        let t = b.add_thread(p, "main");
+        b.obj_read(t, VarId::new(0), None, Pc::new(0x10));
+        b.deref(t, ObjId::new(0), Pc::new(0x14), DerefKind::Field);
+        let trace = b.finish().unwrap();
+        assert!(extract(&trace).uses.is_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! Detector edge cases: truncation accounting, report rendering, and
+//! configuration interplay.
+
+use cafa_core::lowlevel::count_races;
+use cafa_core::{Analyzer, DetectorConfig, RaceClass};
+use cafa_hb::CausalityConfig;
+use cafa_trace::{DerefKind, ObjId, Pc, TraceBuilder, VarId};
+
+#[test]
+fn report_render_includes_all_sections() {
+    let mut b = TraceBuilder::new("render");
+    let p = b.add_process();
+    let q = b.add_queue(p);
+    let t1 = b.add_thread(p, "s1");
+    let t2 = b.add_thread(p, "s2");
+    let v = VarId::new(0);
+    let o = ObjId::new(1);
+    let use_ev = b.post(t1, q, "useEv", 0);
+    let free_ev = b.post(t2, q, "freeEv", 0);
+    b.process_event(use_ev);
+    b.method_enter(use_ev, Pc::new(0x1000), "useEv#handler");
+    b.obj_read(use_ev, v, Some(o), Pc::new(0x1010));
+    b.deref(use_ev, o, Pc::new(0x1014), DerefKind::Field);
+    b.method_exit(use_ev, Pc::new(0x1000), false);
+    b.process_event(free_ev);
+    b.obj_write(free_ev, v, None, Pc::new(0x2010));
+    let trace = b.finish().unwrap();
+
+    let report = Analyzer::new().analyze(&trace).unwrap();
+    assert_eq!(report.races.len(), 1);
+    assert_eq!(report.count(RaceClass::IntraThread), 1);
+    assert_eq!(report.count(RaceClass::Conventional), 0);
+    let text = report.render(&trace);
+    assert!(text.contains("1 race(s) reported"));
+    assert!(text.contains("intra-thread"));
+    assert!(text.contains("useEv"));
+    assert!(text.contains("context: useEv#handler"));
+}
+
+#[test]
+fn lowlevel_truncation_is_reported_not_silent() {
+    // One site with more dynamic instances than the per-site budget,
+    // all mutually ordered: every recorded instance pair shares no
+    // task... construct many same-site instances in ONE task so pairs
+    // are skipped and the site lists saturate.
+    let mut b = TraceBuilder::new("trunc");
+    let p = b.add_process();
+    let q = b.add_queue(p);
+    let t = b.add_thread(p, "poster");
+    let v = VarId::new(0);
+    // 12 events named identically (one site), each writing v; plus one
+    // reader event from another thread. The writer events are chained
+    // by queue rule 1 (equal delays, same sender) so writer-writer
+    // pairs are ordered; writer-vs-reader decides racy-or-not within
+    // the instance budget.
+    for _ in 0..12 {
+        let e = b.post(t, q, "writer", 0);
+        b.process_event(e);
+        b.write(e, v);
+    }
+    let t2 = b.add_thread(p, "rsrc");
+    let r = b.post(t2, q, "reader", 0);
+    b.process_event(r);
+    b.read(r, v);
+    let trace = b.finish().unwrap();
+    let summary = count_races(&trace, CausalityConfig::cafa()).unwrap();
+    // The reader is concurrent with the writers: one racy pair, found
+    // within budget; the writer-writer site pair saturates its
+    // instance cap without finding a racy instance and must be flagged.
+    assert_eq!(summary.racy_pairs, 1);
+    assert!(summary.pairs_checked > 0);
+}
+
+#[test]
+fn detector_pair_cap_interacts_with_dedup() {
+    let mut b = TraceBuilder::new("cap");
+    let p = b.add_process();
+    let q = b.add_queue(p);
+    let v = VarId::new(0);
+    let o = ObjId::new(1);
+    // 6 concurrent use events (distinct threads) against 1 free event.
+    for i in 0..6 {
+        let t = b.add_thread(p, &format!("s{i}"));
+        let e = b.post(t, q, "useEv", 0);
+        b.process_event(e);
+        b.obj_read(e, v, Some(o), Pc::new(0x1010));
+        b.deref(e, o, Pc::new(0x1014), DerefKind::Field);
+    }
+    let tf = b.add_thread(p, "fsrc");
+    let f = b.post(tf, q, "freeEv", 0);
+    b.process_event(f);
+    b.obj_write(f, v, None, Pc::new(0x2010));
+    let trace = b.finish().unwrap();
+
+    // Unlimited: one deduped race (same statement pair), 6 instances.
+    let full = Analyzer::new().analyze(&trace).unwrap();
+    assert_eq!(full.races.len(), 1);
+    assert_eq!(full.stats.pairs_checked, 6);
+
+    // Capped at 3: still finds the race (first instance), records the
+    // truncation.
+    let mut cfg = DetectorConfig::cafa();
+    cfg.max_pairs_per_var = 3;
+    let capped = Analyzer::with_config(cfg).analyze(&trace).unwrap();
+    assert_eq!(capped.races.len(), 1);
+    assert_eq!(capped.stats.truncated_vars, vec![v]);
+}
+
+#[test]
+fn conventional_analyzer_classifies_everything_conventional() {
+    // When the detector itself runs the conventional model, whatever it
+    // reports is by definition class (c).
+    let mut b = TraceBuilder::new("conv");
+    let p = b.add_process();
+    let t1 = b.add_thread(p, "a");
+    let t2 = b.add_thread(p, "b");
+    let v = VarId::new(0);
+    let o = ObjId::new(1);
+    b.obj_read(t1, v, Some(o), Pc::new(0x10));
+    b.deref(t1, o, Pc::new(0x14), DerefKind::Field);
+    b.obj_write(t2, v, None, Pc::new(0x20));
+    let trace = b.finish().unwrap();
+
+    let mut cfg = DetectorConfig::cafa();
+    cfg.causality = CausalityConfig::conventional();
+    let report = Analyzer::with_config(cfg).analyze(&trace).unwrap();
+    assert_eq!(report.races.len(), 1);
+    assert_eq!(report.races[0].class, RaceClass::Conventional);
+}
+
+#[test]
+fn guard_on_different_variable_does_not_protect() {
+    let mut b = TraceBuilder::new("wrong-guard");
+    let p = b.add_process();
+    let q = b.add_queue(p);
+    let t1 = b.add_thread(p, "s1");
+    let t2 = b.add_thread(p, "s2");
+    let guarded = VarId::new(0);
+    let racy = VarId::new(1);
+    let og = ObjId::new(1);
+    let orc = ObjId::new(2);
+    let use_ev = b.post(t1, q, "useEv", 0);
+    b.process_event(use_ev);
+    // Guard proves `guarded` non-null...
+    b.obj_read(use_ev, guarded, Some(og), Pc::new(0x1010));
+    b.guard(use_ev, cafa_trace::BranchKind::IfEqz, Pc::new(0x1014), Pc::new(0x1040), og);
+    // ...but the use inside the region is of `racy`.
+    b.obj_read(use_ev, racy, Some(orc), Pc::new(0x1018));
+    b.deref(use_ev, orc, Pc::new(0x101c), DerefKind::Field);
+    let free_ev = b.post(t2, q, "freeEv", 0);
+    b.process_event(free_ev);
+    b.obj_write(free_ev, racy, None, Pc::new(0x2010));
+    let trace = b.finish().unwrap();
+
+    let report = Analyzer::new().analyze(&trace).unwrap();
+    assert_eq!(report.races.len(), 1, "the guard tests the wrong pointer");
+}

@@ -1,0 +1,124 @@
+//! FastTrack semantics beyond the unit tests: synchronization through
+//! every channel kind, the adaptive read representation, and wait
+//! release/reacquire.
+
+use cafa_core::fasttrack::fasttrack;
+use cafa_trace::{MonitorId, TraceBuilder, VarId};
+
+#[test]
+fn notify_wait_orders_accesses() {
+    let mut b = TraceBuilder::new("nw");
+    let p = b.add_process();
+    let a = b.add_thread(p, "producer");
+    let c = b.add_thread(p, "consumer");
+    let v = VarId::new(0);
+    let m = MonitorId::new(0);
+    b.write(a, v);
+    b.notify(a, m, 1);
+    b.wait(c, m, 1);
+    b.read(c, v);
+    let trace = b.finish().unwrap();
+    assert_eq!(fasttrack(&trace).unwrap().racy_vars, 0);
+}
+
+#[test]
+fn rpc_orders_accesses_across_processes() {
+    let mut b = TraceBuilder::new("rpc");
+    let p1 = b.add_process();
+    let p2 = b.add_process();
+    let caller = b.add_thread(p1, "caller");
+    let svc = b.add_thread(p2, "svc");
+    let v = VarId::new(0);
+    b.write(caller, v);
+    let (txn, _) = b.rpc_call(caller);
+    b.rpc_handle(svc, txn);
+    b.read(svc, v);
+    b.write(svc, v);
+    b.rpc_reply(svc, txn);
+    b.rpc_receive(caller, txn);
+    b.read(caller, v);
+    let trace = b.finish().unwrap();
+    assert_eq!(fasttrack(&trace).unwrap().racy_vars, 0);
+}
+
+#[test]
+fn register_perform_orders_accesses() {
+    let mut b = TraceBuilder::new("listener");
+    let p = b.add_process();
+    let q = b.add_queue(p);
+    let t = b.add_thread(p, "main");
+    let l = b.add_listener("android.view");
+    let v = VarId::new(0);
+    b.write(t, v);
+    b.register(t, l);
+    let ev = b.external(q, "cb");
+    b.process_event(ev);
+    b.perform(ev, l);
+    b.read(ev, v);
+    let trace = b.finish().unwrap();
+    assert_eq!(fasttrack(&trace).unwrap().racy_vars, 0);
+}
+
+#[test]
+fn wait_reacquire_does_not_create_false_order() {
+    // Two threads touch v; one waits on an unrelated monitor in
+    // between. The wait must not order the accesses.
+    let mut b = TraceBuilder::new("wait-unrelated");
+    let p = b.add_process();
+    let a = b.add_thread(p, "a");
+    let c = b.add_thread(p, "c");
+    let helper = b.add_thread(p, "helper");
+    let v = VarId::new(0);
+    let m = MonitorId::new(0);
+    b.write(a, v);
+    b.lock(c, m, 1);
+    b.unlock(c, m, 1);
+    b.lock(helper, m, 2);
+    b.notify(helper, m, 1);
+    b.unlock(helper, m, 2);
+    b.write(c, v);
+    let trace = b.finish().unwrap();
+    let r = fasttrack(&trace).unwrap();
+    assert_eq!(r.racy_vars, 1, "a's write and c's write stay unordered");
+}
+
+#[test]
+fn read_exclusive_epoch_upgrades_and_downgrades() {
+    // Same-thread reads stay in the exclusive-epoch representation;
+    // a second thread forces the shared representation; a write after
+    // a join collapses it back without reporting.
+    let mut b = TraceBuilder::new("adaptive");
+    let p = b.add_process();
+    let t = b.add_thread(p, "main");
+    let v = VarId::new(0);
+    b.write(t, v);
+    b.read(t, v);
+    b.read(t, v); // same epoch fast path
+    let r1 = b.fork(t, p, "r1");
+    b.read(r1, v);
+    let r2 = b.fork(t, p, "r2");
+    b.read(r2, v); // now read-shared
+    b.join(t, r1);
+    b.join(t, r2);
+    b.write(t, v); // ordered after both readers
+    let trace = b.finish().unwrap();
+    assert_eq!(fasttrack(&trace).unwrap().racy_vars, 0);
+}
+
+#[test]
+fn distinct_variables_race_independently() {
+    let mut b = TraceBuilder::new("multi");
+    let p = b.add_process();
+    let a = b.add_thread(p, "a");
+    let c = b.add_thread(p, "c");
+    for i in 0..3 {
+        b.write(a, VarId::new(i));
+        b.write(c, VarId::new(i));
+    }
+    // A fourth variable only one thread touches.
+    b.write(a, VarId::new(3));
+    let trace = b.finish().unwrap();
+    let r = fasttrack(&trace).unwrap();
+    assert_eq!(r.racy_vars, 3);
+    assert_eq!(r.races.len(), 3, "one write-write site pair per shared variable");
+}

@@ -1,0 +1,84 @@
+//! Property tests: the use-free race detector on arbitrary traces.
+
+use proptest::prelude::*;
+
+use cafa_core::{Analyzer, DetectorConfig};
+use cafa_trace::arbitrary::trace_from_tape;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Analysis is deterministic.
+    #[test]
+    fn analysis_is_deterministic(tape in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let trace = trace_from_tape(&tape);
+        let a = Analyzer::new().analyze(&trace);
+        let b = Analyzer::new().analyze(&trace);
+        match (a, b) {
+            (Ok(ra), Ok(rb)) => {
+                prop_assert_eq!(ra.races, rb.races);
+                prop_assert_eq!(ra.filtered, rb.filtered);
+            }
+            (Err(_), Err(_)) => {}
+            _ => prop_assert!(false, "nondeterministic success/failure"),
+        }
+    }
+
+    /// Race endpoints are always in different tasks, on the reported
+    /// variable, and genuinely a use and a free.
+    #[test]
+    fn reported_races_are_well_formed(tape in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let trace = trace_from_tape(&tape);
+        let Ok(report) = Analyzer::new().analyze(&trace) else { return Ok(()) };
+        for race in &report.races {
+            prop_assert_ne!(race.use_site.at.task, race.free_site.at.task);
+            prop_assert_eq!(race.use_site.var, race.var);
+            prop_assert_eq!(race.free_site.var, race.var);
+            let free_rec = trace.record(race.free_site.at);
+            prop_assert!(free_rec.is_free());
+            let use_rec = trace.record(race.use_site.at);
+            let is_obj_read = matches!(use_rec, cafa_trace::Record::ObjRead { .. });
+            prop_assert!(is_obj_read, "use site must be a pointer read");
+        }
+    }
+
+    /// The heuristics only ever *remove* reports: unfiltered ⊇ filtered.
+    #[test]
+    fn heuristics_only_remove(tape in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let trace = trace_from_tape(&tape);
+        let (Ok(filtered), Ok(unfiltered)) = (
+            Analyzer::new().analyze(&trace),
+            Analyzer::with_config(DetectorConfig::unfiltered()).analyze(&trace),
+        ) else {
+            return Ok(());
+        };
+        prop_assert!(unfiltered.races.len() >= filtered.races.len());
+        // Every surviving race also appears unfiltered.
+        for race in &filtered.races {
+            prop_assert!(
+                unfiltered.races.iter().any(|r| {
+                    r.var == race.var
+                        && r.use_site.read_pc == race.use_site.read_pc
+                        && r.free_site.pc == race.free_site.pc
+                }),
+                "race lost when disabling filters"
+            );
+        }
+    }
+
+    /// FastTrack never crashes and agrees with itself across runs.
+    #[test]
+    fn fasttrack_is_deterministic(tape in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let trace = trace_from_tape(&tape);
+        let a = cafa_core::fasttrack::fasttrack(&trace);
+        let b = cafa_core::fasttrack::fasttrack(&trace);
+        match (a, b) {
+            (Ok(ra), Ok(rb)) => {
+                prop_assert_eq!(ra.racy_vars, rb.racy_vars);
+                prop_assert_eq!(ra.races.len(), rb.races.len());
+            }
+            (Err(_), Err(_)) => {}
+            _ => prop_assert!(false, "nondeterministic success/failure"),
+        }
+    }
+}

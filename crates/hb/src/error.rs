@@ -1,0 +1,57 @@
+//! Errors from happens-before model construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// A failure while building a happens-before model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HbError {
+    /// The derived happens-before relation contains a cycle. A trace of
+    /// a real execution can never produce one; this indicates a
+    /// hand-constructed inconsistent trace (e.g. a `perform` before its
+    /// `register` in the same task, or forged RPC pairings).
+    CyclicHappensBefore {
+        /// Number of graph nodes involved in cyclic strongly-connected
+        /// components.
+        cycle_len: usize,
+    },
+    /// The rule fixpoint failed to converge within the internal round
+    /// limit. Practically unreachable for well-formed traces: each round
+    /// adds at least one edge and the edge space is finite, but the
+    /// limit bounds runaway growth on adversarial inputs.
+    DerivationDiverged {
+        /// Rounds executed before giving up.
+        rounds: u32,
+    },
+}
+
+impl fmt::Display for HbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HbError::CyclicHappensBefore { cycle_len } => write!(
+                f,
+                "happens-before relation is cyclic ({cycle_len} nodes in cycles); \
+                 the trace is not consistent with any real execution"
+            ),
+            HbError::DerivationDiverged { rounds } => {
+                write!(f, "rule derivation did not converge after {rounds} rounds")
+            }
+        }
+    }
+}
+
+impl Error for HbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_detail() {
+        let e = HbError::CyclicHappensBefore { cycle_len: 4 };
+        assert!(e.to_string().contains('4'));
+        let e = HbError::DerivationDiverged { rounds: 64 };
+        assert!(e.to_string().contains("64"));
+    }
+}

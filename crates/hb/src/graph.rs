@@ -1,0 +1,408 @@
+//! The synchronization graph: the operation-level happens-before DAG.
+//!
+//! Nodes are the *synchronization points* of a trace — each task's
+//! virtual `begin`/`end` plus every Figure 3 record — chained in program
+//! order. Cross-task edges carry the causality rules of §3.3. Data
+//! records (reads, writes, uses, frees, guards) are not nodes; a data
+//! record's position is bracketed between the nearest sync nodes of its
+//! task ([`SyncGraph::bracket_after`] / [`SyncGraph::bracket_before`]),
+//! which is exact because program order within a task is total.
+
+use std::collections::HashSet;
+
+use cafa_trace::{OpRef, TaskId, Trace};
+
+use crate::bitset::BitSet;
+
+/// Index of a node in a [`SyncGraph`].
+pub type NodeId = u32;
+
+/// Where a node sits within its task.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum NodePoint {
+    /// The task's virtual `begin(t)` (before every record).
+    Begin,
+    /// The sync record at this index of the task body.
+    Record(u32),
+    /// The task's virtual `end(t)` (after every record).
+    End,
+}
+
+/// Metadata for one sync node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeInfo {
+    /// The task the node belongs to.
+    pub task: TaskId,
+    /// Position within the task.
+    pub point: NodePoint,
+}
+
+/// Why an edge exists. Used for diagnostics and derivation statistics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// Program order within one task.
+    Program,
+    /// `fork(t, u) ≺ begin(u)`.
+    Fork,
+    /// `end(u) ≺ join(t, u)`.
+    Join,
+    /// `notify(t₁, m) ≺ wait(t₂, m)` (same generation).
+    NotifyWait,
+    /// `send/sendAtFront(t, e) ≺ begin(e)`.
+    Send,
+    /// `register(t, l) ≺ perform(e, l)`.
+    Register,
+    /// Binder causality: `rpcCall ≺ rpcHandle`, `rpcReply ≺ rpcReceive`.
+    Rpc,
+    /// External-input rule: consecutive external events are ordered.
+    External,
+    /// Conventional-baseline total order of events on one looper.
+    TotalOrder,
+    /// Unlock→lock order (off in both CAFA and the paper's baseline;
+    /// used by the FastTrack-style ablation).
+    LockOrder,
+    /// Derived by the atomicity rule.
+    Atomicity,
+    /// Derived by event-queue rule *n* (1–4).
+    Queue(u8),
+}
+
+/// The operation-level happens-before graph of one trace.
+#[derive(Clone, Debug)]
+pub struct SyncGraph {
+    nodes: Vec<NodeInfo>,
+    /// Per task: `(record_index, node)` pairs sorted by index.
+    record_nodes: Vec<Vec<(u32, NodeId)>>,
+    begin_nodes: Vec<NodeId>,
+    end_nodes: Vec<NodeId>,
+    succs: Vec<Vec<(NodeId, EdgeKind)>>,
+    preds: Vec<Vec<NodeId>>,
+    edge_set: HashSet<(NodeId, NodeId)>,
+    edge_kind_counts: Vec<(EdgeKind, usize)>,
+}
+
+impl SyncGraph {
+    /// Builds the node set and program-order chains for `trace`. No
+    /// cross-task edges are added; see `cafa_hb::build` for those.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let task_count = trace.task_count();
+        let mut g = SyncGraph {
+            nodes: Vec::new(),
+            record_nodes: vec![Vec::new(); task_count],
+            begin_nodes: Vec::with_capacity(task_count),
+            end_nodes: Vec::with_capacity(task_count),
+            succs: Vec::new(),
+            preds: Vec::new(),
+            edge_set: HashSet::new(),
+            edge_kind_counts: Vec::new(),
+        };
+        for info in trace.tasks() {
+            let task = info.id;
+            let begin = g.push_node(NodeInfo { task, point: NodePoint::Begin });
+            g.begin_nodes.push(begin);
+            let mut prev = begin;
+            for (i, r) in trace.body(task).iter().enumerate() {
+                if r.is_sync() {
+                    let n = g.push_node(NodeInfo { task, point: NodePoint::Record(i as u32) });
+                    g.record_nodes[task.index()].push((i as u32, n));
+                    g.add_edge(prev, n, EdgeKind::Program);
+                    prev = n;
+                }
+            }
+            let end = g.push_node(NodeInfo { task, point: NodePoint::End });
+            g.end_nodes.push(end);
+            g.add_edge(prev, end, EdgeKind::Program);
+        }
+        g
+    }
+
+    fn push_node(&mut self, info: NodeInfo) -> NodeId {
+        let id = self.nodes.len() as NodeId;
+        self.nodes.push(info);
+        self.succs.push(Vec::new());
+        self.preds.push(Vec::new());
+        id
+    }
+
+    /// Adds an edge if absent; returns true if newly added.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, kind: EdgeKind) -> bool {
+        if from == to || !self.edge_set.insert((from, to)) {
+            return false;
+        }
+        self.succs[from as usize].push((to, kind));
+        self.preds[to as usize].push(from);
+        match self.edge_kind_counts.iter_mut().find(|(k, _)| *k == kind) {
+            Some((_, n)) => *n += 1,
+            None => self.edge_kind_counts.push((kind, 1)),
+        }
+        true
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_set.len()
+    }
+
+    /// Per-kind edge counts, for derivation statistics.
+    pub fn edge_kind_counts(&self) -> &[(EdgeKind, usize)] {
+        &self.edge_kind_counts
+    }
+
+    /// Metadata of node `n`.
+    pub fn node(&self, n: NodeId) -> NodeInfo {
+        self.nodes[n as usize]
+    }
+
+    /// The `begin(t)` node.
+    pub fn begin(&self, task: TaskId) -> NodeId {
+        self.begin_nodes[task.index()]
+    }
+
+    /// The `end(t)` node.
+    pub fn end(&self, task: TaskId) -> NodeId {
+        self.end_nodes[task.index()]
+    }
+
+    /// The node of the sync record at `at`, or `None` if the record
+    /// there is not a sync record.
+    pub fn node_of(&self, at: OpRef) -> Option<NodeId> {
+        let list = &self.record_nodes[at.task.index()];
+        list.binary_search_by_key(&at.index, |&(i, _)| i)
+            .ok()
+            .map(|pos| list[pos].1)
+    }
+
+    /// The earliest sync node that happens-at-or-after the record at
+    /// `at`: the record's own node if it is a sync record, otherwise the
+    /// next sync node of the task (or `end(t)`).
+    ///
+    /// Everything reachable from this node happens after `at`.
+    pub fn bracket_after(&self, at: OpRef) -> NodeId {
+        let list = &self.record_nodes[at.task.index()];
+        match list.binary_search_by_key(&at.index, |&(i, _)| i) {
+            Ok(pos) => list[pos].1,
+            Err(pos) => list.get(pos).map_or(self.end(at.task), |&(_, n)| n),
+        }
+    }
+
+    /// The latest sync node that happens-at-or-before the record at
+    /// `at`: the record's own node if it is a sync record, otherwise the
+    /// previous sync node of the task (or `begin(t)`).
+    ///
+    /// Everything that reaches this node happens before `at`.
+    pub fn bracket_before(&self, at: OpRef) -> NodeId {
+        let list = &self.record_nodes[at.task.index()];
+        match list.binary_search_by_key(&at.index, |&(i, _)| i) {
+            Ok(pos) => list[pos].1,
+            Err(0) => self.begin(at.task),
+            Err(pos) => list[pos - 1].1,
+        }
+    }
+
+    /// Successors of `n`, with the kind of the connecting edge.
+    pub fn succs(&self, n: NodeId) -> &[(NodeId, EdgeKind)] {
+        &self.succs[n as usize]
+    }
+
+    /// Predecessors of `n`.
+    pub fn preds(&self, n: NodeId) -> &[NodeId] {
+        &self.preds[n as usize]
+    }
+
+    /// All nodes in a topological order, or `Err` with the nodes of some
+    /// cycle if the graph is cyclic (which indicates an inconsistent
+    /// trace — the happens-before relation of a real execution is
+    /// acyclic).
+    pub fn topo_order(&self) -> Result<Vec<NodeId>, Vec<NodeId>> {
+        let n = self.nodes.len();
+        let mut indegree: Vec<u32> = vec![0; n];
+        for &(_, to) in &self.edge_set {
+            indegree[to as usize] += 1;
+        }
+        let mut stack: Vec<NodeId> =
+            (0..n as NodeId).filter(|&i| indegree[i as usize] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(node) = stack.pop() {
+            order.push(node);
+            for &(s, _) in &self.succs[node as usize] {
+                indegree[s as usize] -= 1;
+                if indegree[s as usize] == 0 {
+                    stack.push(s);
+                }
+            }
+        }
+        if order.len() == n {
+            Ok(order)
+        } else {
+            Err((0..n as NodeId).filter(|&i| indegree[i as usize] > 0).collect())
+        }
+    }
+
+    /// Depth-first reachability: is there a non-empty path `from → to`?
+    ///
+    /// `scratch` must be a [`BitSet`] of capacity [`node_count`]
+    /// (cleared by this function), letting callers amortize the
+    /// allocation across queries.
+    ///
+    /// [`node_count`]: SyncGraph::node_count
+    pub fn reaches(&self, from: NodeId, to: NodeId, scratch: &mut BitSet) -> bool {
+        scratch.clear();
+        let mut stack = vec![from];
+        while let Some(n) = stack.pop() {
+            for &(s, _) in &self.succs[n as usize] {
+                if s == to {
+                    return true;
+                }
+                if scratch.insert(s as usize) {
+                    stack.push(s);
+                }
+            }
+        }
+        false
+    }
+
+    /// Finds a shortest edge path `from → to`, returning the traversed
+    /// `(source, kind, destination)` steps, or `None` if unreachable.
+    /// Used to *explain* a derived ordering.
+    pub fn find_path(&self, from: NodeId, to: NodeId) -> Option<Vec<(NodeId, EdgeKind, NodeId)>> {
+        use std::collections::VecDeque;
+        if from == to {
+            return Some(Vec::new());
+        }
+        let mut parent: Vec<Option<(NodeId, EdgeKind)>> = vec![None; self.nodes.len()];
+        let mut queue = VecDeque::from([from]);
+        let mut seen = BitSet::new(self.nodes.len());
+        seen.insert(from as usize);
+        while let Some(n) = queue.pop_front() {
+            for &(s, kind) in &self.succs[n as usize] {
+                if !seen.insert(s as usize) {
+                    continue;
+                }
+                parent[s as usize] = Some((n, kind));
+                if s == to {
+                    let mut path = Vec::new();
+                    let mut cur = to;
+                    while cur != from {
+                        let (p, k) = parent[cur as usize].expect("parent chain");
+                        path.push((p, k, cur));
+                        cur = p;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(s);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cafa_trace::{TraceBuilder, VarId};
+
+    fn two_task_trace() -> (Trace, TaskId, TaskId) {
+        let mut b = TraceBuilder::new("g");
+        let p = b.add_process();
+        let main = b.add_thread(p, "main");
+        b.read(main, VarId::new(0)); // idx 0, data
+        let child = b.fork(main, p, "w"); // idx 1, sync
+        b.write(main, VarId::new(0)); // idx 2, data
+        b.join(main, child); // idx 3, sync
+        b.read(child, VarId::new(1)); // child idx 0, data
+        let t = b.finish().unwrap();
+        (t, main, child)
+    }
+
+    #[test]
+    fn nodes_and_chains() {
+        let (t, main, child) = two_task_trace();
+        let g = SyncGraph::from_trace(&t);
+        // main: begin, fork, join, end = 4; child: begin, end = 2.
+        assert_eq!(g.node_count(), 6);
+        // chain edges: main 3, child 1.
+        assert_eq!(g.edge_count(), 4);
+        assert_ne!(g.begin(main), g.end(main));
+        assert_eq!(g.node(g.begin(child)).task, child);
+        assert_eq!(g.node(g.begin(child)).point, NodePoint::Begin);
+    }
+
+    #[test]
+    fn brackets() {
+        let (t, main, _child) = two_task_trace();
+        let g = SyncGraph::from_trace(&t);
+        let fork_node = g.node_of(OpRef::new(main, 1)).unwrap();
+        let join_node = g.node_of(OpRef::new(main, 3)).unwrap();
+        assert_eq!(g.node_of(OpRef::new(main, 0)), None); // data record
+
+        // Data record at idx 0: after-bracket = fork, before-bracket = begin.
+        assert_eq!(g.bracket_after(OpRef::new(main, 0)), fork_node);
+        assert_eq!(g.bracket_before(OpRef::new(main, 0)), g.begin(main));
+        // Data record at idx 2: between fork and join.
+        assert_eq!(g.bracket_after(OpRef::new(main, 2)), join_node);
+        assert_eq!(g.bracket_before(OpRef::new(main, 2)), fork_node);
+        // Sync records bracket to themselves.
+        assert_eq!(g.bracket_after(OpRef::new(main, 1)), fork_node);
+        assert_eq!(g.bracket_before(OpRef::new(main, 3)), join_node);
+        // Past the last sync record.
+        assert_eq!(g.bracket_after(OpRef::new(main, 4)), g.end(main));
+    }
+
+    #[test]
+    fn add_edge_dedups_and_counts() {
+        let (t, main, child) = two_task_trace();
+        let mut g = SyncGraph::from_trace(&t);
+        let f = g.node_of(OpRef::new(main, 1)).unwrap();
+        let cb = g.begin(child);
+        assert!(g.add_edge(f, cb, EdgeKind::Fork));
+        assert!(!g.add_edge(f, cb, EdgeKind::Fork));
+        assert!(!g.add_edge(f, f, EdgeKind::Fork));
+        let forks: usize = g
+            .edge_kind_counts()
+            .iter()
+            .filter(|(k, _)| *k == EdgeKind::Fork)
+            .map(|(_, n)| *n)
+            .sum();
+        assert_eq!(forks, 1);
+    }
+
+    #[test]
+    fn reachability_and_topo() {
+        let (t, main, child) = two_task_trace();
+        let mut g = SyncGraph::from_trace(&t);
+        let f = g.node_of(OpRef::new(main, 1)).unwrap();
+        let j = g.node_of(OpRef::new(main, 3)).unwrap();
+        g.add_edge(f, g.begin(child), EdgeKind::Fork);
+        g.add_edge(g.end(child), j, EdgeKind::Join);
+
+        let mut scratch = BitSet::new(g.node_count());
+        assert!(g.reaches(g.begin(main), g.end(child), &mut scratch));
+        assert!(g.reaches(f, j, &mut scratch)); // via child
+        assert!(!g.reaches(g.end(main), g.begin(main), &mut scratch));
+        assert!(!g.reaches(g.begin(child), f, &mut scratch));
+
+        let topo = g.topo_order().expect("acyclic");
+        assert_eq!(topo.len(), g.node_count());
+        let pos: std::collections::HashMap<NodeId, usize> =
+            topo.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        assert!(pos[&f] < pos[&g.begin(child)]);
+        assert!(pos[&g.end(child)] < pos[&j]);
+    }
+
+    #[test]
+    fn cycle_is_reported() {
+        let (t, main, child) = two_task_trace();
+        let mut g = SyncGraph::from_trace(&t);
+        let f = g.node_of(OpRef::new(main, 1)).unwrap();
+        g.add_edge(f, g.begin(child), EdgeKind::Fork);
+        g.add_edge(g.end(child), f, EdgeKind::Join); // bogus: makes a cycle
+        let cyc = g.topo_order().unwrap_err();
+        assert!(!cyc.is_empty());
+    }
+}

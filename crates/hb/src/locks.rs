@@ -1,0 +1,143 @@
+//! Lockset computation.
+//!
+//! CAFA deliberately derives no happens-before edges from locks (§3.1);
+//! instead it "checks the locksets for mutual exclusion, assuming that
+//! the critical sections are race-free". This module answers "which
+//! monitors does task *t* hold at record *i*", so the detector can
+//! discard candidate pairs whose endpoints are both inside critical
+//! sections on a common monitor.
+
+use cafa_trace::{MonitorId, OpRef, Record, Trace};
+
+/// Precomputed lock acquisition/release positions per task.
+#[derive(Clone, Debug)]
+pub struct LockSets {
+    /// Per task: `(record_index, monitor, acquired)` in program order.
+    transitions: Vec<Vec<(u32, MonitorId, bool)>>,
+}
+
+impl LockSets {
+    /// Scans `trace` for lock/unlock records.
+    pub fn new(trace: &Trace) -> Self {
+        let mut transitions = vec![Vec::new(); trace.task_count()];
+        for (at, r) in trace.iter_ops() {
+            match *r {
+                Record::Lock { monitor, .. } => {
+                    transitions[at.task.index()].push((at.index, monitor, true));
+                }
+                Record::Unlock { monitor, .. } => {
+                    transitions[at.task.index()].push((at.index, monitor, false));
+                }
+                _ => {}
+            }
+        }
+        Self { transitions }
+    }
+
+    /// Monitors held while executing the record at `at` (a `lock` record
+    /// holds its monitor; an `unlock` record does not).
+    pub fn held(&self, at: OpRef) -> Vec<MonitorId> {
+        let mut held: Vec<(MonitorId, u32)> = Vec::new();
+        for &(i, m, acquired) in &self.transitions[at.task.index()] {
+            if i > at.index {
+                break;
+            }
+            if acquired {
+                match held.iter_mut().find(|(hm, _)| *hm == m) {
+                    Some((_, n)) => *n += 1,
+                    None => held.push((m, 1)),
+                }
+            } else if let Some(pos) = held.iter().position(|(hm, _)| *hm == m) {
+                held[pos].1 -= 1;
+                if held[pos].1 == 0 {
+                    held.remove(pos);
+                }
+            }
+        }
+        held.into_iter().map(|(m, _)| m).collect()
+    }
+
+    /// A monitor held at both positions, if any: the mutual-exclusion
+    /// condition under which CAFA trusts the programmer and suppresses
+    /// the candidate pair.
+    pub fn common(&self, a: OpRef, b: OpRef) -> Option<MonitorId> {
+        let ha = self.held(a);
+        if ha.is_empty() {
+            return None;
+        }
+        let hb = self.held(b);
+        ha.into_iter().find(|m| hb.contains(m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cafa_trace::{TraceBuilder, VarId};
+
+    #[test]
+    fn held_tracks_nesting() {
+        let mut b = TraceBuilder::new("t");
+        let p = b.add_process();
+        let t = b.add_thread(p, "main");
+        let m0 = MonitorId::new(0);
+        let m1 = MonitorId::new(1);
+        b.read(t, VarId::new(0)); // 0: no locks
+        b.lock(t, m0, 0); // 1
+        b.read(t, VarId::new(0)); // 2: m0
+        b.lock(t, m1, 0); // 3
+        b.read(t, VarId::new(0)); // 4: m0, m1
+        b.unlock(t, m1, 0); // 5
+        b.read(t, VarId::new(0)); // 6: m0
+        b.unlock(t, m0, 0); // 7
+        b.read(t, VarId::new(0)); // 8: none
+        let trace = b.finish().unwrap();
+        let ls = LockSets::new(&trace);
+        assert!(ls.held(OpRef::new(t, 0)).is_empty());
+        assert_eq!(ls.held(OpRef::new(t, 2)), vec![m0]);
+        assert_eq!(ls.held(OpRef::new(t, 4)), vec![m0, m1]);
+        assert_eq!(ls.held(OpRef::new(t, 6)), vec![m0]);
+        assert!(ls.held(OpRef::new(t, 8)).is_empty());
+        // The unlock record itself no longer holds the monitor.
+        assert!(ls.held(OpRef::new(t, 7)).is_empty());
+        // The lock record holds it.
+        assert_eq!(ls.held(OpRef::new(t, 1)), vec![m0]);
+    }
+
+    #[test]
+    fn reentrant_locks_count() {
+        let mut b = TraceBuilder::new("t");
+        let p = b.add_process();
+        let t = b.add_thread(p, "main");
+        let m = MonitorId::new(0);
+        b.lock(t, m, 0);
+        b.lock(t, m, 1);
+        b.unlock(t, m, 1);
+        b.read(t, VarId::new(0)); // 3: still held once
+        b.unlock(t, m, 0);
+        let trace = b.finish().unwrap();
+        let ls = LockSets::new(&trace);
+        assert_eq!(ls.held(OpRef::new(t, 3)), vec![m]);
+    }
+
+    #[test]
+    fn common_monitor_across_tasks() {
+        let mut b = TraceBuilder::new("t");
+        let p = b.add_process();
+        let a = b.add_thread(p, "a");
+        let c = b.add_thread(p, "c");
+        let m = MonitorId::new(5);
+        b.lock(a, m, 0);
+        b.read(a, VarId::new(0)); // a[1]
+        b.unlock(a, m, 0);
+        b.lock(c, m, 1);
+        b.write(c, VarId::new(0)); // c[1]
+        b.unlock(c, m, 1);
+        b.write(c, VarId::new(0)); // c[3], outside
+        let trace = b.finish().unwrap();
+        let ls = LockSets::new(&trace);
+        assert_eq!(ls.common(OpRef::new(a, 1), OpRef::new(c, 1)), Some(m));
+        assert_eq!(ls.common(OpRef::new(a, 1), OpRef::new(c, 3)), None);
+        assert_eq!(ls.common(OpRef::new(c, 3), OpRef::new(a, 1)), None);
+    }
+}

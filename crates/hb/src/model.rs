@@ -1,0 +1,421 @@
+//! The [`HbModel`] facade: build once per trace, query happens-before.
+
+use cafa_trace::{OpRef, TaskId, Trace};
+
+use crate::bitset::BitSet;
+use crate::build::base_graph;
+use crate::config::CausalityConfig;
+use crate::error::HbError;
+use crate::graph::{NodeId, SyncGraph};
+use crate::rules::{derive, flow, DerivationStats, EventTable};
+
+/// Relative order of two operations under a causality model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpOrder {
+    /// The first operation happens before the second.
+    Before,
+    /// The second operation happens before the first.
+    After,
+    /// Neither is ordered with the other: logically concurrent.
+    Concurrent,
+    /// The two references denote the same operation.
+    Same,
+}
+
+/// One step of a causal chain returned by [`HbModel::explain`]: the
+/// edge of `kind` connecting two sync points.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CauseStep {
+    /// Source sync point.
+    pub from: crate::NodeInfo,
+    /// Why the edge exists.
+    pub kind: crate::EdgeKind,
+    /// Destination sync point.
+    pub to: crate::NodeInfo,
+}
+
+/// A happens-before model of one trace under one [`CausalityConfig`].
+///
+/// Building a model constructs the sync graph, installs the base causal
+/// edges, runs the atomicity/queue-rule fixpoint of §3.3, and
+/// precomputes the event-level order relation. Queries are then cheap:
+/// event-level lookups are bit tests and operation-level queries are a
+/// bounded graph search.
+///
+/// # Examples
+///
+/// ```
+/// use cafa_trace::{TraceBuilder, OpRef};
+/// use cafa_hb::{HbModel, CausalityConfig, OpOrder};
+///
+/// // Two events posted with equal delays from the same thread: queue
+/// // rule 1 orders them, so CAFA sees A ≺ B.
+/// let mut b = TraceBuilder::new("demo");
+/// let p = b.add_process();
+/// let q = b.add_queue(p);
+/// let t = b.add_thread(p, "main");
+/// let a = b.post(t, q, "A", 0);
+/// let eb = b.post(t, q, "B", 0);
+/// b.process_event(a);
+/// b.process_event(eb);
+/// let trace = b.finish().unwrap();
+///
+/// let model = HbModel::build(&trace, CausalityConfig::cafa()).unwrap();
+/// assert!(model.event_before(a, eb));
+/// assert!(!model.event_before(eb, a));
+/// ```
+#[derive(Debug)]
+pub struct HbModel<'t> {
+    trace: &'t Trace,
+    config: CausalityConfig,
+    graph: SyncGraph,
+    table: EventTable,
+    /// Per dense event `e`: events `e'` with `end(e') ≺ begin(e)`.
+    before_begin: Vec<BitSet>,
+    stats: DerivationStats,
+    topo: Vec<NodeId>,
+}
+
+impl<'t> HbModel<'t> {
+    /// Builds the model for `trace` under `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HbError`] if the trace implies a cyclic happens-before
+    /// relation or the rule fixpoint diverges.
+    pub fn build(trace: &'t Trace, config: CausalityConfig) -> Result<Self, HbError> {
+        let mut graph = base_graph(trace, &config);
+        let stats = derive(&mut graph, trace, &config)?;
+        let topo = graph
+            .topo_order()
+            .map_err(|nodes| HbError::CyclicHappensBefore { cycle_len: nodes.len() })?;
+
+        let table = EventTable::new(trace);
+        // Final event-order closure: mark each end(e); read each begin(e).
+        let mut marks: Vec<Option<u32>> = vec![None; graph.node_count()];
+        for (i, &e) in table.events.iter().enumerate() {
+            marks[graph.end(e) as usize] = Some(i as u32);
+        }
+        let acc = flow(&graph, &topo, &marks, table.len());
+        let before_begin: Vec<BitSet> = table
+            .events
+            .iter()
+            .map(|&e| acc[graph.begin(e) as usize].clone())
+            .collect();
+
+        Ok(Self { trace, config, graph, table, before_begin, stats, topo })
+    }
+
+    /// The analyzed trace.
+    pub fn trace(&self) -> &'t Trace {
+        self.trace
+    }
+
+    /// The configuration the model was built with.
+    pub fn config(&self) -> &CausalityConfig {
+        &self.config
+    }
+
+    /// The underlying sync graph.
+    pub fn graph(&self) -> &SyncGraph {
+        &self.graph
+    }
+
+    /// Statistics from the rule fixpoint.
+    pub fn stats(&self) -> DerivationStats {
+        self.stats
+    }
+
+    /// The event tasks in dense order.
+    pub fn events(&self) -> &[TaskId] {
+        &self.table.events
+    }
+
+    /// True when `end(e1) ≺ begin(e2)`: every operation of event `e1`
+    /// happens before every operation of event `e2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either task is not an event.
+    pub fn event_before(&self, e1: TaskId, e2: TaskId) -> bool {
+        let i1 = self.table.dense(e1).expect("e1 must be an event");
+        let i2 = self.table.dense(e2).expect("e2 must be an event");
+        self.before_begin[i2 as usize].contains(i1 as usize)
+    }
+
+    /// True when two distinct events are logically concurrent (neither
+    /// fully ordered with the other).
+    pub fn concurrent_events(&self, e1: TaskId, e2: TaskId) -> bool {
+        e1 != e2 && !self.event_before(e1, e2) && !self.event_before(e2, e1)
+    }
+
+    /// True when both tasks are events processed by the same looper.
+    pub fn same_looper(&self, t1: TaskId, t2: TaskId) -> bool {
+        match (self.trace.task(t1).queue(), self.trace.task(t2).queue()) {
+            (Some(q1), Some(q2)) => q1 == q2,
+            _ => false,
+        }
+    }
+
+    /// Does the operation at `a` happen before the operation at `b`?
+    ///
+    /// Strict: `happens_before(a, a)` is false.
+    pub fn happens_before(&self, a: OpRef, b: OpRef) -> bool {
+        if a.task == b.task {
+            return a.index < b.index;
+        }
+        // Event-level fast path: full order between the containing events
+        // orders every operation pair.
+        if let (Some(i1), Some(i2)) = (self.table.dense(a.task), self.table.dense(b.task)) {
+            if self.before_begin[i2 as usize].contains(i1 as usize) {
+                return true;
+            }
+            // The converse ordering rules out a forward path only if the
+            // relation is acyclic (guaranteed); still, mid-task paths
+            // like send≺begin are not captured by the matrix, so fall
+            // through to the graph search.
+        }
+        let from = self.graph.bracket_after(a);
+        let to = self.graph.bracket_before(b);
+        let mut scratch = BitSet::new(self.graph.node_count());
+        self.graph.reaches(from, to, &mut scratch)
+    }
+
+    /// Classifies the relative order of two operations.
+    pub fn order(&self, a: OpRef, b: OpRef) -> OpOrder {
+        if a == b {
+            OpOrder::Same
+        } else if self.happens_before(a, b) {
+            OpOrder::Before
+        } else if self.happens_before(b, a) {
+            OpOrder::After
+        } else {
+            OpOrder::Concurrent
+        }
+    }
+
+    /// Explains *why* `a` happens before `b`: a shortest chain of
+    /// causal edges from `a`'s position to `b`'s. Returns `None` when
+    /// the operations are not ordered that way (including `a == b`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cafa_trace::{TraceBuilder, OpRef};
+    /// use cafa_hb::{HbModel, CausalityConfig, EdgeKind};
+    ///
+    /// let mut b = TraceBuilder::new("t");
+    /// let p = b.add_process();
+    /// let q = b.add_queue(p);
+    /// let t = b.add_thread(p, "main");
+    /// let ev = b.post(t, q, "ev", 0);
+    /// b.process_event(ev);
+    /// let w = b.write(ev, cafa_trace::VarId::new(0));
+    /// let trace = b.finish().unwrap();
+    ///
+    /// let model = HbModel::build(&trace, CausalityConfig::cafa()).unwrap();
+    /// let chain = model.explain(OpRef::new(t, 0), w).unwrap();
+    /// assert!(chain.iter().any(|s| s.kind == EdgeKind::Send));
+    /// ```
+    pub fn explain(&self, a: OpRef, b: OpRef) -> Option<Vec<CauseStep>> {
+        if !self.happens_before(a, b) {
+            return None;
+        }
+        if a.task == b.task {
+            return Some(vec![CauseStep {
+                from: crate::NodeInfo { task: a.task, point: crate::NodePoint::Record(a.index) },
+                kind: crate::EdgeKind::Program,
+                to: crate::NodeInfo { task: b.task, point: crate::NodePoint::Record(b.index) },
+            }]);
+        }
+        let from = self.graph.bracket_after(a);
+        let to = self.graph.bracket_before(b);
+        let path = self.graph.find_path(from, to)?;
+        Some(
+            path.into_iter()
+                .map(|(f, kind, t)| CauseStep {
+                    from: self.graph.node(f),
+                    kind,
+                    to: self.graph.node(t),
+                })
+                .collect(),
+        )
+    }
+
+    /// Prepares a batched reachability index for many-source queries.
+    ///
+    /// One linear sweep of the graph answers `sources[i] ≺ b` for every
+    /// source and any `b` — the detector uses this with all use/free
+    /// sites as sources.
+    pub fn batch(&self, sources: &[OpRef]) -> BatchReach<'_, 't> {
+        let mut marks: Vec<Option<u32>> = vec![None; self.graph.node_count()];
+        // Multiple sources may share a bracket node; give each node the
+        // list position of one representative and remap afterwards.
+        let mut node_group: Vec<u32> = Vec::with_capacity(sources.len());
+        let mut group_count = 0u32;
+        let mut group_of_node: std::collections::HashMap<NodeId, u32> =
+            std::collections::HashMap::new();
+        for &s in sources {
+            let n = self.graph.bracket_after(s);
+            let g = *group_of_node.entry(n).or_insert_with(|| {
+                let g = group_count;
+                marks[n as usize] = Some(g);
+                group_count += 1;
+                g
+            });
+            node_group.push(g);
+        }
+        let acc = flow(&self.graph, &self.topo, &marks, group_count as usize);
+        BatchReach { model: self, sources: sources.to_vec(), group: node_group, acc }
+    }
+}
+
+/// Precomputed multi-source reachability; see [`HbModel::batch`].
+#[derive(Debug)]
+pub struct BatchReach<'m, 't> {
+    model: &'m HbModel<'t>,
+    sources: Vec<OpRef>,
+    group: Vec<u32>,
+    acc: Vec<BitSet>,
+}
+
+impl BatchReach<'_, '_> {
+    /// Number of sources.
+    pub fn source_count(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Does source number `i` happen before the operation at `b`?
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn before(&self, i: usize, b: OpRef) -> bool {
+        let a = self.sources[i];
+        if a.task == b.task {
+            return a.index < b.index;
+        }
+        let to = self.model.graph.bracket_before(b);
+        self.acc[to as usize].contains(self.group[i] as usize)
+    }
+
+    /// Are source `i` and the operation at `b` concurrent under the
+    /// model? Requires `b` to also be a source (at index `j`) so the
+    /// converse direction is batched too.
+    pub fn concurrent(&self, i: usize, j: usize) -> bool {
+        let (a, b) = (self.sources[i], self.sources[j]);
+        a != b && !self.before(i, b) && !self.before(j, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cafa_trace::{ObjId, Pc, TraceBuilder, VarId};
+
+    /// The Figure 1 MyTracks scenario: onServiceConnected (use) and
+    /// onDestroy (free) are concurrent under CAFA.
+    fn mytracks() -> (Trace, OpRef, OpRef, TaskId, TaskId) {
+        let mut b = TraceBuilder::new("MyTracks");
+        let app = b.add_process();
+        let q = b.add_queue(app);
+        let svc = b.add_process();
+        let ipc = b.add_thread(svc, "binder");
+        let resume = b.external(q, "onResume");
+        b.process_event(resume);
+        let (txn, _) = b.rpc_call(resume);
+        b.rpc_handle(ipc, txn);
+        let connected = b.post(ipc, q, "onServiceConnected", 0);
+        let destroy = b.external(q, "onDestroy");
+        b.process_event(connected);
+        let use_at = b.obj_read(connected, VarId::new(0), Some(ObjId::new(1)), Pc::new(0x10));
+        b.process_event(destroy);
+        let free_at = b.obj_write(destroy, VarId::new(0), None, Pc::new(0x20));
+        (b.finish().unwrap(), use_at, free_at, connected, destroy)
+    }
+
+    #[test]
+    fn figure1_use_and_free_are_concurrent_under_cafa() {
+        let (trace, use_at, free_at, connected, destroy) = mytracks();
+        let m = HbModel::build(&trace, CausalityConfig::cafa()).unwrap();
+        assert!(m.concurrent_events(connected, destroy));
+        assert_eq!(m.order(use_at, free_at), OpOrder::Concurrent);
+        assert!(m.same_looper(connected, destroy));
+    }
+
+    #[test]
+    fn figure1_is_ordered_under_conventional_model() {
+        let (trace, use_at, free_at, connected, destroy) = mytracks();
+        let m = HbModel::build(&trace, CausalityConfig::conventional()).unwrap();
+        // The conventional baseline totally orders the looper's events,
+        // hiding the race (connected was processed before destroy).
+        assert!(m.event_before(connected, destroy));
+        assert_eq!(m.order(use_at, free_at), OpOrder::Before);
+    }
+
+    #[test]
+    fn resume_is_ordered_before_connected_via_rpc() {
+        let (trace, ..) = mytracks();
+        let m = HbModel::build(&trace, CausalityConfig::cafa()).unwrap();
+        let resume = m.events()[0];
+        let connected = m
+            .events()
+            .iter()
+            .copied()
+            .find(|&e| m.trace().task_name(e) == "onServiceConnected")
+            .unwrap();
+        assert!(m.event_before(resume, connected));
+    }
+
+    #[test]
+    fn mid_task_send_orders_prefix_only() {
+        // A thread sends an event, then keeps writing: the write after
+        // the send is concurrent with the event.
+        let mut b = TraceBuilder::new("midtask");
+        let p = b.add_process();
+        let q = b.add_queue(p);
+        let t = b.add_thread(p, "worker");
+        let before = b.write(t, VarId::new(0));
+        let ev = b.post(t, q, "handler", 0);
+        let after = b.write(t, VarId::new(0));
+        b.process_event(ev);
+        let in_ev = b.write(ev, VarId::new(0));
+        let trace = b.finish().unwrap();
+        let m = HbModel::build(&trace, CausalityConfig::cafa()).unwrap();
+        assert_eq!(m.order(before, in_ev), OpOrder::Before);
+        assert_eq!(m.order(after, in_ev), OpOrder::Concurrent);
+        assert_eq!(m.order(in_ev, after), OpOrder::Concurrent);
+        assert_eq!(m.order(before, before), OpOrder::Same);
+    }
+
+    #[test]
+    fn batch_agrees_with_pointwise_queries() {
+        let (trace, use_at, free_at, ..) = mytracks();
+        let m = HbModel::build(&trace, CausalityConfig::cafa()).unwrap();
+        let sources = vec![use_at, free_at];
+        let batch = m.batch(&sources);
+        assert_eq!(batch.source_count(), 2);
+        assert_eq!(batch.before(0, free_at), m.happens_before(use_at, free_at));
+        assert_eq!(batch.before(1, use_at), m.happens_before(free_at, use_at));
+        assert!(batch.concurrent(0, 1));
+        assert!(!batch.concurrent(0, 0));
+    }
+
+    #[test]
+    fn batch_same_bracket_sources_are_distinct() {
+        // Two data records in the same event share a bracket node; the
+        // batch must still answer per-source (same-task index compare).
+        let mut b = TraceBuilder::new("bracket");
+        let p = b.add_process();
+        let q = b.add_queue(p);
+        let e = b.external(q, "ev");
+        b.process_event(e);
+        let r1 = b.write(e, VarId::new(0));
+        let r2 = b.write(e, VarId::new(1));
+        let trace = b.finish().unwrap();
+        let m = HbModel::build(&trace, CausalityConfig::cafa()).unwrap();
+        let batch = m.batch(&[r1, r2]);
+        assert!(batch.before(0, r2));
+        assert!(!batch.before(1, r1));
+    }
+}

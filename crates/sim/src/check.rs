@@ -1,0 +1,320 @@
+//! Static validation of programs before execution.
+//!
+//! Program bodies reference handlers, threads, services, variables, and
+//! counters by index — including forward references
+//! ([`HandlerId::from_index`]) that nothing checks at construction
+//! time. [`Program::check`] verifies every reference up front and
+//! reports all problems at once, so authoring mistakes surface as
+//! errors instead of mid-simulation panics.
+//!
+//! [`HandlerId::from_index`]: crate::HandlerId::from_index
+
+use std::fmt;
+
+use crate::program::{Action, Body, Program, VarInit};
+
+/// One authoring mistake found by [`Program::check`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProgramError {
+    /// An action references a handler index that was never declared.
+    UnknownHandler {
+        /// Where the reference occurs.
+        site: String,
+        /// The missing index.
+        index: u32,
+    },
+    /// An action references an undeclared looper.
+    UnknownLooper {
+        /// Where the reference occurs.
+        site: String,
+        /// The missing index.
+        index: u32,
+    },
+    /// A pointer action targets a scalar variable (or vice versa).
+    VariableKindMismatch {
+        /// Where the access occurs.
+        site: String,
+        /// The variable index.
+        index: u32,
+        /// What the action expected.
+        expected: &'static str,
+    },
+    /// An action references an undeclared variable, monitor, counter,
+    /// thread script, service, or method.
+    UnknownEntity {
+        /// Where the reference occurs.
+        site: String,
+        /// Entity kind.
+        kind: &'static str,
+        /// The missing index.
+        index: u32,
+    },
+    /// A gesture references an undeclared handler or looper.
+    BadGesture {
+        /// The gesture's position in the schedule.
+        index: usize,
+    },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::UnknownHandler { site, index } => {
+                write!(f, "{site}: references undeclared handler #{index}")
+            }
+            ProgramError::UnknownLooper { site, index } => {
+                write!(f, "{site}: references undeclared looper #{index}")
+            }
+            ProgramError::VariableKindMismatch { site, index, expected } => {
+                write!(f, "{site}: variable #{index} is not a {expected}")
+            }
+            ProgramError::UnknownEntity { site, kind, index } => {
+                write!(f, "{site}: references undeclared {kind} #{index}")
+            }
+            ProgramError::BadGesture { index } => {
+                write!(f, "gesture #{index}: undeclared handler or looper")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+impl Program {
+    /// Statically validates every reference in the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns every problem found (not just the first).
+    pub fn check(&self) -> Result<(), Vec<ProgramError>> {
+        let mut errors = Vec::new();
+        let handler_count = self.handlers.len() as u32;
+        let looper_count = self.loopers.len() as u32;
+
+        let mut check_body = |site: &str, body: &Body| {
+            for (i, action) in body.actions().iter().enumerate() {
+                let at = format!("{site}[{i}]");
+                self.check_action(&at, action, handler_count, looper_count, &mut errors);
+            }
+        };
+        for (i, t) in self.threads.iter().enumerate() {
+            check_body(&format!("thread #{i} \"{}\"", t.name), &t.body);
+        }
+        for (i, h) in self.handlers.iter().enumerate() {
+            check_body(&format!("handler #{i} \"{}\"", h.name), &h.body);
+        }
+        for (si, svc) in self.services.iter().enumerate() {
+            for (mi, m) in svc.methods.iter().enumerate() {
+                check_body(&format!("service #{si} method #{mi} \"{}\"", m.name), &m.body);
+            }
+        }
+        for (i, g) in self.gestures.iter().enumerate() {
+            if g.handler.index() >= handler_count || g.looper.index_u32() >= looper_count {
+                errors.push(ProgramError::BadGesture { index: i });
+            }
+        }
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
+
+    fn check_action(
+        &self,
+        site: &str,
+        action: &Action,
+        handler_count: u32,
+        looper_count: u32,
+        errors: &mut Vec<ProgramError>,
+    ) {
+        use Action::*;
+        let mut handler_ref = |h: crate::HandlerId, l: crate::LooperId| {
+            if h.index() >= handler_count {
+                errors.push(ProgramError::UnknownHandler {
+                    site: site.to_owned(),
+                    index: h.index(),
+                });
+            }
+            if l.index_u32() >= looper_count {
+                errors.push(ProgramError::UnknownLooper {
+                    site: site.to_owned(),
+                    index: l.index_u32(),
+                });
+            }
+        };
+        match action {
+            Post { looper, handler, .. }
+            | PostFront { looper, handler }
+            | PostChain { looper, handler, .. } => handler_ref(*handler, *looper),
+            _ => {}
+        }
+        // Variable-kind checks.
+        let mut want = |v: crate::SimVar, ptr: bool| {
+            match self.vars.get(v.index() as usize) {
+                None => errors.push(ProgramError::UnknownEntity {
+                    site: site.to_owned(),
+                    kind: "variable",
+                    index: v.index(),
+                }),
+                Some(VarInit::Scalar(_)) if ptr => {
+                    errors.push(ProgramError::VariableKindMismatch {
+                        site: site.to_owned(),
+                        index: v.index(),
+                        expected: "pointer",
+                    })
+                }
+                Some(VarInit::PtrNull | VarInit::PtrAlloc) if !ptr => {
+                    errors.push(ProgramError::VariableKindMismatch {
+                        site: site.to_owned(),
+                        index: v.index(),
+                        expected: "scalar",
+                    })
+                }
+                _ => {}
+            }
+        };
+        match action {
+            ReadScalar(v) | WriteScalar(v, _) => want(*v, false),
+            AllocPtr(v) | FreePtr(v) => want(*v, true),
+            UsePtr { var, .. } | GuardedUse { var, .. } => want(*var, true),
+            BoolGuardedUse { flag, var, .. } => {
+                want(*flag, false);
+                want(*var, true);
+            }
+            CopyPtr { from, to } => {
+                want(*from, true);
+                want(*to, true);
+            }
+            AliasedUse { first, second, .. } => {
+                want(*first, true);
+                want(*second, true);
+            }
+            _ => {}
+        }
+        // Other entity references.
+        match action {
+            Fork(t) if t.index_u32() >= self.threads.len() as u32 => {
+                errors.push(ProgramError::UnknownEntity {
+                    site: site.to_owned(),
+                    kind: "thread script",
+                    index: t.index_u32(),
+                });
+            }
+            Call { service, method } | CallAsync { service, method } => {
+                match self.services.get(service.index_u32() as usize) {
+                    None => errors.push(ProgramError::UnknownEntity {
+                        site: site.to_owned(),
+                        kind: "service",
+                        index: service.index_u32(),
+                    }),
+                    Some(svc) if method.index_u32() as usize >= svc.methods.len() => {
+                        errors.push(ProgramError::UnknownEntity {
+                            site: site.to_owned(),
+                            kind: "method",
+                            index: method.index_u32(),
+                        })
+                    }
+                    _ => {}
+                }
+            }
+            PostChain { budget, .. } if budget.index_u32() >= self.counters.len() as u32 => {
+                errors.push(ProgramError::UnknownEntity {
+                    site: site.to_owned(),
+                    kind: "counter",
+                    index: budget.index_u32(),
+                });
+            }
+            Lock(m) | Unlock(m) | Wait(m) | Notify(m) | NotifyAll(m)
+                if m.index_u32() >= self.monitor_count =>
+            {
+                errors.push(ProgramError::UnknownEntity {
+                    site: site.to_owned(),
+                    kind: "monitor",
+                    index: m.index_u32(),
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Body, ProgramBuilder};
+    use crate::{Action, HandlerId};
+
+    #[test]
+    fn valid_programs_pass() {
+        let mut p = ProgramBuilder::new("ok");
+        let pr = p.process();
+        let l = p.looper(pr);
+        let v = p.ptr_var();
+        let me = p.next_handler_id();
+        let budget = p.counter(3);
+        p.handler(
+            "h",
+            Body::from_actions(vec![
+                Action::AllocPtr(v),
+                Action::PostChain { looper: l, handler: me, delay_ms: 1, budget },
+            ]),
+        );
+        assert_eq!(p.build().check(), Ok(()));
+    }
+
+    #[test]
+    fn dangling_forward_reference_is_caught() {
+        let mut p = ProgramBuilder::new("bad");
+        let pr = p.process();
+        let l = p.looper(pr);
+        p.thread(
+            pr,
+            "t",
+            Body::from_actions(vec![Action::Post {
+                looper: l,
+                handler: HandlerId::from_index(7), // never declared
+                delay_ms: 0,
+            }]),
+        );
+        let errors = p.build().check().unwrap_err();
+        assert!(matches!(errors[0], ProgramError::UnknownHandler { index: 7, .. }));
+        assert!(errors[0].to_string().contains("#7"));
+    }
+
+    #[test]
+    fn variable_kind_mismatches_are_caught() {
+        let mut p = ProgramBuilder::new("kinds");
+        let pr = p.process();
+        let scalar = p.scalar_var(0);
+        let ptr = p.ptr_var();
+        p.thread(
+            pr,
+            "t",
+            Body::from_actions(vec![Action::FreePtr(scalar), Action::ReadScalar(ptr)]),
+        );
+        let errors = p.build().check().unwrap_err();
+        assert_eq!(errors.len(), 2);
+        assert!(errors.iter().all(|e| matches!(e, ProgramError::VariableKindMismatch { .. })));
+    }
+
+    #[test]
+    fn multiple_errors_reported_at_once() {
+        let mut p = ProgramBuilder::new("many");
+        let pr = p.process();
+        let l = p.looper(pr);
+        let h = p.handler("h", Body::new());
+        p.gesture(0, l, h);
+        p.thread(
+            pr,
+            "t",
+            Body::from_actions(vec![
+                Action::Fork(crate::ThreadSpecId::from_index(9)),
+                Action::Lock(crate::SimMonitor::from_index(5)),
+            ]),
+        );
+        let errors = p.build().check().unwrap_err();
+        assert_eq!(errors.len(), 2);
+    }
+}

@@ -1,0 +1,88 @@
+//! Simulator errors.
+
+use std::error::Error;
+use std::fmt;
+
+use cafa_trace::TraceError;
+
+/// A failure during a simulated run.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SimError {
+    /// Every entity is blocked and no timer/gesture can unblock any of
+    /// them.
+    Deadlock {
+        /// Number of blocked entities.
+        blocked: usize,
+        /// Virtual time at the deadlock, in microseconds.
+        at_us: u64,
+    },
+    /// The configured step budget ran out (runaway program, e.g. an
+    /// unbounded repost loop).
+    StepLimit {
+        /// The exhausted budget.
+        steps: u64,
+    },
+    /// `wait`/`notify`/`unlock` on a monitor the task does not own.
+    IllegalMonitorState {
+        /// Description of the offending operation.
+        what: String,
+    },
+    /// `JoinLast` with no previously forked thread.
+    JoinWithoutFork,
+    /// The recorded trace failed validation (indicates a simulator bug;
+    /// should be unreachable).
+    Trace(TraceError),
+    /// The program failed static validation (dangling handler/looper/
+    /// variable references, kind mismatches). See
+    /// [`Program::check`](crate::Program::check).
+    InvalidProgram(Vec<crate::check::ProgramError>),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { blocked, at_us } => {
+                write!(f, "deadlock: {blocked} entities blocked at t={at_us}µs")
+            }
+            SimError::StepLimit { steps } => write!(f, "step budget of {steps} exhausted"),
+            SimError::IllegalMonitorState { what } => {
+                write!(f, "illegal monitor state: {what}")
+            }
+            SimError::JoinWithoutFork => write!(f, "JoinLast with no forked thread"),
+            SimError::Trace(e) => write!(f, "recorded trace failed validation: {e}"),
+            SimError::InvalidProgram(errors) => {
+                write!(f, "program failed validation ({} error(s)): ", errors.len())?;
+                let first = errors.first().map(ToString::to_string).unwrap_or_default();
+                f.write_str(&first)
+            }
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Trace(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TraceError> for SimError {
+    fn from(e: TraceError) -> Self {
+        SimError::Trace(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::Deadlock { blocked: 3, at_us: 99 };
+        assert!(e.to_string().contains('3'));
+        assert!(SimError::JoinWithoutFork.to_string().contains("JoinLast"));
+    }
+}

@@ -1,0 +1,756 @@
+//! Static description of a simulated Android-like application.
+//!
+//! A [`Program`] is the analogue of an APK plus the services it talks
+//! to: processes, loopers (event queue + draining thread), regular
+//! thread scripts, event handlers, Binder services with methods,
+//! listeners, shared variables, and a schedule of external user/sensor
+//! gestures. Bodies are straight-line scripts of [`Action`]s — the
+//! control flow a handler needs (null guards, bounded repost loops) is
+//! expressed with dedicated composite actions, mirroring how the
+//! paper's patterns (Figures 1, 2, 5) are all small straight-line
+//! handlers.
+//!
+//! Code layout convention: every handler / thread script / service
+//! method is a "method" occupying one 4 KiB block of the simulated
+//! Dalvik address space ([`Pc::METHOD_BLOCK`]); action *k* of a body
+//! owns the 8 sub-addresses `base + 0x40 + 0x20·k .. +0x20`. The
+//! if-guard analysis relies on this layout (see
+//! `cafa_trace::Pc::method_base`).
+
+use cafa_trace::{DerefKind, Pc};
+
+/// A simulated process (address space + Binder endpoint).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ProcId(pub(crate) u32);
+
+/// A looper: an event queue drained by a dedicated thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LooperId(pub(crate) u32);
+
+impl LooperId {
+    /// The raw looper index (queues are numbered in declaration order).
+    pub fn index_u32(self) -> u32 {
+        self.0
+    }
+}
+
+/// A regular-thread script.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ThreadSpecId(pub(crate) u32);
+
+impl ThreadSpecId {
+    /// Forward reference to the `index`-th declared thread script
+    /// (checked by [`Program::check`]).
+    pub fn from_index(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// The raw declaration index.
+    pub fn index_u32(self) -> u32 {
+        self.0
+    }
+}
+
+/// An event-handler body.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct HandlerId(pub(crate) u32);
+
+impl HandlerId {
+    /// Creates a forward reference to the handler that will be declared
+    /// as the `index`-th [`ProgramBuilder::handler`] call. Useful when a
+    /// body must post a handler declared later (or itself; see
+    /// [`ProgramBuilder::next_handler_id`]). Posting an id that is never
+    /// declared panics at runtime.
+    pub fn from_index(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// The handler's declaration index.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// A Binder service.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ServiceId(pub(crate) u32);
+
+impl ServiceId {
+    /// The raw declaration index.
+    pub fn index_u32(self) -> u32 {
+        self.0
+    }
+}
+
+/// A method of a Binder service.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MethodId(pub(crate) u32);
+
+impl MethodId {
+    /// The raw per-service declaration index.
+    pub fn index_u32(self) -> u32 {
+        self.0
+    }
+}
+
+/// A shared variable slot (pointer or scalar).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SimVar(pub(crate) u32);
+
+impl SimVar {
+    /// The raw slot index. Slots map one-to-one onto the trace's
+    /// [`VarId`](cafa_trace::VarId)s, so workload ground truth can be
+    /// keyed by variable.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// A monitor usable with lock/unlock/wait/notify.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SimMonitor(pub(crate) u32);
+
+impl SimMonitor {
+    /// Forward reference to the `index`-th declared monitor (checked by
+    /// [`Program::check`]).
+    pub fn from_index(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// The raw declaration index.
+    pub fn index_u32(self) -> u32 {
+        self.0
+    }
+}
+
+/// A registered listener identity, carrying its Android package name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SimListener(pub(crate) u32);
+
+/// A runtime countdown counter for bounded repost loops.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CounterId(pub(crate) u32);
+
+impl CounterId {
+    /// The raw declaration index.
+    pub fn index_u32(self) -> u32 {
+        self.0
+    }
+}
+
+/// One step of a body script.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Read a scalar variable.
+    ReadScalar(SimVar),
+    /// Write `value` to a scalar variable.
+    WriteScalar(SimVar, i64),
+    /// Store a fresh object into a pointer variable (an allocation).
+    AllocPtr(SimVar),
+    /// Store null into a pointer variable (a free).
+    FreePtr(SimVar),
+    /// `to = from`: pointer read of `from`, pointer write of `to`.
+    CopyPtr {
+        /// Source pointer variable.
+        from: SimVar,
+        /// Destination pointer variable.
+        to: SimVar,
+    },
+    /// Read a pointer and dereference it. A null pointer raises a
+    /// null-pointer exception, recorded in the run outcome; when
+    /// `catch_npe` is set the handler swallows it (the ToDoList
+    /// pattern of §6.2).
+    UsePtr {
+        /// The pointer variable.
+        var: SimVar,
+        /// Field access or invocation.
+        kind: DerefKind,
+        /// Swallow the NPE instead of crashing.
+        catch_npe: bool,
+    },
+    /// `if (p != null) p.f` — the if-guard pattern of Figure 5. Safe in
+    /// any same-looper interleaving; emits the `if-eqz` guard record
+    /// when the pointer is non-null.
+    GuardedUse {
+        /// The pointer variable.
+        var: SimVar,
+        /// Field access or invocation.
+        kind: DerefKind,
+        /// The branch flavor to emit (`if-eqz` fall-through, `if-nez`
+        /// jump, or `if-eq` against `this`).
+        style: GuardStyle,
+    },
+    /// `if (flag) p.f` — a boolean flag stands in for the null test.
+    /// Correct when flag and pointer are updated atomically, but the
+    /// if-guard heuristic cannot see it: the Type II false-positive
+    /// pattern of §6.3.
+    BoolGuardedUse {
+        /// The scalar flag variable.
+        flag: SimVar,
+        /// The pointer variable.
+        var: SimVar,
+        /// Field access or invocation.
+        kind: DerefKind,
+    },
+    /// Reads `first`, then `second`, then dereferences the object
+    /// obtained from `first`. When both variables alias one object,
+    /// the analyzer's nearest-previous-read matching attributes the
+    /// dereference to `second`: the Type III false-positive pattern.
+    AliasedUse {
+        /// The variable actually dereferenced.
+        first: SimVar,
+        /// The decoy variable read in between.
+        second: SimVar,
+        /// Field access or invocation.
+        kind: DerefKind,
+    },
+    /// Acquire a monitor (blocking, reentrant).
+    Lock(SimMonitor),
+    /// Release a monitor.
+    Unlock(SimMonitor),
+    /// Release the monitor and block until notified. The monitor must
+    /// be held.
+    Wait(SimMonitor),
+    /// Wake one waiter. The monitor must be held.
+    Notify(SimMonitor),
+    /// Wake all waiters. The monitor must be held.
+    NotifyAll(SimMonitor),
+    /// Start a new thread from a registered script.
+    Fork(ThreadSpecId),
+    /// Block until the most recently forked thread (of this task)
+    /// finishes.
+    JoinLast,
+    /// Post an event to a looper with a delay (Android
+    /// `Handler.sendMessageDelayed`).
+    Post {
+        /// Destination looper.
+        looper: LooperId,
+        /// Handler run when the event is processed.
+        handler: HandlerId,
+        /// Delay constraint in virtual milliseconds.
+        delay_ms: u64,
+    },
+    /// Post at the front of the queue (Android
+    /// `sendMessageAtFrontOfQueue`; no delay allowed, §3.3).
+    PostFront {
+        /// Destination looper.
+        looper: LooperId,
+        /// Handler run when the event is processed.
+        handler: HandlerId,
+    },
+    /// Post an event only while `budget` is positive, decrementing it:
+    /// bounded repost chains (timers, animation ticks).
+    PostChain {
+        /// Destination looper.
+        looper: LooperId,
+        /// Handler run when the event is processed.
+        handler: HandlerId,
+        /// Delay constraint in virtual milliseconds.
+        delay_ms: u64,
+        /// Countdown counter gating the post.
+        budget: CounterId,
+    },
+    /// Register a listener with the runtime.
+    Register(SimListener),
+    /// Invoke a registered listener as part of this task.
+    Perform(SimListener),
+    /// Synchronous Binder RPC: block until the service method returns.
+    Call {
+        /// Target service.
+        service: ServiceId,
+        /// Invoked method.
+        method: MethodId,
+    },
+    /// One-way Binder RPC: deliver and continue.
+    CallAsync {
+        /// Target service.
+        service: ServiceId,
+        /// Invoked method.
+        method: MethodId,
+    },
+    /// Burn `units` of CPU work (uninstrumented work, for realistic
+    /// tracing-overhead ratios).
+    Compute(u32),
+    /// Block this thread for a duration of virtual time. Threads only.
+    Sleep(u64),
+}
+
+/// Which branch instruction a [`Action::GuardedUse`] emits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GuardStyle {
+    /// `if-eqz` forward jump over the use when null.
+    IfEqz,
+    /// `if-nez` forward jump to the use when non-null.
+    IfNez,
+    /// `if-eq` against `this` (§5.3 treats it like `if-nez`).
+    IfEq,
+}
+
+/// A straight-line body script.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Body {
+    pub(crate) actions: Vec<Action>,
+}
+
+/// Maximum actions per body under the 4 KiB method-block layout.
+pub const MAX_BODY_ACTIONS: usize = 120;
+
+impl Body {
+    /// An empty body.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a body from raw actions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actions` exceeds [`MAX_BODY_ACTIONS`].
+    pub fn from_actions(actions: Vec<Action>) -> Self {
+        assert!(
+            actions.len() <= MAX_BODY_ACTIONS,
+            "body exceeds {MAX_BODY_ACTIONS} actions"
+        );
+        Self { actions }
+    }
+
+    /// Appends an action.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the body would exceed [`MAX_BODY_ACTIONS`].
+    pub fn push(&mut self, action: Action) -> &mut Self {
+        assert!(self.actions.len() < MAX_BODY_ACTIONS, "body exceeds {MAX_BODY_ACTIONS} actions");
+        self.actions.push(action);
+        self
+    }
+
+    /// The actions in order.
+    pub fn actions(&self) -> &[Action] {
+        &self.actions
+    }
+
+    // Chainable convenience constructors.
+
+    /// Appends [`Action::AllocPtr`].
+    pub fn alloc(mut self, var: SimVar) -> Self {
+        self.push(Action::AllocPtr(var));
+        self
+    }
+
+    /// Appends [`Action::FreePtr`].
+    pub fn free(mut self, var: SimVar) -> Self {
+        self.push(Action::FreePtr(var));
+        self
+    }
+
+    /// Appends an uncaught [`Action::UsePtr`] (invoke flavor).
+    pub fn use_ptr(mut self, var: SimVar) -> Self {
+        self.push(Action::UsePtr { var, kind: DerefKind::Invoke, catch_npe: false });
+        self
+    }
+
+    /// Appends a caught [`Action::UsePtr`].
+    pub fn use_ptr_caught(mut self, var: SimVar) -> Self {
+        self.push(Action::UsePtr { var, kind: DerefKind::Invoke, catch_npe: true });
+        self
+    }
+
+    /// Appends [`Action::GuardedUse`] with the `if-eqz` style.
+    pub fn guarded_use(mut self, var: SimVar) -> Self {
+        self.push(Action::GuardedUse { var, kind: DerefKind::Invoke, style: GuardStyle::IfEqz });
+        self
+    }
+
+    /// Appends [`Action::BoolGuardedUse`].
+    pub fn bool_guarded_use(mut self, flag: SimVar, var: SimVar) -> Self {
+        self.push(Action::BoolGuardedUse { flag, var, kind: DerefKind::Invoke });
+        self
+    }
+
+    /// Appends [`Action::ReadScalar`].
+    pub fn read(mut self, var: SimVar) -> Self {
+        self.push(Action::ReadScalar(var));
+        self
+    }
+
+    /// Appends [`Action::WriteScalar`].
+    pub fn write(mut self, var: SimVar, value: i64) -> Self {
+        self.push(Action::WriteScalar(var, value));
+        self
+    }
+
+    /// Appends [`Action::Post`].
+    pub fn post(mut self, looper: LooperId, handler: HandlerId, delay_ms: u64) -> Self {
+        self.push(Action::Post { looper, handler, delay_ms });
+        self
+    }
+
+    /// Appends [`Action::Compute`].
+    pub fn compute(mut self, units: u32) -> Self {
+        self.push(Action::Compute(units));
+        self
+    }
+}
+
+/// A gesture: an event generated by the external world at a given
+/// virtual time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Gesture {
+    /// Virtual time of the gesture in milliseconds.
+    pub at_ms: u64,
+    /// Queue the resulting event lands on.
+    pub looper: LooperId,
+    /// Handler invoked.
+    pub handler: HandlerId,
+}
+
+/// Initial value of a variable slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VarInit {
+    /// Pointer slot, initially null.
+    PtrNull,
+    /// Pointer slot, pre-initialized with an object before the trace
+    /// starts (no allocation record is emitted).
+    PtrAlloc,
+    /// Scalar slot with an initial value.
+    Scalar(i64),
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct ThreadSpec {
+    pub proc: ProcId,
+    pub name: String,
+    pub body: Body,
+    pub auto_start: bool,
+    pub method: u32,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct HandlerSpec {
+    pub name: String,
+    pub body: Body,
+    pub method: u32,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct ServiceSpec {
+    pub proc: ProcId,
+    pub name: String,
+    pub methods: Vec<MethodSpec>,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct MethodSpec {
+    pub name: String,
+    pub body: Body,
+    pub method: u32,
+}
+
+/// A complete program, ready to [`run`](crate::run).
+#[derive(Clone, Debug)]
+pub struct Program {
+    pub(crate) name: String,
+    pub(crate) process_count: u32,
+    pub(crate) loopers: Vec<ProcId>,
+    pub(crate) threads: Vec<ThreadSpec>,
+    pub(crate) handlers: Vec<HandlerSpec>,
+    pub(crate) services: Vec<ServiceSpec>,
+    pub(crate) listeners: Vec<String>,
+    pub(crate) vars: Vec<VarInit>,
+    pub(crate) monitor_count: u32,
+    pub(crate) counters: Vec<u32>,
+    pub(crate) gestures: Vec<Gesture>,
+}
+
+impl Program {
+    /// The application name (becomes the trace's `app` metadata).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of declared shared variables.
+    pub fn var_count(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of scheduled gestures.
+    pub fn gesture_count(&self) -> usize {
+        self.gestures.len()
+    }
+
+    pub(crate) fn method_pc(method: u32, action_index: usize, sub: u32) -> Pc {
+        let base = (method + 1) * Pc::METHOD_BLOCK;
+        Pc::new(base + 0x40 + 0x20 * action_index as u32 + 4 * sub)
+    }
+}
+
+/// Incremental construction of a [`Program`].
+///
+/// # Examples
+///
+/// ```
+/// use cafa_sim::{ProgramBuilder, Body};
+///
+/// let mut p = ProgramBuilder::new("demo");
+/// let app = p.process();
+/// let main = p.looper(app);
+/// let ptr = p.ptr_var_alloc();
+/// let on_use = p.handler("onUse", Body::new().use_ptr(ptr));
+/// let on_free = p.handler("onDestroy", Body::new().free(ptr));
+/// p.gesture(10, main, on_use);
+/// p.gesture(20, main, on_free);
+/// let program = p.build();
+/// assert_eq!(program.name(), "demo");
+/// ```
+#[derive(Clone, Debug)]
+pub struct ProgramBuilder {
+    program: Program,
+    next_method: u32,
+}
+
+impl ProgramBuilder {
+    /// Starts a program named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            program: Program {
+                name: name.into(),
+                process_count: 0,
+                loopers: Vec::new(),
+                threads: Vec::new(),
+                handlers: Vec::new(),
+                services: Vec::new(),
+                listeners: Vec::new(),
+                vars: Vec::new(),
+                monitor_count: 0,
+                counters: Vec::new(),
+                gestures: Vec::new(),
+            },
+            next_method: 0,
+        }
+    }
+
+    fn alloc_method(&mut self) -> u32 {
+        let m = self.next_method;
+        self.next_method += 1;
+        m
+    }
+
+    /// Declares a new process.
+    pub fn process(&mut self) -> ProcId {
+        let id = ProcId(self.program.process_count);
+        self.program.process_count += 1;
+        id
+    }
+
+    /// Declares a looper (event queue + draining thread) in `proc`.
+    pub fn looper(&mut self, proc: ProcId) -> LooperId {
+        let id = LooperId(self.program.loopers.len() as u32);
+        self.program.loopers.push(proc);
+        id
+    }
+
+    /// Declares a thread started automatically at time 0.
+    pub fn thread(&mut self, proc: ProcId, name: &str, body: Body) -> ThreadSpecId {
+        let method = self.alloc_method();
+        let id = ThreadSpecId(self.program.threads.len() as u32);
+        self.program.threads.push(ThreadSpec {
+            proc,
+            name: name.to_owned(),
+            body,
+            auto_start: true,
+            method,
+        });
+        id
+    }
+
+    /// Declares a thread script only started by [`Action::Fork`].
+    pub fn thread_spec(&mut self, proc: ProcId, name: &str, body: Body) -> ThreadSpecId {
+        let method = self.alloc_method();
+        let id = ThreadSpecId(self.program.threads.len() as u32);
+        self.program.threads.push(ThreadSpec {
+            proc,
+            name: name.to_owned(),
+            body,
+            auto_start: false,
+            method,
+        });
+        id
+    }
+
+    /// The id the *next* [`handler`](Self::handler) call will return.
+    /// Lets a handler body reference itself (bounded repost loops):
+    ///
+    /// ```
+    /// use cafa_sim::{ProgramBuilder, Body, Action};
+    /// let mut p = ProgramBuilder::new("t");
+    /// let pr = p.process();
+    /// let l = p.looper(pr);
+    /// let budget = p.counter(3);
+    /// let me = p.next_handler_id();
+    /// let tick = p.handler(
+    ///     "tick",
+    ///     Body::from_actions(vec![Action::PostChain {
+    ///         looper: l, handler: me, delay_ms: 1, budget,
+    ///     }]),
+    /// );
+    /// assert_eq!(me, tick);
+    /// ```
+    pub fn next_handler_id(&self) -> HandlerId {
+        HandlerId(self.program.handlers.len() as u32)
+    }
+
+    /// Declares an event handler.
+    pub fn handler(&mut self, name: &str, body: Body) -> HandlerId {
+        let method = self.alloc_method();
+        let id = HandlerId(self.program.handlers.len() as u32);
+        self.program.handlers.push(HandlerSpec { name: name.to_owned(), body, method });
+        id
+    }
+
+    /// Declares a Binder service hosted in `proc` (spawns one binder
+    /// thread at startup).
+    pub fn service(&mut self, proc: ProcId, name: &str) -> ServiceId {
+        let id = ServiceId(self.program.services.len() as u32);
+        self.program.services.push(ServiceSpec {
+            proc,
+            name: name.to_owned(),
+            methods: Vec::new(),
+        });
+        id
+    }
+
+    /// Declares a method on `service`.
+    pub fn method(&mut self, service: ServiceId, name: &str, body: Body) -> MethodId {
+        let method = self.alloc_method();
+        let svc = &mut self.program.services[service.0 as usize];
+        let id = MethodId(svc.methods.len() as u32);
+        svc.methods.push(MethodSpec { name: name.to_owned(), body, method });
+        id
+    }
+
+    /// Declares a listener identity belonging to an Android package.
+    pub fn listener(&mut self, package: &str) -> SimListener {
+        let id = SimListener(self.program.listeners.len() as u32);
+        self.program.listeners.push(package.to_owned());
+        id
+    }
+
+    /// Declares a pointer variable initialized to null.
+    pub fn ptr_var(&mut self) -> SimVar {
+        let id = SimVar(self.program.vars.len() as u32);
+        self.program.vars.push(VarInit::PtrNull);
+        id
+    }
+
+    /// Declares a pointer variable pre-initialized with an object.
+    pub fn ptr_var_alloc(&mut self) -> SimVar {
+        let id = SimVar(self.program.vars.len() as u32);
+        self.program.vars.push(VarInit::PtrAlloc);
+        id
+    }
+
+    /// Declares a scalar variable.
+    pub fn scalar_var(&mut self, init: i64) -> SimVar {
+        let id = SimVar(self.program.vars.len() as u32);
+        self.program.vars.push(VarInit::Scalar(init));
+        id
+    }
+
+    /// Declares a monitor.
+    pub fn monitor(&mut self) -> SimMonitor {
+        let id = SimMonitor(self.program.monitor_count);
+        self.program.monitor_count += 1;
+        id
+    }
+
+    /// Declares a countdown counter with an initial budget.
+    pub fn counter(&mut self, budget: u32) -> CounterId {
+        let id = CounterId(self.program.counters.len() as u32);
+        self.program.counters.push(budget);
+        id
+    }
+
+    /// Schedules an external gesture.
+    pub fn gesture(&mut self, at_ms: u64, looper: LooperId, handler: HandlerId) {
+        self.program.gestures.push(Gesture { at_ms, looper, handler });
+    }
+
+    /// Finishes the program.
+    pub fn build(mut self) -> Program {
+        self.program.gestures.sort_by_key(|g| g.at_ms);
+        self.program
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_dense_ids() {
+        let mut p = ProgramBuilder::new("t");
+        let pr = p.process();
+        let l1 = p.looper(pr);
+        let l2 = p.looper(pr);
+        assert_ne!(l1, l2);
+        let v1 = p.ptr_var();
+        let v2 = p.scalar_var(3);
+        assert_ne!(v1, v2);
+        let h = p.handler("h", Body::new());
+        let t = p.thread(pr, "t", Body::new());
+        let svc = p.service(pr, "svc");
+        let m = p.method(svc, "m", Body::new());
+        let _ = (h, t, m);
+        let prog = p.build();
+        assert_eq!(prog.var_count(), 2);
+    }
+
+    #[test]
+    fn gestures_sorted_by_time() {
+        let mut p = ProgramBuilder::new("t");
+        let pr = p.process();
+        let l = p.looper(pr);
+        let h = p.handler("h", Body::new());
+        p.gesture(30, l, h);
+        p.gesture(10, l, h);
+        p.gesture(20, l, h);
+        let prog = p.build();
+        let times: Vec<u64> = prog.gestures.iter().map(|g| g.at_ms).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn method_pcs_stay_in_block() {
+        let pc0 = Program::method_pc(0, 0, 0);
+        let pc_last = Program::method_pc(0, MAX_BODY_ACTIONS - 1, 7);
+        assert!(pc0.same_method(pc_last));
+        let other = Program::method_pc(1, 0, 0);
+        assert!(!pc0.same_method(other));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_body_panics() {
+        let actions = vec![Action::Compute(1); MAX_BODY_ACTIONS + 1];
+        let _ = Body::from_actions(actions);
+    }
+
+    #[test]
+    fn body_chain_builders() {
+        let mut p = ProgramBuilder::new("t");
+        let v = p.ptr_var();
+        let f = p.scalar_var(0);
+        let body = Body::new()
+            .alloc(v)
+            .use_ptr(v)
+            .use_ptr_caught(v)
+            .guarded_use(v)
+            .bool_guarded_use(f, v)
+            .read(f)
+            .write(f, 1)
+            .free(v)
+            .compute(10);
+        assert_eq!(body.actions().len(), 9);
+    }
+}

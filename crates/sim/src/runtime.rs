@@ -1,0 +1,1134 @@
+//! The deterministic discrete-time execution engine.
+//!
+//! The runtime plays the role of the Android stack: it schedules
+//! loopers, regular threads, and Binder threads over a virtual clock,
+//! enforces Android's queue discipline (messages sorted by absolute
+//! ready time, `sendMessageAtFrontOfQueue` jumping the line), blocks
+//! and wakes tasks on monitors, and — when instrumentation is on —
+//! emits exactly the trace records the paper's customized ROM would
+//! (§5). Scheduling choices among simultaneously runnable entities are
+//! drawn from a seeded RNG, so a program explores different
+//! interleavings across seeds while each seed is fully reproducible.
+
+use std::collections::{HashMap, VecDeque};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use cafa_trace::{
+    BranchKind, ListenerId, MonitorId, ObjId, ProcessId, QueueId, TaskId, Trace, TraceBuilder,
+    TxnId, VarId,
+};
+
+use crate::error::SimError;
+use crate::program::{
+    Action, GuardStyle, HandlerId, LooperId, Program, ServiceId, SimVar,
+    ThreadSpecId, VarInit,
+};
+
+/// Instrumentation configuration: what the "customized ROM" records.
+#[derive(Clone, Debug)]
+pub struct InstrumentConfig {
+    /// Master switch. Off = the stock ROM: no trace, no overhead.
+    pub enabled: bool,
+    /// Packages whose listeners are instrumented; `None` instruments
+    /// all. The paper instruments only `android.app`, `android.view`,
+    /// `android.widget`, and `android.content` (§5.2) — registrations
+    /// of listeners in other packages are invisible to the analyzer,
+    /// producing Type I false positives.
+    pub listener_packages: Option<Vec<String>>,
+    /// Simulated cost of writing one record through the kernel logger
+    /// device, in hash rounds. Governs the Figure 8 slowdown.
+    pub logger_weight: u32,
+}
+
+impl InstrumentConfig {
+    /// Full instrumentation (all listener packages).
+    pub fn full() -> Self {
+        Self { enabled: true, listener_packages: None, logger_weight: 600 }
+    }
+
+    /// The paper's coverage: only the four framework packages of §5.2.
+    pub fn paper_packages() -> Self {
+        Self {
+            enabled: true,
+            listener_packages: Some(
+                ["android.app", "android.view", "android.widget", "android.content"]
+                    .map(str::to_owned)
+                    .to_vec(),
+            ),
+            logger_weight: 600,
+        }
+    }
+
+    /// No instrumentation (the stock ROM), for overhead baselines.
+    pub fn off() -> Self {
+        Self { enabled: false, listener_packages: None, logger_weight: 0 }
+    }
+}
+
+/// Simulation parameters.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Seed for scheduling decisions.
+    pub seed: u64,
+    /// Instrumentation setup.
+    pub instrument: InstrumentConfig,
+    /// Abort after this many scheduler steps.
+    pub max_steps: u64,
+    /// Virtual cost of one action, in microseconds.
+    pub action_cost_us: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            instrument: InstrumentConfig::full(),
+            max_steps: 50_000_000,
+            action_cost_us: 10,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Default configuration with a specific seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Self { seed, ..Self::default() }
+    }
+}
+
+/// A null-pointer dereference observed during the run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NpeInfo {
+    /// Name of the handler/thread/method that dereferenced null.
+    pub context: String,
+    /// The pointer variable involved.
+    pub var: VarId,
+    /// Whether the surrounding code caught the exception.
+    pub caught: bool,
+    /// Virtual time of the dereference, in microseconds.
+    pub at_us: u64,
+}
+
+/// The result of a completed run.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// The recorded trace, when instrumentation was enabled.
+    pub trace: Option<Trace>,
+    /// Null-pointer exceptions that manifested under this schedule.
+    pub npes: Vec<NpeInfo>,
+    /// Virtual duration of the run in microseconds.
+    pub virtual_us: u64,
+    /// Scheduler steps executed.
+    pub steps: u64,
+    /// Events processed across all loopers.
+    pub events_processed: u64,
+    /// Accumulated work-hash, returned so the optimizer cannot remove
+    /// the simulated CPU work Figure 8 times.
+    pub sink: u64,
+}
+
+impl RunOutcome {
+    /// True when at least one *uncaught* NPE occurred (an app crash).
+    pub fn crashed(&self) -> bool {
+        self.npes.iter().any(|n| !n.caught)
+    }
+}
+
+/// Runs `program` under `config` to completion.
+///
+/// The run ends when every thread script has finished, all queues are
+/// drained, and no gesture is pending. Virtual time jumps across idle
+/// gaps, so delayed messages always get processed.
+///
+/// # Errors
+///
+/// See [`SimError`] — deadlock, step-budget exhaustion, monitor misuse,
+/// or (indicating a bug) trace validation failure.
+pub fn run(program: &Program, config: &SimConfig) -> Result<RunOutcome, SimError> {
+    program.check().map_err(SimError::InvalidProgram)?;
+    Simulator::new(program, config).run()
+}
+
+// ---- internal machinery ---------------------------------------------------
+
+const FNV_PRIME: u64 = 0x100000001b3;
+
+#[inline]
+fn work(mut h: u64, rounds: u32) -> u64 {
+    for i in 0..rounds {
+        h = (h ^ u64::from(i).wrapping_add(0x9e3779b97f4a7c15)).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Value {
+    Ptr(Option<ObjId>),
+    Scalar(i64),
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum EntState {
+    Ready,
+    Idle,
+    BlockedLock(SimMonitor),
+    BlockedWait(SimMonitor),
+    WaitReacquire { mon: SimMonitor, gen: u32, depth: u32 },
+    BlockedJoin(usize),
+    BlockedRpc(usize),
+    Sleeping(u64),
+    Done,
+}
+
+use crate::program::SimMonitor;
+
+#[derive(Clone, Copy, Debug)]
+enum BodyRef {
+    Thread(ThreadSpecId),
+    Handler(HandlerId),
+    Method(ServiceId, u32),
+}
+
+#[derive(Clone, Debug)]
+enum EntityKind {
+    Thread,
+    Looper { looper: LooperId },
+    Binder { service: ServiceId, current: Option<usize> },
+}
+
+#[derive(Clone, Debug)]
+struct Entity {
+    kind: EntityKind,
+    state: EntState,
+    frame: Option<(BodyRef, usize)>,
+    task: Option<TaskId>,
+    last_forked: Option<usize>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct QueueEntry {
+    when_us: u64,
+    ev: usize,
+}
+
+#[derive(Clone, Debug)]
+struct EventInst {
+    handler: HandlerId,
+    task: Option<TaskId>,
+}
+
+#[derive(Clone, Debug, Default)]
+struct MonState {
+    owner: Option<usize>,
+    depth: u32,
+    gens: Vec<u32>,
+    acq_count: u32,
+    notify_count: u32,
+    waiters: Vec<usize>,
+}
+
+#[derive(Clone, Debug)]
+struct TxnState {
+    method: u32,
+    caller: Option<usize>,
+    done: bool,
+    trace_txn: Option<TxnId>,
+}
+
+struct Simulator<'p> {
+    program: &'p Program,
+    config: &'p SimConfig,
+    rng: SmallRng,
+    now_us: u64,
+    steps: u64,
+    entities: Vec<Entity>,
+    events: Vec<EventInst>,
+    queues: Vec<Vec<QueueEntry>>, // per looper, sorted by when_us (stable)
+    heap: Vec<Value>,
+    monitors: Vec<MonState>,
+    counters: Vec<u32>,
+    txns: Vec<TxnState>,
+    svc_pending: Vec<VecDeque<usize>>,
+    next_obj: u32,
+    gesture_cursor: usize,
+    npes: Vec<NpeInfo>,
+    frame_npe: Vec<bool>,
+    wait_saved: HashMap<usize, u32>,
+    events_processed: u64,
+    sink: u64,
+    // Recording state.
+    rec_enabled: bool,
+    builder: Option<TraceBuilder>,
+    trace_queues: Vec<QueueId>,
+    trace_procs: Vec<ProcessId>,
+    trace_listeners: Vec<Option<ListenerId>>,
+    logger_weight: u32,
+}
+
+impl<'p> Simulator<'p> {
+    fn new(program: &'p Program, config: &'p SimConfig) -> Self {
+        let rec_enabled = config.instrument.enabled;
+        let mut builder = rec_enabled.then(|| TraceBuilder::new(program.name.clone()));
+        if let Some(b) = builder.as_mut() {
+            b.set_seed(config.seed);
+        }
+
+        let mut trace_procs = Vec::new();
+        let mut trace_queues = Vec::new();
+        let mut trace_listeners = Vec::new();
+        if let Some(b) = builder.as_mut() {
+            for _ in 0..program.process_count {
+                trace_procs.push(b.add_process());
+            }
+            for &proc in &program.loopers {
+                trace_queues.push(b.add_queue(trace_procs[proc.0 as usize]));
+            }
+            let allowed = config.instrument.listener_packages.as_ref();
+            for pkg in &program.listeners {
+                let instrumented = allowed.map_or(true, |pkgs| pkgs.iter().any(|p| p == pkg));
+                trace_listeners.push(instrumented.then(|| b.add_listener(pkg)));
+            }
+        }
+
+        let mut next_obj = 0u32;
+        let heap: Vec<Value> = program
+            .vars
+            .iter()
+            .map(|init| match init {
+                VarInit::PtrNull => Value::Ptr(None),
+                VarInit::PtrAlloc => {
+                    let o = ObjId::new(next_obj);
+                    next_obj += 1;
+                    Value::Ptr(Some(o))
+                }
+                VarInit::Scalar(v) => Value::Scalar(*v),
+            })
+            .collect();
+
+        let mut entities = Vec::new();
+        // Loopers first (stable, index == looper id is NOT guaranteed;
+        // track mapping separately below via kind matching).
+        for (li, _) in program.loopers.iter().enumerate() {
+            entities.push(Entity {
+                kind: EntityKind::Looper { looper: LooperId(li as u32) },
+                state: EntState::Idle,
+                frame: None,
+                task: None,
+                last_forked: None,
+            });
+        }
+        // Auto-start threads.
+        for (ti, spec) in program.threads.iter().enumerate() {
+            if spec.auto_start {
+                let task = builder.as_mut().map(|b| {
+                    let t = b.add_thread(trace_procs[spec.proc.0 as usize], &spec.name);
+                    // §5.3: the calling-context stack is traced; each
+                    // script body is one method frame.
+                    b.method_enter(t, Program::method_pc(spec.method, 0, 0).method_base(), &spec.name);
+                    t
+                });
+                entities.push(Entity {
+                    kind: EntityKind::Thread,
+                    state: EntState::Ready,
+                    frame: Some((BodyRef::Thread(ThreadSpecId(ti as u32)), 0)),
+                    task,
+                    last_forked: None,
+                });
+            }
+        }
+        // One binder thread per service.
+        for (si, svc) in program.services.iter().enumerate() {
+            let task = builder.as_mut().map(|b| {
+                b.add_thread(trace_procs[svc.proc.0 as usize], &format!("binder:{}", svc.name))
+            });
+            entities.push(Entity {
+                kind: EntityKind::Binder { service: ServiceId(si as u32), current: None },
+                state: EntState::Idle,
+                frame: None,
+                task,
+                last_forked: None,
+            });
+        }
+
+        Self {
+            program,
+            config,
+            rng: SmallRng::seed_from_u64(config.seed),
+            now_us: 0,
+            steps: 0,
+            entities,
+            events: Vec::new(),
+            queues: vec![Vec::new(); program.loopers.len()],
+            heap,
+            monitors: vec![MonState::default(); program.monitor_count as usize],
+            counters: program.counters.clone(),
+            txns: Vec::new(),
+            svc_pending: vec![VecDeque::new(); program.services.len()],
+            next_obj,
+            gesture_cursor: 0,
+            npes: Vec::new(),
+            frame_npe: Vec::new(),
+            wait_saved: HashMap::new(),
+            events_processed: 0,
+            sink: 0,
+            rec_enabled,
+            builder,
+            trace_queues,
+            trace_procs,
+            trace_listeners,
+            logger_weight: config.instrument.logger_weight,
+        }
+    }
+
+    fn log_cost(&mut self, salt: u64) {
+        if self.rec_enabled {
+            self.sink = work(self.sink ^ salt, self.logger_weight);
+        }
+    }
+
+    fn run(mut self) -> Result<RunOutcome, SimError> {
+        loop {
+            self.deliver_gestures();
+            let eligible = self.collect_eligible();
+            if eligible.is_empty() {
+                if !self.advance_time()? {
+                    break;
+                }
+                continue;
+            }
+            self.steps += 1;
+            if self.steps > self.config.max_steps {
+                return Err(SimError::StepLimit { steps: self.config.max_steps });
+            }
+            let pick = eligible[self.rng.gen_range(0..eligible.len())];
+            self.step(pick)?;
+            self.now_us += self.config.action_cost_us;
+        }
+
+        let trace = match self.builder.take() {
+            Some(mut b) => {
+                b.set_virtual_ms(self.now_us / 1000);
+                Some(b.finish()?)
+            }
+            None => None,
+        };
+        Ok(RunOutcome {
+            trace,
+            npes: self.npes,
+            virtual_us: self.now_us,
+            steps: self.steps,
+            events_processed: self.events_processed,
+            sink: self.sink,
+        })
+    }
+
+    fn deliver_gestures(&mut self) {
+        while let Some(g) = self.program.gestures.get(self.gesture_cursor) {
+            let at_us = g.at_ms * 1000;
+            if at_us > self.now_us {
+                break;
+            }
+            self.gesture_cursor += 1;
+            let name = self.program.handlers[g.handler.0 as usize].name.clone();
+            let queue = self.trace_queues.get(g.looper.0 as usize).copied();
+            let task = match (self.builder.as_mut(), queue) {
+                (Some(b), Some(q)) => Some(b.external(q, &name)),
+                _ => None,
+            };
+            self.log_cost(g.handler.0 as u64);
+            let ev = self.events.len();
+            self.events.push(EventInst { handler: g.handler, task });
+            self.enqueue(g.looper, ev, at_us, false);
+        }
+    }
+
+    /// Inserts an event into a queue: sorted by ready time (stable) for
+    /// normal posts, at the very head for front posts — Android's
+    /// `MessageQueue` discipline.
+    fn enqueue(&mut self, looper: LooperId, ev: usize, when_us: u64, front: bool) {
+        let q = &mut self.queues[looper.0 as usize];
+        if front {
+            q.insert(0, QueueEntry { when_us: 0, ev });
+        } else {
+            let pos = q.partition_point(|e| e.when_us <= when_us);
+            q.insert(pos, QueueEntry { when_us, ev });
+        }
+    }
+
+    fn collect_eligible(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (i, e) in self.entities.iter().enumerate() {
+            let ok = match &e.state {
+                EntState::Ready => true,
+                EntState::Done => false,
+                EntState::Idle => match &e.kind {
+                    EntityKind::Looper { looper } => self.queues[looper.0 as usize]
+                        .first()
+                        .is_some_and(|h| h.when_us <= self.now_us),
+                    EntityKind::Binder { service, .. } => {
+                        !self.svc_pending[service.0 as usize].is_empty()
+                    }
+                    EntityKind::Thread => false,
+                },
+                EntState::BlockedLock(m) => self.monitor_free_for(*m, i),
+                EntState::WaitReacquire { mon, .. } => self.monitor_free_for(*mon, i),
+                EntState::BlockedWait(_) => false,
+                EntState::BlockedJoin(t) => self.entities[*t].state == EntState::Done,
+                EntState::BlockedRpc(txn) => self.txns[*txn].done,
+                EntState::Sleeping(until) => *until <= self.now_us,
+            };
+            if ok {
+                out.push(i);
+            }
+        }
+        out
+    }
+
+    fn monitor_free_for(&self, m: SimMonitor, entity: usize) -> bool {
+        let mon = &self.monitors[m.0 as usize];
+        mon.owner.is_none() || mon.owner == Some(entity)
+    }
+
+    /// Advances virtual time to the next wake-up. Returns false when
+    /// the run is complete.
+    fn advance_time(&mut self) -> Result<bool, SimError> {
+        let mut next: Option<u64> = None;
+        let bump = |t: u64, next: &mut Option<u64>| {
+            *next = Some(next.map_or(t, |n| n.min(t)));
+        };
+        if let Some(g) = self.program.gestures.get(self.gesture_cursor) {
+            bump(g.at_ms * 1000, &mut next);
+        }
+        for (li, q) in self.queues.iter().enumerate() {
+            // Only meaningful if that looper is idle (a blocked looper
+            // cannot pop anyway, but its head may still bound the wake).
+            let _ = li;
+            if let Some(h) = q.first() {
+                bump(h.when_us, &mut next);
+            }
+        }
+        let mut blocked = 0usize;
+        for e in &self.entities {
+            match e.state {
+                EntState::Sleeping(until) => bump(until, &mut next),
+                EntState::BlockedLock(_)
+                | EntState::BlockedWait(_)
+                | EntState::WaitReacquire { .. }
+                | EntState::BlockedJoin(_)
+                | EntState::BlockedRpc(_)
+                | EntState::Ready => blocked += 1,
+                _ => {}
+            }
+        }
+        match next {
+            Some(t) if t > self.now_us => {
+                self.now_us = t;
+                Ok(true)
+            }
+            Some(_) => {
+                // Work is ready now but nothing was eligible: that means
+                // every candidate is blocked on something non-temporal.
+                Err(SimError::Deadlock { blocked, at_us: self.now_us })
+            }
+            None => {
+                if blocked > 0 {
+                    Err(SimError::Deadlock { blocked, at_us: self.now_us })
+                } else {
+                    Ok(false)
+                }
+            }
+        }
+    }
+
+    fn body_actions(&self, body: BodyRef) -> (&'p [Action], u32, &'p str) {
+        match body {
+            BodyRef::Thread(t) => {
+                let s = &self.program.threads[t.0 as usize];
+                (&s.body.actions, s.method, &s.name)
+            }
+            BodyRef::Handler(h) => {
+                let s = &self.program.handlers[h.0 as usize];
+                (&s.body.actions, s.method, &s.name)
+            }
+            BodyRef::Method(svc, m) => {
+                let s = &self.program.services[svc.0 as usize].methods[m as usize];
+                (&s.body.actions, s.method, &s.name)
+            }
+        }
+    }
+
+    fn step(&mut self, i: usize) -> Result<(), SimError> {
+        // Resolve waiting states first.
+        match self.entities[i].state.clone() {
+            EntState::Idle => return self.step_idle(i),
+            EntState::BlockedLock(m) => {
+                self.acquire(i, m, true);
+                self.entities[i].state = EntState::Ready;
+                self.advance_ip(i);
+                return Ok(());
+            }
+            EntState::WaitReacquire { mon, gen, depth } => {
+                // Reacquire with fresh acquisition gens (the release
+                // inside `wait` ended the old ones), then log the wait
+                // itself with the waking notification's generation.
+                let ms = &mut self.monitors[mon.0 as usize];
+                ms.owner = Some(i);
+                ms.depth = depth;
+                let mut new_gens = Vec::with_capacity(depth as usize);
+                for _ in 0..depth {
+                    ms.acq_count += 1;
+                    new_gens.push(ms.acq_count);
+                }
+                ms.gens = new_gens.clone();
+                let task = self.entities[i].task;
+                if let (Some(b), Some(t)) = (self.builder.as_mut(), task) {
+                    for &g in &new_gens {
+                        b.lock(t, MonitorId::new(mon.0), g);
+                    }
+                    b.wait(t, MonitorId::new(mon.0), gen);
+                }
+                self.log_cost(u64::from(mon.0));
+                self.entities[i].state = EntState::Ready;
+                self.advance_ip(i);
+                return Ok(());
+            }
+            EntState::BlockedJoin(child) => {
+                let task = self.entities[i].task;
+                let child_task = self.entities[child].task;
+                if let (Some(b), Some(t), Some(ct)) = (self.builder.as_mut(), task, child_task) {
+                    b.join(t, ct);
+                }
+                self.log_cost(child as u64);
+                self.entities[i].state = EntState::Ready;
+                self.advance_ip(i);
+                return Ok(());
+            }
+            EntState::BlockedRpc(txn) => {
+                let task = self.entities[i].task;
+                let ttxn = self.txns[txn].trace_txn;
+                if let (Some(b), Some(t), Some(x)) = (self.builder.as_mut(), task, ttxn) {
+                    b.rpc_receive(t, x);
+                }
+                self.log_cost(txn as u64);
+                self.entities[i].state = EntState::Ready;
+                self.advance_ip(i);
+                return Ok(());
+            }
+            EntState::Sleeping(_) => {
+                self.entities[i].state = EntState::Ready;
+                self.advance_ip(i);
+                return Ok(());
+            }
+            EntState::Ready => {}
+            EntState::Done | EntState::BlockedWait(_) => unreachable!("not eligible"),
+        }
+
+        let Some((body_ref, ip)) = self.entities[i].frame else {
+            unreachable!("ready entity has a frame")
+        };
+        let (actions, method, _name) = self.body_actions(body_ref);
+        if ip >= actions.len() {
+            return self.finish_frame(i);
+        }
+        let action = actions[ip].clone();
+        self.execute(i, &action, method, ip)
+    }
+
+    fn step_idle(&mut self, i: usize) -> Result<(), SimError> {
+        match self.entities[i].kind.clone() {
+            EntityKind::Looper { looper } => {
+                let entry = self.queues[looper.0 as usize].remove(0);
+                let ev = &self.events[entry.ev];
+                let handler = ev.handler;
+                let task = ev.task;
+                let spec = &self.program.handlers[handler.0 as usize];
+                let (mname, mbase) =
+                    (spec.name.clone(), Program::method_pc(spec.method, 0, 0).method_base());
+                if let (Some(b), Some(t)) = (self.builder.as_mut(), task) {
+                    b.process_event(t);
+                    b.method_enter(t, mbase, &mname);
+                }
+                self.log_cost(entry.ev as u64);
+                self.events_processed += 1;
+                self.entities[i].state = EntState::Ready;
+                self.entities[i].frame = Some((BodyRef::Handler(handler), 0));
+                self.entities[i].task = task;
+                Ok(())
+            }
+            EntityKind::Binder { service, .. } => {
+                let txn = self.svc_pending[service.0 as usize]
+                    .pop_front()
+                    .expect("eligible binder has pending txn");
+                let method = self.txns[txn].method;
+                let task = self.entities[i].task;
+                let ttxn = self.txns[txn].trace_txn;
+                let mspec = &self.program.services[service.0 as usize].methods[method as usize];
+                let (mname, mbase) =
+                    (mspec.name.clone(), Program::method_pc(mspec.method, 0, 0).method_base());
+                if let (Some(b), Some(t), Some(x)) = (self.builder.as_mut(), task, ttxn) {
+                    b.rpc_handle(t, x);
+                    b.method_enter(t, mbase, &mname);
+                }
+                self.log_cost(txn as u64);
+                self.entities[i].kind = EntityKind::Binder { service, current: Some(txn) };
+                self.entities[i].state = EntState::Ready;
+                self.entities[i].frame = Some((BodyRef::Method(service, method), 0));
+                Ok(())
+            }
+            EntityKind::Thread => unreachable!("idle threads are not eligible"),
+        }
+    }
+
+    fn finish_frame(&mut self, i: usize) -> Result<(), SimError> {
+        // Close the §5.3 method frame; an uncaught NPE inside the frame
+        // is recorded as an exceptional exit.
+        if let Some((body_ref, _)) = self.entities[i].frame {
+            let (_, method, _) = self.body_actions(body_ref);
+            let base = Program::method_pc(method, 0, 0).method_base();
+            let exceptional = self.frame_npe.get(i).copied().unwrap_or(false);
+            if let Some(flag) = self.frame_npe.get_mut(i) {
+                *flag = false;
+            }
+            let task = self.entities[i].task;
+            if let (Some(b), Some(t)) = (self.builder.as_mut(), task) {
+                b.method_exit(t, base, exceptional);
+            }
+            self.log_cost(method as u64 ^ 0x1234);
+        }
+        match self.entities[i].kind.clone() {
+            EntityKind::Thread => {
+                self.entities[i].state = EntState::Done;
+                self.entities[i].frame = None;
+            }
+            EntityKind::Looper { .. } => {
+                self.entities[i].state = EntState::Idle;
+                self.entities[i].frame = None;
+                self.entities[i].task = None;
+            }
+            EntityKind::Binder { service, current } => {
+                if let Some(txn) = current {
+                    if self.txns[txn].caller.is_some() {
+                        let task = self.entities[i].task;
+                        let ttxn = self.txns[txn].trace_txn;
+                        if let (Some(b), Some(t), Some(x)) = (self.builder.as_mut(), task, ttxn) {
+                            b.rpc_reply(t, x);
+                        }
+                        self.log_cost(txn as u64);
+                    }
+                    self.txns[txn].done = true;
+                }
+                self.entities[i].kind = EntityKind::Binder { service, current: None };
+                self.entities[i].state = EntState::Idle;
+                self.entities[i].frame = None;
+            }
+        }
+        Ok(())
+    }
+
+    fn advance_ip(&mut self, i: usize) {
+        if let Some((_, ip)) = &mut self.entities[i].frame {
+            *ip += 1;
+        }
+    }
+
+    fn task_of(&self, i: usize) -> Option<TaskId> {
+        self.entities[i].task
+    }
+
+    fn read_ptr(&mut self, i: usize, var: SimVar, method: u32, ip: usize, sub: u32) -> Option<ObjId> {
+        let Value::Ptr(v) = self.heap[var.0 as usize] else {
+            panic!("variable {var:?} is not a pointer");
+        };
+        let task = self.task_of(i);
+        if let (Some(b), Some(t)) = (self.builder.as_mut(), task) {
+            b.obj_read(t, VarId::new(var.0), v, Program::method_pc(method, ip, sub));
+        }
+        self.log_cost(u64::from(var.0));
+        v
+    }
+
+    fn write_ptr(&mut self, i: usize, var: SimVar, value: Option<ObjId>, method: u32, ip: usize, sub: u32) {
+        self.heap[var.0 as usize] = Value::Ptr(value);
+        let task = self.task_of(i);
+        if let (Some(b), Some(t)) = (self.builder.as_mut(), task) {
+            b.obj_write(t, VarId::new(var.0), value, Program::method_pc(method, ip, sub));
+        }
+        self.log_cost(u64::from(var.0) ^ 0xff);
+    }
+
+    fn emit_deref(&mut self, i: usize, obj: ObjId, kind: cafa_trace::DerefKind, method: u32, ip: usize, sub: u32) {
+        let task = self.task_of(i);
+        if let (Some(b), Some(t)) = (self.builder.as_mut(), task) {
+            b.deref(t, obj, Program::method_pc(method, ip, sub), kind);
+        }
+        self.log_cost(u64::from(obj.as_u32()));
+    }
+
+    fn record_npe(&mut self, i: usize, var: SimVar, caught: bool) {
+        let context = match self.entities[i].frame {
+            Some((body, _)) => self.body_actions(body).2.to_owned(),
+            None => "<unknown>".to_owned(),
+        };
+        self.npes.push(NpeInfo {
+            context,
+            var: VarId::new(var.0),
+            caught,
+            at_us: self.now_us,
+        });
+        if !caught {
+            if self.frame_npe.len() <= i {
+                self.frame_npe.resize(i + 1, false);
+            }
+            self.frame_npe[i] = true;
+        }
+    }
+
+    fn acquire(&mut self, i: usize, m: SimMonitor, emit: bool) {
+        let ms = &mut self.monitors[m.0 as usize];
+        debug_assert!(ms.owner.is_none() || ms.owner == Some(i));
+        ms.owner = Some(i);
+        ms.depth += 1;
+        ms.acq_count += 1;
+        let gen = ms.acq_count;
+        ms.gens.push(gen);
+        if emit {
+            let task = self.task_of(i);
+            if let (Some(b), Some(t)) = (self.builder.as_mut(), task) {
+                b.lock(t, MonitorId::new(m.0), gen);
+            }
+            self.log_cost(u64::from(m.0));
+        }
+    }
+
+    fn execute(&mut self, i: usize, action: &Action, method: u32, ip: usize) -> Result<(), SimError> {
+        use Action::*;
+        match action {
+            ReadScalar(var) => {
+                let task = self.task_of(i);
+                if let (Some(b), Some(t)) = (self.builder.as_mut(), task) {
+                    b.read(t, VarId::new(var.0));
+                }
+                self.log_cost(u64::from(var.0));
+                self.advance_ip(i);
+            }
+            WriteScalar(var, value) => {
+                self.heap[var.0 as usize] = Value::Scalar(*value);
+                let task = self.task_of(i);
+                if let (Some(b), Some(t)) = (self.builder.as_mut(), task) {
+                    b.write(t, VarId::new(var.0));
+                }
+                self.log_cost(u64::from(var.0));
+                self.advance_ip(i);
+            }
+            AllocPtr(var) => {
+                let o = ObjId::new(self.next_obj);
+                self.next_obj += 1;
+                self.write_ptr(i, *var, Some(o), method, ip, 0);
+                self.advance_ip(i);
+            }
+            FreePtr(var) => {
+                self.write_ptr(i, *var, None, method, ip, 0);
+                self.advance_ip(i);
+            }
+            CopyPtr { from, to } => {
+                let v = self.read_ptr(i, *from, method, ip, 0);
+                self.write_ptr(i, *to, v, method, ip, 1);
+                self.advance_ip(i);
+            }
+            UsePtr { var, kind, catch_npe } => {
+                match self.read_ptr(i, *var, method, ip, 0) {
+                    Some(o) => self.emit_deref(i, o, *kind, method, ip, 1),
+                    None => self.record_npe(i, *var, *catch_npe),
+                }
+                self.advance_ip(i);
+            }
+            GuardedUse { var, kind, style } => {
+                // read for the test @sub0; branch @sub1; read for the
+                // use @sub2 (IfEqz) or @sub4 past the target (IfNez);
+                // deref after the use-read.
+                let v = self.read_ptr(i, *var, method, ip, 0);
+                if let Some(o) = v {
+                    let task = self.task_of(i);
+                    let (bk, pc_sub, target_sub, use_sub) = match style {
+                        GuardStyle::IfEqz => (BranchKind::IfEqz, 1, 5, 2),
+                        GuardStyle::IfNez => (BranchKind::IfNez, 1, 3, 4),
+                        GuardStyle::IfEq => (BranchKind::IfEq, 1, 3, 4),
+                    };
+                    if let (Some(b), Some(t)) = (self.builder.as_mut(), task) {
+                        b.guard(
+                            t,
+                            bk,
+                            Program::method_pc(method, ip, pc_sub),
+                            Program::method_pc(method, ip, target_sub),
+                            o,
+                        );
+                    }
+                    self.log_cost(u64::from(o.as_u32()) ^ 0xaa);
+                    let v2 = self.read_ptr(i, *var, method, ip, use_sub);
+                    match v2 {
+                        Some(o2) => self.emit_deref(i, o2, *kind, method, ip, use_sub + 1),
+                        // The guard read saw non-null but a truly
+                        // concurrent free (thread) nulled it in between:
+                        // the unsafe window the heuristic cannot close.
+                        None => self.record_npe(i, *var, false),
+                    }
+                }
+                self.advance_ip(i);
+            }
+            BoolGuardedUse { flag, var, kind } => {
+                let Value::Scalar(fv) = self.heap[flag.0 as usize] else {
+                    panic!("flag {flag:?} is not a scalar");
+                };
+                let task = self.task_of(i);
+                if let (Some(b), Some(t)) = (self.builder.as_mut(), task) {
+                    b.read(t, VarId::new(flag.0));
+                }
+                self.log_cost(u64::from(flag.0));
+                if fv != 0 {
+                    match self.read_ptr(i, *var, method, ip, 2) {
+                        Some(o) => self.emit_deref(i, o, *kind, method, ip, 3),
+                        None => self.record_npe(i, *var, false),
+                    }
+                }
+                self.advance_ip(i);
+            }
+            AliasedUse { first, second, kind } => {
+                let v1 = self.read_ptr(i, *first, method, ip, 0);
+                let _v2 = self.read_ptr(i, *second, method, ip, 1);
+                match v1 {
+                    Some(o) => self.emit_deref(i, o, *kind, method, ip, 2),
+                    None => self.record_npe(i, *first, false),
+                }
+                self.advance_ip(i);
+            }
+            Lock(m) => {
+                if self.monitor_free_for(*m, i) {
+                    self.acquire(i, *m, true);
+                    self.advance_ip(i);
+                } else {
+                    self.entities[i].state = EntState::BlockedLock(*m);
+                }
+            }
+            Unlock(m) => {
+                let ms = &mut self.monitors[m.0 as usize];
+                if ms.owner != Some(i) || ms.depth == 0 {
+                    return Err(SimError::IllegalMonitorState {
+                        what: format!("unlock of {m:?} by non-owner"),
+                    });
+                }
+                ms.depth -= 1;
+                let gen = ms.gens.pop().expect("gen stack tracks depth");
+                if ms.depth == 0 {
+                    ms.owner = None;
+                }
+                let task = self.task_of(i);
+                if let (Some(b), Some(t)) = (self.builder.as_mut(), task) {
+                    b.unlock(t, MonitorId::new(m.0), gen);
+                }
+                self.log_cost(u64::from(m.0) ^ 0x55);
+                self.advance_ip(i);
+            }
+            Wait(m) => {
+                let ms = &mut self.monitors[m.0 as usize];
+                if ms.owner != Some(i) {
+                    return Err(SimError::IllegalMonitorState {
+                        what: format!("wait on {m:?} without ownership"),
+                    });
+                }
+                ms.waiters.push(i);
+                let depth = ms.depth;
+                let gens = std::mem::take(&mut ms.gens);
+                ms.owner = None;
+                ms.depth = 0;
+                // `wait` releases the monitor: emit the unlocks so the
+                // runtime lock-acquisition order stays reconstructible
+                // (a FastTrack-style lock_hb over the gens would
+                // otherwise see the waiter holding the monitor across
+                // the notifier's critical section — a causality cycle).
+                let task = self.task_of(i);
+                if let (Some(b), Some(t)) = (self.builder.as_mut(), task) {
+                    for &gen in gens.iter().rev() {
+                        b.unlock(t, MonitorId::new(m.0), gen);
+                    }
+                }
+                self.log_cost(u64::from(m.0) ^ 0x88);
+                self.entities[i].state = EntState::BlockedWait(*m);
+                // The saved depth tells the reacquire how many times to
+                // re-lock; fresh gens are assigned then.
+                self.wait_saved.insert(i, depth);
+            }
+            Notify(m) | NotifyAll(m) => {
+                let all = matches!(action, NotifyAll(_));
+                let ms = &mut self.monitors[m.0 as usize];
+                if ms.owner != Some(i) {
+                    return Err(SimError::IllegalMonitorState {
+                        what: format!("notify on {m:?} without ownership"),
+                    });
+                }
+                ms.notify_count += 1;
+                let gen = ms.notify_count;
+                let task = self.task_of(i);
+                if let (Some(b), Some(t)) = (self.builder.as_mut(), task) {
+                    b.notify(t, MonitorId::new(m.0), gen);
+                }
+                self.log_cost(u64::from(m.0) ^ 0x77);
+                let ms = &mut self.monitors[m.0 as usize];
+                let woken: Vec<usize> = if all {
+                    std::mem::take(&mut ms.waiters)
+                } else if ms.waiters.is_empty() {
+                    Vec::new()
+                } else {
+                    let k = self.rng.gen_range(0..ms.waiters.len());
+                    vec![ms.waiters.swap_remove(k)]
+                };
+                for w in woken {
+                    let depth = self.wait_saved.remove(&w).expect("waiter saved its depth");
+                    self.entities[w].state = EntState::WaitReacquire { mon: *m, gen, depth };
+                }
+                self.advance_ip(i);
+            }
+            Fork(spec_id) => {
+                let spec = &self.program.threads[spec_id.0 as usize];
+                let parent_task = self.task_of(i);
+                let proc = self.trace_procs.get(spec.proc.0 as usize).copied();
+                let name = spec.name.clone();
+                let mbase = Program::method_pc(spec.method, 0, 0).method_base();
+                let task = match (self.builder.as_mut(), parent_task) {
+                    (Some(b), Some(pt)) => {
+                        let t = b.fork(pt, proc.expect("instrumented"), &name);
+                        b.method_enter(t, mbase, &name);
+                        Some(t)
+                    }
+                    (Some(b), None) => {
+                        let t = b.add_thread(proc.expect("instrumented"), &name);
+                        b.method_enter(t, mbase, &name);
+                        Some(t)
+                    }
+                    _ => None,
+                };
+                self.log_cost(u64::from(spec_id.0));
+                let child = self.entities.len();
+                self.entities.push(Entity {
+                    kind: EntityKind::Thread,
+                    state: EntState::Ready,
+                    frame: Some((BodyRef::Thread(*spec_id), 0)),
+                    task,
+                    last_forked: None,
+                });
+                self.entities[i].last_forked = Some(child);
+                self.advance_ip(i);
+            }
+            JoinLast => {
+                let Some(child) = self.entities[i].last_forked else {
+                    return Err(SimError::JoinWithoutFork);
+                };
+                if self.entities[child].state == EntState::Done {
+                    let task = self.task_of(i);
+                    let child_task = self.entities[child].task;
+                    if let (Some(b), Some(t), Some(ct)) = (self.builder.as_mut(), task, child_task)
+                    {
+                        b.join(t, ct);
+                    }
+                    self.log_cost(child as u64);
+                    self.advance_ip(i);
+                } else {
+                    self.entities[i].state = EntState::BlockedJoin(child);
+                }
+            }
+            Post { looper, handler, delay_ms } => {
+                self.do_post(i, *looper, *handler, *delay_ms, false);
+                self.advance_ip(i);
+            }
+            PostFront { looper, handler } => {
+                self.do_post(i, *looper, *handler, 0, true);
+                self.advance_ip(i);
+            }
+            PostChain { looper, handler, delay_ms, budget } => {
+                if self.counters[budget.0 as usize] > 0 {
+                    self.counters[budget.0 as usize] -= 1;
+                    self.do_post(i, *looper, *handler, *delay_ms, false);
+                }
+                self.advance_ip(i);
+            }
+            Register(l) => {
+                let task = self.task_of(i);
+                let tl = self.trace_listeners.get(l.0 as usize).copied().flatten();
+                if let (Some(b), Some(t), Some(lid)) = (self.builder.as_mut(), task, tl) {
+                    b.register(t, lid);
+                    self.log_cost(u64::from(l.0));
+                }
+                self.advance_ip(i);
+            }
+            Perform(l) => {
+                let task = self.task_of(i);
+                let tl = self.trace_listeners.get(l.0 as usize).copied().flatten();
+                if let (Some(b), Some(t), Some(lid)) = (self.builder.as_mut(), task, tl) {
+                    b.perform(t, lid);
+                    self.log_cost(u64::from(l.0) ^ 0x11);
+                }
+                self.advance_ip(i);
+            }
+            Call { service, method: m } => {
+                let txn = self.new_txn(i, *service, m.0, true);
+                self.entities[i].state = EntState::BlockedRpc(txn);
+            }
+            CallAsync { service, method: m } => {
+                let _ = self.new_txn(i, *service, m.0, false);
+                self.advance_ip(i);
+            }
+            Compute(units) => {
+                self.sink = work(self.sink, *units);
+                self.now_us += u64::from(*units);
+                self.advance_ip(i);
+            }
+            Sleep(ms) => {
+                self.entities[i].state = EntState::Sleeping(self.now_us + ms * 1000);
+            }
+        }
+        Ok(())
+    }
+
+    fn new_txn(&mut self, caller: usize, service: ServiceId, method: u32, sync: bool) -> usize {
+        let task = self.task_of(caller);
+        let trace_txn = match (self.builder.as_mut(), task) {
+            (Some(b), Some(t)) => {
+                let (x, _) = b.rpc_call(t);
+                Some(x)
+            }
+            _ => None,
+        };
+        self.log_cost(method as u64 ^ 0x33);
+        let txn = self.txns.len();
+        self.txns.push(TxnState {
+            method,
+            caller: sync.then_some(caller),
+            done: false,
+            trace_txn,
+        });
+        self.svc_pending[service.0 as usize].push_back(txn);
+        txn
+    }
+
+    fn do_post(&mut self, i: usize, looper: LooperId, handler: HandlerId, delay_ms: u64, front: bool) {
+        let name = self.program.handlers[handler.0 as usize].name.clone();
+        let from_task = self.task_of(i);
+        let queue = self.trace_queues.get(looper.0 as usize).copied();
+        let task = match (self.builder.as_mut(), from_task) {
+            (Some(b), Some(ft)) => {
+                let q = queue.expect("instrumented loopers have trace queues");
+                Some(if front { b.post_front(ft, q, &name) } else { b.post(ft, q, &name, delay_ms) })
+            }
+            (Some(_), None) => {
+                unreachable!("posting entities always have a task while instrumented")
+            }
+            _ => None,
+        };
+        self.log_cost(u64::from(handler.0) ^ 0x99);
+        let ev = self.events.len();
+        self.events.push(EventInst { handler, task });
+        let when = self.now_us + delay_ms * 1000;
+        self.enqueue(looper, ev, when, front);
+    }
+}

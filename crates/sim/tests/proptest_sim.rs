@@ -1,0 +1,141 @@
+//! Property tests for the simulator: termination, determinism, and
+//! schedule-independent invariants of random programs.
+
+#![allow(clippy::needless_range_loop)] // index loops mirror the DAG construction
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use cafa_sim::{
+    run, Action, Body, HandlerId, InstrumentConfig, Program, ProgramBuilder, SimConfig,
+};
+
+/// Random DAG-structured program: handlers only post later handlers, so
+/// every run terminates.
+fn random_program(gen_seed: u64) -> (Program, usize) {
+    let mut rng = SmallRng::seed_from_u64(gen_seed);
+    let mut p = ProgramBuilder::new(format!("prop-{gen_seed}"));
+    let proc = p.process();
+    let looper = p.looper(proc);
+    let var = p.scalar_var(0);
+    let ptr = p.ptr_var_alloc();
+    let n = rng.gen_range(3..10);
+
+    let mut total_posts = 0usize;
+    let mut posted = vec![false; n];
+    let mut bodies: Vec<Vec<Action>> = vec![Vec::new(); n];
+    for h in 0..n {
+        let mut actions = vec![Action::ReadScalar(var)];
+        if rng.gen_ratio(1, 4) {
+            actions.push(Action::GuardedUse {
+                var: ptr,
+                kind: cafa_trace::DerefKind::Field,
+                style: cafa_sim::GuardStyle::IfEqz,
+            });
+        }
+        for t in (h + 1)..n {
+            if rng.gen_ratio(1, 3) && !posted[t] {
+                posted[t] = true;
+                total_posts += 1;
+                actions.push(Action::Post {
+                    looper,
+                    handler: HandlerId::from_index(t as u32),
+                    delay_ms: rng.gen_range(0..4),
+                });
+            }
+        }
+        bodies[h] = actions;
+    }
+    for (h, actions) in bodies.into_iter().enumerate() {
+        p.handler(&format!("H{h}"), Body::from_actions(actions));
+    }
+    let mut events = total_posts;
+    for h in 0..n {
+        if !posted[h] {
+            p.gesture(rng.gen_range(0..10), looper, HandlerId::from_index(h as u32));
+            events += 1;
+        }
+    }
+    (p.build(), events)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every run terminates and processes exactly the posted events.
+    #[test]
+    fn runs_terminate_and_drain_queues(gen_seed in 0u64..10_000, run_seed in 0u64..64) {
+        let (program, expected_events) = random_program(gen_seed);
+        let outcome = run(&program, &SimConfig::with_seed(run_seed)).expect("terminates");
+        prop_assert_eq!(outcome.events_processed as usize, expected_events);
+        let trace = outcome.trace.expect("instrumented");
+        prop_assert_eq!(trace.stats().events, expected_events);
+    }
+
+    /// Identical seeds give identical traces; instrumentation does not
+    /// change scheduling decisions.
+    #[test]
+    fn determinism_and_heisenbug_freedom(gen_seed in 0u64..10_000, run_seed in 0u64..64) {
+        let (program, _) = random_program(gen_seed);
+        let a = run(&program, &SimConfig::with_seed(run_seed)).unwrap();
+        let b = run(&program, &SimConfig::with_seed(run_seed)).unwrap();
+        prop_assert_eq!(a.trace.as_ref(), b.trace.as_ref());
+        prop_assert_eq!(a.steps, b.steps);
+
+        // Turning instrumentation off must not change what happens —
+        // the "probe effect" the paper's 2x-6x overhead never alters
+        // (both modes share the scheduler's RNG stream).
+        let mut cfg = SimConfig::with_seed(run_seed);
+        cfg.instrument = InstrumentConfig::off();
+        let c = run(&program, &cfg).unwrap();
+        prop_assert_eq!(a.events_processed, c.events_processed);
+        prop_assert_eq!(a.npes.len(), c.npes.len());
+    }
+
+    /// The recorded trace always validates and respects queue
+    /// invariants: per queue, processed events have contiguous seq and
+    /// equal-delay same-task posts are processed FIFO.
+    #[test]
+    fn traces_respect_queue_discipline(gen_seed in 0u64..10_000, run_seed in 0u64..64) {
+        let (program, _) = random_program(gen_seed);
+        let outcome = run(&program, &SimConfig::with_seed(run_seed)).unwrap();
+        let trace = outcome.trace.expect("instrumented");
+        prop_assert!(cafa_trace::validate::validate(&trace).is_ok());
+
+        // Same-task, same-delay plain posts must be processed FIFO.
+        use cafa_trace::{EventOrigin, Record};
+        for (_, q) in trace.queues() {
+            for (i, &e1) in q.events.iter().enumerate() {
+                for &e2 in q.events.iter().skip(i + 1) {
+                    let (t1, t2) = (trace.task(e1), trace.task(e2));
+                    let (Some(EventOrigin::Sent { send: s1 }), Some(EventOrigin::Sent { send: s2 })) =
+                        (t1.origin(), t2.origin())
+                    else {
+                        continue;
+                    };
+                    if s1.task != s2.task {
+                        continue;
+                    }
+                    let (Record::Send { delay_ms: d1, .. }, Record::Send { delay_ms: d2, .. }) =
+                        (trace.record(s1), trace.record(s2))
+                    else {
+                        continue;
+                    };
+                    // e1 processed before e2: if both posted by the same
+                    // task with d1 <= d2, the posts must also be in
+                    // program order (FIFO was respected).
+                    if s1.index > s2.index && d1 <= d2 {
+                        // e2 was posted first with a <= delay yet ran
+                        // later... that means e1 jumped ahead: only
+                        // possible when d1 < d2. Equal delays forbid it.
+                        prop_assert!(
+                            d1 < d2,
+                            "FIFO violation: later equal-delay post ran first"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Focused semantics tests: monitor misuse, NotifyAll, reentrancy,
+//! pointer copying, and scheduler corner cases.
+
+use cafa_sim::{run, Action, Body, ProgramBuilder, SimConfig, SimError};
+use cafa_trace::{DerefKind, Record};
+
+fn run0(p: cafa_sim::Program) -> Result<cafa_sim::RunOutcome, SimError> {
+    run(&p, &SimConfig::with_seed(0))
+}
+
+#[test]
+fn unlock_without_ownership_is_an_error() {
+    let mut p = ProgramBuilder::new("bad-unlock");
+    let pr = p.process();
+    let m = p.monitor();
+    p.thread(pr, "t", Body::from_actions(vec![Action::Unlock(m)]));
+    match run0(p.build()) {
+        Err(SimError::IllegalMonitorState { what }) => assert!(what.contains("unlock")),
+        other => panic!("expected IllegalMonitorState, got {other:?}"),
+    }
+}
+
+#[test]
+fn notify_without_ownership_is_an_error() {
+    let mut p = ProgramBuilder::new("bad-notify");
+    let pr = p.process();
+    let m = p.monitor();
+    p.thread(pr, "t", Body::from_actions(vec![Action::Notify(m)]));
+    assert!(matches!(run0(p.build()), Err(SimError::IllegalMonitorState { .. })));
+}
+
+#[test]
+fn wait_without_ownership_is_an_error() {
+    let mut p = ProgramBuilder::new("bad-wait");
+    let pr = p.process();
+    let m = p.monitor();
+    p.thread(pr, "t", Body::from_actions(vec![Action::Wait(m)]));
+    assert!(matches!(run0(p.build()), Err(SimError::IllegalMonitorState { .. })));
+}
+
+#[test]
+fn join_without_fork_is_an_error() {
+    let mut p = ProgramBuilder::new("bad-join");
+    let pr = p.process();
+    p.thread(pr, "t", Body::from_actions(vec![Action::JoinLast]));
+    assert!(matches!(run0(p.build()), Err(SimError::JoinWithoutFork)));
+}
+
+#[test]
+fn notify_all_wakes_every_waiter() {
+    let mut p = ProgramBuilder::new("notify-all");
+    let pr = p.process();
+    let m = p.monitor();
+    for i in 0..3 {
+        p.thread(
+            pr,
+            &format!("waiter{i}"),
+            Body::from_actions(vec![Action::Lock(m), Action::Wait(m), Action::Unlock(m)]),
+        );
+    }
+    p.thread(
+        pr,
+        "broadcaster",
+        Body::from_actions(vec![
+            Action::Sleep(5),
+            Action::Lock(m),
+            Action::NotifyAll(m),
+            Action::Unlock(m),
+        ]),
+    );
+    let outcome = run0(p.build()).expect("all waiters wake");
+    let trace = outcome.trace.unwrap();
+    let waits = trace.iter_ops().filter(|(_, r)| matches!(r, Record::Wait { .. })).count();
+    assert_eq!(waits, 3, "every waiter logged its wake");
+    // All three waits share the broadcaster's generation.
+    let gens: std::collections::HashSet<u32> = trace
+        .iter_ops()
+        .filter_map(|(_, r)| match r {
+            Record::Wait { gen, .. } => Some(*gen),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(gens.len(), 1);
+}
+
+#[test]
+fn plain_notify_wakes_exactly_one() {
+    let mut p = ProgramBuilder::new("notify-one");
+    let pr = p.process();
+    let m = p.monitor();
+    for i in 0..2 {
+        p.thread(
+            pr,
+            &format!("waiter{i}"),
+            Body::from_actions(vec![Action::Lock(m), Action::Wait(m), Action::Unlock(m)]),
+        );
+    }
+    p.thread(
+        pr,
+        "signaler",
+        Body::from_actions(vec![
+            Action::Sleep(5),
+            Action::Lock(m),
+            Action::Notify(m),
+            Action::Unlock(m),
+        ]),
+    );
+    // One waiter stays blocked forever: deadlock at drain time.
+    assert!(matches!(run0(p.build()), Err(SimError::Deadlock { .. })));
+}
+
+#[test]
+fn reentrant_locking_works_and_logs_distinct_gens() {
+    let mut p = ProgramBuilder::new("reentrant");
+    let pr = p.process();
+    let m = p.monitor();
+    let v = p.scalar_var(0);
+    p.thread(
+        pr,
+        "t",
+        Body::from_actions(vec![
+            Action::Lock(m),
+            Action::Lock(m),
+            Action::WriteScalar(v, 1),
+            Action::Unlock(m),
+            Action::Unlock(m),
+        ]),
+    );
+    let trace = run0(p.build()).unwrap().trace.unwrap();
+    let lock_gens: Vec<u32> = trace
+        .iter_ops()
+        .filter_map(|(_, r)| match r {
+            Record::Lock { gen, .. } => Some(*gen),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(lock_gens.len(), 2);
+    assert_ne!(lock_gens[0], lock_gens[1]);
+    assert!(cafa_trace::validate::validate(&trace).is_ok());
+}
+
+#[test]
+fn copy_of_null_pointer_is_a_free() {
+    let mut p = ProgramBuilder::new("null-copy");
+    let pr = p.process();
+    let l = p.looper(pr);
+    let src = p.ptr_var(); // starts null
+    let dst = p.ptr_var_alloc();
+    let h = p.handler(
+        "copy",
+        Body::from_actions(vec![Action::CopyPtr { from: src, to: dst }]),
+    );
+    p.gesture(0, l, h);
+    let trace = run0(p.build()).unwrap().trace.unwrap();
+    // The copy writes null into dst: a free record.
+    assert_eq!(trace.stats().frees, 1);
+    assert_eq!(trace.stats().allocations, 0);
+}
+
+#[test]
+fn aliased_use_derefs_the_first_pointer() {
+    let mut p = ProgramBuilder::new("alias-sem");
+    let pr = p.process();
+    let l = p.looper(pr);
+    let a = p.ptr_var_alloc();
+    let b = p.ptr_var_alloc(); // different object
+    let h = p.handler(
+        "use",
+        Body::from_actions(vec![Action::AliasedUse { first: a, second: b, kind: DerefKind::Field }]),
+    );
+    p.gesture(0, l, h);
+    let outcome = run0(p.build()).unwrap();
+    assert!(!outcome.crashed());
+    let trace = outcome.trace.unwrap();
+    // Non-aliased case: deref matches `a`'s read (different object ids),
+    // so the extraction attributes the use to `a` unambiguously.
+    let ops = probe_use_var(&trace);
+    assert_eq!(ops, Some(0));
+}
+
+/// Returns the raw var index the first deref is attributed to.
+fn probe_use_var(trace: &cafa_trace::Trace) -> Option<u32> {
+    for task in trace.tasks() {
+        let mut last: std::collections::HashMap<cafa_trace::ObjId, u32> = Default::default();
+        for r in trace.body(task.id) {
+            match *r {
+                Record::ObjRead { var, obj: Some(o), .. } => {
+                    last.insert(o, var.as_u32());
+                }
+                Record::Deref { obj, .. } => return last.get(&obj).copied(),
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+#[test]
+fn sleep_orders_virtual_time_not_scheduling() {
+    let mut p = ProgramBuilder::new("sleep");
+    let pr = p.process();
+    let l = p.looper(pr);
+    let v = p.scalar_var(0);
+    let early = p.handler("early", Body::new().write(v, 1));
+    let late = p.handler("late", Body::new().write(v, 2));
+    p.thread(pr, "t1", Body::from_actions(vec![Action::Sleep(50), Action::Post {
+        looper: l,
+        handler: late,
+        delay_ms: 0,
+    }]));
+    p.thread(pr, "t2", Body::from_actions(vec![Action::Post {
+        looper: l,
+        handler: early,
+        delay_ms: 0,
+    }]));
+    let trace = run0(p.build()).unwrap().trace.unwrap();
+    let q = trace.queues().next().unwrap().1;
+    let names: Vec<&str> = q.events.iter().map(|&e| trace.task_name(e)).collect();
+    assert_eq!(names, vec!["early", "late"], "virtual time separates the posts");
+}
+
+#[test]
+fn binder_queues_multiple_transactions() {
+    let mut p = ProgramBuilder::new("binder-q");
+    let app = p.process();
+    let svcp = p.process();
+    let v = p.scalar_var(0);
+    let svc = p.service(svcp, "svc");
+    let m1 = p.method(svc, "m1", Body::new().write(v, 1).compute(10));
+    let m2 = p.method(svc, "m2", Body::new().write(v, 2).compute(10));
+    // Two callers hit the single binder thread concurrently.
+    p.thread(app, "c1", Body::from_actions(vec![Action::Call { service: svc, method: m1 }]));
+    p.thread(app, "c2", Body::from_actions(vec![Action::Call { service: svc, method: m2 }]));
+    let trace = run0(p.build()).unwrap().trace.unwrap();
+    let handles = trace.iter_ops().filter(|(_, r)| matches!(r, Record::RpcHandle { .. })).count();
+    let replies = trace.iter_ops().filter(|(_, r)| matches!(r, Record::RpcReply { .. })).count();
+    assert_eq!((handles, replies), (2, 2), "both transactions served in turn");
+}

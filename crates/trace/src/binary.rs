@@ -1,0 +1,618 @@
+//! Compact binary serialization of traces.
+//!
+//! This is the on-flash format the paper's logger device would produce
+//! (§5.1: "one can also choose to dump traces into a flash storage and
+//! process them later"): a magic header followed by LEB128-varint
+//! sections. Roughly 5–8× smaller than the text format.
+
+use std::io::{self, Read, Write};
+
+use crate::error::ReadError;
+use crate::ids::{
+    ListenerId, MonitorId, NameId, ObjId, OpRef, Pc, ProcessId, QueueId, TaskId, TxnId, VarId,
+};
+use crate::interner::Interner;
+use crate::record::{BranchKind, DerefKind, Record};
+use crate::task::{EventOrigin, ListenerInfo, QueueInfo, TaskInfo, TaskKind};
+use crate::trace::{Trace, TraceMeta};
+use crate::validate::validate;
+
+/// Magic bytes opening a binary trace.
+pub const MAGIC: &[u8; 4] = b"CAFT";
+/// Current binary format version.
+pub const BINARY_VERSION: u32 = 1;
+
+// ---- varint helpers -------------------------------------------------------
+
+fn put_u64<W: Write>(out: &mut W, mut v: u64) -> io::Result<()> {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            return out.write_all(&[byte]);
+        }
+        out.write_all(&[byte | 0x80])?;
+    }
+}
+
+fn put_u32<W: Write>(out: &mut W, v: u32) -> io::Result<()> {
+    put_u64(out, u64::from(v))
+}
+
+fn put_str<W: Write>(out: &mut W, s: &str) -> io::Result<()> {
+    put_u64(out, s.len() as u64)?;
+    out.write_all(s.as_bytes())
+}
+
+struct Reader<R> {
+    input: R,
+    offset: u64,
+}
+
+impl<R: Read> Reader<R> {
+    fn new(input: R) -> Self {
+        Self { input, offset: 0 }
+    }
+
+    fn byte(&mut self) -> Result<u8, ReadError> {
+        let mut b = [0u8; 1];
+        self.input.read_exact(&mut b)?;
+        self.offset += 1;
+        Ok(b[0])
+    }
+
+    fn u64(&mut self) -> Result<u64, ReadError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.byte()?;
+            if shift >= 64 {
+                return Err(ReadError::parse(self.offset, "varint overflows u64"));
+            }
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    fn u32(&mut self) -> Result<u32, ReadError> {
+        let v = self.u64()?;
+        u32::try_from(v).map_err(|_| ReadError::parse(self.offset, "value overflows u32"))
+    }
+
+    fn string(&mut self) -> Result<String, ReadError> {
+        let len = self.u64()? as usize;
+        if len > 1 << 24 {
+            return Err(ReadError::parse(self.offset, "implausible string length"));
+        }
+        let mut buf = vec![0u8; len];
+        self.input.read_exact(&mut buf)?;
+        self.offset += len as u64;
+        String::from_utf8(buf).map_err(|_| ReadError::parse(self.offset, "invalid UTF-8"))
+    }
+
+    fn opref(&mut self) -> Result<OpRef, ReadError> {
+        let task = TaskId::new(self.u32()?);
+        let index = self.u32()?;
+        Ok(OpRef { task, index })
+    }
+}
+
+fn put_opref<W: Write>(out: &mut W, at: OpRef) -> io::Result<()> {
+    put_u32(out, at.task.as_u32())?;
+    put_u32(out, at.index)
+}
+
+fn put_opt_obj<W: Write>(out: &mut W, obj: Option<ObjId>) -> io::Result<()> {
+    match obj {
+        None => put_u32(out, 0),
+        Some(o) => put_u32(out, o.as_u32() + 1),
+    }
+}
+
+fn get_opt_obj<R: Read>(r: &mut Reader<R>) -> Result<Option<ObjId>, ReadError> {
+    let v = r.u32()?;
+    Ok(if v == 0 { None } else { Some(ObjId::new(v - 1)) })
+}
+
+// ---- record codes ----------------------------------------------------------
+
+const R_FORK: u8 = 1;
+const R_JOIN: u8 = 2;
+const R_WAIT: u8 = 3;
+const R_NOTIFY: u8 = 4;
+const R_LOCK: u8 = 5;
+const R_UNLOCK: u8 = 6;
+const R_SEND: u8 = 7;
+const R_SENDFRONT: u8 = 8;
+const R_REGISTER: u8 = 9;
+const R_PERFORM: u8 = 10;
+const R_RPCCALL: u8 = 11;
+const R_RPCHANDLE: u8 = 12;
+const R_RPCREPLY: u8 = 13;
+const R_RPCRECV: u8 = 14;
+const R_READ: u8 = 15;
+const R_WRITE: u8 = 16;
+const R_OGET: u8 = 17;
+const R_OPUT: u8 = 18;
+const R_DEREF_FIELD: u8 = 19;
+const R_DEREF_INVOKE: u8 = 20;
+const R_GUARD_EQZ: u8 = 21;
+const R_GUARD_NEZ: u8 = 22;
+const R_GUARD_EQ: u8 = 23;
+const R_ENTER: u8 = 24;
+const R_EXIT_RET: u8 = 25;
+const R_EXIT_THROW: u8 = 26;
+
+fn write_record<W: Write>(out: &mut W, r: &Record) -> io::Result<()> {
+    match *r {
+        Record::Fork { child } => {
+            out.write_all(&[R_FORK])?;
+            put_u32(out, child.as_u32())
+        }
+        Record::Join { child } => {
+            out.write_all(&[R_JOIN])?;
+            put_u32(out, child.as_u32())
+        }
+        Record::Wait { monitor, gen } => {
+            out.write_all(&[R_WAIT])?;
+            put_u32(out, monitor.as_u32())?;
+            put_u32(out, gen)
+        }
+        Record::Notify { monitor, gen } => {
+            out.write_all(&[R_NOTIFY])?;
+            put_u32(out, monitor.as_u32())?;
+            put_u32(out, gen)
+        }
+        Record::Lock { monitor, gen } => {
+            out.write_all(&[R_LOCK])?;
+            put_u32(out, monitor.as_u32())?;
+            put_u32(out, gen)
+        }
+        Record::Unlock { monitor, gen } => {
+            out.write_all(&[R_UNLOCK])?;
+            put_u32(out, monitor.as_u32())?;
+            put_u32(out, gen)
+        }
+        Record::Send { event, queue, delay_ms } => {
+            out.write_all(&[R_SEND])?;
+            put_u32(out, event.as_u32())?;
+            put_u32(out, queue.as_u32())?;
+            put_u64(out, delay_ms)
+        }
+        Record::SendAtFront { event, queue } => {
+            out.write_all(&[R_SENDFRONT])?;
+            put_u32(out, event.as_u32())?;
+            put_u32(out, queue.as_u32())
+        }
+        Record::Register { listener } => {
+            out.write_all(&[R_REGISTER])?;
+            put_u32(out, listener.as_u32())
+        }
+        Record::Perform { listener } => {
+            out.write_all(&[R_PERFORM])?;
+            put_u32(out, listener.as_u32())
+        }
+        Record::RpcCall { txn } => {
+            out.write_all(&[R_RPCCALL])?;
+            put_u32(out, txn.as_u32())
+        }
+        Record::RpcHandle { txn } => {
+            out.write_all(&[R_RPCHANDLE])?;
+            put_u32(out, txn.as_u32())
+        }
+        Record::RpcReply { txn } => {
+            out.write_all(&[R_RPCREPLY])?;
+            put_u32(out, txn.as_u32())
+        }
+        Record::RpcReceive { txn } => {
+            out.write_all(&[R_RPCRECV])?;
+            put_u32(out, txn.as_u32())
+        }
+        Record::Read { var } => {
+            out.write_all(&[R_READ])?;
+            put_u32(out, var.as_u32())
+        }
+        Record::Write { var } => {
+            out.write_all(&[R_WRITE])?;
+            put_u32(out, var.as_u32())
+        }
+        Record::ObjRead { var, obj, pc } => {
+            out.write_all(&[R_OGET])?;
+            put_u32(out, var.as_u32())?;
+            put_opt_obj(out, obj)?;
+            put_u32(out, pc.addr())
+        }
+        Record::ObjWrite { var, value, pc } => {
+            out.write_all(&[R_OPUT])?;
+            put_u32(out, var.as_u32())?;
+            put_opt_obj(out, value)?;
+            put_u32(out, pc.addr())
+        }
+        Record::Deref { obj, pc, kind } => {
+            let code = match kind {
+                DerefKind::Field => R_DEREF_FIELD,
+                DerefKind::Invoke => R_DEREF_INVOKE,
+            };
+            out.write_all(&[code])?;
+            put_u32(out, obj.as_u32())?;
+            put_u32(out, pc.addr())
+        }
+        Record::Guard { kind, pc, target, obj } => {
+            let code = match kind {
+                BranchKind::IfEqz => R_GUARD_EQZ,
+                BranchKind::IfNez => R_GUARD_NEZ,
+                BranchKind::IfEq => R_GUARD_EQ,
+            };
+            out.write_all(&[code])?;
+            put_u32(out, pc.addr())?;
+            put_u32(out, target.addr())?;
+            put_u32(out, obj.as_u32())
+        }
+        Record::MethodEnter { pc, name } => {
+            out.write_all(&[R_ENTER])?;
+            put_u32(out, pc.addr())?;
+            put_u32(out, name.as_u32())
+        }
+        Record::MethodExit { pc, exceptional } => {
+            out.write_all(&[if exceptional { R_EXIT_THROW } else { R_EXIT_RET }])?;
+            put_u32(out, pc.addr())
+        }
+    }
+}
+
+fn read_record<R: Read>(r: &mut Reader<R>) -> Result<Record, ReadError> {
+    let code = r.byte()?;
+    let rec = match code {
+        R_FORK => Record::Fork { child: TaskId::new(r.u32()?) },
+        R_JOIN => Record::Join { child: TaskId::new(r.u32()?) },
+        R_WAIT => Record::Wait { monitor: MonitorId::new(r.u32()?), gen: r.u32()? },
+        R_NOTIFY => Record::Notify { monitor: MonitorId::new(r.u32()?), gen: r.u32()? },
+        R_LOCK => Record::Lock { monitor: MonitorId::new(r.u32()?), gen: r.u32()? },
+        R_UNLOCK => Record::Unlock { monitor: MonitorId::new(r.u32()?), gen: r.u32()? },
+        R_SEND => Record::Send {
+            event: TaskId::new(r.u32()?),
+            queue: QueueId::new(r.u32()?),
+            delay_ms: r.u64()?,
+        },
+        R_SENDFRONT => Record::SendAtFront {
+            event: TaskId::new(r.u32()?),
+            queue: QueueId::new(r.u32()?),
+        },
+        R_REGISTER => Record::Register { listener: ListenerId::new(r.u32()?) },
+        R_PERFORM => Record::Perform { listener: ListenerId::new(r.u32()?) },
+        R_RPCCALL => Record::RpcCall { txn: TxnId::new(r.u32()?) },
+        R_RPCHANDLE => Record::RpcHandle { txn: TxnId::new(r.u32()?) },
+        R_RPCREPLY => Record::RpcReply { txn: TxnId::new(r.u32()?) },
+        R_RPCRECV => Record::RpcReceive { txn: TxnId::new(r.u32()?) },
+        R_READ => Record::Read { var: VarId::new(r.u32()?) },
+        R_WRITE => Record::Write { var: VarId::new(r.u32()?) },
+        R_OGET => Record::ObjRead {
+            var: VarId::new(r.u32()?),
+            obj: get_opt_obj(r)?,
+            pc: Pc::new(r.u32()?),
+        },
+        R_OPUT => Record::ObjWrite {
+            var: VarId::new(r.u32()?),
+            value: get_opt_obj(r)?,
+            pc: Pc::new(r.u32()?),
+        },
+        R_DEREF_FIELD | R_DEREF_INVOKE => Record::Deref {
+            obj: ObjId::new(r.u32()?),
+            pc: Pc::new(r.u32()?),
+            kind: if code == R_DEREF_FIELD { DerefKind::Field } else { DerefKind::Invoke },
+        },
+        R_GUARD_EQZ | R_GUARD_NEZ | R_GUARD_EQ => Record::Guard {
+            kind: match code {
+                R_GUARD_EQZ => BranchKind::IfEqz,
+                R_GUARD_NEZ => BranchKind::IfNez,
+                _ => BranchKind::IfEq,
+            },
+            pc: Pc::new(r.u32()?),
+            target: Pc::new(r.u32()?),
+            obj: ObjId::new(r.u32()?),
+        },
+        R_ENTER => Record::MethodEnter { pc: Pc::new(r.u32()?), name: NameId::new(r.u32()?) },
+        R_EXIT_RET => Record::MethodExit { pc: Pc::new(r.u32()?), exceptional: false },
+        R_EXIT_THROW => Record::MethodExit { pc: Pc::new(r.u32()?), exceptional: true },
+        c => return Err(ReadError::parse(r.offset, format!("unknown record code {c}"))),
+    };
+    Ok(rec)
+}
+
+// ---- whole-trace codec --------------------------------------------------------
+
+/// Writes `trace` in the binary format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_binary<W: Write>(trace: &Trace, mut out: W) -> io::Result<()> {
+    out.write_all(MAGIC)?;
+    put_u32(&mut out, BINARY_VERSION)?;
+    put_str(&mut out, &trace.meta.app)?;
+    put_u64(&mut out, trace.meta.seed)?;
+    put_u64(&mut out, trace.meta.virtual_ms)?;
+    put_u32(&mut out, trace.process_count)?;
+
+    put_u64(&mut out, trace.names.len() as u64)?;
+    for (_, s) in trace.names.iter() {
+        put_str(&mut out, s)?;
+    }
+
+    put_u64(&mut out, trace.queue_count() as u64)?;
+    for (_, q) in trace.queues() {
+        match q.process {
+            Some(p) => put_u32(&mut out, p.as_u32() + 1)?,
+            None => put_u32(&mut out, 0)?,
+        }
+    }
+
+    put_u64(&mut out, trace.listener_count() as u64)?;
+    for l in &trace.listeners {
+        put_u32(&mut out, l.package.as_u32())?;
+    }
+
+    put_u64(&mut out, trace.task_count() as u64)?;
+    for t in trace.tasks() {
+        match t.kind {
+            TaskKind::Thread { process, forked_at } => {
+                out.write_all(&[0])?;
+                put_u32(&mut out, process.as_u32())?;
+                match forked_at {
+                    None => out.write_all(&[0])?,
+                    Some(at) => {
+                        out.write_all(&[1])?;
+                        put_opref(&mut out, at)?;
+                    }
+                }
+            }
+            TaskKind::Event { queue, seq, origin, delay_ms } => {
+                out.write_all(&[1])?;
+                put_u32(&mut out, queue.as_u32())?;
+                put_u32(&mut out, seq)?;
+                put_u64(&mut out, delay_ms)?;
+                match origin {
+                    EventOrigin::Sent { send } => {
+                        out.write_all(&[0])?;
+                        put_opref(&mut out, send)?;
+                    }
+                    EventOrigin::SentAtFront { send } => {
+                        out.write_all(&[1])?;
+                        put_opref(&mut out, send)?;
+                    }
+                    EventOrigin::External { sequence } => {
+                        out.write_all(&[2])?;
+                        put_u32(&mut out, sequence)?;
+                    }
+                }
+            }
+        }
+        put_u32(&mut out, t.name.as_u32())?;
+    }
+
+    for t in trace.tasks() {
+        let body = trace.body(t.id);
+        put_u64(&mut out, body.len() as u64)?;
+        for r in body {
+            write_record(&mut out, r)?;
+        }
+    }
+    Ok(())
+}
+
+/// Encodes a trace into a fresh byte vector.
+pub fn to_binary_vec(trace: &Trace) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_binary(trace, &mut buf).expect("writing to a Vec cannot fail");
+    buf
+}
+
+/// Reads a trace in the binary format, validating it.
+///
+/// # Errors
+///
+/// Returns [`ReadError`] for malformed input, unsupported versions, or a
+/// trace that fails validation.
+pub fn read_binary<R: Read>(input: R) -> Result<Trace, ReadError> {
+    let mut r = Reader::new(input);
+    let mut magic = [0u8; 4];
+    r.input.read_exact(&mut magic)?;
+    r.offset += 4;
+    if &magic != MAGIC {
+        return Err(ReadError::parse(0, "bad magic; not a cafa binary trace"));
+    }
+    let version = r.u32()?;
+    if version != BINARY_VERSION {
+        return Err(ReadError::UnsupportedVersion { found: version });
+    }
+    let app = r.string()?;
+    let seed = r.u64()?;
+    let virtual_ms = r.u64()?;
+    let process_count = r.u32()?;
+
+    let name_count = r.u64()? as usize;
+    let mut names = Interner::new();
+    for i in 0..name_count {
+        let s = r.string()?;
+        let id = names.intern(&s);
+        if id.index() != i {
+            return Err(ReadError::parse(r.offset, "duplicate interned string"));
+        }
+    }
+
+    let queue_count = r.u64()? as usize;
+    let mut queues = Vec::with_capacity(queue_count);
+    for _ in 0..queue_count {
+        let p = r.u32()?;
+        let process = if p == 0 { None } else { Some(ProcessId::new(p - 1)) };
+        queues.push(QueueInfo { process, events: Vec::new() });
+    }
+
+    let listener_count = r.u64()? as usize;
+    let mut listeners = Vec::with_capacity(listener_count);
+    for _ in 0..listener_count {
+        listeners.push(ListenerInfo { package: NameId::new(r.u32()?) });
+    }
+
+    let task_count = r.u64()? as usize;
+    let mut tasks = Vec::with_capacity(task_count);
+    let mut external: Vec<(u32, TaskId)> = Vec::new();
+    for i in 0..task_count {
+        let id = TaskId::from_usize(i);
+        let kind = match r.byte()? {
+            0 => {
+                let process = ProcessId::new(r.u32()?);
+                let forked_at = match r.byte()? {
+                    0 => None,
+                    1 => Some(r.opref()?),
+                    b => return Err(ReadError::parse(r.offset, format!("bad fork flag {b}"))),
+                };
+                TaskKind::Thread { process, forked_at }
+            }
+            1 => {
+                let queue = QueueId::new(r.u32()?);
+                let seq = r.u32()?;
+                let delay_ms = r.u64()?;
+                let origin = match r.byte()? {
+                    0 => EventOrigin::Sent { send: r.opref()? },
+                    1 => EventOrigin::SentAtFront { send: r.opref()? },
+                    2 => {
+                        let sequence = r.u32()?;
+                        external.push((sequence, id));
+                        EventOrigin::External { sequence }
+                    }
+                    b => return Err(ReadError::parse(r.offset, format!("bad origin tag {b}"))),
+                };
+                let q = queues
+                    .get_mut(queue.index())
+                    .ok_or_else(|| ReadError::parse(r.offset, "event names unknown queue"))?;
+                let si = seq as usize;
+                if q.events.len() <= si {
+                    q.events.resize(si + 1, TaskId::new(u32::MAX));
+                }
+                q.events[si] = id;
+                TaskKind::Event { queue, seq, origin, delay_ms }
+            }
+            b => return Err(ReadError::parse(r.offset, format!("bad task kind {b}"))),
+        };
+        let name = NameId::new(r.u32()?);
+        tasks.push(TaskInfo { id, kind, name });
+    }
+
+    let mut bodies = Vec::with_capacity(task_count);
+    for _ in 0..task_count {
+        let len = r.u64()? as usize;
+        if len > 1 << 28 {
+            return Err(ReadError::parse(r.offset, "implausible body length"));
+        }
+        let mut body = Vec::with_capacity(len.min(1 << 16));
+        for _ in 0..len {
+            body.push(read_record(&mut r)?);
+        }
+        bodies.push(body);
+    }
+
+    external.sort_by_key(|(seq, _)| *seq);
+    let external_order: Vec<TaskId> = external.into_iter().map(|(_, t)| t).collect();
+
+    let trace = Trace {
+        meta: TraceMeta { app, seed, virtual_ms },
+        names,
+        tasks,
+        bodies,
+        queues,
+        listeners,
+        external_order,
+        process_count,
+    };
+    validate(&trace)?;
+    Ok(trace)
+}
+
+/// Decodes a trace from a byte slice.
+///
+/// # Errors
+///
+/// Same conditions as [`read_binary`].
+pub fn from_binary_slice(bytes: &[u8]) -> Result<Trace, ReadError> {
+    read_binary(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+
+    fn sample_trace() -> Trace {
+        let mut b = TraceBuilder::new("binary-sample");
+        b.set_seed(7);
+        b.set_virtual_ms(1000);
+        let p = b.add_process();
+        let q = b.add_queue(p);
+        let t = b.add_thread(p, "main");
+        let l = b.add_listener("android.widget");
+        let ev = b.post(t, q, "onClick", 0);
+        let fr = b.post_front(t, q, "vsync");
+        let ext = b.external(q, "key");
+        b.process_event(ev);
+        b.register(ev, l);
+        b.guard(ev, BranchKind::IfNez, Pc::new(8), Pc::new(2), ObjId::new(3));
+        b.process_event(fr);
+        b.perform(fr, l);
+        b.obj_read(fr, VarId::new(1), None, Pc::new(0x20));
+        b.process_event(ext);
+        b.obj_write(ext, VarId::new(1), Some(ObjId::new(9)), Pc::new(0x30));
+        b.deref(ext, ObjId::new(9), Pc::new(0x34), DerefKind::Invoke);
+        let w = b.fork(t, p, "net");
+        b.method_enter(w, Pc::new(0x50), "Net.connect");
+        b.method_exit(w, Pc::new(0x50), false);
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_trace() {
+        let trace = sample_trace();
+        let bytes = to_binary_vec(&trace);
+        let back = from_binary_slice(&bytes).expect("roundtrip parses");
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn binary_is_smaller_than_text() {
+        let trace = sample_trace();
+        let bytes = to_binary_vec(&trace);
+        let text = crate::serialize::to_text_string(&trace);
+        assert!(bytes.len() < text.len());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(matches!(
+            from_binary_slice(b"NOPE0000"),
+            Err(ReadError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let trace = sample_trace();
+        let bytes = to_binary_vec(&trace);
+        // Every strict prefix must fail cleanly, never panic.
+        for cut in 0..bytes.len() {
+            assert!(from_binary_slice(&bytes[..cut]).is_err(), "prefix {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_u64(&mut buf, v).unwrap();
+            let mut r = Reader::new(buf.as_slice());
+            assert_eq!(r.u64().unwrap(), v);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Error types for trace construction, validation, and (de)serialization.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{MonitorId, OpRef, QueueId, TaskId};
+
+/// A structural problem with a trace.
+///
+/// Produced by [`TraceBuilder::finish`](crate::TraceBuilder::finish) and
+/// by [`validate`](crate::validate::validate) on deserialized traces.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// An event task was created but never processed by its looper, so it
+    /// has no position in the queue's processing order.
+    UnprocessedEvent {
+        /// The offending event.
+        event: TaskId,
+    },
+    /// An event claims a send origin but no matching `Send`/`SendAtFront`
+    /// record exists at that position.
+    MissingSendRecord {
+        /// The offending event.
+        event: TaskId,
+        /// Where its origin points.
+        site: OpRef,
+    },
+    /// Two different send records enqueue the same event.
+    DuplicateSend {
+        /// The event enqueued twice.
+        event: TaskId,
+        /// The first posting site.
+        first: OpRef,
+        /// The second posting site.
+        second: OpRef,
+    },
+    /// A send record posts an event to a queue other than the one the
+    /// event's metadata names.
+    QueueMismatch {
+        /// The posted event.
+        event: TaskId,
+        /// Queue in the event metadata.
+        declared: QueueId,
+        /// Queue in the send record.
+        sent_to: QueueId,
+    },
+    /// A task ends holding a lock, or releases a lock it does not hold.
+    UnbalancedLock {
+        /// The offending task.
+        task: TaskId,
+        /// The monitor involved.
+        monitor: MonitorId,
+        /// Index of the offending record, or the task length when the
+        /// task ends while still holding the monitor.
+        at: u32,
+    },
+    /// A record references a task, queue, listener, or name id outside
+    /// the trace's tables.
+    DanglingId {
+        /// Position of the offending record.
+        site: OpRef,
+        /// Human-readable description of the dangling reference.
+        what: String,
+    },
+    /// The events of a queue do not form a contiguous processing order
+    /// `0..n`.
+    BrokenQueueOrder {
+        /// The offending queue.
+        queue: QueueId,
+    },
+    /// A `Fork` record names a child that is not a thread, or a thread's
+    /// `forked_at` does not point at a matching `Fork`.
+    BadFork {
+        /// The child task involved.
+        child: TaskId,
+    },
+    /// A `Join` record names a child that is not a thread.
+    BadJoin {
+        /// Position of the offending record.
+        site: OpRef,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::UnprocessedEvent { event } => {
+                write!(f, "event {event} was posted but never processed")
+            }
+            TraceError::MissingSendRecord { event, site } => {
+                write!(f, "event {event} claims origin {site} but no send record exists there")
+            }
+            TraceError::DuplicateSend { event, first, second } => {
+                write!(f, "event {event} is posted twice, at {first} and {second}")
+            }
+            TraceError::QueueMismatch { event, declared, sent_to } => write!(
+                f,
+                "event {event} declares queue {declared} but was sent to {sent_to}"
+            ),
+            TraceError::UnbalancedLock { task, monitor, at } => {
+                write!(f, "task {task} has unbalanced lock/unlock of {monitor} at index {at}")
+            }
+            TraceError::DanglingId { site, what } => {
+                write!(f, "record at {site} references {what}")
+            }
+            TraceError::BrokenQueueOrder { queue } => {
+                write!(f, "queue {queue} has a non-contiguous processing order")
+            }
+            TraceError::BadFork { child } => {
+                write!(f, "fork relationship of task {child} is inconsistent")
+            }
+            TraceError::BadJoin { site } => {
+                write!(f, "join record at {site} does not name a thread")
+            }
+        }
+    }
+}
+
+impl Error for TraceError {}
+
+/// An error while reading a serialized trace.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ReadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The input is not a trace in the expected format.
+    Parse {
+        /// 1-based line number (text format) or byte offset (binary).
+        at: u64,
+        /// Description of what went wrong.
+        message: String,
+    },
+    /// The trace parsed but failed structural validation.
+    Invalid(TraceError),
+    /// The format version in the header is not supported.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+    },
+}
+
+impl ReadError {
+    pub(crate) fn parse(at: u64, message: impl Into<String>) -> Self {
+        ReadError::Parse { at, message: message.into() }
+    }
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "i/o error reading trace: {e}"),
+            ReadError::Parse { at, message } => write!(f, "parse error at {at}: {message}"),
+            ReadError::Invalid(e) => write!(f, "trace failed validation: {e}"),
+            ReadError::UnsupportedVersion { found } => {
+                write!(f, "unsupported trace format version {found}")
+            }
+        }
+    }
+}
+
+impl Error for ReadError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ReadError::Io(e) => Some(e),
+            ReadError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ReadError {
+    fn from(e: std::io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+impl From<TraceError> for ReadError {
+    fn from(e: TraceError) -> Self {
+        ReadError::Invalid(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_ids() {
+        let e = TraceError::UnprocessedEvent { event: TaskId::new(4) };
+        assert!(e.to_string().contains("t4"));
+        let e = TraceError::QueueMismatch {
+            event: TaskId::new(1),
+            declared: QueueId::new(0),
+            sent_to: QueueId::new(2),
+        };
+        let s = e.to_string();
+        assert!(s.contains("q0") && s.contains("q2"));
+    }
+
+    #[test]
+    fn read_error_wraps_sources() {
+        let io = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
+        let e = ReadError::from(io);
+        assert!(e.source().is_some());
+        let e = ReadError::from(TraceError::BrokenQueueOrder { queue: QueueId::new(0) });
+        assert!(e.source().is_some());
+        assert!(ReadError::parse(3, "bad token").source().is_none());
+    }
+}

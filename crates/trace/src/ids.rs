@@ -1,0 +1,260 @@
+//! Strongly-typed identifiers used throughout a trace.
+//!
+//! Every entity that can appear in a trace record — tasks, queues,
+//! processes, variables, heap objects, monitors, listeners, Binder
+//! transactions, interned names — gets its own index newtype so that the
+//! compiler rejects category errors (passing a monitor where a variable is
+//! expected). All ids are dense `u32` indexes into tables owned by
+//! [`Trace`](crate::Trace).
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            #[inline]
+            pub const fn new(index: u32) -> Self {
+                Self(index)
+            }
+
+            /// Creates an id from a `usize` index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn from_usize(index: usize) -> Self {
+                Self(u32::try_from(index).expect("id index overflows u32"))
+            }
+
+            /// Returns the raw index.
+            #[inline]
+            pub const fn as_u32(self) -> u32 {
+                self.0
+            }
+
+            /// Returns the raw index as `usize`, for table lookups.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for u32 {
+            fn from(id: $name) -> u32 {
+                id.0
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A task: either a regular thread or a single event execution.
+    ///
+    /// Tasks are the unit of logical concurrency in the model of §3.2 of
+    /// the paper: "a number of logically concurrent tasks, which are
+    /// either events or regular threads".
+    TaskId, "t"
+);
+id_type!(
+    /// An event queue. Each queue is drained by exactly one looper.
+    QueueId, "q"
+);
+id_type!(
+    /// A simulated OS process (address space + Binder endpoint).
+    ProcessId, "p"
+);
+id_type!(
+    /// A shared variable (a field slot holding either a scalar or an
+    /// object pointer).
+    VarId, "v"
+);
+id_type!(
+    /// A heap object identity, as assigned by the virtual machine
+    /// (§5.2: "a unique object ID for each object created").
+    ObjId, "o"
+);
+id_type!(
+    /// A monitor used for `lock`/`unlock`/`wait`/`notify`.
+    MonitorId, "m"
+);
+id_type!(
+    /// An event listener registered with the runtime (§3.2).
+    ListenerId, "l"
+);
+id_type!(
+    /// A Binder RPC transaction id (§5.2: "a unique transaction ID is
+    /// generated each time a process initiates a RPC call").
+    TxnId, "x"
+);
+id_type!(
+    /// An interned string (method names, package names, app symbols).
+    NameId, "n"
+);
+
+/// A bytecode address inside the (simulated) Dalvik method space.
+///
+/// The if-guard check of §4.3 reasons about branch source and target
+/// addresses, so code positions are first-class in the trace.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pc(u32);
+
+impl Pc {
+    /// Creates a code address.
+    #[inline]
+    pub const fn new(addr: u32) -> Self {
+        Self(addr)
+    }
+
+    /// Returns the raw address.
+    #[inline]
+    pub const fn addr(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the address offset by `delta` (may be negative for
+    /// backward branches).
+    #[inline]
+    pub fn offset(self, delta: i32) -> Pc {
+        Pc(self.0.wrapping_add(delta as u32))
+    }
+
+    /// Size of one method's address block under the simulated code
+    /// layout: every method occupies one 4 KiB-aligned block, so a
+    /// method never spans a block boundary.
+    pub const METHOD_BLOCK: u32 = 0x1000;
+
+    /// Base address of the method containing this address, under the
+    /// block layout convention.
+    #[inline]
+    pub fn method_base(self) -> Pc {
+        Pc(self.0 & !(Self::METHOD_BLOCK - 1))
+    }
+
+    /// One past the last address of the containing method ("∞" in the
+    /// if-guard regions of the paper's Figure 6).
+    #[inline]
+    pub fn method_end(self) -> Pc {
+        Pc(self.method_base().0 + Self::METHOD_BLOCK)
+    }
+
+    /// True when both addresses fall in the same method block.
+    #[inline]
+    pub fn same_method(self, other: Pc) -> bool {
+        self.method_base() == other.method_base()
+    }
+}
+
+impl fmt::Debug for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pc{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// A position inside a trace: the `index`-th record of task `task`.
+///
+/// `OpRef` is the coordinate system of the happens-before relation: the
+/// query "does operation *a* happen before operation *b*" is asked of two
+/// `OpRef`s. Ordering within one task is just index order (program order,
+/// §3.3).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpRef {
+    /// The task the operation belongs to.
+    pub task: TaskId,
+    /// The index of the record within the task body.
+    pub index: u32,
+}
+
+impl OpRef {
+    /// Creates a reference to the `index`-th record of `task`.
+    #[inline]
+    pub const fn new(task: TaskId, index: u32) -> Self {
+        Self { task, index }
+    }
+}
+
+impl fmt::Debug for OpRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.task, self.index)
+    }
+}
+
+impl fmt::Display for OpRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.task, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip() {
+        let t = TaskId::new(7);
+        assert_eq!(t.as_u32(), 7);
+        assert_eq!(t.index(), 7);
+        assert_eq!(TaskId::from_usize(7), t);
+        assert_eq!(u32::from(t), 7);
+    }
+
+    #[test]
+    fn id_display_uses_prefix() {
+        assert_eq!(TaskId::new(3).to_string(), "t3");
+        assert_eq!(QueueId::new(0).to_string(), "q0");
+        assert_eq!(VarId::new(12).to_string(), "v12");
+        assert_eq!(format!("{:?}", MonitorId::new(1)), "m1");
+    }
+
+    #[test]
+    fn id_ordering_follows_index() {
+        assert!(TaskId::new(1) < TaskId::new(2));
+        assert_eq!(ObjId::new(5), ObjId::new(5));
+    }
+
+    #[test]
+    fn pc_offsets() {
+        let pc = Pc::new(0x100);
+        assert_eq!(pc.offset(0x20).addr(), 0x120);
+        assert_eq!(pc.offset(-0x10).addr(), 0xf0);
+        assert_eq!(pc.to_string(), "0x100");
+    }
+
+    #[test]
+    fn opref_orders_by_task_then_index() {
+        let a = OpRef::new(TaskId::new(0), 5);
+        let b = OpRef::new(TaskId::new(0), 6);
+        let c = OpRef::new(TaskId::new(1), 0);
+        assert!(a < b && b < c);
+        assert_eq!(a.to_string(), "t0[5]");
+    }
+
+    #[test]
+    #[should_panic(expected = "id index overflows u32")]
+    fn from_usize_panics_on_overflow() {
+        let _ = TaskId::from_usize(usize::MAX);
+    }
+}

@@ -1,0 +1,106 @@
+//! A small string interner for method, package, and task names.
+//!
+//! Traces mention the same strings millions of times (§5.3: "we only log
+//! the name of a function upon its first invocation to reduce the size of
+//! a trace"); interning keeps records fixed-size.
+
+use std::collections::HashMap;
+
+use crate::ids::NameId;
+
+/// Deduplicating string table. Interning the same string twice yields the
+/// same [`NameId`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Interner {
+    strings: Vec<Box<str>>,
+    index: HashMap<Box<str>, NameId>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its id. Idempotent.
+    pub fn intern(&mut self, s: &str) -> NameId {
+        if let Some(&id) = self.index.get(s) {
+            return id;
+        }
+        let id = NameId::from_usize(self.strings.len());
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.index.insert(boxed, id);
+        id
+    }
+
+    /// Resolves an id to its string, or `None` if the id is unknown.
+    pub fn get(&self, id: NameId) -> Option<&str> {
+        self.strings.get(id.index()).map(AsRef::as_ref)
+    }
+
+    /// Resolves an id, substituting a placeholder for unknown ids.
+    pub fn resolve(&self, id: NameId) -> &str {
+        self.get(id).unwrap_or("<unknown>")
+    }
+
+    /// Looks up an already-interned string without inserting.
+    pub fn lookup(&self, s: &str) -> Option<NameId> {
+        self.index.get(s).copied()
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates over `(id, string)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (NameId, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (NameId::from_usize(i), s.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("onResume");
+        let b = i.intern("onPause");
+        let a2 = i.intern("onResume");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_and_lookup() {
+        let mut i = Interner::new();
+        let a = i.intern("main");
+        assert_eq!(i.get(a), Some("main"));
+        assert_eq!(i.resolve(a), "main");
+        assert_eq!(i.lookup("main"), Some(a));
+        assert_eq!(i.lookup("absent"), None);
+        assert_eq!(i.resolve(NameId::new(99)), "<unknown>");
+    }
+
+    #[test]
+    fn iterates_in_id_order() {
+        let mut i = Interner::new();
+        assert!(i.is_empty());
+        i.intern("a");
+        i.intern("b");
+        let all: Vec<_> = i.iter().map(|(id, s)| (id.as_u32(), s.to_owned())).collect();
+        assert_eq!(all, vec![(0, "a".to_owned()), (1, "b".to_owned())]);
+    }
+}

@@ -1,0 +1,83 @@
+//! Execution-trace model for event-driven (Android-style) programs.
+//!
+//! This crate defines the trace vocabulary of *"Race Detection for
+//! Event-Driven Mobile Applications"* (Yu et al., PLDI 2014): an
+//! execution is a set of logically concurrent **tasks** — regular threads
+//! and individual **event** executions — each with a body of records in
+//! program order. Records cover the synchronization operations of the
+//! paper's Figure 3 (`fork`/`join`, `wait`/`notify`, `send`,
+//! `sendAtFront`, `register`/`perform`) plus the Dalvik-level records of
+//! §5.3 that the race detector consumes (pointer reads/writes,
+//! dereferences, guard branches, method frames).
+//!
+//! The crate is deliberately *passive*: it knows how to represent,
+//! build, validate, and (de)serialize traces, but not how to execute
+//! programs (see `cafa-sim`) or analyze causality (see `cafa-hb`).
+//!
+//! # Examples
+//!
+//! Recording the Figure 1 scenario of the paper (the MyTracks
+//! use-after-free) by hand:
+//!
+//! ```
+//! use cafa_trace::{TraceBuilder, VarId, ObjId, Pc, DerefKind};
+//!
+//! let mut b = TraceBuilder::new("MyTracks");
+//! let app = b.add_process();
+//! let queue = b.add_queue(app);
+//! let svc = b.add_process();
+//! let ipc = b.add_thread(svc, "binder");
+//!
+//! let provider_utils = VarId::new(0);
+//!
+//! // onResume issues an RPC; the service responds by posting
+//! // onServiceConnected; the user later triggers onDestroy.
+//! let resume = b.external(queue, "onResume");
+//! b.process_event(resume);
+//! let (txn, _) = b.rpc_call(resume);
+//! b.rpc_handle(ipc, txn);
+//! let connected = b.post(ipc, queue, "onServiceConnected", 0);
+//! let destroy = b.external(queue, "onDestroy");
+//!
+//! b.process_event(connected);
+//! b.obj_read(connected, provider_utils, Some(ObjId::new(1)), Pc::new(0x10));
+//! b.deref(connected, ObjId::new(1), Pc::new(0x14), DerefKind::Invoke);
+//!
+//! b.process_event(destroy);
+//! b.obj_write(destroy, provider_utils, None, Pc::new(0x20)); // the free
+//!
+//! let trace = b.finish().unwrap();
+//! assert_eq!(trace.stats().events, 3);
+//! assert_eq!(trace.stats().frees, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod builder;
+mod error;
+mod ids;
+mod interner;
+mod record;
+mod task;
+mod trace;
+
+pub mod arbitrary;
+pub mod binary;
+pub mod pretty;
+pub mod serialize;
+pub mod validate;
+
+pub use builder::TraceBuilder;
+pub use error::{ReadError, TraceError};
+pub use ids::{
+    ListenerId, MonitorId, NameId, ObjId, OpRef, Pc, ProcessId, QueueId, TaskId, TxnId, VarId,
+};
+pub use interner::Interner;
+pub use record::{BranchKind, DerefKind, Record};
+pub use task::{EventOrigin, ListenerInfo, QueueInfo, TaskInfo, TaskKind};
+pub use trace::{Trace, TraceMeta, TraceStats};
+
+pub use binary::{from_binary_slice, read_binary, to_binary_vec, write_binary};
+pub use serialize::{from_text_str, read_text, to_text_string, write_text};

@@ -1,0 +1,211 @@
+//! Human-readable rendering of traces.
+//!
+//! The text serialization (`cafa-trace::serialize`) is for machines; this
+//! module renders tasks and records the way you would read them while
+//! debugging a race report: resolved names, indented bodies, event
+//! origins spelled out.
+
+use std::fmt::Write as _;
+
+use crate::ids::TaskId;
+use crate::record::Record;
+use crate::task::EventOrigin;
+use crate::trace::Trace;
+
+/// Options for [`render`].
+#[derive(Clone, Copy, Debug)]
+pub struct PrettyOptions {
+    /// Cap on records rendered per task (`usize::MAX` for all). The cap
+    /// is announced in the output when it truncates.
+    pub max_records_per_task: usize,
+    /// Skip tasks whose bodies are empty.
+    pub skip_empty_tasks: bool,
+}
+
+impl Default for PrettyOptions {
+    fn default() -> Self {
+        Self { max_records_per_task: 16, skip_empty_tasks: true }
+    }
+}
+
+/// Renders one record with resolved names.
+pub fn render_record(trace: &Trace, record: &Record) -> String {
+    match *record {
+        Record::Fork { child } => format!("fork -> {} ({})", child, trace.task_name(child)),
+        Record::Join { child } => format!("join <- {} ({})", child, trace.task_name(child)),
+        Record::Wait { monitor, gen } => format!("wait {monitor} (woken by gen {gen})"),
+        Record::Notify { monitor, gen } => format!("notify {monitor} (gen {gen})"),
+        Record::Lock { monitor, gen } => format!("lock {monitor} (acq {gen})"),
+        Record::Unlock { monitor, gen } => format!("unlock {monitor} (acq {gen})"),
+        Record::Send { event, delay_ms, .. } => format!(
+            "send {} ({}) delay {}ms",
+            event,
+            trace.task_name(event),
+            delay_ms
+        ),
+        Record::SendAtFront { event, .. } => {
+            format!("sendAtFront {} ({})", event, trace.task_name(event))
+        }
+        Record::Register { listener } => format!(
+            "register {listener} [{}]",
+            trace.names().resolve(trace.listener(listener).package)
+        ),
+        Record::Perform { listener } => format!(
+            "perform {listener} [{}]",
+            trace.names().resolve(trace.listener(listener).package)
+        ),
+        Record::RpcCall { txn } => format!("rpc call {txn}"),
+        Record::RpcHandle { txn } => format!("rpc handle {txn}"),
+        Record::RpcReply { txn } => format!("rpc reply {txn}"),
+        Record::RpcReceive { txn } => format!("rpc receive {txn}"),
+        Record::Read { var } => format!("read {var}"),
+        Record::Write { var } => format!("write {var}"),
+        Record::ObjRead { var, obj: Some(o), pc } => format!("oget {var} -> {o} @{pc}"),
+        Record::ObjRead { var, obj: None, pc } => format!("oget {var} -> null @{pc}"),
+        Record::ObjWrite { var, value: Some(o), pc } => {
+            format!("oput {var} = {o} @{pc} (allocation)")
+        }
+        Record::ObjWrite { var, value: None, pc } => format!("oput {var} = null @{pc} (FREE)"),
+        Record::Deref { obj, pc, kind } => format!("deref {obj} @{pc} ({kind:?})"),
+        Record::Guard { kind, pc, target, obj } => {
+            format!("guard {} @{pc} -> @{target} proves {obj} non-null", kind.mnemonic())
+        }
+        Record::MethodEnter { pc, name } => {
+            format!("enter {} @{pc}", trace.names().resolve(name))
+        }
+        Record::MethodExit { pc, exceptional } => {
+            format!("exit @{pc}{}", if exceptional { " (exception!)" } else { "" })
+        }
+    }
+}
+
+/// Renders the header line of one task.
+pub fn render_task_header(trace: &Trace, task: TaskId) -> String {
+    let info = trace.task(task);
+    match info.origin() {
+        None => format!("{} thread \"{}\"", task, trace.task_name(task)),
+        Some(EventOrigin::External { sequence }) => format!(
+            "{} event \"{}\" (external #{sequence}, seq {} on {})",
+            task,
+            trace.task_name(task),
+            info.seq().unwrap_or(0),
+            info.queue().expect("events have queues"),
+        ),
+        Some(origin) => format!(
+            "{} event \"{}\" ({} from {}, delay {}ms, seq {} on {})",
+            task,
+            trace.task_name(task),
+            if origin.is_front() { "sendAtFront" } else { "sent" },
+            origin
+                .send_site()
+                .map(|s| format!("{} ({})", s.task, trace.task_name(s.task)))
+                .unwrap_or_default(),
+            info.delay_ms().unwrap_or(0),
+            info.seq().unwrap_or(0),
+            info.queue().expect("events have queues"),
+        ),
+    }
+}
+
+/// Renders a whole trace (or its head, per the options).
+pub fn render(trace: &Trace, options: &PrettyOptions) -> String {
+    let mut out = String::new();
+    let stats = trace.stats();
+    let _ = writeln!(
+        out,
+        "trace \"{}\": {} tasks ({} threads, {} events), {} records, {} virtual ms",
+        trace.meta().app,
+        stats.tasks,
+        stats.threads,
+        stats.events,
+        stats.records,
+        trace.meta().virtual_ms,
+    );
+    for info in trace.tasks() {
+        let body = trace.body(info.id);
+        if body.is_empty() && options.skip_empty_tasks {
+            continue;
+        }
+        let _ = writeln!(out, "{}", render_task_header(trace, info.id));
+        for (i, r) in body.iter().enumerate() {
+            if i >= options.max_records_per_task {
+                let _ = writeln!(out, "    ... {} more record(s)", body.len() - i);
+                break;
+            }
+            let _ = writeln!(out, "    [{i}] {}", render_record(trace, r));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+    use crate::ids::{MonitorId, ObjId, Pc, VarId};
+    use crate::record::DerefKind;
+
+    fn sample() -> (Trace, TaskId, TaskId) {
+        let mut b = TraceBuilder::new("pretty");
+        let p = b.add_process();
+        let q = b.add_queue(p);
+        let t = b.add_thread(p, "main");
+        let l = b.add_listener("android.view");
+        let ev = b.post(t, q, "onCreate", 3);
+        b.process_event(ev);
+        b.method_enter(ev, Pc::new(0x1000), "onCreate");
+        b.register(ev, l);
+        b.obj_read(ev, VarId::new(0), Some(ObjId::new(1)), Pc::new(0x1010));
+        b.deref(ev, ObjId::new(1), Pc::new(0x1014), DerefKind::Field);
+        b.obj_write(ev, VarId::new(0), None, Pc::new(0x1020));
+        b.lock(t, MonitorId::new(0), 1);
+        b.unlock(t, MonitorId::new(0), 1);
+        b.method_exit(ev, Pc::new(0x1000), true);
+        (b.finish().unwrap(), t, ev)
+    }
+
+    #[test]
+    fn headers_spell_out_origins() {
+        let (trace, t, ev) = sample();
+        let h = render_task_header(&trace, t);
+        assert!(h.contains("thread \"main\""));
+        let h = render_task_header(&trace, ev);
+        assert!(h.contains("event \"onCreate\""));
+        assert!(h.contains("delay 3ms"));
+        assert!(h.contains("sent from"));
+    }
+
+    #[test]
+    fn records_render_with_names() {
+        let (trace, _, ev) = sample();
+        let body = trace.body(ev);
+        let all: Vec<String> = body.iter().map(|r| render_record(&trace, r)).collect();
+        assert!(all.iter().any(|s| s.contains("enter onCreate")));
+        assert!(all.iter().any(|s| s.contains("android.view")));
+        assert!(all.iter().any(|s| s.contains("(FREE)")));
+        assert!(all.iter().any(|s| s.contains("exception")));
+    }
+
+    #[test]
+    fn render_truncates_and_announces() {
+        let (trace, ..) = sample();
+        let opts = PrettyOptions { max_records_per_task: 2, skip_empty_tasks: true };
+        let text = render(&trace, &opts);
+        assert!(text.contains("more record(s)"));
+        let full = render(&trace, &PrettyOptions { max_records_per_task: usize::MAX, ..opts });
+        assert!(!full.contains("more record(s)"));
+        assert!(full.len() > text.len());
+    }
+
+    #[test]
+    fn external_header() {
+        let mut b = TraceBuilder::new("ext");
+        let p = b.add_process();
+        let q = b.add_queue(p);
+        let e = b.external(q, "tap");
+        b.process_event(e);
+        let trace = b.finish().unwrap();
+        let h = render_task_header(&trace, e);
+        assert!(h.contains("external #0"));
+    }
+}

@@ -1,0 +1,401 @@
+//! Trace records: the operations of Figure 3 of the paper plus the
+//! Dalvik-level records of §5.3.
+//!
+//! A task body is a sequence of [`Record`]s in program order. `begin(t)`
+//! and `end(t)` are *implicit*: a task begins before its first record and
+//! ends after its last one, so the happens-before engine addresses them
+//! as virtual positions rather than materialized records.
+
+use crate::ids::{ListenerId, MonitorId, NameId, ObjId, Pc, QueueId, TaskId, TxnId, VarId};
+
+/// The kind of pointer-guard branch instruction (§4.3, §5.3).
+///
+/// The instrumented interpreter logs a guard entry only when the branch
+/// outcome proves the tested pointer non-null:
+/// * `if-eqz` ("jump if null") — logged when **not taken**;
+/// * `if-nez` ("jump if non-null") — logged when **taken**;
+/// * `if-eq` against `this` — logged when **taken** (provides the same
+///   guarantee as `if-nez`, per §5.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BranchKind {
+    /// `if-eqz`: branch taken when the pointer is null.
+    IfEqz,
+    /// `if-nez`: branch taken when the pointer is non-null.
+    IfNez,
+    /// `if-eq` comparing two object pointers (commonly against `this`).
+    IfEq,
+}
+
+impl BranchKind {
+    /// Short mnemonic used by the text serialization.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BranchKind::IfEqz => "if-eqz",
+            BranchKind::IfNez => "if-nez",
+            BranchKind::IfEq => "if-eq",
+        }
+    }
+}
+
+/// How a dereference reaches the object (§5.3: "either an access to a
+/// field of the object, or a method invocation on the object").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DerefKind {
+    /// Field read or write through the pointer.
+    Field,
+    /// Virtual method invocation on the object.
+    Invoke,
+}
+
+/// One entry of a task's trace body.
+///
+/// The first group mirrors Figure 3 (synchronization-relevant
+/// operations); the second group mirrors the low-level records §5.3 says
+/// the instrumented interpreter emits. All cross-task causality flows
+/// through the first group; the second group carries the data the race
+/// detector inspects.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Record {
+    // ---- Figure 3: synchronization operations -------------------------
+    /// `fork(t, u)`: this task forks thread `child`.
+    Fork {
+        /// The newly created thread.
+        child: TaskId,
+    },
+    /// `join(t, u)`: this task blocks until thread `child` ends.
+    Join {
+        /// The joined thread.
+        child: TaskId,
+    },
+    /// `wait(t, m)`: this task blocks on monitor `monitor` until
+    /// notified.
+    ///
+    /// `gen` is the notification generation that woke this waiter, as
+    /// observed by the instrumented runtime; the signal-and-wait rule
+    /// pairs it with the [`Record::Notify`] carrying the same
+    /// generation.
+    Wait {
+        /// The monitor waited on.
+        monitor: MonitorId,
+        /// Notification generation that woke this waiter.
+        gen: u32,
+    },
+    /// `notify(t, m)`: this task wakes waiter(s) of `monitor`.
+    ///
+    /// Each notify on a monitor increments that monitor's generation
+    /// counter; `gen` is the value of this notification.
+    Notify {
+        /// The monitor notified.
+        monitor: MonitorId,
+        /// This notification's generation.
+        gen: u32,
+    },
+    /// Monitor acquisition. Used for the lockset mutual-exclusion check —
+    /// the CAFA model deliberately derives **no** unlock→lock
+    /// happens-before edge (§3.1). `gen` is the monitor's acquisition
+    /// sequence number, which lock-ordering baselines (FastTrack-style)
+    /// use to reconstruct the runtime acquisition order.
+    Lock {
+        /// The acquired monitor.
+        monitor: MonitorId,
+        /// Acquisition sequence number on this monitor.
+        gen: u32,
+    },
+    /// Monitor release, carrying the generation of the matching
+    /// [`Record::Lock`].
+    Unlock {
+        /// The released monitor.
+        monitor: MonitorId,
+        /// Generation of the acquisition being released.
+        gen: u32,
+    },
+    /// `send(t, e, delay)`: enqueue event `event` at the back of `queue`;
+    /// it becomes runnable after `delay_ms` virtual milliseconds.
+    Send {
+        /// The event being posted.
+        event: TaskId,
+        /// The destination queue.
+        queue: QueueId,
+        /// The delay constraint in virtual milliseconds.
+        delay_ms: u64,
+    },
+    /// `sendAtFront(t, e)`: enqueue event `event` at the *front* of
+    /// `queue`. Android forbids a delay here (§3.3).
+    SendAtFront {
+        /// The event being posted.
+        event: TaskId,
+        /// The destination queue.
+        queue: QueueId,
+    },
+    /// `register(t, l)`: register listener `listener` with the runtime.
+    Register {
+        /// The registered listener.
+        listener: ListenerId,
+    },
+    /// `perform(t, l)`: invoke listener `listener` as part of this task.
+    Perform {
+        /// The performed listener.
+        listener: ListenerId,
+    },
+    /// Initiation of a Binder RPC: the caller side (§5.2).
+    RpcCall {
+        /// The transaction id correlating both sides of the call.
+        txn: TxnId,
+    },
+    /// Service-side receipt of a Binder transaction (§5.2).
+    RpcHandle {
+        /// The transaction id correlating both sides of the call.
+        txn: TxnId,
+    },
+    /// Service-side completion of a Binder transaction.
+    RpcReply {
+        /// The transaction id correlating both sides of the call.
+        txn: TxnId,
+    },
+    /// Caller-side receipt of the reply.
+    RpcReceive {
+        /// The transaction id correlating both sides of the call.
+        txn: TxnId,
+    },
+
+    // ---- §5.3: Dalvik-level records ------------------------------------
+    /// Scalar read of variable `var` (`rd(t, x)` in Figure 3).
+    Read {
+        /// The accessed variable.
+        var: VarId,
+    },
+    /// Scalar write of variable `var` (`wr(t, x)` in Figure 3).
+    Write {
+        /// The accessed variable.
+        var: VarId,
+    },
+    /// Pointer read (`i-get-object` and friends): loads the object
+    /// currently stored in `var`. `obj` is `None` when the slot is null.
+    ObjRead {
+        /// The pointer variable read.
+        var: VarId,
+        /// The object loaded, or `None` for null.
+        obj: Option<ObjId>,
+        /// Address of the load instruction.
+        pc: Pc,
+    },
+    /// Pointer write (`i-put-object` and friends). A `None` value is a
+    /// **free** (§4.1: "a write operation that sets an object pointer to
+    /// null"); a `Some` value is an **allocation** to the pointer.
+    ObjWrite {
+        /// The pointer variable written.
+        var: VarId,
+        /// The stored object, or `None` for a null store (a free).
+        value: Option<ObjId>,
+        /// Address of the store instruction.
+        pc: Pc,
+    },
+    /// Dereference of object `obj` (field access or method invocation).
+    /// The analyzer matches this against the nearest previous
+    /// [`Record::ObjRead`] returning the same object id (§5.3).
+    Deref {
+        /// The dereferenced object.
+        obj: ObjId,
+        /// Address of the dereferencing instruction.
+        pc: Pc,
+        /// Field access or invocation.
+        kind: DerefKind,
+    },
+    /// A pointer-guard branch whose outcome proves `obj` non-null
+    /// (§4.3). Emitted only for the guarding outcome, see
+    /// [`BranchKind`].
+    Guard {
+        /// The branch instruction kind.
+        kind: BranchKind,
+        /// Address of the branch instruction.
+        pc: Pc,
+        /// Branch target address (`pc + offset`; may be behind `pc` for
+        /// backward jumps).
+        target: Pc,
+        /// The object whose non-nullness the outcome proves.
+        obj: ObjId,
+    },
+    /// Method entry, for calling-context reconstruction (§5.3).
+    MethodEnter {
+        /// Entry address of the callee.
+        pc: Pc,
+        /// Interned method name.
+        name: NameId,
+    },
+    /// Method exit (normal return or exceptional unwind).
+    MethodExit {
+        /// Entry address of the method being left.
+        pc: Pc,
+        /// True when the method is left by throwing an exception.
+        exceptional: bool,
+    },
+}
+
+impl Record {
+    /// Returns true for records that participate in cross-task causality
+    /// (the Figure 3 operations), false for the Dalvik-level data records.
+    pub fn is_sync(&self) -> bool {
+        !matches!(
+            self,
+            Record::Read { .. }
+                | Record::Write { .. }
+                | Record::ObjRead { .. }
+                | Record::ObjWrite { .. }
+                | Record::Deref { .. }
+                | Record::Guard { .. }
+                | Record::MethodEnter { .. }
+                | Record::MethodExit { .. }
+        )
+    }
+
+    /// Returns true if this record is a memory access in the conventional
+    /// data-race sense (scalar or pointer read/write).
+    pub fn is_access(&self) -> bool {
+        matches!(
+            self,
+            Record::Read { .. }
+                | Record::Write { .. }
+                | Record::ObjRead { .. }
+                | Record::ObjWrite { .. }
+        )
+    }
+
+    /// The variable accessed, if this record is a memory access.
+    pub fn accessed_var(&self) -> Option<VarId> {
+        match *self {
+            Record::Read { var }
+            | Record::Write { var }
+            | Record::ObjRead { var, .. }
+            | Record::ObjWrite { var, .. } => Some(var),
+            _ => None,
+        }
+    }
+
+    /// True when this record writes its variable (scalar or pointer).
+    pub fn is_write_access(&self) -> bool {
+        matches!(self, Record::Write { .. } | Record::ObjWrite { .. })
+    }
+
+    /// True when this record is a free: a null store to a pointer
+    /// variable (§4.1).
+    pub fn is_free(&self) -> bool {
+        matches!(self, Record::ObjWrite { value: None, .. })
+    }
+
+    /// True when this record is an allocation: a non-null store to a
+    /// pointer variable (§4.1).
+    pub fn is_allocation(&self) -> bool {
+        matches!(self, Record::ObjWrite { value: Some(_), .. })
+    }
+
+    /// Short tag identifying the record kind; stable across versions and
+    /// used by the text serialization.
+    pub fn kind_tag(&self) -> &'static str {
+        match self {
+            Record::Fork { .. } => "fork",
+            Record::Join { .. } => "join",
+            Record::Wait { .. } => "wait",
+            Record::Notify { .. } => "notify",
+            Record::Lock { .. } => "lock",
+            Record::Unlock { .. } => "unlock",
+            Record::Send { .. } => "send",
+            Record::SendAtFront { .. } => "sendfront",
+            Record::Register { .. } => "register",
+            Record::Perform { .. } => "perform",
+            Record::RpcCall { .. } => "rpccall",
+            Record::RpcHandle { .. } => "rpchandle",
+            Record::RpcReply { .. } => "rpcreply",
+            Record::RpcReceive { .. } => "rpcrecv",
+            Record::Read { .. } => "rd",
+            Record::Write { .. } => "wr",
+            Record::ObjRead { .. } => "oget",
+            Record::ObjWrite { .. } => "oput",
+            Record::Deref { .. } => "deref",
+            Record::Guard { .. } => "guard",
+            Record::MethodEnter { .. } => "enter",
+            Record::MethodExit { .. } => "exit",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(n: u32) -> VarId {
+        VarId::new(n)
+    }
+
+    #[test]
+    fn sync_classification() {
+        assert!(Record::Fork { child: TaskId::new(1) }.is_sync());
+        assert!(Record::Send { event: TaskId::new(2), queue: QueueId::new(0), delay_ms: 5 }.is_sync());
+        assert!(Record::RpcCall { txn: TxnId::new(9) }.is_sync());
+        assert!(!Record::Read { var: var(0) }.is_sync());
+        assert!(!Record::Deref { obj: ObjId::new(0), pc: Pc::new(0), kind: DerefKind::Field }
+            .is_sync());
+    }
+
+    #[test]
+    fn access_classification() {
+        let r = Record::ObjRead { var: var(3), obj: Some(ObjId::new(1)), pc: Pc::new(4) };
+        assert!(r.is_access());
+        assert_eq!(r.accessed_var(), Some(var(3)));
+        assert!(!r.is_write_access());
+
+        let w = Record::ObjWrite { var: var(3), value: None, pc: Pc::new(8) };
+        assert!(w.is_write_access());
+        assert!(w.is_free());
+        assert!(!w.is_allocation());
+
+        let a = Record::ObjWrite { var: var(3), value: Some(ObjId::new(2)), pc: Pc::new(8) };
+        assert!(a.is_allocation());
+        assert!(!a.is_free());
+
+        assert!(!Record::Notify { monitor: MonitorId::new(0), gen: 0 }.is_access());
+        assert_eq!(Record::Notify { monitor: MonitorId::new(0), gen: 0 }.accessed_var(), None);
+    }
+
+    #[test]
+    fn kind_tags_are_unique() {
+        use std::collections::HashSet;
+        let samples = vec![
+            Record::Fork { child: TaskId::new(0) },
+            Record::Join { child: TaskId::new(0) },
+            Record::Wait { monitor: MonitorId::new(0), gen: 0 },
+            Record::Notify { monitor: MonitorId::new(0), gen: 0 },
+            Record::Lock { monitor: MonitorId::new(0), gen: 0 },
+            Record::Unlock { monitor: MonitorId::new(0), gen: 0 },
+            Record::Send { event: TaskId::new(0), queue: QueueId::new(0), delay_ms: 0 },
+            Record::SendAtFront { event: TaskId::new(0), queue: QueueId::new(0) },
+            Record::Register { listener: ListenerId::new(0) },
+            Record::Perform { listener: ListenerId::new(0) },
+            Record::RpcCall { txn: TxnId::new(0) },
+            Record::RpcHandle { txn: TxnId::new(0) },
+            Record::RpcReply { txn: TxnId::new(0) },
+            Record::RpcReceive { txn: TxnId::new(0) },
+            Record::Read { var: var(0) },
+            Record::Write { var: var(0) },
+            Record::ObjRead { var: var(0), obj: None, pc: Pc::new(0) },
+            Record::ObjWrite { var: var(0), value: None, pc: Pc::new(0) },
+            Record::Deref { obj: ObjId::new(0), pc: Pc::new(0), kind: DerefKind::Field },
+            Record::Guard {
+                kind: BranchKind::IfEqz,
+                pc: Pc::new(0),
+                target: Pc::new(4),
+                obj: ObjId::new(0),
+            },
+            Record::MethodEnter { pc: Pc::new(0), name: NameId::new(0) },
+            Record::MethodExit { pc: Pc::new(0), exceptional: false },
+        ];
+        let tags: HashSet<_> = samples.iter().map(|r| r.kind_tag()).collect();
+        assert_eq!(tags.len(), samples.len());
+    }
+
+    #[test]
+    fn branch_mnemonics() {
+        assert_eq!(BranchKind::IfEqz.mnemonic(), "if-eqz");
+        assert_eq!(BranchKind::IfNez.mnemonic(), "if-nez");
+        assert_eq!(BranchKind::IfEq.mnemonic(), "if-eq");
+    }
+}

@@ -1,0 +1,702 @@
+//! Line-oriented text serialization of traces.
+//!
+//! The format is a stable, human-inspectable rendering of the logger
+//! device stream of §5.1. A trace file looks like:
+//!
+//! ```text
+//! cafa-trace v1
+//! meta app "MyTracks" seed 42 virtual_ms 30000
+//! processes 2
+//! name n0 "main"
+//! queue q0 p0
+//! listener l0 n3
+//! task t0 thread p0 - n0
+//! task t1 event q0 seq 0 delay 0 ext 0 n1
+//! body t0 2
+//! send t1 q0 0
+//! rd v3
+//! end
+//! ```
+//!
+//! Use [`write_text`] / [`read_text`]; reading re-validates the trace.
+
+use std::io::{self, BufRead, Write};
+
+use crate::error::{ReadError, TraceError};
+use crate::ids::{
+    ListenerId, MonitorId, NameId, ObjId, OpRef, Pc, ProcessId, QueueId, TaskId, TxnId, VarId,
+};
+use crate::interner::Interner;
+use crate::record::{BranchKind, DerefKind, Record};
+use crate::task::{EventOrigin, ListenerInfo, QueueInfo, TaskInfo, TaskKind};
+use crate::trace::{Trace, TraceMeta};
+use crate::validate::validate;
+
+/// Current text format version.
+pub const TEXT_VERSION: u32 = 1;
+
+/// Writes `trace` in the text format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_text<W: Write>(trace: &Trace, mut out: W) -> io::Result<()> {
+    writeln!(out, "cafa-trace v{TEXT_VERSION}")?;
+    writeln!(
+        out,
+        "meta app {} seed {} virtual_ms {}",
+        quote(&trace.meta.app),
+        trace.meta.seed,
+        trace.meta.virtual_ms
+    )?;
+    writeln!(out, "processes {}", trace.process_count)?;
+    for (id, s) in trace.names.iter() {
+        writeln!(out, "name {id} {}", quote(s))?;
+    }
+    for (id, q) in trace.queues() {
+        match q.process {
+            Some(p) => writeln!(out, "queue {id} {p}")?,
+            None => writeln!(out, "queue {id} -")?,
+        }
+    }
+    for (i, l) in trace.listeners.iter().enumerate() {
+        writeln!(out, "listener {} {}", ListenerId::from_usize(i), l.package)?;
+    }
+    for t in trace.tasks() {
+        match t.kind {
+            TaskKind::Thread { process, forked_at } => {
+                write!(out, "task {} thread {} ", t.id, process)?;
+                match forked_at {
+                    Some(at) => write!(out, "{}:{}", at.task, at.index)?,
+                    None => write!(out, "-")?,
+                }
+                writeln!(out, " {}", t.name)?;
+            }
+            TaskKind::Event { queue, seq, origin, delay_ms } => {
+                write!(out, "task {} event {} seq {} delay {} ", t.id, queue, seq, delay_ms)?;
+                match origin {
+                    EventOrigin::Sent { send } => write!(out, "sent {}:{}", send.task, send.index)?,
+                    EventOrigin::SentAtFront { send } => {
+                        write!(out, "front {}:{}", send.task, send.index)?
+                    }
+                    EventOrigin::External { sequence } => write!(out, "ext {sequence}")?,
+                }
+                writeln!(out, " {}", t.name)?;
+            }
+        }
+    }
+    for t in trace.tasks() {
+        let body = trace.body(t.id);
+        writeln!(out, "body {} {}", t.id, body.len())?;
+        for r in body {
+            write_record(r, &mut out)?;
+        }
+    }
+    writeln!(out, "end")?;
+    Ok(())
+}
+
+fn write_record<W: Write>(r: &Record, out: &mut W) -> io::Result<()> {
+    let tag = r.kind_tag();
+    match *r {
+        Record::Fork { child } | Record::Join { child } => writeln!(out, "{tag} {child}"),
+        Record::Wait { monitor, gen }
+        | Record::Notify { monitor, gen }
+        | Record::Lock { monitor, gen }
+        | Record::Unlock { monitor, gen } => writeln!(out, "{tag} {monitor} {gen}"),
+        Record::Send { event, queue, delay_ms } => writeln!(out, "{tag} {event} {queue} {delay_ms}"),
+        Record::SendAtFront { event, queue } => writeln!(out, "{tag} {event} {queue}"),
+        Record::Register { listener } | Record::Perform { listener } => {
+            writeln!(out, "{tag} {listener}")
+        }
+        Record::RpcCall { txn }
+        | Record::RpcHandle { txn }
+        | Record::RpcReply { txn }
+        | Record::RpcReceive { txn } => writeln!(out, "{tag} {txn}"),
+        Record::Read { var } | Record::Write { var } => writeln!(out, "{tag} {var}"),
+        Record::ObjRead { var, obj, pc } => match obj {
+            Some(o) => writeln!(out, "{tag} {var} {o} @{:x}", pc.addr()),
+            None => writeln!(out, "{tag} {var} - @{:x}", pc.addr()),
+        },
+        Record::ObjWrite { var, value, pc } => match value {
+            Some(o) => writeln!(out, "{tag} {var} {o} @{:x}", pc.addr()),
+            None => writeln!(out, "{tag} {var} - @{:x}", pc.addr()),
+        },
+        Record::Deref { obj, pc, kind } => {
+            let k = match kind {
+                DerefKind::Field => "field",
+                DerefKind::Invoke => "invoke",
+            };
+            writeln!(out, "{tag} {obj} @{:x} {k}", pc.addr())
+        }
+        Record::Guard { kind, pc, target, obj } => writeln!(
+            out,
+            "{tag} {} @{:x} ->{:x} {obj}",
+            kind.mnemonic(),
+            pc.addr(),
+            target.addr()
+        ),
+        Record::MethodEnter { pc, name } => writeln!(out, "{tag} @{:x} {name}", pc.addr()),
+        Record::MethodExit { pc, exceptional } => {
+            writeln!(out, "{tag} @{:x} {}", pc.addr(), if exceptional { "throw" } else { "ret" })
+        }
+    }
+}
+
+/// Renders a trace to a `String` in the text format.
+pub fn to_text_string(trace: &Trace) -> String {
+    let mut buf = Vec::new();
+    write_text(trace, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("text format is UTF-8")
+}
+
+/// Reads a trace in the text format, validating it.
+///
+/// # Errors
+///
+/// Returns [`ReadError::Parse`] for malformed input,
+/// [`ReadError::UnsupportedVersion`] for unknown versions, and
+/// [`ReadError::Invalid`] if the parsed trace fails
+/// [`validate`](crate::validate::validate()).
+pub fn read_text<R: BufRead>(input: R) -> Result<Trace, ReadError> {
+    let mut p = Parser::new(input)?;
+    let trace = p.parse()?;
+    validate(&trace)?;
+    Ok(trace)
+}
+
+/// Parses a trace from a string in the text format.
+///
+/// # Errors
+///
+/// Same conditions as [`read_text`].
+pub fn from_text_str(s: &str) -> Result<Trace, ReadError> {
+    read_text(s.as_bytes())
+}
+
+// ---- string quoting ----------------------------------------------------
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn unquote(tok: &str, line: u64) -> Result<String, ReadError> {
+    let inner = tok
+        .strip_prefix('"')
+        .and_then(|t| t.strip_suffix('"'))
+        .ok_or_else(|| ReadError::parse(line, format!("expected quoted string, got `{tok}`")))?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                other => {
+                    return Err(ReadError::parse(
+                        line,
+                        format!("bad escape `\\{}`", other.map(String::from).unwrap_or_default()),
+                    ))
+                }
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+// ---- parser -------------------------------------------------------------
+
+struct Parser<R> {
+    input: R,
+    line_no: u64,
+    line: String,
+}
+
+impl<R: BufRead> Parser<R> {
+    fn new(input: R) -> Result<Self, ReadError> {
+        Ok(Self { input, line_no: 0, line: String::new() })
+    }
+
+    fn next_line(&mut self) -> Result<Option<&str>, ReadError> {
+        loop {
+            self.line.clear();
+            let n = self.input.read_line(&mut self.line)?;
+            if n == 0 {
+                return Ok(None);
+            }
+            self.line_no += 1;
+            let trimmed = self.line.trim_end();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            // Reborrow trimmed content.
+            let end = trimmed.len();
+            self.line.truncate(end);
+            return Ok(Some(self.line.as_str()));
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ReadError {
+        ReadError::parse(self.line_no, msg)
+    }
+
+    fn parse(&mut self) -> Result<Trace, ReadError> {
+        // Header.
+        let header = self
+            .next_line()?
+            .ok_or_else(|| ReadError::parse(0, "empty input"))?
+            .to_owned();
+        let version = header
+            .strip_prefix("cafa-trace v")
+            .and_then(|v| v.parse::<u32>().ok())
+            .ok_or_else(|| self.err("missing `cafa-trace vN` header"))?;
+        if version != TEXT_VERSION {
+            return Err(ReadError::UnsupportedVersion { found: version });
+        }
+
+        let mut meta = TraceMeta::default();
+        let mut names = Vec::<(u32, String)>::new();
+        let mut queues = Vec::<QueueInfo>::new();
+        let mut listeners = Vec::<ListenerInfo>::new();
+        let mut tasks = Vec::<TaskInfo>::new();
+        let mut bodies = Vec::<Vec<Record>>::new();
+        let mut process_count = 0u32;
+        let mut external: Vec<(u32, TaskId)> = Vec::new();
+
+        loop {
+            let Some(line) = self.next_line()? else {
+                return Err(ReadError::parse(self.line_no, "missing `end` line"));
+            };
+            let line = line.to_owned();
+            let mut tok = Tokens::new(&line, self.line_no);
+            match tok.word()? {
+                "end" => break,
+                "meta" => {
+                    tok.expect("app")?;
+                    meta.app = unquote(tok.word()?, self.line_no)?;
+                    tok.expect("seed")?;
+                    meta.seed = tok.u64()?;
+                    tok.expect("virtual_ms")?;
+                    meta.virtual_ms = tok.u64()?;
+                }
+                "processes" => process_count = tok.u64()? as u32,
+                "name" => {
+                    let id = tok.id('n')?;
+                    let s = unquote(tok.rest(), self.line_no)?;
+                    names.push((id, s));
+                }
+                "queue" => {
+                    let id = tok.id('q')? as usize;
+                    let w = tok.word()?;
+                    let process = if w == "-" {
+                        None
+                    } else {
+                        Some(ProcessId::new(parse_id(w, 'p', self.line_no)?))
+                    };
+                    if id != queues.len() {
+                        return Err(self.err("queue ids must be dense and in order"));
+                    }
+                    queues.push(QueueInfo { process, events: Vec::new() });
+                }
+                "listener" => {
+                    let id = tok.id('l')? as usize;
+                    let package = NameId::new(tok.id('n')?);
+                    if id != listeners.len() {
+                        return Err(self.err("listener ids must be dense and in order"));
+                    }
+                    listeners.push(ListenerInfo { package });
+                }
+                "task" => {
+                    let id = TaskId::new(tok.id('t')?);
+                    if id.index() != tasks.len() {
+                        return Err(self.err("task ids must be dense and in order"));
+                    }
+                    let kind = match tok.word()? {
+                        "thread" => {
+                            let process = ProcessId::new(tok.id('p')?);
+                            let w = tok.word()?;
+                            let forked_at = if w == "-" {
+                                None
+                            } else {
+                                Some(parse_opref(w, self.line_no)?)
+                            };
+                            TaskKind::Thread { process, forked_at }
+                        }
+                        "event" => {
+                            let queue = QueueId::new(tok.id('q')?);
+                            tok.expect("seq")?;
+                            let seq = tok.u64()? as u32;
+                            tok.expect("delay")?;
+                            let delay_ms = tok.u64()?;
+                            let origin = match tok.word()? {
+                                "sent" => EventOrigin::Sent {
+                                    send: parse_opref(tok.word()?, self.line_no)?,
+                                },
+                                "front" => EventOrigin::SentAtFront {
+                                    send: parse_opref(tok.word()?, self.line_no)?,
+                                },
+                                "ext" => {
+                                    let sequence = tok.u64()? as u32;
+                                    external.push((sequence, id));
+                                    EventOrigin::External { sequence }
+                                }
+                                w => return Err(self.err(format!("unknown origin `{w}`"))),
+                            };
+                            let q = queues
+                                .get_mut(queue.index())
+                                .ok_or_else(|| ReadError::parse(self.line_no, "unknown queue"))?;
+                            let si = seq as usize;
+                            if q.events.len() <= si {
+                                q.events.resize(si + 1, TaskId::new(u32::MAX));
+                            }
+                            q.events[si] = id;
+                            TaskKind::Event { queue, seq, origin, delay_ms }
+                        }
+                        w => return Err(self.err(format!("unknown task kind `{w}`"))),
+                    };
+                    let name = NameId::new(tok.id('n')?);
+                    tasks.push(TaskInfo { id, kind, name });
+                    bodies.push(Vec::new());
+                }
+                "body" => {
+                    let id = TaskId::new(tok.id('t')?);
+                    let len = tok.u64()? as usize;
+                    let mut body = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        let Some(line) = self.next_line()? else {
+                            return Err(ReadError::parse(self.line_no, "truncated body"));
+                        };
+                        let line = line.to_owned();
+                        body.push(parse_record(&line, self.line_no)?);
+                    }
+                    let slot = bodies
+                        .get_mut(id.index())
+                        .ok_or_else(|| ReadError::parse(self.line_no, "body for unknown task"))?;
+                    *slot = body;
+                }
+                w => return Err(self.err(format!("unknown directive `{w}`"))),
+            }
+        }
+
+        // Rebuild interner preserving ids.
+        let mut interner = Interner::new();
+        names.sort_by_key(|(id, _)| *id);
+        for (i, (id, s)) in names.iter().enumerate() {
+            if *id as usize != i {
+                return Err(ReadError::parse(0, "name ids must be dense"));
+            }
+            let got = interner.intern(s);
+            if got.as_u32() != *id {
+                return Err(ReadError::parse(0, "duplicate name string"));
+            }
+        }
+
+        external.sort_by_key(|(seq, _)| *seq);
+        let external_order: Vec<TaskId> = external.into_iter().map(|(_, t)| t).collect();
+
+        Ok(Trace {
+            meta,
+            names: interner,
+            tasks,
+            bodies,
+            queues,
+            listeners,
+            external_order,
+            process_count,
+        })
+    }
+}
+
+fn parse_id(tok: &str, prefix: char, line: u64) -> Result<u32, ReadError> {
+    tok.strip_prefix(prefix)
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| ReadError::parse(line, format!("expected `{prefix}N`, got `{tok}`")))
+}
+
+fn parse_opref(tok: &str, line: u64) -> Result<OpRef, ReadError> {
+    let (t, i) = tok
+        .split_once(':')
+        .ok_or_else(|| ReadError::parse(line, format!("expected `tN:I`, got `{tok}`")))?;
+    let task = TaskId::new(parse_id(t, 't', line)?);
+    let index = i
+        .parse()
+        .map_err(|_| ReadError::parse(line, format!("bad op index `{i}`")))?;
+    Ok(OpRef { task, index })
+}
+
+fn parse_pc(tok: &str, line: u64) -> Result<Pc, ReadError> {
+    tok.strip_prefix('@')
+        .and_then(|t| u32::from_str_radix(t, 16).ok())
+        .map(Pc::new)
+        .ok_or_else(|| ReadError::parse(line, format!("expected `@hex`, got `{tok}`")))
+}
+
+fn parse_record(line: &str, line_no: u64) -> Result<Record, ReadError> {
+    let mut tok = Tokens::new(line, line_no);
+    let tag = tok.word()?;
+    let rec = match tag {
+        "fork" => Record::Fork { child: TaskId::new(tok.id('t')?) },
+        "join" => Record::Join { child: TaskId::new(tok.id('t')?) },
+        "wait" => Record::Wait { monitor: MonitorId::new(tok.id('m')?), gen: tok.u64()? as u32 },
+        "notify" => Record::Notify { monitor: MonitorId::new(tok.id('m')?), gen: tok.u64()? as u32 },
+        "lock" => Record::Lock { monitor: MonitorId::new(tok.id('m')?), gen: tok.u64()? as u32 },
+        "unlock" => Record::Unlock { monitor: MonitorId::new(tok.id('m')?), gen: tok.u64()? as u32 },
+        "send" => Record::Send {
+            event: TaskId::new(tok.id('t')?),
+            queue: QueueId::new(tok.id('q')?),
+            delay_ms: tok.u64()?,
+        },
+        "sendfront" => Record::SendAtFront {
+            event: TaskId::new(tok.id('t')?),
+            queue: QueueId::new(tok.id('q')?),
+        },
+        "register" => Record::Register { listener: ListenerId::new(tok.id('l')?) },
+        "perform" => Record::Perform { listener: ListenerId::new(tok.id('l')?) },
+        "rpccall" => Record::RpcCall { txn: TxnId::new(tok.id('x')?) },
+        "rpchandle" => Record::RpcHandle { txn: TxnId::new(tok.id('x')?) },
+        "rpcreply" => Record::RpcReply { txn: TxnId::new(tok.id('x')?) },
+        "rpcrecv" => Record::RpcReceive { txn: TxnId::new(tok.id('x')?) },
+        "rd" => Record::Read { var: VarId::new(tok.id('v')?) },
+        "wr" => Record::Write { var: VarId::new(tok.id('v')?) },
+        "oget" => {
+            let var = VarId::new(tok.id('v')?);
+            let w = tok.word()?;
+            let obj = if w == "-" { None } else { Some(ObjId::new(parse_id(w, 'o', line_no)?)) };
+            let pc = parse_pc(tok.word()?, line_no)?;
+            Record::ObjRead { var, obj, pc }
+        }
+        "oput" => {
+            let var = VarId::new(tok.id('v')?);
+            let w = tok.word()?;
+            let value = if w == "-" { None } else { Some(ObjId::new(parse_id(w, 'o', line_no)?)) };
+            let pc = parse_pc(tok.word()?, line_no)?;
+            Record::ObjWrite { var, value, pc }
+        }
+        "deref" => {
+            let obj = ObjId::new(tok.id('o')?);
+            let pc = parse_pc(tok.word()?, line_no)?;
+            let kind = match tok.word()? {
+                "field" => DerefKind::Field,
+                "invoke" => DerefKind::Invoke,
+                w => return Err(ReadError::parse(line_no, format!("bad deref kind `{w}`"))),
+            };
+            Record::Deref { obj, pc, kind }
+        }
+        "guard" => {
+            let kind = match tok.word()? {
+                "if-eqz" => BranchKind::IfEqz,
+                "if-nez" => BranchKind::IfNez,
+                "if-eq" => BranchKind::IfEq,
+                w => return Err(ReadError::parse(line_no, format!("bad branch kind `{w}`"))),
+            };
+            let pc = parse_pc(tok.word()?, line_no)?;
+            let t = tok.word()?;
+            let target = t
+                .strip_prefix("->")
+                .and_then(|t| u32::from_str_radix(t, 16).ok())
+                .map(Pc::new)
+                .ok_or_else(|| ReadError::parse(line_no, format!("bad target `{t}`")))?;
+            let obj = ObjId::new(tok.id('o')?);
+            Record::Guard { kind, pc, target, obj }
+        }
+        "enter" => {
+            let pc = parse_pc(tok.word()?, line_no)?;
+            let name = NameId::new(tok.id('n')?);
+            Record::MethodEnter { pc, name }
+        }
+        "exit" => {
+            let pc = parse_pc(tok.word()?, line_no)?;
+            let exceptional = match tok.word()? {
+                "throw" => true,
+                "ret" => false,
+                w => return Err(ReadError::parse(line_no, format!("bad exit kind `{w}`"))),
+            };
+            Record::MethodExit { pc, exceptional }
+        }
+        w => return Err(ReadError::parse(line_no, format!("unknown record tag `{w}`"))),
+    };
+    Ok(rec)
+}
+
+struct Tokens<'a> {
+    rest: &'a str,
+    line: u64,
+}
+
+impl<'a> Tokens<'a> {
+    fn new(s: &'a str, line: u64) -> Self {
+        Self { rest: s.trim(), line }
+    }
+
+    fn word(&mut self) -> Result<&'a str, ReadError> {
+        if self.rest.is_empty() {
+            return Err(ReadError::parse(self.line, "unexpected end of line"));
+        }
+        // Quoted strings are one token.
+        if self.rest.starts_with('"') {
+            let mut escaped = false;
+            for (i, c) in self.rest.char_indices().skip(1) {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    let (tok, rest) = self.rest.split_at(i + 1);
+                    self.rest = rest.trim_start();
+                    return Ok(tok);
+                }
+            }
+            return Err(ReadError::parse(self.line, "unterminated string"));
+        }
+        match self.rest.split_once(char::is_whitespace) {
+            Some((tok, rest)) => {
+                self.rest = rest.trim_start();
+                Ok(tok)
+            }
+            None => {
+                let tok = self.rest;
+                self.rest = "";
+                Ok(tok)
+            }
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        self.rest
+    }
+
+    fn expect(&mut self, kw: &str) -> Result<(), ReadError> {
+        let w = self.word()?;
+        if w == kw {
+            Ok(())
+        } else {
+            Err(ReadError::parse(self.line, format!("expected `{kw}`, got `{w}`")))
+        }
+    }
+
+    fn u64(&mut self) -> Result<u64, ReadError> {
+        let w = self.word()?;
+        w.parse()
+            .map_err(|_| ReadError::parse(self.line, format!("expected integer, got `{w}`")))
+    }
+
+    fn id(&mut self, prefix: char) -> Result<u32, ReadError> {
+        let w = self.word()?;
+        parse_id(w, prefix, self.line)
+    }
+}
+
+// The TraceError import is used via the ReadError::Invalid conversion in
+// read_text's validation step.
+const _: fn(TraceError) -> ReadError = ReadError::from;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+
+    fn sample_trace() -> Trace {
+        let mut b = TraceBuilder::new("App \"quoted\" name");
+        b.set_seed(99);
+        b.set_virtual_ms(30_000);
+        let p = b.add_process();
+        let q = b.add_queue(p);
+        let t = b.add_thread(p, "main");
+        let l = b.add_listener("android.view");
+        let ev = b.post(t, q, "onCreate", 7);
+        let fr = b.post_front(t, q, "urgent");
+        let ext = b.external(q, "touch");
+        b.process_event(fr);
+        b.register(fr, l);
+        b.process_event(ev);
+        b.perform(ev, l);
+        b.obj_read(ev, VarId::new(2), Some(ObjId::new(5)), Pc::new(0x40));
+        b.deref(ev, ObjId::new(5), Pc::new(0x44), DerefKind::Field);
+        b.guard(ev, BranchKind::IfEqz, Pc::new(0x48), Pc::new(0x60), ObjId::new(5));
+        b.process_event(ext);
+        b.obj_write(ext, VarId::new(2), None, Pc::new(0x80));
+        let w = b.fork(t, p, "worker");
+        b.lock(w, MonitorId::new(0), 0);
+        b.read(w, VarId::new(3));
+        b.unlock(w, MonitorId::new(0), 0);
+        b.wait(w, MonitorId::new(1), 1);
+        b.notify(t, MonitorId::new(1), 1);
+        b.join(t, w);
+        let (txn, _) = b.rpc_call(t);
+        b.rpc_handle(w, txn);
+        b.method_enter(ev, Pc::new(0x100), "Foo.bar");
+        b.method_exit(ev, Pc::new(0x100), true);
+        b.finish_unchecked()
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_trace() {
+        let trace = sample_trace();
+        let text = to_text_string(&trace);
+        let back = from_text_str(&text).expect("roundtrip parses");
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn quoting_roundtrip() {
+        for s in ["plain", "has space", "quote\"inside", "back\\slash", "new\nline", ""] {
+            let q = quote(s);
+            assert_eq!(unquote(&q, 0).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(
+            from_text_str("not a trace\n"),
+            Err(ReadError::Parse { .. })
+        ));
+        assert!(matches!(
+            from_text_str("cafa-trace v99\nend\n"),
+            Err(ReadError::UnsupportedVersion { found: 99 })
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let trace = sample_trace();
+        let text = to_text_string(&trace);
+        let cut = &text[..text.len() / 2];
+        assert!(from_text_str(cut).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_tag() {
+        let text = "cafa-trace v1\nmeta app \"a\" seed 0 virtual_ms 0\nprocesses 1\n\
+                    name n0 \"main\"\ntask t0 thread p0 - n0\nbody t0 1\nbogus v1\nend\n";
+        assert!(matches!(from_text_str(text), Err(ReadError::Parse { .. })));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let trace = sample_trace();
+        let text = to_text_string(&trace);
+        let with_noise: String = text
+            .lines()
+            .flat_map(|l| [l, ""])
+            .map(|l| format!("{l}\n"))
+            .collect::<String>()
+            .replace("processes", "# a comment\nprocesses");
+        let back = from_text_str(&with_noise).expect("noise tolerated");
+        assert_eq!(trace, back);
+    }
+}

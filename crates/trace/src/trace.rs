@@ -1,0 +1,304 @@
+//! The [`Trace`] container: an immutable, validated execution trace.
+
+use crate::ids::{ListenerId, OpRef, QueueId, TaskId};
+use crate::interner::Interner;
+use crate::record::Record;
+use crate::task::{ListenerInfo, QueueInfo, TaskInfo};
+
+/// Metadata describing the recorded execution.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceMeta {
+    /// Application name (e.g. `"MyTracks"`).
+    pub app: String,
+    /// Seed the workload/scheduler ran with, for reproducibility.
+    pub seed: u64,
+    /// Virtual duration of the recorded execution in milliseconds.
+    pub virtual_ms: u64,
+}
+
+/// An immutable execution trace of an event-driven program.
+///
+/// A trace owns a table of [tasks](TaskInfo) (threads and events), one
+/// record body per task, the queue processing orders, the listener table,
+/// and an interned name table. Construct one with
+/// [`TraceBuilder`](crate::TraceBuilder) or by deserializing with
+/// [`read_text`](crate::read_text) / [`read_binary`](crate::read_binary).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trace {
+    pub(crate) meta: TraceMeta,
+    pub(crate) names: Interner,
+    pub(crate) tasks: Vec<TaskInfo>,
+    pub(crate) bodies: Vec<Vec<Record>>,
+    pub(crate) queues: Vec<QueueInfo>,
+    pub(crate) listeners: Vec<ListenerInfo>,
+    pub(crate) external_order: Vec<TaskId>,
+    pub(crate) process_count: u32,
+}
+
+impl Trace {
+    /// Execution metadata.
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// The interned-name table.
+    pub fn names(&self) -> &Interner {
+        &self.names
+    }
+
+    /// Number of tasks (threads + events).
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of simulated processes.
+    pub fn process_count(&self) -> usize {
+        self.process_count as usize
+    }
+
+    /// Metadata for one task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range.
+    pub fn task(&self, task: TaskId) -> &TaskInfo {
+        &self.tasks[task.index()]
+    }
+
+    /// All tasks in id order.
+    pub fn tasks(&self) -> impl Iterator<Item = &TaskInfo> {
+        self.tasks.iter()
+    }
+
+    /// All event tasks in id order.
+    pub fn events(&self) -> impl Iterator<Item = &TaskInfo> {
+        self.tasks.iter().filter(|t| t.is_event())
+    }
+
+    /// All regular-thread tasks in id order.
+    pub fn threads(&self) -> impl Iterator<Item = &TaskInfo> {
+        self.tasks.iter().filter(|t| t.is_thread())
+    }
+
+    /// The record body of a task, in program order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range.
+    pub fn body(&self, task: TaskId) -> &[Record] {
+        &self.bodies[task.index()]
+    }
+
+    /// Length of a task's body.
+    pub fn body_len(&self, task: TaskId) -> u32 {
+        self.bodies[task.index()].len() as u32
+    }
+
+    /// The record at a trace position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is out of range.
+    pub fn record(&self, at: OpRef) -> &Record {
+        &self.bodies[at.task.index()][at.index as usize]
+    }
+
+    /// The record at a trace position, or `None` if out of range.
+    pub fn get_record(&self, at: OpRef) -> Option<&Record> {
+        self.bodies.get(at.task.index())?.get(at.index as usize)
+    }
+
+    /// Number of event queues.
+    pub fn queue_count(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Metadata for one queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue` is out of range.
+    pub fn queue(&self, queue: QueueId) -> &QueueInfo {
+        &self.queues[queue.index()]
+    }
+
+    /// All queues in id order, with their ids.
+    pub fn queues(&self) -> impl Iterator<Item = (QueueId, &QueueInfo)> {
+        self.queues.iter().enumerate().map(|(i, q)| (QueueId::from_usize(i), q))
+    }
+
+    /// Number of registered listener identities.
+    pub fn listener_count(&self) -> usize {
+        self.listeners.len()
+    }
+
+    /// Metadata for one listener.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `listener` is out of range.
+    pub fn listener(&self, listener: ListenerId) -> &ListenerInfo {
+        &self.listeners[listener.index()]
+    }
+
+    /// External events in generation order (the order the external-input
+    /// rule of §3.3 imposes).
+    pub fn external_events(&self) -> &[TaskId] {
+        &self.external_order
+    }
+
+    /// Iterates over every record of every task as `(position, record)`.
+    pub fn iter_ops(&self) -> impl Iterator<Item = (OpRef, &Record)> {
+        self.bodies.iter().enumerate().flat_map(|(t, body)| {
+            let task = TaskId::from_usize(t);
+            body.iter()
+                .enumerate()
+                .map(move |(i, r)| (OpRef::new(task, i as u32), r))
+        })
+    }
+
+    /// The human-readable name of a task.
+    pub fn task_name(&self, task: TaskId) -> &str {
+        self.names.resolve(self.task(task).name)
+    }
+
+    /// The first event whose handler name is `name`, if any.
+    pub fn event_named(&self, name: &str) -> Option<TaskId> {
+        self.events().find(|t| self.names.resolve(t.name) == name).map(|t| t.id)
+    }
+
+    /// The first thread whose name is `name`, if any.
+    pub fn thread_named(&self, name: &str) -> Option<TaskId> {
+        self.threads().find(|t| self.names.resolve(t.name) == name).map(|t| t.id)
+    }
+
+    /// Summary statistics, used by the evaluation harness and CLI.
+    pub fn stats(&self) -> TraceStats {
+        let mut s = TraceStats {
+            tasks: self.tasks.len(),
+            ..TraceStats::default()
+        };
+        for t in &self.tasks {
+            if t.is_event() {
+                s.events += 1;
+            } else {
+                s.threads += 1;
+            }
+        }
+        s.external_events = self.external_order.len();
+        for body in &self.bodies {
+            s.records += body.len();
+            for r in body {
+                if r.is_sync() {
+                    s.sync_records += 1;
+                }
+                if r.is_access() {
+                    s.accesses += 1;
+                }
+                match r {
+                    Record::ObjWrite { value: None, .. } => s.frees += 1,
+                    Record::ObjWrite { value: Some(_), .. } => s.allocations += 1,
+                    Record::Deref { .. } => s.derefs += 1,
+                    Record::Guard { .. } => s.guards += 1,
+                    Record::Send { .. } | Record::SendAtFront { .. } => s.sends += 1,
+                    _ => {}
+                }
+            }
+        }
+        s
+    }
+}
+
+/// Aggregate counts over a trace, as reported by [`Trace::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total tasks (threads + events).
+    pub tasks: usize,
+    /// Regular threads.
+    pub threads: usize,
+    /// Event executions (the "Events" column of Table 1).
+    pub events: usize,
+    /// Events generated by the external world.
+    pub external_events: usize,
+    /// Total records across all bodies.
+    pub records: usize,
+    /// Records participating in cross-task causality.
+    pub sync_records: usize,
+    /// Memory accesses (scalar + pointer).
+    pub accesses: usize,
+    /// Null pointer stores (frees).
+    pub frees: usize,
+    /// Non-null pointer stores (allocations).
+    pub allocations: usize,
+    /// Dereference records.
+    pub derefs: usize,
+    /// Guard-branch records.
+    pub guards: usize,
+    /// `send` + `sendAtFront` records.
+    pub sends: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+    use crate::ids::{Pc, ProcessId, VarId};
+
+    #[test]
+    fn stats_count_kinds() {
+        let mut b = TraceBuilder::new("app");
+        let p = b.add_process();
+        let q = b.add_queue(p);
+        let t = b.add_thread(p, "main");
+        let e = b.post(t, q, "ev", 0);
+        b.process_event(e);
+        b.obj_write(e, VarId::new(0), None, Pc::new(4));
+        b.obj_write(e, VarId::new(0), Some(crate::ids::ObjId::new(1)), Pc::new(8));
+        b.read(t, VarId::new(1));
+        let trace = b.finish().expect("valid trace");
+
+        let s = trace.stats();
+        assert_eq!(s.tasks, 2);
+        assert_eq!(s.threads, 1);
+        assert_eq!(s.events, 1);
+        assert_eq!(s.sends, 1);
+        assert_eq!(s.frees, 1);
+        assert_eq!(s.allocations, 1);
+        assert_eq!(s.accesses, 3);
+        assert_eq!(s.records, 4);
+        assert_eq!(s.sync_records, 1);
+        assert_eq!(trace.task_name(e), "ev");
+        assert_eq!(trace.process_count(), 1);
+        let _ = ProcessId::new(0);
+    }
+
+    #[test]
+    fn tasks_findable_by_name() {
+        let mut b = TraceBuilder::new("find");
+        let p = b.add_process();
+        let q = b.add_queue(p);
+        let t = b.add_thread(p, "main");
+        let e = b.post(t, q, "onCreate", 0);
+        b.process_event(e);
+        let trace = b.finish().unwrap();
+        assert_eq!(trace.event_named("onCreate"), Some(e));
+        assert_eq!(trace.event_named("main"), None, "threads are not events");
+        assert_eq!(trace.thread_named("main"), Some(t));
+        assert_eq!(trace.thread_named("missing"), None);
+    }
+
+    #[test]
+    fn iter_ops_covers_every_record() {
+        let mut b = TraceBuilder::new("app");
+        let p = b.add_process();
+        let t = b.add_thread(p, "main");
+        b.read(t, VarId::new(0));
+        b.write(t, VarId::new(0));
+        let trace = b.finish().unwrap();
+        let ops: Vec<_> = trace.iter_ops().collect();
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[0].0, OpRef::new(t, 0));
+        assert_eq!(ops[1].0, OpRef::new(t, 1));
+        assert!(trace.get_record(OpRef::new(t, 2)).is_none());
+    }
+}

@@ -1,0 +1,304 @@
+//! Structural validation of traces.
+//!
+//! Builders uphold most invariants as they go; this module re-checks
+//! everything from scratch so that deserialized (possibly hand-written or
+//! corrupted) traces are safe to analyze.
+
+use std::collections::HashMap;
+
+use crate::error::TraceError;
+use crate::ids::{OpRef, TaskId};
+use crate::record::Record;
+use crate::task::{EventOrigin, TaskKind};
+use crate::trace::Trace;
+
+/// Checks a trace for structural well-formedness.
+///
+/// Verified properties:
+/// * every record's task/queue/listener/name references are in range;
+/// * every event was processed exactly once, and each queue's processing
+///   order is contiguous and consistent with per-event `seq`;
+/// * every internally-posted event is named by exactly one
+///   `Send`/`SendAtFront` record, at the position its origin claims, with
+///   a matching queue and delay;
+/// * `Fork`/`Join` children are threads, and a thread's `forked_at` site
+///   holds the matching `Fork` record;
+/// * lock/unlock are balanced within each task (events must release
+///   everything they acquire — Android forbids an event handler returning
+///   while holding a monitor).
+///
+/// # Errors
+///
+/// Returns the first [`TraceError`] found.
+pub fn validate(trace: &Trace) -> Result<(), TraceError> {
+    check_queues(trace)?;
+    check_records(trace)?;
+    check_origins(trace)?;
+    check_locks(trace)?;
+    Ok(())
+}
+
+fn check_queues(trace: &Trace) -> Result<(), TraceError> {
+    for (qid, q) in trace.queues() {
+        for (i, &event) in q.events.iter().enumerate() {
+            if event.index() >= trace.task_count() {
+                return Err(TraceError::BrokenQueueOrder { queue: qid });
+            }
+            let t = trace.task(event);
+            match t.kind {
+                TaskKind::Event { queue, seq, .. } if queue == qid && seq as usize == i => {}
+                _ => return Err(TraceError::BrokenQueueOrder { queue: qid }),
+            }
+        }
+    }
+    for t in trace.events() {
+        if let TaskKind::Event { queue, seq, .. } = t.kind {
+            let q = trace.queue(queue);
+            if q.events.get(seq as usize) != Some(&t.id) {
+                return Err(TraceError::UnprocessedEvent { event: t.id });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_records(trace: &Trace) -> Result<(), TraceError> {
+    let dangling = |site: OpRef, what: &str| TraceError::DanglingId {
+        site,
+        what: what.to_owned(),
+    };
+    for (site, record) in trace.iter_ops() {
+        match *record {
+            Record::Fork { child } | Record::Join { child } => {
+                if child.index() >= trace.task_count() {
+                    return Err(dangling(site, "an unknown task"));
+                }
+                if !trace.task(child).is_thread() {
+                    return Err(match record {
+                        Record::Fork { .. } => TraceError::BadFork { child },
+                        _ => TraceError::BadJoin { site },
+                    });
+                }
+            }
+            Record::Send { event, queue, .. } | Record::SendAtFront { event, queue } => {
+                if event.index() >= trace.task_count() {
+                    return Err(dangling(site, "an unknown event"));
+                }
+                let t = trace.task(event);
+                match t.kind {
+                    TaskKind::Event { queue: declared, .. } => {
+                        if declared != queue {
+                            return Err(TraceError::QueueMismatch {
+                                event,
+                                declared,
+                                sent_to: queue,
+                            });
+                        }
+                    }
+                    TaskKind::Thread { .. } => {
+                        return Err(dangling(site, "a thread as a send target"))
+                    }
+                }
+                if queue.index() >= trace.queue_count() {
+                    return Err(dangling(site, "an unknown queue"));
+                }
+            }
+            Record::Register { listener } | Record::Perform { listener }
+                if listener.index() >= trace.listener_count() => {
+                    return Err(dangling(site, "an unknown listener"));
+                }
+            Record::MethodEnter { name, .. }
+                if trace.names().get(name).is_none() => {
+                    return Err(dangling(site, "an unknown name"));
+                }
+            _ => {}
+        }
+    }
+    // Thread fork-site back-pointers.
+    for t in trace.threads() {
+        if let TaskKind::Thread { forked_at: Some(at), .. } = t.kind {
+            match trace.get_record(at) {
+                Some(Record::Fork { child }) if *child == t.id => {}
+                _ => return Err(TraceError::BadFork { child: t.id }),
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_origins(trace: &Trace) -> Result<(), TraceError> {
+    // Map event -> posting sites found in record bodies.
+    let mut posted: HashMap<TaskId, OpRef> = HashMap::new();
+    for (site, record) in trace.iter_ops() {
+        let event = match *record {
+            Record::Send { event, .. } | Record::SendAtFront { event, .. } => event,
+            _ => continue,
+        };
+        if let Some(&first) = posted.get(&event) {
+            return Err(TraceError::DuplicateSend { event, first, second: site });
+        }
+        posted.insert(event, site);
+    }
+    for t in trace.events() {
+        let origin = t.origin().expect("events have origins");
+        match origin {
+            EventOrigin::Sent { send } | EventOrigin::SentAtFront { send } => {
+                let found = posted.get(&t.id).copied();
+                if found != Some(send) {
+                    return Err(TraceError::MissingSendRecord { event: t.id, site: send });
+                }
+                let matches_kind = match trace.get_record(send) {
+                    Some(Record::Send { .. }) => !origin.is_front(),
+                    Some(Record::SendAtFront { .. }) => origin.is_front(),
+                    _ => false,
+                };
+                if !matches_kind {
+                    return Err(TraceError::MissingSendRecord { event: t.id, site: send });
+                }
+            }
+            EventOrigin::External { .. } => {
+                if posted.contains_key(&t.id) {
+                    return Err(TraceError::DuplicateSend {
+                        event: t.id,
+                        first: posted[&t.id],
+                        second: posted[&t.id],
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_locks(trace: &Trace) -> Result<(), TraceError> {
+    for task in trace.tasks() {
+        let mut held: HashMap<crate::ids::MonitorId, u32> = HashMap::new();
+        for (i, r) in trace.body(task.id).iter().enumerate() {
+            match *r {
+                Record::Lock { monitor, .. } => {
+                    *held.entry(monitor).or_insert(0) += 1;
+                }
+                Record::Unlock { monitor, .. } => {
+                    let n = held.entry(monitor).or_insert(0);
+                    if *n == 0 {
+                        return Err(TraceError::UnbalancedLock {
+                            task: task.id,
+                            monitor,
+                            at: i as u32,
+                        });
+                    }
+                    *n -= 1;
+                }
+                _ => {}
+            }
+        }
+        let len = trace.body_len(task.id);
+        if let Some((&monitor, _)) = held.iter().find(|(_, &n)| n > 0) {
+            return Err(TraceError::UnbalancedLock { task: task.id, monitor, at: len });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+    use crate::ids::MonitorId;
+
+    #[test]
+    fn valid_trace_passes() {
+        let mut b = TraceBuilder::new("app");
+        let p = b.add_process();
+        let q = b.add_queue(p);
+        let t = b.add_thread(p, "main");
+        let e = b.post(t, q, "ev", 3);
+        b.process_event(e);
+        let m = MonitorId::new(0);
+        b.lock(t, m, 0);
+        b.unlock(t, m, 0);
+        let trace = b.finish_unchecked();
+        assert_eq!(validate(&trace), Ok(()));
+    }
+
+    #[test]
+    fn unlock_without_lock_fails() {
+        let mut b = TraceBuilder::new("app");
+        let p = b.add_process();
+        let t = b.add_thread(p, "main");
+        b.unlock(t, MonitorId::new(0), 0);
+        let trace = b.finish_unchecked();
+        assert!(matches!(
+            validate(&trace),
+            Err(TraceError::UnbalancedLock { at: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn ending_while_holding_lock_fails() {
+        let mut b = TraceBuilder::new("app");
+        let p = b.add_process();
+        let t = b.add_thread(p, "main");
+        b.lock(t, MonitorId::new(1), 0);
+        let trace = b.finish_unchecked();
+        assert!(matches!(
+            validate(&trace),
+            Err(TraceError::UnbalancedLock { at: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn nested_and_reentrant_locks_pass() {
+        let mut b = TraceBuilder::new("app");
+        let p = b.add_process();
+        let t = b.add_thread(p, "main");
+        let m = MonitorId::new(0);
+        b.lock(t, m, 0);
+        b.lock(t, m, 1);
+        b.unlock(t, m, 1);
+        b.unlock(t, m, 0);
+        let trace = b.finish_unchecked();
+        assert_eq!(validate(&trace), Ok(()));
+    }
+
+    #[test]
+    fn duplicate_send_fails() {
+        let mut b = TraceBuilder::new("app");
+        let p = b.add_process();
+        let q = b.add_queue(p);
+        let t = b.add_thread(p, "main");
+        let e = b.post(t, q, "ev", 0);
+        b.process_event(e);
+        // Manually forge a second send of the same event.
+        b.push(t, Record::Send { event: e, queue: q, delay_ms: 0 });
+        let trace = b.finish_unchecked();
+        assert!(matches!(validate(&trace), Err(TraceError::DuplicateSend { .. })));
+    }
+
+    #[test]
+    fn send_to_wrong_queue_fails() {
+        let mut b = TraceBuilder::new("app");
+        let p = b.add_process();
+        let q1 = b.add_queue(p);
+        let q2 = b.add_queue(p);
+        let t = b.add_thread(p, "main");
+        let e = b.external(q1, "ev");
+        b.process_event(e);
+        b.push(t, Record::Send { event: e, queue: q2, delay_ms: 0 });
+        let trace = b.finish_unchecked();
+        assert!(matches!(validate(&trace), Err(TraceError::QueueMismatch { .. })));
+    }
+
+    #[test]
+    fn join_of_event_fails() {
+        let mut b = TraceBuilder::new("app");
+        let p = b.add_process();
+        let q = b.add_queue(p);
+        let t = b.add_thread(p, "main");
+        let e = b.external(q, "ev");
+        b.process_event(e);
+        b.push(t, Record::Join { child: e });
+        let trace = b.finish_unchecked();
+        assert!(matches!(validate(&trace), Err(TraceError::BadJoin { .. })));
+    }
+}

@@ -1,0 +1,117 @@
+//! Builder and accessor API coverage beyond the unit tests.
+
+use cafa_trace::{
+    DerefKind, EventOrigin, ObjId, OpRef, Pc, Record, TaskKind, TraceBuilder, VarId,
+};
+
+#[test]
+fn meta_setters_round_trip() {
+    let mut b = TraceBuilder::new("meta");
+    b.set_seed(77);
+    b.set_virtual_ms(1234);
+    let trace = b.finish().unwrap();
+    assert_eq!(trace.meta().app, "meta");
+    assert_eq!(trace.meta().seed, 77);
+    assert_eq!(trace.meta().virtual_ms, 1234);
+}
+
+#[test]
+fn names_mut_preinterning_is_shared() {
+    let mut b = TraceBuilder::new("names");
+    let pre = b.names_mut().intern("onCreate");
+    let p = b.add_process();
+    let q = b.add_queue(p);
+    let t = b.add_thread(p, "main");
+    let ev = b.post(t, q, "onCreate", 0);
+    b.process_event(ev);
+    let trace = b.finish().unwrap();
+    assert_eq!(trace.task(ev).name, pre, "builder reuses pre-interned names");
+}
+
+#[test]
+fn process_of_resolves_events_to_looper_process() {
+    let mut b = TraceBuilder::new("proc");
+    let p1 = b.add_process();
+    let p2 = b.add_process();
+    let q = b.add_queue(p2);
+    let t = b.add_thread(p1, "main");
+    let ev = b.post(t, q, "ev", 0);
+    b.process_event(ev);
+    assert_eq!(b.process_of(t), p1);
+    assert_eq!(b.process_of(ev), p2, "events run in their looper's process");
+    assert_eq!(b.task_count(), 2);
+    assert_eq!(b.body_len(t), 1);
+}
+
+#[test]
+fn origin_kinds_expose_their_sites() {
+    let mut b = TraceBuilder::new("origin");
+    let p = b.add_process();
+    let q = b.add_queue(p);
+    let t = b.add_thread(p, "main");
+    let plain = b.post(t, q, "plain", 9);
+    let front = b.post_front(t, q, "front");
+    let ext = b.external(q, "ext");
+    b.process_event(front);
+    b.process_event(plain);
+    b.process_event(ext);
+    let trace = b.finish().unwrap();
+
+    let plain_origin = trace.task(plain).origin().unwrap();
+    assert!(matches!(plain_origin, EventOrigin::Sent { .. }));
+    assert_eq!(trace.task(plain).delay_ms(), Some(9));
+
+    let front_origin = trace.task(front).origin().unwrap();
+    assert!(front_origin.is_front());
+    assert_eq!(trace.task(front).delay_ms(), Some(0), "front posts carry no delay");
+
+    let ext_origin = trace.task(ext).origin().unwrap();
+    assert!(ext_origin.is_external());
+    assert_eq!(ext_origin.send_site(), None);
+
+    // Threads report no event metadata.
+    match trace.task(t).kind {
+        TaskKind::Thread { forked_at, .. } => assert!(forked_at.is_none()),
+        TaskKind::Event { .. } => panic!("t is a thread"),
+    }
+}
+
+#[test]
+fn raw_push_positions_are_sequential() {
+    let mut b = TraceBuilder::new("push");
+    let p = b.add_process();
+    let t = b.add_thread(p, "main");
+    let a = b.push(t, Record::Read { var: VarId::new(0) });
+    let c = b.push(t, Record::Write { var: VarId::new(0) });
+    assert_eq!(a, OpRef::new(t, 0));
+    assert_eq!(c, OpRef::new(t, 1));
+}
+
+#[test]
+fn stats_track_guards_and_derefs() {
+    let mut b = TraceBuilder::new("stats");
+    let p = b.add_process();
+    let t = b.add_thread(p, "main");
+    let o = ObjId::new(1);
+    b.obj_read(t, VarId::new(0), Some(o), Pc::new(0x1000));
+    b.guard(t, cafa_trace::BranchKind::IfNez, Pc::new(0x1004), Pc::new(0x1010), o);
+    b.deref(t, o, Pc::new(0x1014), DerefKind::Invoke);
+    b.deref(t, o, Pc::new(0x1018), DerefKind::Field);
+    let trace = b.finish().unwrap();
+    let s = trace.stats();
+    assert_eq!(s.guards, 1);
+    assert_eq!(s.derefs, 2);
+    assert_eq!(s.accesses, 1);
+    assert_eq!(s.sync_records, 0);
+}
+
+#[test]
+fn method_block_convention_is_exposed() {
+    // The if-guard "end of function" convention (docs/FORMAT.md).
+    let pc = Pc::new(0x3_2a0);
+    assert_eq!(pc.method_base().addr(), 0x3000);
+    assert_eq!(pc.method_end().addr(), 0x4000);
+    assert!(pc.same_method(Pc::new(0x3fff)));
+    assert!(!pc.same_method(Pc::new(0x4000)));
+    assert_eq!(Pc::METHOD_BLOCK, 0x1000);
+}

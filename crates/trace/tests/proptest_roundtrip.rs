@@ -1,0 +1,78 @@
+//! Property tests: serialization round-trips on arbitrary valid traces.
+
+use proptest::prelude::*;
+
+use cafa_trace::arbitrary::trace_from_tape;
+use cafa_trace::{from_binary_slice, from_text_str, to_binary_vec, to_text_string, validate};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any tape yields a structurally valid trace.
+    #[test]
+    fn tapes_always_yield_valid_traces(tape in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let trace = trace_from_tape(&tape);
+        prop_assert!(validate::validate(&trace).is_ok());
+    }
+
+    /// Text serialization is lossless.
+    #[test]
+    fn text_roundtrip(tape in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let trace = trace_from_tape(&tape);
+        let back = from_text_str(&to_text_string(&trace)).expect("parses");
+        prop_assert_eq!(trace, back);
+    }
+
+    /// Binary serialization is lossless.
+    #[test]
+    fn binary_roundtrip(tape in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let trace = trace_from_tape(&tape);
+        let back = from_binary_slice(&to_binary_vec(&trace)).expect("parses");
+        prop_assert_eq!(trace, back);
+    }
+
+    /// Binary decoding never panics on corrupted input (errors are
+    /// fine; crashes are not).
+    #[test]
+    fn binary_decoder_tolerates_corruption(
+        tape in proptest::collection::vec(any::<u8>(), 0..200),
+        flip in any::<(u16, u8)>(),
+    ) {
+        let trace = trace_from_tape(&tape);
+        let mut bytes = to_binary_vec(&trace);
+        if !bytes.is_empty() {
+            let idx = flip.0 as usize % bytes.len();
+            bytes[idx] ^= flip.1 | 1;
+        }
+        let _ = from_binary_slice(&bytes); // must not panic
+    }
+
+    /// The pretty-printer renders any valid trace without panicking
+    /// and mentions every non-empty task.
+    #[test]
+    fn pretty_renders_all_tasks(tape in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let trace = trace_from_tape(&tape);
+        let opts = cafa_trace::pretty::PrettyOptions::default();
+        let text = cafa_trace::pretty::render(&trace, &opts);
+        for t in trace.tasks() {
+            if !trace.body(t.id).is_empty() {
+                prop_assert!(text.contains(&t.id.to_string()), "missing {}", t.id);
+            }
+        }
+    }
+
+    /// Text parsing never panics on corrupted input.
+    #[test]
+    fn text_parser_tolerates_corruption(
+        tape in proptest::collection::vec(any::<u8>(), 0..200),
+        junk in "[ -~]{0,40}",
+        line in any::<u16>(),
+    ) {
+        let trace = trace_from_tape(&tape);
+        let text = to_text_string(&trace);
+        let mut lines: Vec<&str> = text.lines().collect();
+        let idx = line as usize % (lines.len() + 1);
+        lines.insert(idx, &junk);
+        let _ = from_text_str(&lines.join("\n")); // must not panic
+    }
+}

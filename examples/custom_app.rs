@@ -1,0 +1,94 @@
+//! Authoring your own workload: model an app with the simulator's
+//! program API, record traces under many schedules, and analyze them.
+//!
+//! The app is a small image-gallery: a grid activity, a decoder
+//! service, and a prefetch thread — with one deliberate teardown bug.
+//!
+//! Run with: `cargo run --example custom_app`
+
+use cafa::detect::Analyzer;
+use cafa::sim::{run, Action, Body, InstrumentConfig, ProgramBuilder, SimConfig};
+use cafa::trace::DerefKind;
+
+fn main() {
+    let mut p = ProgramBuilder::new("gallery");
+    let app = p.process();
+    let main = p.looper(app);
+
+    // Shared state: the decoded-thumbnail cache and a scroll position.
+    let cache = p.ptr_var_alloc();
+    let scroll_pos = p.scalar_var(0);
+
+    // The decoder lives in its own process behind Binder.
+    let svcp = p.process();
+    let decoder = p.service(svcp, "ThumbnailDecoder");
+
+    // onThumbReady uses the cache — posted by the decoder when a
+    // thumbnail finishes.
+    let on_thumb_ready = p.handler(
+        "onThumbReady",
+        Body::from_actions(vec![
+            Action::UsePtr { var: cache, kind: DerefKind::Invoke, catch_npe: false },
+            Action::WriteScalar(scroll_pos, 1),
+        ]),
+    );
+    let decode = p.method(decoder, "decode", Body::new().post(main, on_thumb_ready, 0));
+
+    // Scrolling asks the decoder for more thumbnails (async Binder).
+    let on_scroll = p.handler(
+        "onScroll",
+        Body::from_actions(vec![
+            Action::ReadScalar(scroll_pos),
+            Action::CallAsync { service: decoder, method: decode },
+        ]),
+    );
+
+    // THE BUG: onTrimMemory drops the cache without synchronizing with
+    // in-flight decode results.
+    let on_trim = p.handler("onTrimMemory", Body::new().free(cache));
+
+    // A prefetch thread warms the cache at startup, then hands off.
+    p.thread(
+        app,
+        "prefetch",
+        Body::from_actions(vec![Action::AllocPtr(cache), Action::Post {
+            looper: main,
+            handler: on_scroll,
+            delay_ms: 0,
+        }]),
+    );
+
+    // User interaction: scroll twice, then the system trims memory.
+    p.gesture(5, main, on_scroll);
+    p.gesture(12, main, on_scroll);
+    p.gesture(40, main, on_trim);
+
+    let program = p.build();
+
+    // ---- record under several schedules, analyze each --------------------
+    let mut total_races = 0;
+    for seed in [1u64, 7, 23] {
+        let mut config = SimConfig::with_seed(seed);
+        config.instrument = InstrumentConfig::full();
+        let mut outcome = run(&program, &config).unwrap();
+        let trace = outcome.trace.take().unwrap();
+        let report = Analyzer::new().analyze(&trace).unwrap();
+        println!(
+            "seed {seed}: {} events, {} races, crashed={}",
+            trace.stats().events,
+            report.races.len(),
+            outcome.crashed(),
+        );
+        for race in &report.races {
+            println!(
+                "    {} use in {} vs free in {}",
+                race.class,
+                trace.task_name(race.use_site.at.task),
+                trace.task_name(race.free_site.at.task),
+            );
+        }
+        total_races += report.races.len();
+    }
+    assert!(total_races > 0, "the teardown bug is detectable");
+    println!("=> onThumbReady races onTrimMemory: synchronize the cache teardown.");
+}

@@ -1,0 +1,91 @@
+//! # CAFA-rs
+//!
+//! A reproduction of *"Race Detection for Event-Driven Mobile
+//! Applications"* (Yu et al., PLDI 2014): the CAFA causality model and
+//! use-free race detector for Android-style event-driven programs,
+//! plus the simulator substrate and workloads that regenerate the
+//! paper's evaluation.
+//!
+//! This facade re-exports the workspace crates under short names:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`trace`] | `cafa-trace` | trace model, builder, validation, serialization |
+//! | [`hb`] | `cafa-hb` | happens-before model (§3): rules, fixpoint, queries |
+//! | [`detect`] | `cafa-core` | use-free race detector (§4) + baselines |
+//! | [`sim`] | `cafa-sim` | Android-like runtime simulator (§5 substitute) |
+//! | [`apps`] | `cafa-apps` | the ten evaluated app workloads + ground truth |
+//!
+//! # Examples
+//!
+//! Record a workload and analyze it:
+//!
+//! ```
+//! use cafa::prelude::*;
+//!
+//! let mut p = ProgramBuilder::new("demo");
+//! let proc = p.process();
+//! let looper = p.looper(proc);
+//! let ptr = p.ptr_var_alloc();
+//! let use_h = p.handler("useIt", Body::new().use_ptr(ptr));
+//! let free_h = p.handler("freeIt", Body::new().free(ptr));
+//! p.thread(proc, "s1", Body::new().post(looper, use_h, 0));
+//! p.thread(proc, "s2", Body::new().post(looper, free_h, 5));
+//! let program = p.build();
+//!
+//! let report = cafa::record_and_analyze(&program, 0).unwrap();
+//! assert_eq!(report.races.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cafa_apps as apps;
+pub use cafa_core as detect;
+pub use cafa_hb as hb;
+pub use cafa_sim as sim;
+pub use cafa_trace as trace;
+
+/// The names most programs need: program building, simulation, model
+/// construction, and detection.
+pub mod prelude {
+    pub use cafa_core::{Analyzer, DetectorConfig, RaceClass, RaceReport};
+    pub use cafa_hb::{CausalityConfig, HbModel, OpOrder};
+    pub use cafa_sim::{run, Action, Body, InstrumentConfig, Program, ProgramBuilder, SimConfig};
+    pub use cafa_trace::{OpRef, Trace, TraceBuilder};
+}
+
+/// One-call convenience: simulate `program` under `seed` with full
+/// instrumentation and run the CAFA detector on the recorded trace.
+///
+/// # Errors
+///
+/// Returns an error string when the simulation fails (deadlock, step
+/// budget) or the trace implies an inconsistent happens-before
+/// relation.
+pub fn record_and_analyze(
+    program: &sim::Program,
+    seed: u64,
+) -> Result<detect::RaceReport, String> {
+    let outcome =
+        sim::run(program, &sim::SimConfig::with_seed(seed)).map_err(|e| e.to_string())?;
+    let trace = outcome.trace.expect("instrumentation is on by default");
+    detect::Analyzer::new().analyze(&trace).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn record_and_analyze_roundtrip() {
+        use crate::prelude::*;
+        let mut p = ProgramBuilder::new("facade");
+        let proc = p.process();
+        let looper = p.looper(proc);
+        let v = p.scalar_var(0);
+        let h = p.handler("noop", Body::new().read(v));
+        p.gesture(0, looper, h);
+        let report = crate::record_and_analyze(&p.build(), 0).unwrap();
+        assert!(report.races.is_empty());
+        assert_eq!(report.stats.events, 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! Cross-validation of the baseline detectors.
+//!
+//! Two independent implementations of the conventional thread-based
+//! view exist in the workspace: the graph-based model with
+//! `CausalityConfig::fasttrack_like()` driving the low-level pair
+//! counter, and a genuine epoch-based FastTrack. On any trace they must
+//! agree on *which variables* are racy (FastTrack's precision theorem
+//! guarantees it reports at least the first race per variable).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use cafa_core::fasttrack::fasttrack;
+use cafa_core::lowlevel::count_races;
+use cafa_hb::CausalityConfig;
+use cafa_sim::{run, Action, Body, ProgramBuilder, SimConfig};
+use cafa_trace::Trace;
+
+fn racy_var_count_graph(trace: &Trace) -> usize {
+    count_races(trace, CausalityConfig::fasttrack_like()).unwrap().racy_vars
+}
+
+/// A random mix of threads and events touching a few shared variables
+/// with occasional fork/join/lock synchronization.
+fn random_threaded_program(gen_seed: u64) -> cafa_sim::Program {
+    let mut rng = SmallRng::seed_from_u64(gen_seed);
+    let mut p = ProgramBuilder::new(format!("ftrand-{gen_seed}"));
+    let proc = p.process();
+    let looper = p.looper(proc);
+    let nvars = rng.gen_range(2..5);
+    let vars: Vec<_> = (0..nvars).map(|_| p.scalar_var(0)).collect();
+    let nmons = 2;
+    let mons: Vec<_> = (0..nmons).map(|_| p.monitor()).collect();
+
+    // A few event handlers doing random accesses.
+    let n_handlers = rng.gen_range(2..5);
+    for h in 0..n_handlers {
+        let mut actions = Vec::new();
+        for _ in 0..rng.gen_range(1..4) {
+            let v = vars[rng.gen_range(0..vars.len())];
+            if rng.gen_bool(0.5) {
+                actions.push(Action::ReadScalar(v));
+            } else {
+                actions.push(Action::WriteScalar(v, 1));
+            }
+        }
+        p.handler(&format!("H{h}"), Body::from_actions(actions));
+    }
+
+    // Threads: random accesses, some under locks, some posting events.
+    for t in 0..rng.gen_range(2..5) {
+        let mut actions = vec![Action::Sleep(rng.gen_range(0..5))];
+        for _ in 0..rng.gen_range(2..6) {
+            match rng.gen_range(0..6) {
+                0 | 1 => {
+                    let v = vars[rng.gen_range(0..vars.len())];
+                    actions.push(Action::ReadScalar(v));
+                }
+                2 | 3 => {
+                    let v = vars[rng.gen_range(0..vars.len())];
+                    actions.push(Action::WriteScalar(v, t as i64));
+                }
+                4 => {
+                    let m = mons[rng.gen_range(0..mons.len())];
+                    let v = vars[rng.gen_range(0..vars.len())];
+                    actions.push(Action::Lock(m));
+                    actions.push(Action::WriteScalar(v, -1));
+                    actions.push(Action::Unlock(m));
+                }
+                _ => {
+                    let h = cafa_sim::HandlerId::from_index(rng.gen_range(0..n_handlers) as u32);
+                    actions.push(Action::Post { looper, handler: h, delay_ms: 0 });
+                }
+            }
+        }
+        p.thread(proc, &format!("T{t}"), Body::from_actions(actions));
+    }
+    p.build()
+}
+
+#[test]
+fn fasttrack_agrees_with_graph_model_on_random_programs() {
+    let mut nonzero = 0;
+    for gen_seed in 0..40 {
+        let program = random_threaded_program(gen_seed);
+        let Some(trace) = run(&program, &SimConfig::with_seed(1)).unwrap().trace else {
+            continue;
+        };
+        let ft = fasttrack(&trace).unwrap();
+        let graph = racy_var_count_graph(&trace);
+        assert_eq!(
+            ft.racy_vars, graph,
+            "program {gen_seed}: FastTrack found {} racy vars, graph model {}",
+            ft.racy_vars, graph
+        );
+        if ft.racy_vars > 0 {
+            nonzero += 1;
+        }
+    }
+    assert!(nonzero >= 10, "the generator must produce real races ({nonzero})");
+}
+
+#[test]
+fn fasttrack_agrees_with_graph_model_on_app_traces() {
+    for name in ["ConnectBot", "Music"] {
+        let apps = cafa_apps::all_apps();
+        let app = apps.iter().find(|a| a.name == name).unwrap();
+        let trace = app.record(0).unwrap().trace.unwrap();
+        let ft = fasttrack(&trace).unwrap();
+        let graph = racy_var_count_graph(&trace);
+        assert_eq!(ft.racy_vars, graph, "{name}");
+    }
+}
+
+#[test]
+fn more_order_means_fewer_lowlevel_races() {
+    // cafa ⊆ no_queue_rules orderings, so no_queue_rules finds at least
+    // as many racy pairs; conventional (single looper) is coarser than
+    // cafa, so it finds at most as many.
+    for name in ["ConnectBot", "VLC"] {
+        let apps = cafa_apps::all_apps();
+        let app = apps.iter().find(|a| a.name == name).unwrap();
+        let trace = app.record(0).unwrap().trace.unwrap();
+        let cafa = count_races(&trace, CausalityConfig::cafa()).unwrap().racy_pairs;
+        let relaxed = count_races(&trace, CausalityConfig::no_queue_rules()).unwrap().racy_pairs;
+        let conv = count_races(&trace, CausalityConfig::conventional()).unwrap().racy_pairs;
+        assert!(relaxed >= cafa, "{name}: dropping rules can only add races");
+        assert!(conv <= cafa, "{name}: total order can only remove races");
+    }
+}

@@ -1,0 +1,166 @@
+//! End-to-end checks of every illustrative figure in the paper,
+//! exercised through the simulator (program → schedule → trace → model
+//! → detector), not hand-built traces.
+
+use cafa_core::{Analyzer, DetectorConfig, FilterReason, RaceClass};
+use cafa_hb::{CausalityConfig, HbModel};
+use cafa_sim::{run, Action, Body, ProgramBuilder, SimConfig};
+use cafa_trace::{TaskId, Trace};
+
+fn record(p: cafa_sim::Program) -> Trace {
+    run(&p, &SimConfig::with_seed(0)).unwrap().trace.unwrap()
+}
+
+fn event(trace: &Trace, name: &str) -> TaskId {
+    trace
+        .events()
+        .find(|t| trace.names().resolve(t.name) == name)
+        .unwrap_or_else(|| panic!("event {name}"))
+        .id
+}
+
+/// Figure 1: the MyTracks use-after-free, through Binder.
+#[test]
+fn figure1_mytracks_race_detected() {
+    let mut p = ProgramBuilder::new("fig1");
+    let app = p.process();
+    let main = p.looper(app);
+    let provider_utils = p.ptr_var_alloc();
+    let connected = p.handler("onServiceConnected", Body::new().use_ptr(provider_utils));
+    let svcp = p.process();
+    let svc = p.service(svcp, "TrackRecordingService");
+    let bind = p.method(svc, "onBind", Body::new().post(main, connected, 0));
+    let resume = p.handler(
+        "onResume",
+        Body::from_actions(vec![Action::CallAsync { service: svc, method: bind }]),
+    );
+    let destroy = p.handler("onDestroy", Body::new().free(provider_utils));
+    p.gesture(0, main, resume);
+    p.gesture(50, main, destroy);
+    let trace = record(p.build());
+
+    let model = HbModel::build(&trace, CausalityConfig::cafa()).unwrap();
+    let (c, d) = (event(&trace, "onServiceConnected"), event(&trace, "onDestroy"));
+    assert!(model.concurrent_events(c, d));
+    // onResume is ordered before onServiceConnected through the RPC.
+    assert!(model.event_before(event(&trace, "onResume"), c));
+
+    let report = Analyzer::new().analyze(&trace).unwrap();
+    assert_eq!(report.races.len(), 1);
+    assert_eq!(report.races[0].class, RaceClass::IntraThread);
+}
+
+/// Figure 2: the ConnectBot read-write conflict is *not* a use-free
+/// race — CAFA stays silent even though the low-level definition fires.
+#[test]
+fn figure2_commutative_rw_not_reported() {
+    let mut p = ProgramBuilder::new("fig2");
+    let pr = p.process();
+    let l = p.looper(pr);
+    let resize_allowed = p.scalar_var(1);
+    let pause = p.handler("onPause", Body::new().write(resize_allowed, 0));
+    let layout = p.handler("onLayout", Body::new().read(resize_allowed));
+    p.thread(pr, "s1", Body::new().post(l, pause, 2));
+    p.thread(pr, "s2", Body::new().post(l, layout, 1));
+    let trace = record(p.build());
+
+    let report = Analyzer::new().analyze(&trace).unwrap();
+    assert!(report.races.is_empty(), "not a use-free race");
+    let lowlevel =
+        cafa_core::lowlevel::count_races(&trace, CausalityConfig::cafa()).unwrap();
+    assert_eq!(lowlevel.racy_pairs, 1, "but the conventional definition fires");
+}
+
+/// Figure 4b/4c: delay interplay between two sends from one thread.
+#[test]
+fn figure4_delays() {
+    // 4b: equal delays, FIFO.
+    let mut p = ProgramBuilder::new("fig4b");
+    let pr = p.process();
+    let l = p.looper(pr);
+    let a = p.handler("A", Body::new());
+    let b = p.handler("B", Body::new());
+    p.thread(pr, "T", Body::new().post(l, a, 1).post(l, b, 1));
+    let trace = record(p.build());
+    let m = HbModel::build(&trace, CausalityConfig::cafa()).unwrap();
+    assert!(m.event_before(event(&trace, "A"), event(&trace, "B")));
+
+    // 4c: first send has the larger delay — no order either way.
+    let mut p = ProgramBuilder::new("fig4c");
+    let pr = p.process();
+    let l = p.looper(pr);
+    let a = p.handler("A", Body::new());
+    let b = p.handler("B", Body::new());
+    p.thread(pr, "T", Body::new().post(l, a, 5).post(l, b, 0));
+    let trace = record(p.build());
+    let m = HbModel::build(&trace, CausalityConfig::cafa()).unwrap();
+    assert!(m.concurrent_events(event(&trace, "A"), event(&trace, "B")));
+}
+
+/// Figure 4d vs 4e/4f: `sendAtFront` orders only under the
+/// `sendAtFront ≺ begin` guarantee.
+#[test]
+fn figure4_send_at_front() {
+    // 4d: both sends inside event C on the target looper: B ≺ A.
+    let mut p = ProgramBuilder::new("fig4d");
+    let pr = p.process();
+    let l = p.looper(pr);
+    let a = p.handler("A", Body::new());
+    let b = p.handler("B", Body::new());
+    let c = p.handler(
+        "C",
+        Body::from_actions(vec![
+            Action::Post { looper: l, handler: a, delay_ms: 0 },
+            Action::PostFront { looper: l, handler: b },
+        ]),
+    );
+    p.gesture(0, l, c);
+    let trace = record(p.build());
+    let m = HbModel::build(&trace, CausalityConfig::cafa()).unwrap();
+    assert!(m.event_before(event(&trace, "B"), event(&trace, "A")));
+    assert!(m.event_before(event(&trace, "C"), event(&trace, "A")), "atomicity");
+
+    // 4e/4f: the front-send comes from an unrelated thread — no order.
+    let mut p = ProgramBuilder::new("fig4ef");
+    let pr = p.process();
+    let l = p.looper(pr);
+    let a = p.handler("A", Body::new());
+    let b = p.handler("B", Body::new());
+    p.thread(pr, "T", Body::new().post(l, a, 0));
+    p.thread(
+        pr,
+        "T2",
+        Body::from_actions(vec![Action::Sleep(1), Action::PostFront { looper: l, handler: b }]),
+    );
+    let trace = record(p.build());
+    let m = HbModel::build(&trace, CausalityConfig::cafa()).unwrap();
+    assert!(m.concurrent_events(event(&trace, "A"), event(&trace, "B")));
+}
+
+/// Figure 5: both commutative patterns are filtered, with the right
+/// reasons, and nothing is reported.
+#[test]
+fn figure5_commutative_events_filtered() {
+    let mut p = ProgramBuilder::new("fig5");
+    let pr = p.process();
+    let l = p.looper(pr);
+    let handler_ptr = p.ptr_var_alloc();
+    let pause = p.handler("onPause", Body::new().free(handler_ptr));
+    let focus = p.handler("onFocus", Body::new().guarded_use(handler_ptr));
+    let resume = p.handler("onResume", Body::new().alloc(handler_ptr).use_ptr(handler_ptr));
+    // Decreasing delays keep all three concurrent.
+    p.thread(pr, "s1", Body::new().post(l, focus, 3));
+    p.thread(pr, "s2", Body::new().post(l, resume, 2));
+    p.thread(pr, "s3", Body::new().post(l, pause, 1));
+    let trace = record(p.build());
+
+    let report = Analyzer::new().analyze(&trace).unwrap();
+    assert!(report.races.is_empty());
+    let reasons: Vec<FilterReason> = report.filtered.iter().map(|f| f.reason).collect();
+    assert!(reasons.contains(&FilterReason::IfGuard));
+    assert!(reasons.contains(&FilterReason::AllocBeforeUse));
+
+    // Without the heuristics both candidates are reported.
+    let noisy = Analyzer::with_config(DetectorConfig::unfiltered()).analyze(&trace).unwrap();
+    assert_eq!(noisy.races.len(), 2);
+}

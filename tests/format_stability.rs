@@ -1,0 +1,53 @@
+//! Text-format stability: a golden trace checked into the repository
+//! must keep parsing, and a canonical builder sequence must keep
+//! producing byte-identical text. If either test fails, the format
+//! version must be bumped instead of silently changing.
+
+use cafa_trace::{from_text_str, to_text_string, TraceBuilder, VarId};
+
+fn canonical_trace() -> cafa_trace::Trace {
+    let mut b = TraceBuilder::new("golden");
+    b.set_seed(42);
+    b.set_virtual_ms(1000);
+    let p = b.add_process();
+    let q = b.add_queue(p);
+    let t = b.add_thread(p, "main");
+    let l = b.add_listener("android.view");
+    let ev = b.post(t, q, "onCreate", 5);
+    b.process_event(ev);
+    b.register(ev, l);
+    b.obj_read(ev, VarId::new(0), Some(cafa_trace::ObjId::new(1)), cafa_trace::Pc::new(0x1010));
+    b.deref(ev, cafa_trace::ObjId::new(1), cafa_trace::Pc::new(0x1014), cafa_trace::DerefKind::Field);
+    b.obj_write(ev, VarId::new(0), None, cafa_trace::Pc::new(0x1020));
+    let w = b.fork(t, p, "worker");
+    b.lock(w, cafa_trace::MonitorId::new(0), 1);
+    b.write(w, VarId::new(1));
+    b.unlock(w, cafa_trace::MonitorId::new(0), 1);
+    b.join(t, w);
+    b.finish().unwrap()
+}
+
+const GOLDEN: &str = include_str!("fixtures/golden.trace");
+
+#[test]
+fn golden_fixture_parses_and_matches_canonical_builder() {
+    let trace = canonical_trace();
+    let text = to_text_string(&trace);
+    assert_eq!(
+        text, GOLDEN,
+        "text format changed; bump TEXT_VERSION and regenerate the fixture"
+    );
+    let parsed = from_text_str(GOLDEN).expect("golden fixture parses");
+    assert_eq!(parsed, trace);
+}
+
+#[test]
+fn golden_fixture_analyzes_identically() {
+    let parsed = from_text_str(GOLDEN).unwrap();
+    let report = cafa_core::Analyzer::new().analyze(&parsed).unwrap();
+    // The fixture contains one use and one free in the same event: not
+    // a race (same task), so the report is empty but the extraction is
+    // exercised.
+    assert!(report.races.is_empty());
+    assert_eq!(report.stats.events, 1);
+}

@@ -1,0 +1,64 @@
+//! Dynamic validation of the workload ground truth.
+//!
+//! The labels claim things about *all* schedules: benign patterns must
+//! never produce a null dereference under any interleaving, and any
+//! null dereference that does occur must belong to a variable labelled
+//! harmful. Running each workload under many seeds (uninstrumented,
+//! which is fast) checks the labels against reality.
+
+use cafa_apps::{all_apps, Label};
+
+#[test]
+fn npes_only_ever_hit_harmful_variables() {
+    for app in all_apps() {
+        for seed in 0..6 {
+            let outcome = app.record_uninstrumented(seed).expect("runs cleanly");
+            for npe in &outcome.npes {
+                match app.truth.get(npe.var) {
+                    Some(Label::Harmful { .. }) => {}
+                    other => panic!(
+                        "{} seed {seed}: NPE in {} on {} labelled {:?} — \
+                         benign/filtered patterns must be safe in every schedule",
+                        app.name, npe.context, npe.var, other
+                    ),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn table1_seed_runs_are_crash_free() {
+    // The paper's traces come from normal (non-crashing) sessions; the
+    // workloads are timed so seed 0 takes the benign order everywhere.
+    for app in all_apps() {
+        let outcome = app.record_uninstrumented(0).expect("runs cleanly");
+        assert!(
+            !outcome.crashed(),
+            "{}: the Table 1 recording schedule must be crash-free",
+            app.name
+        );
+    }
+}
+
+#[test]
+fn every_harmful_label_is_a_planted_pattern_var() {
+    // Consistency of the oracle itself: each app's label table contains
+    // exactly expected.reported non-auxiliary entries plus the
+    // filtered/ordered patterns.
+    for app in all_apps() {
+        let mut harmful = 0;
+        let mut benign = 0;
+        let mut aux = 0;
+        for (_, label) in app.truth.iter() {
+            match label {
+                Label::Harmful { .. } => harmful += 1,
+                Label::Benign { .. } => benign += 1,
+                Label::Filtered | Label::Ordered => aux += 1,
+            }
+        }
+        assert_eq!(harmful, app.expected.true_races(), "{}", app.name);
+        assert_eq!(benign, app.expected.false_positives(), "{}", app.name);
+        assert!(aux >= 2, "{}: filtered/ordered patterns planted", app.name);
+    }
+}

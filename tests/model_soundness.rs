@@ -1,0 +1,209 @@
+//! Soundness of the causality model against ground-truth executions.
+//!
+//! The happens-before relation derived from one recorded schedule
+//! predicts orderings for *all* legal schedules: if the model says
+//! event e₁ happens-before event e₂, then no schedule of the same
+//! program may process e₂ before e₁. This test generates random
+//! event-driven programs, derives the model from one run, and checks
+//! every derived event ordering against the processing orders observed
+//! under many other seeds — a direct, execution-based check of the
+//! atomicity rule, the four queue rules, and the external-input rule.
+
+#![allow(clippy::needless_range_loop)] // index loops mirror the DAG construction
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use cafa_hb::{CausalityConfig, HbModel};
+use cafa_sim::{run, Action, Body, HandlerId, Program, ProgramBuilder, SimConfig};
+
+/// Generates a random single-looper program.
+///
+/// Handlers form a DAG (handler *i* may only post handlers with larger
+/// indexes), every handler is posted at most once, and handler names
+/// are unique — so an event's identity across runs is its handler name.
+fn random_program(gen_seed: u64) -> Program {
+    let mut rng = SmallRng::seed_from_u64(gen_seed);
+    let mut p = ProgramBuilder::new(format!("random-{gen_seed}"));
+    let proc = p.process();
+    let looper = p.looper(proc);
+    let var = p.scalar_var(0);
+
+    let n_handlers = rng.gen_range(6..16);
+    let delays = [0u64, 0, 1, 2, 5];
+
+    // Decide each handler's posts up front (to later handlers only),
+    // making sure every handler is posted by exactly one site.
+    let mut posted_by: Vec<Option<usize>> = vec![None; n_handlers]; // handler -> poster
+    let mut posts_of: Vec<Vec<(usize, bool, u64)>> = vec![Vec::new(); n_handlers];
+    for h in 1..n_handlers {
+        // Poster: a previous handler, or "external" (None stays None
+        // with probability), or a thread (represented by usize::MAX).
+        let choice = rng.gen_range(0..10);
+        if choice < 5 {
+            let poster = rng.gen_range(0..h);
+            let front = rng.gen_ratio(1, 6);
+            let delay = delays[rng.gen_range(0..delays.len())];
+            posted_by[h] = Some(poster);
+            posts_of[poster].push((h, front, if front { 0 } else { delay }));
+        }
+        // else: posted by a dedicated thread or a gesture, below.
+    }
+
+    // Declare handlers in order; bodies reference later handler ids,
+    // which are assigned densely in declaration order.
+    for (h, posts) in posts_of.iter().enumerate() {
+        let mut actions = vec![Action::ReadScalar(var)];
+        for &(target, front, delay) in posts {
+            let handler = HandlerId::from_index(target as u32);
+            actions.push(if front {
+                Action::PostFront { looper, handler }
+            } else {
+                Action::Post { looper, handler, delay_ms: delay }
+            });
+        }
+        if rng.gen_ratio(1, 3) {
+            actions.push(Action::WriteScalar(var, h as i64));
+        }
+        p.handler(&format!("H{h}"), Body::from_actions(actions));
+    }
+
+    // Root handlers (not posted by other handlers) come from gestures
+    // or threads.
+    for h in 0..n_handlers {
+        if posted_by[h].is_some() {
+            continue;
+        }
+        let handler = HandlerId::from_index(h as u32);
+        if rng.gen_ratio(1, 2) {
+            p.gesture(rng.gen_range(0..20), looper, handler);
+        } else {
+            let delay = delays[rng.gen_range(0..delays.len())];
+            let sleep = rng.gen_range(0..10);
+            p.thread(
+                proc,
+                &format!("src{h}"),
+                Body::from_actions(vec![
+                    Action::Sleep(sleep),
+                    Action::Post { looper, handler, delay_ms: delay },
+                ]),
+            );
+        }
+    }
+    p.build()
+}
+
+/// Processing order of events by handler name, per run.
+fn processing_order(program: &Program, seed: u64) -> HashMap<String, usize> {
+    let outcome = run(program, &SimConfig::with_seed(seed)).expect("random program runs");
+    let trace = outcome.trace.expect("instrumented");
+    let mut order = HashMap::new();
+    for (_, q) in trace.queues() {
+        for (pos, &ev) in q.events.iter().enumerate() {
+            order.insert(trace.task_name(ev).to_owned(), pos);
+        }
+    }
+    order
+}
+
+#[test]
+fn derived_orderings_hold_in_every_schedule() {
+    let mut checked_pairs = 0usize;
+    for gen_seed in 0..25 {
+        let program = random_program(gen_seed);
+
+        // Derive the model from the seed-0 run.
+        let outcome = run(&program, &SimConfig::with_seed(0)).expect("runs");
+        let trace = outcome.trace.expect("instrumented");
+        let model = HbModel::build(&trace, CausalityConfig::cafa())
+            .unwrap_or_else(|e| panic!("program {gen_seed}: model builds: {e}"));
+
+        // Collect all derived event-before pairs (by handler name).
+        let events = model.events().to_vec();
+        let mut hb_pairs: Vec<(String, String)> = Vec::new();
+        for &e1 in &events {
+            for &e2 in &events {
+                if e1 != e2 && model.event_before(e1, e2) {
+                    hb_pairs
+                        .push((trace.task_name(e1).to_owned(), trace.task_name(e2).to_owned()));
+                }
+            }
+        }
+
+        // Every derived ordering must hold under every other schedule.
+        for run_seed in 1..12 {
+            let order = processing_order(&program, run_seed);
+            for (n1, n2) in &hb_pairs {
+                let (p1, p2) = (order[n1], order[n2]);
+                assert!(
+                    p1 < p2,
+                    "program {gen_seed}, schedule {run_seed}: model says {n1} ≺ {n2}, \
+                     but it was processed at {p2} before {p1}"
+                );
+                checked_pairs += 1;
+            }
+        }
+    }
+    assert!(checked_pairs > 1_000, "the test must exercise real orderings ({checked_pairs})");
+}
+
+#[test]
+fn conventional_model_is_coarser_on_single_looper_programs() {
+    // On a single-queue program the conventional total event order
+    // subsumes every CAFA event ordering, so conventional-concurrent
+    // pairs are a subset of CAFA-concurrent pairs.
+    for gen_seed in 0..10 {
+        let program = random_program(gen_seed);
+        let trace = run(&program, &SimConfig::with_seed(0)).unwrap().trace.unwrap();
+        let cafa = HbModel::build(&trace, CausalityConfig::cafa()).unwrap();
+        let conv = HbModel::build(&trace, CausalityConfig::conventional()).unwrap();
+        for &e1 in cafa.events() {
+            for &e2 in cafa.events() {
+                if e1 == e2 {
+                    continue;
+                }
+                assert!(
+                    !cafa.event_before(e1, e2) || conv.event_before(e1, e2),
+                    "program {gen_seed}: CAFA orders {} ≺ {} but conventional does not",
+                    trace.task_name(e1),
+                    trace.task_name(e2),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn model_is_a_strict_partial_order() {
+    for gen_seed in 0..10 {
+        let program = random_program(gen_seed + 100);
+        let trace = run(&program, &SimConfig::with_seed(3)).unwrap().trace.unwrap();
+        let model = HbModel::build(&trace, CausalityConfig::cafa()).unwrap();
+        let events = model.events().to_vec();
+        // Antisymmetry.
+        for &e1 in &events {
+            assert!(!model.event_before(e1, e1), "irreflexive");
+            for &e2 in &events {
+                assert!(
+                    !(model.event_before(e1, e2) && model.event_before(e2, e1)),
+                    "antisymmetric"
+                );
+            }
+        }
+        // Transitivity.
+        for &e1 in &events {
+            for &e2 in &events {
+                if !model.event_before(e1, e2) {
+                    continue;
+                }
+                for &e3 in &events {
+                    if model.event_before(e2, e3) {
+                        assert!(model.event_before(e1, e3), "transitive");
+                    }
+                }
+            }
+        }
+    }
+}

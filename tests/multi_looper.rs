@@ -1,0 +1,100 @@
+//! Multi-looper behavior: the model is per-queue where the paper says
+//! so (atomicity, queue rules) and global where it says so (the
+//! external-input rule).
+
+use cafa_core::{Analyzer, RaceClass};
+use cafa_hb::{CausalityConfig, HbModel};
+use cafa_sim::{run, Body, ProgramBuilder, SimConfig};
+use cafa_trace::{TaskId, Trace};
+
+fn event(trace: &Trace, name: &str) -> TaskId {
+    trace
+        .events()
+        .find(|t| trace.names().resolve(t.name) == name)
+        .unwrap_or_else(|| panic!("event {name}"))
+        .id
+}
+
+/// Two loopers in one process (e.g. main + a HandlerThread): events on
+/// different queues get no atomicity or queue-rule edges even when
+/// their sends are ordered.
+#[test]
+fn cross_looper_events_are_unordered() {
+    let mut p = ProgramBuilder::new("two-loopers");
+    let pr = p.process();
+    let main = p.looper(pr);
+    let worker = p.looper(pr);
+    let a = p.handler("A", Body::new());
+    let b = p.handler("B", Body::new());
+    // One thread posts A to main then B to the worker looper, equal
+    // delays: queue rule 1 does NOT apply across queues.
+    p.thread(pr, "T", Body::new().post(main, a, 1).post(worker, b, 1));
+    let trace = run(&p.build(), &SimConfig::with_seed(0)).unwrap().trace.unwrap();
+    let m = HbModel::build(&trace, CausalityConfig::cafa()).unwrap();
+    assert!(m.concurrent_events(event(&trace, "A"), event(&trace, "B")));
+    assert!(!m.same_looper(event(&trace, "A"), event(&trace, "B")));
+}
+
+/// Same-queue sends stay ordered even with a second looper around.
+#[test]
+fn same_looper_rules_still_apply() {
+    let mut p = ProgramBuilder::new("two-loopers-2");
+    let pr = p.process();
+    let main = p.looper(pr);
+    let _other = p.looper(pr);
+    let a = p.handler("A", Body::new());
+    let b = p.handler("B", Body::new());
+    p.thread(pr, "T", Body::new().post(main, a, 1).post(main, b, 1));
+    let trace = run(&p.build(), &SimConfig::with_seed(0)).unwrap().trace.unwrap();
+    let m = HbModel::build(&trace, CausalityConfig::cafa()).unwrap();
+    assert!(m.event_before(event(&trace, "A"), event(&trace, "B")));
+}
+
+/// The external-input rule chains gestures across queues: "if e1 and e2
+/// are generated from the external world, then end(e1) ≺ begin(e2)".
+#[test]
+fn external_rule_spans_queues() {
+    let mut p = ProgramBuilder::new("ext-cross");
+    let pr = p.process();
+    let main = p.looper(pr);
+    let worker = p.looper(pr);
+    let a = p.handler("tapA", Body::new());
+    let b = p.handler("tapB", Body::new());
+    p.gesture(0, main, a);
+    p.gesture(10, worker, b);
+    let trace = run(&p.build(), &SimConfig::with_seed(0)).unwrap().trace.unwrap();
+    let m = HbModel::build(&trace, CausalityConfig::cafa()).unwrap();
+    assert!(m.event_before(event(&trace, "tapA"), event(&trace, "tapB")));
+}
+
+/// A use/free across two loopers is a race, but not class (a): the
+/// endpoints are not events of *one* looper, so the same-looper
+/// heuristics must not apply either.
+#[test]
+fn cross_looper_use_free_race_is_not_intra_thread() {
+    let mut p = ProgramBuilder::new("cross-race");
+    let pr = p.process();
+    let main = p.looper(pr);
+    let worker = p.looper(pr);
+    let ptr = p.ptr_var_alloc();
+    let use_h = p.handler("useIt", Body::new().guarded_use(ptr));
+    let free_h = p.handler("freeIt", Body::new().free(ptr));
+    p.thread(pr, "s1", Body::new().post(main, use_h, 0));
+    p.thread(
+        pr,
+        "s2",
+        Body::from_actions(vec![cafa_sim::Action::Sleep(20), cafa_sim::Action::Post {
+            looper: worker,
+            handler: free_h,
+            delay_ms: 0,
+        }]),
+    );
+    let trace = run(&p.build(), &SimConfig::with_seed(0)).unwrap().trace.unwrap();
+    let report = Analyzer::new().analyze(&trace).unwrap();
+    // The if-guard protects only against same-looper frees; across
+    // loopers the guard is unsound and must NOT filter, so the race is
+    // reported despite the guard.
+    assert_eq!(report.races.len(), 1);
+    assert!(report.filtered.is_empty());
+    assert_ne!(report.races[0].class, RaceClass::IntraThread);
+}

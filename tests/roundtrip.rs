@@ -1,0 +1,42 @@
+//! Serialization round-trips on real (app-scale) traces.
+
+use cafa_trace::{from_binary_slice, from_text_str, to_binary_vec, to_text_string};
+
+#[test]
+fn app_trace_roundtrips_in_both_formats() {
+    let apps = cafa_apps::all_apps();
+    let app = apps.iter().find(|a| a.name == "VLC").unwrap();
+    let trace = app.record(0).unwrap().trace.unwrap();
+    assert!(trace.stats().records > 5_000, "app-scale trace");
+
+    let text = to_text_string(&trace);
+    let from_text = from_text_str(&text).expect("text parses");
+    assert_eq!(trace, from_text);
+
+    let bin = to_binary_vec(&trace);
+    let from_bin = from_binary_slice(&bin).expect("binary parses");
+    assert_eq!(trace, from_bin);
+
+    // Cross-format: text -> binary -> text is stable.
+    let text2 = to_text_string(&from_bin);
+    assert_eq!(text, text2);
+
+    // The binary format is substantially denser.
+    assert!(bin.len() * 2 < text.len(), "binary {} vs text {}", bin.len(), text.len());
+}
+
+#[test]
+fn analysis_results_survive_serialization() {
+    // Analyzing a deserialized trace gives identical results —
+    // the offline-analyzer workflow of §5.1 (trace now, analyze later).
+    let apps = cafa_apps::all_apps();
+    let app = apps.iter().find(|a| a.name == "ZXing").unwrap();
+    let trace = app.record(0).unwrap().trace.unwrap();
+
+    let direct = cafa_core::Analyzer::new().analyze(&trace).unwrap();
+    let reloaded = from_binary_slice(&to_binary_vec(&trace)).unwrap();
+    let replayed = cafa_core::Analyzer::new().analyze(&reloaded).unwrap();
+
+    assert_eq!(direct.races, replayed.races);
+    assert_eq!(direct.filtered, replayed.filtered);
+}
