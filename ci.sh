@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate. Everything runs offline (see docs/OFFLINE.md).
+#
+# Usage: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> fleet determinism (table1 at 1 vs 4 workers)"
+out1="$(CAFA_FLEET_THREADS=1 ./target/release/table1)"
+out4="$(CAFA_FLEET_THREADS=4 ./target/release/table1)"
+if [ "$out1" != "$out4" ]; then
+    echo "FAIL: table1 output differs between 1 and 4 fleet workers" >&2
+    exit 1
+fi
+
+echo "CI green."

@@ -58,7 +58,14 @@ pub(crate) fn build_app(
     // Both builds declare variables in the same order, so the label
     // tables must be identical.
     debug_assert_eq!(truth.len(), stress_truth.len());
-    AppSpec { name, program, stress_program, truth, expected, lowlevel_pairs }
+    AppSpec {
+        name,
+        program,
+        stress_program,
+        truth,
+        expected,
+        lowlevel_pairs,
+    }
 }
 
 /// Builds every evaluated application, in the order of Table 1.
@@ -86,7 +93,11 @@ mod tests {
         let apps = all_apps();
         assert_eq!(apps.len(), 10);
         for app in &apps {
-            assert!(app.expected.is_consistent(), "{} row inconsistent", app.name);
+            assert!(
+                app.expected.is_consistent(),
+                "{} row inconsistent",
+                app.name
+            );
         }
         // The paper's overall row.
         let reported: usize = apps.iter().map(|a| a.expected.reported).sum();
@@ -106,17 +117,42 @@ mod tests {
         use crate::truth::{FpType, TrueClass};
         for app in all_apps() {
             let e = app.expected;
-            assert_eq!(app.truth.harmful_count(TrueClass::IntraThread), e.a, "{} (a)", app.name);
-            assert_eq!(app.truth.harmful_count(TrueClass::InterThread), e.b, "{} (b)", app.name);
-            assert_eq!(app.truth.harmful_count(TrueClass::Conventional), e.c, "{} (c)", app.name);
-            assert_eq!(app.truth.benign_count(FpType::MissingListener), e.fp1, "{} I", app.name);
+            assert_eq!(
+                app.truth.harmful_count(TrueClass::IntraThread),
+                e.a,
+                "{} (a)",
+                app.name
+            );
+            assert_eq!(
+                app.truth.harmful_count(TrueClass::InterThread),
+                e.b,
+                "{} (b)",
+                app.name
+            );
+            assert_eq!(
+                app.truth.harmful_count(TrueClass::Conventional),
+                e.c,
+                "{} (c)",
+                app.name
+            );
+            assert_eq!(
+                app.truth.benign_count(FpType::MissingListener),
+                e.fp1,
+                "{} I",
+                app.name
+            );
             assert_eq!(
                 app.truth.benign_count(FpType::ImpreciseCommutativity),
                 e.fp2,
                 "{} II",
                 app.name
             );
-            assert_eq!(app.truth.benign_count(FpType::DerefMismatch), e.fp3, "{} III", app.name);
+            assert_eq!(
+                app.truth.benign_count(FpType::DerefMismatch),
+                e.fp3,
+                "{} III",
+                app.name
+            );
         }
     }
 

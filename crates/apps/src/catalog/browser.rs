@@ -39,24 +39,45 @@ fn page_load_pipeline(pats: &mut Patterns<'_>) {
             Body::from_actions(vec![
                 Action::ReadScalar(frame_no),
                 Action::Compute(30),
-                Action::PostChain { looper, handler: me, delay_ms: 16, budget: paint_budget },
+                Action::PostChain {
+                    looper,
+                    handler: me,
+                    delay_ms: 16,
+                    budget: paint_budget,
+                },
             ]),
         )
     };
     let layout = p.handler(
         "browser:layout",
         Body::from_actions(vec![
-            Action::UsePtr { var: dom, kind: DerefKind::Field, catch_npe: false },
+            Action::UsePtr {
+                var: dom,
+                kind: DerefKind::Field,
+                catch_npe: false,
+            },
             Action::Compute(40),
-            Action::Post { looper, handler: paint, delay_ms: 16 },
+            Action::Post {
+                looper,
+                handler: paint,
+                delay_ms: 16,
+            },
         ]),
     );
     let parse = p.handler(
         "browser:parse",
         Body::from_actions(vec![
-            Action::UsePtr { var: chunk_buf, kind: DerefKind::Field, catch_npe: false },
+            Action::UsePtr {
+                var: chunk_buf,
+                kind: DerefKind::Field,
+                catch_npe: false,
+            },
             Action::AllocPtr(dom),
-            Action::Post { looper, handler: layout, delay_ms: 0 },
+            Action::Post {
+                looper,
+                handler: layout,
+                delay_ms: 0,
+            },
         ]),
     );
     // Cache thread: waits for the network thread's chunk, then posts
@@ -68,8 +89,16 @@ fn page_load_pipeline(pats: &mut Patterns<'_>) {
             Action::Lock(m),
             Action::Wait(m),
             Action::Unlock(m),
-            Action::UsePtr { var: chunk_buf, kind: DerefKind::Field, catch_npe: false },
-            Action::Post { looper, handler: parse, delay_ms: 0 },
+            Action::UsePtr {
+                var: chunk_buf,
+                kind: DerefKind::Field,
+                catch_npe: false,
+            },
+            Action::Post {
+                looper,
+                handler: parse,
+                delay_ms: 0,
+            },
         ]),
     );
     // Network thread: forks the cache consumer, fills the buffer,
@@ -96,8 +125,16 @@ fn page_load_pipeline(pats: &mut Patterns<'_>) {
 }
 
 /// Paper numbers for this app.
-pub const EXPECTED: ExpectedRow =
-    ExpectedRow { events: 3_965, reported: 35, a: 0, b: 8, c: 19, fp1: 1, fp2: 7, fp3: 0 };
+pub const EXPECTED: ExpectedRow = ExpectedRow {
+    events: 3_965,
+    reported: 35,
+    a: 0,
+    b: 8,
+    c: 19,
+    fp1: 1,
+    fp2: 7,
+    fp3: 0,
+};
 
 /// Builds the Browser workload.
 pub fn build() -> AppSpec {

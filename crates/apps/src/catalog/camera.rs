@@ -45,11 +45,21 @@ fn shutter_sequence(pats: &mut Patterns<'_>) {
     let capture = p.handler(
         "camera:onCapture",
         Body::from_actions(vec![
-            Action::Call { service: media, method: trigger },
-            Action::PostFront { looper, handler: shutter },
+            Action::Call {
+                service: media,
+                method: trigger,
+            },
+            Action::PostFront {
+                looper,
+                handler: shutter,
+            },
             Action::Fork(writer),
             Action::JoinLast,
-            Action::Post { looper, handler: review, delay_ms: 0 },
+            Action::Post {
+                looper,
+                handler: review,
+                delay_ms: 0,
+            },
         ]),
     );
     p.gesture(t, looper, capture);
@@ -57,8 +67,16 @@ fn shutter_sequence(pats: &mut Patterns<'_>) {
 }
 
 /// Paper numbers for this app.
-pub const EXPECTED: ExpectedRow =
-    ExpectedRow { events: 7_287, reported: 9, a: 1, b: 1, c: 0, fp1: 0, fp2: 5, fp3: 2 };
+pub const EXPECTED: ExpectedRow = ExpectedRow {
+    events: 7_287,
+    reported: 9,
+    a: 1,
+    b: 1,
+    c: 0,
+    fp1: 0,
+    fp2: 5,
+    fp3: 2,
+};
 
 /// Builds the Camera workload.
 pub fn build() -> AppSpec {

@@ -42,7 +42,12 @@ fn ssh_relay(pats: &mut Patterns<'_>, updates: u32, keys: usize) {
                 Action::ReadScalar(screen),
                 Action::Compute(15),
                 Action::WriteScalar(screen, 1),
-                Action::PostChain { looper, handler: me, delay_ms: 4, budget },
+                Action::PostChain {
+                    looper,
+                    handler: me,
+                    delay_ms: 4,
+                    budget,
+                },
             ]),
         )
     };
@@ -52,10 +57,18 @@ fn ssh_relay(pats: &mut Patterns<'_>, updates: u32, keys: usize) {
         Body::from_actions(vec![
             Action::Sleep(t),
             Action::Lock(m),
-            Action::UsePtr { var: session, kind: DerefKind::Invoke, catch_npe: false },
+            Action::UsePtr {
+                var: session,
+                kind: DerefKind::Invoke,
+                catch_npe: false,
+            },
             Action::Compute(40),
             Action::Unlock(m),
-            Action::Post { looper, handler: update, delay_ms: 0 },
+            Action::Post {
+                looper,
+                handler: update,
+                delay_ms: 0,
+            },
         ]),
     );
 
@@ -66,9 +79,14 @@ fn ssh_relay(pats: &mut Patterns<'_>, updates: u32, keys: usize) {
     let input_buf = p.scalar_var(0);
     let mut key_actions = Vec::with_capacity(keys);
     for k in 0..keys {
-        let key =
-            p.handler(&format!("connectbot:onKey{k}"), Body::new().write(input_buf, k as i64));
-        key_actions.push(Action::PostFront { looper, handler: key });
+        let key = p.handler(
+            &format!("connectbot:onKey{k}"),
+            Body::new().write(input_buf, k as i64),
+        );
+        key_actions.push(Action::PostFront {
+            looper,
+            handler: key,
+        });
     }
     let dispatch = p.handler("connectbot:dispatchKeys", Body::from_actions(key_actions));
     p.gesture(t + 100, looper, dispatch);
@@ -76,8 +94,16 @@ fn ssh_relay(pats: &mut Patterns<'_>, updates: u32, keys: usize) {
 }
 
 /// Paper numbers for this app.
-pub const EXPECTED: ExpectedRow =
-    ExpectedRow { events: 3_058, reported: 3, a: 0, b: 2, c: 0, fp1: 1, fp2: 0, fp3: 0 };
+pub const EXPECTED: ExpectedRow = ExpectedRow {
+    events: 3_058,
+    reported: 3,
+    a: 0,
+    b: 2,
+    c: 0,
+    fp1: 1,
+    fp2: 0,
+    fp3: 0,
+};
 
 /// Conventional-definition racy site pairs in the trace (§4.1).
 pub const LOWLEVEL_PAIRS: usize = 1_664;

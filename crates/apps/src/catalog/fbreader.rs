@@ -34,7 +34,11 @@ fn pagination_prefetch(pats: &mut Patterns<'_>, turns: usize) {
         let turn = p.handler(
             &format!("fbreader:onPageTurn{k}"),
             Body::from_actions(vec![
-                Action::UsePtr { var: page, kind: DerefKind::Field, catch_npe: false },
+                Action::UsePtr {
+                    var: page,
+                    kind: DerefKind::Field,
+                    catch_npe: false,
+                },
                 Action::Fork(worker),
                 Action::JoinLast,
             ]),
@@ -48,8 +52,16 @@ fn pagination_prefetch(pats: &mut Patterns<'_>, turns: usize) {
 }
 
 /// Paper numbers for this app.
-pub const EXPECTED: ExpectedRow =
-    ExpectedRow { events: 3_528, reported: 9, a: 1, b: 3, c: 1, fp1: 2, fp2: 2, fp3: 0 };
+pub const EXPECTED: ExpectedRow = ExpectedRow {
+    events: 3_528,
+    reported: 9,
+    a: 1,
+    b: 3,
+    c: 1,
+    fp1: 2,
+    fp2: 2,
+    fp3: 0,
+};
 
 /// Builds the FBReader workload.
 pub fn build() -> AppSpec {

@@ -37,7 +37,12 @@ fn compositor_bounce(pats: &mut Patterns<'_>, rounds: u32) {
         Body::from_actions(vec![
             Action::WriteScalar(layer_epoch, 1),
             Action::Compute(45),
-            Action::PostChain { looper: compositor, handler: composite_id, delay_ms: 3, budget },
+            Action::PostChain {
+                looper: compositor,
+                handler: composite_id,
+                delay_ms: 3,
+                budget,
+            },
         ]),
     );
     let _composite = p.handler(
@@ -45,24 +50,40 @@ fn compositor_bounce(pats: &mut Patterns<'_>, rounds: u32) {
         Body::from_actions(vec![
             Action::ReadScalar(layer_epoch),
             Action::Compute(60),
-            Action::PostChain { looper: ui, handler: submit_id, delay_ms: 3, budget },
+            Action::PostChain {
+                looper: ui,
+                handler: submit_id,
+                delay_ms: 3,
+                budget,
+            },
         ]),
     );
     p.thread(
         proc,
         "firefox:vsyncSource",
-        Body::from_actions(vec![Action::Sleep(t), Action::Post {
-            looper: ui,
-            handler: submit_id,
-            delay_ms: 0,
-        }]),
+        Body::from_actions(vec![
+            Action::Sleep(t),
+            Action::Post {
+                looper: ui,
+                handler: submit_id,
+                delay_ms: 0,
+            },
+        ]),
     );
     pats.add_events(2 * rounds as usize);
 }
 
 /// Paper numbers for this app.
-pub const EXPECTED: ExpectedRow =
-    ExpectedRow { events: 5_467, reported: 25, a: 0, b: 6, c: 10, fp1: 4, fp2: 5, fp3: 0 };
+pub const EXPECTED: ExpectedRow = ExpectedRow {
+    events: 5_467,
+    reported: 25,
+    a: 0,
+    b: 6,
+    c: 10,
+    fp1: 4,
+    fp2: 5,
+    fp3: 0,
+};
 
 /// Builds the Firefox workload.
 pub fn build() -> AppSpec {

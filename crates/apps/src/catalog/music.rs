@@ -35,8 +35,16 @@ fn playback_engine(pats: &mut Patterns<'_>) {
             Action::Wait(m),
             Action::ReadScalar(frames),
             Action::Unlock(m),
-            Action::Post { looper, handler: tick1, delay_ms: 0 },
-            Action::Post { looper, handler: tick2, delay_ms: 0 },
+            Action::Post {
+                looper,
+                handler: tick1,
+                delay_ms: 0,
+            },
+            Action::Post {
+                looper,
+                handler: tick2,
+                delay_ms: 0,
+            },
         ]),
     );
     p.thread(
@@ -60,8 +68,16 @@ fn playback_engine(pats: &mut Patterns<'_>) {
 }
 
 /// Paper numbers for this app.
-pub const EXPECTED: ExpectedRow =
-    ExpectedRow { events: 6_684, reported: 5, a: 2, b: 0, c: 0, fp1: 0, fp2: 2, fp3: 1 };
+pub const EXPECTED: ExpectedRow = ExpectedRow {
+    events: 6_684,
+    reported: 5,
+    a: 2,
+    b: 0,
+    c: 0,
+    fp1: 0,
+    fp2: 2,
+    fp3: 1,
+};
 
 /// Builds the Music workload.
 pub fn build() -> AppSpec {

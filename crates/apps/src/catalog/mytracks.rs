@@ -40,18 +40,26 @@ fn gps_fix_pipeline(pats: &mut Patterns<'_>, fixes: u32) {
                 Action::WriteScalar(distance, 1),
                 Action::Unlock(m),
                 Action::Compute(20),
-                Action::PostChain { looper, handler: me, delay_ms: 5, budget },
+                Action::PostChain {
+                    looper,
+                    handler: me,
+                    delay_ms: 5,
+                    budget,
+                },
             ]),
         )
     };
     p.thread(
         proc,
         "mytracks:gpsSource",
-        Body::from_actions(vec![Action::Sleep(t), Action::Post {
-            looper,
-            handler: on_fix,
-            delay_ms: 0,
-        }]),
+        Body::from_actions(vec![
+            Action::Sleep(t),
+            Action::Post {
+                looper,
+                handler: on_fix,
+                delay_ms: 0,
+            },
+        ]),
     );
     p.thread(
         proc,
@@ -67,8 +75,16 @@ fn gps_fix_pipeline(pats: &mut Patterns<'_>, fixes: u32) {
 }
 
 /// Paper numbers for this app.
-pub const EXPECTED: ExpectedRow =
-    ExpectedRow { events: 6_628, reported: 8, a: 1, b: 3, c: 0, fp1: 0, fp2: 4, fp3: 0 };
+pub const EXPECTED: ExpectedRow = ExpectedRow {
+    events: 6_628,
+    reported: 8,
+    a: 1,
+    b: 3,
+    c: 0,
+    fp1: 0,
+    fp2: 4,
+    fp3: 0,
+};
 
 /// Builds the MyTracks workload.
 pub fn build() -> AppSpec {

@@ -52,7 +52,11 @@ fn note_save_path(pats: &mut Patterns<'_>, saves: usize) {
                 Action::Wait(m),
                 Action::Unlock(m),
                 Action::JoinLast,
-                Action::Post { looper, handler: refresh, delay_ms: 0 },
+                Action::Post {
+                    looper,
+                    handler: refresh,
+                    delay_ms: 0,
+                },
             ]),
         );
         p.gesture(t, looper, save);
@@ -61,8 +65,16 @@ fn note_save_path(pats: &mut Patterns<'_>, saves: usize) {
 }
 
 /// Paper numbers for this app.
-pub const EXPECTED: ExpectedRow =
-    ExpectedRow { events: 7_122, reported: 9, a: 8, b: 0, c: 0, fp1: 0, fp2: 1, fp3: 0 };
+pub const EXPECTED: ExpectedRow = ExpectedRow {
+    events: 7_122,
+    reported: 9,
+    a: 8,
+    b: 0,
+    c: 0,
+    fp1: 0,
+    fp2: 1,
+    fp3: 0,
+};
 
 /// Builds the ToDoList workload.
 pub fn build() -> AppSpec {

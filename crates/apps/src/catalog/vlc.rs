@@ -34,11 +34,24 @@ fn playback_chain(pats: &mut Patterns<'_>, packets: u32) {
         p.handler(
             "vlc:decodePacket",
             Body::from_actions(vec![
-                Action::UsePtr { var: stream, kind: DerefKind::Field, catch_npe: false },
+                Action::UsePtr {
+                    var: stream,
+                    kind: DerefKind::Field,
+                    catch_npe: false,
+                },
                 Action::Compute(55),
                 Action::WriteScalar(pts, 1),
-                Action::Post { looper: main, handler: render, delay_ms: 0 },
-                Action::PostChain { looper: video, handler: me, delay_ms: 10, budget },
+                Action::Post {
+                    looper: main,
+                    handler: render,
+                    delay_ms: 0,
+                },
+                Action::PostChain {
+                    looper: video,
+                    handler: me,
+                    delay_ms: 10,
+                    budget,
+                },
             ]),
         )
     };
@@ -48,15 +61,27 @@ fn playback_chain(pats: &mut Patterns<'_>, packets: u32) {
         Body::from_actions(vec![
             Action::Sleep(t),
             Action::Compute(35),
-            Action::Post { looper: video, handler: decode, delay_ms: 0 },
+            Action::Post {
+                looper: video,
+                handler: decode,
+                delay_ms: 0,
+            },
         ]),
     );
     pats.add_events(2 * packets as usize);
 }
 
 /// Paper numbers for this app.
-pub const EXPECTED: ExpectedRow =
-    ExpectedRow { events: 2_805, reported: 7, a: 0, b: 0, c: 1, fp1: 0, fp2: 5, fp3: 1 };
+pub const EXPECTED: ExpectedRow = ExpectedRow {
+    events: 2_805,
+    reported: 7,
+    a: 0,
+    b: 0,
+    c: 1,
+    fp1: 0,
+    fp2: 5,
+    fp3: 1,
+};
 
 /// Builds the VLC workload.
 pub fn build() -> AppSpec {

@@ -34,7 +34,12 @@ fn scan_pipeline(pats: &mut Patterns<'_>, frames: u32) {
             Body::from_actions(vec![
                 Action::ReadScalar(luma),
                 Action::Compute(25),
-                Action::PostChain { looper, handler: me, delay_ms: 33, budget },
+                Action::PostChain {
+                    looper,
+                    handler: me,
+                    delay_ms: 33,
+                    budget,
+                },
             ]),
         )
     };
@@ -56,25 +61,40 @@ fn scan_pipeline(pats: &mut Patterns<'_>, frames: u32) {
         Body::from_actions(vec![
             Action::Fork(decoder),
             Action::JoinLast,
-            Action::Post { looper, handler: publish, delay_ms: 0 },
+            Action::Post {
+                looper,
+                handler: publish,
+                delay_ms: 0,
+            },
         ]),
     );
     p.thread(
         proc,
         "zxing:frameSource",
-        Body::from_actions(vec![Action::Sleep(t), Action::Post {
-            looper,
-            handler: preview,
-            delay_ms: 0,
-        }]),
+        Body::from_actions(vec![
+            Action::Sleep(t),
+            Action::Post {
+                looper,
+                handler: preview,
+                delay_ms: 0,
+            },
+        ]),
     );
     p.gesture(t + 80, looper, capture);
     pats.add_events(frames as usize + 2);
 }
 
 /// Paper numbers for this app.
-pub const EXPECTED: ExpectedRow =
-    ExpectedRow { events: 4_554, reported: 5, a: 0, b: 2, c: 0, fp1: 1, fp2: 1, fp3: 1 };
+pub const EXPECTED: ExpectedRow = ExpectedRow {
+    events: 4_554,
+    reported: 5,
+    a: 0,
+    b: 2,
+    c: 0,
+    fp1: 1,
+    fp2: 1,
+    fp3: 1,
+};
 
 /// Builds the ZXing workload.
 pub fn build() -> AppSpec {

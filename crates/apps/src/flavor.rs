@@ -27,14 +27,25 @@ impl Patterns<'_> {
         let value = self.p.scalar_var(0);
         let svcp = self.p.process();
         let svc = self.p.service(svcp, service_name);
-        let get = self.p.method(svc, "query", Body::new().write(value, 7).compute(5));
-        let update = self.p.handler(&format!("{tag}:onValue"), Body::new().read(value));
+        let get = self
+            .p
+            .method(svc, "query", Body::new().write(value, 7).compute(5));
+        let update = self
+            .p
+            .handler(&format!("{tag}:onValue"), Body::new().read(value));
         let looper = self.looper();
         let poll = self.p.handler(
             &format!("{tag}:onPoll"),
             Body::from_actions(vec![
-                Action::Call { service: svc, method: get },
-                Action::Post { looper, handler: update, delay_ms: 0 },
+                Action::Call {
+                    service: svc,
+                    method: get,
+                },
+                Action::Post {
+                    looper,
+                    handler: update,
+                    delay_ms: 0,
+                },
             ]),
         );
         self.p.gesture(t, looper, poll);
@@ -59,7 +70,11 @@ impl Patterns<'_> {
                 &format!("{tag}:decoder"),
                 Body::from_actions(vec![
                     Action::Lock(m),
-                    Action::UsePtr { var: buffer, kind: DerefKind::Field, catch_npe: false },
+                    Action::UsePtr {
+                        var: buffer,
+                        kind: DerefKind::Field,
+                        catch_npe: false,
+                    },
                     Action::Compute(20),
                     Action::Notify(m),
                     Action::Unlock(m),
@@ -68,7 +83,9 @@ impl Patterns<'_> {
         };
         let looper = self.looper();
         let noise = self.noise_var();
-        let done = self.p.handler(&format!("{tag}:onDecoded"), Body::new().read(noise));
+        let done = self
+            .p
+            .handler(&format!("{tag}:onDecoded"), Body::new().read(noise));
         let kick = self.p.handler(
             &format!("{tag}:onDecode"),
             Body::from_actions(vec![
@@ -77,7 +94,11 @@ impl Patterns<'_> {
                 Action::Wait(m),
                 Action::Unlock(m),
                 Action::JoinLast,
-                Action::Post { looper, handler: done, delay_ms: 0 },
+                Action::Post {
+                    looper,
+                    handler: done,
+                    delay_ms: 0,
+                },
             ]),
         );
         self.p.gesture(t, looper, kick);
@@ -98,10 +119,17 @@ impl Patterns<'_> {
         let looper = self.looper();
         let mut actions = Vec::with_capacity(count);
         for k in 0..count {
-            let vsync = self.p.handler(&format!("{tag}:vsync{k}"), Body::new().write(pos, k as i64));
-            actions.push(Action::PostFront { looper, handler: vsync });
+            let vsync = self
+                .p
+                .handler(&format!("{tag}:vsync{k}"), Body::new().write(pos, k as i64));
+            actions.push(Action::PostFront {
+                looper,
+                handler: vsync,
+            });
         }
-        let dispatch = self.p.handler(&format!("{tag}:dispatchInput"), Body::from_actions(actions));
+        let dispatch = self
+            .p
+            .handler(&format!("{tag}:dispatchInput"), Body::from_actions(actions));
         self.p.gesture(t, looper, dispatch);
         self.add_events(count + 1);
     }
@@ -121,7 +149,11 @@ impl Patterns<'_> {
             &format!("{tag}:onAttach"),
             Body::from_actions(vec![
                 Action::Register(listener),
-                Action::GuardedUse { var: ptr, kind: DerefKind::Invoke, style: GuardStyle::IfNez },
+                Action::GuardedUse {
+                    var: ptr,
+                    kind: DerefKind::Invoke,
+                    style: GuardStyle::IfNez,
+                },
             ]),
         );
         let teardown = self.p.handler(
@@ -154,10 +186,19 @@ impl Patterns<'_> {
                 Action::ReadScalar(var),
                 Action::Compute(8),
                 Action::WriteScalar(var, 1),
-                Action::PostChain { looper: side, handler: me, delay_ms: 2, budget },
+                Action::PostChain {
+                    looper: side,
+                    handler: me,
+                    delay_ms: 2,
+                    budget,
+                },
             ]),
         );
-        self.p.thread(proc, &format!("{tag}:sideSrc"), Body::new().post(side, work, 0));
+        self.p.thread(
+            proc,
+            &format!("{tag}:sideSrc"),
+            Body::new().post(side, work, 0),
+        );
         self.add_events(len);
     }
 
@@ -192,7 +233,11 @@ impl<'a> Patterns<'a> {
             name,
             Body::from_actions(vec![
                 Action::Sleep(at_ms),
-                Action::Post { looper, handler, delay_ms: delay },
+                Action::Post {
+                    looper,
+                    handler,
+                    delay_ms: delay,
+                },
             ]),
         );
     }

@@ -40,7 +40,16 @@ pub struct Patterns<'a> {
 impl<'a> Patterns<'a> {
     /// Starts planting patterns into `p`, targeting `looper` in `proc`.
     pub fn new(p: &'a mut ProgramBuilder, proc: ProcId, looper: LooperId) -> Self {
-        Self { p, looper, proc, truth: GroundTruth::new(), slot: 0, seq: 0, events: 0, stress: false }
+        Self {
+            p,
+            looper,
+            proc,
+            truth: GroundTruth::new(),
+            slot: 0,
+            seq: 0,
+            events: 0,
+            stress: false,
+        }
     }
 
     /// Like [`new`](Self::new), but in **stress mode**: harmful
@@ -50,7 +59,10 @@ impl<'a> Patterns<'a> {
     /// are benign *because of a real platform guarantee* (listener
     /// registration order, flag atomicity) keep their guarantees.
     pub fn new_stress(p: &'a mut ProgramBuilder, proc: ProcId, looper: LooperId) -> Self {
-        Self { stress: true, ..Self::new(p, proc, looper) }
+        Self {
+            stress: true,
+            ..Self::new(p, proc, looper)
+        }
     }
 
     /// Timing margin between the racy sides of a harmful pattern: a
@@ -128,23 +140,36 @@ impl<'a> Patterns<'a> {
                 catch_npe: caught,
             }]),
         );
-        let free_h = self.p.handler(&format!("{tag}:onCleanup"), Body::new().free(ptr));
+        let free_h = self
+            .p
+            .handler(&format!("{tag}:onCleanup"), Body::new().free(ptr));
         let (l, u, f) = (self.looper, use_h, free_h);
-        self.thread_at(&format!("{tag}:userSrc"), t, vec![Action::Post {
-            looper: l,
-            handler: u,
-            delay_ms: 0,
-        }]);
+        self.thread_at(
+            &format!("{tag}:userSrc"),
+            t,
+            vec![Action::Post {
+                looper: l,
+                handler: u,
+                delay_ms: 0,
+            }],
+        );
         let gap = self.gap(30);
-        self.thread_at(&format!("{tag}:freeSrc"), t + gap, vec![Action::Post {
-            looper: l,
-            handler: f,
-            delay_ms: 0,
-        }]);
+        self.thread_at(
+            &format!("{tag}:freeSrc"),
+            t + gap,
+            vec![Action::Post {
+                looper: l,
+                handler: f,
+                delay_ms: 0,
+            }],
+        );
         self.events += 2;
         self.truth.insert(
             Self::var_id(ptr),
-            Label::Harmful { class: TrueClass::IntraThread, known },
+            Label::Harmful {
+                class: TrueClass::IntraThread,
+                known,
+            },
         );
     }
 
@@ -162,25 +187,32 @@ impl<'a> Patterns<'a> {
         );
         let svcp = self.p.process();
         let svc = self.p.service(svcp, service_name);
-        let bind = self.p.method(
-            svc,
-            "onBind",
-            Body::new().post(self.looper, connected, 0),
-        );
+        let bind = self
+            .p
+            .method(svc, "onBind", Body::new().post(self.looper, connected, 0));
         let resume = self.p.handler(
             &format!("{tag}:onResume"),
-            Body::from_actions(vec![Action::CallAsync { service: svc, method: bind }]),
+            Body::from_actions(vec![Action::CallAsync {
+                service: svc,
+                method: bind,
+            }]),
         );
-        let destroy = self.p.handler(&format!("{tag}:onDestroy"), Body::new().free(ptr));
+        let destroy = self
+            .p
+            .handler(&format!("{tag}:onDestroy"), Body::new().free(ptr));
         self.p.gesture(t, self.looper, resume);
         // Under stress the destroy gesture lands while the Binder
         // round-trip is still in flight, so the schedule decides
         // whether onServiceConnected still sees a live pointer.
-        self.p.gesture(t + self.gap(300).max(1), self.looper, destroy);
+        self.p
+            .gesture(t + self.gap(300).max(1), self.looper, destroy);
         self.events += 3;
         self.truth.insert(
             Self::var_id(ptr),
-            Label::Harmful { class: TrueClass::IntraThread, known: true },
+            Label::Harmful {
+                class: TrueClass::IntraThread,
+                known: true,
+            },
         );
     }
 
@@ -194,23 +226,46 @@ impl<'a> Patterns<'a> {
         let tag = self.tag("ib");
         let ptr = self.p.ptr_var_alloc();
         let noise = self.p.scalar_var(0);
-        let bridge = self.p.handler(&format!("{tag}:bridge"), Body::new().read(noise));
-        let use_h = self.p.handler(&format!("{tag}:onRefresh"), Body::new().use_ptr(ptr));
+        let bridge = self
+            .p
+            .handler(&format!("{tag}:bridge"), Body::new().read(noise));
+        let use_h = self
+            .p
+            .handler(&format!("{tag}:onRefresh"), Body::new().use_ptr(ptr));
         let (l, b, u) = (self.looper, bridge, use_h);
-        self.thread_at(&format!("{tag}:freer"), t, vec![
-            Action::FreePtr(ptr),
-            Action::Post { looper: l, handler: b, delay_ms: 0 },
-        ]);
-        self.thread_at(&format!("{tag}:realloc"), t + self.gap(20), vec![Action::AllocPtr(ptr)]);
-        self.thread_at(&format!("{tag}:userSrc"), t + self.gap(40), vec![Action::Post {
-            looper: l,
-            handler: u,
-            delay_ms: 0,
-        }]);
+        self.thread_at(
+            &format!("{tag}:freer"),
+            t,
+            vec![
+                Action::FreePtr(ptr),
+                Action::Post {
+                    looper: l,
+                    handler: b,
+                    delay_ms: 0,
+                },
+            ],
+        );
+        self.thread_at(
+            &format!("{tag}:realloc"),
+            t + self.gap(20),
+            vec![Action::AllocPtr(ptr)],
+        );
+        self.thread_at(
+            &format!("{tag}:userSrc"),
+            t + self.gap(40),
+            vec![Action::Post {
+                looper: l,
+                handler: u,
+                delay_ms: 0,
+            }],
+        );
         self.events += 2;
         self.truth.insert(
             Self::var_id(ptr),
-            Label::Harmful { class: TrueClass::InterThread, known },
+            Label::Harmful {
+                class: TrueClass::InterThread,
+                known,
+            },
         );
     }
 
@@ -220,15 +275,26 @@ impl<'a> Patterns<'a> {
         let t = self.next_slot();
         let tag = self.tag("cv");
         let ptr = self.p.ptr_var_alloc();
-        self.thread_at(&format!("{tag}:worker"), t, vec![Action::UsePtr {
-            var: ptr,
-            kind: DerefKind::Field,
-            catch_npe: false,
-        }]);
-        self.thread_at(&format!("{tag}:closer"), t + self.gap(30), vec![Action::FreePtr(ptr)]);
+        self.thread_at(
+            &format!("{tag}:worker"),
+            t,
+            vec![Action::UsePtr {
+                var: ptr,
+                kind: DerefKind::Field,
+                catch_npe: false,
+            }],
+        );
+        self.thread_at(
+            &format!("{tag}:closer"),
+            t + self.gap(30),
+            vec![Action::FreePtr(ptr)],
+        );
         self.truth.insert(
             Self::var_id(ptr),
-            Label::Harmful { class: TrueClass::Conventional, known: false },
+            Label::Harmful {
+                class: TrueClass::Conventional,
+                known: false,
+            },
         );
     }
 
@@ -247,7 +313,11 @@ impl<'a> Patterns<'a> {
         let use_h = self.p.handler(
             &format!("{tag}:onShow"),
             Body::from_actions(vec![
-                Action::UsePtr { var: ptr, kind: DerefKind::Invoke, catch_npe: false },
+                Action::UsePtr {
+                    var: ptr,
+                    kind: DerefKind::Invoke,
+                    catch_npe: false,
+                },
                 Action::Register(listener),
             ]),
         );
@@ -256,18 +326,31 @@ impl<'a> Patterns<'a> {
             Body::from_actions(vec![Action::Perform(listener), Action::FreePtr(ptr)]),
         );
         let (l, u, f) = (self.looper, use_h, free_h);
-        self.thread_at(&format!("{tag}:showSrc"), t, vec![Action::Post {
-            looper: l,
-            handler: u,
-            delay_ms: 0,
-        }]);
-        self.thread_at(&format!("{tag}:hideSrc"), t + 50, vec![Action::Post {
-            looper: l,
-            handler: f,
-            delay_ms: 0,
-        }]);
+        self.thread_at(
+            &format!("{tag}:showSrc"),
+            t,
+            vec![Action::Post {
+                looper: l,
+                handler: u,
+                delay_ms: 0,
+            }],
+        );
+        self.thread_at(
+            &format!("{tag}:hideSrc"),
+            t + 50,
+            vec![Action::Post {
+                looper: l,
+                handler: f,
+                delay_ms: 0,
+            }],
+        );
         self.events += 2;
-        self.truth.insert(Self::var_id(ptr), Label::Benign { fp: FpType::MissingListener });
+        self.truth.insert(
+            Self::var_id(ptr),
+            Label::Benign {
+                fp: FpType::MissingListener,
+            },
+        );
     }
 
     /// Type II: a boolean flag guards the use; flag and pointer are
@@ -288,20 +371,30 @@ impl<'a> Patterns<'a> {
             Body::from_actions(vec![Action::WriteScalar(flag, 0), Action::FreePtr(ptr)]),
         );
         let (l, u, f) = (self.looper, use_h, free_h);
-        self.thread_at(&format!("{tag}:drawSrc"), t, vec![Action::Post {
-            looper: l,
-            handler: u,
-            delay_ms: 0,
-        }]);
-        self.thread_at(&format!("{tag}:stopSrc"), t + 30, vec![Action::Post {
-            looper: l,
-            handler: f,
-            delay_ms: 0,
-        }]);
+        self.thread_at(
+            &format!("{tag}:drawSrc"),
+            t,
+            vec![Action::Post {
+                looper: l,
+                handler: u,
+                delay_ms: 0,
+            }],
+        );
+        self.thread_at(
+            &format!("{tag}:stopSrc"),
+            t + 30,
+            vec![Action::Post {
+                looper: l,
+                handler: f,
+                delay_ms: 0,
+            }],
+        );
         self.events += 2;
         self.truth.insert(
             Self::var_id(ptr),
-            Label::Benign { fp: FpType::ImpreciseCommutativity },
+            Label::Benign {
+                fp: FpType::ImpreciseCommutativity,
+            },
         );
     }
 
@@ -316,7 +409,10 @@ impl<'a> Patterns<'a> {
         let decoy = self.p.ptr_var();
         let setup = self.p.handler(
             &format!("{tag}:onInit"),
-            Body::from_actions(vec![Action::CopyPtr { from: real, to: decoy }]),
+            Body::from_actions(vec![Action::CopyPtr {
+                from: real,
+                to: decoy,
+            }]),
         );
         let use_h = self.p.handler(
             &format!("{tag}:onRender"),
@@ -326,21 +422,44 @@ impl<'a> Patterns<'a> {
                 kind: DerefKind::Field,
             }]),
         );
-        let free_h = self.p.handler(&format!("{tag}:onEvict"), Body::new().free(decoy));
+        let free_h = self
+            .p
+            .handler(&format!("{tag}:onEvict"), Body::new().free(decoy));
         let (l, s, u, f) = (self.looper, setup, use_h, free_h);
         // setup and use posted in order from one thread (queue rule 1
         // orders them); the free comes from an independent thread.
-        self.thread_at(&format!("{tag}:renderSrc"), t, vec![
-            Action::Post { looper: l, handler: s, delay_ms: 0 },
-            Action::Post { looper: l, handler: u, delay_ms: 0 },
-        ]);
-        self.thread_at(&format!("{tag}:evictSrc"), t + 60, vec![Action::Post {
-            looper: l,
-            handler: f,
-            delay_ms: 0,
-        }]);
+        self.thread_at(
+            &format!("{tag}:renderSrc"),
+            t,
+            vec![
+                Action::Post {
+                    looper: l,
+                    handler: s,
+                    delay_ms: 0,
+                },
+                Action::Post {
+                    looper: l,
+                    handler: u,
+                    delay_ms: 0,
+                },
+            ],
+        );
+        self.thread_at(
+            &format!("{tag}:evictSrc"),
+            t + 60,
+            vec![Action::Post {
+                looper: l,
+                handler: f,
+                delay_ms: 0,
+            }],
+        );
         self.events += 3;
-        self.truth.insert(Self::var_id(decoy), Label::Benign { fp: FpType::DerefMismatch });
+        self.truth.insert(
+            Self::var_id(decoy),
+            Label::Benign {
+                fp: FpType::DerefMismatch,
+            },
+        );
     }
 
     // ---- commutative patterns the heuristics must filter ---------------------
@@ -359,18 +478,28 @@ impl<'a> Patterns<'a> {
                 style: GuardStyle::IfEqz,
             }]),
         );
-        let free_h = self.p.handler(&format!("{tag}:onPause"), Body::new().free(ptr));
+        let free_h = self
+            .p
+            .handler(&format!("{tag}:onPause"), Body::new().free(ptr));
         let (l, u, f) = (self.looper, use_h, free_h);
-        self.thread_at(&format!("{tag}:focusSrc"), t, vec![Action::Post {
-            looper: l,
-            handler: u,
-            delay_ms: 0,
-        }]);
-        self.thread_at(&format!("{tag}:pauseSrc"), t + 30, vec![Action::Post {
-            looper: l,
-            handler: f,
-            delay_ms: 0,
-        }]);
+        self.thread_at(
+            &format!("{tag}:focusSrc"),
+            t,
+            vec![Action::Post {
+                looper: l,
+                handler: u,
+                delay_ms: 0,
+            }],
+        );
+        self.thread_at(
+            &format!("{tag}:pauseSrc"),
+            t + 30,
+            vec![Action::Post {
+                looper: l,
+                handler: f,
+                delay_ms: 0,
+            }],
+        );
         self.events += 2;
         self.truth.insert(Self::var_id(ptr), Label::Filtered);
     }
@@ -385,18 +514,28 @@ impl<'a> Patterns<'a> {
             &format!("{tag}:onResume"),
             Body::new().alloc(ptr).use_ptr(ptr),
         );
-        let free_h = self.p.handler(&format!("{tag}:onPause"), Body::new().free(ptr));
+        let free_h = self
+            .p
+            .handler(&format!("{tag}:onPause"), Body::new().free(ptr));
         let (l, u, f) = (self.looper, use_h, free_h);
-        self.thread_at(&format!("{tag}:resumeSrc"), t, vec![Action::Post {
-            looper: l,
-            handler: u,
-            delay_ms: 0,
-        }]);
-        self.thread_at(&format!("{tag}:pauseSrc"), t + 30, vec![Action::Post {
-            looper: l,
-            handler: f,
-            delay_ms: 0,
-        }]);
+        self.thread_at(
+            &format!("{tag}:resumeSrc"),
+            t,
+            vec![Action::Post {
+                looper: l,
+                handler: u,
+                delay_ms: 0,
+            }],
+        );
+        self.thread_at(
+            &format!("{tag}:pauseSrc"),
+            t + 30,
+            vec![Action::Post {
+                looper: l,
+                handler: f,
+                delay_ms: 0,
+            }],
+        );
         self.events += 2;
         self.truth.insert(Self::var_id(ptr), Label::Filtered);
     }
@@ -411,13 +550,29 @@ impl<'a> Patterns<'a> {
         let t = self.next_slot();
         let tag = self.tag("qp");
         let ptr = self.p.ptr_var_alloc();
-        let use_h = self.p.handler(&format!("{tag}:onLoad"), Body::new().use_ptr(ptr));
-        let free_h = self.p.handler(&format!("{tag}:onUnload"), Body::new().free(ptr));
+        let use_h = self
+            .p
+            .handler(&format!("{tag}:onLoad"), Body::new().use_ptr(ptr));
+        let free_h = self
+            .p
+            .handler(&format!("{tag}:onUnload"), Body::new().free(ptr));
         let (l, u, f) = (self.looper, use_h, free_h);
-        self.thread_at(&format!("{tag}:src"), t, vec![
-            Action::Post { looper: l, handler: u, delay_ms: 2 },
-            Action::Post { looper: l, handler: f, delay_ms: 2 },
-        ]);
+        self.thread_at(
+            &format!("{tag}:src"),
+            t,
+            vec![
+                Action::Post {
+                    looper: l,
+                    handler: u,
+                    delay_ms: 2,
+                },
+                Action::Post {
+                    looper: l,
+                    handler: f,
+                    delay_ms: 2,
+                },
+            ],
+        );
         self.events += 2;
         self.truth.insert(Self::var_id(ptr), Label::Ordered);
     }
@@ -440,16 +595,24 @@ impl<'a> Patterns<'a> {
             Body::new().read(resize_allowed).read(resize_allowed),
         );
         let (l, pa, la) = (self.looper, pause, layout);
-        self.thread_at(&format!("{tag}:pauseSrc"), t, vec![Action::Post {
-            looper: l,
-            handler: pa,
-            delay_ms: 0,
-        }]);
-        self.thread_at(&format!("{tag}:layoutSrc"), t + 30, vec![Action::Post {
-            looper: l,
-            handler: la,
-            delay_ms: 0,
-        }]);
+        self.thread_at(
+            &format!("{tag}:pauseSrc"),
+            t,
+            vec![Action::Post {
+                looper: l,
+                handler: pa,
+                delay_ms: 0,
+            }],
+        );
+        self.thread_at(
+            &format!("{tag}:layoutSrc"),
+            t + 30,
+            vec![Action::Post {
+                looper: l,
+                handler: la,
+                delay_ms: 0,
+            }],
+        );
         self.events += 2;
     }
 
@@ -543,7 +706,12 @@ impl<'a> Patterns<'a> {
                     Action::ReadScalar(var),
                     Action::Compute(compute_units),
                     Action::WriteScalar(var, 1),
-                    Action::PostChain { looper: l, handler: me, delay_ms: 3, budget },
+                    Action::PostChain {
+                        looper: l,
+                        handler: me,
+                        delay_ms: 3,
+                        budget,
+                    },
                 ]),
             );
             self.p.thread(

@@ -52,7 +52,10 @@ pub fn confirm(app: &AppSpec, var: VarId, budget: u64) -> Confirmation {
     for seed in 0..budget {
         let outcome = app.run_stress(seed).expect("stress run succeeds");
         if let Some(npe) = outcome.npes.iter().find(|n| n.var == var) {
-            return Confirmation::Confirmed { witness_seed: seed, crashes: !npe.caught };
+            return Confirmation::Confirmed {
+                witness_seed: seed,
+                crashes: !npe.caught,
+            };
         }
     }
     Confirmation::Unconfirmed { tried: budget }
@@ -69,7 +72,11 @@ pub fn confirm_report(
     report: &cafa_core::RaceReport,
     budget: u64,
 ) -> Vec<(VarId, Confirmation)> {
-    report.races.iter().map(|race| (race.var, confirm(app, race.var, budget))).collect()
+    report
+        .races
+        .iter()
+        .map(|race| (race.var, confirm(app, race.var, budget)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -88,7 +95,10 @@ mod tests {
         let mut probed_benign = 0;
         for (var, label) in app.truth.iter() {
             match label {
-                Label::Harmful { class: TrueClass::IntraThread, .. } => {
+                Label::Harmful {
+                    class: TrueClass::IntraThread,
+                    ..
+                } => {
                     let c = confirm(app, var, 24);
                     assert!(c.is_confirmed(), "harmful {var} should confirm");
                     confirmed_harmful += 1;

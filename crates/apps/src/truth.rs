@@ -172,9 +172,26 @@ mod tests {
     #[test]
     fn counts_by_kind() {
         let mut t = GroundTruth::new();
-        t.insert(VarId::new(0), Label::Harmful { class: TrueClass::IntraThread, known: true });
-        t.insert(VarId::new(1), Label::Harmful { class: TrueClass::InterThread, known: false });
-        t.insert(VarId::new(2), Label::Benign { fp: FpType::DerefMismatch });
+        t.insert(
+            VarId::new(0),
+            Label::Harmful {
+                class: TrueClass::IntraThread,
+                known: true,
+            },
+        );
+        t.insert(
+            VarId::new(1),
+            Label::Harmful {
+                class: TrueClass::InterThread,
+                known: false,
+            },
+        );
+        t.insert(
+            VarId::new(2),
+            Label::Benign {
+                fp: FpType::DerefMismatch,
+            },
+        );
         t.insert(VarId::new(3), Label::Filtered);
         assert_eq!(t.harmful_count(TrueClass::IntraThread), 1);
         assert_eq!(t.harmful_count(TrueClass::Conventional), 0);
@@ -195,7 +212,16 @@ mod tests {
 
     #[test]
     fn expected_row_consistency() {
-        let row = ExpectedRow { events: 10, reported: 5, a: 1, b: 1, c: 1, fp1: 1, fp2: 1, fp3: 0 };
+        let row = ExpectedRow {
+            events: 10,
+            reported: 5,
+            a: 1,
+            b: 1,
+            c: 1,
+            fp1: 1,
+            fp2: 1,
+            fp3: 0,
+        };
         assert!(row.is_consistent());
         assert_eq!(row.true_races(), 3);
         assert_eq!(row.false_positives(), 2);

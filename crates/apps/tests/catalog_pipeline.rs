@@ -16,8 +16,10 @@ fn mytracks_uses_binder() {
     let trace = a.record(0).unwrap().trace.unwrap();
     // The Figure 1 pattern binds a service in a second process.
     assert!(trace.process_count() >= 2, "service process exists");
-    let rpc_calls =
-        trace.iter_ops().filter(|(_, r)| matches!(r, Record::RpcCall { .. })).count();
+    let rpc_calls = trace
+        .iter_ops()
+        .filter(|(_, r)| matches!(r, Record::RpcCall { .. }))
+        .count();
     assert!(rpc_calls >= 1, "onResume binds over Binder");
     // Its known bug is an intra-thread race.
     let known: Vec<_> = a
@@ -28,7 +30,10 @@ fn mytracks_uses_binder() {
     assert_eq!(known.len(), 1);
     assert!(matches!(
         known[0].1,
-        Label::Harmful { class: TrueClass::IntraThread, known: true }
+        Label::Harmful {
+            class: TrueClass::IntraThread,
+            known: true
+        }
     ));
 }
 
@@ -43,7 +48,10 @@ fn connectbot_has_figure2_and_known_interthread_bug() {
     assert_eq!(known.len(), 1);
     assert!(matches!(
         known[0].1,
-        Label::Harmful { class: TrueClass::InterThread, known: true }
+        Label::Harmful {
+            class: TrueClass::InterThread,
+            known: true
+        }
     ));
     // The Figure 2 scalar is a write in onPause#? — shape check via the
     // low-level counter: ConnectBot has its calibrated 1,664 pairs.

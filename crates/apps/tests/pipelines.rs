@@ -24,7 +24,9 @@ fn bespoke_pipeline_handlers_appear_in_traces() {
             .find(|(n, _)| *n == app.name)
             .expect("every app has a pipeline expectation");
         assert!(
-            trace.events().any(|e| trace.names().resolve(e.name) == *handler),
+            trace
+                .events()
+                .any(|e| trace.names().resolve(e.name) == *handler),
             "{}: pipeline handler {handler} missing from the trace",
             app.name
         );

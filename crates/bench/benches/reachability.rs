@@ -5,14 +5,17 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use cafa_apps::all_apps;
-use cafa_hb::{CausalityConfig, HbModel};
+use cafa_engine::AnalysisSession;
+use cafa_hb::CausalityConfig;
 use cafa_trace::OpRef;
 
 fn bench_queries(c: &mut Criterion) {
     let apps = all_apps();
     let app = apps.iter().find(|a| a.name == "ConnectBot").unwrap();
     let trace = app.record(0).unwrap().trace.unwrap();
-    let model = HbModel::build(&trace, CausalityConfig::cafa()).unwrap();
+    let model = AnalysisSession::new(&trace)
+        .model(CausalityConfig::cafa())
+        .unwrap();
 
     // A spread of query positions: first record of every 8th task.
     let points: Vec<OpRef> = trace

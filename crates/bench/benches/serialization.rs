@@ -17,19 +17,27 @@ fn bench_serialization(c: &mut Criterion) {
     let mut group = c.benchmark_group("serialization");
     group.sample_size(20);
     group.throughput(Throughput::Bytes(text.len() as u64));
-    group.bench_with_input(BenchmarkId::new("write_text", "ConnectBot"), &trace, |b, t| {
-        b.iter(|| to_text_string(black_box(t)).len())
-    });
-    group.bench_with_input(BenchmarkId::new("read_text", "ConnectBot"), &text, |b, s| {
-        b.iter(|| from_text_str(black_box(s)).unwrap().task_count())
-    });
+    group.bench_with_input(
+        BenchmarkId::new("write_text", "ConnectBot"),
+        &trace,
+        |b, t| b.iter(|| to_text_string(black_box(t)).len()),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("read_text", "ConnectBot"),
+        &text,
+        |b, s| b.iter(|| from_text_str(black_box(s)).unwrap().task_count()),
+    );
     group.throughput(Throughput::Bytes(bin.len() as u64));
-    group.bench_with_input(BenchmarkId::new("write_binary", "ConnectBot"), &trace, |b, t| {
-        b.iter(|| to_binary_vec(black_box(t)).len())
-    });
-    group.bench_with_input(BenchmarkId::new("read_binary", "ConnectBot"), &bin, |b, s| {
-        b.iter(|| from_binary_slice(black_box(s)).unwrap().task_count())
-    });
+    group.bench_with_input(
+        BenchmarkId::new("write_binary", "ConnectBot"),
+        &trace,
+        |b, t| b.iter(|| to_binary_vec(black_box(t)).len()),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("read_binary", "ConnectBot"),
+        &bin,
+        |b, s| b.iter(|| from_binary_slice(black_box(s)).unwrap().task_count()),
+    );
     group.finish();
 }
 

@@ -9,6 +9,7 @@
 use cafa_apps::prober::confirm;
 use cafa_apps::{all_apps, Label};
 use cafa_core::Analyzer;
+use cafa_engine::{fleet, AnalysisSession};
 
 /// Per-app confirmation tallies.
 #[derive(Clone, Debug, Default)]
@@ -33,8 +34,12 @@ pub struct ConfirmRow {
 /// Panics if recording, analysis, or probing fails.
 pub fn measure_app(app: &cafa_apps::AppSpec, budget: u64) -> ConfirmRow {
     let trace = app.record(0).expect("records").trace.expect("instrumented");
-    let report = Analyzer::new().analyze(&trace).expect("analyzes");
-    let mut row = ConfirmRow { name: app.name, ..ConfirmRow::default() };
+    let session = AnalysisSession::new(&trace);
+    let report = Analyzer::new().analyze_with(&session).expect("analyzes");
+    let mut row = ConfirmRow {
+        name: app.name,
+        ..ConfirmRow::default()
+    };
     for race in &report.races {
         let confirmed = confirm(app, race.var, budget).is_confirmed();
         match app.truth.get(race.var) {
@@ -57,9 +62,12 @@ pub fn measure_app(app: &cafa_apps::AppSpec, budget: u64) -> ConfirmRow {
     row
 }
 
-/// Probes every app.
+/// Probes every app on the fleet; rows come back in app order.
 pub fn compute(budget: u64) -> Vec<ConfirmRow> {
-    all_apps().iter().map(|app| measure_app(app, budget)).collect()
+    let apps = all_apps();
+    fleet::map(&apps, fleet::default_threads(), |app| {
+        measure_app(app, budget)
+    })
 }
 
 /// Runs and prints the confirmation table.

@@ -14,8 +14,8 @@
 
 pub mod ablation;
 pub mod confirm;
-pub mod survey;
 pub mod fig8;
 pub mod lowlevel;
 pub mod scaling;
+pub mod survey;
 pub mod table1;

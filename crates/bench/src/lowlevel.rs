@@ -9,8 +9,9 @@
 //! causality models.
 
 use cafa_apps::{all_apps, AppSpec};
-use cafa_core::lowlevel::count_races;
+use cafa_core::lowlevel::count_races_with;
 use cafa_core::Analyzer;
+use cafa_engine::{fleet, AnalysisSession};
 use cafa_hb::CausalityConfig;
 
 /// Per-app low-level race measurement.
@@ -35,11 +36,20 @@ pub struct LowLevelRow {
 ///
 /// Panics if the workload fails to record or analyze.
 pub fn measure_app(app: &AppSpec, seed: u64) -> LowLevelRow {
-    let trace = app.record(seed).expect("records cleanly").trace.expect("instrumented");
-    let cafa = count_races(&trace, CausalityConfig::cafa()).expect("count under cafa");
-    let conv =
-        count_races(&trace, CausalityConfig::conventional()).expect("count under conventional");
-    let report = Analyzer::new().analyze(&trace).expect("analysis succeeds");
+    let trace = app
+        .record(seed)
+        .expect("records cleanly")
+        .trace
+        .expect("instrumented");
+    // One session serves both counters and the detector: the CAFA and
+    // conventional models are each built once and shared.
+    let session = AnalysisSession::new(&trace);
+    let cafa = count_races_with(&session, CausalityConfig::cafa()).expect("count under cafa");
+    let conv = count_races_with(&session, CausalityConfig::conventional())
+        .expect("count under conventional");
+    let report = Analyzer::new()
+        .analyze_with(&session)
+        .expect("analysis succeeds");
     LowLevelRow {
         name: app.name,
         cafa_pairs: cafa.racy_pairs,
@@ -49,9 +59,12 @@ pub fn measure_app(app: &AppSpec, seed: u64) -> LowLevelRow {
     }
 }
 
-/// Measures all apps.
+/// Measures all apps on the fleet; rows come back in app order.
 pub fn compute(seed: u64) -> Vec<LowLevelRow> {
-    all_apps().iter().map(|app| measure_app(app, seed)).collect()
+    let apps = all_apps();
+    fleet::map(&apps, fleet::default_threads(), |app| {
+        measure_app(app, seed)
+    })
 }
 
 /// Runs and prints the experiment.
@@ -66,7 +79,8 @@ pub fn main() {
             "{:<12} {:>12} {:>8} {:>14} {:>10}",
             row.name,
             row.cafa_pairs,
-            row.expected.map_or_else(|| "-".to_owned(), |e| e.to_string()),
+            row.expected
+                .map_or_else(|| "-".to_owned(), |e| e.to_string()),
             row.conventional_pairs,
             row.usefree_reports,
         );

@@ -67,7 +67,11 @@ pub fn app_points(seed: u64) -> Vec<ScalePoint> {
     all_apps()
         .iter()
         .map(|app| {
-            let trace = app.record(seed).expect("records").trace.expect("instrumented");
+            let trace = app
+                .record(seed)
+                .expect("records")
+                .trace
+                .expect("instrumented");
             let stats = trace.stats();
             ScalePoint {
                 label: app.name.to_owned(),
@@ -83,7 +87,10 @@ pub fn app_points(seed: u64) -> Vec<ScalePoint> {
 pub fn main() {
     println!("§6.4 — offline analysis time vs trace size");
     println!("\nsynthetic sweep (fixed race population, growing filler):");
-    println!("{:<16} {:>8} {:>10} {:>12}", "trace", "events", "records", "analysis (s)");
+    println!(
+        "{:<16} {:>8} {:>10} {:>12}",
+        "trace", "events", "records", "analysis (s)"
+    );
     let mut prev: Option<(usize, f64)> = None;
     for events in [500usize, 1_000, 2_000, 4_000, 8_000, 16_000] {
         let pt = synthetic_point(events);
@@ -102,11 +109,17 @@ pub fn main() {
     }
 
     println!("\nper-app traces:");
-    println!("{:<16} {:>8} {:>10} {:>12}", "app", "events", "records", "analysis (s)");
+    println!(
+        "{:<16} {:>8} {:>10} {:>12}",
+        "app", "events", "records", "analysis (s)"
+    );
     let mut points = app_points(0);
     points.sort_by_key(|x| x.events);
     for pt in points {
-        println!("{:<16} {:>8} {:>10} {:>12.4}", pt.label, pt.events, pt.records, pt.analyze_s);
+        println!(
+            "{:<16} {:>8} {:>10} {:>12.4}",
+            pt.label, pt.events, pt.records, pt.analyze_s
+        );
     }
     println!(
         "\nShape check: time grows superlinearly with events, and the\n\

@@ -12,6 +12,7 @@
 use std::collections::BTreeMap;
 
 use cafa_apps::{all_apps, Label};
+use cafa_engine::fleet;
 
 /// Violation tally for one app.
 #[derive(Clone, Debug, Default)]
@@ -39,7 +40,11 @@ pub struct SurveyRow {
 /// Panics if a run fails, or if a violation fires on a variable the
 /// oracle does not label harmful (that would falsify the ground truth).
 pub fn survey_app(app: &cafa_apps::AppSpec, schedules: usize) -> SurveyRow {
-    let mut row = SurveyRow { name: app.name, schedules, ..SurveyRow::default() };
+    let mut row = SurveyRow {
+        name: app.name,
+        schedules,
+        ..SurveyRow::default()
+    };
     let mut per_var: BTreeMap<u32, usize> = BTreeMap::new();
     for seed in 0..schedules as u64 {
         let outcome = app.run_stress(seed).expect("runs cleanly");
@@ -65,9 +70,12 @@ pub fn survey_app(app: &cafa_apps::AppSpec, schedules: usize) -> SurveyRow {
     row
 }
 
-/// Surveys every app.
+/// Surveys every app on the fleet; rows come back in app order.
 pub fn compute(schedules: usize) -> Vec<SurveyRow> {
-    all_apps().iter().map(|app| survey_app(app, schedules)).collect()
+    let apps = all_apps();
+    fleet::map(&apps, fleet::default_threads(), |app| {
+        survey_app(app, schedules)
+    })
 }
 
 /// Runs and prints the survey.
@@ -83,7 +91,11 @@ pub fn main() {
         any_swallowed += row.swallowed;
         println!(
             "{:<12} {:>7}/{:<2} {:>9} {:>11} {:>10}",
-            row.name, row.crashing_schedules, row.schedules, row.crashes, row.swallowed,
+            row.name,
+            row.crashing_schedules,
+            row.schedules,
+            row.crashes,
+            row.swallowed,
             row.distinct_vars_hit,
         );
     }

@@ -8,6 +8,8 @@
 
 use cafa_apps::{all_apps, AppSpec, FpType, Label, TrueClass};
 use cafa_core::{Analyzer, RaceClass, RaceReport};
+use cafa_engine::{fleet, AnalysisSession, SessionStats};
+use cafa_hb::CausalityConfig;
 
 /// One measured Table 1 row.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -40,8 +42,11 @@ pub struct Row {
 
 /// Classifies one app's report against its ground truth.
 pub fn classify(app: &AppSpec, report: &RaceReport) -> Row {
-    let mut row =
-        Row { reported: report.races.len(), filtered: report.filtered.len(), ..Row::default() };
+    let mut row = Row {
+        reported: report.races.len(),
+        filtered: report.filtered.len(),
+        ..Row::default()
+    };
     for race in &report.races {
         match app.truth.get(race.var) {
             Some(Label::Harmful { class, known }) => {
@@ -73,6 +78,34 @@ pub fn classify(app: &AppSpec, report: &RaceReport) -> Row {
     row
 }
 
+/// Runs the experiment for one app, also returning the engine
+/// session's cache counters.
+///
+/// The whole measurement shares one [`AnalysisSession`]: the detector
+/// builds the CAFA model through it, and the harness then reads the
+/// `Events` column from that same cached model instead of re-deriving
+/// it — the lookup is the session's cache-hit path.
+///
+/// # Panics
+///
+/// Panics if recording or analysis fails (the shipped workloads run
+/// clean).
+pub fn measure_app_stats(app: &AppSpec, seed: u64) -> (Row, SessionStats) {
+    let outcome = app.record(seed).expect("workload records cleanly");
+    let trace = outcome.trace.expect("instrumentation is on");
+    let session = AnalysisSession::new(&trace);
+    let report = Analyzer::new()
+        .analyze_with(&session)
+        .expect("analysis succeeds");
+    let mut row = classify(app, &report);
+    row.events = session
+        .model(CausalityConfig::cafa())
+        .expect("cached by the analysis")
+        .events()
+        .len();
+    (row, session.stats())
+}
+
 /// Runs the experiment for one app.
 ///
 /// # Panics
@@ -80,22 +113,28 @@ pub fn classify(app: &AppSpec, report: &RaceReport) -> Row {
 /// Panics if recording or analysis fails (the shipped workloads run
 /// clean).
 pub fn measure_app(app: &AppSpec, seed: u64) -> Row {
-    let outcome = app.record(seed).expect("workload records cleanly");
-    let trace = outcome.trace.expect("instrumentation is on");
-    let report = Analyzer::new().analyze(&trace).expect("analysis succeeds");
-    let mut row = classify(app, &report);
-    row.events = trace.stats().events;
-    row
+    measure_app_stats(app, seed).0
+}
+
+/// Runs the experiment for all ten apps on the fleet, returning
+/// `(app, measured, session stats)` in app order regardless of worker
+/// count.
+pub fn compute_stats(seed: u64) -> Vec<(AppSpec, Row, SessionStats)> {
+    let apps = all_apps();
+    let rows = fleet::map(&apps, fleet::default_threads(), |app| {
+        measure_app_stats(app, seed)
+    });
+    apps.into_iter()
+        .zip(rows)
+        .map(|(app, (row, stats))| (app, row, stats))
+        .collect()
 }
 
 /// Runs the experiment for all ten apps, returning `(app, measured)`.
 pub fn compute(seed: u64) -> Vec<(AppSpec, Row)> {
-    all_apps()
+    compute_stats(seed)
         .into_iter()
-        .map(|app| {
-            let row = measure_app(&app, seed);
-            (app, row)
-        })
+        .map(|(app, row, _)| (app, row))
         .collect()
 }
 
@@ -106,10 +145,10 @@ pub fn main() {
         "{:<12} | {:>6} {:>6} | {:>4} {:>5} | {:>8} {:>8} | {:>8} {:>8} | {:>5}",
         "App", "events", "paper", "rep", "paper", "a/b/c", "paper", "I/II/III", "paper", "known"
     );
-    let results = compute(0);
+    let results = compute_stats(0);
     let mut tot = Row::default();
     let mut te = (0usize, 0usize, 0usize, 0usize, 0usize, 0usize, 0usize);
-    for (app, m) in &results {
+    for (app, m, _) in &results {
         let e = app.expected;
         println!(
             "{:<12} | {:>6} {:>6} | {:>4} {:>5} | {:>8} {:>8} | {:>8} {:>8} | {:>5}",
@@ -165,4 +204,8 @@ pub fn main() {
         "known bugs rediscovered: {} (paper: 2); unlabeled: {}; class disagreements: {}",
         tot.known, tot.unlabeled, tot.misclassified
     );
+    let (builds, hits) = results.iter().fold((0, 0), |(b, h), (_, _, s)| {
+        (b + s.model_builds, h + s.model_cache_hits)
+    });
+    println!("engine sessions: {builds} HB model build(s), {hits} cache hit(s)");
 }

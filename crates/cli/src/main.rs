@@ -14,6 +14,7 @@ use std::io::{BufReader, BufWriter, Write as _};
 use std::process::ExitCode;
 
 use cafa_core::{Analyzer, DetectorConfig};
+use cafa_engine::AnalysisSession;
 use cafa_hb::CausalityConfig;
 use cafa_sim::{run, InstrumentConfig, SimConfig};
 use cafa_trace::Trace;
@@ -34,11 +35,13 @@ USAGE:
 
     cafa analyze <trace> [--model cafa|conventional|no-queue-rules]
                          [--no-if-guard] [--no-intra-alloc] [--no-lockset]
-                         [--json] [--verbose]
+                         [--json] [--verbose] [--timings]
         Run the race detector over a trace file (text or binary,
         auto-detected) and print the report. --json emits a stable
         machine-readable format; --verbose adds happens-before
-        derivation statistics.
+        derivation statistics; --timings adds a per-pass wall-time
+        breakdown (extract, hb-build, candidates, filters,
+        baseline-hb, classify) and model-cache counters.
 
     cafa stats <trace>
         Print trace statistics (tasks, events, records, frees, ...).
@@ -224,6 +227,7 @@ fn cmd_analyze(rest: &[String]) -> Result<(), String> {
     let no_lockset = opt_flag(&mut args, "--no-lockset");
     let json = opt_flag(&mut args, "--json");
     let verbose = opt_flag(&mut args, "--verbose");
+    let timings = opt_flag(&mut args, "--timings");
     let [path] = args.as_slice() else {
         return Err("usage: cafa analyze <trace> [options]".to_owned());
     };
@@ -234,14 +238,19 @@ fn cmd_analyze(rest: &[String]) -> Result<(), String> {
         "cafa" => CausalityConfig::cafa(),
         "conventional" => CausalityConfig::conventional(),
         "no-queue-rules" => CausalityConfig::no_queue_rules(),
-        other => return Err(format!("bad model `{other}` (cafa|conventional|no-queue-rules)")),
+        other => {
+            return Err(format!(
+                "bad model `{other}` (cafa|conventional|no-queue-rules)"
+            ))
+        }
     };
     config.if_guard = !no_if_guard;
     config.intra_event_alloc = !no_intra_alloc;
     config.lockset_filter = !no_lockset;
 
+    let session = AnalysisSession::new(&trace);
     let report = Analyzer::with_config(config)
-        .analyze(&trace)
+        .analyze_with(&session)
         .map_err(|e| format!("analysis failed: {e}"))?;
     if json {
         print!("{}", cafa_core::json::render_json(&report, &trace));
@@ -278,6 +287,15 @@ fn cmd_analyze(rest: &[String]) -> Result<(), String> {
             .count(),
     );
     println!("analysis time: {:.3}s", report.elapsed.as_secs_f64());
+    if timings {
+        println!("pass timings:");
+        print!("{}", report.stats.passes.render());
+        let s = session.stats();
+        println!(
+            "session: {} ops extraction(s), {} model build(s), {} cache hit(s)",
+            s.ops_extractions, s.model_builds, s.model_cache_hits
+        );
+    }
     Ok(())
 }
 
@@ -294,7 +312,9 @@ fn cmd_graph(rest: &[String]) -> Result<(), String> {
             trace.task_count()
         ));
     }
-    let model = cafa_hb::HbModel::build(&trace, CausalityConfig::cafa())
+    let session = AnalysisSession::new(&trace);
+    let model = session
+        .model(CausalityConfig::cafa())
         .map_err(|e| format!("model build failed: {e}"))?;
     let dot = cafa_hb::dot::render_model(&model);
     match out_path {
@@ -324,7 +344,11 @@ fn cmd_convert(rest: &[String]) -> Result<(), String> {
         })
         .unwrap_or(false);
     let format = format.unwrap_or_else(|| {
-        if input_is_binary { "text".to_owned() } else { "binary".to_owned() }
+        if input_is_binary {
+            "text".to_owned()
+        } else {
+            "binary".to_owned()
+        }
     });
     let file = File::create(output).map_err(|e| format!("cannot create {output}: {e}"))?;
     let mut w = BufWriter::new(file);
@@ -369,7 +393,10 @@ fn cmd_order(rest: &[String]) -> Result<(), String> {
         if (n as usize) < trace.task_count() {
             Ok(cafa_trace::TaskId::new(n))
         } else {
-            Err(format!("task {s} out of range (trace has {} tasks)", trace.task_count()))
+            Err(format!(
+                "task {s} out of range (trace has {} tasks)",
+                trace.task_count()
+            ))
         }
     };
     let parse_idx = |s: &str| -> Result<u32, String> {
@@ -383,7 +410,9 @@ fn cmd_order(rest: &[String]) -> Result<(), String> {
         }
     }
 
-    let model = cafa_hb::HbModel::build(&trace, CausalityConfig::cafa())
+    let session = AnalysisSession::new(&trace);
+    let model = session
+        .model(CausalityConfig::cafa())
         .map_err(|e| format!("model build failed: {e}"))?;
     println!(
         "{} ({} in {})  vs  {} ({} in {})",
@@ -434,7 +463,10 @@ fn cmd_stats(rest: &[String]) -> Result<(), String> {
     println!("virtual ms:      {}", trace.meta().virtual_ms);
     println!("processes:       {}", trace.process_count());
     println!("queues:          {}", trace.queue_count());
-    println!("tasks:           {} ({} threads, {} events)", s.tasks, s.threads, s.events);
+    println!(
+        "tasks:           {} ({} threads, {} events)",
+        s.tasks, s.threads, s.events
+    );
     println!("external events: {}", s.external_events);
     println!("records:         {} ({} sync)", s.records, s.sync_records);
     println!("accesses:        {}", s.accesses);

@@ -4,7 +4,10 @@ use std::path::PathBuf;
 use std::process::{Command, Output};
 
 fn cafa(args: &[&str]) -> Output {
-    Command::new(env!("CARGO_BIN_EXE_cafa")).args(args).output().expect("binary runs")
+    Command::new(env!("CARGO_BIN_EXE_cafa"))
+        .args(args)
+        .output()
+        .expect("binary runs")
 }
 
 fn stdout(out: &Output) -> String {
@@ -42,7 +45,11 @@ fn unknown_command_fails() {
 fn record_analyze_stats_roundtrip_text() {
     let path = tmp("vlc.trace");
     let out = cafa(&["record", "vlc", "--out", path.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(stdout(&out).contains("2805 events"));
 
     let out = cafa(&["analyze", path.to_str().unwrap()]);
@@ -60,7 +67,14 @@ fn record_analyze_stats_roundtrip_text() {
 #[test]
 fn record_analyze_binary_and_models() {
     let path = tmp("vlc.bin");
-    let out = cafa(&["record", "vlc", "--format", "binary", "--out", path.to_str().unwrap()]);
+    let out = cafa(&[
+        "record",
+        "vlc",
+        "--format",
+        "binary",
+        "--out",
+        path.to_str().unwrap(),
+    ]);
     assert!(out.status.success());
 
     // The conventional model hides the same-looper reports.
@@ -88,12 +102,17 @@ fn record_analyze_binary_and_models() {
 #[test]
 fn dump_respects_limit_and_pipes_cleanly() {
     let path = tmp("dump.trace");
-    assert!(cafa(&["record", "vlc", "--out", path.to_str().unwrap()]).status.success());
+    assert!(cafa(&["record", "vlc", "--out", path.to_str().unwrap()])
+        .status
+        .success());
     let limited = cafa(&["dump", path.to_str().unwrap(), "--limit", "1"]);
     assert!(limited.status.success());
     let text = stdout(&limited);
     assert!(text.starts_with("trace \"VLC\""));
-    assert!(text.contains("more record(s)"), "limit announces truncation");
+    assert!(
+        text.contains("more record(s)"),
+        "limit announces truncation"
+    );
     // No panic/backtrace output even for large dumps.
     assert!(String::from_utf8_lossy(&limited.stderr).is_empty());
     std::fs::remove_file(&path).ok();
@@ -102,16 +121,25 @@ fn dump_respects_limit_and_pipes_cleanly() {
 #[test]
 fn graph_exports_dot_for_small_traces_only() {
     // The golden fixture is a small scenario.
-    let fixture = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/fixtures/golden.trace");
+    let fixture = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/fixtures/golden.trace"
+    );
     let out = cafa(&["graph", fixture]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let dot = stdout(&out);
     assert!(dot.starts_with("digraph hb {"));
     assert!(dot.contains("cluster_0"));
 
     // Big traces are refused with a clear message.
     let path = tmp("big.trace");
-    assert!(cafa(&["record", "vlc", "--out", path.to_str().unwrap()]).status.success());
+    assert!(cafa(&["record", "vlc", "--out", path.to_str().unwrap()])
+        .status
+        .success());
     let refused = cafa(&["graph", path.to_str().unwrap()]);
     assert!(!refused.status.success());
     assert!(String::from_utf8_lossy(&refused.stderr).contains("only readable"));
@@ -121,7 +149,9 @@ fn graph_exports_dot_for_small_traces_only() {
 #[test]
 fn analyze_json_is_machine_readable() {
     let path = tmp("json.trace");
-    assert!(cafa(&["record", "music", "--out", path.to_str().unwrap()]).status.success());
+    assert!(cafa(&["record", "music", "--out", path.to_str().unwrap()])
+        .status
+        .success());
     let out = cafa(&["analyze", path.to_str().unwrap(), "--json"]);
     assert!(out.status.success());
     let text = stdout(&out);
@@ -139,13 +169,25 @@ fn convert_roundtrips_formats() {
     let text_path = tmp("conv.trace");
     let bin_path = tmp("conv.bin");
     let back_path = tmp("conv2.trace");
-    assert!(cafa(&["record", "vlc", "--out", text_path.to_str().unwrap()]).status.success());
-    assert!(cafa(&["convert", text_path.to_str().unwrap(), bin_path.to_str().unwrap()])
-        .status
-        .success());
-    assert!(cafa(&["convert", bin_path.to_str().unwrap(), back_path.to_str().unwrap()])
-        .status
-        .success());
+    assert!(
+        cafa(&["record", "vlc", "--out", text_path.to_str().unwrap()])
+            .status
+            .success()
+    );
+    assert!(cafa(&[
+        "convert",
+        text_path.to_str().unwrap(),
+        bin_path.to_str().unwrap()
+    ])
+    .status
+    .success());
+    assert!(cafa(&[
+        "convert",
+        bin_path.to_str().unwrap(),
+        back_path.to_str().unwrap()
+    ])
+    .status
+    .success());
     let original = std::fs::read_to_string(&text_path).unwrap();
     let roundtripped = std::fs::read_to_string(&back_path).unwrap();
     assert_eq!(original, roundtripped, "text -> binary -> text is stable");
@@ -163,7 +205,11 @@ fn order_command_explains() {
     // ordered before the posted event's records... simplest: ask about
     // two records in the same task.
     let out = cafa(&["order", path.to_str().unwrap(), "t0", "0", "t0", "1"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(stdout(&out).contains("happens-before"));
 
     let out = cafa(&["order", path.to_str().unwrap(), "t9999", "0", "t0", "0"]);

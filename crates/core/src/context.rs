@@ -31,7 +31,10 @@ pub fn stack_at(trace: &Trace, at: OpRef) -> Vec<Frame> {
         }
         match *r {
             Record::MethodEnter { pc, name } => {
-                stack.push(Frame { pc, name: trace.names().resolve(name).to_owned() });
+                stack.push(Frame {
+                    pc,
+                    name: trace.names().resolve(name).to_owned(),
+                });
             }
             Record::MethodExit { .. } => {
                 stack.pop();
@@ -49,7 +52,11 @@ pub fn render_stack(trace: &Trace, at: OpRef) -> String {
     if stack.is_empty() {
         format!("<{}>", trace.task_name(at.task))
     } else {
-        stack.iter().map(|f| f.name.as_str()).collect::<Vec<_>>().join(" > ")
+        stack
+            .iter()
+            .map(|f| f.name.as_str())
+            .collect::<Vec<_>>()
+            .join(" > ")
     }
 }
 
@@ -104,7 +111,10 @@ mod tests {
         let v = p.ptr_var_alloc();
         let h = p.handler("onDraw", Body::new().use_ptr(v));
         p.gesture(0, l, h);
-        let trace = run(&p.build(), &SimConfig::with_seed(0)).unwrap().trace.unwrap();
+        let trace = run(&p.build(), &SimConfig::with_seed(0))
+            .unwrap()
+            .trace
+            .unwrap();
         // The use inside the event reports its handler as context.
         let ops = crate::usefree::extract(&trace);
         assert_eq!(ops.uses.len(), 1);

@@ -1,20 +1,27 @@
 //! The use-free race detector (§4).
 //!
-//! Pipeline: extract uses/frees/allocations/guards → build the CAFA
-//! happens-before model → enumerate concurrent (use, free) pairs per
-//! pointer variable → suppress commutative patterns with the lockset,
-//! if-guard, and intra-event-allocation checks → classify surviving
-//! races against the conventional baseline.
+//! The detection path is a sequence of named passes over an
+//! [`AnalysisSession`]: `extract` (uses/frees/allocations/guards) →
+//! `hb-build` (the CAFA happens-before fixpoint) → `candidates`
+//! (concurrent (use, free) pairs per pointer variable) → `filters`
+//! (lockset, if-guard, and intra-event-allocation suppression) →
+//! `baseline-hb` (the conventional model, built lazily and only when a
+//! cross-looper race needs classification) → `classify`. Per-pass wall
+//! time and item counts land in
+//! [`DetectStats::passes`](crate::report::DetectStats); shared state
+//! (memory ops, models) lives in the session so repeated analyses of
+//! one trace reuse it.
 
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
+use cafa_engine::{AnalysisSession, PassStats};
 use cafa_hb::{CausalityConfig, HbError, HbModel, LockSets};
 use cafa_trace::{OpRef, Pc, Trace, VarId};
 
 use crate::filters::{alloc_after_free, alloc_before_use, if_guarded, FilterReason};
 use crate::report::{DetectStats, FilteredCandidate, RaceClass, RaceReport, UseFreeRace};
-use crate::usefree::{extract, MemoryOps};
+use crate::usefree::{FreeSite, MemoryOps, UseSite};
 
 /// Detector configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -58,18 +65,29 @@ impl DetectorConfig {
     /// CAFA with the §6.3 precise-matching fix: ambiguous
     /// dereference-to-read matches are dropped instead of reported.
     pub fn precise_matching() -> Self {
-        Self { drop_ambiguous_uses: true, ..Self::cafa() }
+        Self {
+            drop_ambiguous_uses: true,
+            ..Self::cafa()
+        }
     }
 
     /// CAFA causality with *no* pruning heuristics — the ablation the
     /// paper motivates §4.3 with.
     pub fn unfiltered() -> Self {
-        Self { if_guard: false, intra_event_alloc: false, lockset_filter: false, ..Self::cafa() }
+        Self {
+            if_guard: false,
+            intra_event_alloc: false,
+            lockset_filter: false,
+            ..Self::cafa()
+        }
     }
 
     /// EventRacer-style ablation: no event-queue rules.
     pub fn no_queue_rules() -> Self {
-        Self { causality: CausalityConfig::no_queue_rules(), ..Self::cafa() }
+        Self {
+            causality: CausalityConfig::no_queue_rules(),
+            ..Self::cafa()
+        }
     }
 }
 
@@ -132,118 +150,120 @@ impl Analyzer {
 
     /// Analyzes one trace.
     ///
+    /// A thin facade: creates a single-trace [`AnalysisSession`] and
+    /// delegates to [`analyze_with`](Self::analyze_with). Callers
+    /// analyzing one trace repeatedly (several configs, or detector
+    /// plus baselines) should create the session themselves and share
+    /// it, so the extracted ops and happens-before models are reused.
+    ///
     /// # Errors
     ///
     /// Returns [`HbError`] if the happens-before model cannot be built
     /// (cyclic relation or diverging fixpoint).
     pub fn analyze(&self, trace: &Trace) -> Result<RaceReport, HbError> {
-        let start = Instant::now();
-        let ops = extract(trace);
-        let model = HbModel::build(trace, self.config.causality)?;
-        // The conventional baseline, for classification. When the main
-        // model *is* the conventional one, reuse it.
-        let conventional_cfg = CausalityConfig::conventional();
-        let conventional_model;
-        let conventional: &HbModel = if self.config.causality == conventional_cfg {
-            &model
-        } else {
-            conventional_model = HbModel::build(trace, conventional_cfg)?;
-            &conventional_model
-        };
-        let locks = LockSets::new(trace);
+        let session = AnalysisSession::new(trace);
+        self.analyze_with(&session)
+    }
 
-        // Batch reachability over every distinct use/free position.
-        let mut source_index: HashMap<OpRef, usize> = HashMap::new();
-        let mut sources: Vec<OpRef> = Vec::new();
-        let candidate_vars: Vec<VarId> = {
-            let mut v: Vec<VarId> = ops.candidate_vars().collect();
-            v.sort_unstable();
-            v
-        };
-        for &var in &candidate_vars {
-            let vo = ops.var_ops(var).expect("candidate var has ops");
-            for &ui in &vo.uses {
-                let at = ops.uses[ui].at;
-                source_index.entry(at).or_insert_with(|| {
-                    sources.push(at);
-                    sources.len() - 1
-                });
+    /// Analyzes the session's trace, reusing whatever the session has
+    /// already computed (memory ops, cached models).
+    ///
+    /// The conventional classification baseline is built lazily: a
+    /// race-free trace — the common case in CLI use and property tests
+    /// — pays for one fixpoint, not two. Consequently a trace whose
+    /// conventional model cannot be built only fails here when a
+    /// cross-looper race actually needs it for classification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HbError`] if a required happens-before model cannot
+    /// be built.
+    pub fn analyze_with(&self, session: &AnalysisSession<'_>) -> Result<RaceReport, HbError> {
+        let trace = session.trace();
+        let start = Instant::now();
+        let mut passes = PassStats::default();
+
+        let ops = passes.run("extract", || {
+            let ops = session.ops();
+            (ops, ops.uses.len() + ops.frees.len())
+        });
+
+        let model = passes.run("hb-build", || match session.model(self.config.causality) {
+            Ok(m) => {
+                let events = m.events().len();
+                (Ok(m), events)
             }
-            for &fi in &vo.frees {
-                let at = ops.frees[fi].at;
-                source_index.entry(at).or_insert_with(|| {
-                    sources.push(at);
-                    sources.len() - 1
-                });
-            }
-        }
-        let batch = model.batch(&sources);
+            Err(e) => (Err(e), 0),
+        })?;
 
         let mut stats = DetectStats {
             events: trace.stats().events,
-            candidate_vars: candidate_vars.len(),
             derivation: model.stats(),
             ..DetectStats::default()
         };
 
-        let mut races: Vec<UseFreeRace> = Vec::new();
-        let mut filtered: Vec<FilteredCandidate> = Vec::new();
-        let mut seen: HashSet<(VarId, Pc, Pc)> = HashSet::new();
+        let candidates = passes.run("candidates", || {
+            let found = enumerate_candidates(&self.config, ops, &model, &mut stats);
+            let count = found.len();
+            (found, count)
+        });
 
-        for &var in &candidate_vars {
-            let vo = ops.var_ops(var).expect("candidate var has ops");
-            let mut pairs_this_var = 0usize;
-            'pairs: for &ui in &vo.uses {
-                for &fi in &vo.frees {
-                    let use_site = ops.uses[ui];
-                    let free_site = ops.frees[fi];
-                    if use_site.at.task == free_site.at.task {
-                        continue;
-                    }
-                    if self.config.drop_ambiguous_uses && use_site.ambiguous {
-                        continue;
-                    }
-                    if pairs_this_var >= self.config.max_pairs_per_var {
-                        stats.truncated_vars.push(var);
-                        break 'pairs;
-                    }
-                    pairs_this_var += 1;
-                    stats.pairs_checked += 1;
-
-                    let key = (var, use_site.read_pc, free_site.pc);
-                    if seen.contains(&key) {
-                        continue;
-                    }
-                    let iu = source_index[&use_site.at];
-                    let if_ = source_index[&free_site.at];
-                    if batch.before(iu, free_site.at) || batch.before(if_, use_site.at) {
-                        continue; // ordered: no race for this instance
-                    }
-                    seen.insert(key);
-
-                    // Heuristic filters.
-                    let reason = self.filter_reason(trace, &model, &locks, &ops, &use_site, &free_site);
-                    if let Some(reason) = reason {
-                        filtered.push(FilteredCandidate { var, use_site, free_site, reason });
-                        continue;
-                    }
-
-                    // Classification against the conventional baseline.
-                    let same_looper = model.same_looper(use_site.at.task, free_site.at.task);
-                    let class = if same_looper {
-                        RaceClass::IntraThread
-                    } else if conventional.happens_before(use_site.at, free_site.at)
-                        || conventional.happens_before(free_site.at, use_site.at)
-                    {
-                        RaceClass::InterThread
-                    } else {
-                        RaceClass::Conventional
-                    };
-                    races.push(UseFreeRace { var, use_site, free_site, class });
+        let (filtered, survivors) = passes.run("filters", || {
+            let locks = LockSets::new(trace);
+            let mut filtered: Vec<FilteredCandidate> = Vec::new();
+            let mut survivors: Vec<Candidate> = Vec::new();
+            for c in candidates {
+                match self.filter_reason(trace, &model, &locks, ops, &c.use_site, &c.free_site) {
+                    Some(reason) => filtered.push(FilteredCandidate {
+                        var: c.var,
+                        use_site: c.use_site,
+                        free_site: c.free_site,
+                        reason,
+                    }),
+                    None => survivors.push(c),
                 }
             }
-        }
+            let count = filtered.len();
+            ((filtered, survivors), count)
+        });
 
+        // The conventional baseline, for classification — lazy, and
+        // served from the session cache when the main model *is* the
+        // conventional one or another analysis already built it.
+        let conventional = passes.run("baseline-hb", || {
+            let needed = survivors
+                .iter()
+                .any(|c| !model.same_looper(c.use_site.at.task, c.free_site.at.task));
+            if !needed {
+                return (Ok(None), 0);
+            }
+            match session.model(CausalityConfig::conventional()) {
+                Ok(m) => {
+                    let events = m.events().len();
+                    (Ok(Some(m)), events)
+                }
+                Err(e) => (Err(e), 0),
+            }
+        })?;
+
+        let races = passes.run("classify", || {
+            let races: Vec<UseFreeRace> = survivors
+                .into_iter()
+                .map(|c| {
+                    let class = classify(&model, conventional.as_deref(), &c);
+                    UseFreeRace {
+                        var: c.var,
+                        use_site: c.use_site,
+                        free_site: c.free_site,
+                        class,
+                    }
+                })
+                .collect();
+            let count = races.len();
+            (races, count)
+        });
+
+        stats.passes = passes;
         Ok(RaceReport {
             app: trace.meta().app.clone(),
             races,
@@ -259,8 +279,8 @@ impl Analyzer {
         model: &HbModel,
         locks: &LockSets,
         ops: &MemoryOps,
-        use_site: &crate::usefree::UseSite,
-        free_site: &crate::usefree::FreeSite,
+        use_site: &UseSite,
+        free_site: &FreeSite,
     ) -> Option<FilterReason> {
         if self.config.lockset_filter && locks.common(use_site.at, free_site.at).is_some() {
             return Some(FilterReason::CommonLock);
@@ -288,6 +308,111 @@ impl Analyzer {
     }
 }
 
+/// A deduplicated, unordered (use, free) pair awaiting filtering and
+/// classification.
+struct Candidate {
+    var: VarId,
+    use_site: UseSite,
+    free_site: FreeSite,
+}
+
+/// The `candidates` pass: enumerates concurrent (use, free) pairs per
+/// pointer variable, deduplicated by (variable, use pc, free pc), with
+/// the per-variable pair cap recorded in `stats`.
+fn enumerate_candidates(
+    config: &DetectorConfig,
+    ops: &MemoryOps,
+    model: &HbModel,
+    stats: &mut DetectStats,
+) -> Vec<Candidate> {
+    // Batch reachability over every distinct use/free position.
+    let mut source_index: HashMap<OpRef, usize> = HashMap::new();
+    let mut sources: Vec<OpRef> = Vec::new();
+    let candidate_vars: Vec<VarId> = {
+        let mut v: Vec<VarId> = ops.candidate_vars().collect();
+        v.sort_unstable();
+        v
+    };
+    stats.candidate_vars = candidate_vars.len();
+    for &var in &candidate_vars {
+        let vo = ops.var_ops(var).expect("candidate var has ops");
+        for &ui in &vo.uses {
+            let at = ops.uses[ui].at;
+            source_index.entry(at).or_insert_with(|| {
+                sources.push(at);
+                sources.len() - 1
+            });
+        }
+        for &fi in &vo.frees {
+            let at = ops.frees[fi].at;
+            source_index.entry(at).or_insert_with(|| {
+                sources.push(at);
+                sources.len() - 1
+            });
+        }
+    }
+    let batch = model.batch(&sources);
+
+    let mut found: Vec<Candidate> = Vec::new();
+    let mut seen: HashSet<(VarId, Pc, Pc)> = HashSet::new();
+    for &var in &candidate_vars {
+        let vo = ops.var_ops(var).expect("candidate var has ops");
+        let mut pairs_this_var = 0usize;
+        'pairs: for &ui in &vo.uses {
+            for &fi in &vo.frees {
+                let use_site = ops.uses[ui];
+                let free_site = ops.frees[fi];
+                if use_site.at.task == free_site.at.task {
+                    continue;
+                }
+                if config.drop_ambiguous_uses && use_site.ambiguous {
+                    continue;
+                }
+                if pairs_this_var >= config.max_pairs_per_var {
+                    stats.truncated_vars.push(var);
+                    break 'pairs;
+                }
+                pairs_this_var += 1;
+                stats.pairs_checked += 1;
+
+                let key = (var, use_site.read_pc, free_site.pc);
+                if seen.contains(&key) {
+                    continue;
+                }
+                let iu = source_index[&use_site.at];
+                let if_ = source_index[&free_site.at];
+                if batch.before(iu, free_site.at) || batch.before(if_, use_site.at) {
+                    continue; // ordered: no race for this instance
+                }
+                seen.insert(key);
+                found.push(Candidate {
+                    var,
+                    use_site,
+                    free_site,
+                });
+            }
+        }
+    }
+    found
+}
+
+/// The `classify` step for one surviving candidate: relate it to the
+/// conventional baseline (Table 1's three "true race" columns).
+/// `conventional` is `Some` whenever any survivor crosses loopers.
+fn classify(model: &HbModel, conventional: Option<&HbModel>, c: &Candidate) -> RaceClass {
+    if model.same_looper(c.use_site.at.task, c.free_site.at.task) {
+        return RaceClass::IntraThread;
+    }
+    let conventional = conventional.expect("baseline-hb pass built the conventional model");
+    if conventional.happens_before(c.use_site.at, c.free_site.at)
+        || conventional.happens_before(c.free_site.at, c.use_site.at)
+    {
+        RaceClass::InterThread
+    } else {
+        RaceClass::Conventional
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -308,7 +433,12 @@ mod tests {
         let connected = b.post(ipc, q, "onServiceConnected", 0);
         let destroy = b.external(q, "onDestroy");
         b.process_event(connected);
-        b.obj_read(connected, VarId::new(0), Some(ObjId::new(1)), Pc::new(0x1010));
+        b.obj_read(
+            connected,
+            VarId::new(0),
+            Some(ObjId::new(1)),
+            Pc::new(0x1010),
+        );
         b.deref(connected, ObjId::new(1), Pc::new(0x1014), DerefKind::Invoke);
         b.process_event(destroy);
         b.obj_write(destroy, VarId::new(0), None, Pc::new(0x2010));
@@ -343,7 +473,13 @@ mod tests {
 
         b.process_event(focus);
         b.obj_read(focus, handler, Some(o), Pc::new(0x2010));
-        b.guard(focus, BranchKind::IfEqz, Pc::new(0x2014), Pc::new(0x2030), o);
+        b.guard(
+            focus,
+            BranchKind::IfEqz,
+            Pc::new(0x2014),
+            Pc::new(0x2030),
+            o,
+        );
         b.obj_read(focus, handler, Some(o), Pc::new(0x2018));
         b.deref(focus, o, Pc::new(0x201c), DerefKind::Invoke);
 
@@ -384,13 +520,23 @@ mod tests {
         let focus = b.post(t2, q, "onFocus", 0);
         b.process_event(focus);
         b.obj_read(focus, handler, Some(o), Pc::new(0x2010));
-        b.guard(focus, BranchKind::IfEqz, Pc::new(0x2014), Pc::new(0x2030), o);
+        b.guard(
+            focus,
+            BranchKind::IfEqz,
+            Pc::new(0x2014),
+            Pc::new(0x2030),
+            o,
+        );
         b.obj_read(focus, handler, Some(o), Pc::new(0x2018));
         b.deref(focus, o, Pc::new(0x201c), DerefKind::Invoke);
 
         let trace = b.finish().unwrap();
         let report = Analyzer::new().analyze(&trace).unwrap();
-        assert_eq!(report.races.len(), 1, "guard does not protect against threads");
+        assert_eq!(
+            report.races.len(),
+            1,
+            "guard does not protect against threads"
+        );
         assert_eq!(report.races[0].class, RaceClass::Conventional);
     }
 

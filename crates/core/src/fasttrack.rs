@@ -262,7 +262,10 @@ pub fn fasttrack(trace: &Trace) -> Result<FastTrackReport, HbError> {
                         }
                     }
                     Record::Read { var } | Record::ObjRead { var, .. } => {
-                        let epoch = Epoch { tid, clock: clocks[tid].get(tid) };
+                        let epoch = Epoch {
+                            tid,
+                            clock: clocks[tid].get(tid),
+                        };
                         let state = vars.entry(var).or_insert_with(|| VarState {
                             write: Epoch::ZERO,
                             write_site: site,
@@ -309,7 +312,10 @@ pub fn fasttrack(trace: &Trace) -> Result<FastTrackReport, HbError> {
                         }
                     }
                     Record::Write { var } | Record::ObjWrite { var, .. } => {
-                        let epoch = Epoch { tid, clock: clocks[tid].get(tid) };
+                        let epoch = Epoch {
+                            tid,
+                            clock: clocks[tid].get(tid),
+                        };
                         let state = vars.entry(var).or_insert_with(|| VarState {
                             write: Epoch::ZERO,
                             write_site: site,
@@ -393,7 +399,9 @@ enum Action {
 fn linearize(trace: &Trace, graph: &SyncGraph) -> Result<Vec<Action>, HbError> {
     let topo = graph
         .topo_order()
-        .map_err(|nodes| HbError::CyclicHappensBefore { cycle_len: nodes.len() })?;
+        .map_err(|nodes| HbError::CyclicHappensBefore {
+            cycle_len: nodes.len(),
+        })?;
     let mut cursor: Vec<u32> = vec![0; trace.task_count()];
     let mut out = Vec::with_capacity(trace.stats().records + 2 * trace.task_count());
     for n in topo {

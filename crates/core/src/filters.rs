@@ -70,7 +70,9 @@ fn safe_region(g: &GuardSite) -> (Pc, Pc) {
 /// variable, earlier in the same task, whose safe region covers the
 /// use's read address?
 pub fn if_guarded(ops: &MemoryOps, use_site: &UseSite) -> bool {
-    let Some(var_ops) = ops.var_ops(use_site.var) else { return false };
+    let Some(var_ops) = ops.var_ops(use_site.var) else {
+        return false;
+    };
     var_ops.guards.iter().map(|&gi| &ops.guards[gi]).any(|g| {
         if g.at.task != use_site.at.task || g.at.index >= use_site.at.index {
             return false;
@@ -85,7 +87,9 @@ pub fn if_guarded(ops: &MemoryOps, use_site: &UseSite) -> bool {
 /// earlier in the same task guarantees the use cannot observe a null
 /// written outside the event.
 pub fn alloc_before_use(ops: &MemoryOps, use_site: &UseSite) -> bool {
-    let Some(var_ops) = ops.var_ops(use_site.var) else { return false };
+    let Some(var_ops) = ops.var_ops(use_site.var) else {
+        return false;
+    };
     var_ops
         .allocs
         .iter()
@@ -97,7 +101,9 @@ pub fn alloc_before_use(ops: &MemoryOps, use_site: &UseSite) -> bool {
 /// variable later in the same task means the null value never becomes
 /// visible to other events of the looper.
 pub fn alloc_after_free(ops: &MemoryOps, free_site: &FreeSite) -> bool {
-    let Some(var_ops) = ops.var_ops(free_site.var) else { return false };
+    let Some(var_ops) = ops.var_ops(free_site.var) else {
+        return false;
+    };
     var_ops
         .allocs
         .iter()
@@ -129,7 +135,11 @@ mod tests {
         let trace = b.finish().unwrap();
         let ops = extract(&trace);
         // The second read is the guarded use.
-        let guarded_use = ops.uses.iter().find(|u| u.read_pc == Pc::new(0x1018)).unwrap();
+        let guarded_use = ops
+            .uses
+            .iter()
+            .find(|u| u.read_pc == Pc::new(0x1018))
+            .unwrap();
         assert!(if_guarded(&ops, guarded_use));
     }
 
@@ -149,7 +159,11 @@ mod tests {
         b.deref(e, o, Pc::new(0x1028), DerefKind::Field);
         let trace = b.finish().unwrap();
         let ops = extract(&trace);
-        let u = ops.uses.iter().find(|u| u.read_pc == Pc::new(0x1024)).unwrap();
+        let u = ops
+            .uses
+            .iter()
+            .find(|u| u.read_pc == Pc::new(0x1024))
+            .unwrap();
         assert!(!if_guarded(&ops, u));
     }
 
@@ -170,7 +184,11 @@ mod tests {
         b.deref(e, o, Pc::new(0x2014), DerefKind::Field);
         let trace = b.finish().unwrap();
         let ops = extract(&trace);
-        let u = ops.uses.iter().find(|u| u.read_pc == Pc::new(0x2010)).unwrap();
+        let u = ops
+            .uses
+            .iter()
+            .find(|u| u.read_pc == Pc::new(0x2010))
+            .unwrap();
         assert!(!if_guarded(&ops, u));
     }
 
@@ -189,7 +207,11 @@ mod tests {
         b.deref(e, o, Pc::new(0x1038), DerefKind::Invoke);
         let trace = b.finish().unwrap();
         let ops = extract(&trace);
-        let u = ops.uses.iter().find(|u| u.read_pc == Pc::new(0x1034)).unwrap();
+        let u = ops
+            .uses
+            .iter()
+            .find(|u| u.read_pc == Pc::new(0x1034))
+            .unwrap();
         assert!(if_guarded(&ops, u));
     }
 
@@ -208,7 +230,11 @@ mod tests {
         b.deref(e, o, Pc::new(0x101c), DerefKind::Field);
         let trace = b.finish().unwrap();
         let ops = extract(&trace);
-        let u = ops.uses.iter().find(|u| u.read_pc == Pc::new(0x1018)).unwrap();
+        let u = ops
+            .uses
+            .iter()
+            .find(|u| u.read_pc == Pc::new(0x1018))
+            .unwrap();
         assert!(if_guarded(&ops, u));
     }
 

@@ -49,7 +49,11 @@ pub fn render_json(report: &RaceReport, trace: &Trace) -> String {
     out.push_str("{\n");
     let _ = writeln!(out, "  \"app\": \"{}\",", escape(&report.app));
     let _ = writeln!(out, "  \"events\": {},", report.stats.events);
-    let _ = writeln!(out, "  \"candidate_vars\": {},", report.stats.candidate_vars);
+    let _ = writeln!(
+        out,
+        "  \"candidate_vars\": {},",
+        report.stats.candidate_vars
+    );
     let _ = writeln!(out, "  \"pairs_checked\": {},", report.stats.pairs_checked);
     let _ = writeln!(out, "  \"elapsed_s\": {:.6},", report.elapsed.as_secs_f64());
 
@@ -81,13 +85,25 @@ pub fn render_json(report: &RaceReport, trace: &Trace) -> String {
 
     out.push_str("  \"filtered\": [\n");
     for (i, f) in report.filtered.iter().enumerate() {
-        let comma = if i + 1 < report.filtered.len() { "," } else { "" };
-        let _ = writeln!(out, "    {{\"var\": \"{}\", \"reason\": \"{}\"}}{comma}", f.var, f.reason);
+        let comma = if i + 1 < report.filtered.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "    {{\"var\": \"{}\", \"reason\": \"{}\"}}{comma}",
+            f.var, f.reason
+        );
     }
     out.push_str("  ],\n");
 
-    let trunc: Vec<String> =
-        report.stats.truncated_vars.iter().map(|v| format!("\"{v}\"")).collect();
+    let trunc: Vec<String> = report
+        .stats
+        .truncated_vars
+        .iter()
+        .map(|v| format!("\"{v}\""))
+        .collect();
     let _ = writeln!(out, "  \"truncated_vars\": [{}]", trunc.join(", "));
     out.push_str("}\n");
     out
@@ -161,7 +177,13 @@ mod tests {
             let use_ev = b.post(t1, q, "useEv", 0);
             b.process_event(use_ev);
             b.obj_read(use_ev, v, Some(o), Pc::new(0x1010));
-            b.guard(use_ev, BranchKind::IfEqz, Pc::new(0x1014), Pc::new(0x1040), o);
+            b.guard(
+                use_ev,
+                BranchKind::IfEqz,
+                Pc::new(0x1014),
+                Pc::new(0x1040),
+                o,
+            );
             b.obj_read(use_ev, v, Some(o), Pc::new(0x1018));
             b.deref(use_ev, o, Pc::new(0x101c), DerefKind::Invoke);
             let free_ev = b.post(t2, q, "freeEv", 0);

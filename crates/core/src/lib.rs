@@ -54,12 +54,16 @@
 mod detector;
 mod filters;
 mod report;
-mod usefree;
 
 pub mod context;
 pub mod fasttrack;
 pub mod json;
 pub mod lowlevel;
+
+// Use/free extraction lives in `cafa-engine` (shared with sessions);
+// re-export it, and the session machinery, under the historical paths.
+pub use cafa_engine::usefree;
+pub use cafa_engine::{AnalysisSession, PassRecord, PassStats, SessionStats};
 
 pub use detector::{Analyzer, DetectorConfig};
 pub use filters::FilterReason;

@@ -11,7 +11,8 @@
 
 use std::collections::{HashMap, HashSet};
 
-use cafa_hb::{CausalityConfig, HbError, HbModel};
+use cafa_engine::AnalysisSession;
+use cafa_hb::{CausalityConfig, HbError};
 use cafa_trace::{NameId, OpRef, Record, Trace, VarId};
 
 /// One access site: the accessing code position, approximated by the
@@ -53,7 +54,22 @@ const INSTANCES_PER_SITE: usize = 8;
 ///
 /// Returns [`HbError`] if the happens-before model cannot be built.
 pub fn count_races(trace: &Trace, config: CausalityConfig) -> Result<LowLevelSummary, HbError> {
-    let model = HbModel::build(trace, config)?;
+    let session = AnalysisSession::new(trace);
+    count_races_with(&session, config)
+}
+
+/// Like [`count_races`], but over a shared [`AnalysisSession`] so the
+/// happens-before model is reused across counters and the detector.
+///
+/// # Errors
+///
+/// Returns [`HbError`] if the happens-before model cannot be built.
+pub fn count_races_with(
+    session: &AnalysisSession<'_>,
+    config: CausalityConfig,
+) -> Result<LowLevelSummary, HbError> {
+    let trace = session.trace();
+    let model = session.model(config)?;
 
     // Group accesses per variable and site.
     #[derive(Default)]

@@ -3,6 +3,7 @@
 use std::fmt;
 use std::time::Duration;
 
+use cafa_engine::PassStats;
 use cafa_hb::DerivationStats;
 use cafa_trace::{Trace, VarId};
 
@@ -78,6 +79,9 @@ pub struct DetectStats {
     pub truncated_vars: Vec<VarId>,
     /// Fixpoint statistics from the happens-before derivation.
     pub derivation: DerivationStats,
+    /// Per-pass wall time and item counts (equality ignores the wall
+    /// times; see [`PassStats`]). Rendered by `cafa analyze --timings`.
+    pub passes: PassStats,
 }
 
 /// The result of analyzing one trace.

@@ -143,7 +143,13 @@ fn guard_on_different_variable_does_not_protect() {
     b.process_event(use_ev);
     // Guard proves `guarded` non-null...
     b.obj_read(use_ev, guarded, Some(og), Pc::new(0x1010));
-    b.guard(use_ev, cafa_trace::BranchKind::IfEqz, Pc::new(0x1014), Pc::new(0x1040), og);
+    b.guard(
+        use_ev,
+        cafa_trace::BranchKind::IfEqz,
+        Pc::new(0x1014),
+        Pc::new(0x1040),
+        og,
+    );
     // ...but the use inside the region is of `racy`.
     b.obj_read(use_ev, racy, Some(orc), Pc::new(0x1018));
     b.deref(use_ev, orc, Pc::new(0x101c), DerefKind::Field);

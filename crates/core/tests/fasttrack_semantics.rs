@@ -120,5 +120,9 @@ fn distinct_variables_race_independently() {
     let trace = b.finish().unwrap();
     let r = fasttrack(&trace).unwrap();
     assert_eq!(r.racy_vars, 3);
-    assert_eq!(r.races.len(), 3, "one write-write site pair per shared variable");
+    assert_eq!(
+        r.races.len(),
+        3,
+        "one write-write site pair per shared variable"
+    );
 }

@@ -1,0 +1,127 @@
+//! Deterministic parallel fleet runner.
+//!
+//! Fans independent per-app / per-config analyses across cores with
+//! `std::thread::scope` — no extra dependencies — while keeping output
+//! deterministic: results come back in **input order** no matter how
+//! many workers ran or how work interleaved. Callers compute in
+//! parallel, then print sequentially from the returned `Vec`, so the
+//! bytes written are identical at 1 thread and at N.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `f` to every item on `threads` workers, returning results
+/// in input order.
+///
+/// Work is distributed by an atomic cursor, so long items do not stall
+/// the queue behind them. `f` must be `Sync` because all workers share
+/// it; items are borrowed, letting workers read shared inputs without
+/// cloning.
+///
+/// # Panics
+///
+/// Panics if a worker panics (the panic is propagated).
+///
+/// # Examples
+///
+/// ```
+/// let squares = cafa_engine::fleet::map(&[1, 2, 3, 4], 2, |&n| n * n);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn map<I, R, F>(items: &[I], threads: usize, f: F) -> Vec<R>
+where
+    I: Sync,
+    R: Send,
+    F: Fn(&I) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        done.push((i, f(item)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, r) in handle.join().expect("fleet worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|r| r.expect("every index was claimed"))
+        .collect()
+}
+
+/// The worker count to use: `CAFA_FLEET_THREADS` when set and
+/// positive, otherwise the machine's available parallelism.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("CAFA_FLEET_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 2, 7, 64] {
+            let out = map(&items, threads, |&n| n * 3);
+            assert_eq!(out, items.iter().map(|n| n * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let counters: Vec<AtomicUsize> = (0..50).map(|_| AtomicUsize::new(0)).collect();
+        let idx: Vec<usize> = (0..50).collect();
+        map(&idx, 8, |&i| counters[i].fetch_add(1, Ordering::SeqCst));
+        for c in &counters {
+            assert_eq!(c.load(Ordering::SeqCst), 1);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs_work() {
+        let none: Vec<u8> = Vec::new();
+        assert!(map(&none, 4, |&b| b).is_empty());
+        assert_eq!(map(&[9], 4, |&b: &u8| b + 1), vec![10]);
+    }
+
+    #[test]
+    fn oversubscription_is_clamped() {
+        // More threads than items must not deadlock or drop results.
+        let out = map(&[1, 2], 32, |&n: &i32| n - 1);
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

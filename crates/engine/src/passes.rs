@@ -1,0 +1,130 @@
+//! Named analysis passes with per-pass wall time and item counters —
+//! the observability layer behind `cafa analyze --timings`.
+
+use std::time::{Duration, Instant};
+
+/// One timed pass: what ran, for how long, over how many items.
+#[derive(Clone, Debug)]
+pub struct PassRecord {
+    /// Pass name (`extract`, `hb-build`, `candidates`, ...).
+    pub name: &'static str,
+    /// Wall-clock time spent in the pass.
+    pub wall: Duration,
+    /// Items the pass produced or processed (pass-specific meaning).
+    pub items: usize,
+}
+
+/// Per-pass statistics for one analysis, in execution order.
+///
+/// Equality ignores wall times: two analyses of the same trace are
+/// "equal" when they ran the same passes over the same item counts,
+/// regardless of how fast the machine was that day. This keeps
+/// determinism tests meaningful.
+#[derive(Clone, Debug, Default)]
+pub struct PassStats {
+    /// Completed passes, in execution order.
+    pub records: Vec<PassRecord>,
+}
+
+impl PassStats {
+    /// Runs `f` as pass `name`, recording its wall time; `f` returns
+    /// the pass result plus its item count.
+    pub fn run<T>(&mut self, name: &'static str, f: impl FnOnce() -> (T, usize)) -> T {
+        let start = Instant::now();
+        let (value, items) = f();
+        self.records.push(PassRecord {
+            name,
+            wall: start.elapsed(),
+            items,
+        });
+        value
+    }
+
+    /// Total wall time across all recorded passes.
+    pub fn total_wall(&self) -> Duration {
+        self.records.iter().map(|r| r.wall).sum()
+    }
+
+    /// The record for `name`, if that pass ran.
+    pub fn get(&self, name: &str) -> Option<&PassRecord> {
+        self.records.iter().find(|r| r.name == name)
+    }
+
+    /// Renders an aligned per-pass breakdown (for `--timings` output).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let total = self.total_wall();
+        for r in &self.records {
+            let share = if total.is_zero() {
+                0.0
+            } else {
+                100.0 * r.wall.as_secs_f64() / total.as_secs_f64()
+            };
+            let _ = writeln!(
+                out,
+                "  {:<12} {:>12.3?} {:>5.1}%  {:>8} item(s)",
+                r.name, r.wall, share, r.items
+            );
+        }
+        let _ = writeln!(out, "  {:<12} {:>12.3?}", "total", total);
+        out
+    }
+}
+
+impl PartialEq for PassStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.records.len() == other.records.len()
+            && self
+                .records
+                .iter()
+                .zip(&other.records)
+                .all(|(a, b)| a.name == b.name && a.items == b.items)
+    }
+}
+
+impl Eq for PassStats {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_record_in_order_with_items() {
+        let mut stats = PassStats::default();
+        let x = stats.run("extract", || (21, 3));
+        let y = stats.run("hb-build", || (x * 2, 1));
+        assert_eq!(y, 42);
+        assert_eq!(stats.records.len(), 2);
+        assert_eq!(stats.records[0].name, "extract");
+        assert_eq!(stats.records[0].items, 3);
+        assert_eq!(stats.get("hb-build").unwrap().items, 1);
+        assert!(stats.get("missing").is_none());
+    }
+
+    #[test]
+    fn equality_ignores_wall_time() {
+        let mut a = PassStats::default();
+        a.run("extract", || {
+            (std::thread::sleep(Duration::from_millis(2)), 5)
+        });
+        let mut b = PassStats::default();
+        b.run("extract", || ((), 5));
+        assert_eq!(a, b);
+        let mut c = PassStats::default();
+        c.run("extract", || ((), 6));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn render_lists_every_pass_and_total() {
+        let mut stats = PassStats::default();
+        stats.run("extract", || ((), 7));
+        stats.run("classify", || ((), 2));
+        let text = stats.render();
+        assert!(text.contains("extract"));
+        assert!(text.contains("classify"));
+        assert!(text.contains("total"));
+        assert!(text.contains("7 item(s)"));
+    }
+}

@@ -33,9 +33,8 @@ pub struct UseSite {
     /// observed the same object, so the nearest-previous-read match may
     /// have picked the wrong pointer — the Type III failure mode. §6.3
     /// suggests static data-flow analysis would resolve these; the
-    /// `drop_ambiguous_uses` policy of
-    /// [`DetectorConfig`](crate::DetectorConfig) approximates that fix
-    /// offline.
+    /// `drop_ambiguous_uses` policy of `cafa-core`'s `DetectorConfig`
+    /// approximates that fix offline.
     pub ambiguous: bool,
 }
 
@@ -134,7 +133,11 @@ pub fn extract(trace: &Trace) -> MemoryOps {
         for (i, r) in trace.body(task.id).iter().enumerate() {
             let at = OpRef::new(task.id, i as u32);
             match *r {
-                Record::ObjRead { var, obj: Some(obj), pc } => {
+                Record::ObjRead {
+                    var,
+                    obj: Some(obj),
+                    pc,
+                } => {
                     let prev_var = last_read.get(&obj).map(|&(_, v, _, _)| v);
                     last_read.insert(obj, (at, var, pc, prev_var));
                 }
@@ -168,10 +171,21 @@ pub fn extract(trace: &Trace) -> MemoryOps {
                         ops.by_var.entry(var).or_default().uses.push(idx);
                     }
                 }
-                Record::Guard { kind, pc, target, obj } => {
+                Record::Guard {
+                    kind,
+                    pc,
+                    target,
+                    obj,
+                } => {
                     if let Some(&(_, var, _, _)) = last_read.get(&obj) {
                         let idx = ops.guards.len();
-                        ops.guards.push(GuardSite { at, var, kind, pc, target });
+                        ops.guards.push(GuardSite {
+                            at,
+                            var,
+                            kind,
+                            pc,
+                            target,
+                        });
                         ops.by_var.entry(var).or_default().guards.push(idx);
                     }
                 }

@@ -15,7 +15,10 @@ pub struct BitSet {
 impl BitSet {
     /// Creates an empty set with capacity for values `0..len`.
     pub fn new(len: usize) -> Self {
-        Self { words: vec![0; len.div_ceil(64)], len }
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// Capacity of the set (exclusive upper bound on member values).
@@ -93,7 +96,11 @@ impl BitSet {
 
     /// Iterates over set bits in increasing order.
     pub fn iter(&self) -> BitIter<'_> {
-        BitIter { words: &self.words, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+        BitIter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
     }
 
     /// Raw word storage, little-endian bit order. Exposed so hot loops
@@ -112,8 +119,12 @@ impl BitSet {
     pub fn for_each_in_diff<F: FnMut(usize)>(&self, and: &BitSet, not: &BitSet, mut f: F) {
         assert_eq!(self.len, and.len, "bitset capacity mismatch");
         assert_eq!(self.len, not.len, "bitset capacity mismatch");
-        for (wi, ((&a, &b), &c)) in
-            self.words.iter().zip(&and.words).zip(&not.words).enumerate()
+        for (wi, ((&a, &b), &c)) in self
+            .words
+            .iter()
+            .zip(&and.words)
+            .zip(&not.words)
+            .enumerate()
         {
             let mut w = a & b & !c;
             while w != 0 {
@@ -176,7 +187,10 @@ pub struct BitMatrix {
 impl BitMatrix {
     /// Creates an all-zero `rows × cols` matrix.
     pub fn new(rows: usize, cols: usize) -> Self {
-        Self { rows: vec![BitSet::new(cols); rows], cols }
+        Self {
+            rows: vec![BitSet::new(cols); rows],
+            cols,
+        }
     }
 
     /// Number of rows.

@@ -133,7 +133,9 @@ pub fn base_graph(trace: &Trace, config: &CausalityConfig) -> SyncGraph {
     // FastTrack-style ablation: unlock(g) ≺ next lock acquisition.
     if config.lock_hb {
         for (monitor, mut uls) in unlocks {
-            let Some(mut ls) = locks.remove(&monitor) else { continue };
+            let Some(mut ls) = locks.remove(&monitor) else {
+                continue;
+            };
             uls.sort_by_key(|&(gen, _)| gen);
             ls.sort_by_key(|&(gen, _)| gen);
             for &(gen, at) in &uls {

@@ -64,7 +64,10 @@ pub fn render(graph: &SyncGraph, trace: &Trace) -> String {
             if label.is_empty() {
                 let _ = writeln!(out, "  n{n} -> n{to} [style=\"{style}\"];");
             } else {
-                let _ = writeln!(out, "  n{n} -> n{to} [style=\"{style}\", label=\"{label}\"];");
+                let _ = writeln!(
+                    out,
+                    "  n{n} -> n{to} [style=\"{style}\", label=\"{label}\"];"
+                );
             }
         }
     }
@@ -103,7 +106,10 @@ mod tests {
         assert!(dot.starts_with("digraph hb {"));
         assert!(dot.contains("cluster_0"));
         assert!(dot.contains("event A") || dot.contains("label=\"event A\""));
-        assert!(dot.contains("queue 1"), "the derived rule-1 edge is labelled");
+        assert!(
+            dot.contains("queue 1"),
+            "the derived rule-1 edge is labelled"
+        );
         assert!(dot.contains("send"));
         assert!(dot.ends_with("}\n"));
         // Balanced braces (clusters + graph).

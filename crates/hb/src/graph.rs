@@ -98,18 +98,27 @@ impl SyncGraph {
         };
         for info in trace.tasks() {
             let task = info.id;
-            let begin = g.push_node(NodeInfo { task, point: NodePoint::Begin });
+            let begin = g.push_node(NodeInfo {
+                task,
+                point: NodePoint::Begin,
+            });
             g.begin_nodes.push(begin);
             let mut prev = begin;
             for (i, r) in trace.body(task).iter().enumerate() {
                 if r.is_sync() {
-                    let n = g.push_node(NodeInfo { task, point: NodePoint::Record(i as u32) });
+                    let n = g.push_node(NodeInfo {
+                        task,
+                        point: NodePoint::Record(i as u32),
+                    });
                     g.record_nodes[task.index()].push((i as u32, n));
                     g.add_edge(prev, n, EdgeKind::Program);
                     prev = n;
                 }
             }
-            let end = g.push_node(NodeInfo { task, point: NodePoint::End });
+            let end = g.push_node(NodeInfo {
+                task,
+                point: NodePoint::End,
+            });
             g.end_nodes.push(end);
             g.add_edge(prev, end, EdgeKind::Program);
         }
@@ -224,8 +233,9 @@ impl SyncGraph {
         for &(_, to) in &self.edge_set {
             indegree[to as usize] += 1;
         }
-        let mut stack: Vec<NodeId> =
-            (0..n as NodeId).filter(|&i| indegree[i as usize] == 0).collect();
+        let mut stack: Vec<NodeId> = (0..n as NodeId)
+            .filter(|&i| indegree[i as usize] == 0)
+            .collect();
         let mut order = Vec::with_capacity(n);
         while let Some(node) = stack.pop() {
             order.push(node);
@@ -239,7 +249,9 @@ impl SyncGraph {
         if order.len() == n {
             Ok(order)
         } else {
-            Err((0..n as NodeId).filter(|&i| indegree[i as usize] > 0).collect())
+            Err((0..n as NodeId)
+                .filter(|&i| indegree[i as usize] > 0)
+                .collect())
         }
     }
 

@@ -54,8 +54,8 @@
 
 pub mod bitset;
 mod build;
-pub mod dot;
 mod config;
+pub mod dot;
 mod error;
 mod graph;
 mod locks;

@@ -88,7 +88,9 @@ impl<'t> HbModel<'t> {
         let stats = derive(&mut graph, trace, &config)?;
         let topo = graph
             .topo_order()
-            .map_err(|nodes| HbError::CyclicHappensBefore { cycle_len: nodes.len() })?;
+            .map_err(|nodes| HbError::CyclicHappensBefore {
+                cycle_len: nodes.len(),
+            })?;
 
         let table = EventTable::new(trace);
         // Final event-order closure: mark each end(e); read each begin(e).
@@ -103,7 +105,15 @@ impl<'t> HbModel<'t> {
             .map(|&e| acc[graph.begin(e) as usize].clone())
             .collect();
 
-        Ok(Self { trace, config, graph, table, before_begin, stats, topo })
+        Ok(Self {
+            trace,
+            config,
+            graph,
+            table,
+            before_begin,
+            stats,
+            topo,
+        })
     }
 
     /// The analyzed trace.
@@ -223,9 +233,15 @@ impl<'t> HbModel<'t> {
         }
         if a.task == b.task {
             return Some(vec![CauseStep {
-                from: crate::NodeInfo { task: a.task, point: crate::NodePoint::Record(a.index) },
+                from: crate::NodeInfo {
+                    task: a.task,
+                    point: crate::NodePoint::Record(a.index),
+                },
                 kind: crate::EdgeKind::Program,
-                to: crate::NodeInfo { task: b.task, point: crate::NodePoint::Record(b.index) },
+                to: crate::NodeInfo {
+                    task: b.task,
+                    point: crate::NodePoint::Record(b.index),
+                },
             }]);
         }
         let from = self.graph.bracket_after(a);
@@ -266,7 +282,12 @@ impl<'t> HbModel<'t> {
             node_group.push(g);
         }
         let acc = flow(&self.graph, &self.topo, &marks, group_count as usize);
-        BatchReach { model: self, sources: sources.to_vec(), group: node_group, acc }
+        BatchReach {
+            model: self,
+            sources: sources.to_vec(),
+            group: node_group,
+            acc,
+        }
     }
 }
 

@@ -42,7 +42,11 @@ impl EventTable {
             events.push(t.id);
             queue_of.push(t.queue().expect("events have queues"));
         }
-        Self { events, index, queue_of }
+        Self {
+            events,
+            index,
+            queue_of,
+        }
     }
 
     /// Number of events.
@@ -128,9 +132,10 @@ pub fn derive(
     let mut stats = DerivationStats::default();
     if !config.atomicity_rule && !config.queue_rules {
         // Still verify acyclicity so every model is checked.
-        g.topo_order().map_err(|nodes| HbError::CyclicHappensBefore {
-            cycle_len: nodes.len(),
-        })?;
+        g.topo_order()
+            .map_err(|nodes| HbError::CyclicHappensBefore {
+                cycle_len: nodes.len(),
+            })?;
         stats.rounds = 1;
         return Ok(stats);
     }
@@ -148,12 +153,22 @@ pub fn derive(
     let mut sends: Vec<SendSite> = Vec::new();
     for (at, r) in trace.iter_ops() {
         let (event, queue, delay_ms, front) = match *r {
-            Record::Send { event, queue, delay_ms } => (event, queue, delay_ms, false),
+            Record::Send {
+                event,
+                queue,
+                delay_ms,
+            } => (event, queue, delay_ms, false),
             Record::SendAtFront { event, queue } => (event, queue, 0, true),
             _ => continue,
         };
         let node = g.node_of(at).expect("send records are sync nodes");
-        sends.push(SendSite { node, event, queue, delay_ms, front });
+        sends.push(SendSite {
+            node,
+            event,
+            queue,
+            delay_ms,
+            front,
+        });
     }
     let send_count = sends.len();
 
@@ -189,11 +204,15 @@ pub fn derive(
     loop {
         stats.rounds += 1;
         if stats.rounds > MAX_ROUNDS {
-            return Err(HbError::DerivationDiverged { rounds: stats.rounds - 1 });
+            return Err(HbError::DerivationDiverged {
+                rounds: stats.rounds - 1,
+            });
         }
         let topo = g
             .topo_order()
-            .map_err(|nodes| HbError::CyclicHappensBefore { cycle_len: nodes.len() })?;
+            .map_err(|nodes| HbError::CyclicHappensBefore {
+                cycle_len: nodes.len(),
+            })?;
 
         let mut changed = false;
 
@@ -287,10 +306,8 @@ pub fn derive(
             }
 
             // Queue rules 1 and 3, with e_j as the later-sent event.
-            if let (Some(acc_send), Some(sj)) = (
-                &acc_send,
-                send_of_event.get(j).copied().flatten(),
-            ) {
+            if let (Some(acc_send), Some(sj)) = (&acc_send, send_of_event.get(j).copied().flatten())
+            {
                 let s2 = &sends[sj as usize];
                 if !s2.front {
                     let reach = &acc_send[s2.node as usize];
@@ -361,9 +378,7 @@ pub fn derive(
                     }
                     let i1 = table.dense(s1.event).expect("sent tasks are events") as usize;
                     let i2 = table.dense(s2.event).expect("sent tasks are events") as usize;
-                    let implied = evord[i1]
-                        .as_ref()
-                        .is_some_and(|set| set.contains(i2))
+                    let implied = evord[i1].as_ref().is_some_and(|set| set.contains(i2))
                         || acc_end[begin_e1 as usize].contains(i2);
                     if implied {
                         continue;
@@ -380,7 +395,9 @@ pub fn derive(
         if !changed {
             // Final acyclicity check after the last additions.
             g.topo_order()
-                .map_err(|nodes| HbError::CyclicHappensBefore { cycle_len: nodes.len() })?;
+                .map_err(|nodes| HbError::CyclicHappensBefore {
+                    cycle_len: nodes.len(),
+                })?;
             return Ok(stats);
         }
     }

@@ -120,7 +120,9 @@ impl OnlineVc {
                     }
                     Record::Send { event, .. } | Record::SendAtFront { event, .. } => {
                         let snapshot = clocks[task.index()].clone();
-                        msg.entry(event).and_modify(|c| join(c, &snapshot)).or_insert(snapshot);
+                        msg.entry(event)
+                            .and_modify(|c| join(c, &snapshot))
+                            .or_insert(snapshot);
                         clocks[task.index()][task.index()] += 1;
                     }
                     Record::Register { listener } => {
@@ -171,7 +173,12 @@ impl OnlineVc {
             }
         }
 
-        Self { events, clock_at_begin, clock_at_end, index }
+        Self {
+            events,
+            clock_at_begin,
+            clock_at_end,
+            index,
+        }
     }
 
     /// The events the pass saw, in observation order.
@@ -260,7 +267,10 @@ mod tests {
         let trace = b.finish().unwrap();
 
         let model = HbModel::build(&trace, CausalityConfig::cafa()).unwrap();
-        assert!(model.event_before(a, ev_b), "fixpoint derives A ≺ B via atomicity");
+        assert!(
+            model.event_before(a, ev_b),
+            "fixpoint derives A ≺ B via atomicity"
+        );
 
         let online = OnlineVc::build(&trace);
         assert!(
@@ -284,10 +294,16 @@ mod tests {
         let trace = b.finish().unwrap();
 
         let model = HbModel::build(&trace, CausalityConfig::cafa()).unwrap();
-        assert!(model.event_before(a, e), "queue rule 1 orders equal-delay sends");
+        assert!(
+            model.event_before(a, e),
+            "queue rule 1 orders equal-delay sends"
+        );
 
         let online = OnlineVc::build(&trace);
-        assert!(!online.event_before(a, e), "clock joins alone miss the FIFO guarantee");
+        assert!(
+            !online.event_before(a, e),
+            "clock joins alone miss the FIFO guarantee"
+        );
     }
 
     /// What the pass *does* derive is always also derived by the

@@ -25,11 +25,15 @@ fn explain_follows_an_rpc_chain() {
     let model = HbModel::build(&trace, CausalityConfig::cafa()).unwrap();
 
     // caller's pre-call write ≺ service body write: via the Rpc edge.
-    let chain = model.explain(before, in_svc).expect("ordered through the call");
+    let chain = model
+        .explain(before, in_svc)
+        .expect("ordered through the call");
     assert!(chain.iter().any(|s| s.kind == EdgeKind::Rpc));
 
     // service body write ≺ caller's post-receive write: via the reply.
-    let chain = model.explain(in_svc, after).expect("ordered through the reply");
+    let chain = model
+        .explain(in_svc, after)
+        .expect("ordered through the reply");
     assert!(chain.iter().any(|s| s.kind == EdgeKind::Rpc));
 
     // Unordered pairs yield no chain.

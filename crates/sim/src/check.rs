@@ -66,7 +66,11 @@ impl fmt::Display for ProgramError {
             ProgramError::UnknownLooper { site, index } => {
                 write!(f, "{site}: references undeclared looper #{index}")
             }
-            ProgramError::VariableKindMismatch { site, index, expected } => {
+            ProgramError::VariableKindMismatch {
+                site,
+                index,
+                expected,
+            } => {
                 write!(f, "{site}: variable #{index} is not a {expected}")
             }
             ProgramError::UnknownEntity { site, kind, index } => {
@@ -106,7 +110,10 @@ impl Program {
         }
         for (si, svc) in self.services.iter().enumerate() {
             for (mi, m) in svc.methods.iter().enumerate() {
-                check_body(&format!("service #{si} method #{mi} \"{}\"", m.name), &m.body);
+                check_body(
+                    &format!("service #{si} method #{mi} \"{}\"", m.name),
+                    &m.body,
+                );
             }
         }
         for (i, g) in self.gestures.iter().enumerate() {
@@ -145,35 +152,35 @@ impl Program {
             }
         };
         match action {
-            Post { looper, handler, .. }
+            Post {
+                looper, handler, ..
+            }
             | PostFront { looper, handler }
-            | PostChain { looper, handler, .. } => handler_ref(*handler, *looper),
+            | PostChain {
+                looper, handler, ..
+            } => handler_ref(*handler, *looper),
             _ => {}
         }
         // Variable-kind checks.
-        let mut want = |v: crate::SimVar, ptr: bool| {
-            match self.vars.get(v.index() as usize) {
-                None => errors.push(ProgramError::UnknownEntity {
+        let mut want = |v: crate::SimVar, ptr: bool| match self.vars.get(v.index() as usize) {
+            None => errors.push(ProgramError::UnknownEntity {
+                site: site.to_owned(),
+                kind: "variable",
+                index: v.index(),
+            }),
+            Some(VarInit::Scalar(_)) if ptr => errors.push(ProgramError::VariableKindMismatch {
+                site: site.to_owned(),
+                index: v.index(),
+                expected: "pointer",
+            }),
+            Some(VarInit::PtrNull | VarInit::PtrAlloc) if !ptr => {
+                errors.push(ProgramError::VariableKindMismatch {
                     site: site.to_owned(),
-                    kind: "variable",
                     index: v.index(),
-                }),
-                Some(VarInit::Scalar(_)) if ptr => {
-                    errors.push(ProgramError::VariableKindMismatch {
-                        site: site.to_owned(),
-                        index: v.index(),
-                        expected: "pointer",
-                    })
-                }
-                Some(VarInit::PtrNull | VarInit::PtrAlloc) if !ptr => {
-                    errors.push(ProgramError::VariableKindMismatch {
-                        site: site.to_owned(),
-                        index: v.index(),
-                        expected: "scalar",
-                    })
-                }
-                _ => {}
+                    expected: "scalar",
+                })
             }
+            _ => {}
         };
         match action {
             ReadScalar(v) | WriteScalar(v, _) => want(*v, false),
@@ -258,7 +265,12 @@ mod tests {
             "h",
             Body::from_actions(vec![
                 Action::AllocPtr(v),
-                Action::PostChain { looper: l, handler: me, delay_ms: 1, budget },
+                Action::PostChain {
+                    looper: l,
+                    handler: me,
+                    delay_ms: 1,
+                    budget,
+                },
             ]),
         );
         assert_eq!(p.build().check(), Ok(()));
@@ -279,7 +291,10 @@ mod tests {
             }]),
         );
         let errors = p.build().check().unwrap_err();
-        assert!(matches!(errors[0], ProgramError::UnknownHandler { index: 7, .. }));
+        assert!(matches!(
+            errors[0],
+            ProgramError::UnknownHandler { index: 7, .. }
+        ));
         assert!(errors[0].to_string().contains("#7"));
     }
 
@@ -296,7 +311,9 @@ mod tests {
         );
         let errors = p.build().check().unwrap_err();
         assert_eq!(errors.len(), 2);
-        assert!(errors.iter().all(|e| matches!(e, ProgramError::VariableKindMismatch { .. })));
+        assert!(errors
+            .iter()
+            .all(|e| matches!(e, ProgramError::VariableKindMismatch { .. })));
     }
 
     #[test]

@@ -81,7 +81,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = SimError::Deadlock { blocked: 3, at_us: 99 };
+        let e = SimError::Deadlock {
+            blocked: 3,
+            at_us: 99,
+        };
         assert!(e.to_string().contains('3'));
         assert!(SimError::JoinWithoutFork.to_string().contains("JoinLast"));
     }

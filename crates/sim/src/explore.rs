@@ -37,7 +37,10 @@ pub struct Exploration {
 /// Propagates the first simulator failure.
 pub fn explore(program: &Program, schedules: usize) -> Result<Exploration, SimError> {
     let mut orders: HashSet<u64> = HashSet::new();
-    let mut summary = Exploration { schedules, ..Exploration::default() };
+    let mut summary = Exploration {
+        schedules,
+        ..Exploration::default()
+    };
     for seed in 0..schedules as u64 {
         let outcome = run(program, &SimConfig::with_seed(seed))?;
         if outcome.crashed() {

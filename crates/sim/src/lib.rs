@@ -129,8 +129,15 @@ mod tests {
         let starter = p.handler(
             "starter",
             Body::from_actions(vec![
-                Action::Post { looper: l, handler: a, delay_ms: 0 },
-                Action::PostFront { looper: l, handler: b },
+                Action::Post {
+                    looper: l,
+                    handler: a,
+                    delay_ms: 0,
+                },
+                Action::PostFront {
+                    looper: l,
+                    handler: b,
+                },
             ]),
         );
         p.gesture(0, l, starter);
@@ -182,7 +189,10 @@ mod tests {
             p.thread(pr, "s2", Body::new().post(l, free_h, 0));
             let prog = p.build();
             let o = run_seeded(&prog, seed);
-            assert!(!o.crashed(), "if-guard inside one looper is safe (seed {seed})");
+            assert!(
+                !o.crashed(),
+                "if-guard inside one looper is safe (seed {seed})"
+            );
         }
     }
 
@@ -220,8 +230,17 @@ mod tests {
         // worker: enter + lock + write + unlock + exit = 5.
         assert_eq!(t.stats().records, 12);
         // The forked thread records its fork site.
-        let forked = t.threads().find(|th| t.names().resolve(th.name) == "worker").unwrap();
-        assert!(matches!(forked.kind, TaskKind::Thread { forked_at: Some(_), .. }));
+        let forked = t
+            .threads()
+            .find(|th| t.names().resolve(th.name) == "worker")
+            .unwrap();
+        assert!(matches!(
+            forked.kind,
+            TaskKind::Thread {
+                forked_at: Some(_),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -293,7 +312,10 @@ mod tests {
         let tags: Vec<&str> = trace.body(waiter).iter().map(|r| r.kind_tag()).collect();
         // enter, lock, unlock (release inside wait), lock (reacquire),
         // wait, unlock, exit.
-        assert_eq!(tags, vec!["enter", "lock", "unlock", "lock", "wait", "unlock", "exit"]);
+        assert_eq!(
+            tags,
+            vec!["enter", "lock", "unlock", "lock", "wait", "unlock", "exit"]
+        );
         // Lock gens across both tasks are globally ordered and the
         // reacquisition gen postdates the notifier's.
         let mut gens = Vec::new();
@@ -315,7 +337,14 @@ mod tests {
         let v = p.scalar_var(0);
         let svc = p.service(svcp, "gps");
         let m = p.method(svc, "getLocation", Body::new().write(v, 7));
-        p.thread(app, "caller", Body::from_actions(vec![Action::Call { service: svc, method: m }]));
+        p.thread(
+            app,
+            "caller",
+            Body::from_actions(vec![Action::Call {
+                service: svc,
+                method: m,
+            }]),
+        );
         let prog = p.build();
         let o = run_seeded(&prog, 13);
         let t = o.trace.unwrap();
@@ -339,7 +368,10 @@ mod tests {
         let bind = p.method(svc, "onBind", Body::new().post(main, connected, 0));
         let resume = p.handler(
             "onResume",
-            Body::from_actions(vec![Action::CallAsync { service: svc, method: bind }]),
+            Body::from_actions(vec![Action::CallAsync {
+                service: svc,
+                method: bind,
+            }]),
         );
         p.gesture(0, main, resume);
         let prog = p.build();
@@ -364,7 +396,12 @@ mod tests {
                 "tick",
                 Body::from_actions(vec![
                     Action::ReadScalar(v),
-                    Action::PostChain { looper: l, handler: self_id, delay_ms: 1, budget },
+                    Action::PostChain {
+                        looper: l,
+                        handler: self_id,
+                        delay_ms: 1,
+                        budget,
+                    },
                 ]),
             )
         };
@@ -423,7 +460,10 @@ mod tests {
         // Full coverage: 2 registers + 2 performs.
         let o = run(&build(), &SimConfig::with_seed(1)).unwrap();
         let t = o.trace.unwrap();
-        let regs = t.iter_ops().filter(|(_, r)| matches!(r, Record::Register { .. })).count();
+        let regs = t
+            .iter_ops()
+            .filter(|(_, r)| matches!(r, Record::Register { .. }))
+            .count();
         assert_eq!(regs, 2);
 
         // Paper packages: only android.view is covered.
@@ -431,8 +471,14 @@ mod tests {
         cfg.instrument = InstrumentConfig::paper_packages();
         let o = run(&build(), &cfg).unwrap();
         let t = o.trace.unwrap();
-        let regs = t.iter_ops().filter(|(_, r)| matches!(r, Record::Register { .. })).count();
-        let perfs = t.iter_ops().filter(|(_, r)| matches!(r, Record::Perform { .. })).count();
+        let regs = t
+            .iter_ops()
+            .filter(|(_, r)| matches!(r, Record::Register { .. }))
+            .count();
+        let perfs = t
+            .iter_ops()
+            .filter(|(_, r)| matches!(r, Record::Perform { .. }))
+            .count();
         assert_eq!(regs, 1);
         assert_eq!(perfs, 1);
         assert_eq!(t.listener_count(), 1);
@@ -452,10 +498,19 @@ mod tests {
             p.thread(pr, "s2", Body::new().post(l, a, 0).post(l, u, 2));
             p.build()
         };
-        let t1 = run(&build(), &SimConfig::with_seed(99)).unwrap().trace.unwrap();
-        let t2 = run(&build(), &SimConfig::with_seed(99)).unwrap().trace.unwrap();
+        let t1 = run(&build(), &SimConfig::with_seed(99))
+            .unwrap()
+            .trace
+            .unwrap();
+        let t2 = run(&build(), &SimConfig::with_seed(99))
+            .unwrap()
+            .trace
+            .unwrap();
         assert_eq!(t1, t2, "same seed, same trace");
-        let t3 = run(&build(), &SimConfig::with_seed(100)).unwrap().trace.unwrap();
+        let t3 = run(&build(), &SimConfig::with_seed(100))
+            .unwrap()
+            .trace
+            .unwrap();
         // Different seeds usually differ (not guaranteed in general;
         // this program has enough concurrency that they do).
         assert_ne!(t1, t3);
@@ -467,7 +522,11 @@ mod tests {
         let pr = p.process();
         let m = p.monitor();
         // A thread waits with nobody to notify.
-        p.thread(pr, "stuck", Body::from_actions(vec![Action::Lock(m), Action::Wait(m)]));
+        p.thread(
+            pr,
+            "stuck",
+            Body::from_actions(vec![Action::Lock(m), Action::Wait(m)]),
+        );
         let prog = p.build();
         let err = run(&prog, &SimConfig::with_seed(0)).unwrap_err();
         assert!(matches!(err, SimError::Deadlock { .. }));
@@ -509,7 +568,10 @@ mod tests {
         // Alias decoy to the same object, then use via the aliased pair.
         let setup = p.handler(
             "setup",
-            Body::from_actions(vec![Action::CopyPtr { from: real, to: decoy }]),
+            Body::from_actions(vec![Action::CopyPtr {
+                from: real,
+                to: decoy,
+            }]),
         );
         let user = p.handler(
             "user",
@@ -527,7 +589,10 @@ mod tests {
         let t = o.trace.unwrap();
         // The nearest-previous-read matcher attributes the use to the
         // *decoy* variable.
-        assert_eq!(nearest_read_probe(&t), Some(cafa_trace::VarId::new(decoy.0)));
+        assert_eq!(
+            nearest_read_probe(&t),
+            Some(cafa_trace::VarId::new(decoy.0))
+        );
     }
 
     /// Minimal reimplementation of the §5.3 matcher for the alias test
@@ -538,7 +603,9 @@ mod tests {
                 std::collections::HashMap::new();
             for r in t.body(task.id) {
                 match *r {
-                    Record::ObjRead { var, obj: Some(o), .. } => {
+                    Record::ObjRead {
+                        var, obj: Some(o), ..
+                    } => {
                         last.insert(o, var);
                     }
                     Record::Deref { obj, .. } => return last.get(&obj).copied(),

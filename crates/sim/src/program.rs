@@ -320,7 +320,10 @@ impl Body {
     ///
     /// Panics if the body would exceed [`MAX_BODY_ACTIONS`].
     pub fn push(&mut self, action: Action) -> &mut Self {
-        assert!(self.actions.len() < MAX_BODY_ACTIONS, "body exceeds {MAX_BODY_ACTIONS} actions");
+        assert!(
+            self.actions.len() < MAX_BODY_ACTIONS,
+            "body exceeds {MAX_BODY_ACTIONS} actions"
+        );
         self.actions.push(action);
         self
     }
@@ -346,25 +349,41 @@ impl Body {
 
     /// Appends an uncaught [`Action::UsePtr`] (invoke flavor).
     pub fn use_ptr(mut self, var: SimVar) -> Self {
-        self.push(Action::UsePtr { var, kind: DerefKind::Invoke, catch_npe: false });
+        self.push(Action::UsePtr {
+            var,
+            kind: DerefKind::Invoke,
+            catch_npe: false,
+        });
         self
     }
 
     /// Appends a caught [`Action::UsePtr`].
     pub fn use_ptr_caught(mut self, var: SimVar) -> Self {
-        self.push(Action::UsePtr { var, kind: DerefKind::Invoke, catch_npe: true });
+        self.push(Action::UsePtr {
+            var,
+            kind: DerefKind::Invoke,
+            catch_npe: true,
+        });
         self
     }
 
     /// Appends [`Action::GuardedUse`] with the `if-eqz` style.
     pub fn guarded_use(mut self, var: SimVar) -> Self {
-        self.push(Action::GuardedUse { var, kind: DerefKind::Invoke, style: GuardStyle::IfEqz });
+        self.push(Action::GuardedUse {
+            var,
+            kind: DerefKind::Invoke,
+            style: GuardStyle::IfEqz,
+        });
         self
     }
 
     /// Appends [`Action::BoolGuardedUse`].
     pub fn bool_guarded_use(mut self, flag: SimVar, var: SimVar) -> Self {
-        self.push(Action::BoolGuardedUse { flag, var, kind: DerefKind::Invoke });
+        self.push(Action::BoolGuardedUse {
+            flag,
+            var,
+            kind: DerefKind::Invoke,
+        });
         self
     }
 
@@ -382,7 +401,11 @@ impl Body {
 
     /// Appends [`Action::Post`].
     pub fn post(mut self, looper: LooperId, handler: HandlerId, delay_ms: u64) -> Self {
-        self.push(Action::Post { looper, handler, delay_ms });
+        self.push(Action::Post {
+            looper,
+            handler,
+            delay_ms,
+        });
         self
     }
 
@@ -604,7 +627,11 @@ impl ProgramBuilder {
     pub fn handler(&mut self, name: &str, body: Body) -> HandlerId {
         let method = self.alloc_method();
         let id = HandlerId(self.program.handlers.len() as u32);
-        self.program.handlers.push(HandlerSpec { name: name.to_owned(), body, method });
+        self.program.handlers.push(HandlerSpec {
+            name: name.to_owned(),
+            body,
+            method,
+        });
         id
     }
 
@@ -625,7 +652,11 @@ impl ProgramBuilder {
         let method = self.alloc_method();
         let svc = &mut self.program.services[service.0 as usize];
         let id = MethodId(svc.methods.len() as u32);
-        svc.methods.push(MethodSpec { name: name.to_owned(), body, method });
+        svc.methods.push(MethodSpec {
+            name: name.to_owned(),
+            body,
+            method,
+        });
         id
     }
 
@@ -673,7 +704,11 @@ impl ProgramBuilder {
 
     /// Schedules an external gesture.
     pub fn gesture(&mut self, at_ms: u64, looper: LooperId, handler: HandlerId) {
-        self.program.gestures.push(Gesture { at_ms, looper, handler });
+        self.program.gestures.push(Gesture {
+            at_ms,
+            looper,
+            handler,
+        });
     }
 
     /// Finishes the program.

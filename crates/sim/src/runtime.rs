@@ -22,8 +22,7 @@ use cafa_trace::{
 
 use crate::error::SimError;
 use crate::program::{
-    Action, GuardStyle, HandlerId, LooperId, Program, ServiceId, SimVar,
-    ThreadSpecId, VarInit,
+    Action, GuardStyle, HandlerId, LooperId, Program, ServiceId, SimVar, ThreadSpecId, VarInit,
 };
 
 /// Instrumentation configuration: what the "customized ROM" records.
@@ -45,7 +44,11 @@ pub struct InstrumentConfig {
 impl InstrumentConfig {
     /// Full instrumentation (all listener packages).
     pub fn full() -> Self {
-        Self { enabled: true, listener_packages: None, logger_weight: 600 }
+        Self {
+            enabled: true,
+            listener_packages: None,
+            logger_weight: 600,
+        }
     }
 
     /// The paper's coverage: only the four framework packages of §5.2.
@@ -53,9 +56,14 @@ impl InstrumentConfig {
         Self {
             enabled: true,
             listener_packages: Some(
-                ["android.app", "android.view", "android.widget", "android.content"]
-                    .map(str::to_owned)
-                    .to_vec(),
+                [
+                    "android.app",
+                    "android.view",
+                    "android.widget",
+                    "android.content",
+                ]
+                .map(str::to_owned)
+                .to_vec(),
             ),
             logger_weight: 600,
         }
@@ -63,7 +71,11 @@ impl InstrumentConfig {
 
     /// No instrumentation (the stock ROM), for overhead baselines.
     pub fn off() -> Self {
-        Self { enabled: false, listener_packages: None, logger_weight: 0 }
+        Self {
+            enabled: false,
+            listener_packages: None,
+            logger_weight: 0,
+        }
     }
 }
 
@@ -94,7 +106,10 @@ impl Default for SimConfig {
 impl SimConfig {
     /// Default configuration with a specific seed.
     pub fn with_seed(seed: u64) -> Self {
-        Self { seed, ..Self::default() }
+        Self {
+            seed,
+            ..Self::default()
+        }
     }
 }
 
@@ -175,7 +190,11 @@ enum EntState {
     Idle,
     BlockedLock(SimMonitor),
     BlockedWait(SimMonitor),
-    WaitReacquire { mon: SimMonitor, gen: u32, depth: u32 },
+    WaitReacquire {
+        mon: SimMonitor,
+        gen: u32,
+        depth: u32,
+    },
     BlockedJoin(usize),
     BlockedRpc(usize),
     Sleeping(u64),
@@ -194,8 +213,13 @@ enum BodyRef {
 #[derive(Clone, Debug)]
 enum EntityKind {
     Thread,
-    Looper { looper: LooperId },
-    Binder { service: ServiceId, current: Option<usize> },
+    Looper {
+        looper: LooperId,
+    },
+    Binder {
+        service: ServiceId,
+        current: Option<usize>,
+    },
 }
 
 #[derive(Clone, Debug)]
@@ -312,7 +336,9 @@ impl<'p> Simulator<'p> {
         // track mapping separately below via kind matching).
         for (li, _) in program.loopers.iter().enumerate() {
             entities.push(Entity {
-                kind: EntityKind::Looper { looper: LooperId(li as u32) },
+                kind: EntityKind::Looper {
+                    looper: LooperId(li as u32),
+                },
                 state: EntState::Idle,
                 frame: None,
                 task: None,
@@ -326,7 +352,11 @@ impl<'p> Simulator<'p> {
                     let t = b.add_thread(trace_procs[spec.proc.0 as usize], &spec.name);
                     // §5.3: the calling-context stack is traced; each
                     // script body is one method frame.
-                    b.method_enter(t, Program::method_pc(spec.method, 0, 0).method_base(), &spec.name);
+                    b.method_enter(
+                        t,
+                        Program::method_pc(spec.method, 0, 0).method_base(),
+                        &spec.name,
+                    );
                     t
                 });
                 entities.push(Entity {
@@ -341,10 +371,16 @@ impl<'p> Simulator<'p> {
         // One binder thread per service.
         for (si, svc) in program.services.iter().enumerate() {
             let task = builder.as_mut().map(|b| {
-                b.add_thread(trace_procs[svc.proc.0 as usize], &format!("binder:{}", svc.name))
+                b.add_thread(
+                    trace_procs[svc.proc.0 as usize],
+                    &format!("binder:{}", svc.name),
+                )
             });
             entities.push(Entity {
-                kind: EntityKind::Binder { service: ServiceId(si as u32), current: None },
+                kind: EntityKind::Binder {
+                    service: ServiceId(si as u32),
+                    current: None,
+                },
                 state: EntState::Idle,
                 frame: None,
                 task,
@@ -400,7 +436,9 @@ impl<'p> Simulator<'p> {
             }
             self.steps += 1;
             if self.steps > self.config.max_steps {
-                return Err(SimError::StepLimit { steps: self.config.max_steps });
+                return Err(SimError::StepLimit {
+                    steps: self.config.max_steps,
+                });
             }
             let pick = eligible[self.rng.gen_range(0..eligible.len())];
             self.step(pick)?;
@@ -439,7 +477,10 @@ impl<'p> Simulator<'p> {
             };
             self.log_cost(g.handler.0 as u64);
             let ev = self.events.len();
-            self.events.push(EventInst { handler: g.handler, task });
+            self.events.push(EventInst {
+                handler: g.handler,
+                task,
+            });
             self.enqueue(g.looper, ev, at_us, false);
         }
     }
@@ -530,11 +571,17 @@ impl<'p> Simulator<'p> {
             Some(_) => {
                 // Work is ready now but nothing was eligible: that means
                 // every candidate is blocked on something non-temporal.
-                Err(SimError::Deadlock { blocked, at_us: self.now_us })
+                Err(SimError::Deadlock {
+                    blocked,
+                    at_us: self.now_us,
+                })
             }
             None => {
                 if blocked > 0 {
-                    Err(SimError::Deadlock { blocked, at_us: self.now_us })
+                    Err(SimError::Deadlock {
+                        blocked,
+                        at_us: self.now_us,
+                    })
                 } else {
                     Ok(false)
                 }
@@ -644,8 +691,10 @@ impl<'p> Simulator<'p> {
                 let handler = ev.handler;
                 let task = ev.task;
                 let spec = &self.program.handlers[handler.0 as usize];
-                let (mname, mbase) =
-                    (spec.name.clone(), Program::method_pc(spec.method, 0, 0).method_base());
+                let (mname, mbase) = (
+                    spec.name.clone(),
+                    Program::method_pc(spec.method, 0, 0).method_base(),
+                );
                 if let (Some(b), Some(t)) = (self.builder.as_mut(), task) {
                     b.process_event(t);
                     b.method_enter(t, mbase, &mname);
@@ -665,14 +714,19 @@ impl<'p> Simulator<'p> {
                 let task = self.entities[i].task;
                 let ttxn = self.txns[txn].trace_txn;
                 let mspec = &self.program.services[service.0 as usize].methods[method as usize];
-                let (mname, mbase) =
-                    (mspec.name.clone(), Program::method_pc(mspec.method, 0, 0).method_base());
+                let (mname, mbase) = (
+                    mspec.name.clone(),
+                    Program::method_pc(mspec.method, 0, 0).method_base(),
+                );
                 if let (Some(b), Some(t), Some(x)) = (self.builder.as_mut(), task, ttxn) {
                     b.rpc_handle(t, x);
                     b.method_enter(t, mbase, &mname);
                 }
                 self.log_cost(txn as u64);
-                self.entities[i].kind = EntityKind::Binder { service, current: Some(txn) };
+                self.entities[i].kind = EntityKind::Binder {
+                    service,
+                    current: Some(txn),
+                };
                 self.entities[i].state = EntState::Ready;
                 self.entities[i].frame = Some((BodyRef::Method(service, method), 0));
                 Ok(())
@@ -719,7 +773,10 @@ impl<'p> Simulator<'p> {
                     }
                     self.txns[txn].done = true;
                 }
-                self.entities[i].kind = EntityKind::Binder { service, current: None };
+                self.entities[i].kind = EntityKind::Binder {
+                    service,
+                    current: None,
+                };
                 self.entities[i].state = EntState::Idle;
                 self.entities[i].frame = None;
             }
@@ -737,7 +794,14 @@ impl<'p> Simulator<'p> {
         self.entities[i].task
     }
 
-    fn read_ptr(&mut self, i: usize, var: SimVar, method: u32, ip: usize, sub: u32) -> Option<ObjId> {
+    fn read_ptr(
+        &mut self,
+        i: usize,
+        var: SimVar,
+        method: u32,
+        ip: usize,
+        sub: u32,
+    ) -> Option<ObjId> {
         let Value::Ptr(v) = self.heap[var.0 as usize] else {
             panic!("variable {var:?} is not a pointer");
         };
@@ -749,16 +813,37 @@ impl<'p> Simulator<'p> {
         v
     }
 
-    fn write_ptr(&mut self, i: usize, var: SimVar, value: Option<ObjId>, method: u32, ip: usize, sub: u32) {
+    fn write_ptr(
+        &mut self,
+        i: usize,
+        var: SimVar,
+        value: Option<ObjId>,
+        method: u32,
+        ip: usize,
+        sub: u32,
+    ) {
         self.heap[var.0 as usize] = Value::Ptr(value);
         let task = self.task_of(i);
         if let (Some(b), Some(t)) = (self.builder.as_mut(), task) {
-            b.obj_write(t, VarId::new(var.0), value, Program::method_pc(method, ip, sub));
+            b.obj_write(
+                t,
+                VarId::new(var.0),
+                value,
+                Program::method_pc(method, ip, sub),
+            );
         }
         self.log_cost(u64::from(var.0) ^ 0xff);
     }
 
-    fn emit_deref(&mut self, i: usize, obj: ObjId, kind: cafa_trace::DerefKind, method: u32, ip: usize, sub: u32) {
+    fn emit_deref(
+        &mut self,
+        i: usize,
+        obj: ObjId,
+        kind: cafa_trace::DerefKind,
+        method: u32,
+        ip: usize,
+        sub: u32,
+    ) {
         let task = self.task_of(i);
         if let (Some(b), Some(t)) = (self.builder.as_mut(), task) {
             b.deref(t, obj, Program::method_pc(method, ip, sub), kind);
@@ -802,7 +887,13 @@ impl<'p> Simulator<'p> {
         }
     }
 
-    fn execute(&mut self, i: usize, action: &Action, method: u32, ip: usize) -> Result<(), SimError> {
+    fn execute(
+        &mut self,
+        i: usize,
+        action: &Action,
+        method: u32,
+        ip: usize,
+    ) -> Result<(), SimError> {
         use Action::*;
         match action {
             ReadScalar(var) => {
@@ -837,7 +928,11 @@ impl<'p> Simulator<'p> {
                 self.write_ptr(i, *to, v, method, ip, 1);
                 self.advance_ip(i);
             }
-            UsePtr { var, kind, catch_npe } => {
+            UsePtr {
+                var,
+                kind,
+                catch_npe,
+            } => {
                 match self.read_ptr(i, *var, method, ip, 0) {
                     Some(o) => self.emit_deref(i, o, *kind, method, ip, 1),
                     None => self.record_npe(i, *var, *catch_npe),
@@ -894,7 +989,11 @@ impl<'p> Simulator<'p> {
                 }
                 self.advance_ip(i);
             }
-            AliasedUse { first, second, kind } => {
+            AliasedUse {
+                first,
+                second,
+                kind,
+            } => {
                 let v1 = self.read_ptr(i, *first, method, ip, 0);
                 let _v2 = self.read_ptr(i, *second, method, ip, 1);
                 match v1 {
@@ -985,7 +1084,11 @@ impl<'p> Simulator<'p> {
                 };
                 for w in woken {
                     let depth = self.wait_saved.remove(&w).expect("waiter saved its depth");
-                    self.entities[w].state = EntState::WaitReacquire { mon: *m, gen, depth };
+                    self.entities[w].state = EntState::WaitReacquire {
+                        mon: *m,
+                        gen,
+                        depth,
+                    };
                 }
                 self.advance_ip(i);
             }
@@ -1037,7 +1140,11 @@ impl<'p> Simulator<'p> {
                     self.entities[i].state = EntState::BlockedJoin(child);
                 }
             }
-            Post { looper, handler, delay_ms } => {
+            Post {
+                looper,
+                handler,
+                delay_ms,
+            } => {
                 self.do_post(i, *looper, *handler, *delay_ms, false);
                 self.advance_ip(i);
             }
@@ -1045,7 +1152,12 @@ impl<'p> Simulator<'p> {
                 self.do_post(i, *looper, *handler, 0, true);
                 self.advance_ip(i);
             }
-            PostChain { looper, handler, delay_ms, budget } => {
+            PostChain {
+                looper,
+                handler,
+                delay_ms,
+                budget,
+            } => {
                 if self.counters[budget.0 as usize] > 0 {
                     self.counters[budget.0 as usize] -= 1;
                     self.do_post(i, *looper, *handler, *delay_ms, false);
@@ -1111,14 +1223,25 @@ impl<'p> Simulator<'p> {
         txn
     }
 
-    fn do_post(&mut self, i: usize, looper: LooperId, handler: HandlerId, delay_ms: u64, front: bool) {
+    fn do_post(
+        &mut self,
+        i: usize,
+        looper: LooperId,
+        handler: HandlerId,
+        delay_ms: u64,
+        front: bool,
+    ) {
         let name = self.program.handlers[handler.0 as usize].name.clone();
         let from_task = self.task_of(i);
         let queue = self.trace_queues.get(looper.0 as usize).copied();
         let task = match (self.builder.as_mut(), from_task) {
             (Some(b), Some(ft)) => {
                 let q = queue.expect("instrumented loopers have trace queues");
-                Some(if front { b.post_front(ft, q, &name) } else { b.post(ft, q, &name, delay_ms) })
+                Some(if front {
+                    b.post_front(ft, q, &name)
+                } else {
+                    b.post(ft, q, &name, delay_ms)
+                })
             }
             (Some(_), None) => {
                 unreachable!("posting entities always have a task while instrumented")

@@ -53,7 +53,11 @@ fn random_program(gen_seed: u64) -> (Program, usize) {
     let mut events = total_posts;
     for h in 0..n {
         if !posted[h] {
-            p.gesture(rng.gen_range(0..10), looper, HandlerId::from_index(h as u32));
+            p.gesture(
+                rng.gen_range(0..10),
+                looper,
+                HandlerId::from_index(h as u32),
+            );
             events += 1;
         }
     }

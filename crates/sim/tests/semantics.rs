@@ -26,7 +26,10 @@ fn notify_without_ownership_is_an_error() {
     let pr = p.process();
     let m = p.monitor();
     p.thread(pr, "t", Body::from_actions(vec![Action::Notify(m)]));
-    assert!(matches!(run0(p.build()), Err(SimError::IllegalMonitorState { .. })));
+    assert!(matches!(
+        run0(p.build()),
+        Err(SimError::IllegalMonitorState { .. })
+    ));
 }
 
 #[test]
@@ -35,7 +38,10 @@ fn wait_without_ownership_is_an_error() {
     let pr = p.process();
     let m = p.monitor();
     p.thread(pr, "t", Body::from_actions(vec![Action::Wait(m)]));
-    assert!(matches!(run0(p.build()), Err(SimError::IllegalMonitorState { .. })));
+    assert!(matches!(
+        run0(p.build()),
+        Err(SimError::IllegalMonitorState { .. })
+    ));
 }
 
 #[test]
@@ -70,7 +76,10 @@ fn notify_all_wakes_every_waiter() {
     );
     let outcome = run0(p.build()).expect("all waiters wake");
     let trace = outcome.trace.unwrap();
-    let waits = trace.iter_ops().filter(|(_, r)| matches!(r, Record::Wait { .. })).count();
+    let waits = trace
+        .iter_ops()
+        .filter(|(_, r)| matches!(r, Record::Wait { .. }))
+        .count();
     assert_eq!(waits, 3, "every waiter logged its wake");
     // All three waits share the broadcaster's generation.
     let gens: std::collections::HashSet<u32> = trace
@@ -166,7 +175,11 @@ fn aliased_use_derefs_the_first_pointer() {
     let b = p.ptr_var_alloc(); // different object
     let h = p.handler(
         "use",
-        Body::from_actions(vec![Action::AliasedUse { first: a, second: b, kind: DerefKind::Field }]),
+        Body::from_actions(vec![Action::AliasedUse {
+            first: a,
+            second: b,
+            kind: DerefKind::Field,
+        }]),
     );
     p.gesture(0, l, h);
     let outcome = run0(p.build()).unwrap();
@@ -184,7 +197,9 @@ fn probe_use_var(trace: &cafa_trace::Trace) -> Option<u32> {
         let mut last: std::collections::HashMap<cafa_trace::ObjId, u32> = Default::default();
         for r in trace.body(task.id) {
             match *r {
-                Record::ObjRead { var, obj: Some(o), .. } => {
+                Record::ObjRead {
+                    var, obj: Some(o), ..
+                } => {
                     last.insert(o, var.as_u32());
                 }
                 Record::Deref { obj, .. } => return last.get(&obj).copied(),
@@ -203,20 +218,35 @@ fn sleep_orders_virtual_time_not_scheduling() {
     let v = p.scalar_var(0);
     let early = p.handler("early", Body::new().write(v, 1));
     let late = p.handler("late", Body::new().write(v, 2));
-    p.thread(pr, "t1", Body::from_actions(vec![Action::Sleep(50), Action::Post {
-        looper: l,
-        handler: late,
-        delay_ms: 0,
-    }]));
-    p.thread(pr, "t2", Body::from_actions(vec![Action::Post {
-        looper: l,
-        handler: early,
-        delay_ms: 0,
-    }]));
+    p.thread(
+        pr,
+        "t1",
+        Body::from_actions(vec![
+            Action::Sleep(50),
+            Action::Post {
+                looper: l,
+                handler: late,
+                delay_ms: 0,
+            },
+        ]),
+    );
+    p.thread(
+        pr,
+        "t2",
+        Body::from_actions(vec![Action::Post {
+            looper: l,
+            handler: early,
+            delay_ms: 0,
+        }]),
+    );
     let trace = run0(p.build()).unwrap().trace.unwrap();
     let q = trace.queues().next().unwrap().1;
     let names: Vec<&str> = q.events.iter().map(|&e| trace.task_name(e)).collect();
-    assert_eq!(names, vec!["early", "late"], "virtual time separates the posts");
+    assert_eq!(
+        names,
+        vec!["early", "late"],
+        "virtual time separates the posts"
+    );
 }
 
 #[test]
@@ -229,10 +259,34 @@ fn binder_queues_multiple_transactions() {
     let m1 = p.method(svc, "m1", Body::new().write(v, 1).compute(10));
     let m2 = p.method(svc, "m2", Body::new().write(v, 2).compute(10));
     // Two callers hit the single binder thread concurrently.
-    p.thread(app, "c1", Body::from_actions(vec![Action::Call { service: svc, method: m1 }]));
-    p.thread(app, "c2", Body::from_actions(vec![Action::Call { service: svc, method: m2 }]));
+    p.thread(
+        app,
+        "c1",
+        Body::from_actions(vec![Action::Call {
+            service: svc,
+            method: m1,
+        }]),
+    );
+    p.thread(
+        app,
+        "c2",
+        Body::from_actions(vec![Action::Call {
+            service: svc,
+            method: m2,
+        }]),
+    );
     let trace = run0(p.build()).unwrap().trace.unwrap();
-    let handles = trace.iter_ops().filter(|(_, r)| matches!(r, Record::RpcHandle { .. })).count();
-    let replies = trace.iter_ops().filter(|(_, r)| matches!(r, Record::RpcReply { .. })).count();
-    assert_eq!((handles, replies), (2, 2), "both transactions served in turn");
+    let handles = trace
+        .iter_ops()
+        .filter(|(_, r)| matches!(r, Record::RpcHandle { .. }))
+        .count();
+    let replies = trace
+        .iter_ops()
+        .filter(|(_, r)| matches!(r, Record::RpcReply { .. }))
+        .count();
+    assert_eq!(
+        (handles, replies),
+        (2, 2),
+        "both transactions served in turn"
+    );
 }

@@ -68,7 +68,7 @@ pub fn trace_from_tape(bytes: &[u8]) -> Trace {
     let mut pending: Vec<TaskId> = Vec::new(); // posted, not yet processed
     let mut listeners = Vec::new();
     let mut open_rpcs: Vec<(crate::ids::TxnId, u8)> = Vec::new(); // txn, stage
-    // Held monitors per task: (task, monitor, gen).
+                                                                  // Held monitors per task: (task, monitor, gen).
     let mut held: Vec<(TaskId, MonitorId, u32)> = Vec::new();
     let mut next_gen = 0u32;
     let mut notify_gen = 0u32;
@@ -77,7 +77,9 @@ pub fn trace_from_tape(bytes: &[u8]) -> Trace {
 
     while !tape.exhausted() && tasks.len() + pending.len() < 300 {
         let op = tape.next() % 18;
-        let Some(actor) = tape.pick(&tasks) else { break };
+        let Some(actor) = tape.pick(&tasks) else {
+            break;
+        };
         match op {
             0 => {
                 // Fork a thread.
@@ -89,7 +91,12 @@ pub fn trace_from_tape(bytes: &[u8]) -> Trace {
                 // Post an event (delay from a small set, either queue).
                 let delay = [0u64, 0, 1, 5][tape.next() as usize % 4];
                 let q = queues[tape.next() as usize % queues.len()];
-                let ev = b.post(actor, q, &format!("ev{}", tasks.len() + pending.len()), delay);
+                let ev = b.post(
+                    actor,
+                    q,
+                    &format!("ev{}", tasks.len() + pending.len()),
+                    delay,
+                );
                 pending.push(ev);
             }
             2 => {
@@ -195,9 +202,17 @@ pub fn trace_from_tape(bytes: &[u8]) -> Trace {
             15 => {
                 // Pointer write: free or allocation.
                 let var = VarId::new(u32::from(tape.next() % 8));
-                let value =
-                    if tape.next() % 2 == 0 { None } else { Some(ObjId::new(u32::from(tape.next() % 6))) };
-                b.obj_write(actor, var, value, Pc::new(0x2000 + u32::from(tape.next()) * 4));
+                let value = if tape.next() % 2 == 0 {
+                    None
+                } else {
+                    Some(ObjId::new(u32::from(tape.next() % 6)))
+                };
+                b.obj_write(
+                    actor,
+                    var,
+                    value,
+                    Pc::new(0x2000 + u32::from(tape.next()) * 4),
+                );
             }
             16 => {
                 // A guard branch on a previously read object.
@@ -243,7 +258,9 @@ mod tests {
     #[test]
     fn dense_tapes_are_valid_and_nontrivial() {
         // A pseudo-random but fixed tape exercising every opcode.
-        let tape: Vec<u8> = (0..600u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        let tape: Vec<u8> = (0..600u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
         let t = trace_from_tape(&tape);
         assert!(validate(&t).is_ok());
         assert!(t.stats().records > 50);

@@ -114,7 +114,11 @@ fn put_opt_obj<W: Write>(out: &mut W, obj: Option<ObjId>) -> io::Result<()> {
 
 fn get_opt_obj<R: Read>(r: &mut Reader<R>) -> Result<Option<ObjId>, ReadError> {
     let v = r.u32()?;
-    Ok(if v == 0 { None } else { Some(ObjId::new(v - 1)) })
+    Ok(if v == 0 {
+        None
+    } else {
+        Some(ObjId::new(v - 1))
+    })
 }
 
 // ---- record codes ----------------------------------------------------------
@@ -176,7 +180,11 @@ fn write_record<W: Write>(out: &mut W, r: &Record) -> io::Result<()> {
             put_u32(out, monitor.as_u32())?;
             put_u32(out, gen)
         }
-        Record::Send { event, queue, delay_ms } => {
+        Record::Send {
+            event,
+            queue,
+            delay_ms,
+        } => {
             out.write_all(&[R_SEND])?;
             put_u32(out, event.as_u32())?;
             put_u32(out, queue.as_u32())?;
@@ -240,7 +248,12 @@ fn write_record<W: Write>(out: &mut W, r: &Record) -> io::Result<()> {
             put_u32(out, obj.as_u32())?;
             put_u32(out, pc.addr())
         }
-        Record::Guard { kind, pc, target, obj } => {
+        Record::Guard {
+            kind,
+            pc,
+            target,
+            obj,
+        } => {
             let code = match kind {
                 BranchKind::IfEqz => R_GUARD_EQZ,
                 BranchKind::IfNez => R_GUARD_NEZ,
@@ -257,7 +270,11 @@ fn write_record<W: Write>(out: &mut W, r: &Record) -> io::Result<()> {
             put_u32(out, name.as_u32())
         }
         Record::MethodExit { pc, exceptional } => {
-            out.write_all(&[if exceptional { R_EXIT_THROW } else { R_EXIT_RET }])?;
+            out.write_all(&[if exceptional {
+                R_EXIT_THROW
+            } else {
+                R_EXIT_RET
+            }])?;
             put_u32(out, pc.addr())
         }
     }
@@ -266,12 +283,28 @@ fn write_record<W: Write>(out: &mut W, r: &Record) -> io::Result<()> {
 fn read_record<R: Read>(r: &mut Reader<R>) -> Result<Record, ReadError> {
     let code = r.byte()?;
     let rec = match code {
-        R_FORK => Record::Fork { child: TaskId::new(r.u32()?) },
-        R_JOIN => Record::Join { child: TaskId::new(r.u32()?) },
-        R_WAIT => Record::Wait { monitor: MonitorId::new(r.u32()?), gen: r.u32()? },
-        R_NOTIFY => Record::Notify { monitor: MonitorId::new(r.u32()?), gen: r.u32()? },
-        R_LOCK => Record::Lock { monitor: MonitorId::new(r.u32()?), gen: r.u32()? },
-        R_UNLOCK => Record::Unlock { monitor: MonitorId::new(r.u32()?), gen: r.u32()? },
+        R_FORK => Record::Fork {
+            child: TaskId::new(r.u32()?),
+        },
+        R_JOIN => Record::Join {
+            child: TaskId::new(r.u32()?),
+        },
+        R_WAIT => Record::Wait {
+            monitor: MonitorId::new(r.u32()?),
+            gen: r.u32()?,
+        },
+        R_NOTIFY => Record::Notify {
+            monitor: MonitorId::new(r.u32()?),
+            gen: r.u32()?,
+        },
+        R_LOCK => Record::Lock {
+            monitor: MonitorId::new(r.u32()?),
+            gen: r.u32()?,
+        },
+        R_UNLOCK => Record::Unlock {
+            monitor: MonitorId::new(r.u32()?),
+            gen: r.u32()?,
+        },
         R_SEND => Record::Send {
             event: TaskId::new(r.u32()?),
             queue: QueueId::new(r.u32()?),
@@ -281,14 +314,30 @@ fn read_record<R: Read>(r: &mut Reader<R>) -> Result<Record, ReadError> {
             event: TaskId::new(r.u32()?),
             queue: QueueId::new(r.u32()?),
         },
-        R_REGISTER => Record::Register { listener: ListenerId::new(r.u32()?) },
-        R_PERFORM => Record::Perform { listener: ListenerId::new(r.u32()?) },
-        R_RPCCALL => Record::RpcCall { txn: TxnId::new(r.u32()?) },
-        R_RPCHANDLE => Record::RpcHandle { txn: TxnId::new(r.u32()?) },
-        R_RPCREPLY => Record::RpcReply { txn: TxnId::new(r.u32()?) },
-        R_RPCRECV => Record::RpcReceive { txn: TxnId::new(r.u32()?) },
-        R_READ => Record::Read { var: VarId::new(r.u32()?) },
-        R_WRITE => Record::Write { var: VarId::new(r.u32()?) },
+        R_REGISTER => Record::Register {
+            listener: ListenerId::new(r.u32()?),
+        },
+        R_PERFORM => Record::Perform {
+            listener: ListenerId::new(r.u32()?),
+        },
+        R_RPCCALL => Record::RpcCall {
+            txn: TxnId::new(r.u32()?),
+        },
+        R_RPCHANDLE => Record::RpcHandle {
+            txn: TxnId::new(r.u32()?),
+        },
+        R_RPCREPLY => Record::RpcReply {
+            txn: TxnId::new(r.u32()?),
+        },
+        R_RPCRECV => Record::RpcReceive {
+            txn: TxnId::new(r.u32()?),
+        },
+        R_READ => Record::Read {
+            var: VarId::new(r.u32()?),
+        },
+        R_WRITE => Record::Write {
+            var: VarId::new(r.u32()?),
+        },
         R_OGET => Record::ObjRead {
             var: VarId::new(r.u32()?),
             obj: get_opt_obj(r)?,
@@ -302,7 +351,11 @@ fn read_record<R: Read>(r: &mut Reader<R>) -> Result<Record, ReadError> {
         R_DEREF_FIELD | R_DEREF_INVOKE => Record::Deref {
             obj: ObjId::new(r.u32()?),
             pc: Pc::new(r.u32()?),
-            kind: if code == R_DEREF_FIELD { DerefKind::Field } else { DerefKind::Invoke },
+            kind: if code == R_DEREF_FIELD {
+                DerefKind::Field
+            } else {
+                DerefKind::Invoke
+            },
         },
         R_GUARD_EQZ | R_GUARD_NEZ | R_GUARD_EQ => Record::Guard {
             kind: match code {
@@ -314,10 +367,24 @@ fn read_record<R: Read>(r: &mut Reader<R>) -> Result<Record, ReadError> {
             target: Pc::new(r.u32()?),
             obj: ObjId::new(r.u32()?),
         },
-        R_ENTER => Record::MethodEnter { pc: Pc::new(r.u32()?), name: NameId::new(r.u32()?) },
-        R_EXIT_RET => Record::MethodExit { pc: Pc::new(r.u32()?), exceptional: false },
-        R_EXIT_THROW => Record::MethodExit { pc: Pc::new(r.u32()?), exceptional: true },
-        c => return Err(ReadError::parse(r.offset, format!("unknown record code {c}"))),
+        R_ENTER => Record::MethodEnter {
+            pc: Pc::new(r.u32()?),
+            name: NameId::new(r.u32()?),
+        },
+        R_EXIT_RET => Record::MethodExit {
+            pc: Pc::new(r.u32()?),
+            exceptional: false,
+        },
+        R_EXIT_THROW => Record::MethodExit {
+            pc: Pc::new(r.u32()?),
+            exceptional: true,
+        },
+        c => {
+            return Err(ReadError::parse(
+                r.offset,
+                format!("unknown record code {c}"),
+            ))
+        }
     };
     Ok(rec)
 }
@@ -369,7 +436,12 @@ pub fn write_binary<W: Write>(trace: &Trace, mut out: W) -> io::Result<()> {
                     }
                 }
             }
-            TaskKind::Event { queue, seq, origin, delay_ms } => {
+            TaskKind::Event {
+                queue,
+                seq,
+                origin,
+                delay_ms,
+            } => {
                 out.write_all(&[1])?;
                 put_u32(&mut out, queue.as_u32())?;
                 put_u32(&mut out, seq)?;
@@ -447,14 +519,23 @@ pub fn read_binary<R: Read>(input: R) -> Result<Trace, ReadError> {
     let mut queues = Vec::with_capacity(queue_count);
     for _ in 0..queue_count {
         let p = r.u32()?;
-        let process = if p == 0 { None } else { Some(ProcessId::new(p - 1)) };
-        queues.push(QueueInfo { process, events: Vec::new() });
+        let process = if p == 0 {
+            None
+        } else {
+            Some(ProcessId::new(p - 1))
+        };
+        queues.push(QueueInfo {
+            process,
+            events: Vec::new(),
+        });
     }
 
     let listener_count = r.u64()? as usize;
     let mut listeners = Vec::with_capacity(listener_count);
     for _ in 0..listener_count {
-        listeners.push(ListenerInfo { package: NameId::new(r.u32()?) });
+        listeners.push(ListenerInfo {
+            package: NameId::new(r.u32()?),
+        });
     }
 
     let task_count = r.u64()? as usize;
@@ -494,7 +575,12 @@ pub fn read_binary<R: Read>(input: R) -> Result<Trace, ReadError> {
                     q.events.resize(si + 1, TaskId::new(u32::MAX));
                 }
                 q.events[si] = id;
-                TaskKind::Event { queue, seq, origin, delay_ms }
+                TaskKind::Event {
+                    queue,
+                    seq,
+                    origin,
+                    delay_ms,
+                }
             }
             b => return Err(ReadError::parse(r.offset, format!("bad task kind {b}"))),
         };
@@ -519,7 +605,11 @@ pub fn read_binary<R: Read>(input: R) -> Result<Trace, ReadError> {
     let external_order: Vec<TaskId> = external.into_iter().map(|(_, t)| t).collect();
 
     let trace = Trace {
-        meta: TraceMeta { app, seed, virtual_ms },
+        meta: TraceMeta {
+            app,
+            seed,
+            virtual_ms,
+        },
         names,
         tasks,
         bodies,
@@ -602,7 +692,10 @@ mod tests {
         let bytes = to_binary_vec(&trace);
         // Every strict prefix must fail cleanly, never panic.
         for cut in 0..bytes.len() {
-            assert!(from_binary_slice(&bytes[..cut]).is_err(), "prefix {cut} accepted");
+            assert!(
+                from_binary_slice(&bytes[..cut]).is_err(),
+                "prefix {cut} accepted"
+            );
         }
     }
 

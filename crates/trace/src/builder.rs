@@ -60,7 +60,11 @@ impl TraceBuilder {
     /// Starts a trace for application `app`.
     pub fn new(app: impl Into<String>) -> Self {
         Self {
-            meta: TraceMeta { app: app.into(), seed: 0, virtual_ms: 0 },
+            meta: TraceMeta {
+                app: app.into(),
+                seed: 0,
+                virtual_ms: 0,
+            },
             names: Interner::new(),
             tasks: Vec::new(),
             bodies: Vec::new(),
@@ -99,14 +103,23 @@ impl TraceBuilder {
     /// Registers a new event queue drained by a looper in `process`.
     pub fn add_queue(&mut self, process: ProcessId) -> QueueId {
         let id = QueueId::from_usize(self.queues.len());
-        self.queues.push(QueueInfo { process: Some(process), events: Vec::new() });
+        self.queues.push(QueueInfo {
+            process: Some(process),
+            events: Vec::new(),
+        });
         id
     }
 
     /// Registers an initial (non-forked) thread of `process`.
     pub fn add_thread(&mut self, process: ProcessId, name: &str) -> TaskId {
         let name = self.names.intern(name);
-        self.push_task(TaskKind::Thread { process, forked_at: None }, name)
+        self.push_task(
+            TaskKind::Thread {
+                process,
+                forked_at: None,
+            },
+            name,
+        )
     }
 
     /// Registers a listener identity belonging to `package`.
@@ -153,7 +166,10 @@ impl TraceBuilder {
     pub fn fork(&mut self, parent: TaskId, process: ProcessId, name: &str) -> TaskId {
         let name = self.names.intern(name);
         let child = self.push_task(
-            TaskKind::Thread { process, forked_at: None },
+            TaskKind::Thread {
+                process,
+                forked_at: None,
+            },
             name,
         );
         let site = self.push(parent, Record::Fork { child });
@@ -212,7 +228,14 @@ impl TraceBuilder {
             },
             name,
         );
-        let site = self.push(from, Record::Send { event, queue, delay_ms });
+        let site = self.push(
+            from,
+            Record::Send {
+                event,
+                queue,
+                delay_ms,
+            },
+        );
         self.set_origin(event, EventOrigin::Sent { send: site });
         event
     }
@@ -355,7 +378,15 @@ impl TraceBuilder {
         target: Pc,
         obj: ObjId,
     ) -> OpRef {
-        self.push(task, Record::Guard { kind, pc, target, obj })
+        self.push(
+            task,
+            Record::Guard {
+                kind,
+                pc,
+                target,
+                obj,
+            },
+        )
     }
 
     /// Appends a method-entry record.
@@ -503,7 +534,10 @@ mod tests {
         b.join(main, child);
         let trace = b.finish().unwrap();
         match trace.task(child).kind {
-            TaskKind::Thread { forked_at: Some(site), .. } => {
+            TaskKind::Thread {
+                forked_at: Some(site),
+                ..
+            } => {
                 assert!(matches!(trace.record(site), Record::Fork { child: c } if *c == child));
             }
             _ => panic!("child should record its fork site"),

@@ -89,17 +89,31 @@ impl fmt::Display for TraceError {
                 write!(f, "event {event} was posted but never processed")
             }
             TraceError::MissingSendRecord { event, site } => {
-                write!(f, "event {event} claims origin {site} but no send record exists there")
+                write!(
+                    f,
+                    "event {event} claims origin {site} but no send record exists there"
+                )
             }
-            TraceError::DuplicateSend { event, first, second } => {
+            TraceError::DuplicateSend {
+                event,
+                first,
+                second,
+            } => {
                 write!(f, "event {event} is posted twice, at {first} and {second}")
             }
-            TraceError::QueueMismatch { event, declared, sent_to } => write!(
+            TraceError::QueueMismatch {
+                event,
+                declared,
+                sent_to,
+            } => write!(
                 f,
                 "event {event} declares queue {declared} but was sent to {sent_to}"
             ),
             TraceError::UnbalancedLock { task, monitor, at } => {
-                write!(f, "task {task} has unbalanced lock/unlock of {monitor} at index {at}")
+                write!(
+                    f,
+                    "task {task} has unbalanced lock/unlock of {monitor} at index {at}"
+                )
             }
             TraceError::DanglingId { site, what } => {
                 write!(f, "record at {site} references {what}")
@@ -143,7 +157,10 @@ pub enum ReadError {
 
 impl ReadError {
     pub(crate) fn parse(at: u64, message: impl Into<String>) -> Self {
-        ReadError::Parse { at, message: message.into() }
+        ReadError::Parse {
+            at,
+            message: message.into(),
+        }
     }
 }
 
@@ -188,7 +205,9 @@ mod tests {
 
     #[test]
     fn display_messages_mention_ids() {
-        let e = TraceError::UnprocessedEvent { event: TaskId::new(4) };
+        let e = TraceError::UnprocessedEvent {
+            event: TaskId::new(4),
+        };
         assert!(e.to_string().contains("t4"));
         let e = TraceError::QueueMismatch {
             event: TaskId::new(1),
@@ -204,7 +223,9 @@ mod tests {
         let io = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
         let e = ReadError::from(io);
         assert!(e.source().is_some());
-        let e = ReadError::from(TraceError::BrokenQueueOrder { queue: QueueId::new(0) });
+        let e = ReadError::from(TraceError::BrokenQueueOrder {
+            queue: QueueId::new(0),
+        });
         assert!(e.source().is_some());
         assert!(ReadError::parse(3, "bad token").source().is_none());
     }

@@ -100,7 +100,10 @@ mod tests {
         assert!(i.is_empty());
         i.intern("a");
         i.intern("b");
-        let all: Vec<_> = i.iter().map(|(id, s)| (id.as_u32(), s.to_owned())).collect();
+        let all: Vec<_> = i
+            .iter()
+            .map(|(id, s)| (id.as_u32(), s.to_owned()))
+            .collect();
         assert_eq!(all, vec![(0, "a".to_owned()), (1, "b".to_owned())]);
     }
 }

@@ -24,7 +24,10 @@ pub struct PrettyOptions {
 
 impl Default for PrettyOptions {
     fn default() -> Self {
-        Self { max_records_per_task: 16, skip_empty_tasks: true }
+        Self {
+            max_records_per_task: 16,
+            skip_empty_tasks: true,
+        }
     }
 }
 
@@ -37,7 +40,9 @@ pub fn render_record(trace: &Trace, record: &Record) -> String {
         Record::Notify { monitor, gen } => format!("notify {monitor} (gen {gen})"),
         Record::Lock { monitor, gen } => format!("lock {monitor} (acq {gen})"),
         Record::Unlock { monitor, gen } => format!("unlock {monitor} (acq {gen})"),
-        Record::Send { event, delay_ms, .. } => format!(
+        Record::Send {
+            event, delay_ms, ..
+        } => format!(
             "send {} ({}) delay {}ms",
             event,
             trace.task_name(event),
@@ -60,21 +65,44 @@ pub fn render_record(trace: &Trace, record: &Record) -> String {
         Record::RpcReceive { txn } => format!("rpc receive {txn}"),
         Record::Read { var } => format!("read {var}"),
         Record::Write { var } => format!("write {var}"),
-        Record::ObjRead { var, obj: Some(o), pc } => format!("oget {var} -> {o} @{pc}"),
+        Record::ObjRead {
+            var,
+            obj: Some(o),
+            pc,
+        } => format!("oget {var} -> {o} @{pc}"),
         Record::ObjRead { var, obj: None, pc } => format!("oget {var} -> null @{pc}"),
-        Record::ObjWrite { var, value: Some(o), pc } => {
+        Record::ObjWrite {
+            var,
+            value: Some(o),
+            pc,
+        } => {
             format!("oput {var} = {o} @{pc} (allocation)")
         }
-        Record::ObjWrite { var, value: None, pc } => format!("oput {var} = null @{pc} (FREE)"),
+        Record::ObjWrite {
+            var,
+            value: None,
+            pc,
+        } => format!("oput {var} = null @{pc} (FREE)"),
         Record::Deref { obj, pc, kind } => format!("deref {obj} @{pc} ({kind:?})"),
-        Record::Guard { kind, pc, target, obj } => {
-            format!("guard {} @{pc} -> @{target} proves {obj} non-null", kind.mnemonic())
+        Record::Guard {
+            kind,
+            pc,
+            target,
+            obj,
+        } => {
+            format!(
+                "guard {} @{pc} -> @{target} proves {obj} non-null",
+                kind.mnemonic()
+            )
         }
         Record::MethodEnter { pc, name } => {
             format!("enter {} @{pc}", trace.names().resolve(name))
         }
         Record::MethodExit { pc, exceptional } => {
-            format!("exit @{pc}{}", if exceptional { " (exception!)" } else { "" })
+            format!(
+                "exit @{pc}{}",
+                if exceptional { " (exception!)" } else { "" }
+            )
         }
     }
 }
@@ -95,7 +123,11 @@ pub fn render_task_header(trace: &Trace, task: TaskId) -> String {
             "{} event \"{}\" ({} from {}, delay {}ms, seq {} on {})",
             task,
             trace.task_name(task),
-            if origin.is_front() { "sendAtFront" } else { "sent" },
+            if origin.is_front() {
+                "sendAtFront"
+            } else {
+                "sent"
+            },
             origin
                 .send_site()
                 .map(|s| format!("{} ({})", s.task, trace.task_name(s.task)))
@@ -189,10 +221,19 @@ mod tests {
     #[test]
     fn render_truncates_and_announces() {
         let (trace, ..) = sample();
-        let opts = PrettyOptions { max_records_per_task: 2, skip_empty_tasks: true };
+        let opts = PrettyOptions {
+            max_records_per_task: 2,
+            skip_empty_tasks: true,
+        };
         let text = render(&trace, &opts);
         assert!(text.contains("more record(s)"));
-        let full = render(&trace, &PrettyOptions { max_records_per_task: usize::MAX, ..opts });
+        let full = render(
+            &trace,
+            &PrettyOptions {
+                max_records_per_task: usize::MAX,
+                ..opts
+            },
+        );
         assert!(!full.contains("more record(s)"));
         assert!(full.len() > text.len());
     }

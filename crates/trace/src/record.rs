@@ -328,65 +328,145 @@ mod tests {
 
     #[test]
     fn sync_classification() {
-        assert!(Record::Fork { child: TaskId::new(1) }.is_sync());
-        assert!(Record::Send { event: TaskId::new(2), queue: QueueId::new(0), delay_ms: 5 }.is_sync());
+        assert!(Record::Fork {
+            child: TaskId::new(1)
+        }
+        .is_sync());
+        assert!(Record::Send {
+            event: TaskId::new(2),
+            queue: QueueId::new(0),
+            delay_ms: 5
+        }
+        .is_sync());
         assert!(Record::RpcCall { txn: TxnId::new(9) }.is_sync());
         assert!(!Record::Read { var: var(0) }.is_sync());
-        assert!(!Record::Deref { obj: ObjId::new(0), pc: Pc::new(0), kind: DerefKind::Field }
-            .is_sync());
+        assert!(!Record::Deref {
+            obj: ObjId::new(0),
+            pc: Pc::new(0),
+            kind: DerefKind::Field
+        }
+        .is_sync());
     }
 
     #[test]
     fn access_classification() {
-        let r = Record::ObjRead { var: var(3), obj: Some(ObjId::new(1)), pc: Pc::new(4) };
+        let r = Record::ObjRead {
+            var: var(3),
+            obj: Some(ObjId::new(1)),
+            pc: Pc::new(4),
+        };
         assert!(r.is_access());
         assert_eq!(r.accessed_var(), Some(var(3)));
         assert!(!r.is_write_access());
 
-        let w = Record::ObjWrite { var: var(3), value: None, pc: Pc::new(8) };
+        let w = Record::ObjWrite {
+            var: var(3),
+            value: None,
+            pc: Pc::new(8),
+        };
         assert!(w.is_write_access());
         assert!(w.is_free());
         assert!(!w.is_allocation());
 
-        let a = Record::ObjWrite { var: var(3), value: Some(ObjId::new(2)), pc: Pc::new(8) };
+        let a = Record::ObjWrite {
+            var: var(3),
+            value: Some(ObjId::new(2)),
+            pc: Pc::new(8),
+        };
         assert!(a.is_allocation());
         assert!(!a.is_free());
 
-        assert!(!Record::Notify { monitor: MonitorId::new(0), gen: 0 }.is_access());
-        assert_eq!(Record::Notify { monitor: MonitorId::new(0), gen: 0 }.accessed_var(), None);
+        assert!(!Record::Notify {
+            monitor: MonitorId::new(0),
+            gen: 0
+        }
+        .is_access());
+        assert_eq!(
+            Record::Notify {
+                monitor: MonitorId::new(0),
+                gen: 0
+            }
+            .accessed_var(),
+            None
+        );
     }
 
     #[test]
     fn kind_tags_are_unique() {
         use std::collections::HashSet;
         let samples = vec![
-            Record::Fork { child: TaskId::new(0) },
-            Record::Join { child: TaskId::new(0) },
-            Record::Wait { monitor: MonitorId::new(0), gen: 0 },
-            Record::Notify { monitor: MonitorId::new(0), gen: 0 },
-            Record::Lock { monitor: MonitorId::new(0), gen: 0 },
-            Record::Unlock { monitor: MonitorId::new(0), gen: 0 },
-            Record::Send { event: TaskId::new(0), queue: QueueId::new(0), delay_ms: 0 },
-            Record::SendAtFront { event: TaskId::new(0), queue: QueueId::new(0) },
-            Record::Register { listener: ListenerId::new(0) },
-            Record::Perform { listener: ListenerId::new(0) },
+            Record::Fork {
+                child: TaskId::new(0),
+            },
+            Record::Join {
+                child: TaskId::new(0),
+            },
+            Record::Wait {
+                monitor: MonitorId::new(0),
+                gen: 0,
+            },
+            Record::Notify {
+                monitor: MonitorId::new(0),
+                gen: 0,
+            },
+            Record::Lock {
+                monitor: MonitorId::new(0),
+                gen: 0,
+            },
+            Record::Unlock {
+                monitor: MonitorId::new(0),
+                gen: 0,
+            },
+            Record::Send {
+                event: TaskId::new(0),
+                queue: QueueId::new(0),
+                delay_ms: 0,
+            },
+            Record::SendAtFront {
+                event: TaskId::new(0),
+                queue: QueueId::new(0),
+            },
+            Record::Register {
+                listener: ListenerId::new(0),
+            },
+            Record::Perform {
+                listener: ListenerId::new(0),
+            },
             Record::RpcCall { txn: TxnId::new(0) },
             Record::RpcHandle { txn: TxnId::new(0) },
             Record::RpcReply { txn: TxnId::new(0) },
             Record::RpcReceive { txn: TxnId::new(0) },
             Record::Read { var: var(0) },
             Record::Write { var: var(0) },
-            Record::ObjRead { var: var(0), obj: None, pc: Pc::new(0) },
-            Record::ObjWrite { var: var(0), value: None, pc: Pc::new(0) },
-            Record::Deref { obj: ObjId::new(0), pc: Pc::new(0), kind: DerefKind::Field },
+            Record::ObjRead {
+                var: var(0),
+                obj: None,
+                pc: Pc::new(0),
+            },
+            Record::ObjWrite {
+                var: var(0),
+                value: None,
+                pc: Pc::new(0),
+            },
+            Record::Deref {
+                obj: ObjId::new(0),
+                pc: Pc::new(0),
+                kind: DerefKind::Field,
+            },
             Record::Guard {
                 kind: BranchKind::IfEqz,
                 pc: Pc::new(0),
                 target: Pc::new(4),
                 obj: ObjId::new(0),
             },
-            Record::MethodEnter { pc: Pc::new(0), name: NameId::new(0) },
-            Record::MethodExit { pc: Pc::new(0), exceptional: false },
+            Record::MethodEnter {
+                pc: Pc::new(0),
+                name: NameId::new(0),
+            },
+            Record::MethodExit {
+                pc: Pc::new(0),
+                exceptional: false,
+            },
         ];
         let tags: HashSet<_> = samples.iter().map(|r| r.kind_tag()).collect();
         assert_eq!(tags.len(), samples.len());

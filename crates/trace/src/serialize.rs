@@ -72,8 +72,17 @@ pub fn write_text<W: Write>(trace: &Trace, mut out: W) -> io::Result<()> {
                 }
                 writeln!(out, " {}", t.name)?;
             }
-            TaskKind::Event { queue, seq, origin, delay_ms } => {
-                write!(out, "task {} event {} seq {} delay {} ", t.id, queue, seq, delay_ms)?;
+            TaskKind::Event {
+                queue,
+                seq,
+                origin,
+                delay_ms,
+            } => {
+                write!(
+                    out,
+                    "task {} event {} seq {} delay {} ",
+                    t.id, queue, seq, delay_ms
+                )?;
                 match origin {
                     EventOrigin::Sent { send } => write!(out, "sent {}:{}", send.task, send.index)?,
                     EventOrigin::SentAtFront { send } => {
@@ -104,7 +113,11 @@ fn write_record<W: Write>(r: &Record, out: &mut W) -> io::Result<()> {
         | Record::Notify { monitor, gen }
         | Record::Lock { monitor, gen }
         | Record::Unlock { monitor, gen } => writeln!(out, "{tag} {monitor} {gen}"),
-        Record::Send { event, queue, delay_ms } => writeln!(out, "{tag} {event} {queue} {delay_ms}"),
+        Record::Send {
+            event,
+            queue,
+            delay_ms,
+        } => writeln!(out, "{tag} {event} {queue} {delay_ms}"),
         Record::SendAtFront { event, queue } => writeln!(out, "{tag} {event} {queue}"),
         Record::Register { listener } | Record::Perform { listener } => {
             writeln!(out, "{tag} {listener}")
@@ -129,7 +142,12 @@ fn write_record<W: Write>(r: &Record, out: &mut W) -> io::Result<()> {
             };
             writeln!(out, "{tag} {obj} @{:x} {k}", pc.addr())
         }
-        Record::Guard { kind, pc, target, obj } => writeln!(
+        Record::Guard {
+            kind,
+            pc,
+            target,
+            obj,
+        } => writeln!(
             out,
             "{tag} {} @{:x} ->{:x} {obj}",
             kind.mnemonic(),
@@ -138,7 +156,12 @@ fn write_record<W: Write>(r: &Record, out: &mut W) -> io::Result<()> {
         ),
         Record::MethodEnter { pc, name } => writeln!(out, "{tag} @{:x} {name}", pc.addr()),
         Record::MethodExit { pc, exceptional } => {
-            writeln!(out, "{tag} @{:x} {}", pc.addr(), if exceptional { "throw" } else { "ret" })
+            writeln!(
+                out,
+                "{tag} @{:x} {}",
+                pc.addr(),
+                if exceptional { "throw" } else { "ret" }
+            )
         }
     }
 }
@@ -207,7 +230,10 @@ fn unquote(tok: &str, line: u64) -> Result<String, ReadError> {
                 other => {
                     return Err(ReadError::parse(
                         line,
-                        format!("bad escape `\\{}`", other.map(String::from).unwrap_or_default()),
+                        format!(
+                            "bad escape `\\{}`",
+                            other.map(String::from).unwrap_or_default()
+                        ),
                     ))
                 }
             }
@@ -228,7 +254,11 @@ struct Parser<R> {
 
 impl<R: BufRead> Parser<R> {
     fn new(input: R) -> Result<Self, ReadError> {
-        Ok(Self { input, line_no: 0, line: String::new() })
+        Ok(Self {
+            input,
+            line_no: 0,
+            line: String::new(),
+        })
     }
 
     fn next_line(&mut self) -> Result<Option<&str>, ReadError> {
@@ -310,7 +340,10 @@ impl<R: BufRead> Parser<R> {
                     if id != queues.len() {
                         return Err(self.err("queue ids must be dense and in order"));
                     }
-                    queues.push(QueueInfo { process, events: Vec::new() });
+                    queues.push(QueueInfo {
+                        process,
+                        events: Vec::new(),
+                    });
                 }
                 "listener" => {
                     let id = tok.id('l')? as usize;
@@ -364,7 +397,12 @@ impl<R: BufRead> Parser<R> {
                                 q.events.resize(si + 1, TaskId::new(u32::MAX));
                             }
                             q.events[si] = id;
-                            TaskKind::Event { queue, seq, origin, delay_ms }
+                            TaskKind::Event {
+                                queue,
+                                seq,
+                                origin,
+                                delay_ms,
+                            }
                         }
                         w => return Err(self.err(format!("unknown task kind `{w}`"))),
                     };
@@ -449,12 +487,28 @@ fn parse_record(line: &str, line_no: u64) -> Result<Record, ReadError> {
     let mut tok = Tokens::new(line, line_no);
     let tag = tok.word()?;
     let rec = match tag {
-        "fork" => Record::Fork { child: TaskId::new(tok.id('t')?) },
-        "join" => Record::Join { child: TaskId::new(tok.id('t')?) },
-        "wait" => Record::Wait { monitor: MonitorId::new(tok.id('m')?), gen: tok.u64()? as u32 },
-        "notify" => Record::Notify { monitor: MonitorId::new(tok.id('m')?), gen: tok.u64()? as u32 },
-        "lock" => Record::Lock { monitor: MonitorId::new(tok.id('m')?), gen: tok.u64()? as u32 },
-        "unlock" => Record::Unlock { monitor: MonitorId::new(tok.id('m')?), gen: tok.u64()? as u32 },
+        "fork" => Record::Fork {
+            child: TaskId::new(tok.id('t')?),
+        },
+        "join" => Record::Join {
+            child: TaskId::new(tok.id('t')?),
+        },
+        "wait" => Record::Wait {
+            monitor: MonitorId::new(tok.id('m')?),
+            gen: tok.u64()? as u32,
+        },
+        "notify" => Record::Notify {
+            monitor: MonitorId::new(tok.id('m')?),
+            gen: tok.u64()? as u32,
+        },
+        "lock" => Record::Lock {
+            monitor: MonitorId::new(tok.id('m')?),
+            gen: tok.u64()? as u32,
+        },
+        "unlock" => Record::Unlock {
+            monitor: MonitorId::new(tok.id('m')?),
+            gen: tok.u64()? as u32,
+        },
         "send" => Record::Send {
             event: TaskId::new(tok.id('t')?),
             queue: QueueId::new(tok.id('q')?),
@@ -464,25 +518,49 @@ fn parse_record(line: &str, line_no: u64) -> Result<Record, ReadError> {
             event: TaskId::new(tok.id('t')?),
             queue: QueueId::new(tok.id('q')?),
         },
-        "register" => Record::Register { listener: ListenerId::new(tok.id('l')?) },
-        "perform" => Record::Perform { listener: ListenerId::new(tok.id('l')?) },
-        "rpccall" => Record::RpcCall { txn: TxnId::new(tok.id('x')?) },
-        "rpchandle" => Record::RpcHandle { txn: TxnId::new(tok.id('x')?) },
-        "rpcreply" => Record::RpcReply { txn: TxnId::new(tok.id('x')?) },
-        "rpcrecv" => Record::RpcReceive { txn: TxnId::new(tok.id('x')?) },
-        "rd" => Record::Read { var: VarId::new(tok.id('v')?) },
-        "wr" => Record::Write { var: VarId::new(tok.id('v')?) },
+        "register" => Record::Register {
+            listener: ListenerId::new(tok.id('l')?),
+        },
+        "perform" => Record::Perform {
+            listener: ListenerId::new(tok.id('l')?),
+        },
+        "rpccall" => Record::RpcCall {
+            txn: TxnId::new(tok.id('x')?),
+        },
+        "rpchandle" => Record::RpcHandle {
+            txn: TxnId::new(tok.id('x')?),
+        },
+        "rpcreply" => Record::RpcReply {
+            txn: TxnId::new(tok.id('x')?),
+        },
+        "rpcrecv" => Record::RpcReceive {
+            txn: TxnId::new(tok.id('x')?),
+        },
+        "rd" => Record::Read {
+            var: VarId::new(tok.id('v')?),
+        },
+        "wr" => Record::Write {
+            var: VarId::new(tok.id('v')?),
+        },
         "oget" => {
             let var = VarId::new(tok.id('v')?);
             let w = tok.word()?;
-            let obj = if w == "-" { None } else { Some(ObjId::new(parse_id(w, 'o', line_no)?)) };
+            let obj = if w == "-" {
+                None
+            } else {
+                Some(ObjId::new(parse_id(w, 'o', line_no)?))
+            };
             let pc = parse_pc(tok.word()?, line_no)?;
             Record::ObjRead { var, obj, pc }
         }
         "oput" => {
             let var = VarId::new(tok.id('v')?);
             let w = tok.word()?;
-            let value = if w == "-" { None } else { Some(ObjId::new(parse_id(w, 'o', line_no)?)) };
+            let value = if w == "-" {
+                None
+            } else {
+                Some(ObjId::new(parse_id(w, 'o', line_no)?))
+            };
             let pc = parse_pc(tok.word()?, line_no)?;
             Record::ObjWrite { var, value, pc }
         }
@@ -511,7 +589,12 @@ fn parse_record(line: &str, line_no: u64) -> Result<Record, ReadError> {
                 .map(Pc::new)
                 .ok_or_else(|| ReadError::parse(line_no, format!("bad target `{t}`")))?;
             let obj = ObjId::new(tok.id('o')?);
-            Record::Guard { kind, pc, target, obj }
+            Record::Guard {
+                kind,
+                pc,
+                target,
+                obj,
+            }
         }
         "enter" => {
             let pc = parse_pc(tok.word()?, line_no)?;
@@ -527,7 +610,12 @@ fn parse_record(line: &str, line_no: u64) -> Result<Record, ReadError> {
             };
             Record::MethodExit { pc, exceptional }
         }
-        w => return Err(ReadError::parse(line_no, format!("unknown record tag `{w}`"))),
+        w => {
+            return Err(ReadError::parse(
+                line_no,
+                format!("unknown record tag `{w}`"),
+            ))
+        }
     };
     Ok(rec)
 }
@@ -539,7 +627,10 @@ struct Tokens<'a> {
 
 impl<'a> Tokens<'a> {
     fn new(s: &'a str, line: u64) -> Self {
-        Self { rest: s.trim(), line }
+        Self {
+            rest: s.trim(),
+            line,
+        }
     }
 
     fn word(&mut self) -> Result<&'a str, ReadError> {
@@ -584,7 +675,10 @@ impl<'a> Tokens<'a> {
         if w == kw {
             Ok(())
         } else {
-            Err(ReadError::parse(self.line, format!("expected `{kw}`, got `{w}`")))
+            Err(ReadError::parse(
+                self.line,
+                format!("expected `{kw}`, got `{w}`"),
+            ))
         }
     }
 
@@ -626,7 +720,13 @@ mod tests {
         b.perform(ev, l);
         b.obj_read(ev, VarId::new(2), Some(ObjId::new(5)), Pc::new(0x40));
         b.deref(ev, ObjId::new(5), Pc::new(0x44), DerefKind::Field);
-        b.guard(ev, BranchKind::IfEqz, Pc::new(0x48), Pc::new(0x60), ObjId::new(5));
+        b.guard(
+            ev,
+            BranchKind::IfEqz,
+            Pc::new(0x48),
+            Pc::new(0x60),
+            ObjId::new(5),
+        );
         b.process_event(ext);
         b.obj_write(ext, VarId::new(2), None, Pc::new(0x80));
         let w = b.fork(t, p, "worker");
@@ -653,7 +753,14 @@ mod tests {
 
     #[test]
     fn quoting_roundtrip() {
-        for s in ["plain", "has space", "quote\"inside", "back\\slash", "new\nline", ""] {
+        for s in [
+            "plain",
+            "has space",
+            "quote\"inside",
+            "back\\slash",
+            "new\nline",
+            "",
+        ] {
             let q = quote(s);
             assert_eq!(unquote(&q, 0).unwrap(), s);
         }

@@ -124,7 +124,10 @@ impl Trace {
 
     /// All queues in id order, with their ids.
     pub fn queues(&self) -> impl Iterator<Item = (QueueId, &QueueInfo)> {
-        self.queues.iter().enumerate().map(|(i, q)| (QueueId::from_usize(i), q))
+        self.queues
+            .iter()
+            .enumerate()
+            .map(|(i, q)| (QueueId::from_usize(i), q))
     }
 
     /// Number of registered listener identities.
@@ -164,12 +167,16 @@ impl Trace {
 
     /// The first event whose handler name is `name`, if any.
     pub fn event_named(&self, name: &str) -> Option<TaskId> {
-        self.events().find(|t| self.names.resolve(t.name) == name).map(|t| t.id)
+        self.events()
+            .find(|t| self.names.resolve(t.name) == name)
+            .map(|t| t.id)
     }
 
     /// The first thread whose name is `name`, if any.
     pub fn thread_named(&self, name: &str) -> Option<TaskId> {
-        self.threads().find(|t| self.names.resolve(t.name) == name).map(|t| t.id)
+        self.threads()
+            .find(|t| self.names.resolve(t.name) == name)
+            .map(|t| t.id)
     }
 
     /// Summary statistics, used by the evaluation harness and CLI.
@@ -253,7 +260,12 @@ mod tests {
         let e = b.post(t, q, "ev", 0);
         b.process_event(e);
         b.obj_write(e, VarId::new(0), None, Pc::new(4));
-        b.obj_write(e, VarId::new(0), Some(crate::ids::ObjId::new(1)), Pc::new(8));
+        b.obj_write(
+            e,
+            VarId::new(0),
+            Some(crate::ids::ObjId::new(1)),
+            Pc::new(8),
+        );
         b.read(t, VarId::new(1));
         let trace = b.finish().expect("valid trace");
 

@@ -86,7 +86,9 @@ fn check_records(trace: &Trace) -> Result<(), TraceError> {
                 }
                 let t = trace.task(event);
                 match t.kind {
-                    TaskKind::Event { queue: declared, .. } => {
+                    TaskKind::Event {
+                        queue: declared, ..
+                    } => {
                         if declared != queue {
                             return Err(TraceError::QueueMismatch {
                                 event,
@@ -104,19 +106,23 @@ fn check_records(trace: &Trace) -> Result<(), TraceError> {
                 }
             }
             Record::Register { listener } | Record::Perform { listener }
-                if listener.index() >= trace.listener_count() => {
-                    return Err(dangling(site, "an unknown listener"));
-                }
-            Record::MethodEnter { name, .. }
-                if trace.names().get(name).is_none() => {
-                    return Err(dangling(site, "an unknown name"));
-                }
+                if listener.index() >= trace.listener_count() =>
+            {
+                return Err(dangling(site, "an unknown listener"));
+            }
+            Record::MethodEnter { name, .. } if trace.names().get(name).is_none() => {
+                return Err(dangling(site, "an unknown name"));
+            }
             _ => {}
         }
     }
     // Thread fork-site back-pointers.
     for t in trace.threads() {
-        if let TaskKind::Thread { forked_at: Some(at), .. } = t.kind {
+        if let TaskKind::Thread {
+            forked_at: Some(at),
+            ..
+        } = t.kind
+        {
             match trace.get_record(at) {
                 Some(Record::Fork { child }) if *child == t.id => {}
                 _ => return Err(TraceError::BadFork { child: t.id }),
@@ -135,7 +141,11 @@ fn check_origins(trace: &Trace) -> Result<(), TraceError> {
             _ => continue,
         };
         if let Some(&first) = posted.get(&event) {
-            return Err(TraceError::DuplicateSend { event, first, second: site });
+            return Err(TraceError::DuplicateSend {
+                event,
+                first,
+                second: site,
+            });
         }
         posted.insert(event, site);
     }
@@ -145,7 +155,10 @@ fn check_origins(trace: &Trace) -> Result<(), TraceError> {
             EventOrigin::Sent { send } | EventOrigin::SentAtFront { send } => {
                 let found = posted.get(&t.id).copied();
                 if found != Some(send) {
-                    return Err(TraceError::MissingSendRecord { event: t.id, site: send });
+                    return Err(TraceError::MissingSendRecord {
+                        event: t.id,
+                        site: send,
+                    });
                 }
                 let matches_kind = match trace.get_record(send) {
                     Some(Record::Send { .. }) => !origin.is_front(),
@@ -153,7 +166,10 @@ fn check_origins(trace: &Trace) -> Result<(), TraceError> {
                     _ => false,
                 };
                 if !matches_kind {
-                    return Err(TraceError::MissingSendRecord { event: t.id, site: send });
+                    return Err(TraceError::MissingSendRecord {
+                        event: t.id,
+                        site: send,
+                    });
                 }
             }
             EventOrigin::External { .. } => {
@@ -194,7 +210,11 @@ fn check_locks(trace: &Trace) -> Result<(), TraceError> {
         }
         let len = trace.body_len(task.id);
         if let Some((&monitor, _)) = held.iter().find(|(_, &n)| n > 0) {
-            return Err(TraceError::UnbalancedLock { task: task.id, monitor, at: len });
+            return Err(TraceError::UnbalancedLock {
+                task: task.id,
+                monitor,
+                at: len,
+            });
         }
     }
     Ok(())
@@ -270,9 +290,19 @@ mod tests {
         let e = b.post(t, q, "ev", 0);
         b.process_event(e);
         // Manually forge a second send of the same event.
-        b.push(t, Record::Send { event: e, queue: q, delay_ms: 0 });
+        b.push(
+            t,
+            Record::Send {
+                event: e,
+                queue: q,
+                delay_ms: 0,
+            },
+        );
         let trace = b.finish_unchecked();
-        assert!(matches!(validate(&trace), Err(TraceError::DuplicateSend { .. })));
+        assert!(matches!(
+            validate(&trace),
+            Err(TraceError::DuplicateSend { .. })
+        ));
     }
 
     #[test]
@@ -284,9 +314,19 @@ mod tests {
         let t = b.add_thread(p, "main");
         let e = b.external(q1, "ev");
         b.process_event(e);
-        b.push(t, Record::Send { event: e, queue: q2, delay_ms: 0 });
+        b.push(
+            t,
+            Record::Send {
+                event: e,
+                queue: q2,
+                delay_ms: 0,
+            },
+        );
         let trace = b.finish_unchecked();
-        assert!(matches!(validate(&trace), Err(TraceError::QueueMismatch { .. })));
+        assert!(matches!(
+            validate(&trace),
+            Err(TraceError::QueueMismatch { .. })
+        ));
     }
 
     #[test]

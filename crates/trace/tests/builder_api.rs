@@ -1,8 +1,6 @@
 //! Builder and accessor API coverage beyond the unit tests.
 
-use cafa_trace::{
-    DerefKind, EventOrigin, ObjId, OpRef, Pc, Record, TaskKind, TraceBuilder, VarId,
-};
+use cafa_trace::{DerefKind, EventOrigin, ObjId, OpRef, Pc, Record, TaskKind, TraceBuilder, VarId};
 
 #[test]
 fn meta_setters_round_trip() {
@@ -25,7 +23,11 @@ fn names_mut_preinterning_is_shared() {
     let ev = b.post(t, q, "onCreate", 0);
     b.process_event(ev);
     let trace = b.finish().unwrap();
-    assert_eq!(trace.task(ev).name, pre, "builder reuses pre-interned names");
+    assert_eq!(
+        trace.task(ev).name,
+        pre,
+        "builder reuses pre-interned names"
+    );
 }
 
 #[test]
@@ -63,7 +65,11 @@ fn origin_kinds_expose_their_sites() {
 
     let front_origin = trace.task(front).origin().unwrap();
     assert!(front_origin.is_front());
-    assert_eq!(trace.task(front).delay_ms(), Some(0), "front posts carry no delay");
+    assert_eq!(
+        trace.task(front).delay_ms(),
+        Some(0),
+        "front posts carry no delay"
+    );
 
     let ext_origin = trace.task(ext).origin().unwrap();
     assert!(ext_origin.is_external());
@@ -94,7 +100,13 @@ fn stats_track_guards_and_derefs() {
     let t = b.add_thread(p, "main");
     let o = ObjId::new(1);
     b.obj_read(t, VarId::new(0), Some(o), Pc::new(0x1000));
-    b.guard(t, cafa_trace::BranchKind::IfNez, Pc::new(0x1004), Pc::new(0x1010), o);
+    b.guard(
+        t,
+        cafa_trace::BranchKind::IfNez,
+        Pc::new(0x1004),
+        Pc::new(0x1010),
+        o,
+    );
     b.deref(t, o, Pc::new(0x1014), DerefKind::Invoke);
     b.deref(t, o, Pc::new(0x1018), DerefKind::Field);
     let trace = b.finish().unwrap();

@@ -19,15 +19,20 @@ fn main() {
     // ---- Figure 2: onPause writes resizeAllowed, onLayout reads it ----
     let resize_allowed = p.scalar_var(1);
     let on_pause_fig2 = p.handler("onPause#fig2", Body::new().write(resize_allowed, 0));
-    let on_layout =
-        p.handler("onLayout", Body::new().read(resize_allowed).read(resize_allowed));
+    let on_layout = p.handler(
+        "onLayout",
+        Body::new().read(resize_allowed).read(resize_allowed),
+    );
 
     // ---- Figure 5: handler freed by onPause, guarded use in onFocus,
     //      re-allocating use in onResume --------------------------------
     let handler_ptr = p.ptr_var_alloc();
     let on_pause_fig5 = p.handler("onPause#fig5", Body::new().free(handler_ptr));
     let on_focus = p.handler("onFocus", Body::new().guarded_use(handler_ptr));
-    let on_resume = p.handler("onResume", Body::new().alloc(handler_ptr).use_ptr(handler_ptr));
+    let on_resume = p.handler(
+        "onResume",
+        Body::new().alloc(handler_ptr).use_ptr(handler_ptr),
+    );
 
     // Each event is posted by its own thread with strictly *decreasing*
     // delays, so no queue rule orders any pair: all five events are
@@ -36,12 +41,19 @@ fn main() {
     let handlers = [on_layout, on_focus, on_resume, on_pause_fig2, on_pause_fig5];
     for (i, h) in handlers.into_iter().enumerate() {
         let src = format!("src{i}");
-        p.thread(pr, &src, Body::new().post(l, h, (handlers.len() - i) as u64));
+        p.thread(
+            pr,
+            &src,
+            Body::new().post(l, h, (handlers.len() - i) as u64),
+        );
     }
     let program = p.build();
 
     let outcome = run(&program, &SimConfig::with_seed(7)).unwrap();
-    assert!(!outcome.crashed(), "all patterns are commutative: no NPE in any order");
+    assert!(
+        !outcome.crashed(),
+        "all patterns are commutative: no NPE in any order"
+    );
     let trace = outcome.trace.unwrap();
 
     // ---- Conventional definition: plenty of races -----------------------
@@ -50,7 +62,10 @@ fn main() {
         "low-level conflicting-access definition: {} racy statement pair(s)",
         lowlevel.racy_pairs
     );
-    assert!(lowlevel.racy_pairs >= 1, "figure 2's read-write conflict is there");
+    assert!(
+        lowlevel.racy_pairs >= 1,
+        "figure 2's read-write conflict is there"
+    );
 
     // ---- CAFA: zero reports, heuristics explain why ----------------------
     let report = Analyzer::new().analyze(&trace).unwrap();
@@ -60,11 +75,19 @@ fn main() {
     }
     assert_eq!(report.races.len(), 0);
     let reasons: Vec<FilterReason> = report.filtered.iter().map(|f| f.reason).collect();
-    assert!(reasons.contains(&FilterReason::IfGuard), "onFocus is if-guarded");
-    assert!(reasons.contains(&FilterReason::AllocBeforeUse), "onResume re-allocates");
+    assert!(
+        reasons.contains(&FilterReason::IfGuard),
+        "onFocus is if-guarded"
+    );
+    assert!(
+        reasons.contains(&FilterReason::AllocBeforeUse),
+        "onResume re-allocates"
+    );
 
     // ---- Without the heuristics: the candidates come back ---------------
-    let noisy = Analyzer::with_config(DetectorConfig::unfiltered()).analyze(&trace).unwrap();
+    let noisy = Analyzer::with_config(DetectorConfig::unfiltered())
+        .analyze(&trace)
+        .unwrap();
     println!("without §4.3 heuristics: {} report(s)", noisy.races.len());
     assert!(noisy.races.len() >= 2);
     println!("=> effect-oriented + commutativity filtering is what keeps precision at 60%.");

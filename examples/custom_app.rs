@@ -28,7 +28,11 @@ fn main() {
     let on_thumb_ready = p.handler(
         "onThumbReady",
         Body::from_actions(vec![
-            Action::UsePtr { var: cache, kind: DerefKind::Invoke, catch_npe: false },
+            Action::UsePtr {
+                var: cache,
+                kind: DerefKind::Invoke,
+                catch_npe: false,
+            },
             Action::WriteScalar(scroll_pos, 1),
         ]),
     );
@@ -39,7 +43,10 @@ fn main() {
         "onScroll",
         Body::from_actions(vec![
             Action::ReadScalar(scroll_pos),
-            Action::CallAsync { service: decoder, method: decode },
+            Action::CallAsync {
+                service: decoder,
+                method: decode,
+            },
         ]),
     );
 
@@ -51,11 +58,14 @@ fn main() {
     p.thread(
         app,
         "prefetch",
-        Body::from_actions(vec![Action::AllocPtr(cache), Action::Post {
-            looper: main,
-            handler: on_scroll,
-            delay_ms: 0,
-        }]),
+        Body::from_actions(vec![
+            Action::AllocPtr(cache),
+            Action::Post {
+                looper: main,
+                handler: on_scroll,
+                delay_ms: 0,
+            },
+        ]),
     );
 
     // User interaction: scroll twice, then the system trims memory.

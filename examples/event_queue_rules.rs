@@ -3,6 +3,7 @@
 //!
 //! Run with: `cargo run --example event_queue_rules`
 
+use cafa::engine::AnalysisSession;
 use cafa::hb::{CausalityConfig, HbModel};
 use cafa::sim::{run, Action, Body, ProgramBuilder, SimConfig};
 use cafa::trace::{TaskId, Trace};
@@ -44,7 +45,9 @@ fn main() {
     let b = p.handler("B", noop.clone());
     p.thread(pr, "T", Body::new().post(l, a, 1).post(l, b, 1));
     let t = record(p.build());
-    let m = HbModel::build(&t, CausalityConfig::cafa()).unwrap();
+    let m = AnalysisSession::new(&t)
+        .model(CausalityConfig::cafa())
+        .unwrap();
     show(&t, &m, "A", "B"); // A ≺ B (queue rule 1)
 
     // ---- Figure 4c: larger delay first => no order ----------------------
@@ -56,7 +59,9 @@ fn main() {
     let b = p.handler("B", noop.clone());
     p.thread(pr, "T", Body::new().post(l, a, 5).post(l, b, 0));
     let t = record(p.build());
-    let m = HbModel::build(&t, CausalityConfig::cafa()).unwrap();
+    let m = AnalysisSession::new(&t)
+        .model(CausalityConfig::cafa())
+        .unwrap();
     show(&t, &m, "A", "B"); // concurrent
 
     // ---- Figure 4d: send + sendAtFront inside one event => B ≺ A --------
@@ -69,13 +74,22 @@ fn main() {
     let c = p.handler(
         "C",
         Body::from_actions(vec![
-            Action::Post { looper: l, handler: a, delay_ms: 0 },
-            Action::PostFront { looper: l, handler: b },
+            Action::Post {
+                looper: l,
+                handler: a,
+                delay_ms: 0,
+            },
+            Action::PostFront {
+                looper: l,
+                handler: b,
+            },
         ]),
     );
     p.gesture(0, l, c);
     let t = record(p.build());
-    let m = HbModel::build(&t, CausalityConfig::cafa()).unwrap();
+    let m = AnalysisSession::new(&t)
+        .model(CausalityConfig::cafa())
+        .unwrap();
     show(&t, &m, "B", "A"); // B ≺ A (queue rule 2)
     show(&t, &m, "C", "A"); // C ≺ A (atomicity)
 
@@ -90,10 +104,18 @@ fn main() {
     p.thread(
         pr,
         "T2",
-        Body::from_actions(vec![Action::Sleep(1), Action::PostFront { looper: l, handler: b }]),
+        Body::from_actions(vec![
+            Action::Sleep(1),
+            Action::PostFront {
+                looper: l,
+                handler: b,
+            },
+        ]),
     );
     let t = record(p.build());
-    let m = HbModel::build(&t, CausalityConfig::cafa()).unwrap();
+    let m = AnalysisSession::new(&t)
+        .model(CausalityConfig::cafa())
+        .unwrap();
     show(&t, &m, "A", "B"); // concurrent: both orders are possible
 
     // ---- Figure 4a: atomicity via fork + listener ------------------------
@@ -115,10 +137,19 @@ fn main() {
     p.thread(
         pr,
         "srcB",
-        Body::from_actions(vec![Action::Sleep(5), Action::Post { looper: l, handler: b, delay_ms: 0 }]),
+        Body::from_actions(vec![
+            Action::Sleep(5),
+            Action::Post {
+                looper: l,
+                handler: b,
+                delay_ms: 0,
+            },
+        ]),
     );
     let t = record(p.build());
-    let m = HbModel::build(&t, CausalityConfig::cafa()).unwrap();
+    let m = AnalysisSession::new(&t)
+        .model(CausalityConfig::cafa())
+        .unwrap();
     show(&t, &m, "A", "B"); // A ≺ B: register ≺ perform lifted by atomicity
 
     println!("\nAll six Figure 4 behaviors derived exactly as the paper specifies.");

@@ -6,7 +6,8 @@
 //!
 //! Run with: `cargo run --example explain_ordering`
 
-use cafa::hb::{CausalityConfig, EdgeKind, HbModel};
+use cafa::engine::AnalysisSession;
+use cafa::hb::{CausalityConfig, EdgeKind};
 use cafa::sim::{run, Action, Body, ProgramBuilder, SimConfig};
 use cafa::trace::OpRef;
 
@@ -26,15 +27,27 @@ fn main() {
     let create = p.handler(
         "onCreate",
         Body::from_actions(vec![
-            Action::Call { service: svc, method: get },
-            Action::Post { looper: main, handler: render, delay_ms: 0 },
+            Action::Call {
+                service: svc,
+                method: get,
+            },
+            Action::Post {
+                looper: main,
+                handler: render,
+                delay_ms: 0,
+            },
         ]),
     );
     p.gesture(0, main, create);
     let program = p.build();
 
-    let trace = run(&program, &SimConfig::with_seed(0)).unwrap().trace.unwrap();
-    let model = HbModel::build(&trace, CausalityConfig::cafa()).unwrap();
+    let trace = run(&program, &SimConfig::with_seed(0))
+        .unwrap()
+        .trace
+        .unwrap();
+    let model = AnalysisSession::new(&trace)
+        .model(CausalityConfig::cafa())
+        .unwrap();
 
     // Find the RPC call record in onCreate and the theme read in
     // onRender.
@@ -74,10 +87,19 @@ fn main() {
     let a = p.handler("A", Body::new());
     let b = p.handler("B", Body::new());
     p.thread(pr, "T", Body::new().post(l, a, 2).post(l, b, 2));
-    let trace = run(&p.build(), &SimConfig::with_seed(0)).unwrap().trace.unwrap();
-    let model = HbModel::build(&trace, CausalityConfig::cafa()).unwrap();
+    let trace = run(&p.build(), &SimConfig::with_seed(0))
+        .unwrap()
+        .trace
+        .unwrap();
+    let model = AnalysisSession::new(&trace)
+        .model(CausalityConfig::cafa())
+        .unwrap();
     let ev = |name: &str| {
-        trace.events().find(|t| trace.names().resolve(t.name) == name).unwrap().id
+        trace
+            .events()
+            .find(|t| trace.names().resolve(t.name) == name)
+            .unwrap()
+            .id
     };
     let (ea, eb) = (ev("A"), ev("B"));
     assert!(model.event_before(ea, eb));
@@ -100,7 +122,9 @@ fn main() {
         );
     }
     assert!(
-        chain.iter().any(|s| matches!(s.kind, EdgeKind::Queue(_) | EdgeKind::Atomicity)),
+        chain
+            .iter()
+            .any(|s| matches!(s.kind, EdgeKind::Queue(_) | EdgeKind::Atomicity)),
         "a derived rule edge appears in the chain"
     );
     println!("\n=> every ordering is traceable to the rule that produced it.");

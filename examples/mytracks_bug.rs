@@ -24,7 +24,10 @@ fn main() {
         let bind = p.method(svc, "onBind", Body::new().post(main, connected, 0));
         let resume = p.handler(
             "onResume",
-            Body::from_actions(vec![Action::CallAsync { service: svc, method: bind }]),
+            Body::from_actions(vec![Action::CallAsync {
+                service: svc,
+                method: bind,
+            }]),
         );
         let destroy = p.handler("onDestroy", Body::new().free(provider_utils));
         p.gesture(0, main, resume);
@@ -48,7 +51,10 @@ fn main() {
         }
     }
     println!("32 schedules: {crashes} crash with an NPE, {clean} run clean");
-    assert!(crashes > 0 && clean > 0, "the bug should be schedule-dependent");
+    assert!(
+        crashes > 0 && clean > 0,
+        "the bug should be schedule-dependent"
+    );
 
     // ---- 2. CAFA finds it from a CLEAN run ------------------------------
     // This is the whole point of predictive race detection: no crash

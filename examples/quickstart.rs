@@ -4,7 +4,8 @@
 //! Run with: `cargo run --example quickstart`
 
 use cafa::detect::{Analyzer, RaceClass};
-use cafa::hb::{CausalityConfig, HbModel};
+use cafa::engine::AnalysisSession;
+use cafa::hb::CausalityConfig;
 use cafa::trace::{DerefKind, ObjId, Pc, TraceBuilder, VarId};
 
 fn main() {
@@ -38,22 +39,30 @@ fn main() {
     b.obj_write(on_destroy, provider_utils, None, Pc::new(0x2010)); // providerUtils = null
 
     let trace = b.finish().expect("well-formed trace");
-    println!("trace: {} events, {} records", trace.stats().events, trace.stats().records);
+    println!(
+        "trace: {} events, {} records",
+        trace.stats().events,
+        trace.stats().records
+    );
 
     // ---- 2. Ask the causality model ----------------------------------
-    let model = HbModel::build(&trace, CausalityConfig::cafa()).unwrap();
+    //
+    // A session owns the derived state for one trace: models are built
+    // once per causality config and shared with the detector below.
+    let session = AnalysisSession::new(&trace);
+    let model = session.model(CausalityConfig::cafa()).unwrap();
     println!(
         "onServiceConnected and onDestroy concurrent under CAFA? {}",
         model.concurrent_events(connected, on_destroy)
     );
-    let conventional = HbModel::build(&trace, CausalityConfig::conventional()).unwrap();
+    let conventional = session.model(CausalityConfig::conventional()).unwrap();
     println!(
         "... and under a conventional (total event order) model? {}",
         conventional.concurrent_events(connected, on_destroy)
     );
 
     // ---- 3. Detect races ----------------------------------------------
-    let report = Analyzer::new().analyze(&trace).unwrap();
+    let report = Analyzer::new().analyze_with(&session).unwrap();
     print!("{}", report.render(&trace));
     assert_eq!(report.races.len(), 1);
     assert_eq!(report.races[0].class, RaceClass::IntraThread);

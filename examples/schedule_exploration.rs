@@ -29,16 +29,28 @@ fn main() {
     );
     assert!(summary.distinct_orders > 1, "the scheduler explores orders");
     assert!(summary.crashed > 0, "some orders free before using");
-    assert!(summary.crashed < summary.schedules, "some orders are benign");
+    assert!(
+        summary.crashed < summary.schedules,
+        "some orders are benign"
+    );
 
     // Detection does not depend on being lucky: any crash-free seed's
     // trace reports the races.
     let clean_seed = (0..64)
         .find(|&s| {
-            !cafa::sim::run(&program, &cafa::sim::SimConfig::with_seed(s)).unwrap().crashed()
+            !cafa::sim::run(&program, &cafa::sim::SimConfig::with_seed(s))
+                .unwrap()
+                .crashed()
         })
         .expect("some schedule is clean");
     let report = cafa::record_and_analyze(&program, clean_seed).unwrap();
-    println!("from clean schedule {clean_seed}: {} race(s) found", report.races.len());
-    assert_eq!(report.races.len(), 2, "onOpen-vs-onClose and onEdit-vs-onClose");
+    println!(
+        "from clean schedule {clean_seed}: {} race(s) found",
+        report.races.len()
+    );
+    assert_eq!(
+        report.races.len(),
+        2,
+        "onOpen-vs-onClose and onEdit-vs-onClose"
+    );
 }

@@ -12,6 +12,7 @@
 //! |---|---|---|
 //! | [`trace`] | `cafa-trace` | trace model, builder, validation, serialization |
 //! | [`hb`] | `cafa-hb` | happens-before model (§3): rules, fixpoint, queries |
+//! | [`engine`] | `cafa-engine` | analysis sessions, cached models, passes, fleet runner |
 //! | [`detect`] | `cafa-core` | use-free race detector (§4) + baselines |
 //! | [`sim`] | `cafa-sim` | Android-like runtime simulator (§5 substitute) |
 //! | [`apps`] | `cafa-apps` | the ten evaluated app workloads + ground truth |
@@ -42,6 +43,7 @@
 
 pub use cafa_apps as apps;
 pub use cafa_core as detect;
+pub use cafa_engine as engine;
 pub use cafa_hb as hb;
 pub use cafa_sim as sim;
 pub use cafa_trace as trace;
@@ -50,6 +52,7 @@ pub use cafa_trace as trace;
 /// construction, and detection.
 pub mod prelude {
     pub use cafa_core::{Analyzer, DetectorConfig, RaceClass, RaceReport};
+    pub use cafa_engine::AnalysisSession;
     pub use cafa_hb::{CausalityConfig, HbModel, OpOrder};
     pub use cafa_sim::{run, Action, Body, InstrumentConfig, Program, ProgramBuilder, SimConfig};
     pub use cafa_trace::{OpRef, Trace, TraceBuilder};
@@ -63,14 +66,12 @@ pub mod prelude {
 /// Returns an error string when the simulation fails (deadlock, step
 /// budget) or the trace implies an inconsistent happens-before
 /// relation.
-pub fn record_and_analyze(
-    program: &sim::Program,
-    seed: u64,
-) -> Result<detect::RaceReport, String> {
-    let outcome =
-        sim::run(program, &sim::SimConfig::with_seed(seed)).map_err(|e| e.to_string())?;
+pub fn record_and_analyze(program: &sim::Program, seed: u64) -> Result<detect::RaceReport, String> {
+    let outcome = sim::run(program, &sim::SimConfig::with_seed(seed)).map_err(|e| e.to_string())?;
     let trace = outcome.trace.expect("instrumentation is on by default");
-    detect::Analyzer::new().analyze(&trace).map_err(|e| e.to_string())
+    detect::Analyzer::new()
+        .analyze(&trace)
+        .map_err(|e| e.to_string())
 }
 
 #[cfg(test)]

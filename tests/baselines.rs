@@ -17,7 +17,9 @@ use cafa_sim::{run, Action, Body, ProgramBuilder, SimConfig};
 use cafa_trace::Trace;
 
 fn racy_var_count_graph(trace: &Trace) -> usize {
-    count_races(trace, CausalityConfig::fasttrack_like()).unwrap().racy_vars
+    count_races(trace, CausalityConfig::fasttrack_like())
+        .unwrap()
+        .racy_vars
 }
 
 /// A random mix of threads and events touching a few shared variables
@@ -69,7 +71,11 @@ fn random_threaded_program(gen_seed: u64) -> cafa_sim::Program {
                 }
                 _ => {
                     let h = cafa_sim::HandlerId::from_index(rng.gen_range(0..n_handlers) as u32);
-                    actions.push(Action::Post { looper, handler: h, delay_ms: 0 });
+                    actions.push(Action::Post {
+                        looper,
+                        handler: h,
+                        delay_ms: 0,
+                    });
                 }
             }
         }
@@ -97,7 +103,10 @@ fn fasttrack_agrees_with_graph_model_on_random_programs() {
             nonzero += 1;
         }
     }
-    assert!(nonzero >= 10, "the generator must produce real races ({nonzero})");
+    assert!(
+        nonzero >= 10,
+        "the generator must produce real races ({nonzero})"
+    );
 }
 
 #[test]
@@ -121,9 +130,15 @@ fn more_order_means_fewer_lowlevel_races() {
         let apps = cafa_apps::all_apps();
         let app = apps.iter().find(|a| a.name == name).unwrap();
         let trace = app.record(0).unwrap().trace.unwrap();
-        let cafa = count_races(&trace, CausalityConfig::cafa()).unwrap().racy_pairs;
-        let relaxed = count_races(&trace, CausalityConfig::no_queue_rules()).unwrap().racy_pairs;
-        let conv = count_races(&trace, CausalityConfig::conventional()).unwrap().racy_pairs;
+        let cafa = count_races(&trace, CausalityConfig::cafa())
+            .unwrap()
+            .racy_pairs;
+        let relaxed = count_races(&trace, CausalityConfig::no_queue_rules())
+            .unwrap()
+            .racy_pairs;
+        let conv = count_races(&trace, CausalityConfig::conventional())
+            .unwrap()
+            .racy_pairs;
         assert!(relaxed >= cafa, "{name}: dropping rules can only add races");
         assert!(conv <= cafa, "{name}: total order can only remove races");
     }

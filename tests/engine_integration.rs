@@ -1,0 +1,109 @@
+//! Engine integration: a shared [`AnalysisSession`] must be
+//! behaviorally invisible (identical reports to the direct facade),
+//! cache reuse must be observable through session stats, and the fleet
+//! runner must produce byte-identical output at any worker count.
+
+use cafa::detect::lowlevel::count_races_with;
+use cafa::detect::Analyzer;
+use cafa::engine::{fleet, AnalysisSession};
+use cafa::hb::CausalityConfig;
+use cafa::trace::{DerefKind, ObjId, Pc, Trace, TraceBuilder, VarId};
+
+/// A small trace with one cross-task use-free race plus an allocation
+/// pattern the heuristics filter, so every detector pass has work.
+/// `tag` varies the app name so fleet items are distinguishable.
+fn racy_trace(tag: usize) -> Trace {
+    let mut b = TraceBuilder::new(format!("app-{tag}"));
+    let p = b.add_process();
+    let q = b.add_queue(p);
+    let t1 = b.add_thread(p, "src1");
+    let t2 = b.add_thread(p, "src2");
+    let v = VarId::new(0);
+    let o = ObjId::new(1);
+
+    let use_ev = b.post(t1, q, "useEv", 0);
+    b.process_event(use_ev);
+    b.obj_read(use_ev, v, Some(o), Pc::new(0x1010));
+    b.deref(use_ev, o, Pc::new(0x1014), DerefKind::Invoke);
+
+    let free_ev = b.post(t2, q, "freeEv", 0);
+    b.process_event(free_ev);
+    b.obj_write(free_ev, v, None, Pc::new(0x2010));
+
+    // Re-allocate then use inside one event: filtered (alloc-before-use).
+    let realloc = b.post(t2, q, "realloc", 0);
+    b.process_event(realloc);
+    let o2 = ObjId::new(2);
+    b.obj_write(realloc, v, Some(o2), Pc::new(0x3010));
+    b.obj_read(realloc, v, Some(o2), Pc::new(0x3014));
+    b.deref(realloc, o2, Pc::new(0x3018), DerefKind::Invoke);
+
+    b.finish().unwrap()
+}
+
+#[test]
+fn session_reports_are_identical_to_direct_analyze() {
+    for tag in 0..4 {
+        let trace = racy_trace(tag);
+        let direct = Analyzer::new().analyze(&trace).unwrap();
+
+        let session = AnalysisSession::new(&trace);
+        let shared = Analyzer::new().analyze_with(&session).unwrap();
+
+        assert_eq!(direct.app, shared.app);
+        assert_eq!(direct.races, shared.races);
+        assert_eq!(direct.filtered, shared.filtered);
+        // DetectStats equality covers pass names and item counts but
+        // deliberately ignores wall times.
+        assert_eq!(direct.stats, shared.stats);
+        assert_eq!(direct.render(&trace), shared.render(&trace));
+    }
+}
+
+#[test]
+fn repeated_analyses_hit_the_model_cache() {
+    let trace = racy_trace(0);
+    let session = AnalysisSession::new(&trace);
+    let analyzer = Analyzer::new();
+
+    let first = analyzer.analyze_with(&session).unwrap();
+    let after_first = session.stats();
+    assert!(after_first.model_builds >= 1);
+
+    let second = analyzer.analyze_with(&session).unwrap();
+    let after_second = session.stats();
+    assert_eq!(
+        after_second.model_builds, after_first.model_builds,
+        "the second analysis must not rebuild any fixpoint"
+    );
+    assert!(
+        after_second.model_cache_hits > after_first.model_cache_hits,
+        "the second analysis must be served from the cache"
+    );
+    assert_eq!(first.races, second.races);
+
+    // The low-level baseline shares the same cached models.
+    let before = session.stats();
+    count_races_with(&session, CausalityConfig::cafa()).unwrap();
+    let after = session.stats();
+    assert_eq!(after.model_builds, before.model_builds);
+    assert!(after.model_cache_hits > before.model_cache_hits);
+}
+
+#[test]
+fn fleet_output_is_byte_identical_at_any_thread_count() {
+    let traces: Vec<Trace> = (0..12).map(racy_trace).collect();
+    let render = |trace: &Trace| -> String {
+        let session = AnalysisSession::new(trace);
+        Analyzer::new()
+            .analyze_with(&session)
+            .unwrap()
+            .render(trace)
+    };
+    let serial = fleet::map(&traces, 1, render);
+    for threads in [2, 3, 8, 32] {
+        let parallel = fleet::map(&traces, threads, render);
+        assert_eq!(serial, parallel, "output diverged at {threads} threads");
+    }
+    assert!(serial.iter().all(|s| s.contains("1 race(s) reported")));
+}

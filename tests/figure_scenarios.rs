@@ -32,7 +32,10 @@ fn figure1_mytracks_race_detected() {
     let bind = p.method(svc, "onBind", Body::new().post(main, connected, 0));
     let resume = p.handler(
         "onResume",
-        Body::from_actions(vec![Action::CallAsync { service: svc, method: bind }]),
+        Body::from_actions(vec![Action::CallAsync {
+            service: svc,
+            method: bind,
+        }]),
     );
     let destroy = p.handler("onDestroy", Body::new().free(provider_utils));
     p.gesture(0, main, resume);
@@ -40,7 +43,10 @@ fn figure1_mytracks_race_detected() {
     let trace = record(p.build());
 
     let model = HbModel::build(&trace, CausalityConfig::cafa()).unwrap();
-    let (c, d) = (event(&trace, "onServiceConnected"), event(&trace, "onDestroy"));
+    let (c, d) = (
+        event(&trace, "onServiceConnected"),
+        event(&trace, "onDestroy"),
+    );
     assert!(model.concurrent_events(c, d));
     // onResume is ordered before onServiceConnected through the RPC.
     assert!(model.event_before(event(&trace, "onResume"), c));
@@ -66,9 +72,11 @@ fn figure2_commutative_rw_not_reported() {
 
     let report = Analyzer::new().analyze(&trace).unwrap();
     assert!(report.races.is_empty(), "not a use-free race");
-    let lowlevel =
-        cafa_core::lowlevel::count_races(&trace, CausalityConfig::cafa()).unwrap();
-    assert_eq!(lowlevel.racy_pairs, 1, "but the conventional definition fires");
+    let lowlevel = cafa_core::lowlevel::count_races(&trace, CausalityConfig::cafa()).unwrap();
+    assert_eq!(
+        lowlevel.racy_pairs, 1,
+        "but the conventional definition fires"
+    );
 }
 
 /// Figure 4b/4c: delay interplay between two sends from one thread.
@@ -110,15 +118,25 @@ fn figure4_send_at_front() {
     let c = p.handler(
         "C",
         Body::from_actions(vec![
-            Action::Post { looper: l, handler: a, delay_ms: 0 },
-            Action::PostFront { looper: l, handler: b },
+            Action::Post {
+                looper: l,
+                handler: a,
+                delay_ms: 0,
+            },
+            Action::PostFront {
+                looper: l,
+                handler: b,
+            },
         ]),
     );
     p.gesture(0, l, c);
     let trace = record(p.build());
     let m = HbModel::build(&trace, CausalityConfig::cafa()).unwrap();
     assert!(m.event_before(event(&trace, "B"), event(&trace, "A")));
-    assert!(m.event_before(event(&trace, "C"), event(&trace, "A")), "atomicity");
+    assert!(
+        m.event_before(event(&trace, "C"), event(&trace, "A")),
+        "atomicity"
+    );
 
     // 4e/4f: the front-send comes from an unrelated thread — no order.
     let mut p = ProgramBuilder::new("fig4ef");
@@ -130,7 +148,13 @@ fn figure4_send_at_front() {
     p.thread(
         pr,
         "T2",
-        Body::from_actions(vec![Action::Sleep(1), Action::PostFront { looper: l, handler: b }]),
+        Body::from_actions(vec![
+            Action::Sleep(1),
+            Action::PostFront {
+                looper: l,
+                handler: b,
+            },
+        ]),
     );
     let trace = record(p.build());
     let m = HbModel::build(&trace, CausalityConfig::cafa()).unwrap();
@@ -147,7 +171,10 @@ fn figure5_commutative_events_filtered() {
     let handler_ptr = p.ptr_var_alloc();
     let pause = p.handler("onPause", Body::new().free(handler_ptr));
     let focus = p.handler("onFocus", Body::new().guarded_use(handler_ptr));
-    let resume = p.handler("onResume", Body::new().alloc(handler_ptr).use_ptr(handler_ptr));
+    let resume = p.handler(
+        "onResume",
+        Body::new().alloc(handler_ptr).use_ptr(handler_ptr),
+    );
     // Decreasing delays keep all three concurrent.
     p.thread(pr, "s1", Body::new().post(l, focus, 3));
     p.thread(pr, "s2", Body::new().post(l, resume, 2));
@@ -161,6 +188,8 @@ fn figure5_commutative_events_filtered() {
     assert!(reasons.contains(&FilterReason::AllocBeforeUse));
 
     // Without the heuristics both candidates are reported.
-    let noisy = Analyzer::with_config(DetectorConfig::unfiltered()).analyze(&trace).unwrap();
+    let noisy = Analyzer::with_config(DetectorConfig::unfiltered())
+        .analyze(&trace)
+        .unwrap();
     assert_eq!(noisy.races.len(), 2);
 }

@@ -16,8 +16,18 @@ fn canonical_trace() -> cafa_trace::Trace {
     let ev = b.post(t, q, "onCreate", 5);
     b.process_event(ev);
     b.register(ev, l);
-    b.obj_read(ev, VarId::new(0), Some(cafa_trace::ObjId::new(1)), cafa_trace::Pc::new(0x1010));
-    b.deref(ev, cafa_trace::ObjId::new(1), cafa_trace::Pc::new(0x1014), cafa_trace::DerefKind::Field);
+    b.obj_read(
+        ev,
+        VarId::new(0),
+        Some(cafa_trace::ObjId::new(1)),
+        cafa_trace::Pc::new(0x1010),
+    );
+    b.deref(
+        ev,
+        cafa_trace::ObjId::new(1),
+        cafa_trace::Pc::new(0x1014),
+        cafa_trace::DerefKind::Field,
+    );
     b.obj_write(ev, VarId::new(0), None, cafa_trace::Pc::new(0x1020));
     let w = b.fork(t, p, "worker");
     b.lock(w, cafa_trace::MonitorId::new(0), 1);

@@ -61,7 +61,11 @@ fn random_program(gen_seed: u64) -> Program {
             actions.push(if front {
                 Action::PostFront { looper, handler }
             } else {
-                Action::Post { looper, handler, delay_ms: delay }
+                Action::Post {
+                    looper,
+                    handler,
+                    delay_ms: delay,
+                }
             });
         }
         if rng.gen_ratio(1, 3) {
@@ -87,7 +91,11 @@ fn random_program(gen_seed: u64) -> Program {
                 &format!("src{h}"),
                 Body::from_actions(vec![
                     Action::Sleep(sleep),
-                    Action::Post { looper, handler, delay_ms: delay },
+                    Action::Post {
+                        looper,
+                        handler,
+                        delay_ms: delay,
+                    },
                 ]),
             );
         }
@@ -126,8 +134,10 @@ fn derived_orderings_hold_in_every_schedule() {
         for &e1 in &events {
             for &e2 in &events {
                 if e1 != e2 && model.event_before(e1, e2) {
-                    hb_pairs
-                        .push((trace.task_name(e1).to_owned(), trace.task_name(e2).to_owned()));
+                    hb_pairs.push((
+                        trace.task_name(e1).to_owned(),
+                        trace.task_name(e2).to_owned(),
+                    ));
                 }
             }
         }
@@ -146,7 +156,10 @@ fn derived_orderings_hold_in_every_schedule() {
             }
         }
     }
-    assert!(checked_pairs > 1_000, "the test must exercise real orderings ({checked_pairs})");
+    assert!(
+        checked_pairs > 1_000,
+        "the test must exercise real orderings ({checked_pairs})"
+    );
 }
 
 #[test]
@@ -156,7 +169,10 @@ fn conventional_model_is_coarser_on_single_looper_programs() {
     // pairs are a subset of CAFA-concurrent pairs.
     for gen_seed in 0..10 {
         let program = random_program(gen_seed);
-        let trace = run(&program, &SimConfig::with_seed(0)).unwrap().trace.unwrap();
+        let trace = run(&program, &SimConfig::with_seed(0))
+            .unwrap()
+            .trace
+            .unwrap();
         let cafa = HbModel::build(&trace, CausalityConfig::cafa()).unwrap();
         let conv = HbModel::build(&trace, CausalityConfig::conventional()).unwrap();
         for &e1 in cafa.events() {
@@ -179,7 +195,10 @@ fn conventional_model_is_coarser_on_single_looper_programs() {
 fn model_is_a_strict_partial_order() {
     for gen_seed in 0..10 {
         let program = random_program(gen_seed + 100);
-        let trace = run(&program, &SimConfig::with_seed(3)).unwrap().trace.unwrap();
+        let trace = run(&program, &SimConfig::with_seed(3))
+            .unwrap()
+            .trace
+            .unwrap();
         let model = HbModel::build(&trace, CausalityConfig::cafa()).unwrap();
         let events = model.events().to_vec();
         // Antisymmetry.

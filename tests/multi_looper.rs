@@ -29,7 +29,10 @@ fn cross_looper_events_are_unordered() {
     // One thread posts A to main then B to the worker looper, equal
     // delays: queue rule 1 does NOT apply across queues.
     p.thread(pr, "T", Body::new().post(main, a, 1).post(worker, b, 1));
-    let trace = run(&p.build(), &SimConfig::with_seed(0)).unwrap().trace.unwrap();
+    let trace = run(&p.build(), &SimConfig::with_seed(0))
+        .unwrap()
+        .trace
+        .unwrap();
     let m = HbModel::build(&trace, CausalityConfig::cafa()).unwrap();
     assert!(m.concurrent_events(event(&trace, "A"), event(&trace, "B")));
     assert!(!m.same_looper(event(&trace, "A"), event(&trace, "B")));
@@ -45,7 +48,10 @@ fn same_looper_rules_still_apply() {
     let a = p.handler("A", Body::new());
     let b = p.handler("B", Body::new());
     p.thread(pr, "T", Body::new().post(main, a, 1).post(main, b, 1));
-    let trace = run(&p.build(), &SimConfig::with_seed(0)).unwrap().trace.unwrap();
+    let trace = run(&p.build(), &SimConfig::with_seed(0))
+        .unwrap()
+        .trace
+        .unwrap();
     let m = HbModel::build(&trace, CausalityConfig::cafa()).unwrap();
     assert!(m.event_before(event(&trace, "A"), event(&trace, "B")));
 }
@@ -62,7 +68,10 @@ fn external_rule_spans_queues() {
     let b = p.handler("tapB", Body::new());
     p.gesture(0, main, a);
     p.gesture(10, worker, b);
-    let trace = run(&p.build(), &SimConfig::with_seed(0)).unwrap().trace.unwrap();
+    let trace = run(&p.build(), &SimConfig::with_seed(0))
+        .unwrap()
+        .trace
+        .unwrap();
     let m = HbModel::build(&trace, CausalityConfig::cafa()).unwrap();
     assert!(m.event_before(event(&trace, "tapA"), event(&trace, "tapB")));
 }
@@ -83,13 +92,19 @@ fn cross_looper_use_free_race_is_not_intra_thread() {
     p.thread(
         pr,
         "s2",
-        Body::from_actions(vec![cafa_sim::Action::Sleep(20), cafa_sim::Action::Post {
-            looper: worker,
-            handler: free_h,
-            delay_ms: 0,
-        }]),
+        Body::from_actions(vec![
+            cafa_sim::Action::Sleep(20),
+            cafa_sim::Action::Post {
+                looper: worker,
+                handler: free_h,
+                delay_ms: 0,
+            },
+        ]),
     );
-    let trace = run(&p.build(), &SimConfig::with_seed(0)).unwrap().trace.unwrap();
+    let trace = run(&p.build(), &SimConfig::with_seed(0))
+        .unwrap()
+        .trace
+        .unwrap();
     let report = Analyzer::new().analyze(&trace).unwrap();
     // The if-guard protects only against same-looper frees; across
     // loopers the guard is unsound and must NOT filter, so the race is

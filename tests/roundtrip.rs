@@ -22,7 +22,12 @@ fn app_trace_roundtrips_in_both_formats() {
     assert_eq!(text, text2);
 
     // The binary format is substantially denser.
-    assert!(bin.len() * 2 < text.len(), "binary {} vs text {}", bin.len(), text.len());
+    assert!(
+        bin.len() * 2 < text.len(),
+        "binary {} vs text {}",
+        bin.len(),
+        text.len()
+    );
 }
 
 #[test]

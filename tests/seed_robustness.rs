@@ -12,7 +12,12 @@ fn table1_reproduces_under_other_seeds() {
             let e = app.expected;
             assert_eq!(m.events, e.events, "{} seed {seed}: events", app.name);
             assert_eq!(m.reported, e.reported, "{} seed {seed}: reported", app.name);
-            assert_eq!((m.a, m.b, m.c), (e.a, e.b, e.c), "{} seed {seed}: classes", app.name);
+            assert_eq!(
+                (m.a, m.b, m.c),
+                (e.a, e.b, e.c),
+                "{} seed {seed}: classes",
+                app.name
+            );
             assert_eq!(
                 (m.fp1, m.fp2, m.fp3),
                 (e.fp1, e.fp2, e.fp3),

@@ -63,7 +63,10 @@ fn connectbot_lowlevel_races_match_section_4_1() {
     // Filler-chain sites exceed the per-site instance cap; their pairs
     // are ordered (and genuinely race-free), which the counter honestly
     // reports as unproven rather than silently complete.
-    assert!(!cafa.truncated_vars.is_empty(), "capped ordered sites are flagged");
+    assert!(
+        !cafa.truncated_vars.is_empty(),
+        "capped ordered sites are flagged"
+    );
 
     // Under the conventional model the looper's total event order hides
     // almost all of them.

@@ -1,0 +1,264 @@
+//! Offline vendored subset of the `criterion` 0.5 API.
+//!
+//! Supports the workspace's bench files: `Criterion::benchmark_group`,
+//! `sample_size`, `throughput`, `bench_function`, `bench_with_input`,
+//! `Bencher::iter`, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!` / `criterion_main!` macros. When invoked by
+//! `cargo bench` (cargo passes `--bench`) each benchmark runs a short
+//! timed loop and prints the median iteration time; when invoked by
+//! `cargo test` each closure runs once as a smoke test, mirroring real
+//! criterion's test mode.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifies a benchmark within a group.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter label.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Times a single benchmark's iterations.
+pub struct Bencher {
+    mode: Mode,
+    /// Median per-iteration time, filled by `iter`.
+    measured: Option<Duration>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// `cargo bench`: timed loop.
+    Measure { samples: usize },
+    /// `cargo test`: one smoke iteration.
+    Smoke,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly and records its median wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::Smoke => {
+                std::hint::black_box(f());
+            }
+            Mode::Measure { samples } => {
+                // One warm-up, then `samples` timed iterations.
+                std::hint::black_box(f());
+                let mut times: Vec<Duration> = (0..samples)
+                    .map(|_| {
+                        let start = Instant::now();
+                        std::hint::black_box(f());
+                        start.elapsed()
+                    })
+                    .collect();
+                times.sort_unstable();
+                self.measured = Some(times[times.len() / 2]);
+            }
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f` with a shared input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{id}", self.name);
+        self.run(&label, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{name}", self.name);
+        self.run(&label, |b| f(b));
+        self
+    }
+
+    /// Ends the group. (Reports are emitted per benchmark.)
+    pub fn finish(&mut self) {}
+
+    fn run<F: FnOnce(&mut Bencher)>(&self, label: &str, f: F) {
+        let mode = if self.criterion.measure {
+            Mode::Measure {
+                samples: self.sample_size,
+            }
+        } else {
+            Mode::Smoke
+        };
+        let mut bencher = Bencher {
+            mode,
+            measured: None,
+        };
+        f(&mut bencher);
+        if let Some(median) = bencher.measured {
+            match self.throughput {
+                Some(Throughput::Bytes(bytes)) => {
+                    let mbps = bytes as f64 / median.as_secs_f64() / 1e6;
+                    println!("{label:<48} median {median:>12?}  {mbps:>9.1} MB/s");
+                }
+                Some(Throughput::Elements(n)) => {
+                    let eps = n as f64 / median.as_secs_f64();
+                    println!("{label:<48} median {median:>12?}  {eps:>9.0} elem/s");
+                }
+                None => println!("{label:<48} median {median:>12?}"),
+            }
+        }
+    }
+}
+
+/// Benchmark driver (subset of `criterion::Criterion`).
+pub struct Criterion {
+    measure: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes `--bench`; cargo test passes nothing.
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion { measure }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let group = BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+            throughput: None,
+        };
+        let mut f = f;
+        group.run(name, |b| f(b));
+        self
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export matching `criterion::black_box` (bench files use
+/// `std::hint::black_box` directly, but the symbol is part of the API).
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_each_closure_once() {
+        let mut c = Criterion { measure: false };
+        let mut runs = 0;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(10);
+            group.bench_function("once", |b| b.iter(|| runs += 1));
+            group.finish();
+        }
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measure_mode_times_iterations() {
+        let mut c = Criterion { measure: true };
+        let mut runs = 0;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(5);
+            group.throughput(Throughput::Bytes(1024));
+            group.bench_with_input(BenchmarkId::new("f", "x"), &3u32, |b, i| {
+                b.iter(|| runs += *i)
+            });
+            group.finish();
+        }
+        // 1 warm-up + 5 samples, each adding 3.
+        assert_eq!(runs, 18);
+    }
+}
