@@ -25,4 +25,20 @@ if [ "$out1" != "$out4" ]; then
     exit 1
 fi
 
+echo "==> streaming chunk-size invariance (serve vs analyze, all apps)"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+for app in connectbot mytracks zxing todolist browser firefox vlc fbreader camera music; do
+    trace="$tmpdir/$app.bin"
+    ./target/release/cafa record "$app" --format binary --out "$trace" > /dev/null
+    ./target/release/cafa analyze "$trace" --format json > "$tmpdir/$app.batch.json"
+    for chunk in 1 13 4096; do
+        ./target/release/cafa serve --chunk "$chunk" < "$trace" > "$tmpdir/$app.stream.json"
+        if ! cmp -s "$tmpdir/$app.batch.json" "$tmpdir/$app.stream.json"; then
+            echo "FAIL: $app streamed at chunk $chunk differs from batch analyze" >&2
+            exit 1
+        fi
+    done
+done
+
 echo "CI green."

@@ -1,0 +1,4 @@
+//! Streaming ingestion throughput and incremental-append benchmark.
+fn main() {
+    cafa_bench::streaming::main();
+}

@@ -7,7 +7,9 @@
 //! * `lowlevel_races` — §4.1 (1,664 conventional races in ConnectBot);
 //! * `analysis_scaling` — §6.4 (analysis time vs events);
 //! * `ablation` — queue rules / heuristics / listener coverage;
-//! * `survey` — the §6.2 use-after-free violation survey.
+//! * `survey` — the §6.2 use-after-free violation survey;
+//! * `streaming` — chunked-decode throughput and the
+//!   incremental-append-vs-rebuild comparison (`BENCH_streaming.json`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -17,5 +19,6 @@ pub mod confirm;
 pub mod fig8;
 pub mod lowlevel;
 pub mod scaling;
+pub mod streaming;
 pub mod survey;
 pub mod table1;

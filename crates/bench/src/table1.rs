@@ -208,4 +208,57 @@ pub fn main() {
         (b + s.model_builds, h + s.model_cache_hits)
     });
     println!("engine sessions: {builds} HB model build(s), {hits} cache hit(s)");
+
+    std::fs::write("BENCH_table1.json", render_json(&results, &tot))
+        .expect("write BENCH_table1.json");
+    println!("wrote BENCH_table1.json");
+}
+
+/// Renders the measured table as a stable JSON document.
+fn render_json(results: &[(AppSpec, Row, SessionStats)], tot: &Row) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("{\n  \"seed\": 0,\n  \"apps\": [\n");
+    for (i, (app, m, _)) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let e = app.expected;
+        let _ = writeln!(
+            out,
+            "    {{\"app\": \"{}\", \"events\": {}, \"reported\": {}, \
+             \"true_races\": {{\"a\": {}, \"b\": {}, \"c\": {}}}, \
+             \"false_positives\": {{\"i\": {}, \"ii\": {}, \"iii\": {}}}, \
+             \"known\": {}, \"filtered\": {}, \
+             \"paper\": {{\"events\": {}, \"reported\": {}, \"true\": {}, \"fp\": {}}}}}{comma}",
+            app.name,
+            m.events,
+            m.reported,
+            m.a,
+            m.b,
+            m.c,
+            m.fp1,
+            m.fp2,
+            m.fp3,
+            m.known,
+            m.filtered,
+            e.events,
+            e.reported,
+            e.true_races(),
+            e.false_positives(),
+        );
+    }
+    out.push_str("  ],\n");
+    let true_races = tot.a + tot.b + tot.c;
+    let _ = writeln!(
+        out,
+        "  \"overall\": {{\"reported\": {}, \"true_races\": {}, \"precision_pct\": {:.1}, \
+         \"known\": {}, \"unlabeled\": {}, \"misclassified\": {}}}",
+        tot.reported,
+        true_races,
+        100.0 * true_races as f64 / (tot.reported as f64).max(1.0),
+        tot.known,
+        tot.unlabeled,
+        tot.misclassified,
+    );
+    out.push_str("}\n");
+    out
 }

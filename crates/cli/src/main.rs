@@ -4,6 +4,8 @@
 //! cafa apps                          list the bundled app workloads
 //! cafa record <app> [opts]           simulate an app and write its trace
 //! cafa analyze <trace> [opts]        detect use-free races in a trace
+//! cafa analyze --follow <trace>      tail a growing trace, analyze online
+//! cafa serve [opts]                  stream a trace from stdin or a socket
 //! cafa stats <trace>                 print trace statistics
 //! ```
 //!
@@ -17,6 +19,7 @@ use cafa_core::{Analyzer, DetectorConfig};
 use cafa_engine::AnalysisSession;
 use cafa_hb::CausalityConfig;
 use cafa_sim::{run, InstrumentConfig, SimConfig};
+use cafa_stream::{IncrementalSession, ProvisionalRace, StreamOptions};
 use cafa_trace::Trace;
 
 const USAGE: &str = "\
@@ -35,15 +38,34 @@ USAGE:
 
     cafa analyze <trace> [--model cafa|conventional|no-queue-rules]
                          [--no-if-guard] [--no-intra-alloc] [--no-lockset]
-                         [--json] [--verbose] [--timings]
+                         [--json | --format text|json] [--verbose] [--timings]
+                         [--follow [--poll-ms N]]
         Run the race detector over a trace file (text or binary,
-        auto-detected) and print the report. --json emits a stable
-        machine-readable format; --verbose adds happens-before
-        derivation statistics; --timings adds a per-pass wall-time
-        breakdown (extract, hb-build, candidates, filters,
-        baseline-hb, classify) and model-cache counters.
+        auto-detected) and print the report. --json (or --format
+        json) emits a stable machine-readable format; --verbose adds
+        happens-before derivation statistics; --timings adds a
+        per-pass wall-time breakdown (extract, hb-build, candidates,
+        filters, baseline-hb, classify) and model-cache counters.
+        --follow tails a growing trace file, analyzing incrementally
+        as records arrive (polling every --poll-ms, default 50) until
+        the trace's end marker; the report is identical to a batch
+        analyze of the completed file.
 
-    cafa stats <trace>
+    cafa serve [--model M] [--chunk N] [--hwm BYTES] [--live]
+               [--listen ADDR]
+        Stream a trace from stdin (or one TCP connection with
+        --listen host:port) and analyze it incrementally, printing the
+        JSON report at end of stream — byte-identical to
+        `cafa analyze --json` of the same trace, for any chunking.
+        --chunk caps bytes ingested per read; --hwm bounds the staged
+        (un-derived) analysis backlog in bytes, pausing the reader
+        while it flushes (records are never dropped); --live also
+        emits one provisional JSON line per use-free candidate as
+        soon as both endpoint tasks close (concurrency evidence only
+        — a later suffix can still order or filter the pair; the
+        final report is the authority).
+
+    cafa stats <trace> [--format text|json]
         Print trace statistics (tasks, events, records, frees, ...).
 
     cafa help
@@ -89,6 +111,7 @@ fn run_cli() -> ExitCode {
         Some("apps") => cmd_apps(),
         Some("record") => cmd_record(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("order") => cmd_order(&args[1..]),
         Some("dump") => cmd_dump(&args[1..]),
@@ -219,35 +242,52 @@ fn load_trace(path: &str) -> Result<Trace, String> {
     }
 }
 
+/// Parses a `--model` value into a causality configuration.
+fn parse_model(model: &str) -> Result<CausalityConfig, String> {
+    match model {
+        "cafa" => Ok(CausalityConfig::cafa()),
+        "conventional" => Ok(CausalityConfig::conventional()),
+        "no-queue-rules" => Ok(CausalityConfig::no_queue_rules()),
+        other => Err(format!(
+            "bad model `{other}` (cafa|conventional|no-queue-rules)"
+        )),
+    }
+}
+
 fn cmd_analyze(rest: &[String]) -> Result<(), String> {
     let mut args = rest.to_vec();
     let model = opt_value(&mut args, "--model")?.unwrap_or_else(|| "cafa".to_owned());
     let no_if_guard = opt_flag(&mut args, "--no-if-guard");
     let no_intra_alloc = opt_flag(&mut args, "--no-intra-alloc");
     let no_lockset = opt_flag(&mut args, "--no-lockset");
-    let json = opt_flag(&mut args, "--json");
+    let mut json = opt_flag(&mut args, "--json");
+    match opt_value(&mut args, "--format")?.as_deref() {
+        None | Some("text") => {}
+        Some("json") => json = true,
+        Some(other) => return Err(format!("bad format `{other}` (text|json)")),
+    }
     let verbose = opt_flag(&mut args, "--verbose");
     let timings = opt_flag(&mut args, "--timings");
+    let follow = opt_flag(&mut args, "--follow");
+    let poll_ms = opt_value(&mut args, "--poll-ms")?
+        .map(|s| s.parse::<u64>().map_err(|_| format!("bad poll-ms `{s}`")))
+        .transpose()?
+        .unwrap_or(50);
     let [path] = args.as_slice() else {
         return Err("usage: cafa analyze <trace> [options]".to_owned());
     };
 
-    let trace = load_trace(path)?;
     let mut config = DetectorConfig::cafa();
-    config.causality = match model.as_str() {
-        "cafa" => CausalityConfig::cafa(),
-        "conventional" => CausalityConfig::conventional(),
-        "no-queue-rules" => CausalityConfig::no_queue_rules(),
-        other => {
-            return Err(format!(
-                "bad model `{other}` (cafa|conventional|no-queue-rules)"
-            ))
-        }
-    };
+    config.causality = parse_model(&model)?;
     config.if_guard = !no_if_guard;
     config.intra_event_alloc = !no_intra_alloc;
     config.lockset_filter = !no_lockset;
 
+    if follow {
+        return analyze_follow(path, config, json, verbose, timings, poll_ms);
+    }
+
+    let trace = load_trace(path)?;
     let session = AnalysisSession::new(&trace);
     let report = Analyzer::with_config(config)
         .analyze_with(&session)
@@ -256,7 +296,22 @@ fn cmd_analyze(rest: &[String]) -> Result<(), String> {
         print!("{}", cafa_core::json::render_json(&report, &trace));
         return Ok(());
     }
-    print!("{}", report.render(&trace));
+    print_text_report(&report, &trace, verbose);
+    if timings {
+        println!("pass timings:");
+        print!("{}", report.stats.passes.render());
+        let s = session.stats();
+        println!(
+            "session: {} ops extraction(s), {} model build(s), {} cache hit(s)",
+            s.ops_extractions, s.model_builds, s.model_cache_hits
+        );
+    }
+    Ok(())
+}
+
+/// The shared text rendering of `analyze` (batch and `--follow`).
+fn print_text_report(report: &cafa_core::RaceReport, trace: &Trace, verbose: bool) {
+    print!("{}", report.render(trace));
     if verbose {
         let d = report.stats.derivation;
         println!(
@@ -287,15 +342,147 @@ fn cmd_analyze(rest: &[String]) -> Result<(), String> {
             .count(),
     );
     println!("analysis time: {:.3}s", report.elapsed.as_secs_f64());
+}
+
+/// `cafa analyze --follow`: tail a growing trace file, ingesting and
+/// analyzing incrementally until its end marker arrives.
+fn analyze_follow(
+    path: &str,
+    config: DetectorConfig,
+    json: bool,
+    verbose: bool,
+    timings: bool,
+    poll_ms: u64,
+) -> Result<(), String> {
+    use std::io::Read;
+    let mut file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let opts = StreamOptions {
+        detector: config,
+        ..StreamOptions::default()
+    };
+    let mut session = IncrementalSession::new(opts);
+    let mut buf = vec![0u8; 64 << 10];
+    while !session.is_complete() {
+        let n = file
+            .read(&mut buf)
+            .map_err(|e| format!("reading {path}: {e}"))?;
+        if n == 0 {
+            // At the current end of the file but the trace's own end
+            // marker has not arrived: the writer is still going.
+            std::thread::sleep(std::time::Duration::from_millis(poll_ms));
+            continue;
+        }
+        session
+            .push(&buf[..n])
+            .map_err(|e| format!("analyzing {path}: {e}"))?;
+    }
+    let outcome = session
+        .finish()
+        .map_err(|e| format!("analyzing {path}: {e}"))?;
+    if json {
+        print!(
+            "{}",
+            cafa_core::json::render_json(&outcome.report, &outcome.trace)
+        );
+        return Ok(());
+    }
+    print_text_report(&outcome.report, &outcome.trace, verbose);
     if timings {
         println!("pass timings:");
-        print!("{}", report.stats.passes.render());
-        let s = session.stats();
+        print!("{}", outcome.report.stats.passes.render());
+        println!("streaming passes:");
+        print!("{}", outcome.passes.render());
+        let p = outcome.progress;
         println!(
-            "session: {} ops extraction(s), {} model build(s), {} cache hit(s)",
-            s.ops_extractions, s.model_builds, s.model_cache_hits
+            "stream: {} byte(s) in {} chunk(s), {} record(s), {} task(s) sealed, {} derive(s), {} backpressure flush(es)",
+            p.bytes, p.chunks, p.records, p.tasks_sealed, p.derives, p.backpressure_flushes
         );
     }
+    Ok(())
+}
+
+/// One provisional candidate as a JSON line (ids only — task names
+/// would need the finished trace, and provisional output must not
+/// perturb the final byte-stable report).
+fn provisional_line(p: &ProvisionalRace) -> String {
+    format!(
+        "{{\"provisional\": true, \"var\": \"{}\", \
+         \"use\": {{\"task\": \"{}\", \"index\": {}, \"pc\": \"{}\"}}, \
+         \"free\": {{\"task\": \"{}\", \"index\": {}, \"pc\": \"{}\"}}}}",
+        p.var, p.use_at.task, p.use_at.index, p.use_pc, p.free_at.task, p.free_at.index, p.free_pc
+    )
+}
+
+fn cmd_serve(rest: &[String]) -> Result<(), String> {
+    use std::io::Read;
+    let mut args = rest.to_vec();
+    let model = opt_value(&mut args, "--model")?.unwrap_or_else(|| "cafa".to_owned());
+    let chunk = opt_value(&mut args, "--chunk")?
+        .map(|s| s.parse::<usize>().map_err(|_| format!("bad chunk `{s}`")))
+        .transpose()?
+        .unwrap_or(64 << 10)
+        .max(1);
+    let hwm = opt_value(&mut args, "--hwm")?
+        .map(|s| s.parse::<usize>().map_err(|_| format!("bad hwm `{s}`")))
+        .transpose()?;
+    let live = opt_flag(&mut args, "--live");
+    let listen = opt_value(&mut args, "--listen")?;
+    if !args.is_empty() {
+        return Err(format!(
+            "unexpected argument `{}`; see `cafa help`",
+            args[0]
+        ));
+    }
+
+    let mut opts = StreamOptions {
+        live,
+        ..StreamOptions::default()
+    };
+    opts.detector.causality = parse_model(&model)?;
+    if let Some(hwm) = hwm {
+        opts.high_water = hwm;
+    }
+
+    let mut reader: Box<dyn Read> = match listen {
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(&addr)
+                .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+            let local = listener.local_addr().map_err(|e| e.to_string())?;
+            eprintln!("listening on {local}");
+            let (conn, peer) = listener
+                .accept()
+                .map_err(|e| format!("accept on {addr}: {e}"))?;
+            eprintln!("connection from {peer}");
+            Box::new(conn)
+        }
+        None => Box::new(std::io::stdin().lock()),
+    };
+
+    let mut session = IncrementalSession::new(opts);
+    let mut buf = vec![0u8; chunk];
+    let mut out = std::io::stdout().lock();
+    while !session.is_complete() {
+        let n = reader.read(&mut buf).map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            break; // EOF; truncation surfaces in finish()
+        }
+        for p in session
+            .push(&buf[..n])
+            .map_err(|e| format!("analyzing stream: {e}"))?
+        {
+            writeln!(out, "{}", provisional_line(&p)).map_err(|e| e.to_string())?;
+        }
+    }
+    let outcome = session
+        .finish()
+        .map_err(|e| format!("analyzing stream: {e}"))?;
+    write!(
+        out,
+        "{}",
+        cafa_core::json::render_json(&outcome.report, &outcome.trace)
+    )
+    .map_err(|e| e.to_string())?;
+    out.flush().map_err(|e| e.to_string())?;
     Ok(())
 }
 
@@ -453,11 +640,41 @@ fn cmd_order(rest: &[String]) -> Result<(), String> {
 }
 
 fn cmd_stats(rest: &[String]) -> Result<(), String> {
-    let [path] = rest else {
-        return Err("usage: cafa stats <trace>".to_owned());
+    let mut args = rest.to_vec();
+    let format = opt_value(&mut args, "--format")?.unwrap_or_else(|| "text".to_owned());
+    let [path] = args.as_slice() else {
+        return Err("usage: cafa stats <trace> [--format text|json]".to_owned());
     };
     let trace = load_trace(path)?;
     let s = trace.stats();
+    match format.as_str() {
+        "text" => {}
+        "json" => {
+            // Stable machine-readable schema, mirroring the text lines.
+            println!("{{");
+            let app = trace.meta().app.replace('\\', "\\\\").replace('"', "\\\"");
+            println!("  \"app\": \"{app}\",");
+            println!("  \"seed\": {},", trace.meta().seed);
+            println!("  \"virtual_ms\": {},", trace.meta().virtual_ms);
+            println!("  \"processes\": {},", trace.process_count());
+            println!("  \"queues\": {},", trace.queue_count());
+            println!("  \"tasks\": {},", s.tasks);
+            println!("  \"threads\": {},", s.threads);
+            println!("  \"events\": {},", s.events);
+            println!("  \"external_events\": {},", s.external_events);
+            println!("  \"records\": {},", s.records);
+            println!("  \"sync_records\": {},", s.sync_records);
+            println!("  \"accesses\": {},", s.accesses);
+            println!("  \"frees\": {},", s.frees);
+            println!("  \"allocations\": {},", s.allocations);
+            println!("  \"dereferences\": {},", s.derefs);
+            println!("  \"guard_branches\": {},", s.guards);
+            println!("  \"sends\": {}", s.sends);
+            println!("}}");
+            return Ok(());
+        }
+        other => return Err(format!("bad format `{other}` (text|json)")),
+    }
     println!("app:             {}", trace.meta().app);
     println!("seed:            {}", trace.meta().seed);
     println!("virtual ms:      {}", trace.meta().virtual_ms);

@@ -164,6 +164,127 @@ fn analyze_json_is_machine_readable() {
     std::fs::remove_file(&path).ok();
 }
 
+/// Runs `cafa serve` with `input` piped to stdin, returning stdout.
+fn serve_stdin(args: &[&str], input: &[u8]) -> String {
+    use std::io::Write;
+    use std::process::Stdio;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_cafa"))
+        .arg("serve")
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(input)
+        .expect("stdin accepts the trace");
+    let out = child.wait_with_output().expect("serve finishes");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    stdout(&out)
+}
+
+#[test]
+fn serve_stdin_matches_batch_analysis() {
+    let path = tmp("serve.bin");
+    assert!(cafa(&[
+        "record",
+        "vlc",
+        "--format",
+        "binary",
+        "--out",
+        path.to_str().unwrap()
+    ])
+    .status
+    .success());
+    let batch = cafa(&["analyze", path.to_str().unwrap(), "--json"]);
+    assert!(batch.status.success());
+    let expected = stdout(&batch);
+    let bytes = std::fs::read(&path).unwrap();
+
+    // Byte-identical at an awkward chunk size.
+    assert_eq!(serve_stdin(&["--chunk", "13"], &bytes), expected);
+
+    // Live mode prefixes provisional lines but the authoritative
+    // report at the end is unchanged.
+    let live = serve_stdin(&["--chunk", "4096", "--live", "--hwm", "1024"], &bytes);
+    assert!(live.contains("\"provisional\": true"), "{live}");
+    assert!(
+        live.ends_with(&expected),
+        "live output ends with the report"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn analyze_follow_and_format_json_match_batch() {
+    let path = tmp("follow.bin");
+    assert!(cafa(&[
+        "record",
+        "music",
+        "--format",
+        "binary",
+        "--out",
+        path.to_str().unwrap()
+    ])
+    .status
+    .success());
+    let batch = cafa(&["analyze", path.to_str().unwrap(), "--json"]);
+    assert!(batch.status.success());
+    let expected = stdout(&batch);
+
+    // --format json is the spelled-out alias for --json.
+    let alias = cafa(&["analyze", path.to_str().unwrap(), "--format", "json"]);
+    assert!(alias.status.success());
+    assert_eq!(stdout(&alias), expected);
+
+    // Tailing an already-complete file drains it and reports once.
+    let follow = cafa(&[
+        "analyze",
+        path.to_str().unwrap(),
+        "--follow",
+        "--format",
+        "json",
+    ]);
+    assert!(
+        follow.status.success(),
+        "{}",
+        String::from_utf8_lossy(&follow.stderr)
+    );
+    assert_eq!(stdout(&follow), expected);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn stats_format_json_is_machine_readable() {
+    let path = tmp("stats.trace");
+    assert!(cafa(&["record", "vlc", "--out", path.to_str().unwrap()])
+        .status
+        .success());
+    let out = cafa(&["stats", path.to_str().unwrap(), "--format", "json"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.trim_start().starts_with('{'));
+    for key in [
+        "\"app\"",
+        "\"tasks\"",
+        "\"events\"",
+        "\"frees\"",
+        "\"sends\"",
+    ] {
+        assert!(text.contains(key), "missing {key} in {text}");
+    }
+    assert_eq!(text.matches('{').count(), text.matches('}').count());
+    std::fs::remove_file(&path).ok();
+}
+
 #[test]
 fn convert_roundtrips_formats() {
     let text_path = tmp("conv.trace");

@@ -31,6 +31,12 @@ fn escape(s: &str) -> String {
 
 /// Renders a report as a JSON object.
 ///
+/// The output is a pure function of the trace and the detector
+/// configuration — no timestamps or wall times — so batch and
+/// streaming analyses of the same trace are byte-identical and runs
+/// can be diffed. Timing lives in the human-readable render
+/// (`RaceReport::elapsed`) and `--timings`.
+///
 /// Schema (stable):
 ///
 /// ```json
@@ -55,7 +61,6 @@ pub fn render_json(report: &RaceReport, trace: &Trace) -> String {
         report.stats.candidate_vars
     );
     let _ = writeln!(out, "  \"pairs_checked\": {},", report.stats.pairs_checked);
-    let _ = writeln!(out, "  \"elapsed_s\": {:.6},", report.elapsed.as_secs_f64());
 
     out.push_str("  \"races\": [\n");
     for (i, r) in report.races.iter().enumerate() {

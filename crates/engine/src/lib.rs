@@ -50,4 +50,6 @@ pub mod usefree;
 
 pub use passes::{PassRecord, PassStats};
 pub use session::{AnalysisSession, SessionStats};
-pub use usefree::{extract, AllocSite, FreeSite, GuardSite, MemoryOps, UseSite, VarOps};
+pub use usefree::{
+    extract, extract_task, AllocSite, FreeSite, GuardSite, MemoryOps, UseSite, VarOps,
+};

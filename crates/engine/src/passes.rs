@@ -40,6 +40,31 @@ impl PassStats {
         value
     }
 
+    /// Folds one batch's contribution into the pass named `name`,
+    /// creating the record if absent. Streaming sessions run the same
+    /// logical pass (decode, ingest, derive) once per append batch;
+    /// accumulation keeps the breakdown per *pass* rather than one
+    /// record per batch.
+    pub fn accumulate(&mut self, name: &'static str, wall: Duration, items: usize) {
+        match self.records.iter_mut().find(|r| r.name == name) {
+            Some(r) => {
+                r.wall += wall;
+                r.items += items;
+            }
+            None => self.records.push(PassRecord { name, wall, items }),
+        }
+    }
+
+    /// Runs `f` as pass `name`, folding its wall time and item count
+    /// into any existing record of that name (see
+    /// [`accumulate`](PassStats::accumulate)).
+    pub fn run_accumulating<T>(&mut self, name: &'static str, f: impl FnOnce() -> (T, usize)) -> T {
+        let start = Instant::now();
+        let (value, items) = f();
+        self.accumulate(name, start.elapsed(), items);
+        value
+    }
+
     /// Total wall time across all recorded passes.
     pub fn total_wall(&self) -> Duration {
         self.records.iter().map(|r| r.wall).sum()
@@ -100,6 +125,22 @@ mod tests {
         assert_eq!(stats.records[0].items, 3);
         assert_eq!(stats.get("hb-build").unwrap().items, 1);
         assert!(stats.get("missing").is_none());
+    }
+
+    #[test]
+    fn accumulate_folds_batches_into_one_record() {
+        let mut stats = PassStats::default();
+        stats.accumulate("ingest", Duration::from_millis(2), 10);
+        stats.accumulate("derive", Duration::from_millis(1), 1);
+        stats.accumulate("ingest", Duration::from_millis(3), 5);
+        assert_eq!(stats.records.len(), 2);
+        let ingest = stats.get("ingest").unwrap();
+        assert_eq!(ingest.items, 15);
+        assert_eq!(ingest.wall, Duration::from_millis(5));
+        let v = stats.run_accumulating("ingest", || (7, 2));
+        assert_eq!(v, 7);
+        assert_eq!(stats.get("ingest").unwrap().items, 17);
+        assert_eq!(stats.records.len(), 2);
     }
 
     #[test]

@@ -127,73 +127,82 @@ impl MemoryOps {
 pub fn extract(trace: &Trace) -> MemoryOps {
     let mut ops = MemoryOps::default();
     for task in trace.tasks() {
-        // obj -> (position, var, pc) of its nearest previous read, plus
-        // the variable of the read before that (ambiguity witness).
-        let mut last_read: HashMap<ObjId, (OpRef, VarId, Pc, Option<VarId>)> = HashMap::new();
-        for (i, r) in trace.body(task.id).iter().enumerate() {
-            let at = OpRef::new(task.id, i as u32);
-            match *r {
-                Record::ObjRead {
-                    var,
-                    obj: Some(obj),
-                    pc,
-                } => {
-                    let prev_var = last_read.get(&obj).map(|&(_, v, _, _)| v);
-                    last_read.insert(obj, (at, var, pc, prev_var));
-                }
-                Record::ObjWrite { var, value, pc } => match value {
-                    None => {
-                        let idx = ops.frees.len();
-                        ops.frees.push(FreeSite { at, var, pc });
-                        ops.by_var.entry(var).or_default().frees.push(idx);
-                    }
-                    Some(obj) => {
-                        let idx = ops.allocs.len();
-                        ops.allocs.push(AllocSite { at, var, obj });
-                        ops.by_var.entry(var).or_default().allocs.push(idx);
-                        // A store also makes the object "nearest read"?
-                        // No: §5.3 matches dereferences against pointer
-                        // *reads* only, so stores do not update the map.
-                    }
-                },
-                Record::Deref { obj, pc, .. } => {
-                    if let Some(&(read_at, var, read_pc, prev_var)) = last_read.get(&obj) {
-                        let idx = ops.uses.len();
-                        ops.uses.push(UseSite {
-                            at: read_at,
-                            var,
-                            obj,
-                            read_pc,
-                            deref_at: at,
-                            deref_pc: pc,
-                            ambiguous: prev_var.is_some_and(|p| p != var),
-                        });
-                        ops.by_var.entry(var).or_default().uses.push(idx);
-                    }
-                }
-                Record::Guard {
-                    kind,
-                    pc,
-                    target,
-                    obj,
-                } => {
-                    if let Some(&(_, var, _, _)) = last_read.get(&obj) {
-                        let idx = ops.guards.len();
-                        ops.guards.push(GuardSite {
-                            at,
-                            var,
-                            kind,
-                            pc,
-                            target,
-                        });
-                        ops.by_var.entry(var).or_default().guards.push(idx);
-                    }
-                }
-                _ => {}
-            }
-        }
+        extract_task(trace, task.id, &mut ops);
     }
     ops
+}
+
+/// Extracts the operations of one task's (complete) body into `ops`.
+///
+/// Matching state is wholly per-task, so a streaming ingester can call
+/// this once per completed task and accumulate the same `MemoryOps` a
+/// batch [`extract`] would produce. Call at most once per task.
+pub fn extract_task(trace: &Trace, task: cafa_trace::TaskId, ops: &mut MemoryOps) {
+    // obj -> (position, var, pc) of its nearest previous read, plus
+    // the variable of the read before that (ambiguity witness).
+    let mut last_read: HashMap<ObjId, (OpRef, VarId, Pc, Option<VarId>)> = HashMap::new();
+    for (i, r) in trace.body(task).iter().enumerate() {
+        let at = OpRef::new(task, i as u32);
+        match *r {
+            Record::ObjRead {
+                var,
+                obj: Some(obj),
+                pc,
+            } => {
+                let prev_var = last_read.get(&obj).map(|&(_, v, _, _)| v);
+                last_read.insert(obj, (at, var, pc, prev_var));
+            }
+            Record::ObjWrite { var, value, pc } => match value {
+                None => {
+                    let idx = ops.frees.len();
+                    ops.frees.push(FreeSite { at, var, pc });
+                    ops.by_var.entry(var).or_default().frees.push(idx);
+                }
+                Some(obj) => {
+                    let idx = ops.allocs.len();
+                    ops.allocs.push(AllocSite { at, var, obj });
+                    ops.by_var.entry(var).or_default().allocs.push(idx);
+                    // A store also makes the object "nearest read"?
+                    // No: §5.3 matches dereferences against pointer
+                    // *reads* only, so stores do not update the map.
+                }
+            },
+            Record::Deref { obj, pc, .. } => {
+                if let Some(&(read_at, var, read_pc, prev_var)) = last_read.get(&obj) {
+                    let idx = ops.uses.len();
+                    ops.uses.push(UseSite {
+                        at: read_at,
+                        var,
+                        obj,
+                        read_pc,
+                        deref_at: at,
+                        deref_pc: pc,
+                        ambiguous: prev_var.is_some_and(|p| p != var),
+                    });
+                    ops.by_var.entry(var).or_default().uses.push(idx);
+                }
+            }
+            Record::Guard {
+                kind,
+                pc,
+                target,
+                obj,
+            } => {
+                if let Some(&(_, var, _, _)) = last_read.get(&obj) {
+                    let idx = ops.guards.len();
+                    ops.guards.push(GuardSite {
+                        at,
+                        var,
+                        kind,
+                        pc,
+                        target,
+                    });
+                    ops.by_var.entry(var).or_default().guards.push(idx);
+                }
+            }
+            _ => {}
+        }
+    }
 }
 
 #[cfg(test)]

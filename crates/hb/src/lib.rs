@@ -58,6 +58,7 @@ mod config;
 pub mod dot;
 mod error;
 mod graph;
+mod incremental;
 mod locks;
 mod model;
 mod rules;
@@ -67,6 +68,7 @@ pub use build::base_graph;
 pub use config::CausalityConfig;
 pub use error::HbError;
 pub use graph::{EdgeKind, NodeId, NodeInfo, NodePoint, SyncGraph};
+pub use incremental::IncrementalHb;
 pub use locks::LockSets;
 pub use model::{BatchReach, CauseStep, HbModel, OpOrder};
 pub use rules::{derive, DerivationStats, EventTable};

@@ -86,6 +86,19 @@ impl<'t> HbModel<'t> {
     pub fn build(trace: &'t Trace, config: CausalityConfig) -> Result<Self, HbError> {
         let mut graph = base_graph(trace, &config);
         let stats = derive(&mut graph, trace, &config)?;
+        Self::from_parts(trace, config, graph, stats)
+    }
+
+    /// Assembles a model from an already-derived graph (the incremental
+    /// path): verifies acyclicity and precomputes the event-order
+    /// closure. The graph must contain the fixpoint of `config`'s rules
+    /// over `trace` — [`build`](HbModel::build) is the batch shortcut.
+    pub(crate) fn from_parts(
+        trace: &'t Trace,
+        config: CausalityConfig,
+        graph: SyncGraph,
+        stats: DerivationStats,
+    ) -> Result<Self, HbError> {
         let topo = graph
             .topo_order()
             .map_err(|nodes| HbError::CyclicHappensBefore {

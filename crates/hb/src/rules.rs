@@ -67,12 +67,81 @@ impl EventTable {
 
 /// One `send`/`sendAtFront` occurrence.
 #[derive(Clone, Copy, Debug)]
-struct SendSite {
-    node: NodeId,
-    event: TaskId,
-    queue: QueueId,
-    delay_ms: u64,
-    front: bool,
+pub(crate) struct SendSite {
+    pub(crate) node: NodeId,
+    pub(crate) event: TaskId,
+    pub(crate) queue: QueueId,
+    pub(crate) delay_ms: u64,
+    pub(crate) front: bool,
+}
+
+/// Persistent state of the rule fixpoint, reusable across incremental
+/// graph extensions.
+///
+/// The memo tables record *pairs already decided*: a pair is marked only
+/// once its premise (a reachability fact) holds, premises are
+/// append-monotone, and a fired conclusion persists as a graph edge — so
+/// re-running [`fixpoint`] after appending nodes and base edges only
+/// examines fresh pairs. The exception is the `sendAtFront` rules 2/4,
+/// whose side condition can become true later; those pairs are memo-less
+/// and re-checked every round (the bounded re-check set: front sends are
+/// rare).
+#[derive(Clone, Debug)]
+pub(crate) struct FixState {
+    /// Dense numbering of the (fixed) event set.
+    pub(crate) table: EventTable,
+    /// Per-queue event masks (dense indices), for the atomicity rule.
+    queue_mask: Vec<BitSet>,
+    /// Send sites, in ingestion order.
+    pub(crate) sends: Vec<SendSite>,
+    /// Per-queue send masks.
+    queue_send_mask: Vec<BitSet>,
+    /// Memo of send pairs already fully decided (rules 1/3, whose
+    /// conclusions depend only on the pair itself).
+    decided: Vec<BitSet>,
+    /// Atomicity memo: pairs already ordered `end(e1) → begin(e2)`.
+    atom_done: Vec<BitSet>,
+}
+
+impl FixState {
+    /// Creates empty fixpoint state for `trace`. The task table (hence
+    /// the event set) must be complete; bodies may still be streaming.
+    pub(crate) fn new(trace: &Trace) -> Self {
+        let table = EventTable::new(trace);
+        let ev_count = table.len();
+        let mut queue_mask = vec![BitSet::new(ev_count); trace.queue_count()];
+        for (i, &q) in table.queue_of.iter().enumerate() {
+            queue_mask[q.index()].insert(i);
+        }
+        Self {
+            table,
+            queue_mask,
+            sends: Vec::new(),
+            queue_send_mask: vec![BitSet::new(0); trace.queue_count()],
+            decided: Vec::new(),
+            atom_done: vec![BitSet::new(ev_count); ev_count],
+        }
+    }
+
+    /// Registers newly ingested send sites, growing the pair memos.
+    pub(crate) fn add_sends(&mut self, new: &[SendSite]) {
+        if new.is_empty() {
+            return;
+        }
+        let count = self.sends.len() + new.len();
+        for m in &mut self.queue_send_mask {
+            m.grow(count);
+        }
+        for d in &mut self.decided {
+            d.grow(count);
+        }
+        for s in new {
+            let i = self.sends.len();
+            self.queue_send_mask[s.queue.index()].insert(i);
+            self.sends.push(*s);
+            self.decided.push(BitSet::new(count));
+        }
+    }
 }
 
 /// Statistics about a completed fixpoint derivation.
@@ -129,25 +198,7 @@ pub fn derive(
     trace: &Trace,
     config: &CausalityConfig,
 ) -> Result<DerivationStats, HbError> {
-    let mut stats = DerivationStats::default();
-    if !config.atomicity_rule && !config.queue_rules {
-        // Still verify acyclicity so every model is checked.
-        g.topo_order()
-            .map_err(|nodes| HbError::CyclicHappensBefore {
-                cycle_len: nodes.len(),
-            })?;
-        stats.rounds = 1;
-        return Ok(stats);
-    }
-
-    let table = EventTable::new(trace);
-    let ev_count = table.len();
-
-    // Per-queue event masks (dense indices), for the atomicity rule.
-    let mut queue_mask: Vec<BitSet> = vec![BitSet::new(ev_count); trace.queue_count()];
-    for (i, &q) in table.queue_of.iter().enumerate() {
-        queue_mask[q.index()].insert(i);
-    }
+    let mut st = FixState::new(trace);
 
     // Send sites.
     let mut sends: Vec<SendSite> = Vec::new();
@@ -170,34 +221,47 @@ pub fn derive(
             front,
         });
     }
-    let send_count = sends.len();
+    st.add_sends(&sends);
 
-    // Per-queue send masks.
-    let mut queue_send_mask: Vec<BitSet> = vec![BitSet::new(send_count); trace.queue_count()];
-    for (i, s) in sends.iter().enumerate() {
-        queue_send_mask[s.queue.index()].insert(i);
+    fixpoint(g, config, &mut st)
+}
+
+/// The fixpoint loop behind [`derive`], factored over persistent
+/// [`FixState`] so incremental sessions can extend a previous run:
+/// pairs memoized in `st` are never re-examined, and re-running after
+/// new nodes/edges were appended converges to the same least fixpoint
+/// as a batch derivation (materialized edges may differ where a fact is
+/// already implied transitively; the closure is identical).
+pub(crate) fn fixpoint(
+    g: &mut SyncGraph,
+    config: &CausalityConfig,
+    st: &mut FixState,
+) -> Result<DerivationStats, HbError> {
+    let mut stats = DerivationStats::default();
+    if !config.atomicity_rule && !config.queue_rules {
+        // Still verify acyclicity so every model is checked.
+        g.topo_order()
+            .map_err(|nodes| HbError::CyclicHappensBefore {
+                cycle_len: nodes.len(),
+            })?;
+        stats.rounds = 1;
+        return Ok(stats);
     }
 
-    // Memo of send pairs already fully decided (rules 1/3, whose
-    // conclusions depend only on the pair itself). Pairs targeting a
-    // front-send (rules 2/4) carry a side condition that can become
-    // true later, so they are re-checked every round.
-    let mut decided: Vec<BitSet> = vec![BitSet::new(send_count); send_count];
+    let ev_count = st.table.len();
 
     // Event-begin marks (for atomicity), event-end marks (for the
-    // implied-order check), and send marks (for queue rules).
+    // implied-order check). Node ids shift between incremental calls,
+    // so these are recomputed per call (linear in the graph).
     let mut begin_marks: Vec<Option<u32>> = vec![None; g.node_count()];
     let mut end_marks: Vec<Option<u32>> = vec![None; g.node_count()];
-    for (i, &e) in table.events.iter().enumerate() {
+    for (i, &e) in st.table.events.iter().enumerate() {
         begin_marks[g.begin(e) as usize] = Some(i as u32);
         end_marks[g.end(e) as usize] = Some(i as u32);
     }
 
-    // Atomicity memo: pairs already ordered end(e1)→begin(e2).
-    let mut atom_done: Vec<BitSet> = vec![BitSet::new(ev_count); ev_count];
-
     // begin(e) node per dense event, for the implied-order check.
-    let event_begin: Vec<NodeId> = table.events.iter().map(|&e| g.begin(e)).collect();
+    let event_begin: Vec<NodeId> = st.table.events.iter().map(|&e| g.begin(e)).collect();
 
     // Topological position of each event's begin node, so rules can be
     // applied in an order where a conclusion's prerequisites are final.
@@ -223,16 +287,16 @@ pub fn derive(
         } else {
             None
         };
-        let (acc_send, send_of_event) = if config.queue_rules && send_count > 0 {
+        let (acc_send, send_of_event) = if config.queue_rules && !st.sends.is_empty() {
             let mut send_marks: Vec<Option<u32>> = vec![None; g.node_count()];
-            for (i, s) in sends.iter().enumerate() {
+            for (i, s) in st.sends.iter().enumerate() {
                 send_marks[s.node as usize] = Some(i as u32);
             }
-            let acc = flow(g, &topo, &send_marks, send_count);
+            let acc = flow(g, &topo, &send_marks, st.sends.len());
             // Each event is posted by at most one send (trace validation).
             let mut of_event: Vec<Option<u32>> = vec![None; ev_count];
-            for (i, s) in sends.iter().enumerate() {
-                if let Some(d) = table.dense(s.event) {
+            for (i, s) in st.sends.iter().enumerate() {
+                if let Some(d) = st.table.dense(s.event) {
                     of_event[d as usize] = Some(i as u32);
                 }
             }
@@ -270,11 +334,11 @@ pub fn derive(
 
             // Atomicity rule: same-looper e1 with begin(e1) ≺ end(e_j).
             if let Some(acc_begin) = &acc_begin {
-                let e_j = table.events[j];
+                let e_j = st.table.events[j];
                 let reach_end = &acc_begin[g.end(e_j) as usize];
-                let mask = &queue_mask[table.queue_of[j].index()];
+                let mask = &st.queue_mask[st.table.queue_of[j].index()];
                 let mut fresh: Vec<usize> = Vec::new();
-                reach_end.for_each_in_diff(mask, &atom_done[j], |i1| {
+                reach_end.for_each_in_diff(mask, &st.atom_done[j], |i1| {
                     if i1 != j {
                         fresh.push(i1);
                     }
@@ -285,11 +349,15 @@ pub fn derive(
                 // equal-delay chains posted from one task.
                 fresh.sort_by_key(|&i1| std::cmp::Reverse(topo_pos[event_begin[i1] as usize]));
                 for i1 in fresh {
-                    atom_done[j].insert(i1);
+                    st.atom_done[j].insert(i1);
                     if set.contains(i1) {
                         continue; // already implied
                     }
-                    if g.add_edge(g.end(table.events[i1]), event_begin[j], EdgeKind::Atomicity) {
+                    if g.add_edge(
+                        g.end(st.table.events[i1]),
+                        event_begin[j],
+                        EdgeKind::Atomicity,
+                    ) {
                         stats.atomicity_edges += 1;
                         changed = true;
                         set.insert(i1);
@@ -308,30 +376,30 @@ pub fn derive(
             // Queue rules 1 and 3, with e_j as the later-sent event.
             if let (Some(acc_send), Some(sj)) = (&acc_send, send_of_event.get(j).copied().flatten())
             {
-                let s2 = &sends[sj as usize];
+                let s2 = st.sends[sj as usize];
                 if !s2.front {
                     let reach = &acc_send[s2.node as usize];
-                    let mask = &queue_send_mask[s2.queue.index()];
+                    let mask = &st.queue_send_mask[s2.queue.index()];
                     let mut fresh: Vec<usize> = Vec::new();
-                    reach.for_each_in_diff(mask, &decided[sj as usize], |i| {
+                    reach.for_each_in_diff(mask, &st.decided[sj as usize], |i| {
                         if i != sj as usize {
                             fresh.push(i);
                         }
                     });
                     // Same latest-first ordering as the atomicity loop.
                     fresh.sort_by_key(|&i| {
-                        table
-                            .dense(sends[i].event)
+                        st.table
+                            .dense(st.sends[i].event)
                             .map(|d| std::cmp::Reverse(topo_pos[event_begin[d as usize] as usize]))
                             .unwrap_or(std::cmp::Reverse(0))
                     });
                     for i in fresh {
-                        decided[sj as usize].insert(i);
-                        let s1 = &sends[i];
+                        st.decided[sj as usize].insert(i);
+                        let s1 = &st.sends[i];
                         if !(s1.front || s1.delay_ms <= s2.delay_ms) {
                             continue;
                         }
-                        let i1 = table.dense(s1.event).expect("sent tasks are events") as usize;
+                        let i1 = st.table.dense(s1.event).expect("sent tasks are events") as usize;
                         if set.contains(i1) {
                             continue; // already implied
                         }
@@ -361,23 +429,23 @@ pub fn derive(
         // Front sends are rare, so these pairs are simply re-checked
         // every round against the round-start facts.
         if let Some(acc_send) = &acc_send {
-            for (j, s2) in sends.iter().enumerate() {
+            for (j, s2) in st.sends.iter().enumerate() {
                 if !s2.front {
                     continue;
                 }
                 let reach = &acc_send[s2.node as usize];
-                let mask = &queue_send_mask[s2.queue.index()];
+                let mask = &st.queue_send_mask[s2.queue.index()];
                 for i in reach.iter() {
                     if i == j || !mask.contains(i) {
                         continue;
                     }
-                    let s1 = &sends[i];
+                    let s1 = &st.sends[i];
                     let begin_e1 = g.begin(s1.event);
                     if !acc_send[begin_e1 as usize].contains(j) {
                         continue; // side condition s2 ≺ begin(e1) not met
                     }
-                    let i1 = table.dense(s1.event).expect("sent tasks are events") as usize;
-                    let i2 = table.dense(s2.event).expect("sent tasks are events") as usize;
+                    let i1 = st.table.dense(s1.event).expect("sent tasks are events") as usize;
+                    let i2 = st.table.dense(s2.event).expect("sent tasks are events") as usize;
                     let implied = evord[i1].as_ref().is_some_and(|set| set.contains(i2))
                         || acc_end[begin_e1 as usize].contains(i2);
                     if implied {

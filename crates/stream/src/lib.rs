@@ -1,0 +1,585 @@
+//! Streaming trace ingestion and incremental online analysis.
+//!
+//! The batch pipeline — `read_binary`/`read_text`, then
+//! [`HbModel::build`](cafa_hb::HbModel::build), then
+//! [`Analyzer::analyze`](cafa_core::Analyzer) — needs the whole trace
+//! in memory before any work starts. This crate runs the same analysis
+//! *online*, over a trace that is still arriving:
+//!
+//! * [`StreamDecoder`](cafa_trace::StreamDecoder) (from `cafa-trace`)
+//!   turns arbitrary byte chunks of either wire format into decode
+//!   milestones;
+//! * [`IncrementalHb`](cafa_hb::IncrementalHb) (from `cafa-hb`) keeps
+//!   a suffix-extending happens-before graph in step with the decoded
+//!   records, with memoized fixpoint state so each extension pays only
+//!   for the appended suffix;
+//! * [`IncrementalSession`] (here) wires the two together, bounds the
+//!   un-derived backlog with a configurable high-water mark
+//!   ([`StreamOptions::high_water`]), and — optionally — watches for
+//!   use-free candidates as soon as both endpoints' tasks are closed,
+//!   emitting [`ProvisionalRace`]s long before end of stream.
+//!
+//! The final report is **byte-identical** to the batch analyzer's: at
+//! end of stream [`IncrementalSession::finish`] validates the trace,
+//! finalizes the incremental model, and runs the unmodified detector
+//! against it. Provisional emissions are a strictly separate channel —
+//! happens-before only grows as a trace extends, so a pair that looks
+//! concurrent mid-stream can still be ordered (or filtered) by the
+//! time the trace completes; the final report is the authority.
+//!
+//! # Examples
+//!
+//! ```
+//! use cafa_stream::{IncrementalSession, StreamOptions};
+//! use cafa_trace::{to_binary_vec, DerefKind, ObjId, Pc, TraceBuilder, VarId};
+//!
+//! let mut b = TraceBuilder::new("demo");
+//! let app = b.add_process();
+//! let q = b.add_queue(app);
+//! let svc = b.add_process();
+//! let ipc = b.add_thread(svc, "binder");
+//! let user = b.post(ipc, q, "onServiceConnected", 0);
+//! let killer = b.external(q, "onDestroy");
+//! b.process_event(user);
+//! b.obj_read(user, VarId::new(0), Some(ObjId::new(1)), Pc::new(0x10));
+//! b.deref(user, ObjId::new(1), Pc::new(0x14), DerefKind::Invoke);
+//! b.process_event(killer);
+//! b.obj_write(killer, VarId::new(0), None, Pc::new(0x20));
+//! let bytes = to_binary_vec(&b.finish().unwrap());
+//!
+//! let mut session = IncrementalSession::new(StreamOptions::default());
+//! for chunk in bytes.chunks(7) {
+//!     session.push(chunk).unwrap();
+//! }
+//! let outcome = session.finish().unwrap();
+//! assert_eq!(outcome.report.races.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::collections::HashSet;
+use std::fmt;
+use std::time::Instant;
+
+use cafa_core::{Analyzer, DetectorConfig, RaceReport};
+use cafa_engine::{extract_task, AnalysisSession, MemoryOps, PassStats};
+use cafa_hb::bitset::BitSet;
+use cafa_hb::{HbError, IncrementalHb, SyncGraph};
+use cafa_trace::{OpRef, Pc, ReadError, StreamDecoder, StreamEvent, TaskId, Trace, VarId};
+
+/// Approximate in-memory cost of one staged (un-derived) sync record:
+/// its graph node, adjacency entries, and pairing-table slots. Used to
+/// convert [`IncrementalHb::staged_records`] into bytes for the
+/// high-water check.
+const STAGED_RECORD_COST: usize = 64;
+
+/// Configuration for an [`IncrementalSession`].
+#[derive(Clone, Copy, Debug)]
+pub struct StreamOptions {
+    /// Detector configuration for the final (authoritative) report.
+    pub detector: DetectorConfig,
+    /// High-water mark, in bytes, on *staging* state: the decoder's
+    /// buffered bytes plus the un-derived record backlog. When a push
+    /// would leave staging above this mark, the session extends the
+    /// happens-before fixpoint before returning — the caller (and so
+    /// the reader feeding it) is paused, and no record is ever
+    /// dropped. The decoded trace itself still grows with the stream;
+    /// it is the input, not staging.
+    pub high_water: usize,
+    /// Emit [`ProvisionalRace`]s from the online watcher as tasks
+    /// close. Off by default: provisional candidates are concurrency
+    /// evidence only (no heuristic filters, and a later suffix can
+    /// still order the pair); the final report is the authority.
+    pub live: bool,
+}
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        Self {
+            detector: DetectorConfig::cafa(),
+            high_water: 8 << 20,
+            live: false,
+        }
+    }
+}
+
+/// An error from streaming analysis: either the byte stream is not a
+/// valid trace, or the happens-before relation over it is inconsistent.
+#[derive(Debug)]
+pub enum StreamError {
+    /// The wire stream failed to decode or validate.
+    Read(ReadError),
+    /// The happens-before fixpoint failed (cyclic relation).
+    Hb(HbError),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Read(e) => write!(f, "stream decode: {e}"),
+            Self::Hb(e) => write!(f, "incremental analysis: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Read(e) => Some(e),
+            Self::Hb(e) => Some(e),
+        }
+    }
+}
+
+impl From<ReadError> for StreamError {
+    fn from(e: ReadError) -> Self {
+        Self::Read(e)
+    }
+}
+
+impl From<HbError> for StreamError {
+    fn from(e: HbError) -> Self {
+        Self::Hb(e)
+    }
+}
+
+/// A use-free candidate observed mid-stream: both endpoints' tasks are
+/// complete and no happens-before path orders them *so far*.
+///
+/// Provisional by construction — the happens-before relation only
+/// grows as the trace extends, so a later suffix can order (retract)
+/// this pair, and the end-of-stream detector additionally applies the
+/// lockset/if-guard/allocation filters. Compare against
+/// [`StreamOutcome::report`] for the authoritative verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProvisionalRace {
+    /// The racing pointer variable.
+    pub var: VarId,
+    /// The use endpoint (the pointer read later dereferenced).
+    pub use_at: OpRef,
+    /// Program counter of the use's read.
+    pub use_pc: Pc,
+    /// The free endpoint (the null store).
+    pub free_at: OpRef,
+    /// Program counter of the free.
+    pub free_pc: Pc,
+}
+
+/// Counters describing how a stream was ingested.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StreamProgress {
+    /// Bytes pushed so far.
+    pub bytes: u64,
+    /// Chunks pushed so far.
+    pub chunks: u64,
+    /// Records appended to the trace so far.
+    pub records: u64,
+    /// Tasks whose bodies are complete.
+    pub tasks_sealed: usize,
+    /// Fixpoint extensions run so far (including high-water flushes).
+    pub derives: u32,
+    /// Times the high-water mark forced a derive before more input.
+    pub backpressure_flushes: u64,
+}
+
+/// The result of a completed streaming analysis.
+#[derive(Clone, Debug)]
+pub struct StreamOutcome {
+    /// The fully decoded, validated trace.
+    pub trace: Trace,
+    /// The authoritative race report — identical to what
+    /// [`Analyzer::analyze`](cafa_core::Analyzer::analyze) produces on
+    /// [`trace`](StreamOutcome::trace).
+    pub report: RaceReport,
+    /// Ingestion counters.
+    pub progress: StreamProgress,
+    /// Wall time and item counts of the streaming passes
+    /// (`stream-decode`, `hb-ingest`, `hb-derive`, `watch`),
+    /// accumulated across all pushes.
+    pub passes: PassStats,
+}
+
+/// Online analysis state over a trace that is still arriving.
+///
+/// Feed byte chunks with [`push`](IncrementalSession::push) in any
+/// sizes; the resulting analysis is chunk-invariant. At end of stream,
+/// [`finish`](IncrementalSession::finish) produces the same
+/// [`RaceReport`] a batch analysis of the completed trace would.
+#[derive(Debug)]
+pub struct IncrementalSession {
+    opts: StreamOptions,
+    decoder: StreamDecoder,
+    hb: Option<IncrementalHb>,
+    progress: StreamProgress,
+    passes: PassStats,
+    events: Vec<StreamEvent>,
+    // Online watcher state (only populated when `opts.live`).
+    ops: MemoryOps,
+    emitted: HashSet<(VarId, Pc, Pc)>,
+}
+
+impl IncrementalSession {
+    /// A session ready for the first chunk.
+    pub fn new(opts: StreamOptions) -> Self {
+        Self {
+            opts,
+            decoder: StreamDecoder::new(),
+            hb: None,
+            progress: StreamProgress::default(),
+            passes: PassStats::default(),
+            events: Vec::new(),
+            ops: MemoryOps::default(),
+            emitted: HashSet::new(),
+        }
+    }
+
+    /// The options the session was created with.
+    pub fn options(&self) -> &StreamOptions {
+        &self.opts
+    }
+
+    /// Ingestion counters so far.
+    pub fn progress(&self) -> StreamProgress {
+        self.progress
+    }
+
+    /// Current staging footprint in bytes: decoder buffer plus the
+    /// un-derived record backlog. [`push`](IncrementalSession::push)
+    /// keeps this at or under [`StreamOptions::high_water`] between
+    /// calls.
+    pub fn staging_bytes(&self) -> usize {
+        let staged = self.hb.as_ref().map_or(0, |hb| hb.staged_records());
+        self.decoder.buffered_bytes() + staged * STAGED_RECORD_COST
+    }
+
+    /// True once the full trace has been received.
+    pub fn is_complete(&self) -> bool {
+        self.decoder.is_complete()
+    }
+
+    /// Consumes one chunk: decodes it, extends the incremental
+    /// happens-before state, and — with [`StreamOptions::live`] — runs
+    /// the online watcher over any tasks that completed, returning the
+    /// provisional candidates it found.
+    ///
+    /// If the push leaves the staging footprint above the high-water
+    /// mark, the fixpoint backlog is flushed before returning
+    /// (backpressure: the caller pauses, nothing is dropped).
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Read`] as soon as the stream is malformed;
+    /// [`StreamError::Hb`] if the happens-before relation over the
+    /// received prefix is inconsistent (cyclic).
+    pub fn push(&mut self, bytes: &[u8]) -> Result<Vec<ProvisionalRace>, StreamError> {
+        self.progress.bytes += bytes.len() as u64;
+        self.progress.chunks += 1;
+
+        let t0 = Instant::now();
+        self.events.clear();
+        self.decoder.push_into(bytes, &mut self.events)?;
+        self.passes
+            .accumulate("stream-decode", t0.elapsed(), bytes.len());
+
+        let mut sealed: Vec<TaskId> = Vec::new();
+        let t1 = Instant::now();
+        let mut ingested = 0usize;
+        for i in 0..self.events.len() {
+            match self.events[i] {
+                StreamEvent::TablesReady => {
+                    let trace = self.decoder.trace().expect("tables are ready");
+                    self.hb = Some(IncrementalHb::new(trace, self.opts.detector.causality));
+                }
+                StreamEvent::Records { task, count } => {
+                    let trace = self.decoder.trace().expect("records imply tables");
+                    let hb = self.hb.as_mut().expect("records imply tables");
+                    hb.ingest(trace, task);
+                    self.progress.records += count as u64;
+                    ingested += count;
+                }
+                StreamEvent::BodyComplete { task } => {
+                    let trace = self.decoder.trace().expect("body implies tables");
+                    let hb = self.hb.as_mut().expect("body implies tables");
+                    hb.seal(trace, task);
+                    self.progress.tasks_sealed += 1;
+                    sealed.push(task);
+                }
+                StreamEvent::End => {}
+            }
+        }
+        self.passes.accumulate("hb-ingest", t1.elapsed(), ingested);
+
+        let mut found = Vec::new();
+        if self.opts.live && !sealed.is_empty() {
+            self.derive("hb-derive")?;
+            let t2 = Instant::now();
+            for task in sealed {
+                self.watch_task(task, &mut found);
+            }
+            let emitted = found.len();
+            self.passes.accumulate("watch", t2.elapsed(), emitted);
+        }
+
+        if self.staging_bytes() > self.opts.high_water {
+            self.progress.backpressure_flushes += 1;
+            self.derive("hb-derive")?;
+        }
+        Ok(found)
+    }
+
+    /// Extends the fixpoint now, folding the run into `passes` under
+    /// `pass`.
+    fn derive(&mut self, pass: &'static str) -> Result<(), StreamError> {
+        let Some(hb) = self.hb.as_mut() else {
+            return Ok(());
+        };
+        if hb.staged_records() == 0 {
+            return Ok(());
+        }
+        let t0 = Instant::now();
+        let staged = hb.staged_records();
+        hb.derive_now()?;
+        self.progress.derives = hb.derive_count();
+        self.passes.accumulate(pass, t0.elapsed(), staged);
+        Ok(())
+    }
+
+    /// Extracts the freshly sealed task's memory operations and pairs
+    /// them against everything already watched.
+    fn watch_task(&mut self, task: TaskId, found: &mut Vec<ProvisionalRace>) {
+        let trace = self.decoder.trace().expect("sealed implies tables");
+        let hb = self.hb.as_ref().expect("sealed implies tables");
+        let old_uses = self.ops.uses.len();
+        let old_frees = self.ops.frees.len();
+        extract_task(trace, task, &mut self.ops);
+
+        let graph = hb.graph();
+        let mut scratch = BitSet::new(graph.node_count());
+        // New uses pair against every free seen so far (old and new);
+        // new frees only against *old* uses, so a pair of two
+        // newcomers is examined exactly once.
+        for u in &self.ops.uses[old_uses..] {
+            let Some(vo) = self.ops.var_ops(u.var) else {
+                continue;
+            };
+            for &fi in &vo.frees {
+                let f = self.ops.frees[fi];
+                emit(
+                    graph,
+                    &mut scratch,
+                    &mut self.emitted,
+                    found,
+                    u.var,
+                    (u.at, u.read_pc),
+                    (f.at, f.pc),
+                );
+            }
+        }
+        for f in &self.ops.frees[old_frees..] {
+            let Some(vo) = self.ops.var_ops(f.var) else {
+                continue;
+            };
+            for &ui in &vo.uses {
+                if ui >= old_uses {
+                    continue;
+                }
+                let u = self.ops.uses[ui];
+                emit(
+                    graph,
+                    &mut scratch,
+                    &mut self.emitted,
+                    found,
+                    f.var,
+                    (u.at, u.read_pc),
+                    (f.at, f.pc),
+                );
+            }
+        }
+    }
+
+    /// Completes the stream: validates the trace, finalizes the
+    /// incremental happens-before model, and runs the (unmodified)
+    /// detector against it. The report is identical to a batch
+    /// [`Analyzer::analyze`](cafa_core::Analyzer::analyze) of the same
+    /// trace.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Read`] if the stream ended early or the trace is
+    /// structurally invalid; [`StreamError::Hb`] if a happens-before
+    /// model cannot be built.
+    pub fn finish(self) -> Result<StreamOutcome, StreamError> {
+        let IncrementalSession {
+            hb,
+            decoder,
+            opts,
+            mut progress,
+            passes,
+            ..
+        } = self;
+        let trace = decoder.finish()?;
+        let report = {
+            let session = AnalysisSession::new(&trace);
+            if let Some(hb) = hb {
+                // Finalization runs one last fixpoint extension.
+                progress.derives = hb.derive_count() + 1;
+                let model = hb.into_model(&trace)?;
+                session.insert_model(model);
+            }
+            Analyzer::with_config(opts.detector).analyze_with(&session)?
+        };
+        Ok(StreamOutcome {
+            trace,
+            report,
+            progress,
+            passes,
+        })
+    }
+}
+
+/// Records a provisional candidate if the pair is cross-task, unseen,
+/// and unordered in the graph so far.
+#[allow(clippy::too_many_arguments)]
+fn emit(
+    graph: &SyncGraph,
+    scratch: &mut BitSet,
+    emitted: &mut HashSet<(VarId, Pc, Pc)>,
+    found: &mut Vec<ProvisionalRace>,
+    var: VarId,
+    (use_at, use_pc): (OpRef, Pc),
+    (free_at, free_pc): (OpRef, Pc),
+) {
+    if use_at.task == free_at.task {
+        return;
+    }
+    let key = (var, use_pc, free_pc);
+    if emitted.contains(&key) {
+        return;
+    }
+    if ordered(graph, scratch, use_at, free_at) || ordered(graph, scratch, free_at, use_at) {
+        return;
+    }
+    emitted.insert(key);
+    found.push(ProvisionalRace {
+        var,
+        use_at,
+        use_pc,
+        free_at,
+        free_pc,
+    });
+}
+
+/// Graph-level happens-before between two operations of different
+/// tasks, as of the edges derived so far.
+fn ordered(graph: &SyncGraph, scratch: &mut BitSet, a: OpRef, b: OpRef) -> bool {
+    scratch.clear();
+    graph.reaches(graph.bracket_after(a), graph.bracket_before(b), scratch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cafa_trace::{to_binary_vec, to_text_string, DerefKind, ObjId, TraceBuilder};
+
+    fn racy_trace() -> Trace {
+        let mut b = TraceBuilder::new("stream-racy");
+        let app = b.add_process();
+        let q = b.add_queue(app);
+        let svc = b.add_process();
+        let ipc = b.add_thread(svc, "binder");
+        let connected = b.post(ipc, q, "onServiceConnected", 0);
+        let destroy = b.external(q, "onDestroy");
+        b.process_event(connected);
+        b.obj_read(
+            connected,
+            VarId::new(0),
+            Some(ObjId::new(1)),
+            Pc::new(0x1010),
+        );
+        b.deref(connected, ObjId::new(1), Pc::new(0x1014), DerefKind::Invoke);
+        b.process_event(destroy);
+        b.obj_write(destroy, VarId::new(0), None, Pc::new(0x2010));
+        b.finish().unwrap()
+    }
+
+    fn stream(
+        bytes: &[u8],
+        chunk: usize,
+        opts: StreamOptions,
+    ) -> (StreamOutcome, Vec<ProvisionalRace>) {
+        let mut s = IncrementalSession::new(opts);
+        let mut live = Vec::new();
+        for c in bytes.chunks(chunk.max(1)) {
+            live.extend(s.push(c).expect("valid stream"));
+        }
+        assert!(s.is_complete());
+        (s.finish().expect("valid trace"), live)
+    }
+
+    #[test]
+    fn streamed_report_matches_batch_for_all_chunkings() {
+        let trace = racy_trace();
+        let batch = Analyzer::new().analyze(&trace).unwrap();
+        for bytes in [to_binary_vec(&trace), to_text_string(&trace).into_bytes()] {
+            for chunk in [1, 13, 4096] {
+                let (out, _) = stream(&bytes, chunk, StreamOptions::default());
+                assert_eq!(out.trace, trace, "chunk {chunk}");
+                assert_eq!(out.report.races.len(), batch.races.len());
+                assert_eq!(out.report.races, batch.races, "chunk {chunk}");
+                assert_eq!(out.report.filtered, batch.filtered);
+                assert_eq!(out.report.stats, batch.stats);
+            }
+        }
+    }
+
+    #[test]
+    fn live_watcher_sees_the_race_before_finish() {
+        let trace = racy_trace();
+        let bytes = to_binary_vec(&trace);
+        let opts = StreamOptions {
+            live: true,
+            ..StreamOptions::default()
+        };
+        let (out, live) = stream(&bytes, 16, opts);
+        assert_eq!(live.len(), 1, "one provisional candidate");
+        assert_eq!(live[0].var, VarId::new(0));
+        assert_eq!(out.report.races.len(), 1);
+        assert_eq!(out.report.races[0].use_site.read_pc, live[0].use_pc);
+    }
+
+    #[test]
+    fn high_water_mark_forces_flushes_without_changing_output() {
+        let trace = racy_trace();
+        let bytes = to_binary_vec(&trace);
+        let tight = StreamOptions {
+            high_water: 1,
+            ..StreamOptions::default()
+        };
+        let (out, _) = stream(&bytes, 8, tight);
+        assert!(out.progress.backpressure_flushes > 0);
+        let batch = Analyzer::new().analyze(&out.trace).unwrap();
+        assert_eq!(out.report.races, batch.races);
+    }
+
+    #[test]
+    fn progress_counters_cover_the_stream() {
+        let trace = racy_trace();
+        let bytes = to_binary_vec(&trace);
+        let (out, _) = stream(&bytes, 32, StreamOptions::default());
+        assert_eq!(out.progress.bytes, bytes.len() as u64);
+        assert_eq!(out.progress.records as usize, trace.stats().records);
+        assert_eq!(out.progress.tasks_sealed, trace.task_count());
+    }
+
+    #[test]
+    fn malformed_stream_surfaces_read_error() {
+        let mut s = IncrementalSession::new(StreamOptions::default());
+        let err = match s.push(b"CAFTgarbage-not-a-trace") {
+            Err(e) => e,
+            Ok(_) => s.finish().expect_err("invalid"),
+        };
+        assert!(matches!(err, StreamError::Read(_)));
+    }
+}

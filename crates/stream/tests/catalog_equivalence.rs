@@ -1,0 +1,82 @@
+//! Streaming analysis of the catalog apps is byte-identical to batch.
+//!
+//! The chunk-invariance guarantee: for every catalog trace, pushing
+//! the serialized bytes through an [`IncrementalSession`] — at any
+//! chunk size, in either wire format, with backpressure flushes
+//! forced or not — yields the exact JSON report that batch
+//! `cafa analyze` produces. These tests pin that end to end on the
+//! real workloads; `ci.sh` repeats the check through the CLI binary.
+
+use cafa_apps::all_apps;
+use cafa_core::json::render_json;
+use cafa_core::Analyzer;
+use cafa_stream::{IncrementalSession, StreamOptions};
+use cafa_trace::{to_binary_vec, to_text_string, Trace};
+
+/// Streams `bytes` at `chunk` and renders the final JSON report.
+fn streamed_json(bytes: &[u8], chunk: usize, opts: StreamOptions) -> String {
+    let mut session = IncrementalSession::new(opts);
+    for c in bytes.chunks(chunk) {
+        session.push(c).expect("valid stream");
+    }
+    let out = session.finish().expect("valid trace");
+    render_json(&out.report, &out.trace)
+}
+
+/// The batch reference: direct analysis of the in-memory trace.
+fn batch_json(trace: &Trace) -> String {
+    let report = Analyzer::new().analyze(trace).expect("analysis succeeds");
+    render_json(&report, trace)
+}
+
+/// Every catalog app, binary wire format, one bulk chunk size.
+#[test]
+fn all_apps_stream_identical_to_batch() {
+    for app in all_apps() {
+        let outcome = app.record(0).expect("workload records cleanly");
+        let trace = outcome.trace.expect("instrumentation is on");
+        let expected = batch_json(&trace);
+        let streamed = streamed_json(&to_binary_vec(&trace), 4096, StreamOptions::default());
+        assert_eq!(streamed, expected, "app {}", app.name);
+    }
+}
+
+/// The full matrix — both formats, chunk sizes down to a single byte,
+/// and a tiny high-water mark forcing backpressure flushes — on two
+/// apps, to bound debug-mode runtime.
+#[test]
+fn chunk_size_and_format_never_change_the_report() {
+    for app in all_apps().into_iter().take(2) {
+        let outcome = app.record(0).expect("workload records cleanly");
+        let trace = outcome.trace.expect("instrumentation is on");
+        let expected = batch_json(&trace);
+        let encodings = [to_binary_vec(&trace), to_text_string(&trace).into_bytes()];
+        for bytes in &encodings {
+            for chunk in [1usize, 13, 4096] {
+                let streamed = streamed_json(bytes, chunk, StreamOptions::default());
+                assert_eq!(streamed, expected, "app {} chunk {chunk}", app.name);
+            }
+        }
+        let tiny_hwm = StreamOptions {
+            high_water: 4096,
+            ..StreamOptions::default()
+        };
+        let streamed = streamed_json(&encodings[0], 1024, tiny_hwm);
+        assert_eq!(streamed, expected, "app {} with backpressure", app.name);
+    }
+}
+
+/// Live provisional reporting never perturbs the authoritative report.
+#[test]
+fn live_mode_keeps_the_final_report_identical() {
+    let app = &all_apps()[0];
+    let outcome = app.record(0).expect("workload records cleanly");
+    let trace = outcome.trace.expect("instrumentation is on");
+    let expected = batch_json(&trace);
+    let live = StreamOptions {
+        live: true,
+        ..StreamOptions::default()
+    };
+    let streamed = streamed_json(&to_binary_vec(&trace), 2048, live);
+    assert_eq!(streamed, expected);
+}

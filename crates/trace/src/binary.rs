@@ -44,24 +44,33 @@ fn put_str<W: Write>(out: &mut W, s: &str) -> io::Result<()> {
     out.write_all(s.as_bytes())
 }
 
-struct Reader<R> {
-    input: R,
-    offset: u64,
+pub(crate) struct Reader<R> {
+    pub(crate) input: R,
+    pub(crate) offset: u64,
 }
 
 impl<R: Read> Reader<R> {
-    fn new(input: R) -> Self {
+    pub(crate) fn new(input: R) -> Self {
         Self { input, offset: 0 }
     }
 
-    fn byte(&mut self) -> Result<u8, ReadError> {
+    /// A reader whose reported offsets start at `offset` instead of 0.
+    ///
+    /// The streaming decoder re-parses from an in-memory tail of the
+    /// stream; anchoring the reader at the tail's global position keeps
+    /// error offsets identical to a batch parse of the whole stream.
+    pub(crate) fn new_at(input: R, offset: u64) -> Self {
+        Self { input, offset }
+    }
+
+    pub(crate) fn byte(&mut self) -> Result<u8, ReadError> {
         let mut b = [0u8; 1];
         self.input.read_exact(&mut b)?;
         self.offset += 1;
         Ok(b[0])
     }
 
-    fn u64(&mut self) -> Result<u64, ReadError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, ReadError> {
         let mut v = 0u64;
         let mut shift = 0u32;
         loop {
@@ -77,12 +86,12 @@ impl<R: Read> Reader<R> {
         }
     }
 
-    fn u32(&mut self) -> Result<u32, ReadError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, ReadError> {
         let v = self.u64()?;
         u32::try_from(v).map_err(|_| ReadError::parse(self.offset, "value overflows u32"))
     }
 
-    fn string(&mut self) -> Result<String, ReadError> {
+    pub(crate) fn string(&mut self) -> Result<String, ReadError> {
         let len = self.u64()? as usize;
         if len > 1 << 24 {
             return Err(ReadError::parse(self.offset, "implausible string length"));
@@ -93,11 +102,30 @@ impl<R: Read> Reader<R> {
         String::from_utf8(buf).map_err(|_| ReadError::parse(self.offset, "invalid UTF-8"))
     }
 
-    fn opref(&mut self) -> Result<OpRef, ReadError> {
+    pub(crate) fn opref(&mut self) -> Result<OpRef, ReadError> {
         let task = TaskId::new(self.u32()?);
         let index = self.u32()?;
         Ok(OpRef { task, index })
     }
+}
+
+/// Upper bound on any table entry count. A corrupted or hostile varint
+/// above this is rejected before it can size an allocation.
+pub(crate) const MAX_TABLE_COUNT: u64 = 1 << 24;
+
+/// Upper bound on a single task body's record count.
+pub(crate) const MAX_BODY_LEN: u64 = 1 << 28;
+
+/// Reads a table entry count, rejecting implausibly large values.
+pub(crate) fn table_count<R: Read>(r: &mut Reader<R>, what: &str) -> Result<usize, ReadError> {
+    let n = r.u64()?;
+    if n > MAX_TABLE_COUNT {
+        return Err(ReadError::parse(
+            r.offset,
+            format!("implausible {what} count"),
+        ));
+    }
+    Ok(n as usize)
 }
 
 fn put_opref<W: Write>(out: &mut W, at: OpRef) -> io::Result<()> {
@@ -112,7 +140,7 @@ fn put_opt_obj<W: Write>(out: &mut W, obj: Option<ObjId>) -> io::Result<()> {
     }
 }
 
-fn get_opt_obj<R: Read>(r: &mut Reader<R>) -> Result<Option<ObjId>, ReadError> {
+pub(crate) fn get_opt_obj<R: Read>(r: &mut Reader<R>) -> Result<Option<ObjId>, ReadError> {
     let v = r.u32()?;
     Ok(if v == 0 {
         None
@@ -280,7 +308,7 @@ fn write_record<W: Write>(out: &mut W, r: &Record) -> io::Result<()> {
     }
 }
 
-fn read_record<R: Read>(r: &mut Reader<R>) -> Result<Record, ReadError> {
+pub(crate) fn read_record<R: Read>(r: &mut Reader<R>) -> Result<Record, ReadError> {
     let code = r.byte()?;
     let rec = match code {
         R_FORK => Record::Fork {
@@ -505,7 +533,7 @@ pub fn read_binary<R: Read>(input: R) -> Result<Trace, ReadError> {
     let virtual_ms = r.u64()?;
     let process_count = r.u32()?;
 
-    let name_count = r.u64()? as usize;
+    let name_count = table_count(&mut r, "name")?;
     let mut names = Interner::new();
     for i in 0..name_count {
         let s = r.string()?;
@@ -515,8 +543,8 @@ pub fn read_binary<R: Read>(input: R) -> Result<Trace, ReadError> {
         }
     }
 
-    let queue_count = r.u64()? as usize;
-    let mut queues = Vec::with_capacity(queue_count);
+    let queue_count = table_count(&mut r, "queue")?;
+    let mut queues = Vec::with_capacity(queue_count.min(1 << 16));
     for _ in 0..queue_count {
         let p = r.u32()?;
         let process = if p == 0 {
@@ -530,16 +558,16 @@ pub fn read_binary<R: Read>(input: R) -> Result<Trace, ReadError> {
         });
     }
 
-    let listener_count = r.u64()? as usize;
-    let mut listeners = Vec::with_capacity(listener_count);
+    let listener_count = table_count(&mut r, "listener")?;
+    let mut listeners = Vec::with_capacity(listener_count.min(1 << 16));
     for _ in 0..listener_count {
         listeners.push(ListenerInfo {
             package: NameId::new(r.u32()?),
         });
     }
 
-    let task_count = r.u64()? as usize;
-    let mut tasks = Vec::with_capacity(task_count);
+    let task_count = table_count(&mut r, "task")?;
+    let mut tasks = Vec::with_capacity(task_count.min(1 << 16));
     let mut external: Vec<(u32, TaskId)> = Vec::new();
     for i in 0..task_count {
         let id = TaskId::from_usize(i);
@@ -571,6 +599,12 @@ pub fn read_binary<R: Read>(input: R) -> Result<Trace, ReadError> {
                     .get_mut(queue.index())
                     .ok_or_else(|| ReadError::parse(r.offset, "event names unknown queue"))?;
                 let si = seq as usize;
+                // A queue position must name one of the trace's tasks, so
+                // any valid seq is below task_count; a corrupt seq (e.g.
+                // u32::MAX) would otherwise size a huge resize below.
+                if si >= task_count {
+                    return Err(ReadError::parse(r.offset, "event seq out of range"));
+                }
                 if q.events.len() <= si {
                     q.events.resize(si + 1, TaskId::new(u32::MAX));
                 }
@@ -590,10 +624,11 @@ pub fn read_binary<R: Read>(input: R) -> Result<Trace, ReadError> {
 
     let mut bodies = Vec::with_capacity(task_count);
     for _ in 0..task_count {
-        let len = r.u64()? as usize;
-        if len > 1 << 28 {
+        let len = r.u64()?;
+        if len > MAX_BODY_LEN {
             return Err(ReadError::parse(r.offset, "implausible body length"));
         }
+        let len = len as usize;
         let mut body = Vec::with_capacity(len.min(1 << 16));
         for _ in 0..len {
             body.push(read_record(&mut r)?);

@@ -67,6 +67,7 @@ pub mod arbitrary;
 pub mod binary;
 pub mod pretty;
 pub mod serialize;
+pub mod stream;
 pub mod validate;
 
 pub use builder::TraceBuilder;
@@ -81,3 +82,4 @@ pub use trace::{Trace, TraceMeta, TraceStats};
 
 pub use binary::{from_binary_slice, read_binary, to_binary_vec, write_binary};
 pub use serialize::{from_text_str, read_text, to_text_string, write_text};
+pub use stream::{StreamDecoder, StreamEvent};

@@ -280,158 +280,324 @@ impl<R: BufRead> Parser<R> {
         }
     }
 
-    fn err(&self, msg: impl Into<String>) -> ReadError {
-        ReadError::parse(self.line_no, msg)
+    fn parse(&mut self) -> Result<Trace, ReadError> {
+        let mut asm = TextAssembler::new();
+        while !asm.is_done() {
+            let Some(line) = self.next_line()? else { break };
+            let line = line.to_owned();
+            asm.feed(&line, self.line_no)?;
+        }
+        let line_no = self.line_no;
+        asm.finish(line_no)
+    }
+}
+
+/// What one fed line contributed, as reported by [`TextAssembler::feed`].
+///
+/// The streaming decoder turns these into incremental-analysis events;
+/// the batch parser ignores them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum TextStep {
+    /// A header or table directive (meta/processes/name/queue/listener/task).
+    Table,
+    /// A `body` directive opened `task`'s body (`done` for empty bodies).
+    BodyStart { task: TaskId, done: bool },
+    /// A record line was appended to `task`'s body; `done` marks the last.
+    Record { task: TaskId, done: bool },
+    /// The final `end` directive; the trace is complete.
+    End,
+}
+
+/// Incremental text-trace assembler, fed one logical line at a time.
+///
+/// Both [`read_text`] and the streaming decoder drive this state machine,
+/// so streamed parses accept exactly the language batch parses do. Lines
+/// must already be trimmed of trailing whitespace, with blank and `#`
+/// comment lines filtered out by the caller.
+///
+/// The streaming decoder additionally calls [`seal_tables`] at the first
+/// `body` directive, which finalizes the name/queue/task tables into a
+/// live [`Trace`] whose bodies then grow in place; after sealing, further
+/// table directives are rejected (the on-disk writer never produces
+/// them). The batch parser never seals, so [`read_text`] keeps accepting
+/// tables in any pre-`end` position.
+///
+/// [`seal_tables`]: TextAssembler::seal_tables
+#[derive(Debug)]
+pub(crate) struct TextAssembler {
+    header_seen: bool,
+    done: bool,
+    /// Task currently receiving record lines, and how many remain.
+    body: Option<(TaskId, usize)>,
+    meta: TraceMeta,
+    names: Vec<(u32, String)>,
+    queues: Vec<QueueInfo>,
+    listeners: Vec<ListenerInfo>,
+    tasks: Vec<TaskInfo>,
+    bodies: Vec<Vec<Record>>,
+    process_count: u32,
+    external: Vec<(u32, TaskId)>,
+    /// The live trace, once sealed (streaming mode only).
+    trace: Option<Trace>,
+}
+
+impl TextAssembler {
+    pub(crate) fn new() -> Self {
+        Self {
+            header_seen: false,
+            done: false,
+            body: None,
+            meta: TraceMeta::default(),
+            names: Vec::new(),
+            queues: Vec::new(),
+            listeners: Vec::new(),
+            tasks: Vec::new(),
+            bodies: Vec::new(),
+            process_count: 0,
+            external: Vec::new(),
+            trace: None,
+        }
     }
 
-    fn parse(&mut self) -> Result<Trace, ReadError> {
-        // Header.
-        let header = self
-            .next_line()?
-            .ok_or_else(|| ReadError::parse(0, "empty input"))?
-            .to_owned();
-        let version = header
-            .strip_prefix("cafa-trace v")
-            .and_then(|v| v.parse::<u32>().ok())
-            .ok_or_else(|| self.err("missing `cafa-trace vN` header"))?;
-        if version != TEXT_VERSION {
-            return Err(ReadError::UnsupportedVersion { found: version });
-        }
+    /// True once the `end` directive has been consumed.
+    pub(crate) fn is_done(&self) -> bool {
+        self.done
+    }
 
-        let mut meta = TraceMeta::default();
-        let mut names = Vec::<(u32, String)>::new();
-        let mut queues = Vec::<QueueInfo>::new();
-        let mut listeners = Vec::<ListenerInfo>::new();
-        let mut tasks = Vec::<TaskInfo>::new();
-        let mut bodies = Vec::<Vec<Record>>::new();
-        let mut process_count = 0u32;
-        let mut external: Vec<(u32, TaskId)> = Vec::new();
+    /// The live trace, available once [`seal_tables`] has run.
+    ///
+    /// [`seal_tables`]: TextAssembler::seal_tables
+    pub(crate) fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
 
-        loop {
-            let Some(line) = self.next_line()? else {
-                return Err(ReadError::parse(self.line_no, "missing `end` line"));
-            };
-            let line = line.to_owned();
-            let mut tok = Tokens::new(&line, self.line_no);
-            match tok.word()? {
-                "end" => break,
-                "meta" => {
-                    tok.expect("app")?;
-                    meta.app = unquote(tok.word()?, self.line_no)?;
-                    tok.expect("seed")?;
-                    meta.seed = tok.u64()?;
-                    tok.expect("virtual_ms")?;
-                    meta.virtual_ms = tok.u64()?;
-                }
-                "processes" => process_count = tok.u64()? as u32,
-                "name" => {
-                    let id = tok.id('n')?;
-                    let s = unquote(tok.rest(), self.line_no)?;
-                    names.push((id, s));
-                }
-                "queue" => {
-                    let id = tok.id('q')? as usize;
-                    let w = tok.word()?;
-                    let process = if w == "-" {
-                        None
-                    } else {
-                        Some(ProcessId::new(parse_id(w, 'p', self.line_no)?))
-                    };
-                    if id != queues.len() {
-                        return Err(self.err("queue ids must be dense and in order"));
-                    }
-                    queues.push(QueueInfo {
-                        process,
-                        events: Vec::new(),
-                    });
-                }
-                "listener" => {
-                    let id = tok.id('l')? as usize;
-                    let package = NameId::new(tok.id('n')?);
-                    if id != listeners.len() {
-                        return Err(self.err("listener ids must be dense and in order"));
-                    }
-                    listeners.push(ListenerInfo { package });
-                }
-                "task" => {
-                    let id = TaskId::new(tok.id('t')?);
-                    if id.index() != tasks.len() {
-                        return Err(self.err("task ids must be dense and in order"));
-                    }
-                    let kind = match tok.word()? {
-                        "thread" => {
-                            let process = ProcessId::new(tok.id('p')?);
-                            let w = tok.word()?;
-                            let forked_at = if w == "-" {
-                                None
-                            } else {
-                                Some(parse_opref(w, self.line_no)?)
-                            };
-                            TaskKind::Thread { process, forked_at }
-                        }
-                        "event" => {
-                            let queue = QueueId::new(tok.id('q')?);
-                            tok.expect("seq")?;
-                            let seq = tok.u64()? as u32;
-                            tok.expect("delay")?;
-                            let delay_ms = tok.u64()?;
-                            let origin = match tok.word()? {
-                                "sent" => EventOrigin::Sent {
-                                    send: parse_opref(tok.word()?, self.line_no)?,
-                                },
-                                "front" => EventOrigin::SentAtFront {
-                                    send: parse_opref(tok.word()?, self.line_no)?,
-                                },
-                                "ext" => {
-                                    let sequence = tok.u64()? as u32;
-                                    external.push((sequence, id));
-                                    EventOrigin::External { sequence }
-                                }
-                                w => return Err(self.err(format!("unknown origin `{w}`"))),
-                            };
-                            let q = queues
-                                .get_mut(queue.index())
-                                .ok_or_else(|| ReadError::parse(self.line_no, "unknown queue"))?;
-                            let si = seq as usize;
-                            if q.events.len() <= si {
-                                q.events.resize(si + 1, TaskId::new(u32::MAX));
-                            }
-                            q.events[si] = id;
-                            TaskKind::Event {
-                                queue,
-                                seq,
-                                origin,
-                                delay_ms,
-                            }
-                        }
-                        w => return Err(self.err(format!("unknown task kind `{w}`"))),
-                    };
-                    let name = NameId::new(tok.id('n')?);
-                    tasks.push(TaskInfo { id, kind, name });
-                    bodies.push(Vec::new());
-                }
-                "body" => {
-                    let id = TaskId::new(tok.id('t')?);
-                    let len = tok.u64()? as usize;
-                    let mut body = Vec::with_capacity(len);
-                    for _ in 0..len {
-                        let Some(line) = self.next_line()? else {
-                            return Err(ReadError::parse(self.line_no, "truncated body"));
-                        };
-                        let line = line.to_owned();
-                        body.push(parse_record(&line, self.line_no)?);
-                    }
-                    let slot = bodies
-                        .get_mut(id.index())
-                        .ok_or_else(|| ReadError::parse(self.line_no, "body for unknown task"))?;
-                    *slot = body;
-                }
-                w => return Err(self.err(format!("unknown directive `{w}`"))),
+    /// Finalizes the staged tables into a live [`Trace`] whose bodies are
+    /// filled in place by subsequent record lines.
+    pub(crate) fn seal_tables(&mut self) -> Result<(), ReadError> {
+        let mut interner = Interner::new();
+        let mut names = std::mem::take(&mut self.names);
+        names.sort_by_key(|(id, _)| *id);
+        for (i, (id, s)) in names.iter().enumerate() {
+            if *id as usize != i {
+                return Err(ReadError::parse(0, "name ids must be dense"));
             }
+            let got = interner.intern(s);
+            if got.as_u32() != *id {
+                return Err(ReadError::parse(0, "duplicate name string"));
+            }
+        }
+        let mut external = std::mem::take(&mut self.external);
+        external.sort_by_key(|(seq, _)| *seq);
+        let external_order: Vec<TaskId> = external.into_iter().map(|(_, t)| t).collect();
+        self.trace = Some(Trace {
+            meta: std::mem::take(&mut self.meta),
+            names: interner,
+            tasks: std::mem::take(&mut self.tasks),
+            bodies: std::mem::take(&mut self.bodies),
+            queues: std::mem::take(&mut self.queues),
+            listeners: std::mem::take(&mut self.listeners),
+            external_order,
+            process_count: self.process_count,
+        });
+        Ok(())
+    }
+
+    /// The body table being filled (live trace when sealed, staged
+    /// otherwise).
+    fn bodies_mut(&mut self) -> &mut Vec<Vec<Record>> {
+        match &mut self.trace {
+            Some(t) => &mut t.bodies,
+            None => &mut self.bodies,
+        }
+    }
+
+    /// Consumes one logical line.
+    pub(crate) fn feed(&mut self, line: &str, line_no: u64) -> Result<TextStep, ReadError> {
+        let err = |msg: String| ReadError::parse(line_no, msg);
+        if self.done {
+            return Err(err("data after `end`".to_owned()));
+        }
+        if !self.header_seen {
+            let version = line
+                .strip_prefix("cafa-trace v")
+                .and_then(|v| v.parse::<u32>().ok())
+                .ok_or_else(|| err("missing `cafa-trace vN` header".to_owned()))?;
+            if version != TEXT_VERSION {
+                return Err(ReadError::UnsupportedVersion { found: version });
+            }
+            self.header_seen = true;
+            return Ok(TextStep::Table);
+        }
+        if let Some((task, remaining)) = self.body {
+            let rec = parse_record(line, line_no)?;
+            self.bodies_mut()[task.index()].push(rec);
+            let remaining = remaining - 1;
+            if remaining == 0 {
+                self.body = None;
+                return Ok(TextStep::Record { task, done: true });
+            }
+            self.body = Some((task, remaining));
+            return Ok(TextStep::Record { task, done: false });
+        }
+        let mut tok = Tokens::new(line, line_no);
+        let dir = tok.word()?;
+        if self.trace.is_some() && dir != "body" && dir != "end" {
+            return Err(err(format!(
+                "table directive `{dir}` after first body is not supported in streamed traces"
+            )));
+        }
+        match dir {
+            "end" => {
+                self.done = true;
+                return Ok(TextStep::End);
+            }
+            "meta" => {
+                tok.expect("app")?;
+                self.meta.app = unquote(tok.word()?, line_no)?;
+                tok.expect("seed")?;
+                self.meta.seed = tok.u64()?;
+                tok.expect("virtual_ms")?;
+                self.meta.virtual_ms = tok.u64()?;
+            }
+            "processes" => self.process_count = tok.u64()? as u32,
+            "name" => {
+                let id = tok.id('n')?;
+                let s = unquote(tok.rest(), line_no)?;
+                self.names.push((id, s));
+            }
+            "queue" => {
+                let id = tok.id('q')? as usize;
+                let w = tok.word()?;
+                let process = if w == "-" {
+                    None
+                } else {
+                    Some(ProcessId::new(parse_id(w, 'p', line_no)?))
+                };
+                if id != self.queues.len() {
+                    return Err(err("queue ids must be dense and in order".to_owned()));
+                }
+                self.queues.push(QueueInfo {
+                    process,
+                    events: Vec::new(),
+                });
+            }
+            "listener" => {
+                let id = tok.id('l')? as usize;
+                let package = NameId::new(tok.id('n')?);
+                if id != self.listeners.len() {
+                    return Err(err("listener ids must be dense and in order".to_owned()));
+                }
+                self.listeners.push(ListenerInfo { package });
+            }
+            "task" => {
+                let id = TaskId::new(tok.id('t')?);
+                if id.index() != self.tasks.len() {
+                    return Err(err("task ids must be dense and in order".to_owned()));
+                }
+                let kind = match tok.word()? {
+                    "thread" => {
+                        let process = ProcessId::new(tok.id('p')?);
+                        let w = tok.word()?;
+                        let forked_at = if w == "-" {
+                            None
+                        } else {
+                            Some(parse_opref(w, line_no)?)
+                        };
+                        TaskKind::Thread { process, forked_at }
+                    }
+                    "event" => {
+                        let queue = QueueId::new(tok.id('q')?);
+                        tok.expect("seq")?;
+                        let seq = tok.u64()? as u32;
+                        tok.expect("delay")?;
+                        let delay_ms = tok.u64()?;
+                        let origin = match tok.word()? {
+                            "sent" => EventOrigin::Sent {
+                                send: parse_opref(tok.word()?, line_no)?,
+                            },
+                            "front" => EventOrigin::SentAtFront {
+                                send: parse_opref(tok.word()?, line_no)?,
+                            },
+                            "ext" => {
+                                let sequence = tok.u64()? as u32;
+                                self.external.push((sequence, id));
+                                EventOrigin::External { sequence }
+                            }
+                            w => return Err(err(format!("unknown origin `{w}`"))),
+                        };
+                        let q = self
+                            .queues
+                            .get_mut(queue.index())
+                            .ok_or_else(|| ReadError::parse(line_no, "unknown queue"))?;
+                        let si = seq as usize;
+                        // A valid seq indexes the queue's processing order,
+                        // so it can never reach the table-count ceiling; a
+                        // corrupt seq would size a huge resize below.
+                        if si as u64 >= crate::binary::MAX_TABLE_COUNT {
+                            return Err(err("event seq out of range".to_owned()));
+                        }
+                        if q.events.len() <= si {
+                            q.events.resize(si + 1, TaskId::new(u32::MAX));
+                        }
+                        q.events[si] = id;
+                        TaskKind::Event {
+                            queue,
+                            seq,
+                            origin,
+                            delay_ms,
+                        }
+                    }
+                    w => return Err(err(format!("unknown task kind `{w}`"))),
+                };
+                let name = NameId::new(tok.id('n')?);
+                self.tasks.push(TaskInfo { id, kind, name });
+                self.bodies.push(Vec::new());
+            }
+            "body" => {
+                let task = TaskId::new(tok.id('t')?);
+                let len = tok.u64()?;
+                if len > crate::binary::MAX_BODY_LEN {
+                    return Err(err("implausible body length".to_owned()));
+                }
+                let len = len as usize;
+                let slot = self
+                    .bodies_mut()
+                    .get_mut(task.index())
+                    .ok_or_else(|| ReadError::parse(line_no, "body for unknown task"))?;
+                *slot = Vec::with_capacity(len.min(1 << 16));
+                if len == 0 {
+                    return Ok(TextStep::BodyStart { task, done: true });
+                }
+                self.body = Some((task, len));
+                return Ok(TextStep::BodyStart { task, done: false });
+            }
+            w => return Err(err(format!("unknown directive `{w}`"))),
+        }
+        Ok(TextStep::Table)
+    }
+
+    /// Finishes assembly, producing the (unvalidated) trace.
+    ///
+    /// `line_no` is the number of the last line consumed, used for the
+    /// truncation error position.
+    pub(crate) fn finish(self, line_no: u64) -> Result<Trace, ReadError> {
+        if !self.header_seen {
+            return Err(ReadError::parse(0, "empty input"));
+        }
+        if !self.done {
+            return Err(if self.body.is_some() {
+                ReadError::parse(line_no, "truncated body")
+            } else {
+                ReadError::parse(line_no, "missing `end` line")
+            });
+        }
+        if let Some(trace) = self.trace {
+            return Ok(trace);
         }
 
         // Rebuild interner preserving ids.
         let mut interner = Interner::new();
+        let mut names = self.names;
         names.sort_by_key(|(id, _)| *id);
         for (i, (id, s)) in names.iter().enumerate() {
             if *id as usize != i {
@@ -443,18 +609,19 @@ impl<R: BufRead> Parser<R> {
             }
         }
 
+        let mut external = self.external;
         external.sort_by_key(|(seq, _)| *seq);
         let external_order: Vec<TaskId> = external.into_iter().map(|(_, t)| t).collect();
 
         Ok(Trace {
-            meta,
+            meta: self.meta,
             names: interner,
-            tasks,
-            bodies,
-            queues,
-            listeners,
+            tasks: self.tasks,
+            bodies: self.bodies,
+            queues: self.queues,
+            listeners: self.listeners,
             external_order,
-            process_count,
+            process_count: self.process_count,
         })
     }
 }

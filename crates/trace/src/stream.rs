@@ -1,0 +1,853 @@
+//! Chunked, resumable trace decoding for streaming ingestion.
+//!
+//! [`StreamDecoder`] consumes the existing wire formats (binary or text,
+//! sniffed from the first byte) in arbitrary chunk sizes and surfaces the
+//! trace as it arrives: the metadata tables become available first (both
+//! writers emit every table before any record body), then each task's
+//! body fills in task-id order. Decoding is a pure state machine over the
+//! bytes, so the resulting trace — and every [`StreamEvent`] boundary
+//! except chunk-local [`Records`](StreamEvent::Records) coalescing — is
+//! independent of how the stream was chunked.
+//!
+//! Error behavior matches the batch readers: parse errors carry the same
+//! global byte offset (binary) or line number (text) that
+//! [`read_binary`](crate::read_binary) / [`read_text`](crate::read_text)
+//! would report, and a stream truncated mid-item fails at
+//! [`finish`](StreamDecoder::finish) with the same error a batch read of
+//! the truncated bytes produces.
+
+use std::io::{ErrorKind, Read};
+
+use crate::binary::{self, Reader, BINARY_VERSION, MAGIC, MAX_BODY_LEN};
+use crate::error::ReadError;
+use crate::ids::{NameId, ProcessId, QueueId, TaskId};
+use crate::interner::Interner;
+use crate::serialize::{TextAssembler, TextStep};
+use crate::task::{EventOrigin, ListenerInfo, QueueInfo, TaskInfo, TaskKind};
+use crate::trace::{Trace, TraceMeta};
+use crate::validate::validate;
+
+/// An incremental milestone reported by [`StreamDecoder::push`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamEvent {
+    /// All metadata tables (names, queues, listeners, tasks) are decoded;
+    /// [`StreamDecoder::trace`] is available from now on and its task set
+    /// is final. Record bodies are still empty.
+    TablesReady,
+    /// `count` records were appended to `task`'s body. Consecutive
+    /// records of one task within a push are coalesced into one event.
+    Records {
+        /// The task whose body grew.
+        task: TaskId,
+        /// How many records were appended.
+        count: usize,
+    },
+    /// `task`'s body is complete; no further records will be added to it.
+    BodyComplete {
+        /// The completed task.
+        task: TaskId,
+    },
+    /// The whole trace has been received. Call
+    /// [`StreamDecoder::finish`] to validate and take ownership of it.
+    End,
+}
+
+/// Coalesces consecutive record appends for one task into one event.
+fn note_records(events: &mut Vec<StreamEvent>, task: TaskId) {
+    if let Some(StreamEvent::Records { task: t, count }) = events.last_mut() {
+        if *t == task {
+            *count += 1;
+            return;
+        }
+    }
+    events.push(StreamEvent::Records { task, count: 1 });
+}
+
+/// A chunked trace decoder with resumable state.
+///
+/// Feed bytes with [`push`](StreamDecoder::push) in any chunk sizes
+/// (including one byte at a time); the decoder buffers only the current
+/// incomplete item. Once [`is_complete`](StreamDecoder::is_complete),
+/// call [`finish`](StreamDecoder::finish) to validate and obtain the
+/// [`Trace`].
+///
+/// After `push` returns an error the decoder is poisoned: the input is
+/// malformed and further pushes will keep failing.
+#[derive(Debug, Default)]
+pub struct StreamDecoder {
+    inner: Inner,
+}
+
+#[derive(Debug, Default)]
+enum Inner {
+    /// No bytes seen yet; the first byte picks the format.
+    #[default]
+    Sniff,
+    Binary(BinDecoder),
+    Text(TextDecoder),
+}
+
+impl StreamDecoder {
+    /// A decoder ready for the first chunk.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes one chunk, returning the milestones it completed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`ReadError`] a batch read of the stream would,
+    /// as soon as the offending bytes arrive. Truncation is not an error
+    /// here (more bytes may follow) — it surfaces in
+    /// [`finish`](StreamDecoder::finish).
+    pub fn push(&mut self, bytes: &[u8]) -> Result<Vec<StreamEvent>, ReadError> {
+        let mut events = Vec::new();
+        self.push_into(bytes, &mut events)?;
+        Ok(events)
+    }
+
+    /// Like [`push`](StreamDecoder::push), appending into `events`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`push`](StreamDecoder::push).
+    pub fn push_into(
+        &mut self,
+        bytes: &[u8],
+        events: &mut Vec<StreamEvent>,
+    ) -> Result<(), ReadError> {
+        if let Inner::Sniff = self.inner {
+            let Some(&first) = bytes.first() else {
+                return Ok(());
+            };
+            // Binary traces start with the "CAFT" magic; the text header
+            // (and every text directive or comment) never starts with an
+            // uppercase 'C'.
+            self.inner = if first == MAGIC[0] {
+                Inner::Binary(BinDecoder::new())
+            } else {
+                Inner::Text(TextDecoder::new())
+            };
+        }
+        match &mut self.inner {
+            Inner::Sniff => Ok(()),
+            Inner::Binary(d) => d.push(bytes, events),
+            Inner::Text(d) => d.push(bytes, events),
+        }
+    }
+
+    /// The decoded trace so far, once the tables are complete.
+    ///
+    /// `None` before [`StreamEvent::TablesReady`]. The task, queue,
+    /// listener, and name tables are final; record bodies grow with each
+    /// push.
+    pub fn trace(&self) -> Option<&Trace> {
+        match &self.inner {
+            Inner::Sniff => None,
+            Inner::Binary(d) => d.trace.as_ref(),
+            Inner::Text(d) => d.asm.trace(),
+        }
+    }
+
+    /// True once the full trace has been received ([`StreamEvent::End`]).
+    pub fn is_complete(&self) -> bool {
+        match &self.inner {
+            Inner::Sniff => false,
+            Inner::Binary(d) => matches!(d.state, BinState::Done),
+            Inner::Text(d) => d.asm.is_done(),
+        }
+    }
+
+    /// Bytes buffered waiting for the current item to complete.
+    ///
+    /// This is the decoder's only unbounded-input exposure and it is
+    /// small by construction: at most one partial record, table entry, or
+    /// line, plus any bytes of the last chunk not yet parsed.
+    pub fn buffered_bytes(&self) -> usize {
+        match &self.inner {
+            Inner::Sniff => 0,
+            Inner::Binary(d) => d.buf.len(),
+            Inner::Text(d) => d.buf.len(),
+        }
+    }
+
+    /// Validates the completed trace and returns it.
+    ///
+    /// # Errors
+    ///
+    /// If the stream ended early, returns the truncation error a batch
+    /// read of the received bytes would produce; if the trace is
+    /// structurally invalid, returns [`ReadError::Invalid`].
+    pub fn finish(self) -> Result<Trace, ReadError> {
+        let trace = match self.inner {
+            Inner::Sniff => return Err(ReadError::parse(0, "empty input")),
+            Inner::Binary(d) => d.finish()?,
+            Inner::Text(d) => d.finish()?,
+        };
+        validate(&trace)?;
+        Ok(trace)
+    }
+}
+
+// ---- binary -------------------------------------------------------------
+
+/// Which item of the binary layout is expected next.
+#[derive(Clone, Copy, Debug)]
+enum BinState {
+    /// Magic, version, and the fixed meta fields.
+    Header,
+    NameCount,
+    Name {
+        index: usize,
+        total: usize,
+    },
+    QueueCount,
+    Queue {
+        remaining: usize,
+    },
+    ListenerCount,
+    Listener {
+        remaining: usize,
+    },
+    TaskCount,
+    Task {
+        remaining: usize,
+    },
+    BodyLen {
+        task: usize,
+    },
+    Record {
+        task: usize,
+        remaining: usize,
+    },
+    Done,
+}
+
+#[derive(Debug)]
+struct BinDecoder {
+    /// Unparsed tail of the stream (the current incomplete item).
+    buf: Vec<u8>,
+    /// Global offset of `buf[0]`; keeps error offsets batch-identical.
+    consumed: u64,
+    state: BinState,
+    // Tables staged until all are decoded, then moved into `trace`.
+    meta: TraceMeta,
+    names: Interner,
+    queues: Vec<QueueInfo>,
+    listeners: Vec<ListenerInfo>,
+    tasks: Vec<TaskInfo>,
+    external: Vec<(u32, TaskId)>,
+    task_count: usize,
+    process_count: u32,
+    trace: Option<Trace>,
+}
+
+impl BinDecoder {
+    fn new() -> Self {
+        Self {
+            buf: Vec::new(),
+            consumed: 0,
+            state: BinState::Header,
+            meta: TraceMeta::default(),
+            names: Interner::new(),
+            queues: Vec::new(),
+            listeners: Vec::new(),
+            tasks: Vec::new(),
+            external: Vec::new(),
+            task_count: 0,
+            process_count: 0,
+            trace: None,
+        }
+    }
+
+    fn push(&mut self, bytes: &[u8], events: &mut Vec<StreamEvent>) -> Result<(), ReadError> {
+        self.buf.extend_from_slice(bytes);
+        let buf = std::mem::take(&mut self.buf);
+        let mut pos = 0usize;
+        let mut result = Ok(());
+        while !matches!(self.state, BinState::Done) {
+            match self.step(&buf[pos..], events) {
+                Ok(n) => {
+                    pos += n;
+                    self.consumed += n as u64;
+                }
+                // The input slice can only fail with EOF: the item needs
+                // bytes that have not arrived yet. Rewind (nothing was
+                // consumed) and wait for the next chunk.
+                Err(ReadError::Io(ref e)) if e.kind() == ErrorKind::UnexpectedEof => break,
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        self.buf = buf;
+        self.buf.drain(..pos);
+        if result.is_ok() && matches!(self.state, BinState::Done) && !self.buf.is_empty() {
+            result = Err(ReadError::parse(
+                self.consumed,
+                "unexpected data after end of trace",
+            ));
+        }
+        result
+    }
+
+    /// Attempts to parse exactly one item of the current state from
+    /// `data`, returning how many bytes it consumed.
+    ///
+    /// The parsing logic mirrors [`read_binary`](crate::read_binary) item
+    /// for item, with the reader anchored at the item's global offset so
+    /// errors are positioned identically.
+    fn step(&mut self, data: &[u8], events: &mut Vec<StreamEvent>) -> Result<usize, ReadError> {
+        let base = self.consumed;
+        let mut r = Reader::new_at(data, base);
+        match self.state {
+            BinState::Header => {
+                let mut magic = [0u8; 4];
+                r.input.read_exact(&mut magic)?;
+                r.offset += 4;
+                if &magic != MAGIC {
+                    return Err(ReadError::parse(0, "bad magic; not a cafa binary trace"));
+                }
+                let version = r.u32()?;
+                if version != BINARY_VERSION {
+                    return Err(ReadError::UnsupportedVersion { found: version });
+                }
+                self.meta.app = r.string()?;
+                self.meta.seed = r.u64()?;
+                self.meta.virtual_ms = r.u64()?;
+                self.process_count = r.u32()?;
+                self.state = BinState::NameCount;
+            }
+            BinState::NameCount => {
+                let total = binary::table_count(&mut r, "name")?;
+                self.state = if total == 0 {
+                    BinState::QueueCount
+                } else {
+                    BinState::Name { index: 0, total }
+                };
+            }
+            BinState::Name { index, total } => {
+                let s = r.string()?;
+                let id = self.names.intern(&s);
+                if id.index() != index {
+                    return Err(ReadError::parse(r.offset, "duplicate interned string"));
+                }
+                self.state = if index + 1 == total {
+                    BinState::QueueCount
+                } else {
+                    BinState::Name {
+                        index: index + 1,
+                        total,
+                    }
+                };
+            }
+            BinState::QueueCount => {
+                let total = binary::table_count(&mut r, "queue")?;
+                self.queues.reserve(total.min(1 << 16));
+                self.state = if total == 0 {
+                    BinState::ListenerCount
+                } else {
+                    BinState::Queue { remaining: total }
+                };
+            }
+            BinState::Queue { remaining } => {
+                let p = r.u32()?;
+                let process = if p == 0 {
+                    None
+                } else {
+                    Some(ProcessId::new(p - 1))
+                };
+                self.queues.push(QueueInfo {
+                    process,
+                    events: Vec::new(),
+                });
+                self.state = if remaining == 1 {
+                    BinState::ListenerCount
+                } else {
+                    BinState::Queue {
+                        remaining: remaining - 1,
+                    }
+                };
+            }
+            BinState::ListenerCount => {
+                let total = binary::table_count(&mut r, "listener")?;
+                self.listeners.reserve(total.min(1 << 16));
+                self.state = if total == 0 {
+                    BinState::TaskCount
+                } else {
+                    BinState::Listener { remaining: total }
+                };
+            }
+            BinState::Listener { remaining } => {
+                self.listeners.push(ListenerInfo {
+                    package: NameId::new(r.u32()?),
+                });
+                self.state = if remaining == 1 {
+                    BinState::TaskCount
+                } else {
+                    BinState::Listener {
+                        remaining: remaining - 1,
+                    }
+                };
+            }
+            BinState::TaskCount => {
+                let total = binary::table_count(&mut r, "task")?;
+                self.task_count = total;
+                self.tasks.reserve(total.min(1 << 16));
+                if total == 0 {
+                    self.tables_ready(events);
+                } else {
+                    self.state = BinState::Task { remaining: total };
+                }
+            }
+            BinState::Task { remaining } => {
+                self.read_task(&mut r)?;
+                if remaining == 1 {
+                    self.tables_ready(events);
+                } else {
+                    self.state = BinState::Task {
+                        remaining: remaining - 1,
+                    };
+                }
+            }
+            BinState::BodyLen { task } => {
+                let len = r.u64()?;
+                if len > MAX_BODY_LEN {
+                    return Err(ReadError::parse(r.offset, "implausible body length"));
+                }
+                let len = len as usize;
+                let trace = self.trace.as_mut().expect("tables are ready");
+                trace.bodies[task] = Vec::with_capacity(len.min(1 << 16));
+                if len == 0 {
+                    events.push(StreamEvent::BodyComplete {
+                        task: TaskId::from_usize(task),
+                    });
+                    self.next_body(task, events);
+                } else {
+                    self.state = BinState::Record {
+                        task,
+                        remaining: len,
+                    };
+                }
+            }
+            BinState::Record { task, remaining } => {
+                let rec = binary::read_record(&mut r)?;
+                let trace = self.trace.as_mut().expect("tables are ready");
+                trace.bodies[task].push(rec);
+                let task_id = TaskId::from_usize(task);
+                note_records(events, task_id);
+                if remaining == 1 {
+                    events.push(StreamEvent::BodyComplete { task: task_id });
+                    self.next_body(task, events);
+                } else {
+                    self.state = BinState::Record {
+                        task,
+                        remaining: remaining - 1,
+                    };
+                }
+            }
+            BinState::Done => {
+                return Err(ReadError::parse(base, "unexpected data after end of trace"))
+            }
+        }
+        Ok((r.offset - base) as usize)
+    }
+
+    /// Decodes one task-table entry, mirroring the batch reader.
+    ///
+    /// All decoder-state mutations happen only after the entry has fully
+    /// parsed: a partially-received entry fails with `UnexpectedEof` and
+    /// is re-attempted from scratch on the next chunk, so mid-entry side
+    /// effects would be applied twice.
+    fn read_task(&mut self, r: &mut Reader<&[u8]>) -> Result<(), ReadError> {
+        let i = self.tasks.len();
+        let id = TaskId::from_usize(i);
+        let kind = match r.byte()? {
+            0 => {
+                let process = ProcessId::new(r.u32()?);
+                let forked_at = match r.byte()? {
+                    0 => None,
+                    1 => Some(r.opref()?),
+                    b => return Err(ReadError::parse(r.offset, format!("bad fork flag {b}"))),
+                };
+                TaskKind::Thread { process, forked_at }
+            }
+            1 => {
+                let queue = QueueId::new(r.u32()?);
+                let seq = r.u32()?;
+                let delay_ms = r.u64()?;
+                let origin = match r.byte()? {
+                    0 => EventOrigin::Sent { send: r.opref()? },
+                    1 => EventOrigin::SentAtFront { send: r.opref()? },
+                    2 => EventOrigin::External { sequence: r.u32()? },
+                    b => return Err(ReadError::parse(r.offset, format!("bad origin tag {b}"))),
+                };
+                if self.queues.get(queue.index()).is_none() {
+                    return Err(ReadError::parse(r.offset, "event names unknown queue"));
+                }
+                if seq as usize >= self.task_count {
+                    return Err(ReadError::parse(r.offset, "event seq out of range"));
+                }
+                TaskKind::Event {
+                    queue,
+                    seq,
+                    origin,
+                    delay_ms,
+                }
+            }
+            b => return Err(ReadError::parse(r.offset, format!("bad task kind {b}"))),
+        };
+        let name = NameId::new(r.u32()?);
+        // Entry fully parsed; commit the side effects.
+        if let TaskKind::Event {
+            queue, seq, origin, ..
+        } = kind
+        {
+            if let EventOrigin::External { sequence } = origin {
+                self.external.push((sequence, id));
+            }
+            let q = &mut self.queues[queue.index()];
+            let si = seq as usize;
+            if q.events.len() <= si {
+                q.events.resize(si + 1, TaskId::new(u32::MAX));
+            }
+            q.events[si] = id;
+        }
+        self.tasks.push(TaskInfo { id, kind, name });
+        Ok(())
+    }
+
+    /// Moves the completed tables into the live trace and emits
+    /// [`StreamEvent::TablesReady`].
+    fn tables_ready(&mut self, events: &mut Vec<StreamEvent>) {
+        let mut external = std::mem::take(&mut self.external);
+        external.sort_by_key(|(seq, _)| *seq);
+        let external_order: Vec<TaskId> = external.into_iter().map(|(_, t)| t).collect();
+        self.trace = Some(Trace {
+            meta: std::mem::take(&mut self.meta),
+            names: std::mem::take(&mut self.names),
+            tasks: std::mem::take(&mut self.tasks),
+            bodies: vec![Vec::new(); self.task_count],
+            queues: std::mem::take(&mut self.queues),
+            listeners: std::mem::take(&mut self.listeners),
+            external_order,
+            process_count: self.process_count,
+        });
+        events.push(StreamEvent::TablesReady);
+        if self.task_count == 0 {
+            self.state = BinState::Done;
+            events.push(StreamEvent::End);
+        } else {
+            self.state = BinState::BodyLen { task: 0 };
+        }
+    }
+
+    /// Advances to the next task's body, or completes the stream.
+    fn next_body(&mut self, task: usize, events: &mut Vec<StreamEvent>) {
+        if task + 1 == self.task_count {
+            self.state = BinState::Done;
+            events.push(StreamEvent::End);
+        } else {
+            self.state = BinState::BodyLen { task: task + 1 };
+        }
+    }
+
+    fn finish(mut self) -> Result<Trace, ReadError> {
+        if !matches!(self.state, BinState::Done) {
+            // Re-attempt the pending item against the leftover bytes so
+            // truncation surfaces exactly as a batch read would report
+            // it (an UnexpectedEof I/O error at the same position).
+            let buf = std::mem::take(&mut self.buf);
+            let mut events = Vec::new();
+            let mut pos = 0usize;
+            while !matches!(self.state, BinState::Done) {
+                let n = self.step(&buf[pos..], &mut events)?;
+                pos += n;
+                self.consumed += n as u64;
+            }
+        }
+        Ok(self.trace.expect("done implies a trace"))
+    }
+}
+
+// ---- text ---------------------------------------------------------------
+
+#[derive(Debug)]
+struct TextDecoder {
+    /// Bytes of the current incomplete line.
+    buf: Vec<u8>,
+    line_no: u64,
+    asm: TextAssembler,
+    tables_done: bool,
+}
+
+impl TextDecoder {
+    fn new() -> Self {
+        Self {
+            buf: Vec::new(),
+            line_no: 0,
+            asm: TextAssembler::new(),
+            tables_done: false,
+        }
+    }
+
+    fn push(&mut self, bytes: &[u8], events: &mut Vec<StreamEvent>) -> Result<(), ReadError> {
+        self.buf.extend_from_slice(bytes);
+        let buf = std::mem::take(&mut self.buf);
+        let mut start = 0usize;
+        let mut result = Ok(());
+        while let Some(nl) = buf[start..].iter().position(|&b| b == b'\n') {
+            let line = &buf[start..start + nl];
+            if let Err(e) = self.feed_line(line, events) {
+                result = Err(e);
+                start += nl + 1;
+                break;
+            }
+            start += nl + 1;
+        }
+        self.buf = buf;
+        self.buf.drain(..start);
+        result
+    }
+
+    /// Consumes one raw line (without its newline).
+    fn feed_line(&mut self, raw: &[u8], events: &mut Vec<StreamEvent>) -> Result<(), ReadError> {
+        self.line_no += 1;
+        let line = std::str::from_utf8(raw)
+            .map_err(|_| ReadError::parse(self.line_no, "invalid UTF-8"))?;
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(());
+        }
+        let step = self.asm.feed(line, self.line_no)?;
+        match step {
+            TextStep::Table => {}
+            TextStep::BodyStart { task, done } => {
+                if !self.tables_done {
+                    self.asm.seal_tables()?;
+                    self.tables_done = true;
+                    events.push(StreamEvent::TablesReady);
+                }
+                if done {
+                    events.push(StreamEvent::BodyComplete { task });
+                }
+            }
+            TextStep::Record { task, done } => {
+                note_records(events, task);
+                if done {
+                    events.push(StreamEvent::BodyComplete { task });
+                }
+            }
+            TextStep::End => {
+                if !self.tables_done {
+                    // A trace with no bodies at all: seal now so the
+                    // table set is still surfaced before `End`.
+                    self.asm.seal_tables()?;
+                    self.tables_done = true;
+                    events.push(StreamEvent::TablesReady);
+                }
+                events.push(StreamEvent::End);
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(mut self) -> Result<Trace, ReadError> {
+        // A final line without a trailing newline is still a line.
+        if !self.buf.is_empty() {
+            let buf = std::mem::take(&mut self.buf);
+            let mut events = Vec::new();
+            self.feed_line(&buf, &mut events)?;
+        }
+        self.asm.finish(self.line_no)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+    use crate::ids::{ObjId, Pc, VarId};
+    use crate::record::DerefKind;
+
+    fn sample_trace() -> Trace {
+        let mut b = TraceBuilder::new("stream-sample");
+        b.set_seed(11);
+        b.set_virtual_ms(500);
+        let p = b.add_process();
+        let q = b.add_queue(p);
+        let t = b.add_thread(p, "main");
+        let l = b.add_listener("android.view");
+        let ev = b.post(t, q, "onClick", 0);
+        let ext = b.external(q, "touch");
+        b.process_event(ev);
+        b.register(ev, l);
+        b.obj_read(ev, VarId::new(0), Some(ObjId::new(1)), Pc::new(0x10));
+        b.deref(ev, ObjId::new(1), Pc::new(0x14), DerefKind::Field);
+        b.process_event(ext);
+        b.obj_write(ext, VarId::new(0), None, Pc::new(0x20));
+        let w = b.fork(t, p, "worker");
+        b.read(w, VarId::new(2));
+        b.join(t, w);
+        b.finish().expect("valid")
+    }
+
+    fn decode_chunked(bytes: &[u8], chunk: usize) -> (Trace, Vec<StreamEvent>) {
+        let mut d = StreamDecoder::new();
+        let mut events = Vec::new();
+        for c in bytes.chunks(chunk.max(1)) {
+            d.push_into(c, &mut events).expect("valid stream");
+        }
+        assert!(d.is_complete());
+        (d.finish().expect("valid trace"), events)
+    }
+
+    #[test]
+    fn binary_chunked_decode_matches_batch() {
+        let trace = sample_trace();
+        let bytes = crate::binary::to_binary_vec(&trace);
+        for chunk in [1, 3, 13, 64, bytes.len()] {
+            let (got, events) = decode_chunked(&bytes, chunk);
+            assert_eq!(got, trace, "chunk size {chunk}");
+            assert_eq!(events.first(), Some(&StreamEvent::TablesReady));
+            assert_eq!(events.last(), Some(&StreamEvent::End));
+        }
+    }
+
+    #[test]
+    fn text_chunked_decode_matches_batch() {
+        let trace = sample_trace();
+        let bytes = crate::serialize::to_text_string(&trace).into_bytes();
+        for chunk in [1, 7, 4096] {
+            let (got, events) = decode_chunked(&bytes, chunk);
+            assert_eq!(got, trace, "chunk size {chunk}");
+            assert_eq!(events.first(), Some(&StreamEvent::TablesReady));
+            assert_eq!(events.last(), Some(&StreamEvent::End));
+        }
+    }
+
+    #[test]
+    fn record_counts_cover_every_record() {
+        let trace = sample_trace();
+        let total: usize = trace.stats().records;
+        for bytes in [
+            crate::binary::to_binary_vec(&trace),
+            crate::serialize::to_text_string(&trace).into_bytes(),
+        ] {
+            let (_, events) = decode_chunked(&bytes, 5);
+            let sum: usize = events
+                .iter()
+                .filter_map(|e| match e {
+                    StreamEvent::Records { count, .. } => Some(count),
+                    _ => None,
+                })
+                .sum();
+            assert_eq!(sum, total);
+            let completes = events
+                .iter()
+                .filter(|e| matches!(e, StreamEvent::BodyComplete { .. }))
+                .count();
+            assert_eq!(completes, trace.task_count());
+        }
+    }
+
+    #[test]
+    fn trace_is_live_after_tables_ready() {
+        let trace = sample_trace();
+        let bytes = crate::binary::to_binary_vec(&trace);
+        let mut d = StreamDecoder::new();
+        let mut seen_tables = false;
+        for c in bytes.chunks(9) {
+            for e in d.push(c).expect("valid") {
+                if e == StreamEvent::TablesReady {
+                    seen_tables = true;
+                    let live = d.trace().expect("live trace");
+                    assert_eq!(live.task_count(), trace.task_count());
+                }
+            }
+        }
+        assert!(seen_tables);
+    }
+
+    #[test]
+    fn truncated_stream_fails_at_finish_like_batch() {
+        let trace = sample_trace();
+        let bytes = crate::binary::to_binary_vec(&trace);
+        let cut = bytes.len() - 3;
+        let mut d = StreamDecoder::new();
+        d.push(&bytes[..cut]).expect("no error until finish");
+        assert!(!d.is_complete());
+        let stream_err = d.finish().expect_err("truncated");
+        let batch_err = crate::binary::from_binary_slice(&bytes[..cut]).expect_err("truncated");
+        assert_eq!(stream_err.to_string(), batch_err.to_string());
+    }
+
+    #[test]
+    fn corruption_sweep_matches_batch() {
+        let trace = sample_trace();
+        let bytes = crate::binary::to_binary_vec(&trace);
+        for i in 0..bytes.len() {
+            let mut mutated = bytes.clone();
+            mutated[i] ^= 0xff;
+            let batch = crate::binary::from_binary_slice(&mutated);
+            let mut d = StreamDecoder::new();
+            let mut push_err = None;
+            for c in mutated.chunks(3) {
+                if let Err(e) = d.push(c) {
+                    push_err = Some(e);
+                    break;
+                }
+            }
+            let stream = match push_err {
+                Some(e) => Err(e),
+                None => d.finish(),
+            };
+            match (batch, stream) {
+                (Ok(b), Ok(s)) => assert_eq!(b, s, "pos {i}"),
+                // A corrupted length can make the batch parse stop early
+                // and silently ignore trailing bytes; the stream decoder
+                // rejects them instead.
+                (Ok(_), Err(ReadError::Parse { message, .. }))
+                    if message == "unexpected data after end of trace" => {}
+                // Corrupting the first magic byte reroutes the sniffer to
+                // the text parser, which reports a different (but still
+                // typed) header error.
+                (Err(_), Err(_)) if i == 0 => {}
+                (Err(b), Err(s)) => {
+                    assert_eq!(b.to_string(), s.to_string(), "pos {i}");
+                }
+                (b, s) => panic!("pos {i}: batch {b:?} vs stream {s:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let trace = sample_trace();
+        let mut bytes = crate::binary::to_binary_vec(&trace);
+        bytes.push(0x01);
+        let mut d = StreamDecoder::new();
+        let mut failed = false;
+        for c in bytes.chunks(7) {
+            if d.push(c).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "garbage after the trace must error");
+    }
+
+    #[test]
+    fn text_without_trailing_newline_completes_at_finish() {
+        let trace = sample_trace();
+        let text = crate::serialize::to_text_string(&trace);
+        let bytes = text.trim_end().as_bytes();
+        let mut d = StreamDecoder::new();
+        d.push(bytes).expect("valid");
+        // The final `end` line has no newline, so it is still buffered.
+        assert!(!d.is_complete());
+        assert_eq!(d.finish().expect("completes at finish"), trace);
+    }
+}

@@ -1,0 +1,177 @@
+//! Fault injection against the binary trace decoder.
+//!
+//! A trace file is untrusted input: the decoder must turn every
+//! corruption — truncation, flipped bytes, hostile length prefixes —
+//! into a typed [`ReadError`] at the offending offset, and must never
+//! panic or size an allocation from an unchecked wire value. Both
+//! entry points are exercised: the batch [`from_binary_slice`] parser
+//! and the chunked [`StreamDecoder`].
+
+use proptest::prelude::*;
+
+use cafa_trace::arbitrary::trace_from_tape;
+use cafa_trace::{from_binary_slice, to_binary_vec, ReadError, StreamDecoder, StreamEvent};
+
+/// LEB128-encodes `v` the way the wire format does.
+fn varint(mut v: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return out;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+/// Byte offset of the first task's body-length varint in `bytes`,
+/// found by feeding the decoder one byte at a time until it reports
+/// the metadata tables complete.
+fn tables_end(bytes: &[u8]) -> usize {
+    let mut d = StreamDecoder::new();
+    for (i, b) in bytes.iter().enumerate() {
+        let events = d.push(std::slice::from_ref(b)).expect("valid stream");
+        if events.contains(&StreamEvent::TablesReady) {
+            return i + 1 - d.buffered_bytes();
+        }
+    }
+    panic!("tables never completed");
+}
+
+/// Asserts `err` is a parse error with `message` exactly at `at`.
+fn assert_parse_at(err: &ReadError, at: u64, message: &str) {
+    match err {
+        ReadError::Parse { at: a, message: m } => {
+            assert_eq!((*a, m.as_str()), (at, message), "wrong error site: {err}");
+        }
+        other => panic!("expected a parse error, got {other}"),
+    }
+}
+
+/// A header whose version varint overflows u32 is rejected at the
+/// offset just past the varint.
+#[test]
+fn overflowing_version_is_a_typed_parse_error() {
+    let mut bytes = b"CAFT".to_vec();
+    bytes.extend(varint(u64::MAX));
+    let err = from_binary_slice(&bytes).expect_err("must reject");
+    assert_parse_at(&err, bytes.len() as u64, "value overflows u32");
+}
+
+/// A string length prefix of 2^60 is rejected before it can size an
+/// allocation — the error arrives at the offset just past the prefix,
+/// with no buffer of that size ever requested.
+#[test]
+fn oversized_string_length_is_rejected_before_allocation() {
+    let mut bytes = b"CAFT".to_vec();
+    bytes.extend(varint(1)); // version
+    bytes.extend(varint(1 << 60)); // app-name length
+    let err = from_binary_slice(&bytes).expect_err("must reject");
+    assert_parse_at(&err, bytes.len() as u64, "implausible string length");
+}
+
+/// A metadata-table count of 2^60 is rejected at the offset just past
+/// the count varint, before any per-entry reads.
+#[test]
+fn oversized_table_count_is_rejected_before_allocation() {
+    let mut bytes = b"CAFT".to_vec();
+    bytes.extend(varint(1)); // version
+    bytes.extend(varint(0)); // app name: empty
+    bytes.extend(varint(0)); // seed
+    bytes.extend(varint(0)); // virtual ms
+    bytes.extend(varint(0)); // process count
+    bytes.extend(varint(1 << 60)); // name-table count
+    let err = from_binary_slice(&bytes).expect_err("must reject");
+    assert_parse_at(&err, bytes.len() as u64, "implausible name count");
+}
+
+/// A task body-length prefix of 2^60, spliced into an otherwise valid
+/// trace, is rejected at its exact offset by both the batch parser
+/// and the stream decoder.
+#[test]
+fn oversized_body_length_is_rejected_at_its_offset() {
+    let trace = trace_from_tape(&[7, 3, 9, 1, 4, 1, 5, 9, 2, 6]);
+    assert!(trace.task_count() > 0);
+    let bytes = to_binary_vec(&trace);
+    let cut = tables_end(&bytes);
+
+    let mut corrupted = bytes[..cut].to_vec();
+    corrupted.extend(varint(1 << 60));
+    let batch = from_binary_slice(&corrupted).expect_err("must reject");
+    assert_parse_at(&batch, corrupted.len() as u64, "implausible body length");
+
+    let mut d = StreamDecoder::new();
+    let streamed = d
+        .push(&corrupted)
+        .expect_err("stream must reject the same prefix");
+    assert_parse_at(&streamed, corrupted.len() as u64, "implausible body length");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Truncating a valid trace anywhere yields a typed error from
+    /// both decoders — never a panic, never a silent success.
+    #[test]
+    fn truncation_yields_typed_errors(
+        tape in proptest::collection::vec(any::<u8>(), 0..300),
+        cut in any::<u32>(),
+    ) {
+        let bytes = to_binary_vec(&trace_from_tape(&tape));
+        let cut = cut as usize % bytes.len();
+        let truncated = &bytes[..cut];
+        prop_assert!(from_binary_slice(truncated).is_err());
+
+        let mut d = StreamDecoder::new();
+        match d.push(truncated) {
+            Err(_) => {}
+            Ok(_) => {
+                prop_assert!(!d.is_complete());
+                prop_assert!(d.finish().is_err());
+            }
+        }
+    }
+
+    /// Flipping any byte never panics either decoder, whatever chunk
+    /// size carries the corruption in.
+    #[test]
+    fn byte_flips_never_panic_the_stream_decoder(
+        tape in proptest::collection::vec(any::<u8>(), 0..200),
+        flip in any::<(u16, u8)>(),
+        chunk in 1usize..64,
+    ) {
+        let mut bytes = to_binary_vec(&trace_from_tape(&tape));
+        let idx = flip.0 as usize % bytes.len();
+        bytes[idx] ^= flip.1 | 1;
+        let _ = from_binary_slice(&bytes); // must not panic
+
+        let mut d = StreamDecoder::new();
+        let mut failed = false;
+        for c in bytes.chunks(chunk) {
+            if d.push(c).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        if !failed {
+            let _ = d.finish(); // must not panic
+        }
+    }
+
+    /// Any chunking of a valid stream decodes to the batch result.
+    #[test]
+    fn arbitrary_chunkings_match_the_batch_decode(
+        tape in proptest::collection::vec(any::<u8>(), 0..300),
+        chunk in 1usize..257,
+    ) {
+        let trace = trace_from_tape(&tape);
+        let bytes = to_binary_vec(&trace);
+        let mut d = StreamDecoder::new();
+        for c in bytes.chunks(chunk) {
+            d.push(c).expect("valid stream");
+        }
+        prop_assert_eq!(d.finish().expect("valid trace"), trace);
+    }
+}

@@ -14,6 +14,7 @@
 //! | [`hb`] | `cafa-hb` | happens-before model (§3): rules, fixpoint, queries |
 //! | [`engine`] | `cafa-engine` | analysis sessions, cached models, passes, fleet runner |
 //! | [`detect`] | `cafa-core` | use-free race detector (§4) + baselines |
+//! | [`stream`] | `cafa-stream` | streaming ingestion + incremental analysis |
 //! | [`sim`] | `cafa-sim` | Android-like runtime simulator (§5 substitute) |
 //! | [`apps`] | `cafa-apps` | the ten evaluated app workloads + ground truth |
 //!
@@ -46,6 +47,7 @@ pub use cafa_core as detect;
 pub use cafa_engine as engine;
 pub use cafa_hb as hb;
 pub use cafa_sim as sim;
+pub use cafa_stream as stream;
 pub use cafa_trace as trace;
 
 /// The names most programs need: program building, simulation, model
