@@ -17,6 +17,9 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> oracle-vs-DFS differential suite (fixed-seed proptest)"
+cargo test -p cafa-hb --test oracle_differential -q
+
 echo "==> fleet determinism (table1 at 1 vs 4 workers)"
 out1="$(CAFA_FLEET_THREADS=1 ./target/release/table1)"
 out4="$(CAFA_FLEET_THREADS=4 ./target/release/table1)"
@@ -25,13 +28,21 @@ if [ "$out1" != "$out4" ]; then
     exit 1
 fi
 
-echo "==> streaming chunk-size invariance (serve vs analyze, all apps)"
+echo "==> streaming chunk invariance + thread determinism (all apps)"
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
 for app in connectbot mytracks zxing todolist browser firefox vlc fbreader camera music; do
     trace="$tmpdir/$app.bin"
     ./target/release/cafa record "$app" --format binary --out "$trace" > /dev/null
     ./target/release/cafa analyze "$trace" --format json > "$tmpdir/$app.batch.json"
+    for threads in 1 2 8; do
+        ./target/release/cafa analyze "$trace" --format json --threads "$threads" \
+            > "$tmpdir/$app.t$threads.json"
+        if ! cmp -s "$tmpdir/$app.batch.json" "$tmpdir/$app.t$threads.json"; then
+            echo "FAIL: $app analyzed with --threads $threads differs from default" >&2
+            exit 1
+        fi
+    done
     for chunk in 1 13 4096; do
         ./target/release/cafa serve --chunk "$chunk" < "$trace" > "$tmpdir/$app.stream.json"
         if ! cmp -s "$tmpdir/$app.batch.json" "$tmpdir/$app.stream.json"; then

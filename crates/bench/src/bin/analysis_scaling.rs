@@ -1,4 +1,9 @@
-//! Regenerates the §6.4 analysis-time observation.
+//! Regenerates the §6.4 analysis-time observation; with `--parallel`,
+//! the reachability-oracle build/query scaling sweep instead.
 fn main() {
-    cafa_bench::scaling::main();
+    if std::env::args().any(|a| a == "--parallel") {
+        cafa_bench::scaling::parallel_main();
+    } else {
+        cafa_bench::scaling::main();
+    }
 }

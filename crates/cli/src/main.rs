@@ -39,20 +39,24 @@ USAGE:
     cafa analyze <trace> [--model cafa|conventional|no-queue-rules]
                          [--no-if-guard] [--no-intra-alloc] [--no-lockset]
                          [--json | --format text|json] [--verbose] [--timings]
-                         [--follow [--poll-ms N]]
+                         [--threads N] [--follow [--poll-ms N]]
         Run the race detector over a trace file (text or binary,
         auto-detected) and print the report. --json (or --format
         json) emits a stable machine-readable format; --verbose adds
         happens-before derivation statistics; --timings adds a
-        per-pass wall-time breakdown (extract, hb-build, candidates,
-        filters, baseline-hb, classify) and model-cache counters.
-        --follow tails a growing trace file, analyzing incrementally
-        as records arrive (polling every --poll-ms, default 50) until
-        the trace's end marker; the report is identical to a batch
-        analyze of the completed file.
+        per-pass wall-time breakdown (extract, hb-build,
+        reachability, candidates, filters, baseline-hb, classify)
+        and model-cache counters. --threads sets the worker count
+        for the parallel reachability index and candidate pass
+        (default 0 = CAFA_THREADS env, else all cores); the report
+        is byte-identical at any setting. --follow tails a growing
+        trace file, analyzing incrementally as records arrive
+        (polling every --poll-ms, default 50) until the trace's end
+        marker; the report is identical to a batch analyze of the
+        completed file.
 
     cafa serve [--model M] [--chunk N] [--hwm BYTES] [--live]
-               [--listen ADDR]
+               [--threads N] [--listen ADDR]
         Stream a trace from stdin (or one TCP connection with
         --listen host:port) and analyze it incrementally, printing the
         JSON report at end of stream — byte-identical to
@@ -63,7 +67,7 @@ USAGE:
         emits one provisional JSON line per use-free candidate as
         soon as both endpoint tasks close (concurrency evidence only
         — a later suffix can still order or filter the pair; the
-        final report is the authority).
+        final report is the authority); --threads as in analyze.
 
     cafa stats <trace> [--format text|json]
         Print trace statistics (tasks, events, records, frees, ...).
@@ -242,6 +246,16 @@ fn load_trace(path: &str) -> Result<Trace, String> {
     }
 }
 
+/// Pulls `--threads N` out of `args`. 0 (the default) defers to the
+/// `CAFA_THREADS` environment variable, then to the machine's core
+/// count; reports are byte-identical at any setting.
+fn parse_threads(args: &mut Vec<String>) -> Result<usize, String> {
+    Ok(opt_value(args, "--threads")?
+        .map(|s| s.parse::<usize>().map_err(|_| format!("bad threads `{s}`")))
+        .transpose()?
+        .unwrap_or(0))
+}
+
 /// Parses a `--model` value into a causality configuration.
 fn parse_model(model: &str) -> Result<CausalityConfig, String> {
     match model {
@@ -268,6 +282,7 @@ fn cmd_analyze(rest: &[String]) -> Result<(), String> {
     }
     let verbose = opt_flag(&mut args, "--verbose");
     let timings = opt_flag(&mut args, "--timings");
+    let threads = parse_threads(&mut args)?;
     let follow = opt_flag(&mut args, "--follow");
     let poll_ms = opt_value(&mut args, "--poll-ms")?
         .map(|s| s.parse::<u64>().map_err(|_| format!("bad poll-ms `{s}`")))
@@ -282,6 +297,7 @@ fn cmd_analyze(rest: &[String]) -> Result<(), String> {
     config.if_guard = !no_if_guard;
     config.intra_event_alloc = !no_intra_alloc;
     config.lockset_filter = !no_lockset;
+    config.threads = threads;
 
     if follow {
         return analyze_follow(path, config, json, verbose, timings, poll_ms);
@@ -426,6 +442,7 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
         .map(|s| s.parse::<usize>().map_err(|_| format!("bad hwm `{s}`")))
         .transpose()?;
     let live = opt_flag(&mut args, "--live");
+    let threads = parse_threads(&mut args)?;
     let listen = opt_value(&mut args, "--listen")?;
     if !args.is_empty() {
         return Err(format!(
@@ -439,6 +456,7 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
         ..StreamOptions::default()
     };
     opts.detector.causality = parse_model(&model)?;
+    opts.detector.threads = threads;
     if let Some(hwm) = hwm {
         opts.high_water = hwm;
     }

@@ -263,6 +263,66 @@ fn analyze_follow_and_format_json_match_batch() {
 }
 
 #[test]
+fn analyze_rejects_cyclic_trace_with_named_nodes() {
+    use cafa_trace::{MonitorId, TraceBuilder};
+    // Crossed notify/wait generations: a waits for what it will later
+    // notify b to produce, and vice versa. Structurally valid (each
+    // record is well-formed) but no real execution can order it.
+    let mut b = TraceBuilder::new("cyclic");
+    let p = b.add_process();
+    let ta = b.add_thread(p, "a");
+    let tb = b.add_thread(p, "b");
+    let m = MonitorId::new(0);
+    b.wait(ta, m, 2);
+    b.notify(ta, m, 1);
+    b.wait(tb, m, 1);
+    b.notify(tb, m, 2);
+    let trace = b.finish().expect("structurally valid");
+    let path = tmp("cyclic.trace");
+    std::fs::write(&path, cafa_trace::to_text_string(&trace)).unwrap();
+
+    let out = cafa(&["analyze", path.to_str().unwrap()]);
+    assert!(!out.status.success(), "cyclic trace must fail");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cyclic"), "{err}");
+    assert!(err.contains("@record"), "error names cycle nodes: {err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn analyze_threads_flag_is_byte_stable() {
+    let path = tmp("threads.trace");
+    assert!(cafa(&["record", "music", "--out", path.to_str().unwrap()])
+        .status
+        .success());
+    let one = cafa(&[
+        "analyze",
+        path.to_str().unwrap(),
+        "--json",
+        "--threads",
+        "1",
+    ]);
+    assert!(one.status.success());
+    let eight = cafa(&[
+        "analyze",
+        path.to_str().unwrap(),
+        "--json",
+        "--threads",
+        "8",
+    ]);
+    assert!(eight.status.success());
+    assert_eq!(
+        stdout(&one),
+        stdout(&eight),
+        "thread count leaks into report"
+    );
+
+    let bad = cafa(&["analyze", path.to_str().unwrap(), "--threads", "zero"]);
+    assert!(!bad.status.success());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn stats_format_json_is_machine_readable() {
     let path = tmp("stats.trace");
     assert!(cafa(&["record", "vlc", "--out", path.to_str().unwrap()])

@@ -12,12 +12,12 @@
 //! (memory ops, models) lives in the session so repeated analyses of
 //! one trace reuse it.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::time::Instant;
 
 use cafa_engine::{AnalysisSession, PassStats};
 use cafa_hb::{CausalityConfig, HbError, HbModel, LockSets};
-use cafa_trace::{OpRef, Pc, Trace, VarId};
+use cafa_trace::{Pc, Trace, VarId};
 
 use crate::filters::{alloc_after_free, alloc_before_use, if_guarded, FilterReason};
 use crate::report::{DetectStats, FilteredCandidate, RaceClass, RaceReport, UseFreeRace};
@@ -46,6 +46,11 @@ pub struct DetectorConfig {
     /// implements the §6.3 suggestion of resolving the match precisely
     /// (trading those false positives for potential false negatives).
     pub drop_ambiguous_uses: bool,
+    /// Worker threads for the reachability index build and the
+    /// candidate pass (`0` = auto: `CAFA_THREADS`, else the machine's
+    /// parallelism). Reports are byte-identical at any setting; this
+    /// only trades wall time.
+    pub threads: usize,
 }
 
 impl DetectorConfig {
@@ -59,6 +64,7 @@ impl DetectorConfig {
             lockset_filter: true,
             max_pairs_per_var: 10_000,
             drop_ambiguous_uses: false,
+            threads: 0,
         }
     }
 
@@ -202,6 +208,16 @@ impl Analyzer {
             ..DetectStats::default()
         };
 
+        // Constant-time reachability index: every happens_before query
+        // below — candidates and classification — becomes array
+        // lookups instead of a DFS. Item count (graph nodes) and all
+        // downstream answers are thread-count-independent.
+        let threads = cafa_hb::resolve_threads(self.config.threads);
+        passes.run("reachability", || {
+            let oracle = model.ensure_oracle(threads);
+            ((), oracle.node_count())
+        });
+
         let candidates = passes.run("candidates", || {
             let found = enumerate_candidates(&self.config, ops, &model, &mut stats);
             let count = found.len();
@@ -239,6 +255,7 @@ impl Analyzer {
             }
             match session.model(CausalityConfig::conventional()) {
                 Ok(m) => {
+                    m.ensure_oracle(threads);
                     let events = m.events().len();
                     (Ok(Some(m)), events)
                 }
@@ -319,45 +336,41 @@ struct Candidate {
 /// The `candidates` pass: enumerates concurrent (use, free) pairs per
 /// pointer variable, deduplicated by (variable, use pc, free pc), with
 /// the per-variable pair cap recorded in `stats`.
+///
+/// Variables fan out across the scoped worker pool; each worker
+/// resolves its pairs through the model's reachability index. Per-var
+/// enumeration is fully independent — the dedup key is scoped to the
+/// variable and the pair cap is per-variable — and the merge walks the
+/// sorted variable list in input order, so the result (including
+/// candidate order and every statistic) is identical at any thread
+/// count.
 fn enumerate_candidates(
     config: &DetectorConfig,
     ops: &MemoryOps,
     model: &HbModel,
     stats: &mut DetectStats,
 ) -> Vec<Candidate> {
-    // Batch reachability over every distinct use/free position.
-    let mut source_index: HashMap<OpRef, usize> = HashMap::new();
-    let mut sources: Vec<OpRef> = Vec::new();
     let candidate_vars: Vec<VarId> = {
         let mut v: Vec<VarId> = ops.candidate_vars().collect();
         v.sort_unstable();
         v
     };
     stats.candidate_vars = candidate_vars.len();
-    for &var in &candidate_vars {
-        let vo = ops.var_ops(var).expect("candidate var has ops");
-        for &ui in &vo.uses {
-            let at = ops.uses[ui].at;
-            source_index.entry(at).or_insert_with(|| {
-                sources.push(at);
-                sources.len() - 1
-            });
-        }
-        for &fi in &vo.frees {
-            let at = ops.frees[fi].at;
-            source_index.entry(at).or_insert_with(|| {
-                sources.push(at);
-                sources.len() - 1
-            });
-        }
-    }
-    let batch = model.batch(&sources);
 
-    let mut found: Vec<Candidate> = Vec::new();
-    let mut seen: HashSet<(VarId, Pc, Pc)> = HashSet::new();
-    for &var in &candidate_vars {
+    /// One variable's enumeration result.
+    struct VarResult {
+        found: Vec<Candidate>,
+        pairs_checked: usize,
+        truncated: bool,
+    }
+
+    let threads = cafa_hb::resolve_threads(config.threads);
+    let per_var = cafa_engine::fleet::map(&candidate_vars, threads, |&var| {
         let vo = ops.var_ops(var).expect("candidate var has ops");
-        let mut pairs_this_var = 0usize;
+        let mut found: Vec<Candidate> = Vec::new();
+        let mut seen: HashSet<(Pc, Pc)> = HashSet::new();
+        let mut pairs_checked = 0usize;
+        let mut truncated = false;
         'pairs: for &ui in &vo.uses {
             for &fi in &vo.frees {
                 let use_site = ops.uses[ui];
@@ -368,20 +381,19 @@ fn enumerate_candidates(
                 if config.drop_ambiguous_uses && use_site.ambiguous {
                     continue;
                 }
-                if pairs_this_var >= config.max_pairs_per_var {
-                    stats.truncated_vars.push(var);
+                if pairs_checked >= config.max_pairs_per_var {
+                    truncated = true;
                     break 'pairs;
                 }
-                pairs_this_var += 1;
-                stats.pairs_checked += 1;
+                pairs_checked += 1;
 
-                let key = (var, use_site.read_pc, free_site.pc);
+                let key = (use_site.read_pc, free_site.pc);
                 if seen.contains(&key) {
                     continue;
                 }
-                let iu = source_index[&use_site.at];
-                let if_ = source_index[&free_site.at];
-                if batch.before(iu, free_site.at) || batch.before(if_, use_site.at) {
+                if model.happens_before(use_site.at, free_site.at)
+                    || model.happens_before(free_site.at, use_site.at)
+                {
                     continue; // ordered: no race for this instance
                 }
                 seen.insert(key);
@@ -392,6 +404,20 @@ fn enumerate_candidates(
                 });
             }
         }
+        VarResult {
+            found,
+            pairs_checked,
+            truncated,
+        }
+    });
+
+    let mut found: Vec<Candidate> = Vec::new();
+    for (&var, r) in candidate_vars.iter().zip(per_var) {
+        stats.pairs_checked += r.pairs_checked;
+        if r.truncated {
+            stats.truncated_vars.push(var);
+        }
+        found.extend(r.found);
     }
     found
 }

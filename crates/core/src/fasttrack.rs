@@ -399,9 +399,7 @@ enum Action {
 fn linearize(trace: &Trace, graph: &SyncGraph) -> Result<Vec<Action>, HbError> {
     let topo = graph
         .topo_order()
-        .map_err(|nodes| HbError::CyclicHappensBefore {
-            cycle_len: nodes.len(),
-        })?;
+        .map_err(|nodes| HbError::cyclic(graph, &nodes))?;
     let mut cursor: Vec<u32> = vec![0; trace.task_count()];
     let mut out = Vec::with_capacity(trace.stats().records + 2 * trace.task_count());
     for n in topo {

@@ -327,6 +327,47 @@ mod tests {
     }
 
     #[test]
+    fn word_boundary_bits() {
+        // Bits 63/64/65 straddle the first u64 word boundary; each must
+        // land in its own word slot and round-trip through iteration.
+        let mut s = BitSet::new(66);
+        for i in [63usize, 64, 65] {
+            assert!(s.insert(i));
+            assert!(!s.insert(i), "bit {i} double-inserted");
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![63, 64, 65]);
+        assert_eq!(s.words()[0], 1u64 << 63);
+        assert_eq!(s.words()[1], 0b11);
+        assert!(s.remove(64));
+        assert!(!s.contains(64));
+        assert!(s.contains(63) && s.contains(65));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![63, 65]);
+    }
+
+    #[test]
+    fn empty_set_operations_are_safe() {
+        let mut e = BitSet::new(0);
+        assert!(!e.remove(0));
+        assert_eq!(e.count(), 0);
+        let other = BitSet::new(0);
+        assert!(!e.union_with(&other));
+        e.for_each_in_diff(&other, &other, |_| unreachable!("no members"));
+        e.grow(0);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn self_union_is_a_fixpoint() {
+        let mut s = BitSet::new(130);
+        for i in [0usize, 63, 64, 65, 129] {
+            s.insert(i);
+        }
+        let copy = s.clone();
+        assert!(!s.union_with(&copy), "A ∪ A = A must report no change");
+        assert_eq!(s, copy);
+    }
+
+    #[test]
     fn zero_capacity() {
         let s = BitSet::new(0);
         assert!(s.is_empty());

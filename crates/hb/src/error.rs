@@ -3,6 +3,8 @@
 use std::error::Error;
 use std::fmt;
 
+use crate::graph::{NodeId, NodePoint, SyncGraph};
+
 /// A failure while building a happens-before model.
 #[derive(Clone, Debug, PartialEq, Eq)]
 #[non_exhaustive]
@@ -15,6 +17,10 @@ pub enum HbError {
         /// Number of graph nodes involved in cyclic strongly-connected
         /// components.
         cycle_len: usize,
+        /// Human-readable positions of up to the first few such nodes
+        /// (`task@begin`, `task@record<i>`, `task@end`), so the report
+        /// points at the inconsistent part of the trace.
+        cycle_nodes: Vec<String>,
     },
     /// The rule fixpoint failed to converge within the internal round
     /// limit. Practically unreachable for well-formed traces: each round
@@ -26,14 +32,47 @@ pub enum HbError {
     },
 }
 
+impl HbError {
+    /// Builds a [`HbError::CyclicHappensBefore`] from the node set a
+    /// failed [`SyncGraph::topo_order`] reports, naming up to eight of
+    /// the offending sync points.
+    pub fn cyclic(graph: &SyncGraph, nodes: &[NodeId]) -> Self {
+        const MAX_NAMED: usize = 8;
+        let cycle_nodes = nodes
+            .iter()
+            .take(MAX_NAMED)
+            .map(|&n| {
+                let info = graph.node(n);
+                match info.point {
+                    NodePoint::Begin => format!("{}@begin", info.task),
+                    NodePoint::Record(i) => format!("{}@record{}", info.task, i),
+                    NodePoint::End => format!("{}@end", info.task),
+                }
+            })
+            .collect();
+        HbError::CyclicHappensBefore {
+            cycle_len: nodes.len(),
+            cycle_nodes,
+        }
+    }
+}
+
 impl fmt::Display for HbError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            HbError::CyclicHappensBefore { cycle_len } => write!(
-                f,
-                "happens-before relation is cyclic ({cycle_len} nodes in cycles); \
-                 the trace is not consistent with any real execution"
-            ),
+            HbError::CyclicHappensBefore {
+                cycle_len,
+                cycle_nodes,
+            } => {
+                write!(
+                    f,
+                    "happens-before relation is cyclic ({cycle_len} nodes in cycles"
+                )?;
+                if !cycle_nodes.is_empty() {
+                    write!(f, ", at {}", cycle_nodes.join(", "))?;
+                }
+                write!(f, "); the trace is not consistent with any real execution")
+            }
             HbError::DerivationDiverged { rounds } => {
                 write!(f, "rule derivation did not converge after {rounds} rounds")
             }
@@ -49,8 +88,12 @@ mod tests {
 
     #[test]
     fn display_mentions_detail() {
-        let e = HbError::CyclicHappensBefore { cycle_len: 4 };
+        let e = HbError::CyclicHappensBefore {
+            cycle_len: 4,
+            cycle_nodes: vec!["t1@record2".into()],
+        };
         assert!(e.to_string().contains('4'));
+        assert!(e.to_string().contains("t1@record2"));
         let e = HbError::DerivationDiverged { rounds: 64 };
         assert!(e.to_string().contains("64"));
     }

@@ -513,6 +513,41 @@ mod tests {
     }
 
     #[test]
+    fn reaches_on_trivial_single_task_graph() {
+        let mut b = TraceBuilder::new("one");
+        let p = b.add_process();
+        let main = b.add_thread(p, "main");
+        b.read(main, VarId::new(0));
+        let t = b.finish().unwrap();
+        let g = SyncGraph::from_trace(&t);
+        // A lone task with no sync records: just begin and end.
+        assert_eq!(g.node_count(), 2);
+        let mut scratch = BitSet::new(g.node_count());
+        assert!(g.reaches(g.begin(main), g.end(main), &mut scratch));
+        // Reachability means a non-empty path; on an acyclic graph no
+        // node reaches itself.
+        assert!(!g.reaches(g.begin(main), g.begin(main), &mut scratch));
+        assert!(!g.reaches(g.end(main), g.end(main), &mut scratch));
+        assert!(!g.reaches(g.end(main), g.begin(main), &mut scratch));
+    }
+
+    #[test]
+    fn reaches_terminates_and_answers_on_cyclic_input() {
+        let (t, main, child) = two_task_trace();
+        let mut g = SyncGraph::from_trace(&t);
+        let f = g.node_of(OpRef::new(main, 1)).unwrap();
+        g.add_edge(f, g.begin(child), EdgeKind::Fork);
+        g.add_edge(g.end(child), f, EdgeKind::Join); // bogus back edge
+        let mut scratch = BitSet::new(g.node_count());
+        // The DFS terminates on the cycle and sees paths around it.
+        assert!(g.reaches(f, f, &mut scratch));
+        assert!(g.reaches(g.begin(child), f, &mut scratch));
+        assert!(g.reaches(g.begin(main), g.end(child), &mut scratch));
+        // Nodes upstream of the cycle stay unreachable from it.
+        assert!(!g.reaches(f, g.begin(main), &mut scratch));
+    }
+
+    #[test]
     fn cycle_is_reported() {
         let (t, main, child) = two_task_trace();
         let mut g = SyncGraph::from_trace(&t);

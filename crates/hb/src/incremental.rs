@@ -39,6 +39,7 @@ use crate::config::CausalityConfig;
 use crate::error::HbError;
 use crate::graph::{EdgeKind, SyncGraph};
 use crate::model::HbModel;
+use crate::oracle::ReachOracle;
 use crate::rules::{fixpoint, DerivationStats, FixState, SendSite};
 
 /// An append-only happens-before builder over a streaming trace.
@@ -73,6 +74,9 @@ pub struct IncrementalHb {
     sealed: Vec<bool>,
     /// Sync records appended since the last `derive_now`.
     staged: usize,
+    /// Cached reachability index over the graph-so-far; refreshed on
+    /// demand by [`refresh_oracle`](IncrementalHb::refresh_oracle).
+    oracle: Option<ReachOracle>,
 }
 
 impl IncrementalHb {
@@ -120,7 +124,38 @@ impl IncrementalHb {
             ingested: vec![0; task_count],
             sealed: vec![false; task_count],
             staged: 0,
+            oracle: None,
         }
+    }
+
+    /// Brings the cached reachability index up to date with the graph:
+    /// a no-op if nothing changed, an in-place extension when the graph
+    /// only grew by program-order appends and safe seals, and a full
+    /// rebuild (with `threads` workers) otherwise. Returns `false` —
+    /// dropping any stale cache — if the graph-so-far is cyclic, in
+    /// which case callers fall back to DFS and the inconsistency
+    /// surfaces as a typed error at finalization.
+    pub fn refresh_oracle(&mut self, threads: usize) -> bool {
+        if let Some(oracle) = &mut self.oracle {
+            if oracle.try_extend(&self.graph) {
+                return true;
+            }
+        }
+        match ReachOracle::build(&self.graph, threads) {
+            Ok(oracle) => {
+                self.oracle = Some(oracle);
+                true
+            }
+            Err(_) => {
+                self.oracle = None;
+                false
+            }
+        }
+    }
+
+    /// The cached reachability index, if current for the graph-so-far.
+    pub fn oracle(&self) -> Option<&ReachOracle> {
+        self.oracle.as_ref().filter(|o| o.covers(&self.graph))
     }
 
     /// The configuration the builder was created with.

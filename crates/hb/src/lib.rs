@@ -61,6 +61,7 @@ mod graph;
 mod incremental;
 mod locks;
 mod model;
+pub mod oracle;
 mod rules;
 pub mod vc_online;
 
@@ -71,4 +72,5 @@ pub use graph::{EdgeKind, NodeId, NodeInfo, NodePoint, SyncGraph};
 pub use incremental::IncrementalHb;
 pub use locks::LockSets;
 pub use model::{BatchReach, CauseStep, HbModel, OpOrder};
+pub use oracle::{resolve_threads, ReachOracle};
 pub use rules::{derive, DerivationStats, EventTable};

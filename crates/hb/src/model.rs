@@ -1,5 +1,7 @@
 //! The [`HbModel`] facade: build once per trace, query happens-before.
 
+use std::sync::OnceLock;
+
 use cafa_trace::{OpRef, TaskId, Trace};
 
 use crate::bitset::BitSet;
@@ -7,6 +9,7 @@ use crate::build::base_graph;
 use crate::config::CausalityConfig;
 use crate::error::HbError;
 use crate::graph::{NodeId, SyncGraph};
+use crate::oracle::ReachOracle;
 use crate::rules::{derive, flow, DerivationStats, EventTable};
 
 /// Relative order of two operations under a causality model.
@@ -74,6 +77,10 @@ pub struct HbModel<'t> {
     before_begin: Vec<BitSet>,
     stats: DerivationStats,
     topo: Vec<NodeId>,
+    /// Lazily built constant-time reachability index; once present,
+    /// operation-level queries skip the DFS. Answers are identical
+    /// either way, so building it never changes a report.
+    oracle: OnceLock<ReachOracle>,
 }
 
 impl<'t> HbModel<'t> {
@@ -101,9 +108,7 @@ impl<'t> HbModel<'t> {
     ) -> Result<Self, HbError> {
         let topo = graph
             .topo_order()
-            .map_err(|nodes| HbError::CyclicHappensBefore {
-                cycle_len: nodes.len(),
-            })?;
+            .map_err(|nodes| HbError::cyclic(&graph, &nodes))?;
 
         let table = EventTable::new(trace);
         // Final event-order closure: mark each end(e); read each begin(e).
@@ -126,7 +131,24 @@ impl<'t> HbModel<'t> {
             before_begin,
             stats,
             topo,
+            oracle: OnceLock::new(),
         })
+    }
+
+    /// Builds (once) and returns the constant-time reachability index,
+    /// constructing its begin matrix with `threads` scoped workers
+    /// (`0` = auto; see [`crate::resolve_threads`]). Subsequent
+    /// [`happens_before`](HbModel::happens_before) queries use the
+    /// index instead of a DFS.
+    pub fn ensure_oracle(&self, threads: usize) -> &ReachOracle {
+        self.oracle
+            .get_or_init(|| ReachOracle::build_with_topo(&self.graph, &self.topo, threads))
+    }
+
+    /// The reachability index, if [`ensure_oracle`](HbModel::ensure_oracle)
+    /// has been called.
+    pub fn oracle(&self) -> Option<&ReachOracle> {
+        self.oracle.get()
     }
 
     /// The analyzed trace.
@@ -200,6 +222,9 @@ impl<'t> HbModel<'t> {
         }
         let from = self.graph.bracket_after(a);
         let to = self.graph.bracket_before(b);
+        if let Some(oracle) = self.oracle.get() {
+            return oracle.reaches(from, to);
+        }
         let mut scratch = BitSet::new(self.graph.node_count());
         self.graph.reaches(from, to, &mut scratch)
     }

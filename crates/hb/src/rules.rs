@@ -240,10 +240,7 @@ pub(crate) fn fixpoint(
     let mut stats = DerivationStats::default();
     if !config.atomicity_rule && !config.queue_rules {
         // Still verify acyclicity so every model is checked.
-        g.topo_order()
-            .map_err(|nodes| HbError::CyclicHappensBefore {
-                cycle_len: nodes.len(),
-            })?;
+        g.topo_order().map_err(|nodes| HbError::cyclic(g, &nodes))?;
         stats.rounds = 1;
         return Ok(stats);
     }
@@ -272,11 +269,7 @@ pub(crate) fn fixpoint(
                 rounds: stats.rounds - 1,
             });
         }
-        let topo = g
-            .topo_order()
-            .map_err(|nodes| HbError::CyclicHappensBefore {
-                cycle_len: nodes.len(),
-            })?;
+        let topo = g.topo_order().map_err(|nodes| HbError::cyclic(g, &nodes))?;
 
         let mut changed = false;
 
@@ -462,10 +455,7 @@ pub(crate) fn fixpoint(
 
         if !changed {
             // Final acyclicity check after the last additions.
-            g.topo_order()
-                .map_err(|nodes| HbError::CyclicHappensBefore {
-                    cycle_len: nodes.len(),
-                })?;
+            g.topo_order().map_err(|nodes| HbError::cyclic(g, &nodes))?;
             return Ok(stats);
         }
     }

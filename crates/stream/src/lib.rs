@@ -66,7 +66,7 @@ use std::time::Instant;
 use cafa_core::{Analyzer, DetectorConfig, RaceReport};
 use cafa_engine::{extract_task, AnalysisSession, MemoryOps, PassStats};
 use cafa_hb::bitset::BitSet;
-use cafa_hb::{HbError, IncrementalHb, SyncGraph};
+use cafa_hb::{resolve_threads, HbError, IncrementalHb, ReachOracle, SyncGraph};
 use cafa_trace::{OpRef, Pc, ReadError, StreamDecoder, StreamEvent, TaskId, Trace, VarId};
 
 /// Approximate in-memory cost of one staged (un-derived) sync record:
@@ -314,6 +314,14 @@ impl IncrementalSession {
         let mut found = Vec::new();
         if self.opts.live && !sealed.is_empty() {
             self.derive("hb-derive")?;
+            // Refresh the O(1) reachability index over the freshly
+            // derived graph: extended in place for pure suffix appends,
+            // rebuilt when new cross-task edges invalidated it. On a
+            // cyclic prefix the cache is dropped and the watcher falls
+            // back to per-pair DFS; `finish` reports the cycle.
+            if let Some(hb) = self.hb.as_mut() {
+                hb.refresh_oracle(resolve_threads(self.opts.detector.threads));
+            }
             let t2 = Instant::now();
             for task in sealed {
                 self.watch_task(task, &mut found);
@@ -356,6 +364,7 @@ impl IncrementalSession {
         extract_task(trace, task, &mut self.ops);
 
         let graph = hb.graph();
+        let oracle = hb.oracle();
         let mut scratch = BitSet::new(graph.node_count());
         // New uses pair against every free seen so far (old and new);
         // new frees only against *old* uses, so a pair of two
@@ -368,6 +377,7 @@ impl IncrementalSession {
                 let f = self.ops.frees[fi];
                 emit(
                     graph,
+                    oracle,
                     &mut scratch,
                     &mut self.emitted,
                     found,
@@ -388,6 +398,7 @@ impl IncrementalSession {
                 let u = self.ops.uses[ui];
                 emit(
                     graph,
+                    oracle,
                     &mut scratch,
                     &mut self.emitted,
                     found,
@@ -444,6 +455,7 @@ impl IncrementalSession {
 #[allow(clippy::too_many_arguments)]
 fn emit(
     graph: &SyncGraph,
+    oracle: Option<&ReachOracle>,
     scratch: &mut BitSet,
     emitted: &mut HashSet<(VarId, Pc, Pc)>,
     found: &mut Vec<ProvisionalRace>,
@@ -458,7 +470,9 @@ fn emit(
     if emitted.contains(&key) {
         return;
     }
-    if ordered(graph, scratch, use_at, free_at) || ordered(graph, scratch, free_at, use_at) {
+    if ordered(graph, oracle, scratch, use_at, free_at)
+        || ordered(graph, oracle, scratch, free_at, use_at)
+    {
         return;
     }
     emitted.insert(key);
@@ -472,10 +486,23 @@ fn emit(
 }
 
 /// Graph-level happens-before between two operations of different
-/// tasks, as of the edges derived so far.
-fn ordered(graph: &SyncGraph, scratch: &mut BitSet, a: OpRef, b: OpRef) -> bool {
+/// tasks, as of the edges derived so far. Answered in O(1) by the
+/// incremental reachability oracle when one is current, otherwise by
+/// per-pair DFS over the sync graph.
+fn ordered(
+    graph: &SyncGraph,
+    oracle: Option<&ReachOracle>,
+    scratch: &mut BitSet,
+    a: OpRef,
+    b: OpRef,
+) -> bool {
+    let from = graph.bracket_after(a);
+    let to = graph.bracket_before(b);
+    if let Some(oracle) = oracle {
+        return oracle.reaches(from, to);
+    }
     scratch.clear();
-    graph.reaches(graph.bracket_after(a), graph.bracket_before(b), scratch)
+    graph.reaches(from, to, scratch)
 }
 
 #[cfg(test)]

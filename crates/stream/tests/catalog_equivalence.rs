@@ -9,7 +9,7 @@
 
 use cafa_apps::all_apps;
 use cafa_core::json::render_json;
-use cafa_core::Analyzer;
+use cafa_core::{Analyzer, DetectorConfig};
 use cafa_stream::{IncrementalSession, StreamOptions};
 use cafa_trace::{to_binary_vec, to_text_string, Trace};
 
@@ -29,15 +29,38 @@ fn batch_json(trace: &Trace) -> String {
     render_json(&report, trace)
 }
 
-/// Every catalog app, binary wire format, one bulk chunk size.
+/// Batch analysis at an explicit worker count.
+fn batch_json_threads(trace: &Trace, threads: usize) -> String {
+    let config = DetectorConfig {
+        threads,
+        ..DetectorConfig::cafa()
+    };
+    let report = Analyzer::with_config(config)
+        .analyze(trace)
+        .expect("analysis succeeds");
+    render_json(&report, trace)
+}
+
+/// Every catalog app: the single-worker batch report is the reference;
+/// a multi-worker batch run and a streamed run (whose incremental model
+/// took a different build path *and* runs its oracle at yet another
+/// worker count) must be byte-identical to it.
 #[test]
-fn all_apps_stream_identical_to_batch() {
+fn all_apps_stream_identical_to_batch_at_any_thread_count() {
     for app in all_apps() {
         let outcome = app.record(0).expect("workload records cleanly");
         let trace = outcome.trace.expect("instrumentation is on");
-        let expected = batch_json(&trace);
-        let streamed = streamed_json(&to_binary_vec(&trace), 4096, StreamOptions::default());
-        assert_eq!(streamed, expected, "app {}", app.name);
+        let expected = batch_json_threads(&trace, 1);
+        assert_eq!(
+            batch_json_threads(&trace, 2),
+            expected,
+            "app {} at 2 workers",
+            app.name
+        );
+        let mut opts = StreamOptions::default();
+        opts.detector.threads = 8;
+        let streamed = streamed_json(&to_binary_vec(&trace), 4096, opts);
+        assert_eq!(streamed, expected, "app {} streamed", app.name);
     }
 }
 
