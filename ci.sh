@@ -20,6 +20,9 @@ cargo test --workspace -q
 echo "==> oracle-vs-DFS differential suite (fixed-seed proptest)"
 cargo test -p cafa-hb --test oracle_differential -q
 
+echo "==> fixpoint engine differential suite (semi-naive vs naive)"
+cargo test -p cafa-hb --test fixpoint_differential -q
+
 echo "==> fleet determinism (table1 at 1 vs 4 workers)"
 out1="$(CAFA_FLEET_THREADS=1 ./target/release/table1)"
 out4="$(CAFA_FLEET_THREADS=4 ./target/release/table1)"
@@ -35,6 +38,10 @@ for app in connectbot mytracks zxing todolist browser firefox vlc fbreader camer
     trace="$tmpdir/$app.bin"
     ./target/release/cafa record "$app" --format binary --out "$trace" > /dev/null
     ./target/release/cafa analyze "$trace" --format json > "$tmpdir/$app.batch.json"
+    if ! cmp -s "$tmpdir/$app.batch.json" "tests/golden/reports/$app.json"; then
+        echo "FAIL: $app batch report differs from pinned golden report" >&2
+        exit 1
+    fi
     for threads in 1 2 8; do
         ./target/release/cafa analyze "$trace" --format json --threads "$threads" \
             > "$tmpdir/$app.t$threads.json"

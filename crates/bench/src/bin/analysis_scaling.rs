@@ -1,7 +1,10 @@
 //! Regenerates the §6.4 analysis-time observation; with `--parallel`,
-//! the reachability-oracle build/query scaling sweep instead.
+//! the reachability-oracle build/query scaling sweep; with
+//! `--fixpoint`, the semi-naive-vs-naive fixpoint engine comparison.
 fn main() {
-    if std::env::args().any(|a| a == "--parallel") {
+    if std::env::args().any(|a| a == "--fixpoint") {
+        cafa_bench::fixpoint::main();
+    } else if std::env::args().any(|a| a == "--parallel") {
         cafa_bench::scaling::parallel_main();
     } else {
         cafa_bench::scaling::main();

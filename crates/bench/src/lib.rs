@@ -17,6 +17,7 @@
 pub mod ablation;
 pub mod confirm;
 pub mod fig8;
+pub mod fixpoint;
 pub mod lowlevel;
 pub mod scaling;
 pub mod streaming;

@@ -118,7 +118,7 @@ fn measure_append(trace: &Trace, config: CausalityConfig) -> AppendMeasurement {
         // Warm prefix: everything before the split, derived — the
         // state a long-running ingester holds. Built outside the
         // timed region.
-        let mut inc = IncrementalHb::new(trace, config);
+        let mut inc = IncrementalHb::new(trace, config).expect("valid trace");
         for &t in &tasks[..split] {
             inc.seal(trace, t);
         }
@@ -146,7 +146,7 @@ fn measure_append(trace: &Trace, config: CausalityConfig) -> AppendMeasurement {
 
     let mut incremental_fixpoint = Duration::MAX;
     for _ in 0..ITERS {
-        let mut inc = IncrementalHb::new(trace, config);
+        let mut inc = IncrementalHb::new(trace, config).expect("valid trace");
         for &t in &tasks[..split] {
             inc.seal(trace, t);
         }

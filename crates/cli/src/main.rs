@@ -316,6 +316,7 @@ fn cmd_analyze(rest: &[String]) -> Result<(), String> {
     if timings {
         println!("pass timings:");
         print!("{}", report.stats.passes.render());
+        print_fixpoint_stats(&report.stats.derivation);
         let s = session.stats();
         println!(
             "session: {} ops extraction(s), {} model build(s), {} cache hit(s)",
@@ -323,6 +324,14 @@ fn cmd_analyze(rest: &[String]) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// Fixpoint-engine counters printed under `--timings`: how many rounds
+/// the derivation took and how much rule work it actually evaluated.
+fn print_fixpoint_stats(d: &cafa_hb::DerivationStats) {
+    println!("  fixpoint rounds          {:>10}", d.rounds);
+    println!("  rule instances evaluated {:>10}", d.instances);
+    println!("  edges derived            {:>10}", d.derived_edges());
 }
 
 /// The shared text rendering of `analyze` (batch and `--follow`).
@@ -406,6 +415,7 @@ fn analyze_follow(
     if timings {
         println!("pass timings:");
         print!("{}", outcome.report.stats.passes.render());
+        print_fixpoint_stats(&outcome.report.stats.derivation);
         println!("streaming passes:");
         print!("{}", outcome.passes.render());
         let p = outcome.progress;

@@ -79,6 +79,15 @@ impl BitSet {
         changed
     }
 
+    /// Makes `self` an exact copy of `other`, reusing `self`'s word
+    /// allocation when it is large enough. The allocation-free
+    /// rebuild step of the per-anchor working set in the rule engine.
+    pub fn copy_from(&mut self, other: &BitSet) {
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
+        self.len = other.len;
+    }
+
     /// Grows the capacity to `new_len`, keeping existing members. Used
     /// by the incremental fixpoint, whose send-pair memos gain columns
     /// as new `send` records stream in.

@@ -13,11 +13,23 @@ use cafa_trace::{MonitorId, OpRef, Record, Trace, TxnId};
 
 use crate::config::CausalityConfig;
 use crate::graph::{EdgeKind, SyncGraph};
+use crate::rules::SendSite;
 
 /// Builds the sync graph for `trace` and installs all base edges
 /// demanded by `config`.
 pub fn base_graph(trace: &Trace, config: &CausalityConfig) -> SyncGraph {
+    base_graph_with_sends(trace, config).0
+}
+
+/// [`base_graph`] that also returns the trace's send sites, collected
+/// during the same sweep — the fixpoint engine's rule index needs them,
+/// and this saves it a second pass over the operations.
+pub(crate) fn base_graph_with_sends(
+    trace: &Trace,
+    config: &CausalityConfig,
+) -> (SyncGraph, Vec<SendSite>) {
     let mut g = SyncGraph::from_trace(trace);
+    let mut sends: Vec<SendSite> = Vec::new();
 
     // Pairing tables filled in one sweep.
     let mut notifies: HashMap<(MonitorId, u32), Vec<OpRef>> = HashMap::new();
@@ -42,9 +54,31 @@ pub fn base_graph(trace: &Trace, config: &CausalityConfig) -> SyncGraph {
                 let n = g.node_of(at).expect("join is a sync record");
                 g.add_edge(g.end(child), n, EdgeKind::Join);
             }
-            Record::Send { event, .. } | Record::SendAtFront { event, .. } => {
+            Record::Send {
+                event,
+                queue,
+                delay_ms,
+            } => {
                 let n = g.node_of(at).expect("send is a sync record");
                 g.add_edge(n, g.begin(event), EdgeKind::Send);
+                sends.push(SendSite {
+                    node: n,
+                    event,
+                    queue,
+                    delay_ms,
+                    front: false,
+                });
+            }
+            Record::SendAtFront { event, queue } => {
+                let n = g.node_of(at).expect("send is a sync record");
+                g.add_edge(n, g.begin(event), EdgeKind::Send);
+                sends.push(SendSite {
+                    node: n,
+                    event,
+                    queue,
+                    delay_ms: 0,
+                    front: true,
+                });
             }
             Record::Notify { monitor, gen } => notifies.entry((monitor, gen)).or_default().push(at),
             Record::Wait { monitor, gen } => waits.entry((monitor, gen)).or_default().push(at),
@@ -152,7 +186,7 @@ pub fn base_graph(trace: &Trace, config: &CausalityConfig) -> SyncGraph {
         }
     }
 
-    g
+    (g, sends)
 }
 
 #[cfg(test)]

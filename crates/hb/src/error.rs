@@ -29,6 +29,22 @@ pub enum HbError {
     DerivationDiverged {
         /// Rounds executed before giving up.
         rounds: u32,
+        /// Number of edges the last completed round still derived.
+        delta_edges: usize,
+        /// Human-readable endpoints of up to the first few edges of
+        /// that last delta (`taskA@end → taskB@begin [rule]`), so the
+        /// diagnostic names what was still growing.
+        last_delta: Vec<String>,
+    },
+    /// The trace is structurally malformed in a way the happens-before
+    /// engine cannot interpret — e.g. an event task with no queue.
+    /// Validated traces never produce this; it surfaces hand-built or
+    /// corrupted inputs as an error instead of a panic.
+    MalformedTrace {
+        /// The offending task.
+        task: String,
+        /// What was wrong with it.
+        detail: String,
     },
 }
 
@@ -55,6 +71,34 @@ impl HbError {
             cycle_nodes,
         }
     }
+
+    /// Builds a [`HbError::DerivationDiverged`] naming up to four edges
+    /// of the last round's delta (the suffix of the graph's edge log).
+    pub(crate) fn diverged(
+        graph: &SyncGraph,
+        rounds: u32,
+        delta: &[(NodeId, NodeId, crate::graph::EdgeKind)],
+    ) -> Self {
+        const MAX_NAMED: usize = 4;
+        let name = |n: NodeId| {
+            let info = graph.node(n);
+            match info.point {
+                NodePoint::Begin => format!("{}@begin", info.task),
+                NodePoint::Record(i) => format!("{}@record{}", info.task, i),
+                NodePoint::End => format!("{}@end", info.task),
+            }
+        };
+        let last_delta = delta
+            .iter()
+            .take(MAX_NAMED)
+            .map(|&(from, to, kind)| format!("{} → {} [{kind:?}]", name(from), name(to)))
+            .collect();
+        HbError::DerivationDiverged {
+            rounds,
+            delta_edges: delta.len(),
+            last_delta,
+        }
+    }
 }
 
 impl fmt::Display for HbError {
@@ -73,8 +117,23 @@ impl fmt::Display for HbError {
                 }
                 write!(f, "); the trace is not consistent with any real execution")
             }
-            HbError::DerivationDiverged { rounds } => {
-                write!(f, "rule derivation did not converge after {rounds} rounds")
+            HbError::DerivationDiverged {
+                rounds,
+                delta_edges,
+                last_delta,
+            } => {
+                write!(
+                    f,
+                    "rule derivation did not converge after {rounds} rounds \
+                     (last round still derived {delta_edges} edge(s)"
+                )?;
+                if !last_delta.is_empty() {
+                    write!(f, ": {}", last_delta.join(", "))?;
+                }
+                write!(f, ")")
+            }
+            HbError::MalformedTrace { task, detail } => {
+                write!(f, "malformed trace: task {task}: {detail}")
             }
         }
     }
@@ -94,7 +153,18 @@ mod tests {
         };
         assert!(e.to_string().contains('4'));
         assert!(e.to_string().contains("t1@record2"));
-        let e = HbError::DerivationDiverged { rounds: 64 };
+        let e = HbError::DerivationDiverged {
+            rounds: 64,
+            delta_edges: 3,
+            last_delta: vec!["t7@end → t9@begin [Atomicity]".into()],
+        };
         assert!(e.to_string().contains("64"));
+        assert!(e.to_string().contains("t7@end"));
+        let e = HbError::MalformedTrace {
+            task: "t3".into(),
+            detail: "event task has no queue".into(),
+        };
+        assert!(e.to_string().contains("t3"));
+        assert!(e.to_string().contains("no queue"));
     }
 }

@@ -79,6 +79,11 @@ pub struct SyncGraph {
     preds: Vec<Vec<NodeId>>,
     edge_set: HashSet<(NodeId, NodeId)>,
     edge_kind_counts: Vec<(EdgeKind, usize)>,
+    /// Chronological log of every edge ever added (the dedup in
+    /// [`SyncGraph::add_edge`] guarantees each appears once). Consumers
+    /// that maintain derived state — the semi-naive rule fixpoint —
+    /// remember a position in this log and propagate only the suffix.
+    edge_log: Vec<(NodeId, NodeId, EdgeKind)>,
 }
 
 impl SyncGraph {
@@ -95,6 +100,7 @@ impl SyncGraph {
             preds: Vec::new(),
             edge_set: HashSet::new(),
             edge_kind_counts: Vec::new(),
+            edge_log: Vec::new(),
         };
         for info in trace.tasks() {
             let task = info.id;
@@ -144,6 +150,7 @@ impl SyncGraph {
             preds: Vec::new(),
             edge_set: HashSet::new(),
             edge_kind_counts: Vec::new(),
+            edge_log: Vec::new(),
         };
         for info in trace.tasks() {
             let task = info.id;
@@ -213,11 +220,21 @@ impl SyncGraph {
         }
         self.succs[from as usize].push((to, kind));
         self.preds[to as usize].push(from);
+        self.edge_log.push((from, to, kind));
         match self.edge_kind_counts.iter_mut().find(|(k, _)| *k == kind) {
             Some((_, n)) => *n += 1,
             None => self.edge_kind_counts.push((kind, 1)),
         }
         true
+    }
+
+    /// The chronological edge log: every edge of the graph, in the
+    /// order it was added. `edge_log()[k..]` is exactly the set of
+    /// edges added since the log was `k` entries long, which is what
+    /// the semi-naive fixpoint propagates between rounds and between
+    /// incremental derivation calls.
+    pub fn edge_log(&self) -> &[(NodeId, NodeId, EdgeKind)] {
+        &self.edge_log
     }
 
     /// Number of nodes.

@@ -40,7 +40,7 @@ use crate::error::HbError;
 use crate::graph::{EdgeKind, SyncGraph};
 use crate::model::HbModel;
 use crate::oracle::ReachOracle;
-use crate::rules::{fixpoint, DerivationStats, FixState, SendSite};
+use crate::rules::{fixpoint, fixpoint_naive, DerivationStats, FixpointState, SendSite};
 
 /// An append-only happens-before builder over a streaming trace.
 ///
@@ -54,7 +54,7 @@ use crate::rules::{fixpoint, DerivationStats, FixState, SendSite};
 pub struct IncrementalHb {
     config: CausalityConfig,
     graph: SyncGraph,
-    fix: FixState,
+    fix: FixpointState,
     stats: DerivationStats,
     derives: u32,
     // Pairing tables, persisted so each new record pairs against every
@@ -83,7 +83,12 @@ impl IncrementalHb {
     /// Starts incremental construction for a trace whose task table is
     /// complete (bodies may be empty or partial; only records up to
     /// each later `ingest` call are consumed).
-    pub fn new(trace: &Trace, config: CausalityConfig) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`HbError::MalformedTrace`] if an event task has no queue.
+    pub fn new(trace: &Trace, config: CausalityConfig) -> Result<Self, HbError> {
+        let fix = FixpointState::new(trace)?;
         let mut graph = SyncGraph::skeleton(trace);
 
         // Table-derived base edges exist before any body arrives.
@@ -105,10 +110,10 @@ impl IncrementalHb {
         }
 
         let task_count = trace.task_count();
-        Self {
+        Ok(Self {
             config,
             graph,
-            fix: FixState::new(trace),
+            fix,
             stats: DerivationStats::default(),
             derives: 0,
             notifies: HashMap::new(),
@@ -125,7 +130,7 @@ impl IncrementalHb {
             sealed: vec![false; task_count],
             staged: 0,
             oracle: None,
-        }
+        })
     }
 
     /// Brings the cached reachability index up to date with the graph:
@@ -346,14 +351,31 @@ impl IncrementalHb {
     /// or the fixpoint diverges.
     pub fn derive_now(&mut self) -> Result<DerivationStats, HbError> {
         let run = fixpoint(&mut self.graph, &self.config, &mut self.fix)?;
+        self.accumulate(run);
+        Ok(run)
+    }
+
+    /// [`derive_now`](IncrementalHb::derive_now) driven by the naive
+    /// reference loop instead of the semi-naive engine. Leaves the pair
+    /// memos and reachability rows untouched, so an all-reference
+    /// session stays a faithful baseline. Exposed (hidden) for the
+    /// differential test suite and the fixpoint benchmark only.
+    #[doc(hidden)]
+    pub fn derive_now_reference(&mut self) -> Result<DerivationStats, HbError> {
+        let run = fixpoint_naive(&mut self.graph, &self.config, &mut self.fix)?;
+        self.accumulate(run);
+        Ok(run)
+    }
+
+    fn accumulate(&mut self, run: DerivationStats) {
         self.stats.rounds += run.rounds;
+        self.stats.instances += run.instances;
         self.stats.atomicity_edges += run.atomicity_edges;
         for (acc, q) in self.stats.queue_edges.iter_mut().zip(run.queue_edges) {
             *acc += q;
         }
         self.derives += 1;
         self.staged = 0;
-        Ok(run)
     }
 
     /// Number of fixpoint extensions run so far.
@@ -392,7 +414,8 @@ impl IncrementalHb {
             }
         }
         self.derive_now()?;
-        HbModel::from_parts(trace, self.config, self.graph, self.stats)
+        let closure = self.fix.converged_closure(&self.graph);
+        HbModel::from_parts(trace, self.config, self.graph, self.stats, closure)
     }
 }
 
@@ -404,7 +427,7 @@ mod tests {
     /// Ingests a complete trace task-by-task with a derive after each
     /// seal, then finalizes.
     fn incremental_model(trace: &Trace, config: CausalityConfig) -> HbModel<'_> {
-        let mut inc = IncrementalHb::new(trace, config);
+        let mut inc = IncrementalHb::new(trace, config).expect("valid trace");
         for info in trace.tasks() {
             inc.seal(trace, info.id);
             inc.derive_now().expect("incremental derivation converges");
@@ -511,7 +534,7 @@ mod tests {
         // Deriving only once at the end must agree too.
         let trace = cascade_trace();
         let batch = HbModel::build(&trace, CausalityConfig::cafa()).unwrap();
-        let mut inc = IncrementalHb::new(&trace, CausalityConfig::cafa());
+        let mut inc = IncrementalHb::new(&trace, CausalityConfig::cafa()).unwrap();
         for info in trace.tasks() {
             inc.seal(&trace, info.id);
         }
@@ -528,7 +551,7 @@ mod tests {
     #[test]
     fn staged_counter_tracks_backlog() {
         let trace = cascade_trace();
-        let mut inc = IncrementalHb::new(&trace, CausalityConfig::cafa());
+        let mut inc = IncrementalHb::new(&trace, CausalityConfig::cafa()).unwrap();
         assert_eq!(inc.staged_records(), 0);
         let first = trace.tasks().next().unwrap().id;
         inc.seal(&trace, first);
@@ -543,7 +566,7 @@ mod tests {
         // Ingest may be called repeatedly as a body grows; pairing must
         // not duplicate edges.
         let trace = figure1_trace();
-        let mut inc = IncrementalHb::new(&trace, CausalityConfig::cafa());
+        let mut inc = IncrementalHb::new(&trace, CausalityConfig::cafa()).unwrap();
         for info in trace.tasks() {
             inc.ingest(&trace, info.id); // full body
             inc.ingest(&trace, info.id); // no-op: nothing new

@@ -73,4 +73,6 @@ pub use incremental::IncrementalHb;
 pub use locks::LockSets;
 pub use model::{BatchReach, CauseStep, HbModel, OpOrder};
 pub use oracle::{resolve_threads, ReachOracle};
+#[doc(hidden)]
+pub use rules::derive_naive;
 pub use rules::{derive, DerivationStats, EventTable};

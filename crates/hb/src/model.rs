@@ -5,12 +5,12 @@ use std::sync::OnceLock;
 use cafa_trace::{OpRef, TaskId, Trace};
 
 use crate::bitset::BitSet;
-use crate::build::base_graph;
+use crate::build::base_graph_with_sends;
 use crate::config::CausalityConfig;
 use crate::error::HbError;
 use crate::graph::{NodeId, SyncGraph};
 use crate::oracle::ReachOracle;
-use crate::rules::{derive, flow, DerivationStats, EventTable};
+use crate::rules::{fixpoint, flow, DerivationStats, EventTable, FixpointState};
 
 /// Relative order of two operations under a causality model.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -91,37 +91,51 @@ impl<'t> HbModel<'t> {
     /// Returns [`HbError`] if the trace implies a cyclic happens-before
     /// relation or the rule fixpoint diverges.
     pub fn build(trace: &'t Trace, config: CausalityConfig) -> Result<Self, HbError> {
-        let mut graph = base_graph(trace, &config);
-        let stats = derive(&mut graph, trace, &config)?;
-        Self::from_parts(trace, config, graph, stats)
+        let (mut graph, sends) = base_graph_with_sends(trace, &config);
+        let mut st = FixpointState::new(trace)?;
+        st.add_sends(&sends);
+        let stats = fixpoint(&mut graph, &config, &mut st)?;
+        // The converged reachability rows already hold the event-order
+        // closure; reuse them instead of re-sweeping the graph.
+        let closure = st.converged_closure(&graph);
+        Self::from_parts(trace, config, graph, stats, closure)
     }
 
     /// Assembles a model from an already-derived graph (the incremental
     /// path): verifies acyclicity and precomputes the event-order
-    /// closure. The graph must contain the fixpoint of `config`'s rules
-    /// over `trace` — [`build`](HbModel::build) is the batch shortcut.
+    /// closure (reusing `closure` — per dense event, the events whose
+    /// end precedes its begin — when the fixpoint engine kept its
+    /// converged rows). The graph must contain the fixpoint of
+    /// `config`'s rules over `trace` — [`build`](HbModel::build) is the
+    /// batch shortcut.
     pub(crate) fn from_parts(
         trace: &'t Trace,
         config: CausalityConfig,
         graph: SyncGraph,
         stats: DerivationStats,
+        closure: Option<Vec<BitSet>>,
     ) -> Result<Self, HbError> {
         let topo = graph
             .topo_order()
             .map_err(|nodes| HbError::cyclic(&graph, &nodes))?;
 
-        let table = EventTable::new(trace);
+        let table = EventTable::new(trace)?;
         // Final event-order closure: mark each end(e); read each begin(e).
-        let mut marks: Vec<Option<u32>> = vec![None; graph.node_count()];
-        for (i, &e) in table.events.iter().enumerate() {
-            marks[graph.end(e) as usize] = Some(i as u32);
-        }
-        let acc = flow(&graph, &topo, &marks, table.len());
-        let before_begin: Vec<BitSet> = table
-            .events
-            .iter()
-            .map(|&e| acc[graph.begin(e) as usize].clone())
-            .collect();
+        let before_begin: Vec<BitSet> = match closure {
+            Some(rows) => rows,
+            None => {
+                let mut marks: Vec<Option<u32>> = vec![None; graph.node_count()];
+                for (i, &e) in table.events.iter().enumerate() {
+                    marks[graph.end(e) as usize] = Some(i as u32);
+                }
+                let acc = flow(&graph, &topo, &marks, table.len());
+                table
+                    .events
+                    .iter()
+                    .map(|&e| acc[graph.begin(e) as usize].clone())
+                    .collect()
+            }
+        };
 
         Ok(Self {
             trace,

@@ -85,7 +85,7 @@ fn event_table_is_dense_over_events() {
     b.process_event(e1);
     b.process_event(e2);
     let trace = b.finish().unwrap();
-    let table = EventTable::new(&trace);
+    let table = EventTable::new(&trace).unwrap();
     assert_eq!(table.len(), 2);
     assert!(!table.is_empty());
     assert_eq!(table.dense(e1), Some(0));

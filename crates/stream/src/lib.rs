@@ -290,7 +290,7 @@ impl IncrementalSession {
             match self.events[i] {
                 StreamEvent::TablesReady => {
                     let trace = self.decoder.trace().expect("tables are ready");
-                    self.hb = Some(IncrementalHb::new(trace, self.opts.detector.causality));
+                    self.hb = Some(IncrementalHb::new(trace, self.opts.detector.causality)?);
                 }
                 StreamEvent::Records { task, count } => {
                     let trace = self.decoder.trace().expect("records imply tables");
