@@ -31,6 +31,15 @@ if [ "$out1" != "$out4" ]; then
     exit 1
 fi
 
+echo "==> replay validation sweep vs pinned confirmed-counts"
+./target/release/cafa validate --format counts > /tmp/validate_counts.txt
+if ! cmp -s /tmp/validate_counts.txt tests/golden/validate_counts.txt; then
+    echo "FAIL: cafa validate counts differ from tests/golden/validate_counts.txt" >&2
+    diff tests/golden/validate_counts.txt /tmp/validate_counts.txt >&2 || true
+    exit 1
+fi
+rm -f /tmp/validate_counts.txt
+
 echo "==> streaming chunk invariance + thread determinism (all apps)"
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT

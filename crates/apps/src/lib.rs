@@ -115,4 +115,27 @@ impl AppSpec {
         config.instrument = InstrumentConfig::off();
         run(&self.stress_program, &config)
     }
+
+    /// Records the *stress* variant with **full** instrumentation
+    /// coverage. Instrumentation never consumes scheduling decisions,
+    /// so this trace describes exactly the schedule `run_stress(seed)`
+    /// executes — the reference `cafa-replay` synthesizes directed
+    /// schedules from.
+    ///
+    /// Full coverage matters here: the detector deliberately analyzes
+    /// paper-coverage traces (whose missing listener records *cause*
+    /// the Type I false positives), but schedule synthesis must respect
+    /// the platform's real causality — a register/perform edge the
+    /// analyzer cannot see still constrains which schedules the
+    /// platform can produce, and a directed run that broke it would
+    /// "confirm" a race no real execution exhibits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures; the shipped workloads run clean.
+    pub fn record_stress(&self, seed: u64) -> Result<RunOutcome, SimError> {
+        let mut config = SimConfig::with_seed(seed);
+        config.instrument = InstrumentConfig::full();
+        run(&self.stress_program, &config)
+    }
 }

@@ -19,11 +19,15 @@ pub enum Confirmation {
     /// A schedule was found where the violation fires on the variable;
     /// the seed reproduces it deterministically.
     Confirmed {
-        /// Seed of the witnessing schedule.
+        /// Seed of the witnessing schedule (the *first* seed that
+        /// fired, so directed-vs-random comparisons are meaningful).
         witness_seed: u64,
         /// Whether the violation crashed the app (false = the exception
         /// was swallowed, the ToDoList pattern).
         crashes: bool,
+        /// Stress runs executed to find the witness (`witness_seed + 1`
+        /// for the sequential search).
+        attempts: u64,
     },
     /// No schedule in the budget fired the violation. For benign
     /// patterns this is the expected (and, for the commutative ones,
@@ -40,6 +44,15 @@ impl Confirmation {
     pub fn is_confirmed(&self) -> bool {
         matches!(self, Confirmation::Confirmed { .. })
     }
+
+    /// Stress runs the probe executed: the attempts to the first
+    /// witness when confirmed, the whole budget otherwise.
+    pub fn runs_used(&self) -> u64 {
+        match *self {
+            Confirmation::Confirmed { attempts, .. } => attempts,
+            Confirmation::Unconfirmed { tried } => tried,
+        }
+    }
 }
 
 /// Searches up to `budget` stress-variant schedules for one where a
@@ -55,6 +68,7 @@ pub fn confirm(app: &AppSpec, var: VarId, budget: u64) -> Confirmation {
             return Confirmation::Confirmed {
                 witness_seed: seed,
                 crashes: !npe.caught,
+                attempts: seed + 1,
             };
         }
     }
@@ -102,10 +116,18 @@ mod tests {
                     let c = confirm(app, var, 24);
                     assert!(c.is_confirmed(), "harmful {var} should confirm");
                     confirmed_harmful += 1;
-                    // Witness seeds are reproducible.
-                    if let Confirmation::Confirmed { witness_seed, .. } = c {
+                    // Witness seeds are reproducible, and the attempt
+                    // count reflects the sequential seed search.
+                    if let Confirmation::Confirmed {
+                        witness_seed,
+                        attempts,
+                        ..
+                    } = c
+                    {
                         let again = app.run_stress(witness_seed).unwrap();
                         assert!(again.npes.iter().any(|n| n.var == var));
+                        assert_eq!(attempts, witness_seed + 1);
+                        assert_eq!(c.runs_used(), attempts);
                     }
                 }
                 Label::Benign { .. } => {

@@ -5,6 +5,7 @@
 //! cafa record <app> [opts]           simulate an app and write its trace
 //! cafa analyze <trace> [opts]        detect use-free races in a trace
 //! cafa analyze --follow <trace>      tail a growing trace, analyze online
+//! cafa validate [app] [opts]         confirm reported races by replay
 //! cafa serve [opts]                  stream a trace from stdin or a socket
 //! cafa stats <trace>                 print trace statistics
 //! ```
@@ -54,6 +55,21 @@ USAGE:
         (polling every --poll-ms, default 50) until the trace's end
         marker; the report is identical to a batch analyze of the
         completed file.
+
+    cafa validate [app] [--budget N] [--directed N] [--guided N]
+                  [--minimize] [--threads N] [--format text|json|counts]
+        Re-run the detector's reported races against the app's stress
+        variant under the controlled scheduler and try to make each
+        one fire: directed schedule synthesis first, then HB-bounded
+        guided search, then random probing, within --budget simulator
+        runs per race (default 32; --directed/--guided cap the first
+        two rungs). Every hit is re-recorded as a schedule script and
+        replay-verified; --minimize delta-debugs each witness to a
+        minimal crashing prefix. With no app argument the whole
+        catalog is validated (--threads workers). --format json emits
+        one machine-readable object per app, witness scripts included;
+        --format counts prints the one-line-per-app summary the CI
+        golden file pins.
 
     cafa serve [--model M] [--chunk N] [--hwm BYTES] [--live]
                [--threads N] [--listen ADDR]
@@ -115,6 +131,7 @@ fn run_cli() -> ExitCode {
         Some("apps") => cmd_apps(),
         Some("record") => cmd_record(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("order") => cmd_order(&args[1..]),
@@ -423,6 +440,114 @@ fn analyze_follow(
             "stream: {} byte(s) in {} chunk(s), {} record(s), {} task(s) sealed, {} derive(s), {} backpressure flush(es)",
             p.bytes, p.chunks, p.records, p.tasks_sealed, p.derives, p.backpressure_flushes
         );
+    }
+    Ok(())
+}
+
+fn cmd_validate(rest: &[String]) -> Result<(), String> {
+    use cafa_replay::{validate_app, validate_apps, AppValidation, ReplayConfig};
+
+    let mut args = rest.to_vec();
+    let parse_u64 =
+        |s: String, what: &str| s.parse::<u64>().map_err(|_| format!("bad {what} `{s}`"));
+    let budget = opt_value(&mut args, "--budget")?
+        .map(|s| parse_u64(s, "budget"))
+        .transpose()?
+        .unwrap_or(32);
+    let directed_attempts = opt_value(&mut args, "--directed")?
+        .map(|s| parse_u64(s, "directed"))
+        .transpose()?
+        .unwrap_or(4);
+    let guided_attempts = opt_value(&mut args, "--guided")?
+        .map(|s| parse_u64(s, "guided"))
+        .transpose()?
+        .unwrap_or(8);
+    let minimize = opt_flag(&mut args, "--minimize");
+    let threads = parse_threads(&mut args)?;
+    let format = opt_value(&mut args, "--format")?.unwrap_or_else(|| "text".to_owned());
+    if !matches!(format.as_str(), "text" | "json" | "counts") {
+        return Err(format!("bad format `{format}` (text|json|counts)"));
+    }
+
+    let cfg = ReplayConfig {
+        budget,
+        directed_attempts,
+        guided_attempts,
+        minimize,
+    };
+    let validations: Vec<AppValidation> = match args.as_slice() {
+        [] => {
+            let threads = if threads == 0 {
+                cafa_engine::fleet::default_threads()
+            } else {
+                threads
+            };
+            validate_apps(&cfg, threads).map_err(|e| format!("validation failed: {e}"))?
+        }
+        [name] => {
+            let apps = cafa_apps::all_apps();
+            let app = apps
+                .iter()
+                .find(|a| a.name.eq_ignore_ascii_case(name))
+                .ok_or_else(|| format!("unknown app `{name}`; see `cafa apps`"))?;
+            vec![validate_app(app, &cfg).map_err(|e| format!("validation failed: {e}"))?]
+        }
+        _ => return Err("usage: cafa validate [app] [options]".to_owned()),
+    };
+
+    match format.as_str() {
+        "counts" => {
+            for v in &validations {
+                println!("{}", v.counts_line());
+            }
+        }
+        "json" => {
+            let objects: Vec<String> = validations.iter().map(AppValidation::to_json).collect();
+            println!("[{}]", objects.join(","));
+        }
+        _ => {
+            for v in &validations {
+                println!(
+                    "{}: {} reported, {} oracle-true, {} confirmed-true, {} benign fired, {} runs",
+                    v.app,
+                    v.races.len(),
+                    v.oracle_true(),
+                    v.confirmed_true(),
+                    v.benign_fired(),
+                    v.total_runs(),
+                );
+                for race in &v.races {
+                    let r = &race.validation;
+                    let label = if race.harmful { "harmful" } else { "benign" };
+                    match (&r.method, &r.witness) {
+                        (Some(m), Some(w)) => println!(
+                            "  {:<6} {:<8} confirmed   {:<8} runs={:<4} witness={} choice(s){}{}",
+                            r.var.to_string(),
+                            label,
+                            m.to_string(),
+                            r.runs_to_witness,
+                            w.len(),
+                            if minimize {
+                                format!(" (from {})", r.full_len)
+                            } else {
+                                String::new()
+                            },
+                            if r.replay_verified {
+                                ""
+                            } else {
+                                "  REPLAY FAILED"
+                            },
+                        ),
+                        _ => println!(
+                            "  {:<6} {:<8} unconfirmed          runs={}",
+                            r.var.to_string(),
+                            label,
+                            r.total_runs,
+                        ),
+                    }
+                }
+            }
+        }
     }
     Ok(())
 }

@@ -1,0 +1,217 @@
+//! The witness search ladder: directed → guided → random.
+
+use cafa_sim::{
+    run, DirectedSpec, InstrumentConfig, Program, RunOutcome, Schedule, SchedulePolicy, SimConfig,
+    SimError,
+};
+use cafa_trace::VarId;
+
+/// Which rung of the search ladder produced a witness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// Full directed synthesis (flip + protector rules).
+    Directed,
+    /// HB-bounded guided search (weak flip preference).
+    Guided,
+    /// Blind random probing (the pre-existing `prober` behavior).
+    Random,
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Method::Directed => write!(f, "directed"),
+            Method::Guided => write!(f, "guided"),
+            Method::Random => write!(f, "random"),
+        }
+    }
+}
+
+/// Budgets for one race's validation.
+#[derive(Clone, Copy, Debug)]
+pub struct ReplayConfig {
+    /// Total stress runs allowed for the witness search (all rungs).
+    pub budget: u64,
+    /// Seeds to try on the directed rung.
+    pub directed_attempts: u64,
+    /// Seeds to try on the guided rung.
+    pub guided_attempts: u64,
+    /// Delta-debug each witness to a minimal crashing prefix.
+    pub minimize: bool,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        Self {
+            budget: 32,
+            directed_attempts: 4,
+            guided_attempts: 8,
+            minimize: false,
+        }
+    }
+}
+
+/// The outcome of validating one reported race.
+#[derive(Clone, Debug)]
+pub struct RaceValidation {
+    /// The raced variable.
+    pub var: VarId,
+    /// The rung that found the witness, `None` when unconfirmed.
+    pub method: Option<Method>,
+    /// Whether the witnessed violation crashed the app (false = the
+    /// exception was swallowed, the ToDoList pattern).
+    pub crashes: bool,
+    /// Stress runs executed until the witness fired (= the whole
+    /// search budget when unconfirmed).
+    pub runs_to_witness: u64,
+    /// All stress runs, including minimization probes and the final
+    /// replay verification.
+    pub total_runs: u64,
+    /// The witness schedule script (minimized when requested).
+    pub witness: Option<Schedule>,
+    /// Length of the recorded script before minimization.
+    pub full_len: usize,
+    /// True when replaying `witness` reproduced the violation (always
+    /// true for confirmed races; pinned by the catalog sweep test).
+    pub replay_verified: bool,
+}
+
+impl RaceValidation {
+    /// True when a replayable witness schedule was found.
+    pub fn confirmed(&self) -> bool {
+        self.witness.is_some()
+    }
+}
+
+/// A stress-run configuration: instrumentation off, everything else
+/// default.
+pub(crate) fn stress_config(policy: SchedulePolicy, seed: u64, record: bool) -> SimConfig {
+    SimConfig {
+        seed,
+        instrument: InstrumentConfig::off(),
+        policy,
+        record_schedule: record,
+        ..SimConfig::default()
+    }
+}
+
+/// `Some(crashes)` when the outcome fired the violation on `var`.
+pub(crate) fn npe_on(outcome: &RunOutcome, var: VarId) -> Option<bool> {
+    outcome
+        .npes
+        .iter()
+        .find(|n| n.var == var)
+        .map(|n| !n.caught)
+}
+
+/// Runs the search ladder for one race: directed seeds, then guided
+/// seeds, then random seeds, stopping at the first schedule where the
+/// violation fires on `var`. Returns the recorded witness (schedule,
+/// crashes, rung, seed) and the number of runs executed.
+///
+/// # Errors
+///
+/// Propagates simulator failures (the bundled workloads run clean).
+#[allow(clippy::type_complexity)]
+pub fn search_witness(
+    stress: &Program,
+    var: VarId,
+    directed: Option<&DirectedSpec>,
+    guided: Option<&DirectedSpec>,
+    cfg: &ReplayConfig,
+) -> Result<(Option<(Schedule, bool, Method, u64)>, u64), SimError> {
+    let mut runs = 0u64;
+    let mut plan: Vec<(SchedulePolicy, u64, Method)> = Vec::new();
+    if let Some(spec) = directed {
+        for seed in 0..cfg.directed_attempts {
+            plan.push((
+                SchedulePolicy::Directed(spec.clone()),
+                seed,
+                Method::Directed,
+            ));
+        }
+    }
+    if let Some(spec) = guided {
+        for seed in 0..cfg.guided_attempts {
+            plan.push((SchedulePolicy::Directed(spec.clone()), seed, Method::Guided));
+        }
+    }
+    let ladder_len = plan.len() as u64;
+    for seed in 0..cfg.budget.saturating_sub(ladder_len.min(cfg.budget)) {
+        plan.push((SchedulePolicy::Random, seed, Method::Random));
+    }
+    plan.truncate(cfg.budget as usize);
+
+    for (policy, seed, method) in plan {
+        runs += 1;
+        let outcome = run(stress, &stress_config(policy, seed, true))?;
+        if let Some(crashes) = npe_on(&outcome, var) {
+            let schedule = outcome.schedule.expect("record_schedule was set");
+            return Ok((Some((schedule, crashes, method, seed)), runs));
+        }
+    }
+    Ok((None, runs))
+}
+
+/// Validates one race end to end: synthesis already done by the
+/// caller, this runs the ladder, optionally minimizes, and verifies
+/// the witness replays.
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub(crate) fn validate_race(
+    stress: &Program,
+    var: VarId,
+    directed: Option<&DirectedSpec>,
+    guided: Option<&DirectedSpec>,
+    cfg: &ReplayConfig,
+) -> Result<RaceValidation, SimError> {
+    let (hit, runs) = search_witness(stress, var, directed, guided, cfg)?;
+    let Some((schedule, crashes, method, _seed)) = hit else {
+        return Ok(RaceValidation {
+            var,
+            method: None,
+            crashes: false,
+            runs_to_witness: runs,
+            total_runs: runs,
+            witness: None,
+            full_len: 0,
+            replay_verified: false,
+        });
+    };
+
+    let full_len = schedule.len();
+    let mut total_runs = runs;
+    let witness = if cfg.minimize {
+        let (minimized, probe_runs) = crate::minimize::minimize_witness(stress, &schedule, var)?;
+        total_runs += probe_runs;
+        minimized
+    } else {
+        schedule
+    };
+
+    // Replay verification: the shipped script must reproduce the
+    // violation deterministically.
+    total_runs += 1;
+    let replayed = run(
+        stress,
+        &stress_config(
+            SchedulePolicy::Script(witness.clone()),
+            witness.tail_seed,
+            false,
+        ),
+    )?;
+    let replay_verified = npe_on(&replayed, var).is_some();
+
+    Ok(RaceValidation {
+        var,
+        method: Some(method),
+        crashes,
+        runs_to_witness: runs,
+        total_runs,
+        witness: Some(witness),
+        full_len,
+        replay_verified,
+    })
+}

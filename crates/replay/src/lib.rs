@@ -1,0 +1,88 @@
+//! Directed schedule synthesis and deterministic replay validation of
+//! reported races.
+//!
+//! CAFA is *predictive*: it reports use-free races from executions in
+//! which nothing went wrong, accepting false positives for coverage
+//! (§7.1.3). The paper's authors closed the loop by hand, re-running
+//! each application until the report either fired or was argued
+//! benign (§6.2). This crate mechanizes that step with three layers on
+//! top of `cafa-sim`'s controlled scheduler:
+//!
+//! * **synthesis** ([`synth`]) — for a reported race `(use u, free f)`,
+//!   derive [`DeferRule`](cafa_sim::DeferRule)s from the instrumented
+//!   stress trace and its happens-before model that *flip the racing
+//!   pair* (force `f` before `u`) while leaving every derived HB edge
+//!   intact: the rules only hold back `u`'s posting chain (and any
+//!   re-allocating protector task), never anything `f` depends on, so
+//!   every run they bias is still a legal linearization of the HB
+//!   graph with the pair reversed;
+//! * **search** ([`driver`]) — a fallback ladder: a handful of
+//!   directed runs, then HB-bounded guided search (a weaker defer
+//!   spec that still prefers flipped-pair-consistent schedules), then
+//!   the pre-existing blind random probing of `cafa_apps::prober`;
+//! * **witnessing** ([`minimize`], [`validate`]) — every hit is
+//!   re-recorded as a [`Schedule`](cafa_sim::Schedule) script, replay
+//!   is verified (same script ⇒ identical outcome, divergence is a
+//!   typed error), and the script can be delta-debugged down to a
+//!   minimal crashing prefix.
+//!
+//! The result: every oracle-true race in the bundled ten-app catalog
+//! machine-confirms with a replayable, minimized witness schedule in
+//! far fewer simulator runs than random probing needs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod driver;
+pub mod minimize;
+pub mod synth;
+pub mod validate;
+
+pub use driver::{search_witness, Method, RaceValidation, ReplayConfig};
+pub use minimize::minimize_witness;
+pub use synth::{dispatch_chain, synthesize, synthesize_guided, Infeasible};
+pub use validate::{validate_app, validate_apps, AppValidation};
+
+use std::fmt;
+
+/// A failure while validating an app's report.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ReplayError {
+    /// A simulator run failed (the bundled workloads run clean, so
+    /// this indicates a driver bug or a bad schedule script).
+    Sim(cafa_sim::SimError),
+    /// The happens-before model could not be built.
+    Hb(cafa_hb::HbError),
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::Sim(e) => write!(f, "simulator failure: {e}"),
+            ReplayError::Hb(e) => write!(f, "happens-before model failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReplayError::Sim(e) => Some(e),
+            ReplayError::Hb(e) => Some(e),
+        }
+    }
+}
+
+impl From<cafa_sim::SimError> for ReplayError {
+    fn from(e: cafa_sim::SimError) -> Self {
+        ReplayError::Sim(e)
+    }
+}
+
+impl From<cafa_hb::HbError> for ReplayError {
+    fn from(e: cafa_hb::HbError) -> Self {
+        ReplayError::Hb(e)
+    }
+}

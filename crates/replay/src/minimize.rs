@@ -1,0 +1,62 @@
+//! Witness minimization: delta-debug a recorded schedule script down
+//! to a minimal crashing prefix.
+//!
+//! A full recorded witness pins every decision of the run — tens of
+//! thousands of choices for the larger catalog apps — but almost all
+//! of them are irrelevant filler. Under the prefix semantics of
+//! [`Schedule`] (pinned decisions first, seeded random tail after),
+//! the interesting quantity is the shortest prefix that still forces
+//! the violation with the same tail seed. The probe is a standard
+//! boundary bisection: crash behavior need not be monotone in the
+//! prefix length (the random tail realigns at every cut), so the
+//! result is a *verified local* minimum — every returned schedule is
+//! re-checked to crash — rather than a global one, the usual
+//! delta-debugging guarantee.
+
+use cafa_sim::{run, Program, Schedule, SchedulePolicy, SimError};
+use cafa_trace::VarId;
+
+use crate::driver::{npe_on, stress_config};
+
+/// Shrinks `witness` to a prefix that still fires the violation on
+/// `var`, returning the prefix and the number of probe runs spent.
+/// The returned schedule always crash-verifies; in the worst case it
+/// is the full input script.
+///
+/// # Errors
+///
+/// Propagates simulator failures from probe runs.
+pub fn minimize_witness(
+    stress: &Program,
+    witness: &Schedule,
+    var: VarId,
+) -> Result<(Schedule, u64), SimError> {
+    let mut runs = 0u64;
+    let fires = |len: usize, runs: &mut u64| -> Result<bool, SimError> {
+        *runs += 1;
+        let outcome = run(
+            stress,
+            &stress_config(
+                SchedulePolicy::Script(witness.prefix(len)),
+                witness.tail_seed,
+                false,
+            ),
+        )?;
+        Ok(npe_on(&outcome, var).is_some())
+    };
+
+    // Bisect for the shortest crashing prefix. The invariant "`hi`
+    // crashes" holds throughout: `hi` starts at the full (witnessing)
+    // script and only ever moves to a length that just probed crashing.
+    let mut lo = 0usize;
+    let mut hi = witness.len();
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if fires(mid, &mut runs)? {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Ok((witness.prefix(hi), runs))
+}

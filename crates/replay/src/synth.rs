@@ -1,0 +1,225 @@
+//! Directed-schedule synthesis: from a reported race to a set of
+//! defer rules that force the free before the use.
+//!
+//! The synthesis works on the *instrumented stress trace* — a recorded
+//! run of the stress variant under a known seed — and its
+//! happens-before model. Conceptually it builds a topological
+//! linearization of the HB graph with the racing pair flipped: since a
+//! reported race is HB-*concurrent*, flipping `(use, free)` to
+//! `free ≺ use` contradicts no derived edge, so a legal schedule with
+//! that order exists whenever the pair is concurrent and the two
+//! endpoints are reached by disjoint dispatch chains. Rather than
+//! emitting every decision of that linearization (which would be
+//! brittle against the runtime's timer jitter), the synthesis emits
+//! the *binding* constraints only, as [`DeferRule`]s:
+//!
+//! * hold back every task on the use's **dispatch chain** (the use
+//!   event, whoever posted it, whoever forked *that*, …) that is not
+//!   also on the free's chain, until the free's task has completed —
+//!   deferring posting chains rather than queue positions is what
+//!   respects Android's FIFO queue discipline: once both events are
+//!   enqueued their relative order is fixed, so the flip must happen
+//!   at post time;
+//! * hold back **protector** tasks — tasks that re-allocate the raced
+//!   variable and are not already ordered before the free — until the
+//!   use's task has completed, so a fresh allocation cannot paper over
+//!   the hazard window the flip opens.
+//!
+//! Everything not named by a rule schedules freely, and deferral is a
+//! bias rather than a block, so the directed run remains a legal run
+//! of the program under every derived HB edge.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use cafa_engine::MemoryOps;
+use cafa_hb::{HbModel, OpOrder};
+use cafa_sim::{DeferRule, DirectedSpec};
+use cafa_trace::{TaskId, TaskKind, Trace, VarId};
+
+/// Why no directed schedule could be synthesized for a race. The
+/// driver falls back to guided search, then random probing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Infeasible {
+    /// The variable has no (use, free) pair in the stress trace — for
+    /// example the reference run already crashed on it, so the
+    /// dereference never executed.
+    NotInTrace,
+    /// Every (use, free) pair lives in a single task; no schedule can
+    /// reorder within a task.
+    SameTask,
+    /// Every cross-task pair is ordered by derived happens-before
+    /// edges: the flipped linearization would violate them.
+    AlwaysOrdered,
+    /// After removing the free's own dispatch chain, nothing is left
+    /// to defer — both endpoints are reached through the same chain.
+    SharedChain,
+}
+
+impl fmt::Display for Infeasible {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Infeasible::NotInTrace => write!(f, "no use/free pair for the variable in the trace"),
+            Infeasible::SameTask => write!(f, "use and free always share a task"),
+            Infeasible::AlwaysOrdered => {
+                write!(f, "every use/free pair is ordered by happens-before edges")
+            }
+            Infeasible::SharedChain => {
+                write!(
+                    f,
+                    "use and free are reached through the same dispatch chain"
+                )
+            }
+        }
+    }
+}
+
+/// The causal dispatch chain of a task, starting at the task itself:
+/// an event is preceded by the task that posted it, a forked thread by
+/// the task that forked it. Stops at external events and initial
+/// threads. Cycle-safe (trace corruption cannot loop it).
+pub fn dispatch_chain(trace: &Trace, start: TaskId) -> Vec<TaskId> {
+    let mut chain = vec![start];
+    let mut cur = start;
+    loop {
+        let parent = match &trace.task(cur).kind {
+            TaskKind::Event { origin, .. } => origin.send_site().map(|s| s.task),
+            TaskKind::Thread { forked_at, .. } => forked_at.map(|s| s.task),
+        };
+        match parent {
+            Some(p) if !chain.contains(&p) => {
+                chain.push(p);
+                cur = p;
+            }
+            _ => break,
+        }
+    }
+    chain
+}
+
+/// Synthesizes a [`DirectedSpec`] forcing the reported race on `var`
+/// to fire: the free before the use, protectors held off.
+///
+/// # Errors
+///
+/// Returns [`Infeasible`] when no HB-consistent flipped linearization
+/// exists (see the variants); the caller then falls back to
+/// [`synthesize_guided`] and random probing.
+pub fn synthesize(
+    trace: &Trace,
+    model: &HbModel<'_>,
+    ops: &MemoryOps,
+    var: VarId,
+) -> Result<DirectedSpec, Infeasible> {
+    let vops = ops.var_ops(var).ok_or(Infeasible::NotInTrace)?;
+    if vops.uses.is_empty() || vops.frees.is_empty() {
+        return Err(Infeasible::NotInTrace);
+    }
+
+    // The racing pair: the first HB-concurrent cross-task (use, free).
+    let mut cross_task = false;
+    let mut pair = None;
+    'outer: for &ui in &vops.uses {
+        for &fi in &vops.frees {
+            let u = ops.uses[ui];
+            let f = ops.frees[fi];
+            if u.at.task == f.at.task {
+                continue;
+            }
+            cross_task = true;
+            if model.order(u.at, f.at) == OpOrder::Concurrent {
+                pair = Some((u, f));
+                break 'outer;
+            }
+        }
+    }
+    let (u, f) = pair.ok_or(if cross_task {
+        Infeasible::AlwaysOrdered
+    } else {
+        Infeasible::SameTask
+    })?;
+
+    // Hold the use's dispatch chain until the free's task completes.
+    let use_chain = dispatch_chain(trace, u.at.task);
+    let free_chain: HashSet<&str> = dispatch_chain(trace, f.at.task)
+        .iter()
+        .map(|&t| trace.task_name(t))
+        .collect();
+    let until_free = trace.task_name(f.at.task).to_owned();
+    let mut defer: Vec<String> = Vec::new();
+    for &t in &use_chain {
+        let n = trace.task_name(t);
+        if !free_chain.contains(n) && n != until_free && !defer.iter().any(|d| d == n) {
+            defer.push(n.to_owned());
+        }
+    }
+    if defer.is_empty() {
+        return Err(Infeasible::SharedChain);
+    }
+    let flip = DeferRule {
+        defer: defer.clone(),
+        until: until_free,
+        until_count: 1,
+    };
+
+    // Protectors: tasks that re-allocate the variable inside the
+    // hazard window must wait until the use has run into it.
+    let use_name = trace.task_name(u.at.task).to_owned();
+    let mut protect: Vec<String> = Vec::new();
+    for &ai in &vops.allocs {
+        let a = ops.allocs[ai];
+        if a.at.task == u.at.task || a.at.task == f.at.task {
+            continue;
+        }
+        let n = trace.task_name(a.at.task);
+        if free_chain.contains(n) || n == use_name {
+            continue;
+        }
+        // An allocation already ordered before the free cannot close
+        // the window the flip opens.
+        if model.happens_before(a.at, f.at) {
+            continue;
+        }
+        // Names on the use chain are already held (until the free);
+        // extending their hold past the use would defer the use itself.
+        if defer.iter().any(|d| d == n) {
+            continue;
+        }
+        if !protect.iter().any(|p| p == n) {
+            protect.push(n.to_owned());
+        }
+    }
+
+    let mut rules = vec![flip];
+    if !protect.is_empty() {
+        rules.push(DeferRule {
+            defer: protect,
+            until: use_name,
+            until_count: 1,
+        });
+    }
+    Ok(DirectedSpec { rules })
+}
+
+/// The HB-bounded guided fallback: a weaker spec that only prefers
+/// schedules consistent with the flipped pair — defer the use's own
+/// task until the free's task completes — without requiring disjoint
+/// dispatch chains or a feasibility proof. Returns `None` when the
+/// trace offers nothing to bias (no use/free, or both share a name).
+pub fn synthesize_guided(trace: &Trace, ops: &MemoryOps, var: VarId) -> Option<DirectedSpec> {
+    let vops = ops.var_ops(var)?;
+    let u = ops.uses[*vops.uses.first()?];
+    let f = ops.frees[*vops.frees.first()?];
+    let use_name = trace.task_name(u.at.task).to_owned();
+    let until = trace.task_name(f.at.task).to_owned();
+    if use_name == until {
+        return None;
+    }
+    Some(DirectedSpec {
+        rules: vec![DeferRule {
+            defer: vec![use_name],
+            until,
+            until_count: 1,
+        }],
+    })
+}

@@ -1,0 +1,219 @@
+//! End-to-end validation: from an app's Table 1 race report to a
+//! replayable witness (or an exhausted budget) per reported race.
+//!
+//! The pipeline per app: record the reference trace and analyze it
+//! (exactly the Table 1 configuration); record the reference program
+//! again under **full** coverage and build its happens-before model —
+//! the view schedule synthesis works from (see [`validate_app`] for
+//! why it must differ from the detector's); then for every reported
+//! race synthesize a directed spec and run the
+//! [`driver`](crate::driver) search ladder against the uninstrumented
+//! *stress* variant, whose task names match the reference program's.
+
+use cafa_apps::{all_apps, AppSpec, Label};
+use cafa_core::{AnalysisSession, Analyzer, PassStats};
+use cafa_engine::fleet;
+use cafa_hb::CausalityConfig;
+
+use crate::driver::{validate_race, RaceValidation, ReplayConfig};
+use crate::synth::{synthesize, synthesize_guided};
+use crate::ReplayError;
+
+/// One reported race joined with its oracle label.
+#[derive(Clone, Debug)]
+pub struct ValidatedRace {
+    /// The search outcome.
+    pub validation: RaceValidation,
+    /// Oracle says the race is a real use-after-free hazard.
+    pub harmful: bool,
+}
+
+/// The validation outcome for one catalog app.
+#[derive(Debug)]
+pub struct AppValidation {
+    /// Application name as it appears in Table 1.
+    pub app: &'static str,
+    /// One entry per reported race, report order.
+    pub races: Vec<ValidatedRace>,
+    /// Wall-clock accounting per pipeline pass.
+    pub stats: PassStats,
+}
+
+impl AppValidation {
+    /// Reported races the oracle labels harmful.
+    pub fn oracle_true(&self) -> usize {
+        self.races.iter().filter(|r| r.harmful).count()
+    }
+
+    /// Harmful races confirmed with a replay-verified witness.
+    pub fn confirmed_true(&self) -> usize {
+        self.races
+            .iter()
+            .filter(|r| r.harmful && r.validation.confirmed() && r.validation.replay_verified)
+            .count()
+    }
+
+    /// Benign reports where the search nonetheless fired a violation
+    /// (should stay zero: benign patterns guard or re-check).
+    pub fn benign_fired(&self) -> usize {
+        self.races
+            .iter()
+            .filter(|r| !r.harmful && r.validation.confirmed())
+            .count()
+    }
+
+    /// Total stress runs across all races, probes included.
+    pub fn total_runs(&self) -> u64 {
+        self.races.iter().map(|r| r.validation.total_runs).sum()
+    }
+
+    /// One-line summary pinned by the CI golden file.
+    pub fn counts_line(&self) -> String {
+        format!(
+            "{}: reported={} oracle_true={} confirmed_true={} benign_fired={}",
+            self.app,
+            self.races.len(),
+            self.oracle_true(),
+            self.confirmed_true(),
+            self.benign_fired(),
+        )
+    }
+
+    /// Renders the validation as a JSON object (hand-rolled: the
+    /// workspace builds offline, without serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"app\":\"{}\",\"reported\":{},\"oracle_true\":{},\"confirmed_true\":{},\"benign_fired\":{},\"total_runs\":{},\"races\":[",
+            escape(self.app),
+            self.races.len(),
+            self.oracle_true(),
+            self.confirmed_true(),
+            self.benign_fired(),
+            self.total_runs(),
+        ));
+        for (i, r) in self.races.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let v = &r.validation;
+            out.push_str(&format!(
+                "{{\"var\":{},\"harmful\":{},\"confirmed\":{},\"method\":{},\"crashes\":{},\"runs_to_witness\":{},\"total_runs\":{},\"replay_verified\":{},\"full_len\":{},\"witness\":{}}}",
+                v.var.as_u32(),
+                r.harmful,
+                v.confirmed(),
+                match v.method {
+                    Some(m) => format!("\"{m}\""),
+                    None => "null".to_owned(),
+                },
+                v.crashes,
+                v.runs_to_witness,
+                v.total_runs,
+                v.replay_verified,
+                v.full_len,
+                match &v.witness {
+                    Some(w) => format!("\"{}\"", escape(&w.to_compact())),
+                    None => "null".to_owned(),
+                },
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Validates every race reported for `app`: analyze the reference
+/// trace, synthesize directed schedules from the full-coverage
+/// reference trace, and run the search ladder against the stress
+/// variant per reported race.
+///
+/// # Errors
+///
+/// Propagates simulator and happens-before failures; the bundled
+/// catalog runs clean.
+pub fn validate_app(app: &AppSpec, cfg: &ReplayConfig) -> Result<AppValidation, ReplayError> {
+    let mut stats = PassStats::default();
+
+    // The Table 1 report: reference trace, paper instrumentation.
+    let recorded = stats.run("record", || (app.record(0), 1))?;
+    let trace = recorded
+        .trace
+        .expect("paper instrumentation records a trace");
+    let session = AnalysisSession::new(&trace);
+    let report = stats.run("analyze", || {
+        let r = Analyzer::new().analyze_with(&session);
+        let n = r.as_ref().map_or(0, |r| r.races.len());
+        (r, n)
+    })?;
+
+    // The trace + HB model the synthesis works on: the *reference*
+    // program under **full** coverage. The reference run takes the
+    // benign order, so every racing use actually executes and lands in
+    // the trace (a stress recording can crash before the use runs);
+    // full coverage matters because synthesis must respect platform
+    // causality the detector deliberately cannot see — a
+    // register/perform edge from an uninstrumented package still
+    // constrains real schedules, and a directed run that broke it
+    // would "confirm" a race no platform execution exhibits. The
+    // derived defer rules transfer to the stress variant by task name:
+    // both programs are built by the same generator and differ only in
+    // timing margins.
+    let synth_rec = stats.run("synth-record", || (app.record_full_coverage(0), 1))?;
+    let synth_trace = synth_rec
+        .trace
+        .expect("full instrumentation records a trace");
+    let synth_session = AnalysisSession::new(&synth_trace);
+    let model = stats.run("synth-model", || {
+        (synth_session.model(CausalityConfig::cafa()), 1)
+    })?;
+    let ops = synth_session.ops();
+
+    let mut races = Vec::with_capacity(report.races.len());
+    for race in &report.races {
+        let directed = stats.run_accumulating("synthesize", || {
+            (synthesize(&synth_trace, &model, ops, race.var).ok(), 1)
+        });
+        let guided = synthesize_guided(&synth_trace, ops, race.var);
+        let validation = stats.run_accumulating("search", || {
+            let v = validate_race(
+                &app.stress_program,
+                race.var,
+                directed.as_ref(),
+                guided.as_ref(),
+                cfg,
+            );
+            let n = v.as_ref().map_or(0, |v| v.total_runs as usize);
+            (v, n)
+        })?;
+        let harmful = matches!(app.truth.get(race.var), Some(Label::Harmful { .. }));
+        races.push(ValidatedRace {
+            validation,
+            harmful,
+        });
+    }
+
+    Ok(AppValidation {
+        app: app.name,
+        races,
+        stats,
+    })
+}
+
+/// Validates the whole bundled catalog, one app per fleet worker.
+///
+/// # Errors
+///
+/// Propagates the first per-app failure, catalog order.
+pub fn validate_apps(
+    cfg: &ReplayConfig,
+    threads: usize,
+) -> Result<Vec<AppValidation>, ReplayError> {
+    let apps = all_apps();
+    fleet::map(&apps, threads, |app| validate_app(app, cfg))
+        .into_iter()
+        .collect()
+}

@@ -37,6 +37,30 @@ pub enum SimError {
     /// variable references, kind mismatches). See
     /// [`Program::check`](crate::Program::check).
     InvalidProgram(Vec<crate::check::ProgramError>),
+    /// A replayed [`Schedule`](crate::Schedule) no longer matches the
+    /// execution: at script position `choice` (scheduler step `step`)
+    /// the script demanded `scripted`, but the runtime was deciding a
+    /// different kind of choice or the demanded entity was not among
+    /// `offered`.
+    ReplayDivergence {
+        /// Index of the offending decision in the script.
+        choice: usize,
+        /// Scheduler steps executed when the divergence was detected.
+        step: u64,
+        /// The decision the script demanded.
+        scripted: crate::schedule::Choice,
+        /// True when the runtime was picking a `notify` waiter, false
+        /// when it was picking the next entity to dispatch.
+        at_wake: bool,
+        /// Entity indices the runtime could actually choose from.
+        offered: Vec<u32>,
+    },
+    /// An operation needed the recorded trace but instrumentation was
+    /// disabled in the [`SimConfig`](crate::SimConfig).
+    NotInstrumented {
+        /// What required the trace.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -55,6 +79,28 @@ impl fmt::Display for SimError {
                 write!(f, "program failed validation ({} error(s)): ", errors.len())?;
                 let first = errors.first().map(ToString::to_string).unwrap_or_default();
                 f.write_str(&first)
+            }
+            SimError::ReplayDivergence {
+                choice,
+                step,
+                scripted,
+                at_wake,
+                offered,
+            } => {
+                let deciding = if *at_wake {
+                    "a notify wake"
+                } else {
+                    "the next dispatch"
+                };
+                write!(
+                    f,
+                    "replay divergence at script choice {choice} (scheduler step {step}): \
+                     script demands {scripted:?} but the runtime was deciding {deciding} \
+                     among entities {offered:?}"
+                )
+            }
+            SimError::NotInstrumented { what } => {
+                write!(f, "{what} requires instrumentation, but it was disabled")
             }
         }
     }

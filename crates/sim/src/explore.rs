@@ -7,13 +7,35 @@
 //! to demonstrate that the simulator really explores interleavings and
 //! that derived happens-before orderings constrain every one of them.
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashSet;
-use std::hash::{Hash, Hasher};
 
 use crate::error::SimError;
 use crate::program::Program;
 use crate::runtime::{run, SimConfig};
+
+/// FNV-1a, pinned here so schedule fingerprints are stable across Rust
+/// releases (`DefaultHasher` makes no such guarantee).
+#[derive(Clone, Copy, Debug)]
+struct Fnv64(u64);
+
+impl Fnv64 {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Self(Self::OFFSET_BASIS)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
 
 /// Summary of a multi-schedule exploration.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -36,26 +58,49 @@ pub struct Exploration {
 ///
 /// Propagates the first simulator failure.
 pub fn explore(program: &Program, schedules: usize) -> Result<Exploration, SimError> {
+    explore_with(program, schedules, &SimConfig::default())
+}
+
+/// [`explore`] with an explicit base configuration; the seed field is
+/// overridden per run.
+///
+/// # Errors
+///
+/// Propagates the first simulator failure, and returns
+/// [`SimError::NotInstrumented`] when `base.instrument` is off (the
+/// order fingerprint needs the recorded queue orders).
+pub fn explore_with(
+    program: &Program,
+    schedules: usize,
+    base: &SimConfig,
+) -> Result<Exploration, SimError> {
     let mut orders: HashSet<u64> = HashSet::new();
     let mut summary = Exploration {
         schedules,
         ..Exploration::default()
     };
     for seed in 0..schedules as u64 {
-        let outcome = run(program, &SimConfig::with_seed(seed))?;
+        let mut config = base.clone();
+        config.seed = seed;
+        let outcome = run(program, &config)?;
         if outcome.crashed() {
             summary.crashed += 1;
         }
         summary.events_per_run = outcome.events_processed;
-        let trace = outcome.trace.expect("explore runs instrumented");
-        let mut hasher = DefaultHasher::new();
+        let Some(trace) = outcome.trace else {
+            return Err(SimError::NotInstrumented {
+                what: "schedule-order fingerprinting",
+            });
+        };
+        let mut hasher = Fnv64::new();
         for (_, q) in trace.queues() {
             // Hash by handler name so the fingerprint is stable across
             // runs (task ids can differ when creation order shifts).
             for &e in &q.events {
-                trace.task_name(e).hash(&mut hasher);
+                hasher.write(trace.task_name(e).as_bytes());
+                hasher.write(&[0xff]); // name separator
             }
-            u64::MAX.hash(&mut hasher); // queue separator
+            hasher.write(&u64::MAX.to_le_bytes()); // queue separator
         }
         orders.insert(hasher.finish());
     }
@@ -114,5 +159,41 @@ mod tests {
         let program = p.build();
         let e = explore(&program, 24).unwrap();
         assert!(e.crashed > 0 && e.crashed < e.schedules);
+    }
+
+    #[test]
+    fn uninstrumented_exploration_is_a_typed_error() {
+        let mut p = ProgramBuilder::new("dark");
+        let pr = p.process();
+        let l = p.looper(pr);
+        let v = p.scalar_var(0);
+        let a = p.handler("A", Body::new().read(v));
+        p.thread(pr, "T", Body::new().post(l, a, 0));
+        let program = p.build();
+        let base = SimConfig {
+            instrument: crate::runtime::InstrumentConfig::off(),
+            ..SimConfig::default()
+        };
+        match explore_with(&program, 4, &base) {
+            Err(SimError::NotInstrumented { what }) => {
+                assert!(what.contains("fingerprint"));
+            }
+            other => panic!("expected NotInstrumented, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fingerprints_are_pinned_fnv1a() {
+        // The FNV-1a test vectors pin the hash so `distinct_orders` is
+        // reproducible across Rust releases and platforms.
+        let mut h = Fnv64::new();
+        h.write(b"");
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = Fnv64::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fnv64::new();
+        h.write(b"foobar");
+        assert_eq!(h.finish(), 0x8594_4171_f739_67e8);
     }
 }

@@ -52,6 +52,7 @@ mod error;
 pub mod explore;
 mod program;
 mod runtime;
+mod schedule;
 
 pub use check::ProgramError;
 pub use error::SimError;
@@ -61,6 +62,7 @@ pub use program::{
     MAX_BODY_ACTIONS,
 };
 pub use runtime::{run, InstrumentConfig, NpeInfo, RunOutcome, SimConfig};
+pub use schedule::{Choice, DeferRule, DirectedSpec, Schedule, SchedulePolicy};
 
 #[cfg(test)]
 mod tests {

@@ -24,6 +24,7 @@ use crate::error::SimError;
 use crate::program::{
     Action, GuardStyle, HandlerId, LooperId, Program, ServiceId, SimVar, ThreadSpecId, VarInit,
 };
+use crate::schedule::{Choice, DirectedSpec, Schedule, SchedulePolicy};
 
 /// Instrumentation configuration: what the "customized ROM" records.
 #[derive(Clone, Debug)]
@@ -90,6 +91,14 @@ pub struct SimConfig {
     pub max_steps: u64,
     /// Virtual cost of one action, in microseconds.
     pub action_cost_us: u64,
+    /// How scheduling decisions are resolved: seeded random (the
+    /// default), a replayed [`Schedule`] script, or defer-rule directed
+    /// search. Under [`SchedulePolicy::Script`] the RNG is seeded from
+    /// the script's tail seed; `seed` still stamps the trace metadata.
+    pub policy: SchedulePolicy,
+    /// Record every scheduling decision into
+    /// [`RunOutcome::schedule`], whatever the policy.
+    pub record_schedule: bool,
 }
 
 impl Default for SimConfig {
@@ -99,6 +108,8 @@ impl Default for SimConfig {
             instrument: InstrumentConfig::full(),
             max_steps: 50_000_000,
             action_cost_us: 10,
+            policy: SchedulePolicy::Random,
+            record_schedule: false,
         }
     }
 }
@@ -142,6 +153,10 @@ pub struct RunOutcome {
     /// Accumulated work-hash, returned so the optimizer cannot remove
     /// the simulated CPU work Figure 8 times.
     pub sink: u64,
+    /// Every scheduling decision of the run, when
+    /// [`SimConfig::record_schedule`] was set. Replaying it via
+    /// [`SchedulePolicy::Script`] reproduces the run exactly.
+    pub schedule: Option<Schedule>,
 }
 
 impl RunOutcome {
@@ -265,6 +280,12 @@ struct Simulator<'p> {
     program: &'p Program,
     config: &'p SimConfig,
     rng: SmallRng,
+    // Controlled-scheduler state.
+    script: Option<&'p Schedule>,
+    script_pos: usize,
+    directed: Option<&'p DirectedSpec>,
+    recorded: Option<Vec<Choice>>,
+    done_counts: HashMap<String, u32>,
     now_us: u64,
     steps: u64,
     entities: Vec<Entity>,
@@ -388,10 +409,22 @@ impl<'p> Simulator<'p> {
             });
         }
 
+        let (script, directed) = match &config.policy {
+            SchedulePolicy::Random => (None, None),
+            SchedulePolicy::Script(s) => (Some(s), None),
+            SchedulePolicy::Directed(d) => (None, Some(d)),
+        };
+        let rng_seed = script.map_or(config.seed, |s| s.tail_seed);
+
         Self {
             program,
             config,
-            rng: SmallRng::seed_from_u64(config.seed),
+            rng: SmallRng::seed_from_u64(rng_seed),
+            script,
+            script_pos: 0,
+            directed,
+            recorded: config.record_schedule.then(Vec::new),
+            done_counts: HashMap::new(),
             now_us: 0,
             steps: 0,
             entities,
@@ -440,7 +473,7 @@ impl<'p> Simulator<'p> {
                     steps: self.config.max_steps,
                 });
             }
-            let pick = eligible[self.rng.gen_range(0..eligible.len())];
+            let pick = eligible[self.choose(&eligible, false)?];
             self.step(pick)?;
             self.now_us += self.config.action_cost_us;
         }
@@ -452,6 +485,10 @@ impl<'p> Simulator<'p> {
             }
             None => None,
         };
+        let schedule = self.recorded.take().map(|choices| Schedule {
+            choices,
+            tail_seed: self.script.map_or(self.config.seed, |s| s.tail_seed),
+        });
         Ok(RunOutcome {
             trace,
             npes: self.npes,
@@ -459,7 +496,124 @@ impl<'p> Simulator<'p> {
             steps: self.steps,
             events_processed: self.events_processed,
             sink: self.sink,
+            schedule,
         })
+    }
+
+    /// Resolves one scheduling decision among the entity indices in
+    /// `offered`, returning an index *into* `offered`. Consumes the
+    /// script first (erroring on divergence), then falls back to the
+    /// RNG, biased by defer rules when the policy is directed.
+    fn choose(&mut self, offered: &[usize], at_wake: bool) -> Result<usize, SimError> {
+        debug_assert!(!offered.is_empty());
+        let k = match self.scripted_choice(offered, at_wake)? {
+            Some(k) => k,
+            None => self.free_choice(offered),
+        };
+        if let Some(rec) = self.recorded.as_mut() {
+            let e = offered[k] as u32;
+            rec.push(if at_wake {
+                Choice::Wake(e)
+            } else {
+                Choice::Step(e)
+            });
+        }
+        Ok(k)
+    }
+
+    fn scripted_choice(
+        &mut self,
+        offered: &[usize],
+        at_wake: bool,
+    ) -> Result<Option<usize>, SimError> {
+        let Some(s) = self.script else {
+            return Ok(None);
+        };
+        let Some(&scripted) = s.choices.get(self.script_pos) else {
+            return Ok(None); // script exhausted: continue from the tail seed
+        };
+        let want = match (scripted, at_wake) {
+            (Choice::Step(e), false) | (Choice::Wake(e), true) => e as usize,
+            _ => return Err(self.divergence(scripted, at_wake, offered)),
+        };
+        match offered.iter().position(|&o| o == want) {
+            Some(k) => {
+                self.script_pos += 1;
+                Ok(Some(k))
+            }
+            None => Err(self.divergence(scripted, at_wake, offered)),
+        }
+    }
+
+    fn divergence(&self, scripted: Choice, at_wake: bool, offered: &[usize]) -> SimError {
+        SimError::ReplayDivergence {
+            choice: self.script_pos,
+            step: self.steps,
+            scripted,
+            at_wake,
+            offered: offered.iter().map(|&e| e as u32).collect(),
+        }
+    }
+
+    fn free_choice(&mut self, offered: &[usize]) -> usize {
+        if self.directed.is_some() {
+            let preferred: Vec<usize> = (0..offered.len())
+                .filter(|&k| !self.is_deferred(offered[k]))
+                .collect();
+            // Deferral is a bias, never a block: with every candidate
+            // deferred, pick among them all anyway.
+            if !preferred.is_empty() && preferred.len() < offered.len() {
+                return preferred[self.rng.gen_range(0..preferred.len())];
+            }
+        }
+        self.rng.gen_range(0..offered.len())
+    }
+
+    /// The body name the entity would run next: the running frame's
+    /// body, an idle looper's queue-head handler, or an idle Binder
+    /// thread's pending transaction method.
+    fn pending_body_name(&self, entity: usize) -> Option<&'p str> {
+        let e = &self.entities[entity];
+        if let Some((body, _)) = e.frame {
+            return Some(self.body_actions(body).2);
+        }
+        match &e.kind {
+            EntityKind::Looper { looper } => {
+                let head = self.queues[looper.0 as usize].first()?;
+                let h = self.events[head.ev].handler;
+                Some(&self.program.handlers[h.0 as usize].name)
+            }
+            EntityKind::Binder { service, .. } => {
+                let txn = *self.svc_pending[service.0 as usize].front()?;
+                let m = self.txns[txn].method;
+                Some(&self.program.services[service.0 as usize].methods[m as usize].name)
+            }
+            EntityKind::Thread => None,
+        }
+    }
+
+    fn is_deferred(&self, entity: usize) -> bool {
+        let Some(spec) = self.directed else {
+            return false;
+        };
+        let body_name = self.pending_body_name(entity);
+        let alias = match &self.entities[entity].kind {
+            EntityKind::Binder { service, .. } => Some(format!(
+                "binder:{}",
+                self.program.services[service.0 as usize].name
+            )),
+            _ => None,
+        };
+        spec.rules.iter().any(|r| {
+            self.done_count(&r.until) < r.until_count
+                && r.defer
+                    .iter()
+                    .any(|d| body_name == Some(d.as_str()) || alias.as_deref() == Some(d.as_str()))
+        })
+    }
+
+    fn done_count(&self, name: &str) -> u32 {
+        self.done_counts.get(name).copied().unwrap_or(0)
     }
 
     fn deliver_gestures(&mut self) {
@@ -739,6 +893,16 @@ impl<'p> Simulator<'p> {
         // Close the §5.3 method frame; an uncaught NPE inside the frame
         // is recorded as an exceptional exit.
         if let Some((body_ref, _)) = self.entities[i].frame {
+            if self.directed.is_some() {
+                // Defer rules release on body completion; Binder
+                // methods also count under their service alias.
+                let name = self.body_actions(body_ref).2.to_owned();
+                *self.done_counts.entry(name).or_insert(0) += 1;
+                if let BodyRef::Method(svc, _) = body_ref {
+                    let alias = format!("binder:{}", self.program.services[svc.0 as usize].name);
+                    *self.done_counts.entry(alias).or_insert(0) += 1;
+                }
+            }
             let (_, method, _) = self.body_actions(body_ref);
             let base = Program::method_pc(method, 0, 0).method_base();
             let exceptional = self.frame_npe.get(i).copied().unwrap_or(false);
@@ -1073,14 +1237,17 @@ impl<'p> Simulator<'p> {
                     b.notify(t, MonitorId::new(m.0), gen);
                 }
                 self.log_cost(u64::from(m.0) ^ 0x77);
-                let ms = &mut self.monitors[m.0 as usize];
                 let woken: Vec<usize> = if all {
-                    std::mem::take(&mut ms.waiters)
-                } else if ms.waiters.is_empty() {
-                    Vec::new()
+                    std::mem::take(&mut self.monitors[m.0 as usize].waiters)
                 } else {
-                    let k = self.rng.gen_range(0..ms.waiters.len());
-                    vec![ms.waiters.swap_remove(k)]
+                    let waiters = self.monitors[m.0 as usize].waiters.clone();
+                    if waiters.is_empty() {
+                        Vec::new()
+                    } else {
+                        let k = self.choose(&waiters, true)?;
+                        self.monitors[m.0 as usize].waiters.swap_remove(k);
+                        vec![waiters[k]]
+                    }
                 };
                 for w in woken {
                     let depth = self.wait_saved.remove(&w).expect("waiter saved its depth");

@@ -1,0 +1,201 @@
+//! Controlled scheduling: recorded schedule scripts and directed
+//! (defer-rule) scheduling policies.
+//!
+//! The runtime has exactly two nondeterministic decision points: which
+//! eligible entity runs next, and which waiter a `notify` wakes. A
+//! [`Schedule`] pins both as an ordered list of [`Choice`]s; replaying
+//! one reproduces the run byte-for-byte, and any mismatch between the
+//! script and what the runtime can actually do surfaces as a typed
+//! [`SimError::ReplayDivergence`](crate::SimError::ReplayDivergence)
+//! naming the exact step. A [`DirectedSpec`] instead *biases* the two
+//! decision points with declarative [`DeferRule`]s — "hold these
+//! bodies back until that body has completed" — which is how
+//! `cafa-replay` forces a reported free before its racing use without
+//! enumerating every decision up front.
+
+/// One recorded scheduling decision.
+///
+/// Entity indices refer to the runtime's internal entity table, whose
+/// construction is deterministic for a given program and schedule:
+/// loopers first (in declaration order), then auto-start threads, then
+/// one Binder thread per service, then forked threads in fork order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Choice {
+    /// Scheduler step: dispatch the entity with this index.
+    Step(u32),
+    /// `notify` wake: wake the waiting entity with this index.
+    Wake(u32),
+}
+
+/// A schedule script: the decisions of a (possibly partial) run.
+///
+/// While choices remain, the runtime follows them exactly; once the
+/// script is exhausted, scheduling continues randomly from
+/// `tail_seed`. A full recorded script therefore replays its run
+/// deterministically, and a *prefix* of it (see
+/// `cafa-replay`'s minimizer) pins only the decisions that matter and
+/// lets a seeded tail finish the run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Schedule {
+    /// The pinned decisions, in the order the runtime consumes them.
+    pub choices: Vec<Choice>,
+    /// Seed for scheduling decisions after the script runs out.
+    pub tail_seed: u64,
+}
+
+impl Schedule {
+    /// The number of pinned decisions.
+    pub fn len(&self) -> usize {
+        self.choices.len()
+    }
+
+    /// True when no decision is pinned (the schedule degenerates to a
+    /// plain random run seeded with `tail_seed`).
+    pub fn is_empty(&self) -> bool {
+        self.choices.is_empty()
+    }
+
+    /// The first `len` decisions with the same tail seed.
+    pub fn prefix(&self, len: usize) -> Schedule {
+        Schedule {
+            choices: self.choices[..len.min(self.choices.len())].to_vec(),
+            tail_seed: self.tail_seed,
+        }
+    }
+
+    /// Compact one-line form: `seed=S;s3 s1 w2 ...` (`s` = step,
+    /// `w` = wake). The inverse of [`Schedule::parse`].
+    pub fn to_compact(&self) -> String {
+        use std::fmt::Write;
+        let mut out = format!("seed={};", self.tail_seed);
+        for (i, c) in self.choices.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            match c {
+                Choice::Step(e) => write!(out, "s{e}").expect("write to string"),
+                Choice::Wake(e) => write!(out, "w{e}").expect("write to string"),
+            }
+        }
+        out
+    }
+
+    /// Parses the [`Schedule::to_compact`] form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending token.
+    pub fn parse(s: &str) -> Result<Schedule, String> {
+        let (head, rest) = s
+            .split_once(';')
+            .ok_or_else(|| "missing `seed=N;` header".to_owned())?;
+        let seed = head
+            .strip_prefix("seed=")
+            .and_then(|n| n.parse::<u64>().ok())
+            .ok_or_else(|| format!("bad schedule header {head:?}"))?;
+        let mut choices = Vec::new();
+        for tok in rest.split_whitespace() {
+            let (kind, num) = tok.split_at(1);
+            let e: u32 = num
+                .parse()
+                .map_err(|_| format!("bad schedule token {tok:?}"))?;
+            match kind {
+                "s" => choices.push(Choice::Step(e)),
+                "w" => choices.push(Choice::Wake(e)),
+                _ => return Err(format!("bad schedule token {tok:?}")),
+            }
+        }
+        Ok(Schedule {
+            choices,
+            tail_seed: seed,
+        })
+    }
+}
+
+/// One directed-scheduling constraint: hold every entity whose pending
+/// body is named in `defer` back until the body named `until` has
+/// completed `until_count` times.
+///
+/// Names match what the entity would run *next*: a regular thread
+/// matches its thread-spec name, an idle looper matches the handler
+/// name at its queue head (a mid-event looper matches the running
+/// handler), and a Binder thread matches both the pending transaction's
+/// method name and the alias `binder:<service>`. Names that match
+/// nothing are inert. Deferral is a bias, not a block: when *every*
+/// eligible entity is deferred the runtime picks among them anyway, so
+/// a directed run can never deadlock where a random run would not.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DeferRule {
+    /// Body names to hold back.
+    pub defer: Vec<String>,
+    /// Body name whose completion releases the rule.
+    pub until: String,
+    /// Completions of `until` required before release.
+    pub until_count: u32,
+}
+
+/// A set of [`DeferRule`]s biasing the scheduler toward a target
+/// ordering. Random tie-breaking among non-deferred entities still
+/// uses the config seed, so directed runs stay deterministic per seed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DirectedSpec {
+    /// The active constraints; an entity is deferred while *any*
+    /// unsatisfied rule names it.
+    pub rules: Vec<DeferRule>,
+}
+
+/// How the runtime resolves its scheduling decisions.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum SchedulePolicy {
+    /// Seeded uniform-random choice (the historical behavior).
+    #[default]
+    Random,
+    /// Follow a [`Schedule`] script exactly, erroring with
+    /// [`SimError::ReplayDivergence`](crate::SimError::ReplayDivergence)
+    /// on mismatch and continuing from the script's tail seed when it
+    /// is exhausted.
+    Script(Schedule),
+    /// Random choice biased by [`DeferRule`]s.
+    Directed(DirectedSpec),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_round_trips() {
+        let s = Schedule {
+            choices: vec![Choice::Step(3), Choice::Wake(1), Choice::Step(0)],
+            tail_seed: 42,
+        };
+        let text = s.to_compact();
+        assert_eq!(text, "seed=42;s3 w1 s0");
+        assert_eq!(Schedule::parse(&text).unwrap(), s);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn prefix_clamps() {
+        let s = Schedule {
+            choices: vec![Choice::Step(1), Choice::Step(2)],
+            tail_seed: 7,
+        };
+        assert_eq!(s.prefix(1).choices, vec![Choice::Step(1)]);
+        assert_eq!(s.prefix(99).choices.len(), 2);
+        assert_eq!(s.prefix(0).tail_seed, 7);
+        assert!(s.prefix(0).is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Schedule::parse("s1 s2").is_err());
+        assert!(Schedule::parse("seed=x;s1").is_err());
+        assert!(Schedule::parse("seed=0;q9").is_err());
+        assert!(Schedule::parse("seed=0;sZ").is_err());
+        let empty = Schedule::parse("seed=5;").unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(empty.tail_seed, 5);
+    }
+}

@@ -17,6 +17,7 @@
 //! | [`stream`] | `cafa-stream` | streaming ingestion + incremental analysis |
 //! | [`sim`] | `cafa-sim` | Android-like runtime simulator (§5 substitute) |
 //! | [`apps`] | `cafa-apps` | the ten evaluated app workloads + ground truth |
+//! | [`replay`] | `cafa-replay` | directed schedule synthesis + replay validation of reports |
 //!
 //! # Examples
 //!
@@ -46,6 +47,7 @@ pub use cafa_apps as apps;
 pub use cafa_core as detect;
 pub use cafa_engine as engine;
 pub use cafa_hb as hb;
+pub use cafa_replay as replay;
 pub use cafa_sim as sim;
 pub use cafa_stream as stream;
 pub use cafa_trace as trace;
