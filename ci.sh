@@ -40,6 +40,23 @@ if ! cmp -s /tmp/validate_counts.txt tests/golden/validate_counts.txt; then
 fi
 rm -f /tmp/validate_counts.txt
 
+echo "==> generated corpus gate (gen --seed 7 --count 50 through analyze vs pinned counts)"
+./target/release/cafa gen --seed 7 --count 50 --format counts > /tmp/gen_counts.txt
+if ! cmp -s /tmp/gen_counts.txt tests/golden/gen_counts.txt; then
+    echo "FAIL: cafa gen counts differ from tests/golden/gen_counts.txt" >&2
+    diff tests/golden/gen_counts.txt /tmp/gen_counts.txt >&2 || true
+    exit 1
+fi
+for threads in 1 2 8; do
+    ./target/release/cafa gen --seed 7 --count 50 --format counts --threads "$threads" \
+        > /tmp/gen_counts.t$threads.txt
+    if ! cmp -s /tmp/gen_counts.t$threads.txt tests/golden/gen_counts.txt; then
+        echo "FAIL: cafa gen counts differ at --threads $threads" >&2
+        exit 1
+    fi
+done
+rm -f /tmp/gen_counts.txt /tmp/gen_counts.t*.txt
+
 echo "==> streaming chunk invariance + thread determinism (all apps)"
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT

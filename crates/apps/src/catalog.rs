@@ -1,18 +1,20 @@
-//! The ten applications of the paper's evaluation (§6.1), as simulator
-//! workloads.
+//! The ten applications of the paper's evaluation (§6.1), as app-model
+//! *data*.
 //!
-//! Each module plants exactly the races and false positives the paper's
-//! Table 1 reports for that app — the detector must rediscover them
-//! from the recorded trace — plus enough benign filler activity to
+//! Each module is now a single [`AppModel`] value: the statements plant
+//! exactly the races and false positives the paper's Table 1 reports
+//! for that app — the detector must rediscover them from the recorded
+//! trace — and the event budget adds enough benign filler activity to
 //! reach the paper's per-app event count. `compute_units` tunes the
 //! uninstrumented CPU work per filler event, which sets where the app
 //! lands in the 2×–6× tracing-overhead band of Figure 8.
+//!
+//! The models lower through `cafa-model`'s interpreter, which replays
+//! the historical builders' call sequence exactly; the recorded traces
+//! are byte-for-byte those of the pre-DSL hand-written catalog (pinned
+//! by the `catalog_traces` integration test).
 
-use cafa_sim::ProgramBuilder;
-
-use crate::patterns::Patterns;
-use crate::truth::ExpectedRow;
-use crate::AppSpec;
+use cafa_model::{lower, AppModel, AppSpec, Stmt};
 
 pub mod browser;
 pub mod camera;
@@ -25,68 +27,80 @@ pub mod todolist;
 pub mod vlc;
 pub mod zxing;
 
-/// Shared scaffold: a single app process with one main looper, the
-/// recipe closure planting patterns, and filler to the exact event
-/// target. The recipe runs twice, producing the deterministic Table 1
-/// program and a *stress* variant where the harmful patterns' racing
-/// sides land simultaneously (the §6.2 survey configuration).
-pub(crate) fn build_app(
-    name: &'static str,
-    expected: ExpectedRow,
-    lowlevel_pairs: Option<usize>,
-    compute_units: u32,
-    recipe: impl Fn(&mut Patterns<'_>),
-) -> AppSpec {
-    let build = |stress: bool| {
-        let mut p = ProgramBuilder::new(name);
-        let proc = p.process();
-        let looper = p.looper(proc);
-        let mut pats = if stress {
-            Patterns::new_stress(&mut p, proc, looper)
-        } else {
-            Patterns::new(&mut p, proc, looper)
-        };
-        recipe(&mut pats);
-        pats.fill_to(expected.events, compute_units);
-        let planted = pats.events_planted();
-        assert_eq!(planted, expected.events, "{name}: event budget mismatch");
-        let truth = pats.finish();
-        (p.build(), truth)
-    };
-    let (program, truth) = build(false);
-    let (stress_program, stress_truth) = build(true);
-    // Both builds declare variables in the same order, so the label
-    // tables must be identical.
-    debug_assert_eq!(truth.len(), stress_truth.len());
-    AppSpec {
-        name,
-        program,
-        stress_program,
-        truth,
-        expected,
-        lowlevel_pairs,
-    }
+/// `n` copies of a statement (Table 1 rows plant whole populations).
+pub(crate) fn times(stmt: Stmt, n: usize) -> impl Iterator<Item = Stmt> {
+    std::iter::repeat(stmt).take(n)
+}
+
+/// The tail every catalog app shares: two send-ordered teardown pairs
+/// (safe under CAFA's queue rules, racy under an EventRacer-style
+/// model — ablation material) followed by the benign plumbing bundle
+/// (Binder polls, a decode pipeline, front-posted input, a framework
+/// listener, and a background `HandlerThread`).
+pub(crate) fn shared_plumbing(service: &str, burst: u32) -> [Stmt; 3] {
+    [
+        Stmt::QueueProtected,
+        Stmt::QueueProtected,
+        Stmt::FlavorBundle {
+            service: service.to_owned(),
+            burst,
+        },
+    ]
+}
+
+/// Every evaluated application's model, in the order of Table 1.
+pub fn all_models() -> Vec<AppModel> {
+    vec![
+        connectbot::model(),
+        mytracks::model(),
+        zxing::model(),
+        todolist::model(),
+        browser::model(),
+        firefox::model(),
+        vlc::model(),
+        fbreader::model(),
+        camera::model(),
+        music::model(),
+    ]
 }
 
 /// Builds every evaluated application, in the order of Table 1.
 pub fn all_apps() -> Vec<AppSpec> {
-    vec![
-        connectbot::build(),
-        mytracks::build(),
-        zxing::build(),
-        todolist::build(),
-        browser::build(),
-        firefox::build(),
-        vlc::build(),
-        fbreader::build(),
-        camera::build(),
-        music::build(),
-    ]
+    all_models()
+        .iter()
+        .map(|m| lower(m).expect("catalog models are valid"))
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn models_imply_the_published_rows() {
+        let models = all_models();
+        assert_eq!(models.len(), 10);
+        let expected = [
+            connectbot::EXPECTED,
+            mytracks::EXPECTED,
+            zxing::EXPECTED,
+            todolist::EXPECTED,
+            browser::EXPECTED,
+            firefox::EXPECTED,
+            vlc::EXPECTED,
+            fbreader::EXPECTED,
+            camera::EXPECTED,
+            music::EXPECTED,
+        ];
+        for (model, exp) in models.iter().zip(expected) {
+            // The row is *derived* from the statements' embedded
+            // labels; it must still equal the paper's published
+            // constants.
+            assert_eq!(model.expected_row(), exp, "{}", model.name);
+            assert!(model.expected_row().is_consistent(), "{}", model.name);
+            model.check().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
 
     #[test]
     fn all_apps_have_consistent_expected_rows() {
@@ -114,7 +128,7 @@ mod tests {
 
     #[test]
     fn truth_matches_expected_rows() {
-        use crate::truth::{FpType, TrueClass};
+        use cafa_model::{FpType, TrueClass};
         for app in all_apps() {
             let e = app.expected;
             assert_eq!(
@@ -160,5 +174,12 @@ mod tests {
     fn exactly_two_known_bugs() {
         let known: usize = all_apps().iter().map(|a| a.truth.known_count()).sum();
         assert_eq!(known, 2, "ConnectBot r90632bd and MyTracks Figure 1");
+    }
+
+    #[test]
+    fn models_round_trip_through_text() {
+        let models = all_models();
+        let text = cafa_model::text::corpus_to_text(&models);
+        assert_eq!(cafa_model::text::parse_corpus(&text).unwrap(), models);
     }
 }

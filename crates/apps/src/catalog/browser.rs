@@ -5,124 +5,9 @@
 //! thread-versus-thread races among network/cache/render workers plus 8
 //! class-(b) races only CAFA's relaxed event order exposes.
 
-use cafa_sim::{Action, Body};
-use cafa_trace::DerefKind;
+use cafa_model::{AppModel, ExpectedRow, Stmt};
 
-use crate::patterns::Patterns;
-use crate::truth::ExpectedRow;
-use crate::AppSpec;
-
-/// The page-load pipeline: a network thread streams chunks to a cache
-/// thread through a monitor, the cache thread posts a parse event,
-/// parsing posts layout, layout posts a short chain of paint events.
-/// All ordered — fork/notify/send edges end to end — so the detector
-/// must stay silent about a pipeline that touches shared state at
-/// every stage.
-///
-/// Plants 5 events (parse, layout, 3 paints).
-fn page_load_pipeline(pats: &mut Patterns<'_>) {
-    let t = pats.next_slot();
-    let proc = pats.proc();
-    let looper = pats.looper();
-    let p = &mut *pats.p;
-    let chunk_buf = p.ptr_var_alloc();
-    let dom = p.ptr_var_alloc();
-    let m = p.monitor();
-
-    // paint chain (declared first so layout can reference it).
-    let frame_no = p.scalar_var(0);
-    let paint_budget = p.counter(2);
-    let paint = {
-        let me = p.next_handler_id();
-        p.handler(
-            "browser:paint",
-            Body::from_actions(vec![
-                Action::ReadScalar(frame_no),
-                Action::Compute(30),
-                Action::PostChain {
-                    looper,
-                    handler: me,
-                    delay_ms: 16,
-                    budget: paint_budget,
-                },
-            ]),
-        )
-    };
-    let layout = p.handler(
-        "browser:layout",
-        Body::from_actions(vec![
-            Action::UsePtr {
-                var: dom,
-                kind: DerefKind::Field,
-                catch_npe: false,
-            },
-            Action::Compute(40),
-            Action::Post {
-                looper,
-                handler: paint,
-                delay_ms: 16,
-            },
-        ]),
-    );
-    let parse = p.handler(
-        "browser:parse",
-        Body::from_actions(vec![
-            Action::UsePtr {
-                var: chunk_buf,
-                kind: DerefKind::Field,
-                catch_npe: false,
-            },
-            Action::AllocPtr(dom),
-            Action::Post {
-                looper,
-                handler: layout,
-                delay_ms: 0,
-            },
-        ]),
-    );
-    // Cache thread: waits for the network thread's chunk, then posts
-    // parse to the main looper.
-    let cache = p.thread_spec(
-        proc,
-        "browser:cache",
-        Body::from_actions(vec![
-            Action::Lock(m),
-            Action::Wait(m),
-            Action::Unlock(m),
-            Action::UsePtr {
-                var: chunk_buf,
-                kind: DerefKind::Field,
-                catch_npe: false,
-            },
-            Action::Post {
-                looper,
-                handler: parse,
-                delay_ms: 0,
-            },
-        ]),
-    );
-    // Network thread: forks the cache consumer, fills the buffer,
-    // signals, joins.
-    p.thread(
-        proc,
-        "browser:net",
-        Body::from_actions(vec![
-            Action::Sleep(t),
-            Action::Fork(cache),
-            // Virtual time only advances when every entity is blocked,
-            // so this sleep guarantees the cache thread reached its
-            // `Wait` before the chunk is published — no lost wake-up.
-            Action::Sleep(1),
-            Action::AllocPtr(chunk_buf),
-            Action::Compute(60),
-            Action::Lock(m),
-            Action::Notify(m),
-            Action::Unlock(m),
-            Action::JoinLast,
-        ]),
-    );
-    pats.add_events(5);
-}
+use super::{shared_plumbing, times};
 
 /// Paper numbers for this app.
 pub const EXPECTED: ExpectedRow = ExpectedRow {
@@ -136,36 +21,34 @@ pub const EXPECTED: ExpectedRow = ExpectedRow {
     fp3: 0,
 };
 
-/// Builds the Browser workload.
-pub fn build() -> AppSpec {
-    super::build_app("Browser", EXPECTED, None, 1500, |pats| {
-        // WebView teardown vs. pending page-load callbacks.
-        for _ in 0..8 {
-            pats.inter(false);
-        }
-        // Worker-thread races: network vs. cache vs. history writers.
-        for _ in 0..19 {
-            pats.conv();
-        }
-        // A WebViewClient callback registered in an uninstrumented
-        // package.
-        pats.fp_listener("com.android.browser.internal");
-        // Loading-state flags guarding progress/title updates (Type II).
-        for _ in 0..7 {
-            pats.fp_bool_guard();
-        }
-        // A correctly-filtered tab-switch guard.
-        pats.filtered_guard();
-        // Send-ordered teardown pairs: safe under CAFA's queue rules,
-        // racy under an EventRacer-style model (ablation material).
-        pats.queue_protected();
-        pats.queue_protected();
-        // Benign plumbing: Binder polls, a decode pipeline, front-posted
-        // input, a framework listener, and a background HandlerThread.
-        pats.flavor_bundle("NetworkDispatcher", 8);
-        // The network->cache->parse->layout->paint page-load pipeline.
-        page_load_pipeline(pats);
-        // Progress/scroll counters.
-        pats.scalar_burst(6, 14);
-    })
+/// The Browser workload as data.
+pub fn model() -> AppModel {
+    // WebView teardown vs. pending page-load callbacks.
+    let mut stmts: Vec<Stmt> = times(Stmt::Inter { known: false }, 8).collect();
+    // Worker-thread races: network vs. cache vs. history writers.
+    stmts.extend(times(Stmt::Conv, 19));
+    // A WebViewClient callback registered in an uninstrumented
+    // package.
+    stmts.push(Stmt::FpListener {
+        package: "com.android.browser.internal".to_owned(),
+    });
+    // Loading-state flags guarding progress/title updates (Type II).
+    stmts.extend(times(Stmt::FpBoolGuard, 7));
+    // A correctly-filtered tab-switch guard.
+    stmts.push(Stmt::FilteredGuard);
+    stmts.extend(shared_plumbing("NetworkDispatcher", 8));
+    // The network->cache->parse->layout->paint page-load pipeline.
+    stmts.push(Stmt::PageLoadPipeline);
+    // Progress/scroll counters.
+    stmts.push(Stmt::ScalarBurst {
+        writers: 6,
+        readers: 14,
+    });
+    AppModel {
+        name: "Browser".to_owned(),
+        events: EXPECTED.events,
+        compute_units: 1500,
+        lowlevel_pairs: None,
+        stmts,
+    }
 }

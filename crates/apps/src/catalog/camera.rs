@@ -5,66 +5,9 @@
 //! relentlessly — with two Type III reports from aliased preview-buffer
 //! handles.
 
-use cafa_sim::{Action, Body};
-use cafa_trace::DerefKind;
+use cafa_model::{AppModel, ExpectedRow, Stmt};
 
-use crate::patterns::Patterns;
-use crate::truth::ExpectedRow;
-use crate::AppSpec;
-
-/// The shutter sequence: the capture gesture calls the media server
-/// over Binder, front-posts a shutter-feedback event (latency
-/// critical), forks a storage writer that persists the JPEG and is
-/// joined before the review event shows the result.
-///
-/// Plants 3 events (capture, shutter feedback, review).
-fn shutter_sequence(pats: &mut Patterns<'_>) {
-    let t = pats.next_slot();
-    let proc = pats.proc();
-    let looper = pats.looper();
-    let p = &mut *pats.p;
-    let jpeg = p.ptr_var_alloc();
-    let svcp = p.process();
-    let media = p.service(svcp, "media.camera");
-    let trigger = p.method(media, "takePicture", Body::new().compute(50));
-
-    let shutter = p.handler("camera:onShutter", Body::new().compute(10));
-    let review = p.handler(
-        "camera:onReview",
-        Body::from_actions(vec![Action::UsePtr {
-            var: jpeg,
-            kind: DerefKind::Field,
-            catch_npe: false,
-        }]),
-    );
-    let writer = p.thread_spec(
-        proc,
-        "camera:storageWriter",
-        Body::from_actions(vec![Action::AllocPtr(jpeg), Action::Compute(80)]),
-    );
-    let capture = p.handler(
-        "camera:onCapture",
-        Body::from_actions(vec![
-            Action::Call {
-                service: media,
-                method: trigger,
-            },
-            Action::PostFront {
-                looper,
-                handler: shutter,
-            },
-            Action::Fork(writer),
-            Action::JoinLast,
-            Action::Post {
-                looper,
-                handler: review,
-                delay_ms: 0,
-            },
-        ]),
-    );
-    p.gesture(t, looper, capture);
-    pats.add_events(3);
-}
+use super::{shared_plumbing, times};
 
 /// Paper numbers for this app.
 pub const EXPECTED: ExpectedRow = ExpectedRow {
@@ -78,32 +21,37 @@ pub const EXPECTED: ExpectedRow = ExpectedRow {
     fp3: 2,
 };
 
-/// Builds the Camera workload.
-pub fn build() -> AppSpec {
-    super::build_app("Camera", EXPECTED, None, 400, |pats| {
+/// The Camera workload as data.
+pub fn model() -> AppModel {
+    let mut stmts = vec![
         // Pause-time release of the camera device vs. a queued
         // shutter-done event.
-        pats.intra(false, false);
+        Stmt::Intra {
+            known: false,
+            caught: false,
+        },
         // The storage-updater thread vs. the review overlay.
-        pats.inter(false);
-        // cameraOpened/previewing flags guard device handles (Type II).
-        for _ in 0..5 {
-            pats.fp_bool_guard();
-        }
-        // Preview-callback buffers aliased across rotation (Type III).
-        pats.fp_alias();
-        pats.fp_alias();
-        pats.filtered_alloc();
-        // Send-ordered teardown pairs: safe under CAFA's queue rules,
-        // racy under an EventRacer-style model (ablation material).
-        pats.queue_protected();
-        pats.queue_protected();
-        // Benign plumbing: Binder polls, a decode pipeline, front-posted
-        // input, a framework listener, and a background HandlerThread.
-        pats.flavor_bundle("MediaServer", 9);
-        // Shutter: Binder trigger, front-posted feedback, storage join.
-        shutter_sequence(pats);
-        // Preview-frame counters.
-        pats.scalar_burst(4, 10);
-    })
+        Stmt::Inter { known: false },
+    ];
+    // cameraOpened/previewing flags guard device handles (Type II).
+    stmts.extend(times(Stmt::FpBoolGuard, 5));
+    // Preview-callback buffers aliased across rotation (Type III).
+    stmts.push(Stmt::FpAlias);
+    stmts.push(Stmt::FpAlias);
+    stmts.push(Stmt::FilteredAlloc);
+    stmts.extend(shared_plumbing("MediaServer", 9));
+    // Shutter: Binder trigger, front-posted feedback, storage join.
+    stmts.push(Stmt::ShutterSequence);
+    // Preview-frame counters.
+    stmts.push(Stmt::ScalarBurst {
+        writers: 4,
+        readers: 10,
+    });
+    AppModel {
+        name: "Camera".to_owned(),
+        events: EXPECTED.events,
+        compute_units: 400,
+        lowlevel_pairs: None,
+        stmts,
+    }
 }

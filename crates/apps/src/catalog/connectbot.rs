@@ -9,89 +9,9 @@
 //! read-write race plus scalar bursts between terminal-relayout,
 //! keyboard, and transport events.
 
-use cafa_sim::{Action, Body};
-use cafa_trace::DerefKind;
+use cafa_model::{AppModel, ExpectedRow, Stmt};
 
-use crate::patterns::Patterns;
-use crate::truth::ExpectedRow;
-use crate::AppSpec;
-
-/// The SSH transport relay: a network thread receives ciphertext,
-/// decrypts under the session lock, and posts a chain of terminal
-/// update events; each keystroke is front-posted for latency. All
-/// ordered — the detector must not confuse the relay with the planted
-/// teardown races.
-///
-/// Plants `updates + keys` events.
-fn ssh_relay(pats: &mut Patterns<'_>, updates: u32, keys: usize) {
-    let t = pats.next_slot();
-    let proc = pats.proc();
-    let looper = pats.looper();
-    let p = &mut *pats.p;
-    let session = p.ptr_var_alloc();
-    let screen = p.scalar_var(0);
-    let m = p.monitor();
-
-    // Terminal update chain, driven by the relay thread's first post.
-    let budget = p.counter(updates - 1);
-    let update = {
-        let me = p.next_handler_id();
-        p.handler(
-            "connectbot:onTermUpdate",
-            Body::from_actions(vec![
-                Action::ReadScalar(screen),
-                Action::Compute(15),
-                Action::WriteScalar(screen, 1),
-                Action::PostChain {
-                    looper,
-                    handler: me,
-                    delay_ms: 4,
-                    budget,
-                },
-            ]),
-        )
-    };
-    p.thread(
-        proc,
-        "connectbot:relay",
-        Body::from_actions(vec![
-            Action::Sleep(t),
-            Action::Lock(m),
-            Action::UsePtr {
-                var: session,
-                kind: DerefKind::Invoke,
-                catch_npe: false,
-            },
-            Action::Compute(40),
-            Action::Unlock(m),
-            Action::Post {
-                looper,
-                handler: update,
-                delay_ms: 0,
-            },
-        ]),
-    );
-
-    // Keystrokes: a dispatch gesture front-posts each key event. They
-    // touch the input buffer, not the screen var (the update chain and
-    // the key events are concurrent, and this is the low-level-race
-    // calibrated app — ConnectBot's 1,664 must stay exact).
-    let input_buf = p.scalar_var(0);
-    let mut key_actions = Vec::with_capacity(keys);
-    for k in 0..keys {
-        let key = p.handler(
-            &format!("connectbot:onKey{k}"),
-            Body::new().write(input_buf, k as i64),
-        );
-        key_actions.push(Action::PostFront {
-            looper,
-            handler: key,
-        });
-    }
-    let dispatch = p.handler("connectbot:dispatchKeys", Body::from_actions(key_actions));
-    p.gesture(t + 100, looper, dispatch);
-    pats.add_events(updates as usize + keys + 1);
-}
+use super::{shared_plumbing, times};
 
 /// Paper numbers for this app.
 pub const EXPECTED: ExpectedRow = ExpectedRow {
@@ -108,43 +28,62 @@ pub const EXPECTED: ExpectedRow = ExpectedRow {
 /// Conventional-definition racy site pairs in the trace (§4.1).
 pub const LOWLEVEL_PAIRS: usize = 1_664;
 
-/// Builds the ConnectBot workload.
-pub fn build() -> AppSpec {
-    super::build_app("ConnectBot", EXPECTED, Some(LOWLEVEL_PAIRS), 880, |pats| {
+/// The ConnectBot workload as data.
+pub fn model() -> AppModel {
+    let mut stmts = vec![
         // The known bug (r90632bd): the relay thread tears down the
         // bridge while a pending relayout event still uses it.
-        pats.inter(true);
+        Stmt::Inter { known: true },
         // A second, unknown hazard of the same shape in the prompt
         // helper.
-        pats.inter(false);
+        Stmt::Inter { known: false },
         // A host-status listener in ConnectBot's own (uninstrumented)
         // package orders the real execution; the analyzer cannot see it.
-        pats.fp_listener("org.connectbot.service");
+        Stmt::FpListener {
+            package: "org.connectbot.service".to_owned(),
+        },
         // Figure 2: onPause writes resizeAllowed, onLayout reads it —
         // a low-level race but not a use-free race.
-        pats.fig2_scalar_rw();
-        // Scalar bursts: terminal redraw/scroll/bell counters touched by
-        // logically concurrent events. Together with the patterns above
-        // these yield exactly 1,664 racy site pairs:
-        //   4×(8w,46r) = 4×396 = 1584
-        //   1×(8w,5r)  = 68
-        //   1×(2w,1r)  = 3
-        //   1×(1w,1r)  = 1
-        //   fig2 = 1, 2×inter = 6, listener FP = 1   → 1,664 total.
-        for _ in 0..4 {
-            pats.scalar_burst(8, 46);
-        }
-        pats.scalar_burst(8, 5);
-        pats.scalar_burst(2, 1);
-        // Send-ordered teardown pairs: safe under CAFA's queue rules,
-        // racy under an EventRacer-style model (ablation material).
-        pats.queue_protected();
-        pats.queue_protected();
-        // Benign plumbing: Binder polls, a decode pipeline, front-posted
-        // input, a framework listener, and a background HandlerThread.
-        pats.flavor_bundle("org.connectbot.TerminalBridge", 4);
-        // The SSH transport relay and keystroke dispatch.
-        ssh_relay(pats, 8, 3);
-        pats.scalar_burst(1, 1);
-    })
+        Stmt::Fig2ScalarRw,
+    ];
+    // Scalar bursts: terminal redraw/scroll/bell counters touched by
+    // logically concurrent events. Together with the patterns above
+    // these yield exactly 1,664 racy site pairs:
+    //   4×(8w,46r) = 4×396 = 1584
+    //   1×(8w,5r)  = 68
+    //   1×(2w,1r)  = 3
+    //   1×(1w,1r)  = 1
+    //   fig2 = 1, 2×inter = 6, listener FP = 1   → 1,664 total.
+    stmts.extend(times(
+        Stmt::ScalarBurst {
+            writers: 8,
+            readers: 46,
+        },
+        4,
+    ));
+    stmts.push(Stmt::ScalarBurst {
+        writers: 8,
+        readers: 5,
+    });
+    stmts.push(Stmt::ScalarBurst {
+        writers: 2,
+        readers: 1,
+    });
+    stmts.extend(shared_plumbing("org.connectbot.TerminalBridge", 4));
+    // The SSH transport relay and keystroke dispatch.
+    stmts.push(Stmt::SshRelay {
+        updates: 8,
+        keys: 3,
+    });
+    stmts.push(Stmt::ScalarBurst {
+        writers: 1,
+        readers: 1,
+    });
+    AppModel {
+        name: "ConnectBot".to_owned(),
+        events: EXPECTED.events,
+        compute_units: 880,
+        lowlevel_pairs: Some(LOWLEVEL_PAIRS),
+        stmts,
+    }
 }

@@ -5,51 +5,9 @@
 //! The rotation restart makes this the most varied row: one of each
 //! true-race class plus both listener- and flag-style false positives.
 
-use cafa_sim::{Action, Body};
-use cafa_trace::DerefKind;
+use cafa_model::{AppModel, ExpectedRow, Stmt};
 
-use crate::patterns::Patterns;
-use crate::truth::ExpectedRow;
-use crate::AppSpec;
-
-/// Page-turn prefetch: every turn gesture displays the prefetched page
-/// and forks a worker to lay out the next one, joined by the *next*
-/// turn... modelled as turn events that fork-join their own prefetch
-/// worker before displaying.
-///
-/// Plants `turns` events.
-fn pagination_prefetch(pats: &mut Patterns<'_>, turns: usize) {
-    let t = pats.next_slot();
-    let proc = pats.proc();
-    let looper = pats.looper();
-    let p = &mut *pats.p;
-    let page = p.ptr_var_alloc();
-
-    for k in 0..turns {
-        let worker = p.thread_spec(
-            proc,
-            &format!("fbreader:layout{k}"),
-            Body::from_actions(vec![Action::Compute(65), Action::AllocPtr(page)]),
-        );
-        let turn = p.handler(
-            &format!("fbreader:onPageTurn{k}"),
-            Body::from_actions(vec![
-                Action::UsePtr {
-                    var: page,
-                    kind: DerefKind::Field,
-                    catch_npe: false,
-                },
-                Action::Fork(worker),
-                Action::JoinLast,
-            ]),
-        );
-        // Sequential gestures: the external-input rule orders the turns,
-        // and each turn's join orders its worker's allocation before the
-        // next turn's use.
-        p.gesture(t + 20 * k as u64, looper, turn);
-    }
-    pats.add_events(turns);
-}
+use super::{shared_plumbing, times};
 
 /// Paper numbers for this app.
 pub const EXPECTED: ExpectedRow = ExpectedRow {
@@ -63,34 +21,40 @@ pub const EXPECTED: ExpectedRow = ExpectedRow {
     fp3: 0,
 };
 
-/// Builds the FBReader workload.
-pub fn build() -> AppSpec {
-    super::build_app("FBReader", EXPECTED, None, 650, |pats| {
+/// The FBReader workload as data.
+pub fn model() -> AppModel {
+    let mut stmts = vec![
         // Rotation: the old activity's pending page-turn event races
         // with the teardown free.
-        pats.intra(false, false);
-        for _ in 0..3 {
-            pats.inter(false);
-        }
-        pats.conv();
-        for _ in 0..2 {
-            pats.fp_listener("org.geometerplus.fbreader");
-        }
-        for _ in 0..2 {
-            pats.fp_bool_guard();
-        }
-        pats.filtered_alloc();
-        // Send-ordered teardown pairs: safe under CAFA's queue rules,
-        // racy under an EventRacer-style model (ablation material).
-        pats.queue_protected();
-        pats.queue_protected();
-        // Benign plumbing: Binder polls, a decode pipeline, front-posted
-        // input, a framework listener, and a background HandlerThread.
-        pats.flavor_bundle("BookStorageService", 5);
-        // Page turns with fork/join layout prefetch ("read its tutorial
-        // from the first page to the last page", §6.1).
-        pagination_prefetch(pats, 6);
-        // Pagination counters.
-        pats.scalar_burst(3, 9);
-    })
+        Stmt::Intra {
+            known: false,
+            caught: false,
+        },
+    ];
+    stmts.extend(times(Stmt::Inter { known: false }, 3));
+    stmts.push(Stmt::Conv);
+    stmts.extend(times(
+        Stmt::FpListener {
+            package: "org.geometerplus.fbreader".to_owned(),
+        },
+        2,
+    ));
+    stmts.extend(times(Stmt::FpBoolGuard, 2));
+    stmts.push(Stmt::FilteredAlloc);
+    stmts.extend(shared_plumbing("BookStorageService", 5));
+    // Page turns with fork/join layout prefetch ("read its tutorial
+    // from the first page to the last page", §6.1).
+    stmts.push(Stmt::PaginationPrefetch { turns: 6 });
+    // Pagination counters.
+    stmts.push(Stmt::ScalarBurst {
+        writers: 3,
+        readers: 9,
+    });
+    AppModel {
+        name: "FBReader".to_owned(),
+        events: EXPECTED.events,
+        compute_units: 650,
+        lowlevel_pairs: None,
+        stmts,
+    }
 }

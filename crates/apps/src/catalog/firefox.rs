@@ -5,73 +5,9 @@
 //! races; its listener-heavy chrome layer, largely outside the
 //! instrumented framework packages, yields the largest Type I count.
 
-use cafa_sim::{Action, Body, HandlerId};
+use cafa_model::{AppModel, ExpectedRow, Stmt};
 
-use crate::patterns::Patterns;
-use crate::truth::ExpectedRow;
-use crate::AppSpec;
-
-/// The compositor bounce: frames ping-pong between the UI looper and a
-/// dedicated compositor looper (Gecko's architecture): the UI submits a
-/// layer tree, the compositor composites it and posts the frame-done
-/// callback back. Each hop is a send, so every pair of hops is ordered
-/// across the two atomicity domains.
-///
-/// Plants `2 × rounds` events.
-fn compositor_bounce(pats: &mut Patterns<'_>, rounds: u32) {
-    let t = pats.next_slot();
-    let proc = pats.proc();
-    let ui = pats.looper();
-    let p = &mut *pats.p;
-    let compositor = p.looper(proc);
-    let layer_epoch = p.scalar_var(0);
-
-    // submit (ui) -> composite (compositor) -> submit ... bounded by a
-    // shared budget; handler ids are interleaved so each can name the
-    // other via a forward reference.
-    let budget = p.counter(2 * rounds - 1);
-    let submit_id = p.next_handler_id();
-    let composite_id = HandlerId::from_index(submit_id.index() + 1);
-    let _submit = p.handler(
-        "firefox:submitLayers",
-        Body::from_actions(vec![
-            Action::WriteScalar(layer_epoch, 1),
-            Action::Compute(45),
-            Action::PostChain {
-                looper: compositor,
-                handler: composite_id,
-                delay_ms: 3,
-                budget,
-            },
-        ]),
-    );
-    let _composite = p.handler(
-        "firefox:composite",
-        Body::from_actions(vec![
-            Action::ReadScalar(layer_epoch),
-            Action::Compute(60),
-            Action::PostChain {
-                looper: ui,
-                handler: submit_id,
-                delay_ms: 3,
-                budget,
-            },
-        ]),
-    );
-    p.thread(
-        proc,
-        "firefox:vsyncSource",
-        Body::from_actions(vec![
-            Action::Sleep(t),
-            Action::Post {
-                looper: ui,
-                handler: submit_id,
-                delay_ms: 0,
-            },
-        ]),
-    );
-    pats.add_events(2 * rounds as usize);
-}
+use super::{shared_plumbing, times};
 
 /// Paper numbers for this app.
 pub const EXPECTED: ExpectedRow = ExpectedRow {
@@ -85,33 +21,32 @@ pub const EXPECTED: ExpectedRow = ExpectedRow {
     fp3: 0,
 };
 
-/// Builds the Firefox workload.
-pub fn build() -> AppSpec {
-    super::build_app("Firefox", EXPECTED, None, 1800, |pats| {
-        for _ in 0..6 {
-            pats.inter(false);
-        }
-        for _ in 0..10 {
-            pats.conv();
-        }
-        // Gecko event listeners outside the instrumented set.
-        for _ in 0..4 {
-            pats.fp_listener("org.mozilla.gecko");
-        }
-        for _ in 0..5 {
-            pats.fp_bool_guard();
-        }
-        pats.filtered_guard();
-        // Send-ordered teardown pairs: safe under CAFA's queue rules,
-        // racy under an EventRacer-style model (ablation material).
-        pats.queue_protected();
-        pats.queue_protected();
-        // Benign plumbing: Binder polls, a decode pipeline, front-posted
-        // input, a framework listener, and a background HandlerThread.
-        pats.flavor_bundle("GeckoCompositor", 7);
-        // Frames ping-pong between the UI and compositor loopers.
-        compositor_bounce(pats, 6);
-        // Compositor / telemetry counters.
-        pats.scalar_burst(5, 10);
-    })
+/// The Firefox workload as data.
+pub fn model() -> AppModel {
+    let mut stmts: Vec<Stmt> = times(Stmt::Inter { known: false }, 6).collect();
+    stmts.extend(times(Stmt::Conv, 10));
+    // Gecko event listeners outside the instrumented set.
+    stmts.extend(times(
+        Stmt::FpListener {
+            package: "org.mozilla.gecko".to_owned(),
+        },
+        4,
+    ));
+    stmts.extend(times(Stmt::FpBoolGuard, 5));
+    stmts.push(Stmt::FilteredGuard);
+    stmts.extend(shared_plumbing("GeckoCompositor", 7));
+    // Frames ping-pong between the UI and compositor loopers.
+    stmts.push(Stmt::CompositorBounce { rounds: 6 });
+    // Compositor / telemetry counters.
+    stmts.push(Stmt::ScalarBurst {
+        writers: 5,
+        readers: 10,
+    });
+    AppModel {
+        name: "Firefox".to_owned(),
+        events: EXPECTED.events,
+        compute_units: 1800,
+        lowlevel_pairs: None,
+        stmts,
+    }
 }

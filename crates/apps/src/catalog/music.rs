@@ -6,66 +6,9 @@
 //! to the excessive amount of events"); here the 6,684 events analyze
 //! in milliseconds, which the `analysis_scaling` bench quantifies.
 
-use cafa_sim::{Action, Body};
+use cafa_model::{AppModel, ExpectedRow, Stmt};
 
-use crate::patterns::Patterns;
-use crate::truth::ExpectedRow;
-use crate::AppSpec;
-
-/// The playback engine: a producer thread decodes audio frames into a
-/// shared buffer, a consumer thread drains it, both hand off through a
-/// monitor; the consumer posts a seekbar update per drained batch.
-///
-/// Plants 2 events.
-fn playback_engine(pats: &mut Patterns<'_>) {
-    let t = pats.next_slot();
-    let proc = pats.proc();
-    let looper = pats.looper();
-    let p = &mut *pats.p;
-    let frames = p.scalar_var(0);
-    let m = p.monitor();
-
-    let tick1 = p.handler("music:onSeekTick", Body::new().read(frames));
-    let tick2 = p.handler("music:onSeekDone", Body::new().read(frames));
-    let consumer = p.thread_spec(
-        proc,
-        "music:audioOut",
-        Body::from_actions(vec![
-            Action::Lock(m),
-            Action::Wait(m),
-            Action::ReadScalar(frames),
-            Action::Unlock(m),
-            Action::Post {
-                looper,
-                handler: tick1,
-                delay_ms: 0,
-            },
-            Action::Post {
-                looper,
-                handler: tick2,
-                delay_ms: 0,
-            },
-        ]),
-    );
-    p.thread(
-        proc,
-        "music:decoder",
-        Body::from_actions(vec![
-            Action::Sleep(t),
-            Action::Fork(consumer),
-            // Quiesce: the consumer is guaranteed to be waiting before
-            // the decoder publishes (see browser.rs for the idiom).
-            Action::Sleep(1),
-            Action::Lock(m),
-            Action::WriteScalar(frames, 1024),
-            Action::Compute(60),
-            Action::Notify(m),
-            Action::Unlock(m),
-            Action::JoinLast,
-        ]),
-    );
-    pats.add_events(2);
-}
+use super::{shared_plumbing, times};
 
 /// Paper numbers for this app.
 pub const EXPECTED: ExpectedRow = ExpectedRow {
@@ -79,29 +22,36 @@ pub const EXPECTED: ExpectedRow = ExpectedRow {
     fp3: 1,
 };
 
-/// Builds the Music workload.
-pub fn build() -> AppSpec {
-    super::build_app("Music", EXPECTED, None, 330, |pats| {
-        // Service-teardown races against queued album-art and seekbar
-        // events.
-        pats.intra(false, false);
-        pats.intra(false, false);
-        // isPlaying-flag guards (Type II).
-        pats.fp_bool_guard();
-        pats.fp_bool_guard();
-        // Aliased media-session handle (Type III).
-        pats.fp_alias();
-        pats.filtered_guard();
-        // Send-ordered teardown pairs: safe under CAFA's queue rules,
-        // racy under an EventRacer-style model (ablation material).
-        pats.queue_protected();
-        pats.queue_protected();
-        // Benign plumbing: Binder polls, a decode pipeline, front-posted
-        // input, a framework listener, and a background HandlerThread.
-        pats.flavor_bundle("AudioFlinger", 4);
-        // Decoder/audio-out producer-consumer with seekbar updates.
-        playback_engine(pats);
-        // Elapsed-time ticks.
-        pats.scalar_burst(3, 6);
-    })
+/// The Music workload as data.
+pub fn model() -> AppModel {
+    // Service-teardown races against queued album-art and seekbar
+    // events.
+    let mut stmts: Vec<Stmt> = times(
+        Stmt::Intra {
+            known: false,
+            caught: false,
+        },
+        2,
+    )
+    .collect();
+    // isPlaying-flag guards (Type II).
+    stmts.extend(times(Stmt::FpBoolGuard, 2));
+    // Aliased media-session handle (Type III).
+    stmts.push(Stmt::FpAlias);
+    stmts.push(Stmt::FilteredGuard);
+    stmts.extend(shared_plumbing("AudioFlinger", 4));
+    // Decoder/audio-out producer-consumer with seekbar updates.
+    stmts.push(Stmt::PlaybackEngine);
+    // Elapsed-time ticks.
+    stmts.push(Stmt::ScalarBurst {
+        writers: 3,
+        readers: 6,
+    });
+    AppModel {
+        name: "Music".to_owned(),
+        events: EXPECTED.events,
+        compute_units: 330,
+        lowlevel_pairs: None,
+        stmts,
+    }
 }

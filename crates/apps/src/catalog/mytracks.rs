@@ -7,72 +7,9 @@
 //! false positives (§6.2 shows the `onServiceConnected` try/finally
 //! hack whose flag-style guards the heuristics cannot verify).
 
-use cafa_sim::{Action, Body};
+use cafa_model::{AppModel, ExpectedRow, Stmt};
 
-use crate::patterns::Patterns;
-use crate::truth::ExpectedRow;
-use crate::AppSpec;
-
-/// The GPS fix pipeline: the location service delivers a sequence of
-/// fixes as events; each fix updates the track distance under the
-/// recording lock, which the stats thread also takes to snapshot the
-/// distance. Lock-protected on both sides, so the lockset check (not a
-/// happens-before edge — CAFA derives none from locks) is what keeps
-/// the detector quiet.
-///
-/// Plants `fixes` events.
-fn gps_fix_pipeline(pats: &mut Patterns<'_>, fixes: u32) {
-    let t = pats.next_slot();
-    let proc = pats.proc();
-    let looper = pats.looper();
-    let p = &mut *pats.p;
-    let distance = p.scalar_var(0);
-    let m = p.monitor();
-
-    let budget = p.counter(fixes - 1);
-    let on_fix = {
-        let me = p.next_handler_id();
-        p.handler(
-            "mytracks:onLocationChanged",
-            Body::from_actions(vec![
-                Action::Lock(m),
-                Action::ReadScalar(distance),
-                Action::WriteScalar(distance, 1),
-                Action::Unlock(m),
-                Action::Compute(20),
-                Action::PostChain {
-                    looper,
-                    handler: me,
-                    delay_ms: 5,
-                    budget,
-                },
-            ]),
-        )
-    };
-    p.thread(
-        proc,
-        "mytracks:gpsSource",
-        Body::from_actions(vec![
-            Action::Sleep(t),
-            Action::Post {
-                looper,
-                handler: on_fix,
-                delay_ms: 0,
-            },
-        ]),
-    );
-    p.thread(
-        proc,
-        "mytracks:statsThread",
-        Body::from_actions(vec![
-            Action::Sleep(t + 60),
-            Action::Lock(m),
-            Action::ReadScalar(distance),
-            Action::Unlock(m),
-        ]),
-    );
-    pats.add_events(fixes as usize);
-}
+use super::{shared_plumbing, times};
 
 /// Paper numbers for this app.
 pub const EXPECTED: ExpectedRow = ExpectedRow {
@@ -86,36 +23,38 @@ pub const EXPECTED: ExpectedRow = ExpectedRow {
     fp3: 0,
 };
 
-/// Builds the MyTracks workload.
-pub fn build() -> AppSpec {
-    super::build_app("MyTracks", EXPECTED, None, 1350, |pats| {
+/// The MyTracks workload as data.
+pub fn model() -> AppModel {
+    let mut stmts = vec![
         // The known bug: onResume binds TrackRecordingService over
         // Binder; the service posts onServiceConnected (which uses
         // providerUtils) racing with the user's onDestroy free.
-        pats.fig1_binder("TrackRecordingService");
-        // Recording-state teardown races between the service connection
-        // thread and track updates.
-        for _ in 0..3 {
-            pats.inter(false);
-        }
-        // startRecordingNewTrack guards pointer uses with boolean
-        // recording-state flags: safe, but reported (Type II).
-        for _ in 0..4 {
-            pats.fp_bool_guard();
-        }
-        // Commutative patterns the heuristics prune correctly.
-        pats.filtered_alloc();
-        pats.filtered_guard();
-        // Send-ordered teardown pairs: safe under CAFA's queue rules,
-        // racy under an EventRacer-style model (ablation material).
-        pats.queue_protected();
-        pats.queue_protected();
-        // Benign plumbing: Binder polls, a decode pipeline, front-posted
-        // input, a framework listener, and a background HandlerThread.
-        pats.flavor_bundle("GoogleLocationService", 6);
-        // The GPS fix stream with lock-protected distance accounting.
-        gps_fix_pipeline(pats, 10);
-        // GPS fix / map redraw counters.
-        pats.scalar_burst(6, 20);
-    })
+        Stmt::Fig1Binder {
+            service: "TrackRecordingService".to_owned(),
+        },
+    ];
+    // Recording-state teardown races between the service connection
+    // thread and track updates.
+    stmts.extend(times(Stmt::Inter { known: false }, 3));
+    // startRecordingNewTrack guards pointer uses with boolean
+    // recording-state flags: safe, but reported (Type II).
+    stmts.extend(times(Stmt::FpBoolGuard, 4));
+    // Commutative patterns the heuristics prune correctly.
+    stmts.push(Stmt::FilteredAlloc);
+    stmts.push(Stmt::FilteredGuard);
+    stmts.extend(shared_plumbing("GoogleLocationService", 6));
+    // The GPS fix stream with lock-protected distance accounting.
+    stmts.push(Stmt::GpsFixPipeline { fixes: 10 });
+    // GPS fix / map redraw counters.
+    stmts.push(Stmt::ScalarBurst {
+        writers: 6,
+        readers: 20,
+    });
+    AppModel {
+        name: "MyTracks".to_owned(),
+        events: EXPECTED.events,
+        compute_units: 1350,
+        lowlevel_pairs: None,
+        stmts,
+    }
 }

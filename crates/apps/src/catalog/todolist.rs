@@ -7,62 +7,9 @@
 //! database and the data would be lost", so the races stay harmful even
 //! though they never crash.
 
-use cafa_sim::{Action, Body};
+use cafa_model::{AppModel, ExpectedRow, Stmt};
 
-use crate::patterns::Patterns;
-use crate::truth::ExpectedRow;
-use crate::AppSpec;
-
-/// The note-save path: each save gesture hands the note to a db writer
-/// thread through a monitor and waits for the commit acknowledgement
-/// before posting the widget refresh. Exercises looper-blocking waits
-/// (the anti-pattern Android docs warn about, but common in small
-/// apps like this one).
-///
-/// Plants 2 events per save.
-fn note_save_path(pats: &mut Patterns<'_>, saves: usize) {
-    for _ in 0..saves {
-        let t = pats.next_slot();
-        let proc = pats.proc();
-        let looper = pats.looper();
-        let p = &mut *pats.p;
-        let note = p.ptr_var_alloc();
-        let m = p.monitor();
-        let writer = p.thread_spec(
-            proc,
-            "todolist:dbWriter",
-            Body::from_actions(vec![
-                Action::Lock(m),
-                Action::UsePtr {
-                    var: note,
-                    kind: cafa_trace::DerefKind::Field,
-                    catch_npe: false,
-                },
-                Action::Compute(70),
-                Action::Notify(m),
-                Action::Unlock(m),
-            ]),
-        );
-        let refresh = p.handler("todolist:onWidgetRefresh", Body::new().compute(10));
-        let save = p.handler(
-            "todolist:onSaveNote",
-            Body::from_actions(vec![
-                Action::Lock(m),
-                Action::Fork(writer),
-                Action::Wait(m),
-                Action::Unlock(m),
-                Action::JoinLast,
-                Action::Post {
-                    looper,
-                    handler: refresh,
-                    delay_ms: 0,
-                },
-            ]),
-        );
-        p.gesture(t, looper, save);
-        pats.add_events(2);
-    }
-}
+use super::{shared_plumbing, times};
 
 /// Paper numbers for this app.
 pub const EXPECTED: ExpectedRow = ExpectedRow {
@@ -76,29 +23,36 @@ pub const EXPECTED: ExpectedRow = ExpectedRow {
     fp3: 0,
 };
 
-/// Builds the ToDoList workload.
-pub fn build() -> AppSpec {
-    super::build_app("ToDoList", EXPECTED, None, 260, |pats| {
-        // Eight db/widget teardown hazards; every one swallows the NPE
-        // (`catch (NullPointerException npe) { /* do nothing */ }`).
-        for _ in 0..8 {
-            pats.intra(false, true);
-        }
-        // A widget-enabled flag guard (Type II).
-        pats.fp_bool_guard();
-        // A correctly-pruned re-allocation on refresh.
-        pats.filtered_alloc();
-        // Send-ordered teardown pairs: safe under CAFA's queue rules,
-        // racy under an EventRacer-style model (ablation material).
-        pats.queue_protected();
-        pats.queue_protected();
-        // Benign plumbing: Binder polls, a decode pipeline, front-posted
-        // input, a framework listener, and a background HandlerThread.
-        pats.flavor_bundle("WidgetUpdateService", 3);
-        // Two note saves through the db writer handshake ("adding two
-        // notes to the widget", §6.1).
-        note_save_path(pats, 2);
-        // Widget refresh ticks.
-        pats.scalar_burst(2, 6);
-    })
+/// The ToDoList workload as data.
+pub fn model() -> AppModel {
+    // Eight db/widget teardown hazards; every one swallows the NPE
+    // (`catch (NullPointerException npe) { /* do nothing */ }`).
+    let mut stmts: Vec<Stmt> = times(
+        Stmt::Intra {
+            known: false,
+            caught: true,
+        },
+        8,
+    )
+    .collect();
+    // A widget-enabled flag guard (Type II).
+    stmts.push(Stmt::FpBoolGuard);
+    // A correctly-pruned re-allocation on refresh.
+    stmts.push(Stmt::FilteredAlloc);
+    stmts.extend(shared_plumbing("WidgetUpdateService", 3));
+    // Two note saves through the db writer handshake ("adding two
+    // notes to the widget", §6.1).
+    stmts.push(Stmt::NoteSavePath { saves: 2 });
+    // Widget refresh ticks.
+    stmts.push(Stmt::ScalarBurst {
+        writers: 2,
+        readers: 6,
+    });
+    AppModel {
+        name: "ToDoList".to_owned(),
+        events: EXPECTED.events,
+        compute_units: 260,
+        lowlevel_pairs: None,
+        stmts,
+    }
 }

@@ -5,71 +5,9 @@
 //! pointers; one real thread race in the native-bridge teardown and one
 //! aliased decoder handle (Type III).
 
-use cafa_sim::{Action, Body};
-use cafa_trace::DerefKind;
+use cafa_model::{AppModel, ExpectedRow, Stmt};
 
-use crate::patterns::Patterns;
-use crate::truth::ExpectedRow;
-use crate::AppSpec;
-
-/// The playback chain: a demux thread produces packets under the
-/// stream lock; the video looper decodes each packet and posts render
-/// ticks to the main looper — two atomicity domains bridged by sends,
-/// everything ordered.
-///
-/// Plants `2 × packets` events.
-fn playback_chain(pats: &mut Patterns<'_>, packets: u32) {
-    let t = pats.next_slot();
-    let proc = pats.proc();
-    let main = pats.looper();
-    let p = &mut *pats.p;
-    let video = p.looper(proc);
-    let stream = p.ptr_var_alloc();
-    let pts = p.scalar_var(0);
-
-    let budget = p.counter(packets - 1);
-    let render = p.handler("vlc:onRenderTick", Body::new().read(pts));
-    let decode = {
-        let me = p.next_handler_id();
-        p.handler(
-            "vlc:decodePacket",
-            Body::from_actions(vec![
-                Action::UsePtr {
-                    var: stream,
-                    kind: DerefKind::Field,
-                    catch_npe: false,
-                },
-                Action::Compute(55),
-                Action::WriteScalar(pts, 1),
-                Action::Post {
-                    looper: main,
-                    handler: render,
-                    delay_ms: 0,
-                },
-                Action::PostChain {
-                    looper: video,
-                    handler: me,
-                    delay_ms: 10,
-                    budget,
-                },
-            ]),
-        )
-    };
-    p.thread(
-        proc,
-        "vlc:demux",
-        Body::from_actions(vec![
-            Action::Sleep(t),
-            Action::Compute(35),
-            Action::Post {
-                looper: video,
-                handler: decode,
-                delay_ms: 0,
-            },
-        ]),
-    );
-    pats.add_events(2 * packets as usize);
-}
+use super::{shared_plumbing, times};
 
 /// Paper numbers for this app.
 pub const EXPECTED: ExpectedRow = ExpectedRow {
@@ -83,25 +21,25 @@ pub const EXPECTED: ExpectedRow = ExpectedRow {
     fp3: 1,
 };
 
-/// Builds the VLC workload.
-pub fn build() -> AppSpec {
-    super::build_app("VLC", EXPECTED, None, 950, |pats| {
-        pats.conv();
-        for _ in 0..5 {
-            pats.fp_bool_guard();
-        }
-        pats.fp_alias();
-        pats.filtered_guard();
-        // Send-ordered teardown pairs: safe under CAFA's queue rules,
-        // racy under an EventRacer-style model (ablation material).
-        pats.queue_protected();
-        pats.queue_protected();
-        // Benign plumbing: Binder polls, a decode pipeline, front-posted
-        // input, a framework listener, and a background HandlerThread.
-        pats.flavor_bundle("MediaCodecService", 4);
-        // demux -> decode (video looper) -> render (main looper).
-        playback_chain(pats, 5);
-        // Position/buffer tick counters.
-        pats.scalar_burst(4, 8);
-    })
+/// The VLC workload as data.
+pub fn model() -> AppModel {
+    let mut stmts = vec![Stmt::Conv];
+    stmts.extend(times(Stmt::FpBoolGuard, 5));
+    stmts.push(Stmt::FpAlias);
+    stmts.push(Stmt::FilteredGuard);
+    stmts.extend(shared_plumbing("MediaCodecService", 4));
+    // demux -> decode (video looper) -> render (main looper).
+    stmts.push(Stmt::PlaybackChain { packets: 5 });
+    // Position/buffer tick counters.
+    stmts.push(Stmt::ScalarBurst {
+        writers: 4,
+        readers: 8,
+    });
+    AppModel {
+        name: "VLC".to_owned(),
+        events: EXPECTED.events,
+        compute_units: 950,
+        lowlevel_pairs: None,
+        stmts,
+    }
 }

@@ -6,83 +6,9 @@
 //! is scheduled after the pause event ... would crash the application
 //! if it tries to use the freed pointers."
 
-use cafa_sim::{Action, Body};
-use cafa_trace::DerefKind;
+use cafa_model::{AppModel, ExpectedRow, Stmt};
 
-use crate::patterns::Patterns;
-use crate::truth::ExpectedRow;
-use crate::AppSpec;
-
-/// The scan pipeline: preview frames arrive as a chain; the capture
-/// frame forks a decode thread whose result is joined and published by
-/// a result event that dereferences the decoded object.
-///
-/// Plants `frames + 2` events.
-fn scan_pipeline(pats: &mut Patterns<'_>, frames: u32) {
-    let t = pats.next_slot();
-    let proc = pats.proc();
-    let looper = pats.looper();
-    let p = &mut *pats.p;
-    let luma = p.scalar_var(0);
-    let result = p.ptr_var();
-
-    let budget = p.counter(frames - 1);
-    let preview = {
-        let me = p.next_handler_id();
-        p.handler(
-            "zxing:onPreviewFrame",
-            Body::from_actions(vec![
-                Action::ReadScalar(luma),
-                Action::Compute(25),
-                Action::PostChain {
-                    looper,
-                    handler: me,
-                    delay_ms: 33,
-                    budget,
-                },
-            ]),
-        )
-    };
-    let publish = p.handler(
-        "zxing:onDecodeResult",
-        Body::from_actions(vec![Action::UsePtr {
-            var: result,
-            kind: DerefKind::Invoke,
-            catch_npe: false,
-        }]),
-    );
-    let decoder = p.thread_spec(
-        proc,
-        "zxing:decodeThread",
-        Body::from_actions(vec![Action::Compute(120), Action::AllocPtr(result)]),
-    );
-    let capture = p.handler(
-        "zxing:onCaptureFrame",
-        Body::from_actions(vec![
-            Action::Fork(decoder),
-            Action::JoinLast,
-            Action::Post {
-                looper,
-                handler: publish,
-                delay_ms: 0,
-            },
-        ]),
-    );
-    p.thread(
-        proc,
-        "zxing:frameSource",
-        Body::from_actions(vec![
-            Action::Sleep(t),
-            Action::Post {
-                looper,
-                handler: preview,
-                delay_ms: 0,
-            },
-        ]),
-    );
-    p.gesture(t + 80, looper, capture);
-    pats.add_events(frames as usize + 2);
-}
+use super::shared_plumbing;
 
 /// Paper numbers for this app.
 pub const EXPECTED: ExpectedRow = ExpectedRow {
@@ -96,31 +22,37 @@ pub const EXPECTED: ExpectedRow = ExpectedRow {
     fp3: 1,
 };
 
-/// Builds the ZXing workload.
-pub fn build() -> AppSpec {
-    super::build_app("ZXing", EXPECTED, None, 550, |pats| {
+/// The ZXing workload as data.
+pub fn model() -> AppModel {
+    let mut stmts = vec![
         // Camera preview teardown vs. decode-result delivery.
-        pats.inter(false);
-        pats.inter(false);
+        Stmt::Inter { known: false },
+        Stmt::Inter { known: false },
         // The decode listener lives in ZXing's own package, outside the
         // instrumented framework set.
-        pats.fp_listener("com.google.zxing.client.android");
+        Stmt::FpListener {
+            package: "com.google.zxing.client.android".to_owned(),
+        },
         // hasSurface-flag-guarded preview use (Type II).
-        pats.fp_bool_guard();
+        Stmt::FpBoolGuard,
         // The decode handler aliases the camera manager (Type III).
-        pats.fp_alias();
+        Stmt::FpAlias,
         // A correctly-filtered viewfinder guard.
-        pats.filtered_guard();
-        // Send-ordered teardown pairs: safe under CAFA's queue rules,
-        // racy under an EventRacer-style model (ablation material).
-        pats.queue_protected();
-        pats.queue_protected();
-        // Benign plumbing: Binder polls, a decode pipeline, front-posted
-        // input, a framework listener, and a background HandlerThread.
-        pats.flavor_bundle("CameraService", 5);
-        // Preview frames + fork/join decode + result publication.
-        scan_pipeline(pats, 8);
-        // Autofocus / preview-frame counters.
-        pats.scalar_burst(4, 12);
-    })
+        Stmt::FilteredGuard,
+    ];
+    stmts.extend(shared_plumbing("CameraService", 5));
+    // Preview frames + fork/join decode + result publication.
+    stmts.push(Stmt::ScanPipeline { frames: 8 });
+    // Autofocus / preview-frame counters.
+    stmts.push(Stmt::ScalarBurst {
+        writers: 4,
+        readers: 12,
+    });
+    AppModel {
+        name: "ZXing".to_owned(),
+        events: EXPECTED.events,
+        compute_units: 550,
+        lowlevel_pairs: None,
+        stmts,
+    }
 }

@@ -5,12 +5,13 @@
 //! MyTracks, ZXing, ToDoList, Browser, Firefox, VLC, FBReader, Camera,
 //! and Music on a Nexus 4 and reported, per app, the event count, the
 //! use-free races found, their true/false classification, and the
-//! tracing overhead. This crate rebuilds each app as a `cafa-sim`
-//! workload that plants the same population of races and
-//! false-positive patterns (with labelled ground truth) and generates
-//! the same number of events, so the whole pipeline — record with
-//! `cafa-sim`, analyze with `cafa-core` — regenerates Table 1 row by
-//! row.
+//! tracing overhead. This crate holds each app as a `cafa-model`
+//! [`AppModel`](cafa_model::AppModel) — plain data whose statements
+//! carry their own ground-truth labels — and lowers it into a
+//! `cafa-sim` workload that plants the same population of races and
+//! false-positive patterns and generates the same number of events, so
+//! the whole pipeline — record with `cafa-sim`, analyze with
+//! `cafa-core` — regenerates Table 1 row by row.
 //!
 //! The detector never sees the ground truth: it must rediscover every
 //! planted pattern from the trace alone. The labels only enter when the
@@ -33,109 +34,11 @@
 #![warn(missing_debug_implementations)]
 
 pub mod catalog;
-mod flavor;
-pub mod patterns;
 pub mod prober;
-mod truth;
+pub mod resolve;
 
-pub use catalog::all_apps;
-pub use truth::{ExpectedRow, FpType, GroundTruth, Label, TrueClass};
-
-use cafa_sim::{run, InstrumentConfig, Program, RunOutcome, SimConfig, SimError};
-
-/// One evaluated application: its workload program, oracle labels, and
-/// the paper's published Table 1 row.
-#[derive(Debug)]
-pub struct AppSpec {
-    /// Application name as it appears in Table 1.
-    pub name: &'static str,
-    /// The simulator workload (deterministic benign-order timing; the
-    /// Table 1 configuration).
-    pub program: Program,
-    /// The stress variant: harmful patterns race for real, so
-    /// violations manifest under some schedules (the §6.2 survey
-    /// configuration).
-    pub stress_program: Program,
-    /// Oracle labels for every planted pattern variable.
-    pub truth: GroundTruth,
-    /// The paper's numbers for this app.
-    pub expected: ExpectedRow,
-    /// Expected conventional-definition racy site pairs, where the
-    /// paper publishes one (ConnectBot's 1,664 of §4.1).
-    pub lowlevel_pairs: Option<usize>,
-}
-
-impl AppSpec {
-    /// Records a trace with the paper's instrumentation coverage
-    /// (framework listener packages only — the configuration Table 1
-    /// was produced with).
-    ///
-    /// # Errors
-    ///
-    /// Propagates simulator failures; the shipped workloads run clean.
-    pub fn record(&self, seed: u64) -> Result<RunOutcome, SimError> {
-        let mut config = SimConfig::with_seed(seed);
-        config.instrument = InstrumentConfig::paper_packages();
-        run(&self.program, &config)
-    }
-
-    /// Records with *full* listener coverage (Type I false positives
-    /// disappear — the fix §6.3 anticipates).
-    ///
-    /// # Errors
-    ///
-    /// Propagates simulator failures; the shipped workloads run clean.
-    pub fn record_full_coverage(&self, seed: u64) -> Result<RunOutcome, SimError> {
-        let mut config = SimConfig::with_seed(seed);
-        config.instrument = InstrumentConfig::full();
-        run(&self.program, &config)
-    }
-
-    /// Runs without instrumentation (the stock ROM), for Figure 8
-    /// overhead baselines.
-    ///
-    /// # Errors
-    ///
-    /// Propagates simulator failures; the shipped workloads run clean.
-    pub fn record_uninstrumented(&self, seed: u64) -> Result<RunOutcome, SimError> {
-        let mut config = SimConfig::with_seed(seed);
-        config.instrument = InstrumentConfig::off();
-        run(&self.program, &config)
-    }
-
-    /// Runs the *stress* variant uninstrumented: harmful patterns race
-    /// for real, so use-after-free violations manifest under some
-    /// schedules — the §6.2 survey.
-    ///
-    /// # Errors
-    ///
-    /// Propagates simulator failures; the shipped workloads run clean.
-    pub fn run_stress(&self, seed: u64) -> Result<RunOutcome, SimError> {
-        let mut config = SimConfig::with_seed(seed);
-        config.instrument = InstrumentConfig::off();
-        run(&self.stress_program, &config)
-    }
-
-    /// Records the *stress* variant with **full** instrumentation
-    /// coverage. Instrumentation never consumes scheduling decisions,
-    /// so this trace describes exactly the schedule `run_stress(seed)`
-    /// executes — the reference `cafa-replay` synthesizes directed
-    /// schedules from.
-    ///
-    /// Full coverage matters here: the detector deliberately analyzes
-    /// paper-coverage traces (whose missing listener records *cause*
-    /// the Type I false positives), but schedule synthesis must respect
-    /// the platform's real causality — a register/perform edge the
-    /// analyzer cannot see still constrains which schedules the
-    /// platform can produce, and a directed run that broke it would
-    /// "confirm" a race no real execution exhibits.
-    ///
-    /// # Errors
-    ///
-    /// Propagates simulator failures; the shipped workloads run clean.
-    pub fn record_stress(&self, seed: u64) -> Result<RunOutcome, SimError> {
-        let mut config = SimConfig::with_seed(seed);
-        config.instrument = InstrumentConfig::full();
-        run(&self.stress_program, &config)
-    }
-}
+pub use cafa_model::{
+    patterns, AppModel, AppSpec, ExpectedRow, FpType, GroundTruth, Label, Stmt, TrueClass,
+};
+pub use catalog::{all_apps, all_models};
+pub use resolve::{resolve, ResolveError};

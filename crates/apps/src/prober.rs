@@ -96,7 +96,7 @@ pub fn confirm_report(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::truth::{Label, TrueClass};
+    use crate::{Label, TrueClass};
 
     #[test]
     fn harmful_races_confirm_and_benign_do_not() {

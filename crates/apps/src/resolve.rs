@@ -1,0 +1,143 @@
+//! Name → workload resolution shared by the CLI commands.
+//!
+//! Two namespaces resolve to an [`AppSpec`]: the ten catalog apps by
+//! their Table 1 name (case-insensitive), and generated apps by the
+//! coordinate scheme `gen:<seed>:<index>` — app `<index>` of the
+//! default-sized corpus `cafa gen --seed <seed>` produces. Failures
+//! are typed: [`ResolveError::UnknownApp`] carries every valid name so
+//! the CLI can print them instead of a bare "unknown app".
+
+use std::fmt;
+
+use cafa_model::{generate_one, lower, AppSpec};
+
+/// Why a workload name failed to resolve.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ResolveError {
+    /// The name matches neither a catalog app nor the `gen:` scheme.
+    UnknownApp {
+        /// The name that failed to resolve.
+        name: String,
+        /// Every catalog app name, in Table 1 order.
+        valid: Vec<String>,
+    },
+    /// The name used the `gen:` scheme but the coordinates are
+    /// malformed.
+    BadGenSpec {
+        /// The offending spec.
+        spec: String,
+        /// What is wrong with it.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownApp { name, valid } => write!(
+                f,
+                "unknown app `{name}`; valid apps: {}, or a generated app \
+                 `gen:<seed>:<index>` (see `cafa gen`)",
+                valid.join(", ")
+            ),
+            Self::BadGenSpec { spec, reason } => {
+                write!(
+                    f,
+                    "bad generated-app spec `{spec}`: {reason} (expected `gen:<seed>:<index>`)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+/// Resolves a workload name to its spec: a catalog app by
+/// (case-insensitive) Table 1 name, or `gen:<seed>:<index>` for a
+/// generated app.
+///
+/// # Errors
+///
+/// [`ResolveError::BadGenSpec`] for malformed `gen:` coordinates,
+/// [`ResolveError::UnknownApp`] (listing every valid name) otherwise.
+pub fn resolve(name: &str) -> Result<AppSpec, ResolveError> {
+    if let Some(coords) = name.strip_prefix("gen:") {
+        return resolve_generated(name, coords);
+    }
+    let apps = crate::all_apps();
+    if let Some(app) = apps.iter().position(|a| a.name.eq_ignore_ascii_case(name)) {
+        let mut apps = apps;
+        return Ok(apps.swap_remove(app));
+    }
+    Err(ResolveError::UnknownApp {
+        name: name.to_owned(),
+        valid: apps.into_iter().map(|a| a.name).collect(),
+    })
+}
+
+fn resolve_generated(spec: &str, coords: &str) -> Result<AppSpec, ResolveError> {
+    let bad = |reason: String| ResolveError::BadGenSpec {
+        spec: spec.to_owned(),
+        reason,
+    };
+    let (seed, index) = coords
+        .split_once(':')
+        .ok_or_else(|| bad("missing `:<index>`".to_owned()))?;
+    let seed: u64 = seed
+        .parse()
+        .map_err(|_| bad(format!("seed `{seed}` is not a number")))?;
+    let index: usize = index
+        .parse()
+        .map_err(|_| bad(format!("index `{index}` is not a number")))?;
+    let model = generate_one(seed, index);
+    Ok(lower(&model).expect("generated models are valid by construction"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_names_resolve_case_insensitively() {
+        assert_eq!(resolve("connectbot").unwrap().name, "ConnectBot");
+        assert_eq!(resolve("Music").unwrap().name, "Music");
+    }
+
+    #[test]
+    fn generated_coordinates_resolve() {
+        let app = resolve("gen:7:3").unwrap();
+        assert_eq!(app.name, "gen7-0003");
+        assert!(!app.truth.is_empty());
+    }
+
+    #[test]
+    fn unknown_app_lists_every_valid_name() {
+        let err = resolve("nosuch").unwrap_err();
+        let ResolveError::UnknownApp { name, valid } = &err else {
+            panic!("expected UnknownApp, got {err:?}");
+        };
+        assert_eq!(name, "nosuch");
+        assert_eq!(valid.len(), 10);
+        let msg = err.to_string();
+        for app in ["ConnectBot", "MyTracks", "ZXing", "Music"] {
+            assert!(msg.contains(app), "{msg}");
+        }
+        assert!(msg.contains("gen:<seed>:<index>"), "{msg}");
+    }
+
+    #[test]
+    fn malformed_gen_specs_are_typed_errors() {
+        for (spec, needle) in [
+            ("gen:7", "missing"),
+            ("gen:x:3", "seed `x`"),
+            ("gen:7:x", "index `x`"),
+        ] {
+            let err = resolve(spec).unwrap_err();
+            assert!(
+                matches!(err, ResolveError::BadGenSpec { .. }),
+                "{spec}: {err:?}"
+            );
+            assert!(err.to_string().contains(needle), "{spec}: {err}");
+        }
+    }
+}

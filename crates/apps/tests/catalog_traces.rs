@@ -1,0 +1,113 @@
+//! Pinned trace fingerprints for the ten catalog apps.
+//!
+//! The DSL migration was proven by a differential test recording the
+//! legacy imperative builders and the model-lowered programs side by
+//! side and comparing trace bytes. The legacy builders are gone; these
+//! FNV-1a hashes of the serialized traces are the surviving evidence.
+//! If a change to `cafa-model`'s interpreter, the pattern vocabulary,
+//! or the catalog data moves any hash, the recorded workloads are no
+//! longer the ones Table 1 and the golden reports were produced from.
+
+use cafa_apps::all_apps;
+use cafa_trace::to_binary_vec;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// (app, record(0), record_full_coverage(0), record_stress(0)).
+const PINNED: [(&str, u64, u64, u64); 10] = [
+    (
+        "ConnectBot",
+        0x80d06236a97addb0,
+        0x414d03bd9049dca4,
+        0xa65383e3b0af2f80,
+    ),
+    (
+        "MyTracks",
+        0xc2f83769332f4d69,
+        0xc2f83769332f4d69,
+        0xd5eaaaf99c9ffc4a,
+    ),
+    (
+        "ZXing",
+        0x8341961fbd40ada8,
+        0x6404cabb3743a019,
+        0xcdb1bbf14f125363,
+    ),
+    (
+        "ToDoList",
+        0x5ebd1627ece1f6b3,
+        0x5ebd1627ece1f6b3,
+        0x5d42d99ff5cce627,
+    ),
+    (
+        "Browser",
+        0x562a9e4013c1549b,
+        0x3248d3511063fe7e,
+        0x371faf1186759ede,
+    ),
+    (
+        "Firefox",
+        0x0b444231ba3608e7,
+        0xa0669899da6526d5,
+        0x096a11d0286545a4,
+    ),
+    (
+        "VLC",
+        0xa37d051ef864903f,
+        0xa37d051ef864903f,
+        0x0f3f03810da1dda6,
+    ),
+    (
+        "FBReader",
+        0x196794be7dc35ee6,
+        0xfe4d638cb018106e,
+        0xdefbba553ff3eb27,
+    ),
+    (
+        "Camera",
+        0xed38c1e272c7a100,
+        0xed38c1e272c7a100,
+        0xc62c26cf6309ff32,
+    ),
+    (
+        "Music",
+        0x288b308cba6af9c2,
+        0x288b308cba6af9c2,
+        0x464ad68815163af8,
+    ),
+];
+
+#[test]
+fn catalog_trace_hashes_are_pinned() {
+    let mut mismatches = Vec::new();
+    for (app, pin) in all_apps().iter().zip(PINNED) {
+        assert_eq!(app.name, pin.0, "catalog order changed");
+        let got = (
+            fnv1a(&to_binary_vec(&app.record(0).unwrap().trace.unwrap())),
+            fnv1a(&to_binary_vec(
+                &app.record_full_coverage(0).unwrap().trace.unwrap(),
+            )),
+            fnv1a(&to_binary_vec(
+                &app.record_stress(0).unwrap().trace.unwrap(),
+            )),
+        );
+        if got != (pin.1, pin.2, pin.3) {
+            mismatches.push(format!(
+                "    (\"{}\", {:#018x}, {:#018x}, {:#018x}),",
+                app.name, got.0, got.1, got.2
+            ));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "trace fingerprints moved; actual values:\n{}",
+        mismatches.join("\n")
+    );
+}

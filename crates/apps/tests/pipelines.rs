@@ -39,7 +39,7 @@ fn dual_looper_apps_have_two_plus_queues() {
     // and VLC add dedicated compositor/video loopers on top.
     for app in all_apps() {
         let trace = app.record(0).unwrap().trace.unwrap();
-        let min = match app.name {
+        let min = match app.name.as_str() {
             "Firefox" | "VLC" => 3,
             _ => 2,
         };

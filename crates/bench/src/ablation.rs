@@ -29,7 +29,7 @@ pub struct Cell {
 #[derive(Clone, Debug)]
 pub struct AblationRow {
     /// Application name.
-    pub name: &'static str,
+    pub name: String,
     /// Full CAFA.
     pub cafa: Cell,
     /// Heuristics off.
@@ -79,7 +79,7 @@ pub fn measure_app_stats(app: &AppSpec, seed: u64) -> (AblationRow, SessionStats
     let session = AnalysisSession::new(&trace);
     let full_session = AnalysisSession::new(&full_trace);
     let row = AblationRow {
-        name: app.name,
+        name: app.name.clone(),
         cafa: analyze(&session, DetectorConfig::cafa()),
         no_heuristics: analyze(&session, DetectorConfig::unfiltered()),
         no_queue_rules: analyze(&session, DetectorConfig::no_queue_rules()),

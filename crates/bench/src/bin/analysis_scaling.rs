@@ -1,11 +1,15 @@
 //! Regenerates the §6.4 analysis-time observation; with `--parallel`,
 //! the reachability-oracle build/query scaling sweep; with
-//! `--fixpoint`, the semi-naive-vs-naive fixpoint engine comparison.
+//! `--fixpoint`, the semi-naive-vs-naive fixpoint engine comparison;
+//! with `--catalog`, the generated-corpus precision/recall +
+//! throughput sweep (`BENCH_catalog.json`).
 fn main() {
     if std::env::args().any(|a| a == "--fixpoint") {
         cafa_bench::fixpoint::main();
     } else if std::env::args().any(|a| a == "--parallel") {
         cafa_bench::scaling::parallel_main();
+    } else if std::env::args().any(|a| a == "--catalog") {
+        cafa_bench::catalog::main();
     } else {
         cafa_bench::scaling::main();
     }

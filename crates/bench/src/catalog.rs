@@ -1,0 +1,165 @@
+//! Generated-corpus sweep: detector throughput and per-label
+//! precision/recall at corpus scale.
+//!
+//! Table 1 pins 10 apps; the generated catalog gives the same
+//! measurement a ~20× larger surface. This harness generates the
+//! pinned regression corpus (`--seed 42 --count 200`), records and
+//! analyzes every app on the fleet, and reports apps analyzed per
+//! second plus the per-label join of reports against the models'
+//! embedded ground truth. Writes `BENCH_catalog.json` to the current
+//! directory.
+
+use std::time::Instant;
+
+use cafa_core::Analyzer;
+use cafa_engine::{fleet, AnalysisSession};
+use cafa_model::eval::Score;
+use cafa_model::{generate, lower, GenConfig};
+
+/// The pinned regression corpus (`tests/catalog_regression.rs` joins
+/// the same one).
+pub const SEED: u64 = 42;
+/// Corpus size.
+pub const COUNT: usize = 200;
+
+/// One corpus sweep measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct CatalogSweep {
+    /// Apps in the corpus.
+    pub apps: usize,
+    /// Events across all recorded traces.
+    pub events: usize,
+    /// Wall time for the record+analyze+join sweep.
+    pub wall_s: f64,
+    /// The corpus-wide label join.
+    pub score: Score,
+}
+
+impl CatalogSweep {
+    /// Apps analyzed per second of sweep wall time.
+    pub fn apps_per_s(&self) -> f64 {
+        self.apps as f64 / self.wall_s
+    }
+}
+
+/// Runs the sweep: generate, then record + analyze + join on the
+/// fleet.
+///
+/// # Panics
+///
+/// Panics if a generated workload fails to lower, record, or analyze.
+pub fn compute(seed: u64, count: usize) -> CatalogSweep {
+    let models = generate(&GenConfig {
+        seed,
+        count,
+        ..GenConfig::default()
+    });
+    let start = Instant::now();
+    let results = fleet::map(&models, fleet::default_threads(), |model| {
+        let app = lower(model).expect("generated models are valid");
+        let outcome = app.record(seed).expect("generated workloads run clean");
+        let trace = outcome.trace.expect("instrumentation is on");
+        let report = Analyzer::new()
+            .analyze_with(&AnalysisSession::new(&trace))
+            .expect("analysis succeeds");
+        let mut s = Score::new();
+        s.tally_app(&app.truth, report.races.iter().map(|r| r.var));
+        (s, trace.stats().events)
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+    let mut score = Score::new();
+    let mut events = 0;
+    for (s, e) in &results {
+        score.merge(s);
+        events += e;
+    }
+    CatalogSweep {
+        apps: models.len(),
+        events,
+        wall_s,
+        score,
+    }
+}
+
+fn render_json(sweep: &CatalogSweep) -> String {
+    let s = &sweep.score;
+    let tally = |name: &str, t: cafa_model::eval::Tally| {
+        format!(
+            "    \"{name}\": {{\"planted\": {}, \"reported\": {}}}",
+            t.planted, t.reported
+        )
+    };
+    format!(
+        "{{\n  \"seed\": {SEED},\n  \"apps\": {},\n  \"events\": {},\n  \"wall_s\": {:.3},\n  \
+         \"apps_per_s\": {:.1},\n  \"reported\": {},\n  \"precision\": {:.4},\n  \
+         \"harmful_recall\": {:.4},\n  \"benign_recall\": {:.4},\n  \"unlabeled\": {},\n  \
+         \"labels\": {{\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{}\n  }}\n}}\n",
+        sweep.apps,
+        sweep.events,
+        sweep.wall_s,
+        sweep.apps_per_s(),
+        s.reported,
+        s.precision(),
+        s.harmful_recall(),
+        s.benign_recall(),
+        s.unlabeled,
+        tally("a", s.a),
+        tally("b", s.b),
+        tally("c", s.c),
+        tally("fp1", s.fp1),
+        tally("fp2", s.fp2),
+        tally("fp3", s.fp3),
+        tally("filtered", s.filtered),
+        tally("ordered", s.ordered),
+    )
+}
+
+/// Runs the sweep, prints the table, writes `BENCH_catalog.json`.
+///
+/// # Panics
+///
+/// Panics if the sweep or the JSON write fails.
+pub fn main() {
+    println!("generated-catalog sweep — corpus-scale precision/recall + throughput");
+    let sweep = compute(SEED, COUNT);
+    let s = &sweep.score;
+    println!(
+        "{} apps, {} events recorded+analyzed in {:.2}s ({:.1} apps/s)",
+        sweep.apps,
+        sweep.events,
+        sweep.wall_s,
+        sweep.apps_per_s()
+    );
+    println!(
+        "{:<10} {:>8} {:>9} {:>7}",
+        "label", "planted", "reported", "recall"
+    );
+    for (name, t) in [
+        ("a", s.a),
+        ("b", s.b),
+        ("c", s.c),
+        ("fp1", s.fp1),
+        ("fp2", s.fp2),
+        ("fp3", s.fp3),
+        ("filtered", s.filtered),
+        ("ordered", s.ordered),
+    ] {
+        println!(
+            "{:<10} {:>8} {:>9} {:>7.3}",
+            name,
+            t.planted,
+            t.reported,
+            t.recall()
+        );
+    }
+    println!(
+        "precision {:.3}  harmful-recall {:.3}  benign-recall {:.3}  unlabeled {}",
+        s.precision(),
+        s.harmful_recall(),
+        s.benign_recall(),
+        s.unlabeled
+    );
+    let json = render_json(&sweep);
+    std::fs::write("BENCH_catalog.json", json).expect("write BENCH_catalog.json");
+    println!("wrote BENCH_catalog.json");
+}

@@ -27,7 +27,7 @@ use cafa_replay::{validate_app, Method, ReplayConfig};
 #[derive(Clone, Debug, Default)]
 pub struct ConfirmRow {
     /// Application name.
-    pub name: &'static str,
+    pub name: String,
     /// Oracle-harmful reports that confirmed (found a witness).
     pub harmful_confirmed: usize,
     /// Oracle-harmful reports that did not confirm in budget.
@@ -84,7 +84,7 @@ pub fn measure_app(app: &cafa_apps::AppSpec, budget: u64) -> ConfirmRow {
     );
 
     let mut row = ConfirmRow {
-        name: app.name,
+        name: app.name.clone(),
         ..ConfirmRow::default()
     };
     for validated in &validation.races {

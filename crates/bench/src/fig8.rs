@@ -16,7 +16,7 @@ use cafa_engine::fleet;
 #[derive(Clone, Debug)]
 pub struct Overhead {
     /// Application name.
-    pub name: &'static str,
+    pub name: String,
     /// Median stock (uninstrumented) run time, seconds.
     pub stock_s: f64,
     /// Median instrumented run time, seconds.
@@ -52,7 +52,7 @@ pub fn measure_app(app: &AppSpec, reps: usize) -> Overhead {
     let stock_s = measure(|| app.record_uninstrumented(0).unwrap().sink, reps);
     let traced_s = measure(|| app.record(0).unwrap().sink, reps);
     Overhead {
-        name: app.name,
+        name: app.name.clone(),
         stock_s,
         traced_s,
     }

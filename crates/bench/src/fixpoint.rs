@@ -145,7 +145,7 @@ pub fn main() {
     for app in all_apps() {
         let outcome = app.record(0).expect("workload records cleanly");
         let trace = outcome.trace.expect("instrumentation is on");
-        let row = measure(app.name, &trace);
+        let row = measure(&app.name, &trace);
         print_row(&row);
         rows.push(row);
     }

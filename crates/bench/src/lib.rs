@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod catalog;
 pub mod confirm;
 pub mod fig8;
 pub mod fixpoint;

@@ -18,7 +18,7 @@ use cafa_hb::CausalityConfig;
 #[derive(Clone, Debug)]
 pub struct LowLevelRow {
     /// Application name.
-    pub name: &'static str,
+    pub name: String,
     /// Racy site pairs under the CAFA (relaxed event order) model.
     pub cafa_pairs: usize,
     /// Racy site pairs under the conventional (total event order)
@@ -51,7 +51,7 @@ pub fn measure_app(app: &AppSpec, seed: u64) -> LowLevelRow {
         .analyze_with(&session)
         .expect("analysis succeeds");
     LowLevelRow {
-        name: app.name,
+        name: app.name.clone(),
         cafa_pairs: cafa.racy_pairs,
         conventional_pairs: conv.racy_pairs,
         usefree_reports: report.races.len(),

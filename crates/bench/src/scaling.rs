@@ -344,7 +344,7 @@ pub fn parallel_main() {
 
     let sweeps = [
         parallel_sweep("synthetic/8000", &synthetic),
-        parallel_sweep(heaviest.name, &heavy_trace),
+        parallel_sweep(&heaviest.name, &heavy_trace),
     ];
     for s in &sweeps {
         println!(

@@ -242,7 +242,7 @@ pub fn main() {
     );
 
     let json = render_json(
-        app.name,
+        &app.name,
         &bin_decode,
         &text_decode,
         e2e,

@@ -18,7 +18,7 @@ use cafa_engine::fleet;
 #[derive(Clone, Debug, Default)]
 pub struct SurveyRow {
     /// Application name.
-    pub name: &'static str,
+    pub name: String,
     /// Schedules exercised.
     pub schedules: usize,
     /// Schedules with at least one uncaught NPE (a crash).
@@ -41,7 +41,7 @@ pub struct SurveyRow {
 /// oracle does not label harmful (that would falsify the ground truth).
 pub fn survey_app(app: &cafa_apps::AppSpec, schedules: usize) -> SurveyRow {
     let mut row = SurveyRow {
-        name: app.name,
+        name: app.name.clone(),
         schedules,
         ..SurveyRow::default()
     };

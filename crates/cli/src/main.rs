@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! cafa apps                          list the bundled app workloads
+//! cafa gen [opts]                    generate a labeled app corpus
 //! cafa record <app> [opts]           simulate an app and write its trace
 //! cafa analyze <trace> [opts]        detect use-free races in a trace
 //! cafa analyze --follow <trace>      tail a growing trace, analyze online
@@ -30,12 +31,26 @@ USAGE:
     cafa apps
         List the bundled application workloads and their Table 1 rows.
 
+    cafa gen [--seed N] [--count N] [--size small|medium|large|mixed]
+             [--format summary|text|counts] [--out FILE] [--threads N]
+        Generate a deterministic corpus of labeled app models from the
+        pattern space (race kinds a/b/c, FP types I/II/III, filtered
+        and HB-ordered patterns, Binder/pipeline plumbing). --format
+        summary (default) prints one line per app plus totals; text
+        emits the corpus in the model DSL (parseable back with
+        identical lowering); counts records and analyzes every app and
+        prints its report joined against the embedded ground truth —
+        the format the CI golden file pins. Same --seed/--count/--size
+        produce byte-identical output on any machine at any --threads.
+
     cafa record <app> [--seed N] [--out FILE] [--format text|binary]
                       [--coverage paper|full]
         Simulate the named app workload with instrumentation on and
         write the recorded trace (default: <app>.trace, text format).
-        --coverage paper limits listener instrumentation to the four
-        framework packages of the paper (the Table 1 configuration).
+        <app> is a catalog name from `cafa apps` or a generated app
+        `gen:<seed>:<index>`. --coverage paper limits listener
+        instrumentation to the four framework packages of the paper
+        (the Table 1 configuration).
 
     cafa analyze <trace> [--model cafa|conventional|no-queue-rules]
                          [--no-if-guard] [--no-intra-alloc] [--no-lockset]
@@ -65,8 +80,9 @@ USAGE:
         runs per race (default 32; --directed/--guided cap the first
         two rungs). Every hit is re-recorded as a schedule script and
         replay-verified; --minimize delta-debugs each witness to a
-        minimal crashing prefix. With no app argument the whole
-        catalog is validated (--threads workers). --format json emits
+        minimal crashing prefix. [app] is a catalog name or a
+        generated app `gen:<seed>:<index>`; with no app argument the
+        whole catalog is validated (--threads workers). --format json emits
         one machine-readable object per app, witness scripts included;
         --format counts prints the one-line-per-app summary the CI
         golden file pins.
@@ -129,6 +145,7 @@ fn run_cli() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("apps") => cmd_apps(),
+        Some("gen") => cmd_gen(&args[1..]),
         Some("record") => cmd_record(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
@@ -172,6 +189,119 @@ fn cmd_apps() -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_gen(rest: &[String]) -> Result<(), String> {
+    use cafa_model::{eval::Score, GenConfig, GeneratedCatalog, SizeClass};
+
+    let mut args = rest.to_vec();
+    let seed = opt_value(&mut args, "--seed")?
+        .map(|s| s.parse::<u64>().map_err(|_| format!("bad seed `{s}`")))
+        .transpose()?
+        .unwrap_or(0);
+    let count = opt_value(&mut args, "--count")?
+        .map(|s| s.parse::<usize>().map_err(|_| format!("bad count `{s}`")))
+        .transpose()?
+        .unwrap_or(200);
+    let size = opt_value(&mut args, "--size")?
+        .map(|s| SizeClass::parse(&s))
+        .transpose()?
+        .unwrap_or(SizeClass::Mixed);
+    let format = opt_value(&mut args, "--format")?.unwrap_or_else(|| "summary".to_owned());
+    let out = opt_value(&mut args, "--out")?;
+    let threads = parse_threads(&mut args)?;
+    if !args.is_empty() {
+        return Err(format!(
+            "unexpected argument `{}`; see `cafa help`",
+            args[0]
+        ));
+    }
+
+    let catalog = GeneratedCatalog::new(GenConfig { seed, count, size });
+    let mut output = String::new();
+    match format.as_str() {
+        "text" => {
+            output = cafa_model::text::corpus_to_text(&catalog.models);
+        }
+        "summary" => {
+            output.push_str(&format!(
+                "{:<12} {:>7} {:>6} {:>5} {:>7} {:>8} {:>8}\n",
+                "App", "events", "stmts", "true", "benign", "filtered", "ordered"
+            ));
+            let mut totals = Score::new();
+            for model in &catalog.models {
+                let mut s = Score::new();
+                let spec = cafa_model::lower(model).map_err(|e| e.to_string())?;
+                s.tally_app(&spec.truth, []);
+                output.push_str(&format!(
+                    "{:<12} {:>7} {:>6} {:>5} {:>7} {:>8} {:>8}\n",
+                    model.name,
+                    model.events,
+                    model.stmts.len(),
+                    s.true_planted(),
+                    s.benign_planted(),
+                    s.filtered.planted,
+                    s.ordered.planted,
+                ));
+                totals.merge(&s);
+            }
+            output.push_str(&format!(
+                "{} apps, {} labeled vars: {} true, {} benign, {} filtered, {} ordered\n",
+                totals.apps,
+                totals.true_planted()
+                    + totals.benign_planted()
+                    + totals.filtered.planted
+                    + totals.ordered.planted,
+                totals.true_planted(),
+                totals.benign_planted(),
+                totals.filtered.planted,
+                totals.ordered.planted,
+            ));
+        }
+        "counts" => {
+            let specs = catalog.specs().map_err(|e| e.to_string())?;
+            let threads = if threads == 0 {
+                cafa_engine::fleet::default_threads()
+            } else {
+                threads
+            };
+            // Compute in parallel, print in corpus order: the output
+            // is byte-identical at any worker count.
+            let scores = cafa_engine::fleet::map(&specs, threads, |app| {
+                let outcome = app.record(seed).expect("generated workloads run clean");
+                let trace = outcome.trace.expect("instrumentation is on");
+                let report = Analyzer::new()
+                    .analyze_with(&AnalysisSession::new(&trace))
+                    .expect("analysis succeeds");
+                let mut s = Score::new();
+                s.tally_app(&app.truth, report.races.iter().map(|r| r.var));
+                s
+            });
+            let mut totals = Score::new();
+            for (app, score) in specs.iter().zip(&scores) {
+                output.push_str(&score.counts_line(&app.name));
+                output.push('\n');
+                totals.merge(score);
+            }
+            output.push_str(&totals.counts_line("TOTAL"));
+            output.push('\n');
+            output.push_str(&format!(
+                "precision={:.3} harmful-recall={:.3} benign-recall={:.3}\n",
+                totals.precision(),
+                totals.harmful_recall(),
+                totals.benign_recall(),
+            ));
+        }
+        other => return Err(format!("bad format `{other}` (summary|text|counts)")),
+    }
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &output).map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("wrote {path} ({format}, {} apps)", catalog.len());
+        }
+        None => print!("{output}"),
+    }
+    Ok(())
+}
+
 /// Pulls `--flag value` out of `args`; returns the value.
 fn opt_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
     if let Some(pos) = args.iter().position(|a| a == flag) {
@@ -209,11 +339,7 @@ fn cmd_record(rest: &[String]) -> Result<(), String> {
         return Err("usage: cafa record <app> [--seed N] [--out FILE] ...".to_owned());
     };
 
-    let apps = cafa_apps::all_apps();
-    let app = apps
-        .iter()
-        .find(|a| a.name.eq_ignore_ascii_case(name))
-        .ok_or_else(|| format!("unknown app `{name}`; see `cafa apps`"))?;
+    let app = cafa_apps::resolve(name).map_err(|e| e.to_string())?;
 
     let mut config = SimConfig::with_seed(seed);
     config.instrument = match coverage.as_str() {
@@ -485,12 +611,8 @@ fn cmd_validate(rest: &[String]) -> Result<(), String> {
             validate_apps(&cfg, threads).map_err(|e| format!("validation failed: {e}"))?
         }
         [name] => {
-            let apps = cafa_apps::all_apps();
-            let app = apps
-                .iter()
-                .find(|a| a.name.eq_ignore_ascii_case(name))
-                .ok_or_else(|| format!("unknown app `{name}`; see `cafa apps`"))?;
-            vec![validate_app(app, &cfg).map_err(|e| format!("validation failed: {e}"))?]
+            let app = cafa_apps::resolve(name).map_err(|e| e.to_string())?;
+            vec![validate_app(&app, &cfg).map_err(|e| format!("validation failed: {e}"))?]
         }
         _ => return Err("usage: cafa validate [app] [options]".to_owned()),
     };

@@ -1,0 +1,528 @@
+//! The app-model DSL: workloads as plain data.
+
+use crate::error::ModelError;
+use crate::truth::{ExpectedRow, FpType, Label, TrueClass};
+
+/// Largest number of same-body posts the 4 KiB method-block layout
+/// admits (mirrors `cafa_sim::MAX_BODY_ACTIONS`).
+const MAX_BODY: u32 = 120;
+
+/// One statement of an app model.
+///
+/// Statements fall into five groups, mirroring how the hand-written
+/// catalog was organized:
+///
+/// * **harmful patterns** — planted use-after-free races of the Table 1
+///   true classes (a)/(b)/(c), each labelling its pointer variable
+///   [`Label::Harmful`];
+/// * **false-positive patterns** — benign shapes the detector reports
+///   anyway, one per §6.3 type I/II/III, labelled [`Label::Benign`];
+/// * **commutative patterns** — shapes the heuristics or queue rules
+///   must keep silent ([`Label::Filtered`] / [`Label::Ordered`]);
+/// * **low-level texture** — scalar races that feed the §4.1
+///   conventional-definition counter but are not use-free races;
+/// * **plumbing and pipelines** — benign Binder/monitor/looper
+///   machinery and the bespoke per-app event sources (sensor streams,
+///   decode pipelines, compositor bounces), unlabelled by design.
+///
+/// Every statement knows how many trace events it plants
+/// ([`Stmt::events`]) and which labels it embeds ([`Stmt::label`]), so
+/// an [`AppModel`]'s Table 1 row is *derived from the data* rather than
+/// maintained in a parallel table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    // ---- harmful patterns ------------------------------------------------
+    /// Class (a): two logically concurrent events on the main looper,
+    /// one using a pointer the other frees. `caught` swallows the NPE
+    /// (the ToDoList §6.2 shape).
+    Intra {
+        /// A previously-known bug (Table 1's "known" column).
+        known: bool,
+        /// The handler catches the NPE instead of crashing.
+        caught: bool,
+    },
+    /// Class (a), full Figure 1: an async Binder bind posts
+    /// `onServiceConnected`, racing a later lifecycle free.
+    Fig1Binder {
+        /// Binder service name (hosted in its own process).
+        service: String,
+    },
+    /// Class (b): inter-thread, invisible to a conventional detector.
+    Inter {
+        /// A previously-known bug.
+        known: bool,
+    },
+    /// Class (c): a plain thread-versus-thread hazard both models see.
+    Conv,
+    // ---- false-positive patterns -----------------------------------------
+    /// Type I: listener registration in an *uninstrumented* package
+    /// orders the real execution; the analyzer cannot see it.
+    FpListener {
+        /// The uninstrumented Android package owning the listener.
+        package: String,
+    },
+    /// Type II: a boolean flag guards the use; the if-guard heuristic
+    /// only understands pointer tests.
+    FpBoolGuard,
+    /// Type III: a decoy alias makes nearest-previous-read matching
+    /// attribute the dereference to the wrong variable.
+    FpAlias,
+    // ---- commutative patterns --------------------------------------------
+    /// Figure 5 `onFocus`: an if-guard the detector must filter.
+    FilteredGuard,
+    /// Figure 5 `onResume`: an in-event allocation the detector must
+    /// filter.
+    FilteredAlloc,
+    /// A use/free pair ordered by queue rule 1 (safe under CAFA,
+    /// reported by an EventRacer-style model).
+    QueueProtected,
+    /// Lifecycle churn: repeated resume/pause gesture pairs that alloc,
+    /// use, and free one pointer — ordered end to end by the
+    /// external-input rule, so CAFA stays silent.
+    LifecycleChurn {
+        /// Resume/pause round trips.
+        cycles: u32,
+    },
+    // ---- low-level texture -----------------------------------------------
+    /// Figure 2's scalar read-write race (`onPause` vs `onLayout`).
+    Fig2ScalarRw,
+    /// A burst of mutually concurrent scalar writers/readers: `w·r +
+    /// C(w,2)` conventional racy site pairs, zero use-free reports.
+    ScalarBurst {
+        /// Writer events.
+        writers: u32,
+        /// Reader events.
+        readers: u32,
+    },
+    // ---- benign plumbing -------------------------------------------------
+    /// A synchronous Binder poll to a per-pattern service process.
+    ServicePoll {
+        /// Binder service name.
+        service: String,
+    },
+    /// Fork/notify/wait/join worker handshake.
+    WorkerPipeline,
+    /// `count` front-posted vsync-style input events.
+    InputBurst {
+        /// Events front-posted by the dispatch handler.
+        count: u32,
+    },
+    /// A framework-covered (always instrumented) listener round.
+    CoveredListener,
+    /// A background `HandlerThread` looper running a bounded chain.
+    HandlerThread {
+        /// Chain length (events on the side looper).
+        len: u32,
+    },
+    /// The bundle most catalog apps use: one of each flavor, sized by
+    /// `burst`.
+    FlavorBundle {
+        /// Binder service name for the poll.
+        service: String,
+        /// Input-burst size.
+        burst: u32,
+    },
+    // ---- bespoke event-source pipelines ----------------------------------
+    /// ConnectBot's SSH transport relay + front-posted keystrokes.
+    SshRelay {
+        /// Terminal update chain length.
+        updates: u32,
+        /// Front-posted key events.
+        keys: u32,
+    },
+    /// MyTracks' lock-protected GPS fix stream.
+    GpsFixPipeline {
+        /// Location fixes delivered.
+        fixes: u32,
+    },
+    /// ZXing's preview chain + fork/join decode + result publication.
+    ScanPipeline {
+        /// Preview frames.
+        frames: u32,
+    },
+    /// ToDoList's looper-blocking db-writer handshake per save.
+    NoteSavePath {
+        /// Notes saved.
+        saves: u32,
+    },
+    /// Browser's network → cache → parse → layout → paint pipeline.
+    PageLoadPipeline,
+    /// Firefox's UI/compositor looper ping-pong.
+    CompositorBounce {
+        /// Submit/composite round trips.
+        rounds: u32,
+    },
+    /// Music's producer/consumer audio handoff.
+    PlaybackEngine,
+    /// VLC's demux → video-looper decode → render-tick chain.
+    PlaybackChain {
+        /// Packets decoded.
+        packets: u32,
+    },
+    /// Camera's Binder-triggered shutter with storage join.
+    ShutterSequence,
+    /// FBReader's fork/join page-turn prefetch.
+    PaginationPrefetch {
+        /// Page turns.
+        turns: u32,
+    },
+}
+
+impl Stmt {
+    /// The DSL keyword of this statement (also its serialized name).
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            Stmt::Intra { .. } => "intra",
+            Stmt::Fig1Binder { .. } => "fig1-binder",
+            Stmt::Inter { .. } => "inter",
+            Stmt::Conv => "conv",
+            Stmt::FpListener { .. } => "fp-listener",
+            Stmt::FpBoolGuard => "fp-bool-guard",
+            Stmt::FpAlias => "fp-alias",
+            Stmt::FilteredGuard => "filtered-guard",
+            Stmt::FilteredAlloc => "filtered-alloc",
+            Stmt::QueueProtected => "queue-protected",
+            Stmt::LifecycleChurn { .. } => "lifecycle-churn",
+            Stmt::Fig2ScalarRw => "fig2-scalar-rw",
+            Stmt::ScalarBurst { .. } => "scalar-burst",
+            Stmt::ServicePoll { .. } => "service-poll",
+            Stmt::WorkerPipeline => "worker-pipeline",
+            Stmt::InputBurst { .. } => "input-burst",
+            Stmt::CoveredListener => "covered-listener",
+            Stmt::HandlerThread { .. } => "handler-thread",
+            Stmt::FlavorBundle { .. } => "flavor-bundle",
+            Stmt::SshRelay { .. } => "ssh-relay",
+            Stmt::GpsFixPipeline { .. } => "gps-fix-pipeline",
+            Stmt::ScanPipeline { .. } => "scan-pipeline",
+            Stmt::NoteSavePath { .. } => "note-save-path",
+            Stmt::PageLoadPipeline => "page-load-pipeline",
+            Stmt::CompositorBounce { .. } => "compositor-bounce",
+            Stmt::PlaybackEngine => "playback-engine",
+            Stmt::PlaybackChain { .. } => "playback-chain",
+            Stmt::ShutterSequence => "shutter-sequence",
+            Stmt::PaginationPrefetch { .. } => "pagination-prefetch",
+        }
+    }
+
+    /// Trace events this statement plants when lowered (the amounts the
+    /// interpreter's `add_events` calls will report).
+    pub fn events(&self) -> usize {
+        match *self {
+            Stmt::Intra { .. } => 2,
+            Stmt::Fig1Binder { .. } => 3,
+            Stmt::Inter { .. } => 2,
+            Stmt::Conv => 0,
+            Stmt::FpListener { .. } => 2,
+            Stmt::FpBoolGuard => 2,
+            Stmt::FpAlias => 3,
+            Stmt::FilteredGuard => 2,
+            Stmt::FilteredAlloc => 2,
+            Stmt::QueueProtected => 2,
+            Stmt::LifecycleChurn { cycles } => 2 * cycles as usize,
+            Stmt::Fig2ScalarRw => 2,
+            Stmt::ScalarBurst { writers, readers } => (writers + readers) as usize,
+            Stmt::ServicePoll { .. } => 2,
+            Stmt::WorkerPipeline => 2,
+            Stmt::InputBurst { count } => count as usize + 1,
+            Stmt::CoveredListener => 2,
+            Stmt::HandlerThread { len } => len as usize,
+            Stmt::FlavorBundle { burst, .. } => 9 + burst as usize,
+            Stmt::SshRelay { updates, keys } => updates as usize + keys as usize + 1,
+            Stmt::GpsFixPipeline { fixes } => fixes as usize,
+            Stmt::ScanPipeline { frames } => frames as usize + 2,
+            Stmt::NoteSavePath { saves } => 2 * saves as usize,
+            Stmt::PageLoadPipeline => 5,
+            Stmt::CompositorBounce { rounds } => 2 * rounds as usize,
+            Stmt::PlaybackEngine => 2,
+            Stmt::PlaybackChain { packets } => 2 * packets as usize,
+            Stmt::ShutterSequence => 3,
+            Stmt::PaginationPrefetch { turns } => turns as usize,
+        }
+    }
+
+    /// The ground-truth label this statement embeds, if it plants a
+    /// labelled pattern. Plumbing and pipeline statements are
+    /// unlabelled: they must never appear in a report at all.
+    pub fn label(&self) -> Option<Label> {
+        match *self {
+            Stmt::Intra { known, .. } => Some(Label::Harmful {
+                class: TrueClass::IntraThread,
+                known,
+            }),
+            Stmt::Fig1Binder { .. } => Some(Label::Harmful {
+                class: TrueClass::IntraThread,
+                known: true,
+            }),
+            Stmt::Inter { known } => Some(Label::Harmful {
+                class: TrueClass::InterThread,
+                known,
+            }),
+            Stmt::Conv => Some(Label::Harmful {
+                class: TrueClass::Conventional,
+                known: false,
+            }),
+            Stmt::FpListener { .. } => Some(Label::Benign {
+                fp: FpType::MissingListener,
+            }),
+            Stmt::FpBoolGuard => Some(Label::Benign {
+                fp: FpType::ImpreciseCommutativity,
+            }),
+            Stmt::FpAlias => Some(Label::Benign {
+                fp: FpType::DerefMismatch,
+            }),
+            Stmt::FilteredGuard | Stmt::FilteredAlloc => Some(Label::Filtered),
+            Stmt::QueueProtected | Stmt::LifecycleChurn { .. } => Some(Label::Ordered),
+            _ => None,
+        }
+    }
+
+    /// Statement-local validity: parameter ranges the lowering requires.
+    fn validate(&self) -> Result<(), String> {
+        let need = |cond: bool, msg: &str| {
+            if cond {
+                Ok(())
+            } else {
+                Err(msg.to_owned())
+            }
+        };
+        match *self {
+            Stmt::Fig1Binder { ref service } => {
+                need(!service.is_empty(), "service name must be non-empty")
+            }
+            Stmt::FpListener { ref package } => {
+                need(!package.is_empty(), "listener package must be non-empty")
+            }
+            Stmt::LifecycleChurn { cycles } => need(cycles >= 1, "cycles must be >= 1"),
+            Stmt::ScalarBurst { writers, readers } => need(
+                writers + readers <= MAX_BODY,
+                "writers + readers must fit one post body (<= 120)",
+            ),
+            Stmt::ServicePoll { ref service } => {
+                need(!service.is_empty(), "service name must be non-empty")
+            }
+            Stmt::InputBurst { count } => {
+                need(count < MAX_BODY, "count must fit one dispatch body (< 120)")
+            }
+            Stmt::HandlerThread { len } => need(len >= 1, "len must be >= 1"),
+            Stmt::FlavorBundle { ref service, burst } => {
+                need(!service.is_empty(), "service name must be non-empty")?;
+                need(burst < MAX_BODY, "burst must fit one dispatch body (< 120)")
+            }
+            Stmt::SshRelay { updates, keys } => {
+                need(updates >= 1, "updates must be >= 1")?;
+                need(keys < MAX_BODY, "keys must fit one dispatch body (< 120)")
+            }
+            Stmt::GpsFixPipeline { fixes } => need(fixes >= 1, "fixes must be >= 1"),
+            Stmt::ScanPipeline { frames } => need(frames >= 1, "frames must be >= 1"),
+            Stmt::CompositorBounce { rounds } => need(rounds >= 1, "rounds must be >= 1"),
+            Stmt::PlaybackChain { packets } => need(packets >= 1, "packets must be >= 1"),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// One application workload as data: the complete input from which the
+/// interpreter builds both the deterministic Table 1 program and its
+/// stress variant, plus the ground-truth label table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AppModel {
+    /// Application name (becomes the trace's `app` metadata).
+    pub name: String,
+    /// Total trace events the recorded run must contain; the
+    /// interpreter adds timer-chain filler on top of the planted
+    /// statements to reach this target exactly (the Table 1 "Events"
+    /// column).
+    pub events: usize,
+    /// Uninstrumented CPU work per filler event — the per-app knob
+    /// behind the Figure 8 tracing-overhead spread.
+    pub compute_units: u32,
+    /// Expected conventional-definition racy site pairs, where a
+    /// published number exists (ConnectBot's 1,664 of §4.1).
+    pub lowlevel_pairs: Option<usize>,
+    /// The planted statements, lowered in order.
+    pub stmts: Vec<Stmt>,
+}
+
+impl AppModel {
+    /// Trace events the statements plant before filler.
+    pub fn planted_events(&self) -> usize {
+        self.stmts.iter().map(Stmt::events).sum()
+    }
+
+    /// Number of labelled pattern variables the model embeds.
+    pub fn label_count(&self) -> usize {
+        self.stmts.iter().filter(|s| s.label().is_some()).count()
+    }
+
+    /// Count of embedded harmful labels of `class`.
+    pub fn harmful_count(&self, class: TrueClass) -> usize {
+        self.stmts
+            .iter()
+            .filter(|s| matches!(s.label(), Some(Label::Harmful { class: c, .. }) if c == class))
+            .count()
+    }
+
+    /// Count of embedded benign labels of `fp`.
+    pub fn benign_count(&self, fp: FpType) -> usize {
+        self.stmts
+            .iter()
+            .filter(|s| matches!(s.label(), Some(Label::Benign { fp: f }) if f == fp))
+            .count()
+    }
+
+    /// The Table 1 row this model implies, derived entirely from the
+    /// embedded labels: the data is the single source of truth for
+    /// what the detector is expected to report.
+    pub fn expected_row(&self) -> ExpectedRow {
+        let a = self.harmful_count(TrueClass::IntraThread);
+        let b = self.harmful_count(TrueClass::InterThread);
+        let c = self.harmful_count(TrueClass::Conventional);
+        let fp1 = self.benign_count(FpType::MissingListener);
+        let fp2 = self.benign_count(FpType::ImpreciseCommutativity);
+        let fp3 = self.benign_count(FpType::DerefMismatch);
+        ExpectedRow {
+            events: self.events,
+            reported: a + b + c + fp1 + fp2 + fp3,
+            a,
+            b,
+            c,
+            fp1,
+            fp2,
+            fp3,
+        }
+    }
+
+    /// Validates the model without lowering it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Invalid`] naming the offending statement
+    /// (index and keyword) for out-of-range parameters, or a
+    /// model-level error when the event budget is below the planted
+    /// total. A model that passes `check` lowers without panicking.
+    pub fn check(&self) -> Result<(), ModelError> {
+        if self.name.is_empty() {
+            return Err(ModelError::Invalid {
+                app: String::from("<unnamed>"),
+                stmt: None,
+                reason: "app name must be non-empty".to_owned(),
+            });
+        }
+        for (index, stmt) in self.stmts.iter().enumerate() {
+            stmt.validate().map_err(|reason| ModelError::Invalid {
+                app: self.name.clone(),
+                stmt: Some((index, stmt.keyword())),
+                reason,
+            })?;
+        }
+        let planted = self.planted_events();
+        if planted > self.events {
+            return Err(ModelError::Invalid {
+                app: self.name.clone(),
+                stmt: None,
+                reason: format!(
+                    "event budget {} is below the {planted} events the statements plant",
+                    self.events
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(stmts: Vec<Stmt>) -> AppModel {
+        AppModel {
+            name: "t".to_owned(),
+            events: 500,
+            compute_units: 10,
+            lowlevel_pairs: None,
+            stmts,
+        }
+    }
+
+    #[test]
+    fn derived_row_counts_labels() {
+        let m = tiny(vec![
+            Stmt::Intra {
+                known: false,
+                caught: true,
+            },
+            Stmt::Inter { known: true },
+            Stmt::Conv,
+            Stmt::FpListener {
+                package: "com.example".to_owned(),
+            },
+            Stmt::FpBoolGuard,
+            Stmt::FpAlias,
+            Stmt::FilteredGuard,
+            Stmt::QueueProtected,
+            Stmt::PageLoadPipeline,
+        ]);
+        let row = m.expected_row();
+        assert_eq!((row.a, row.b, row.c), (1, 1, 1));
+        assert_eq!((row.fp1, row.fp2, row.fp3), (1, 1, 1));
+        assert_eq!(row.reported, 6);
+        assert!(row.is_consistent());
+        assert_eq!(m.label_count(), 8);
+    }
+
+    #[test]
+    fn check_rejects_zero_updates_naming_the_statement() {
+        let m = tiny(vec![
+            Stmt::Conv,
+            Stmt::SshRelay {
+                updates: 0,
+                keys: 3,
+            },
+        ]);
+        let err = m.check().unwrap_err();
+        match err {
+            ModelError::Invalid {
+                stmt: Some((1, "ssh-relay")),
+                ..
+            } => {}
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn check_rejects_overfull_event_budget() {
+        let mut m = tiny(vec![Stmt::ScalarBurst {
+            writers: 10,
+            readers: 30,
+        }]);
+        m.events = 10;
+        let err = m.check().unwrap_err();
+        assert!(err.to_string().contains("below the 40 events"));
+    }
+
+    #[test]
+    fn check_accepts_the_empty_model() {
+        assert!(tiny(vec![]).check().is_ok());
+    }
+
+    #[test]
+    fn statement_events_match_interpreter_accounting() {
+        assert_eq!(
+            Stmt::SshRelay {
+                updates: 8,
+                keys: 3
+            }
+            .events(),
+            12
+        );
+        assert_eq!(
+            Stmt::FlavorBundle {
+                service: "s".to_owned(),
+                burst: 4
+            }
+            .events(),
+            13
+        );
+        assert_eq!(Stmt::LifecycleChurn { cycles: 3 }.events(), 6);
+    }
+}

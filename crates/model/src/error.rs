@@ -1,0 +1,84 @@
+//! Typed errors for model validation and parsing.
+
+use std::fmt;
+
+/// Why a model could not be parsed, validated, or lowered.
+///
+/// Malformed models never panic the interpreter: every shape the
+/// lowering cannot handle is rejected up front by
+/// [`AppModel::check`](crate::AppModel::check) with an error naming the
+/// offending statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModelError {
+    /// The textual form could not be parsed.
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// The model parsed (or was constructed) but is not lowerable.
+    Invalid {
+        /// The app the model names.
+        app: String,
+        /// The offending statement: its 0-based index in
+        /// [`AppModel::stmts`](crate::AppModel::stmts) and its DSL
+        /// keyword. `None` for model-level problems (e.g. an event
+        /// budget below the planted total).
+        stmt: Option<(usize, &'static str)>,
+        /// Why the statement (or model) is rejected.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Parse { line, message } => {
+                write!(f, "model parse error at line {line}: {message}")
+            }
+            ModelError::Invalid {
+                app,
+                stmt: Some((index, keyword)),
+                reason,
+            } => write!(
+                f,
+                "invalid model `{app}`: stmt {index} ({keyword}): {reason}"
+            ),
+            ModelError::Invalid {
+                app,
+                stmt: None,
+                reason,
+            } => write!(f, "invalid model `{app}`: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_offending_statement() {
+        let e = ModelError::Invalid {
+            app: "gen0-0001".to_owned(),
+            stmt: Some((3, "ssh-relay")),
+            reason: "updates must be >= 1".to_owned(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("gen0-0001"));
+        assert!(s.contains("stmt 3"));
+        assert!(s.contains("ssh-relay"));
+    }
+
+    #[test]
+    fn display_parse_names_the_line() {
+        let e = ModelError::Parse {
+            line: 7,
+            message: "unknown statement `frobnicate`".to_owned(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+}

@@ -1,0 +1,469 @@
+//! Seeded generation of labeled app corpora.
+//!
+//! The generator composes the DSL's pattern space — race kinds
+//! (a)/(b)/(c), false-positive types I/II/III, commutative patterns,
+//! lifecycle churn, Binder plumbing, event-source pipelines, scalar
+//! textures — into arbitrarily many [`AppModel`]s, each carrying its
+//! own ground-truth labels. Determinism is absolute: app `index` of
+//! seed `s` is a pure function of `(s, index, size)`, computed with a
+//! private SplitMix64 stream, so the same `--seed`/`--count` produce
+//! byte-identical corpora on any machine, in any iteration order, and
+//! at any analysis thread count.
+
+use crate::dsl::{AppModel, Stmt};
+use crate::error::ModelError;
+use crate::lower::{lower, AppSpec};
+
+/// SplitMix64's output mix (Steele et al.); also used to whiten the
+/// per-app seed derivation.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A tiny deterministic PRNG (SplitMix64). Hand-rolled so corpus
+/// identity depends on nothing but this file.
+struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        mix(self.state)
+    }
+
+    /// Uniform-ish integer in `lo..=hi` (modulo bias is irrelevant
+    /// here: only determinism matters, and ranges are tiny).
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.next() % (hi - lo + 1)
+    }
+
+    /// True with probability `num`/`den`.
+    fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.next() % den < num
+    }
+}
+
+/// Workload size classes for generated apps, controlling both how many
+/// patterns an app plants and how much timer-chain filler pads it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SizeClass {
+    /// A handful of patterns, a few hundred events.
+    Small,
+    /// The catalog's texture at reduced event counts.
+    Medium,
+    /// Pattern-dense apps approaching catalog event counts.
+    Large,
+    /// Per-app random draw among the three (the default).
+    Mixed,
+}
+
+impl SizeClass {
+    /// Parses the `--size` CLI spelling.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognized input.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "small" => Ok(Self::Small),
+            "medium" => Ok(Self::Medium),
+            "large" => Ok(Self::Large),
+            "mixed" => Ok(Self::Mixed),
+            other => Err(format!(
+                "unknown size class `{other}` (expected small, medium, large, or mixed)"
+            )),
+        }
+    }
+}
+
+/// Generator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct GenConfig {
+    /// Corpus seed: apps are `gen{seed}-0000` through `gen{seed}-NNNN`.
+    pub seed: u64,
+    /// Number of apps to generate.
+    pub count: usize,
+    /// Size class for every app ([`SizeClass::Mixed`] draws per app).
+    pub size: SizeClass,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            count: 200,
+            size: SizeClass::Mixed,
+        }
+    }
+}
+
+/// Service-name pool for generated Binder plumbing.
+const SERVICES: &[&str] = &[
+    "SyncService",
+    "UploadService",
+    "TelemetryService",
+    "CacheService",
+    "IndexService",
+    "PrefetchService",
+];
+
+/// Uninstrumented packages for Type I listener patterns. None of these
+/// share a prefix with the four instrumented framework packages
+/// (`android.app`, `android.view`, `android.widget`,
+/// `android.content`), so a listener registered here is invisible
+/// under paper coverage.
+const PACKAGES: &[&str] = &[
+    "com.gen.app",
+    "org.gen.widget",
+    "net.gen.sync",
+    "io.gen.player",
+    "dev.gen.feed",
+];
+
+/// One entry per bespoke pipeline kind; each generated app uses at
+/// most one so pipelines stay recognizable textures, not noise.
+fn pipeline_stmt(rng: &mut Rng) -> Stmt {
+    match rng.range(0, 9) {
+        0 => Stmt::SshRelay {
+            updates: rng.range(2, 10) as u32,
+            keys: rng.range(1, 6) as u32,
+        },
+        1 => Stmt::GpsFixPipeline {
+            fixes: rng.range(3, 14) as u32,
+        },
+        2 => Stmt::ScanPipeline {
+            frames: rng.range(3, 10) as u32,
+        },
+        3 => Stmt::NoteSavePath {
+            saves: rng.range(1, 4) as u32,
+        },
+        4 => Stmt::PageLoadPipeline,
+        5 => Stmt::CompositorBounce {
+            rounds: rng.range(2, 8) as u32,
+        },
+        6 => Stmt::PlaybackEngine,
+        7 => Stmt::PlaybackChain {
+            packets: rng.range(2, 8) as u32,
+        },
+        8 => Stmt::ShutterSequence,
+        _ => Stmt::PaginationPrefetch {
+            turns: rng.range(2, 8) as u32,
+        },
+    }
+}
+
+/// Per-class generation knobs.
+struct Knobs {
+    max_intra: u64,
+    max_inter: u64,
+    max_conv: u64,
+    max_fp: u64,
+    max_bursts: u64,
+    burst_hi: u64,
+    bundle_hi: u64,
+    filler_lo: u64,
+    filler_hi: u64,
+}
+
+fn knobs(size: SizeClass) -> Knobs {
+    match size {
+        SizeClass::Small => Knobs {
+            max_intra: 1,
+            max_inter: 1,
+            max_conv: 1,
+            max_fp: 1,
+            max_bursts: 1,
+            burst_hi: 8,
+            bundle_hi: 4,
+            filler_lo: 60,
+            filler_hi: 160,
+        },
+        SizeClass::Medium => Knobs {
+            max_intra: 2,
+            max_inter: 2,
+            max_conv: 3,
+            max_fp: 2,
+            max_bursts: 2,
+            burst_hi: 16,
+            bundle_hi: 6,
+            filler_lo: 200,
+            filler_hi: 400,
+        },
+        SizeClass::Large => Knobs {
+            max_intra: 3,
+            max_inter: 4,
+            max_conv: 5,
+            max_fp: 3,
+            max_bursts: 3,
+            burst_hi: 24,
+            bundle_hi: 9,
+            filler_lo: 500,
+            filler_hi: 900,
+        },
+        SizeClass::Mixed => unreachable!("Mixed resolves to a concrete class per app"),
+    }
+}
+
+fn gen_app(seed: u64, index: usize, size: SizeClass) -> AppModel {
+    // The app's entire identity derives from (seed, index): whitened
+    // separately so neighboring indices share no stream structure.
+    let mut rng = Rng::new(mix(seed ^ mix(index as u64 ^ 0xa5a5_5a5a_c3c3_3c3c)));
+    let size = match size {
+        SizeClass::Mixed => match rng.range(0, 2) {
+            0 => SizeClass::Small,
+            1 => SizeClass::Medium,
+            _ => SizeClass::Large,
+        },
+        concrete => concrete,
+    };
+    let k = knobs(size);
+    let mut stmts = Vec::new();
+
+    // Harmful patterns, catalog order: the Figure 1 shape first (rare),
+    // then intra/inter/conv populations.
+    if rng.chance(1, 4) {
+        let svc = SERVICES[rng.range(0, SERVICES.len() as u64 - 1) as usize];
+        stmts.push(Stmt::Fig1Binder {
+            service: format!("{svc}{index}"),
+        });
+    }
+    for _ in 0..rng.range(0, k.max_intra) {
+        stmts.push(Stmt::Intra {
+            known: false,
+            caught: rng.chance(1, 3),
+        });
+    }
+    for _ in 0..rng.range(0, k.max_inter) {
+        stmts.push(Stmt::Inter { known: false });
+    }
+    for _ in 0..rng.range(0, k.max_conv) {
+        stmts.push(Stmt::Conv);
+    }
+
+    // False positives, one population per §6.3 type.
+    for _ in 0..rng.range(0, k.max_fp) {
+        let pkg = PACKAGES[rng.range(0, PACKAGES.len() as u64 - 1) as usize];
+        stmts.push(Stmt::FpListener {
+            package: pkg.to_owned(),
+        });
+    }
+    for _ in 0..rng.range(0, k.max_fp) {
+        stmts.push(Stmt::FpBoolGuard);
+    }
+    for _ in 0..rng.range(0, k.max_fp) {
+        stmts.push(Stmt::FpAlias);
+    }
+
+    // Commutative patterns: what the heuristics and queue rules must
+    // keep silent.
+    if rng.chance(1, 2) {
+        stmts.push(Stmt::FilteredGuard);
+    }
+    if rng.chance(1, 2) {
+        stmts.push(Stmt::FilteredAlloc);
+    }
+    for _ in 0..rng.range(1, 2) {
+        stmts.push(Stmt::QueueProtected);
+    }
+    if rng.chance(1, 2) {
+        stmts.push(Stmt::LifecycleChurn {
+            cycles: rng.range(1, 4) as u32,
+        });
+    }
+
+    // Low-level texture.
+    if rng.chance(1, 3) {
+        stmts.push(Stmt::Fig2ScalarRw);
+    }
+
+    // Plumbing: every app gets the flavor bundle (Binder poll, worker
+    // pipeline, input burst, covered listener, handler thread).
+    let svc = SERVICES[rng.range(0, SERVICES.len() as u64 - 1) as usize];
+    stmts.push(Stmt::FlavorBundle {
+        service: format!("{svc}{index}"),
+        burst: rng.range(2, k.bundle_hi) as u32,
+    });
+
+    // At most one bespoke pipeline.
+    if rng.chance(3, 4) {
+        stmts.push(pipeline_stmt(&mut rng));
+    }
+
+    // Scalar bursts last, as in the catalog.
+    for _ in 0..rng.range(0, k.max_bursts) {
+        stmts.push(Stmt::ScalarBurst {
+            writers: rng.range(1, 8) as u32,
+            readers: rng.range(1, k.burst_hi) as u32,
+        });
+    }
+
+    let planted: usize = stmts.iter().map(Stmt::events).sum();
+    let events = planted + rng.range(k.filler_lo, k.filler_hi) as usize;
+    let model = AppModel {
+        name: format!("gen{seed}-{index:04}"),
+        events,
+        compute_units: rng.range(1, 50) as u32,
+        lowlevel_pairs: None,
+        stmts,
+    };
+    debug_assert!(model.check().is_ok(), "generator produced an invalid model");
+    model
+}
+
+/// Generates the corpus described by `config`.
+pub fn generate(config: &GenConfig) -> Vec<AppModel> {
+    (0..config.count)
+        .map(|i| gen_app(config.seed, i, config.size))
+        .collect()
+}
+
+/// Generates app `index` of seed `seed`'s *default* (mixed-size)
+/// corpus — the app `cafa record gen:<seed>:<index>` resolves to.
+/// Identical to `generate(&GenConfig { seed, count: index + 1, size:
+/// SizeClass::Mixed })[index]` without building the prefix.
+pub fn generate_one(seed: u64, index: usize) -> AppModel {
+    gen_app(seed, index, SizeClass::Mixed)
+}
+
+/// A generated corpus with its lowering, ready to plug into the same
+/// harnesses (engine, fleet, validate, bench) that consume the
+/// hand-curated catalog.
+#[derive(Debug)]
+pub struct GeneratedCatalog {
+    /// The configuration the corpus was generated from.
+    pub config: GenConfig,
+    /// The generated models, in index order.
+    pub models: Vec<AppModel>,
+}
+
+impl GeneratedCatalog {
+    /// Generates the corpus for `config`.
+    pub fn new(config: GenConfig) -> Self {
+        let models = generate(&config);
+        Self { config, models }
+    }
+
+    /// Lowers every model to a runnable [`AppSpec`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`ModelError`]; generated models always
+    /// lower (`debug_assert`ed at generation).
+    pub fn specs(&self) -> Result<Vec<AppSpec>, ModelError> {
+        self.models.iter().map(lower).collect()
+    }
+
+    /// Number of apps in the corpus.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// True when the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_corpus() {
+        let cfg = GenConfig {
+            seed: 42,
+            count: 30,
+            size: SizeClass::Mixed,
+        };
+        assert_eq!(generate(&cfg), generate(&cfg));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = GenConfig {
+            seed: 1,
+            count: 10,
+            size: SizeClass::Mixed,
+        };
+        let b = GenConfig { seed: 2, ..a };
+        assert_ne!(generate(&a), generate(&b));
+    }
+
+    #[test]
+    fn generate_one_matches_the_corpus() {
+        let cfg = GenConfig {
+            seed: 7,
+            count: 25,
+            size: SizeClass::Mixed,
+        };
+        let corpus = generate(&cfg);
+        for (i, model) in corpus.iter().enumerate() {
+            assert_eq!(&generate_one(7, i), model, "index {i}");
+        }
+    }
+
+    #[test]
+    fn every_generated_model_checks_and_lowers() {
+        let cfg = GenConfig {
+            seed: 3,
+            count: 40,
+            size: SizeClass::Mixed,
+        };
+        for model in generate(&cfg) {
+            model.check().unwrap_or_else(|e| panic!("{e}"));
+            lower(&model).unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn corpus_has_label_diversity() {
+        // A healthy corpus exercises every label family.
+        let specs = GeneratedCatalog::new(GenConfig {
+            seed: 0,
+            count: 60,
+            size: SizeClass::Mixed,
+        });
+        let rows: Vec<_> = specs.models.iter().map(AppModel::expected_row).collect();
+        assert!(rows.iter().any(|r| r.a > 0));
+        assert!(rows.iter().any(|r| r.b > 0));
+        assert!(rows.iter().any(|r| r.c > 0));
+        assert!(rows.iter().any(|r| r.fp1 > 0));
+        assert!(rows.iter().any(|r| r.fp2 > 0));
+        assert!(rows.iter().any(|r| r.fp3 > 0));
+    }
+
+    #[test]
+    fn size_classes_scale_event_budgets() {
+        let small = generate(&GenConfig {
+            seed: 5,
+            count: 20,
+            size: SizeClass::Small,
+        });
+        let large = generate(&GenConfig {
+            seed: 5,
+            count: 20,
+            size: SizeClass::Large,
+        });
+        let avg = |ms: &[AppModel]| ms.iter().map(|m| m.events).sum::<usize>() / ms.len();
+        assert!(avg(&large) > 2 * avg(&small));
+    }
+
+    #[test]
+    fn text_round_trip_of_generated_corpus() {
+        let corpus = generate(&GenConfig {
+            seed: 11,
+            count: 15,
+            size: SizeClass::Mixed,
+        });
+        let text = crate::text::corpus_to_text(&corpus);
+        assert_eq!(crate::text::parse_corpus(&text).unwrap(), corpus);
+    }
+}

@@ -1,0 +1,49 @@
+//! Data-driven app-model DSL.
+//!
+//! The ten hand-ported applications of the CAFA paper's evaluation used
+//! to be ~1,200 lines of imperative simulator-building Rust. This crate
+//! turns that vocabulary into *data*: an [`AppModel`] is a plain value —
+//! a name, an event budget, and a list of [`Stmt`]s drawn from the
+//! pattern space the paper describes (planted race kinds a/b/c, false-
+//! positive types I/II/III, commutative patterns the heuristics must
+//! filter, Binder RPC graphs, lifecycle churn, sensor-style event
+//! sources, and shared-variable access textures). Each statement
+//! carries its ground-truth [`Label`] *in the data itself*, so the
+//! model is simultaneously the workload and the oracle.
+//!
+//! Three consumers sit on top:
+//!
+//! * [`lower`] — a deterministic interpreter that lowers a model onto
+//!   `cafa-sim` exactly the way the hand-written builders did: same
+//!   builder-call order, hence byte-identical recorded traces per seed.
+//! * [`text`] — a line-oriented serialization with a byte-exact
+//!   round-trip guarantee (`model → text → parse → lower` records the
+//!   same trace) and typed parse errors naming the offending line.
+//! * [`generate`] — a seeded generator composing the pattern space
+//!   (race kind × FP type × process topology × event-source mix) into
+//!   corpora of hundreds of labeled apps; same seed and count produce
+//!   byte-identical corpora on any machine and at any thread count.
+//!
+//! The detector never sees the labels: they only enter when an
+//! evaluation harness joins a report against [`AppSpec::truth`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod dsl;
+mod error;
+pub mod eval;
+mod flavor;
+mod generator;
+mod lower;
+pub mod patterns;
+mod pipelines;
+pub mod text;
+mod truth;
+
+pub use dsl::{AppModel, Stmt};
+pub use error::ModelError;
+pub use generator::{generate, generate_one, GenConfig, GeneratedCatalog, SizeClass};
+pub use lower::{lower, AppSpec};
+pub use truth::{ExpectedRow, FpType, GroundTruth, Label, TrueClass};

@@ -1,0 +1,277 @@
+//! The deterministic interpreter: lowers an [`AppModel`] onto
+//! `cafa-sim`.
+//!
+//! The interpreter reproduces the hand-written builders' call sequence
+//! exactly — one process, one main looper, the statements executed in
+//! model order, then timer-chain filler to the event target — so a
+//! model that mirrors an old imperative recipe records *byte-identical*
+//! traces for every seed. That guarantee is what let the catalog
+//! migrate from code to data without perturbing a single golden report.
+
+use cafa_sim::{run, InstrumentConfig, Program, ProgramBuilder, RunOutcome, SimConfig, SimError};
+
+use crate::dsl::{AppModel, Stmt};
+use crate::error::ModelError;
+use crate::patterns::Patterns;
+use crate::pipelines;
+use crate::truth::{ExpectedRow, GroundTruth};
+
+/// One runnable application: its workload program, oracle labels, and
+/// the Table 1-style row its model implies.
+#[derive(Debug)]
+pub struct AppSpec {
+    /// Application name (Table 1 spelling for the catalog apps,
+    /// `gen{seed}-{index}` for generated ones).
+    pub name: String,
+    /// The simulator workload (deterministic benign-order timing; the
+    /// Table 1 configuration).
+    pub program: Program,
+    /// The stress variant: harmful patterns race for real, so
+    /// violations manifest under some schedules (the §6.2 survey
+    /// configuration).
+    pub stress_program: Program,
+    /// Oracle labels for every planted pattern variable.
+    pub truth: GroundTruth,
+    /// The row this app's model implies (for the ten catalog apps,
+    /// the paper's published numbers).
+    pub expected: ExpectedRow,
+    /// Expected conventional-definition racy site pairs, where a
+    /// published number exists (ConnectBot's 1,664 of §4.1).
+    pub lowlevel_pairs: Option<usize>,
+}
+
+impl AppSpec {
+    /// Records a trace with the paper's instrumentation coverage
+    /// (framework listener packages only — the configuration Table 1
+    /// was produced with).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures; lowered workloads run clean.
+    pub fn record(&self, seed: u64) -> Result<RunOutcome, SimError> {
+        let mut config = SimConfig::with_seed(seed);
+        config.instrument = InstrumentConfig::paper_packages();
+        run(&self.program, &config)
+    }
+
+    /// Records with *full* listener coverage (Type I false positives
+    /// disappear — the fix §6.3 anticipates).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures; lowered workloads run clean.
+    pub fn record_full_coverage(&self, seed: u64) -> Result<RunOutcome, SimError> {
+        let mut config = SimConfig::with_seed(seed);
+        config.instrument = InstrumentConfig::full();
+        run(&self.program, &config)
+    }
+
+    /// Runs without instrumentation (the stock ROM), for Figure 8
+    /// overhead baselines.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures; lowered workloads run clean.
+    pub fn record_uninstrumented(&self, seed: u64) -> Result<RunOutcome, SimError> {
+        let mut config = SimConfig::with_seed(seed);
+        config.instrument = InstrumentConfig::off();
+        run(&self.program, &config)
+    }
+
+    /// Runs the *stress* variant uninstrumented: harmful patterns race
+    /// for real, so use-after-free violations manifest under some
+    /// schedules — the §6.2 survey.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures; lowered workloads run clean.
+    pub fn run_stress(&self, seed: u64) -> Result<RunOutcome, SimError> {
+        let mut config = SimConfig::with_seed(seed);
+        config.instrument = InstrumentConfig::off();
+        run(&self.stress_program, &config)
+    }
+
+    /// Records the *stress* variant with **full** instrumentation
+    /// coverage. Instrumentation never consumes scheduling decisions,
+    /// so this trace describes exactly the schedule `run_stress(seed)`
+    /// executes — the reference `cafa-replay` synthesizes directed
+    /// schedules from.
+    ///
+    /// Full coverage matters here: the detector deliberately analyzes
+    /// paper-coverage traces (whose missing listener records *cause*
+    /// the Type I false positives), but schedule synthesis must respect
+    /// the platform's real causality — a register/perform edge the
+    /// analyzer cannot see still constrains which schedules the
+    /// platform can produce, and a directed run that broke it would
+    /// "confirm" a race no real execution exhibits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures; lowered workloads run clean.
+    pub fn record_stress(&self, seed: u64) -> Result<RunOutcome, SimError> {
+        let mut config = SimConfig::with_seed(seed);
+        config.instrument = InstrumentConfig::full();
+        run(&self.stress_program, &config)
+    }
+}
+
+/// Executes one statement against the pattern-planting context. Each
+/// arm is a direct dispatch to the code the hand-written builders
+/// called, in the same order, with the same arguments.
+fn exec(stmt: &Stmt, pats: &mut Patterns<'_>) {
+    match *stmt {
+        Stmt::Intra { known, caught } => pats.intra(known, caught),
+        Stmt::Fig1Binder { ref service } => pats.fig1_binder(service),
+        Stmt::Inter { known } => pats.inter(known),
+        Stmt::Conv => pats.conv(),
+        Stmt::FpListener { ref package } => pats.fp_listener(package),
+        Stmt::FpBoolGuard => pats.fp_bool_guard(),
+        Stmt::FpAlias => pats.fp_alias(),
+        Stmt::FilteredGuard => pats.filtered_guard(),
+        Stmt::FilteredAlloc => pats.filtered_alloc(),
+        Stmt::QueueProtected => pats.queue_protected(),
+        Stmt::LifecycleChurn { cycles } => pats.lifecycle_churn(cycles),
+        Stmt::Fig2ScalarRw => pats.fig2_scalar_rw(),
+        Stmt::ScalarBurst { writers, readers } => {
+            pats.scalar_burst(writers as usize, readers as usize);
+        }
+        Stmt::ServicePoll { ref service } => pats.flavor_service_poll(service),
+        Stmt::WorkerPipeline => pats.flavor_worker_pipeline(),
+        Stmt::InputBurst { count } => pats.flavor_input_burst(count as usize),
+        Stmt::CoveredListener => pats.flavor_covered_listener(),
+        Stmt::HandlerThread { len } => pats.flavor_handler_thread(len as usize),
+        Stmt::FlavorBundle { ref service, burst } => {
+            pats.flavor_bundle(service, burst as usize);
+        }
+        Stmt::SshRelay { updates, keys } => {
+            pipelines::ssh_relay(pats, updates, keys as usize);
+        }
+        Stmt::GpsFixPipeline { fixes } => pipelines::gps_fix_pipeline(pats, fixes),
+        Stmt::ScanPipeline { frames } => pipelines::scan_pipeline(pats, frames),
+        Stmt::NoteSavePath { saves } => pipelines::note_save_path(pats, saves as usize),
+        Stmt::PageLoadPipeline => pipelines::page_load_pipeline(pats),
+        Stmt::CompositorBounce { rounds } => pipelines::compositor_bounce(pats, rounds),
+        Stmt::PlaybackEngine => pipelines::playback_engine(pats),
+        Stmt::PlaybackChain { packets } => pipelines::playback_chain(pats, packets),
+        Stmt::ShutterSequence => pipelines::shutter_sequence(pats),
+        Stmt::PaginationPrefetch { turns } => {
+            pipelines::pagination_prefetch(pats, turns as usize);
+        }
+    }
+}
+
+fn build(model: &AppModel, stress: bool) -> (Program, GroundTruth) {
+    let mut p = ProgramBuilder::new(model.name.as_str());
+    let proc = p.process();
+    let looper = p.looper(proc);
+    let mut pats = if stress {
+        Patterns::new_stress(&mut p, proc, looper)
+    } else {
+        Patterns::new(&mut p, proc, looper)
+    };
+    for stmt in &model.stmts {
+        exec(stmt, &mut pats);
+    }
+    pats.fill_to(model.events, model.compute_units);
+    let planted = pats.events_planted();
+    debug_assert_eq!(
+        planted, model.events,
+        "{}: event budget mismatch",
+        model.name
+    );
+    let truth = pats.finish();
+    (p.build(), truth)
+}
+
+/// Lowers a model to a runnable [`AppSpec`]: the deterministic Table 1
+/// program, the stress variant, and the ground-truth table accumulated
+/// from the statements' embedded labels.
+///
+/// # Errors
+///
+/// Returns [`ModelError::Invalid`] (via [`AppModel::check`]) for any
+/// model the lowering cannot handle; a checked model never panics.
+pub fn lower(model: &AppModel) -> Result<AppSpec, ModelError> {
+    model.check()?;
+    let (program, truth) = build(model, false);
+    let (stress_program, stress_truth) = build(model, true);
+    // Both builds declare variables in the same order, so the label
+    // tables must be identical.
+    debug_assert_eq!(truth.len(), stress_truth.len());
+    Ok(AppSpec {
+        name: model.name.clone(),
+        program,
+        stress_program,
+        truth,
+        expected: model.expected_row(),
+        lowlevel_pairs: model.lowlevel_pairs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::truth::{Label, TrueClass};
+
+    fn model() -> AppModel {
+        AppModel {
+            name: "lower-test".to_owned(),
+            events: 600,
+            compute_units: 5,
+            lowlevel_pairs: None,
+            stmts: vec![
+                Stmt::Intra {
+                    known: false,
+                    caught: false,
+                },
+                Stmt::Inter { known: true },
+                Stmt::QueueProtected,
+                Stmt::LifecycleChurn { cycles: 3 },
+                Stmt::FlavorBundle {
+                    service: "TestService".to_owned(),
+                    burst: 4,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn lowering_matches_derived_truth() {
+        let m = model();
+        let spec = lower(&m).unwrap();
+        assert_eq!(spec.name, "lower-test");
+        assert_eq!(spec.truth.harmful_count(TrueClass::IntraThread), 1);
+        assert_eq!(spec.truth.harmful_count(TrueClass::InterThread), 1);
+        let ordered = spec
+            .truth
+            .iter()
+            .filter(|&(_, l)| l == Label::Ordered)
+            .count();
+        assert_eq!(ordered, 2);
+        assert_eq!(spec.expected, m.expected_row());
+    }
+
+    #[test]
+    fn lowered_model_records_the_event_target() {
+        let m = model();
+        let spec = lower(&m).unwrap();
+        let outcome = spec.record(0).unwrap();
+        let trace = outcome.trace.unwrap();
+        assert_eq!(trace.events().count(), m.events);
+    }
+
+    #[test]
+    fn lowering_is_deterministic() {
+        let m = model();
+        let a = lower(&m).unwrap().record(7).unwrap().trace.unwrap();
+        let b = lower(&m).unwrap().record(7).unwrap().trace.unwrap();
+        assert_eq!(cafa_trace::to_binary_vec(&a), cafa_trace::to_binary_vec(&b));
+    }
+
+    #[test]
+    fn invalid_model_is_rejected_not_panicked() {
+        let mut m = model();
+        m.stmts.push(Stmt::GpsFixPipeline { fixes: 0 });
+        assert!(matches!(lower(&m), Err(ModelError::Invalid { .. })));
+    }
+}

@@ -577,6 +577,32 @@ impl<'a> Patterns<'a> {
         self.truth.insert(Self::var_id(ptr), Label::Ordered);
     }
 
+    /// Lifecycle churn: `cycles` resume/pause gesture pairs on one
+    /// pointer — resume re-allocates it, pause uses it and frees it.
+    /// The external-input rule chains the gestures, so every
+    /// cross-cycle use/free candidate is HB-ordered and the detector
+    /// stays silent without any heuristic's help. This is the
+    /// "background the user keeps flipping away from" texture of
+    /// generated workloads.
+    pub fn lifecycle_churn(&mut self, cycles: u32) {
+        let t = self.next_slot();
+        let tag = self.tag("lcy");
+        let ptr = self.p.ptr_var();
+        let resume = self
+            .p
+            .handler(&format!("{tag}:onResume"), Body::new().alloc(ptr));
+        let pause = self.p.handler(
+            &format!("{tag}:onPause"),
+            Body::new().use_ptr(ptr).free(ptr),
+        );
+        for k in 0..cycles as u64 {
+            self.p.gesture(t + 40 * k, self.looper, resume);
+            self.p.gesture(t + 40 * k + 20, self.looper, pause);
+        }
+        self.events += 2 * cycles as usize;
+        self.truth.insert(Self::var_id(ptr), Label::Ordered);
+    }
+
     // ---- low-level-race texture -----------------------------------------------
 
     /// Figure 2's ConnectBot pattern: a scalar read-write race between

@@ -1,0 +1,657 @@
+//! The bespoke per-app event-source pipelines of the ten evaluated
+//! applications, moved verbatim from the hand-written catalog modules.
+//!
+//! Each function plants a fully-ordered event source (sensor stream,
+//! decode pipeline, compositor bounce, ...) that touches shared state at
+//! every stage — the detector must stay silent about all of them. They
+//! operate on [`Patterns`] exactly like the shared patterns do, so the
+//! interpreter can dispatch a pipeline statement with the same builder
+//! call sequence the original per-app builder used, keeping recorded
+//! traces byte-identical.
+
+use cafa_sim::{Action, Body, HandlerId};
+use cafa_trace::DerefKind;
+
+use crate::patterns::Patterns;
+
+/// ConnectBot's SSH transport relay: a network thread receives
+/// ciphertext, decrypts under the session lock, and posts a chain of
+/// terminal update events; each keystroke is front-posted for latency.
+/// All ordered — the detector must not confuse the relay with the
+/// planted teardown races.
+///
+/// Plants `updates + keys + 1` events.
+pub(crate) fn ssh_relay(pats: &mut Patterns<'_>, updates: u32, keys: usize) {
+    let t = pats.next_slot();
+    let proc = pats.proc();
+    let looper = pats.looper();
+    let p = &mut *pats.p;
+    let session = p.ptr_var_alloc();
+    let screen = p.scalar_var(0);
+    let m = p.monitor();
+
+    // Terminal update chain, driven by the relay thread's first post.
+    let budget = p.counter(updates - 1);
+    let update = {
+        let me = p.next_handler_id();
+        p.handler(
+            "connectbot:onTermUpdate",
+            Body::from_actions(vec![
+                Action::ReadScalar(screen),
+                Action::Compute(15),
+                Action::WriteScalar(screen, 1),
+                Action::PostChain {
+                    looper,
+                    handler: me,
+                    delay_ms: 4,
+                    budget,
+                },
+            ]),
+        )
+    };
+    p.thread(
+        proc,
+        "connectbot:relay",
+        Body::from_actions(vec![
+            Action::Sleep(t),
+            Action::Lock(m),
+            Action::UsePtr {
+                var: session,
+                kind: DerefKind::Invoke,
+                catch_npe: false,
+            },
+            Action::Compute(40),
+            Action::Unlock(m),
+            Action::Post {
+                looper,
+                handler: update,
+                delay_ms: 0,
+            },
+        ]),
+    );
+
+    // Keystrokes: a dispatch gesture front-posts each key event. They
+    // touch the input buffer, not the screen var (the update chain and
+    // the key events are concurrent, and this is the low-level-race
+    // calibrated app — ConnectBot's 1,664 must stay exact).
+    let input_buf = p.scalar_var(0);
+    let mut key_actions = Vec::with_capacity(keys);
+    for k in 0..keys {
+        let key = p.handler(
+            &format!("connectbot:onKey{k}"),
+            Body::new().write(input_buf, k as i64),
+        );
+        key_actions.push(Action::PostFront {
+            looper,
+            handler: key,
+        });
+    }
+    let dispatch = p.handler("connectbot:dispatchKeys", Body::from_actions(key_actions));
+    p.gesture(t + 100, looper, dispatch);
+    pats.add_events(updates as usize + keys + 1);
+}
+
+/// MyTracks' GPS fix pipeline: the location service delivers a sequence
+/// of fixes as events; each fix updates the track distance under the
+/// recording lock, which the stats thread also takes to snapshot the
+/// distance. Lock-protected on both sides, so the lockset check (not a
+/// happens-before edge — CAFA derives none from locks) is what keeps
+/// the detector quiet.
+///
+/// Plants `fixes` events.
+pub(crate) fn gps_fix_pipeline(pats: &mut Patterns<'_>, fixes: u32) {
+    let t = pats.next_slot();
+    let proc = pats.proc();
+    let looper = pats.looper();
+    let p = &mut *pats.p;
+    let distance = p.scalar_var(0);
+    let m = p.monitor();
+
+    let budget = p.counter(fixes - 1);
+    let on_fix = {
+        let me = p.next_handler_id();
+        p.handler(
+            "mytracks:onLocationChanged",
+            Body::from_actions(vec![
+                Action::Lock(m),
+                Action::ReadScalar(distance),
+                Action::WriteScalar(distance, 1),
+                Action::Unlock(m),
+                Action::Compute(20),
+                Action::PostChain {
+                    looper,
+                    handler: me,
+                    delay_ms: 5,
+                    budget,
+                },
+            ]),
+        )
+    };
+    p.thread(
+        proc,
+        "mytracks:gpsSource",
+        Body::from_actions(vec![
+            Action::Sleep(t),
+            Action::Post {
+                looper,
+                handler: on_fix,
+                delay_ms: 0,
+            },
+        ]),
+    );
+    p.thread(
+        proc,
+        "mytracks:statsThread",
+        Body::from_actions(vec![
+            Action::Sleep(t + 60),
+            Action::Lock(m),
+            Action::ReadScalar(distance),
+            Action::Unlock(m),
+        ]),
+    );
+    pats.add_events(fixes as usize);
+}
+
+/// ZXing's scan pipeline: preview frames arrive as a chain; the capture
+/// frame forks a decode thread whose result is joined and published by
+/// a result event that dereferences the decoded object.
+///
+/// Plants `frames + 2` events.
+pub(crate) fn scan_pipeline(pats: &mut Patterns<'_>, frames: u32) {
+    let t = pats.next_slot();
+    let proc = pats.proc();
+    let looper = pats.looper();
+    let p = &mut *pats.p;
+    let luma = p.scalar_var(0);
+    let result = p.ptr_var();
+
+    let budget = p.counter(frames - 1);
+    let preview = {
+        let me = p.next_handler_id();
+        p.handler(
+            "zxing:onPreviewFrame",
+            Body::from_actions(vec![
+                Action::ReadScalar(luma),
+                Action::Compute(25),
+                Action::PostChain {
+                    looper,
+                    handler: me,
+                    delay_ms: 33,
+                    budget,
+                },
+            ]),
+        )
+    };
+    let publish = p.handler(
+        "zxing:onDecodeResult",
+        Body::from_actions(vec![Action::UsePtr {
+            var: result,
+            kind: DerefKind::Invoke,
+            catch_npe: false,
+        }]),
+    );
+    let decoder = p.thread_spec(
+        proc,
+        "zxing:decodeThread",
+        Body::from_actions(vec![Action::Compute(120), Action::AllocPtr(result)]),
+    );
+    let capture = p.handler(
+        "zxing:onCaptureFrame",
+        Body::from_actions(vec![
+            Action::Fork(decoder),
+            Action::JoinLast,
+            Action::Post {
+                looper,
+                handler: publish,
+                delay_ms: 0,
+            },
+        ]),
+    );
+    p.thread(
+        proc,
+        "zxing:frameSource",
+        Body::from_actions(vec![
+            Action::Sleep(t),
+            Action::Post {
+                looper,
+                handler: preview,
+                delay_ms: 0,
+            },
+        ]),
+    );
+    p.gesture(t + 80, looper, capture);
+    pats.add_events(frames as usize + 2);
+}
+
+/// ToDoList's note-save path: each save gesture hands the note to a db
+/// writer thread through a monitor and waits for the commit
+/// acknowledgement before posting the widget refresh. Exercises
+/// looper-blocking waits (the anti-pattern Android docs warn about, but
+/// common in small apps like this one).
+///
+/// Plants 2 events per save.
+pub(crate) fn note_save_path(pats: &mut Patterns<'_>, saves: usize) {
+    for _ in 0..saves {
+        let t = pats.next_slot();
+        let proc = pats.proc();
+        let looper = pats.looper();
+        let p = &mut *pats.p;
+        let note = p.ptr_var_alloc();
+        let m = p.monitor();
+        let writer = p.thread_spec(
+            proc,
+            "todolist:dbWriter",
+            Body::from_actions(vec![
+                Action::Lock(m),
+                Action::UsePtr {
+                    var: note,
+                    kind: cafa_trace::DerefKind::Field,
+                    catch_npe: false,
+                },
+                Action::Compute(70),
+                Action::Notify(m),
+                Action::Unlock(m),
+            ]),
+        );
+        let refresh = p.handler("todolist:onWidgetRefresh", Body::new().compute(10));
+        let save = p.handler(
+            "todolist:onSaveNote",
+            Body::from_actions(vec![
+                Action::Lock(m),
+                Action::Fork(writer),
+                Action::Wait(m),
+                Action::Unlock(m),
+                Action::JoinLast,
+                Action::Post {
+                    looper,
+                    handler: refresh,
+                    delay_ms: 0,
+                },
+            ]),
+        );
+        p.gesture(t, looper, save);
+        pats.add_events(2);
+    }
+}
+
+/// Browser's page-load pipeline: a network thread streams chunks to a
+/// cache thread through a monitor, the cache thread posts a parse
+/// event, parsing posts layout, layout posts a short chain of paint
+/// events. All ordered — fork/notify/send edges end to end — so the
+/// detector must stay silent about a pipeline that touches shared state
+/// at every stage.
+///
+/// Plants 5 events (parse, layout, 3 paints).
+pub(crate) fn page_load_pipeline(pats: &mut Patterns<'_>) {
+    let t = pats.next_slot();
+    let proc = pats.proc();
+    let looper = pats.looper();
+    let p = &mut *pats.p;
+    let chunk_buf = p.ptr_var_alloc();
+    let dom = p.ptr_var_alloc();
+    let m = p.monitor();
+
+    // paint chain (declared first so layout can reference it).
+    let frame_no = p.scalar_var(0);
+    let paint_budget = p.counter(2);
+    let paint = {
+        let me = p.next_handler_id();
+        p.handler(
+            "browser:paint",
+            Body::from_actions(vec![
+                Action::ReadScalar(frame_no),
+                Action::Compute(30),
+                Action::PostChain {
+                    looper,
+                    handler: me,
+                    delay_ms: 16,
+                    budget: paint_budget,
+                },
+            ]),
+        )
+    };
+    let layout = p.handler(
+        "browser:layout",
+        Body::from_actions(vec![
+            Action::UsePtr {
+                var: dom,
+                kind: DerefKind::Field,
+                catch_npe: false,
+            },
+            Action::Compute(40),
+            Action::Post {
+                looper,
+                handler: paint,
+                delay_ms: 16,
+            },
+        ]),
+    );
+    let parse = p.handler(
+        "browser:parse",
+        Body::from_actions(vec![
+            Action::UsePtr {
+                var: chunk_buf,
+                kind: DerefKind::Field,
+                catch_npe: false,
+            },
+            Action::AllocPtr(dom),
+            Action::Post {
+                looper,
+                handler: layout,
+                delay_ms: 0,
+            },
+        ]),
+    );
+    // Cache thread: waits for the network thread's chunk, then posts
+    // parse to the main looper.
+    let cache = p.thread_spec(
+        proc,
+        "browser:cache",
+        Body::from_actions(vec![
+            Action::Lock(m),
+            Action::Wait(m),
+            Action::Unlock(m),
+            Action::UsePtr {
+                var: chunk_buf,
+                kind: DerefKind::Field,
+                catch_npe: false,
+            },
+            Action::Post {
+                looper,
+                handler: parse,
+                delay_ms: 0,
+            },
+        ]),
+    );
+    // Network thread: forks the cache consumer, fills the buffer,
+    // signals, joins.
+    p.thread(
+        proc,
+        "browser:net",
+        Body::from_actions(vec![
+            Action::Sleep(t),
+            Action::Fork(cache),
+            // Virtual time only advances when every entity is blocked,
+            // so this sleep guarantees the cache thread reached its
+            // `Wait` before the chunk is published — no lost wake-up.
+            Action::Sleep(1),
+            Action::AllocPtr(chunk_buf),
+            Action::Compute(60),
+            Action::Lock(m),
+            Action::Notify(m),
+            Action::Unlock(m),
+            Action::JoinLast,
+        ]),
+    );
+    pats.add_events(5);
+}
+
+/// Firefox's compositor bounce: frames ping-pong between the UI looper
+/// and a dedicated compositor looper (Gecko's architecture): the UI
+/// submits a layer tree, the compositor composites it and posts the
+/// frame-done callback back. Each hop is a send, so every pair of hops
+/// is ordered across the two atomicity domains.
+///
+/// Plants `2 × rounds` events.
+pub(crate) fn compositor_bounce(pats: &mut Patterns<'_>, rounds: u32) {
+    let t = pats.next_slot();
+    let proc = pats.proc();
+    let ui = pats.looper();
+    let p = &mut *pats.p;
+    let compositor = p.looper(proc);
+    let layer_epoch = p.scalar_var(0);
+
+    // submit (ui) -> composite (compositor) -> submit ... bounded by a
+    // shared budget; handler ids are interleaved so each can name the
+    // other via a forward reference.
+    let budget = p.counter(2 * rounds - 1);
+    let submit_id = p.next_handler_id();
+    let composite_id = HandlerId::from_index(submit_id.index() + 1);
+    let _submit = p.handler(
+        "firefox:submitLayers",
+        Body::from_actions(vec![
+            Action::WriteScalar(layer_epoch, 1),
+            Action::Compute(45),
+            Action::PostChain {
+                looper: compositor,
+                handler: composite_id,
+                delay_ms: 3,
+                budget,
+            },
+        ]),
+    );
+    let _composite = p.handler(
+        "firefox:composite",
+        Body::from_actions(vec![
+            Action::ReadScalar(layer_epoch),
+            Action::Compute(60),
+            Action::PostChain {
+                looper: ui,
+                handler: submit_id,
+                delay_ms: 3,
+                budget,
+            },
+        ]),
+    );
+    p.thread(
+        proc,
+        "firefox:vsyncSource",
+        Body::from_actions(vec![
+            Action::Sleep(t),
+            Action::Post {
+                looper: ui,
+                handler: submit_id,
+                delay_ms: 0,
+            },
+        ]),
+    );
+    pats.add_events(2 * rounds as usize);
+}
+
+/// VLC's playback chain: a demux thread produces packets under the
+/// stream lock; the video looper decodes each packet and posts render
+/// ticks to the main looper — two atomicity domains bridged by sends,
+/// everything ordered.
+///
+/// Plants `2 × packets` events.
+pub(crate) fn playback_chain(pats: &mut Patterns<'_>, packets: u32) {
+    let t = pats.next_slot();
+    let proc = pats.proc();
+    let main = pats.looper();
+    let p = &mut *pats.p;
+    let video = p.looper(proc);
+    let stream = p.ptr_var_alloc();
+    let pts = p.scalar_var(0);
+
+    let budget = p.counter(packets - 1);
+    let render = p.handler("vlc:onRenderTick", Body::new().read(pts));
+    let decode = {
+        let me = p.next_handler_id();
+        p.handler(
+            "vlc:decodePacket",
+            Body::from_actions(vec![
+                Action::UsePtr {
+                    var: stream,
+                    kind: DerefKind::Field,
+                    catch_npe: false,
+                },
+                Action::Compute(55),
+                Action::WriteScalar(pts, 1),
+                Action::Post {
+                    looper: main,
+                    handler: render,
+                    delay_ms: 0,
+                },
+                Action::PostChain {
+                    looper: video,
+                    handler: me,
+                    delay_ms: 10,
+                    budget,
+                },
+            ]),
+        )
+    };
+    p.thread(
+        proc,
+        "vlc:demux",
+        Body::from_actions(vec![
+            Action::Sleep(t),
+            Action::Compute(35),
+            Action::Post {
+                looper: video,
+                handler: decode,
+                delay_ms: 0,
+            },
+        ]),
+    );
+    pats.add_events(2 * packets as usize);
+}
+
+/// FBReader's page-turn prefetch: every turn gesture displays the
+/// prefetched page and forks a worker to lay out the next one, joined
+/// by the *next* turn... modelled as turn events that fork-join their
+/// own prefetch worker before displaying.
+///
+/// Plants `turns` events.
+pub(crate) fn pagination_prefetch(pats: &mut Patterns<'_>, turns: usize) {
+    let t = pats.next_slot();
+    let proc = pats.proc();
+    let looper = pats.looper();
+    let p = &mut *pats.p;
+    let page = p.ptr_var_alloc();
+
+    for k in 0..turns {
+        let worker = p.thread_spec(
+            proc,
+            &format!("fbreader:layout{k}"),
+            Body::from_actions(vec![Action::Compute(65), Action::AllocPtr(page)]),
+        );
+        let turn = p.handler(
+            &format!("fbreader:onPageTurn{k}"),
+            Body::from_actions(vec![
+                Action::UsePtr {
+                    var: page,
+                    kind: DerefKind::Field,
+                    catch_npe: false,
+                },
+                Action::Fork(worker),
+                Action::JoinLast,
+            ]),
+        );
+        // Sequential gestures: the external-input rule orders the turns,
+        // and each turn's join orders its worker's allocation before the
+        // next turn's use.
+        p.gesture(t + 20 * k as u64, looper, turn);
+    }
+    pats.add_events(turns);
+}
+
+/// Camera's shutter sequence: the capture gesture calls the media
+/// server over Binder, front-posts a shutter-feedback event (latency
+/// critical), forks a storage writer that persists the JPEG and is
+/// joined before the review event shows the result.
+///
+/// Plants 3 events (capture, shutter feedback, review).
+pub(crate) fn shutter_sequence(pats: &mut Patterns<'_>) {
+    let t = pats.next_slot();
+    let proc = pats.proc();
+    let looper = pats.looper();
+    let p = &mut *pats.p;
+    let jpeg = p.ptr_var_alloc();
+    let svcp = p.process();
+    let media = p.service(svcp, "media.camera");
+    let trigger = p.method(media, "takePicture", Body::new().compute(50));
+
+    let shutter = p.handler("camera:onShutter", Body::new().compute(10));
+    let review = p.handler(
+        "camera:onReview",
+        Body::from_actions(vec![Action::UsePtr {
+            var: jpeg,
+            kind: DerefKind::Field,
+            catch_npe: false,
+        }]),
+    );
+    let writer = p.thread_spec(
+        proc,
+        "camera:storageWriter",
+        Body::from_actions(vec![Action::AllocPtr(jpeg), Action::Compute(80)]),
+    );
+    let capture = p.handler(
+        "camera:onCapture",
+        Body::from_actions(vec![
+            Action::Call {
+                service: media,
+                method: trigger,
+            },
+            Action::PostFront {
+                looper,
+                handler: shutter,
+            },
+            Action::Fork(writer),
+            Action::JoinLast,
+            Action::Post {
+                looper,
+                handler: review,
+                delay_ms: 0,
+            },
+        ]),
+    );
+    p.gesture(t, looper, capture);
+    pats.add_events(3);
+}
+
+/// Music's playback engine: a producer thread decodes audio frames into
+/// a shared buffer, a consumer thread drains it, both hand off through
+/// a monitor; the consumer posts a seekbar update per drained batch.
+///
+/// Plants 2 events.
+pub(crate) fn playback_engine(pats: &mut Patterns<'_>) {
+    let t = pats.next_slot();
+    let proc = pats.proc();
+    let looper = pats.looper();
+    let p = &mut *pats.p;
+    let frames = p.scalar_var(0);
+    let m = p.monitor();
+
+    let tick1 = p.handler("music:onSeekTick", Body::new().read(frames));
+    let tick2 = p.handler("music:onSeekDone", Body::new().read(frames));
+    let consumer = p.thread_spec(
+        proc,
+        "music:audioOut",
+        Body::from_actions(vec![
+            Action::Lock(m),
+            Action::Wait(m),
+            Action::ReadScalar(frames),
+            Action::Unlock(m),
+            Action::Post {
+                looper,
+                handler: tick1,
+                delay_ms: 0,
+            },
+            Action::Post {
+                looper,
+                handler: tick2,
+                delay_ms: 0,
+            },
+        ]),
+    );
+    p.thread(
+        proc,
+        "music:decoder",
+        Body::from_actions(vec![
+            Action::Sleep(t),
+            Action::Fork(consumer),
+            // Quiesce: the consumer is guaranteed to be waiting before
+            // the decoder publishes (see the page-load pipeline for the
+            // idiom).
+            Action::Sleep(1),
+            Action::Lock(m),
+            Action::WriteScalar(frames, 1024),
+            Action::Compute(60),
+            Action::Notify(m),
+            Action::Unlock(m),
+            Action::JoinLast,
+        ]),
+    );
+    pats.add_events(2);
+}

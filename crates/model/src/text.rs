@@ -1,0 +1,648 @@
+//! Line-oriented textual form of app models.
+//!
+//! One model per block:
+//!
+//! ```text
+//! model v1
+//! name "ConnectBot"
+//! events 3058
+//! compute 880
+//! lowlevel 1664
+//! stmt inter known=true
+//! stmt fp-listener package="org.connectbot.service"
+//! stmt scalar-burst writers=8 readers=46
+//! end
+//! ```
+//!
+//! `lowlevel` is optional; `#` starts a comment; blank lines are
+//! ignored. A corpus file is a sequence of blocks. Parsing is total:
+//! malformed input yields a typed [`ModelError::Parse`] naming the
+//! 1-based offending line, never a panic — and the round trip is exact:
+//! `parse(&to_text(&m)) == m`, so serialized models lower to
+//! byte-identical traces.
+
+use std::fmt::Write as _;
+
+use crate::dsl::{AppModel, Stmt};
+use crate::error::ModelError;
+
+/// Serializes one model.
+pub fn to_text(model: &AppModel) -> String {
+    let mut out = String::new();
+    out.push_str("model v1\n");
+    let _ = writeln!(out, "name {:?}", model.name);
+    let _ = writeln!(out, "events {}", model.events);
+    let _ = writeln!(out, "compute {}", model.compute_units);
+    if let Some(pairs) = model.lowlevel_pairs {
+        let _ = writeln!(out, "lowlevel {pairs}");
+    }
+    for stmt in &model.stmts {
+        out.push_str("stmt ");
+        out.push_str(stmt.keyword());
+        match *stmt {
+            Stmt::Intra { known, caught } => {
+                let _ = write!(out, " known={known} caught={caught}");
+            }
+            Stmt::Fig1Binder { ref service } => {
+                let _ = write!(out, " service={service:?}");
+            }
+            Stmt::Inter { known } => {
+                let _ = write!(out, " known={known}");
+            }
+            Stmt::FpListener { ref package } => {
+                let _ = write!(out, " package={package:?}");
+            }
+            Stmt::LifecycleChurn { cycles } => {
+                let _ = write!(out, " cycles={cycles}");
+            }
+            Stmt::ScalarBurst { writers, readers } => {
+                let _ = write!(out, " writers={writers} readers={readers}");
+            }
+            Stmt::ServicePoll { ref service } => {
+                let _ = write!(out, " service={service:?}");
+            }
+            Stmt::InputBurst { count } => {
+                let _ = write!(out, " count={count}");
+            }
+            Stmt::HandlerThread { len } => {
+                let _ = write!(out, " len={len}");
+            }
+            Stmt::FlavorBundle { ref service, burst } => {
+                let _ = write!(out, " service={service:?} burst={burst}");
+            }
+            Stmt::SshRelay { updates, keys } => {
+                let _ = write!(out, " updates={updates} keys={keys}");
+            }
+            Stmt::GpsFixPipeline { fixes } => {
+                let _ = write!(out, " fixes={fixes}");
+            }
+            Stmt::ScanPipeline { frames } => {
+                let _ = write!(out, " frames={frames}");
+            }
+            Stmt::NoteSavePath { saves } => {
+                let _ = write!(out, " saves={saves}");
+            }
+            Stmt::CompositorBounce { rounds } => {
+                let _ = write!(out, " rounds={rounds}");
+            }
+            Stmt::PlaybackChain { packets } => {
+                let _ = write!(out, " packets={packets}");
+            }
+            Stmt::PaginationPrefetch { turns } => {
+                let _ = write!(out, " turns={turns}");
+            }
+            Stmt::Conv
+            | Stmt::FpBoolGuard
+            | Stmt::FpAlias
+            | Stmt::FilteredGuard
+            | Stmt::FilteredAlloc
+            | Stmt::QueueProtected
+            | Stmt::Fig2ScalarRw
+            | Stmt::WorkerPipeline
+            | Stmt::CoveredListener
+            | Stmt::PageLoadPipeline
+            | Stmt::PlaybackEngine
+            | Stmt::ShutterSequence => {}
+        }
+        out.push('\n');
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Serializes a corpus: the models back to back, blank-line separated.
+pub fn corpus_to_text(models: &[AppModel]) -> String {
+    let mut out = String::new();
+    for (i, m) in models.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&to_text(m));
+    }
+    out
+}
+
+/// Parses exactly one model.
+///
+/// # Errors
+///
+/// [`ModelError::Parse`] for malformed input, including trailing
+/// content after the model's `end`.
+pub fn parse(input: &str) -> Result<AppModel, ModelError> {
+    let mut models = parse_corpus(input)?;
+    match models.len() {
+        1 => Ok(models.pop().expect("len checked")),
+        0 => Err(ModelError::Parse {
+            line: input.lines().count().max(1),
+            message: "expected one model, found none".to_owned(),
+        }),
+        n => Err(ModelError::Parse {
+            line: input.lines().count().max(1),
+            message: format!("expected one model, found {n}"),
+        }),
+    }
+}
+
+/// Parses a corpus file: zero or more `model v1 ... end` blocks.
+///
+/// # Errors
+///
+/// [`ModelError::Parse`] naming the first offending line.
+pub fn parse_corpus(input: &str) -> Result<Vec<AppModel>, ModelError> {
+    let mut models = Vec::new();
+    let mut current: Option<Partial> = None;
+    let mut last_line = 0;
+    for (idx, raw) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        last_line = line_no;
+        let line = match raw.find('#') {
+            Some(h) => &raw[..h],
+            None => raw,
+        };
+        let tokens = tokenize(line, line_no)?;
+        if tokens.is_empty() {
+            continue;
+        }
+        let err = |message: String| ModelError::Parse {
+            line: line_no,
+            message,
+        };
+        match tokens[0].text.as_str() {
+            "model" => {
+                if current.is_some() {
+                    return Err(err("`model` inside an unfinished model block".to_owned()));
+                }
+                match tokens.get(1).map(|t| t.text.as_str()) {
+                    Some("v1") => current = Some(Partial::default()),
+                    Some(v) => return Err(err(format!("unsupported model version `{v}`"))),
+                    None => return Err(err("missing model version (expected `v1`)".to_owned())),
+                }
+            }
+            "end" => {
+                let partial = current
+                    .take()
+                    .ok_or_else(|| err("`end` outside a model block".to_owned()))?;
+                models.push(partial.finish(line_no)?);
+            }
+            key @ ("name" | "events" | "compute" | "lowlevel") => {
+                let partial = current
+                    .as_mut()
+                    .ok_or_else(|| err(format!("`{key}` outside a model block")))?;
+                let value = match tokens.len() {
+                    2 => &tokens[1],
+                    _ => return Err(err(format!("`{key}` takes exactly one value"))),
+                };
+                match key {
+                    "name" => partial.name = Some(value.text.clone()),
+                    "events" => partial.events = Some(parse_num(value, line_no, "events")?),
+                    "compute" => {
+                        let n: usize = parse_num(value, line_no, "compute")?;
+                        partial.compute =
+                            Some(u32::try_from(n).map_err(|_| {
+                                err("`compute` does not fit in 32 bits".to_owned())
+                            })?);
+                    }
+                    "lowlevel" => {
+                        partial.lowlevel = Some(parse_num(value, line_no, "lowlevel")?);
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            "stmt" => {
+                let partial = current
+                    .as_mut()
+                    .ok_or_else(|| err("`stmt` outside a model block".to_owned()))?;
+                let keyword = tokens
+                    .get(1)
+                    .ok_or_else(|| err("`stmt` missing a statement keyword".to_owned()))?;
+                let stmt = parse_stmt(&keyword.text, &tokens[2..], line_no)?;
+                partial.stmts.push(stmt);
+            }
+            other => return Err(err(format!("unknown directive `{other}`"))),
+        }
+    }
+    if current.is_some() {
+        return Err(ModelError::Parse {
+            line: last_line.max(1),
+            message: "unterminated model block (missing `end`)".to_owned(),
+        });
+    }
+    Ok(models)
+}
+
+#[derive(Default)]
+struct Partial {
+    name: Option<String>,
+    events: Option<usize>,
+    compute: Option<u32>,
+    lowlevel: Option<usize>,
+    stmts: Vec<Stmt>,
+}
+
+impl Partial {
+    fn finish(self, line: usize) -> Result<AppModel, ModelError> {
+        let missing = |field: &str| ModelError::Parse {
+            line,
+            message: format!("model block is missing `{field}`"),
+        };
+        Ok(AppModel {
+            name: self.name.ok_or_else(|| missing("name"))?,
+            events: self.events.ok_or_else(|| missing("events"))?,
+            compute_units: self.compute.ok_or_else(|| missing("compute"))?,
+            lowlevel_pairs: self.lowlevel,
+            stmts: self.stmts,
+        })
+    }
+}
+
+/// One token: its text (unquoted if it was a string literal) and
+/// whether it came from a quoted literal.
+struct Token {
+    text: String,
+    quoted: bool,
+}
+
+fn tokenize(line: &str, line_no: usize) -> Result<Vec<Token>, ModelError> {
+    let mut tokens = Vec::new();
+    let mut chars = line.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+            continue;
+        }
+        let mut text = String::new();
+        let mut quoted = false;
+        // A token runs to the next whitespace; a `"` opens a quoted
+        // span (used after `key=`) that may contain spaces.
+        loop {
+            match chars.peek() {
+                Some(&'"') => {
+                    chars.next();
+                    quoted = true;
+                    loop {
+                        match chars.next() {
+                            Some('"') => break,
+                            Some(ch) => text.push(ch),
+                            None => {
+                                return Err(ModelError::Parse {
+                                    line: line_no,
+                                    message: "unterminated string literal".to_owned(),
+                                })
+                            }
+                        }
+                    }
+                }
+                Some(&ch) if !ch.is_whitespace() => {
+                    text.push(ch);
+                    chars.next();
+                }
+                _ => break,
+            }
+        }
+        tokens.push(Token { text, quoted });
+    }
+    Ok(tokens)
+}
+
+fn parse_num<T: std::str::FromStr>(
+    token: &Token,
+    line: usize,
+    what: &str,
+) -> Result<T, ModelError> {
+    if token.quoted {
+        return Err(ModelError::Parse {
+            line,
+            message: format!("`{what}` expects a number, got a string"),
+        });
+    }
+    token.text.parse().map_err(|_| ModelError::Parse {
+        line,
+        message: format!("`{what}` expects a number, got `{}`", token.text),
+    })
+}
+
+/// The `key=value` arguments of one `stmt` line.
+struct Args<'t> {
+    keyword: &'t str,
+    pairs: Vec<(&'t str, &'t Token)>,
+    used: Vec<bool>,
+    line: usize,
+}
+
+impl<'t> Args<'t> {
+    fn new(keyword: &'t str, tokens: &'t [Token], line: usize) -> Result<Self, ModelError> {
+        let mut pairs = Vec::with_capacity(tokens.len());
+        for token in tokens {
+            let eq = token.text.find('=').ok_or_else(|| ModelError::Parse {
+                line,
+                message: format!("`{keyword}`: expected key=value, got `{}`", token.text),
+            })?;
+            // Leak-free split: key is a prefix of the token's text.
+            pairs.push((&token.text[..eq], token));
+        }
+        let used = vec![false; pairs.len()];
+        Ok(Self {
+            keyword,
+            pairs,
+            used,
+            line,
+        })
+    }
+
+    fn value(&mut self, key: &str) -> Result<(String, bool), ModelError> {
+        for (i, (k, token)) in self.pairs.iter().enumerate() {
+            if *k == key {
+                self.used[i] = true;
+                let eq = k.len() + 1;
+                let quoted = token.quoted;
+                return Ok((token.text[eq..].to_owned(), quoted));
+            }
+        }
+        Err(ModelError::Parse {
+            line: self.line,
+            message: format!("`{}` requires `{key}=...`", self.keyword),
+        })
+    }
+
+    fn string(&mut self, key: &str) -> Result<String, ModelError> {
+        Ok(self.value(key)?.0)
+    }
+
+    fn num<T: std::str::FromStr>(&mut self, key: &str) -> Result<T, ModelError> {
+        let (text, quoted) = self.value(key)?;
+        if quoted {
+            return Err(ModelError::Parse {
+                line: self.line,
+                message: format!("`{}`: `{key}` expects a number, got a string", self.keyword),
+            });
+        }
+        text.parse().map_err(|_| ModelError::Parse {
+            line: self.line,
+            message: format!("`{}`: `{key}` expects a number, got `{text}`", self.keyword),
+        })
+    }
+
+    fn flag(&mut self, key: &str) -> Result<bool, ModelError> {
+        let (text, _) = self.value(key)?;
+        match text.as_str() {
+            "true" => Ok(true),
+            "false" => Ok(false),
+            other => Err(ModelError::Parse {
+                line: self.line,
+                message: format!(
+                    "`{}`: `{key}` expects true or false, got `{other}`",
+                    self.keyword
+                ),
+            }),
+        }
+    }
+
+    fn done(self) -> Result<(), ModelError> {
+        for (i, (k, _)) in self.pairs.iter().enumerate() {
+            if !self.used[i] {
+                return Err(ModelError::Parse {
+                    line: self.line,
+                    message: format!("`{}`: unknown argument `{k}`", self.keyword),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse_stmt(keyword: &str, tokens: &[Token], line: usize) -> Result<Stmt, ModelError> {
+    let mut args = Args::new(keyword, tokens, line)?;
+    let stmt = match keyword {
+        "intra" => Stmt::Intra {
+            known: args.flag("known")?,
+            caught: args.flag("caught")?,
+        },
+        "fig1-binder" => Stmt::Fig1Binder {
+            service: args.string("service")?,
+        },
+        "inter" => Stmt::Inter {
+            known: args.flag("known")?,
+        },
+        "conv" => Stmt::Conv,
+        "fp-listener" => Stmt::FpListener {
+            package: args.string("package")?,
+        },
+        "fp-bool-guard" => Stmt::FpBoolGuard,
+        "fp-alias" => Stmt::FpAlias,
+        "filtered-guard" => Stmt::FilteredGuard,
+        "filtered-alloc" => Stmt::FilteredAlloc,
+        "queue-protected" => Stmt::QueueProtected,
+        "lifecycle-churn" => Stmt::LifecycleChurn {
+            cycles: args.num("cycles")?,
+        },
+        "fig2-scalar-rw" => Stmt::Fig2ScalarRw,
+        "scalar-burst" => Stmt::ScalarBurst {
+            writers: args.num("writers")?,
+            readers: args.num("readers")?,
+        },
+        "service-poll" => Stmt::ServicePoll {
+            service: args.string("service")?,
+        },
+        "worker-pipeline" => Stmt::WorkerPipeline,
+        "input-burst" => Stmt::InputBurst {
+            count: args.num("count")?,
+        },
+        "covered-listener" => Stmt::CoveredListener,
+        "handler-thread" => Stmt::HandlerThread {
+            len: args.num("len")?,
+        },
+        "flavor-bundle" => Stmt::FlavorBundle {
+            service: args.string("service")?,
+            burst: args.num("burst")?,
+        },
+        "ssh-relay" => Stmt::SshRelay {
+            updates: args.num("updates")?,
+            keys: args.num("keys")?,
+        },
+        "gps-fix-pipeline" => Stmt::GpsFixPipeline {
+            fixes: args.num("fixes")?,
+        },
+        "scan-pipeline" => Stmt::ScanPipeline {
+            frames: args.num("frames")?,
+        },
+        "note-save-path" => Stmt::NoteSavePath {
+            saves: args.num("saves")?,
+        },
+        "page-load-pipeline" => Stmt::PageLoadPipeline,
+        "compositor-bounce" => Stmt::CompositorBounce {
+            rounds: args.num("rounds")?,
+        },
+        "playback-engine" => Stmt::PlaybackEngine,
+        "playback-chain" => Stmt::PlaybackChain {
+            packets: args.num("packets")?,
+        },
+        "shutter-sequence" => Stmt::ShutterSequence,
+        "pagination-prefetch" => Stmt::PaginationPrefetch {
+            turns: args.num("turns")?,
+        },
+        other => {
+            return Err(ModelError::Parse {
+                line,
+                message: format!("unknown statement `{other}`"),
+            })
+        }
+    };
+    args.done()?;
+    Ok(stmt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AppModel {
+        AppModel {
+            name: "Sample".to_owned(),
+            events: 1234,
+            compute_units: 55,
+            lowlevel_pairs: Some(9),
+            stmts: vec![
+                Stmt::Intra {
+                    known: true,
+                    caught: false,
+                },
+                Stmt::FpListener {
+                    package: "org.example.app".to_owned(),
+                },
+                Stmt::ScalarBurst {
+                    writers: 3,
+                    readers: 7,
+                },
+                Stmt::Conv,
+                Stmt::FlavorBundle {
+                    service: "SampleService".to_owned(),
+                    burst: 4,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let m = sample();
+        assert_eq!(parse(&to_text(&m)).unwrap(), m);
+    }
+
+    #[test]
+    fn corpus_round_trip_is_exact() {
+        let mut m2 = sample();
+        m2.name = "Second".to_owned();
+        m2.lowlevel_pairs = None;
+        let corpus = vec![sample(), m2];
+        assert_eq!(parse_corpus(&corpus_to_text(&corpus)).unwrap(), corpus);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let text = "# a corpus\n\nmodel v1\nname \"X\"\nevents 10 # inline\ncompute 1\nend\n";
+        let m = parse(text).unwrap();
+        assert_eq!(m.name, "X");
+        assert_eq!(m.events, 10);
+        assert!(m.stmts.is_empty());
+    }
+
+    #[test]
+    fn unknown_statement_names_the_line() {
+        let text = "model v1\nname \"X\"\nevents 10\ncompute 1\nstmt frobnicate\nend\n";
+        match parse(text).unwrap_err() {
+            ModelError::Parse { line, message } => {
+                assert_eq!(line, 5);
+                assert!(message.contains("frobnicate"));
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn missing_argument_is_reported() {
+        let text = "model v1\nname \"X\"\nevents 10\ncompute 1\nstmt inter\nend\n";
+        let err = parse(text).unwrap_err();
+        assert!(err.to_string().contains("known"));
+    }
+
+    #[test]
+    fn extra_argument_is_rejected() {
+        let text = "model v1\nname \"X\"\nevents 10\ncompute 1\nstmt conv bogus=1\nend\n";
+        let err = parse(text).unwrap_err();
+        assert!(err.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn missing_end_is_reported() {
+        let text = "model v1\nname \"X\"\nevents 10\ncompute 1\n";
+        let err = parse(text).unwrap_err();
+        assert!(err.to_string().contains("missing `end`"));
+    }
+
+    #[test]
+    fn missing_field_is_reported() {
+        let text = "model v1\nname \"X\"\ncompute 1\nend\n";
+        let err = parse(text).unwrap_err();
+        assert!(err.to_string().contains("`events`"));
+    }
+
+    #[test]
+    fn every_statement_kind_round_trips() {
+        let m = AppModel {
+            name: "All".to_owned(),
+            events: 100_000,
+            compute_units: 1,
+            lowlevel_pairs: None,
+            stmts: vec![
+                Stmt::Intra {
+                    known: false,
+                    caught: true,
+                },
+                Stmt::Fig1Binder {
+                    service: "Svc".to_owned(),
+                },
+                Stmt::Inter { known: false },
+                Stmt::Conv,
+                Stmt::FpListener {
+                    package: "p.q".to_owned(),
+                },
+                Stmt::FpBoolGuard,
+                Stmt::FpAlias,
+                Stmt::FilteredGuard,
+                Stmt::FilteredAlloc,
+                Stmt::QueueProtected,
+                Stmt::LifecycleChurn { cycles: 2 },
+                Stmt::Fig2ScalarRw,
+                Stmt::ScalarBurst {
+                    writers: 1,
+                    readers: 2,
+                },
+                Stmt::ServicePoll {
+                    service: "S".to_owned(),
+                },
+                Stmt::WorkerPipeline,
+                Stmt::InputBurst { count: 3 },
+                Stmt::CoveredListener,
+                Stmt::HandlerThread { len: 2 },
+                Stmt::FlavorBundle {
+                    service: "B".to_owned(),
+                    burst: 2,
+                },
+                Stmt::SshRelay {
+                    updates: 2,
+                    keys: 1,
+                },
+                Stmt::GpsFixPipeline { fixes: 2 },
+                Stmt::ScanPipeline { frames: 2 },
+                Stmt::NoteSavePath { saves: 1 },
+                Stmt::PageLoadPipeline,
+                Stmt::CompositorBounce { rounds: 2 },
+                Stmt::PlaybackEngine,
+                Stmt::PlaybackChain { packets: 2 },
+                Stmt::ShutterSequence,
+                Stmt::PaginationPrefetch { turns: 2 },
+            ],
+        };
+        assert_eq!(parse(&to_text(&m)).unwrap(), m);
+    }
+}

@@ -32,7 +32,7 @@ pub struct ValidatedRace {
 #[derive(Debug)]
 pub struct AppValidation {
     /// Application name as it appears in Table 1.
-    pub app: &'static str,
+    pub app: String,
     /// One entry per reported race, report order.
     pub races: Vec<ValidatedRace>,
     /// Wall-clock accounting per pipeline pass.
@@ -85,7 +85,7 @@ impl AppValidation {
         let mut out = String::new();
         out.push_str(&format!(
             "{{\"app\":\"{}\",\"reported\":{},\"oracle_true\":{},\"confirmed_true\":{},\"benign_fired\":{},\"total_runs\":{},\"races\":[",
-            escape(self.app),
+            escape(&self.app),
             self.races.len(),
             self.oracle_true(),
             self.confirmed_true(),
@@ -197,7 +197,7 @@ pub fn validate_app(app: &AppSpec, cfg: &ReplayConfig) -> Result<AppValidation, 
     }
 
     Ok(AppValidation {
-        app: app.name,
+        app: app.name.clone(),
         races,
         stats,
     })

@@ -1,0 +1,95 @@
+//! DSL round-trip and malformed-model behavior, end to end.
+//!
+//! The serialization contract is stronger than value equality: a model
+//! that survives `to_text → parse` must *lower to the same program*,
+//! so its recorded trace is byte-identical to the original's. And a
+//! model that cannot lower must say so with a typed error naming the
+//! offending statement — the interpreter never panics on user data.
+
+use cafa_model::{generate_one, lower, text, AppModel, ModelError, Stmt};
+use cafa_trace::to_binary_vec;
+
+fn record_bytes(model: &AppModel, seed: u64) -> Vec<u8> {
+    let app = lower(model).expect("model is valid");
+    to_binary_vec(&app.record(seed).expect("records cleanly").trace.unwrap())
+}
+
+#[test]
+fn serialize_parse_lower_is_byte_identical() {
+    // Catalog apps (the paper's Table 1 rows) and generated apps (the
+    // corpus pattern mix) both survive the round trip bit-for-bit.
+    let mut models = cafa_apps::all_models();
+    models.extend((0..4).map(|i| generate_one(11, i)));
+    for model in &models {
+        let reparsed = text::parse(&text::to_text(model)).expect("round-trip parses");
+        assert_eq!(&reparsed, model, "{}: value drift through text", model.name);
+        for seed in [0, 9] {
+            assert_eq!(
+                record_bytes(model, seed),
+                record_bytes(&reparsed, seed),
+                "{}: trace bytes drift through text at seed {seed}",
+                model.name
+            );
+        }
+    }
+}
+
+#[test]
+fn malformed_models_are_typed_errors_never_panics() {
+    // Each case: a model the lowering must refuse, and the statement
+    // keyword the error must name.
+    let mut burst_overflow = generate_one(0, 0);
+    burst_overflow.stmts.push(Stmt::ScalarBurst {
+        writers: 90,
+        readers: 90,
+    });
+    let mut zero_pipeline = generate_one(0, 0);
+    zero_pipeline.stmts.push(Stmt::GpsFixPipeline { fixes: 0 });
+    let mut input_overflow = generate_one(0, 0);
+    input_overflow.stmts.push(Stmt::InputBurst { count: 500 });
+
+    for (mut model, keyword) in [
+        (burst_overflow, "scalar-burst"),
+        (zero_pipeline, "gps-fix-pipeline"),
+        (input_overflow, "input-burst"),
+    ] {
+        model.events = 5_000; // ample budget: the statement itself is the problem
+        let err = lower(&model).expect_err(keyword);
+        let ModelError::Invalid { app, stmt, .. } = &err else {
+            panic!("{keyword}: expected Invalid, got {err:?}");
+        };
+        assert_eq!(app, &model.name);
+        let (index, kw) = stmt.expect("statement-level error carries its location");
+        assert_eq!(index, model.stmts.len() - 1, "{keyword}");
+        assert_eq!(kw, keyword);
+        assert!(err.to_string().contains(keyword), "{err}");
+    }
+
+    // Model-level problem: planted events exceed the budget.
+    let mut starved = generate_one(0, 0);
+    starved.events = 1;
+    let err = lower(&starved).expect_err("budget");
+    assert!(
+        matches!(&err, ModelError::Invalid { stmt: None, .. }),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn malformed_text_is_a_typed_parse_error_with_line_number() {
+    for (input, line) in [
+        ("model v2\n", 1),
+        ("model v1\nname \"x\"\nevents nope\n", 3),
+        ("model v1\nname \"x\"\nevents 50\nstmt warp-drive\nend\n", 4),
+        (
+            "model v1\nname \"x\"\nevents 50\nstmt intra known=yes\nend\n",
+            4,
+        ),
+    ] {
+        let err = text::parse(input).expect_err(input);
+        let ModelError::Parse { line: got, .. } = &err else {
+            panic!("{input:?}: expected Parse, got {err:?}");
+        };
+        assert_eq!(*got, line, "{input:?}: {err}");
+    }
+}
