@@ -85,4 +85,91 @@ for app in connectbot mytracks zxing todolist browser firefox vlc fbreader camer
     done
 done
 
+echo "==> fleet ingest server gate (10 concurrent sessions at --threads 1/2/8)"
+apps=(connectbot mytracks zxing todolist browser firefox vlc fbreader camera music)
+chunks=(7 64 389 1024 4096 7 64 389 1024 4096)
+servedir="$tmpdir/serve-state"
+start_serve() { # args: extra serve flags; sets $serve_pid and $addr
+    : > "$tmpdir/serve.log"
+    ./target/release/cafa serve --listen 127.0.0.1:0 "$@" 2> "$tmpdir/serve.log" &
+    serve_pid=$!
+    addr=""
+    for _ in $(seq 1 200); do
+        addr="$(sed -n 's/^listening on //p' "$tmpdir/serve.log" | head -n1)"
+        [ -n "$addr" ] && break
+        sleep 0.05
+    done
+    if [ -z "$addr" ]; then
+        echo "FAIL: cafa serve did not announce its address" >&2
+        cat "$tmpdir/serve.log" >&2
+        exit 1
+    fi
+}
+for threads in 1 2 8; do
+    rm -rf "$servedir"
+    start_serve --threads "$threads" --state-dir "$servedir"
+    pids=()
+    for i in "${!apps[@]}"; do
+        app="${apps[$i]}"
+        ./target/release/cafa push "$tmpdir/$app.bin" --connect "$addr" \
+            --session "$app" --chunk "${chunks[$i]}" \
+            > "$tmpdir/$app.push.json" 2> /dev/null &
+        pids+=($!)
+    done
+    for pid in "${pids[@]}"; do
+        if ! wait "$pid"; then
+            echo "FAIL: cafa push failed against serve --threads $threads" >&2
+            exit 1
+        fi
+    done
+    for app in "${apps[@]}"; do
+        if ! cmp -s "$tmpdir/$app.push.json" "tests/golden/reports/$app.json"; then
+            echo "FAIL: $app served report differs from golden at --threads $threads" >&2
+            exit 1
+        fi
+    done
+    kill "$serve_pid" 2> /dev/null || true
+    wait "$serve_pid" 2> /dev/null || true
+done
+
+echo "==> fleet ingest server gate (kill mid-stream, restart, resume byte-identically)"
+rm -rf "$servedir"
+start_serve --threads 2 --state-dir "$servedir"
+app=camera
+size=$(stat -c%s "$tmpdir/$app.bin")
+cut=$((size / 2))
+head -c "$cut" "$tmpdir/$app.bin" > "$tmpdir/$app.half.bin"
+# A push that ends mid-trace detaches cleanly (exit 0, state journaled).
+if ! ./target/release/cafa push "$tmpdir/$app.half.bin" --connect "$addr" \
+        --session "$app" > /dev/null 2> "$tmpdir/push.log"; then
+    echo "FAIL: mid-trace push did not detach cleanly" >&2
+    cat "$tmpdir/push.log" >&2
+    exit 1
+fi
+grep -q "detached at byte $cut" "$tmpdir/push.log" || {
+    echo "FAIL: detach did not report the journaled offset" >&2
+    cat "$tmpdir/push.log" >&2
+    exit 1
+}
+kill -TERM "$serve_pid"
+wait "$serve_pid" 2> /dev/null || true
+start_serve --threads 2 --state-dir "$servedir"
+if ! ./target/release/cafa push "$tmpdir/$app.bin" --connect "$addr" \
+        --session "$app" > "$tmpdir/$app.resumed.json" 2> "$tmpdir/push.log"; then
+    echo "FAIL: resumed push failed after server restart" >&2
+    cat "$tmpdir/push.log" >&2
+    exit 1
+fi
+grep -q "resumed at byte $cut" "$tmpdir/push.log" || {
+    echo "FAIL: restarted server did not resume from the journaled offset" >&2
+    cat "$tmpdir/push.log" >&2
+    exit 1
+}
+if ! cmp -s "$tmpdir/$app.resumed.json" "tests/golden/reports/$app.json"; then
+    echo "FAIL: $app report after kill+restart differs from golden" >&2
+    exit 1
+fi
+kill "$serve_pid" 2> /dev/null || true
+wait "$serve_pid" 2> /dev/null || true
+
 echo "CI green."

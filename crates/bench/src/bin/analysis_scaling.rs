@@ -2,7 +2,9 @@
 //! the reachability-oracle build/query scaling sweep; with
 //! `--fixpoint`, the semi-naive-vs-naive fixpoint engine comparison;
 //! with `--catalog`, the generated-corpus precision/recall +
-//! throughput sweep (`BENCH_catalog.json`).
+//! throughput sweep (`BENCH_catalog.json`); with `--serve`, the fleet
+//! ingest server throughput/eviction/restore sweep
+//! (`BENCH_serve.json`).
 fn main() {
     if std::env::args().any(|a| a == "--fixpoint") {
         cafa_bench::fixpoint::main();
@@ -10,6 +12,8 @@ fn main() {
         cafa_bench::scaling::parallel_main();
     } else if std::env::args().any(|a| a == "--catalog") {
         cafa_bench::catalog::main();
+    } else if std::env::args().any(|a| a == "--serve") {
+        cafa_bench::serve::main();
     } else {
         cafa_bench::scaling::main();
     }

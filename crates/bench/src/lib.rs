@@ -21,6 +21,7 @@ pub mod fig8;
 pub mod fixpoint;
 pub mod lowlevel;
 pub mod scaling;
+pub mod serve;
 pub mod streaming;
 pub mod survey;
 pub mod table1;

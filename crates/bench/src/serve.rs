@@ -1,0 +1,376 @@
+//! Fleet ingest server benchmark: multi-session throughput, the cost
+//! of restoring an evicted session from its journal versus rebuilding
+//! from scratch, and the wall-clock overhead of running under a
+//! memory budget — plus the memory-bound evidence (settled resident
+//! peak under the budget while more session state than the budget
+//! allows is live).
+//!
+//! Alongside the text output, [`main`] writes the measurements to
+//! `BENCH_serve.json` in the current directory.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cafa_fleetserve::client::{push_trace, FramedClient, ServerFrame};
+use cafa_fleetserve::server::{Server, ServerConfig};
+use cafa_fleetserve::Totals;
+use cafa_stream::{IncrementalSession, StreamOptions};
+use cafa_trace::to_binary_vec;
+
+/// One server lifecycle on a background thread.
+struct Harness {
+    server: Arc<Server>,
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<()>,
+    addr: String,
+}
+
+impl Harness {
+    fn start(config: ServerConfig) -> Self {
+        let server = Arc::new(Server::bind("127.0.0.1:0", None, config).expect("bind"));
+        let addr = server.local_addr().expect("bound").to_string();
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let server = Arc::clone(&server);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || server.run(&stop))
+        };
+        Self {
+            server,
+            stop,
+            handle,
+            addr,
+        }
+    }
+
+    fn stop(self) -> Totals {
+        self.stop.store(true, Ordering::Relaxed);
+        self.handle.join().expect("server thread");
+        self.server.registry().totals()
+    }
+}
+
+/// Concurrent-session throughput: wall time for the whole catalog
+/// pushed at once, one connection per app.
+struct Throughput {
+    sessions: usize,
+    bytes: usize,
+    threads: usize,
+    wall: Duration,
+}
+
+impl Throughput {
+    fn sessions_per_s(&self) -> f64 {
+        self.sessions as f64 / self.wall.as_secs_f64()
+    }
+
+    fn mib_per_s(&self) -> f64 {
+        self.bytes as f64 / (1 << 20) as f64 / self.wall.as_secs_f64()
+    }
+}
+
+fn measure_throughput(corpus: &[(String, Vec<u8>)], threads: usize) -> Throughput {
+    let harness = Harness::start(ServerConfig {
+        threads,
+        ..ServerConfig::default()
+    });
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for (name, bytes) in corpus {
+            let addr = harness.addr.clone();
+            scope.spawn(move || {
+                let outcome = push_trace(&addr, name, bytes, 64 << 10).expect("push");
+                assert!(outcome.report.is_some(), "{name}: trace completes");
+            });
+        }
+    });
+    let wall = start.elapsed();
+    let threads = harness.server.threads();
+    harness.stop();
+    Throughput {
+        sessions: corpus.len(),
+        bytes: corpus.iter().map(|(_, b)| b.len()).sum(),
+        threads,
+        wall,
+    }
+}
+
+/// Restore-vs-rebuild: replaying half a trace's journal frames into a
+/// fresh session (what the server does when a cold session's next
+/// byte arrives, or after a crash) versus analyzing the whole trace
+/// from scratch (what a client would pay to re-send everything).
+struct RestoreCost {
+    bytes_replayed: usize,
+    restore: Duration,
+    bytes_full: usize,
+    rebuild: Duration,
+}
+
+impl RestoreCost {
+    /// Restore cost as a fraction of a from-scratch rebuild.
+    fn ratio(&self) -> f64 {
+        self.restore.as_secs_f64() / self.rebuild.as_secs_f64()
+    }
+}
+
+fn measure_restore(bytes: &[u8]) -> RestoreCost {
+    let cut = bytes.len() / 2;
+    let frames: Vec<&[u8]> = bytes[..cut].chunks(64 << 10).collect();
+
+    let start = Instant::now();
+    let restored = IncrementalSession::restore(StreamOptions::default(), frames.iter().copied())
+        .expect("journal replays");
+    let restore = start.elapsed();
+    assert_eq!(restored.progress().bytes, cut as u64);
+
+    let start = Instant::now();
+    let mut fresh = IncrementalSession::new(StreamOptions::default());
+    for c in bytes.chunks(64 << 10) {
+        fresh.push(c).expect("valid trace");
+    }
+    let _ = fresh.finish().expect("valid trace");
+    let rebuild = start.elapsed();
+
+    RestoreCost {
+        bytes_replayed: cut,
+        restore,
+        bytes_full: bytes.len(),
+        rebuild,
+    }
+}
+
+/// One framed interleaved run over the whole corpus; returns wall
+/// time and the server's final totals.
+fn framed_run(
+    corpus: &[(String, Vec<u8>)],
+    state_dir: &std::path::Path,
+    budget: Option<usize>,
+) -> (Duration, Totals) {
+    let harness = Harness::start(ServerConfig {
+        threads: 2,
+        state_dir: Some(state_dir.to_path_buf()),
+        memory_budget: budget,
+        ..ServerConfig::default()
+    });
+    let start = Instant::now();
+    let mut client = FramedClient::connect(&harness.addr, "proxy").expect("connect");
+    let chunk = 16 << 10;
+    let mut offsets = vec![0usize; corpus.len()];
+    loop {
+        let mut progressed = false;
+        for (i, (name, bytes)) in corpus.iter().enumerate() {
+            if offsets[i] < bytes.len() {
+                let end = (offsets[i] + chunk).min(bytes.len());
+                client
+                    .send_data(name, &bytes[offsets[i]..end])
+                    .expect("send");
+                offsets[i] = end;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    client.finish_writes().expect("half-close");
+    let frames = client.drain().expect("drain");
+    let reports = frames
+        .iter()
+        .filter(|f| matches!(f, ServerFrame::Report { .. }))
+        .count();
+    assert_eq!(reports, corpus.len(), "every session completes");
+    let wall = start.elapsed();
+    (wall, harness.stop())
+}
+
+/// The memory-budget evidence and overhead measurement.
+struct EvictionRun {
+    budget: usize,
+    footprint_sum: usize,
+    sessions: usize,
+    unbudgeted_wall: Duration,
+    budgeted_wall: Duration,
+    totals: Totals,
+}
+
+impl EvictionRun {
+    fn overhead(&self) -> f64 {
+        self.budgeted_wall.as_secs_f64() / self.unbudgeted_wall.as_secs_f64()
+    }
+}
+
+fn measure_eviction(corpus: &[(String, Vec<u8>)]) -> EvictionRun {
+    // Final resident footprint of every session, for calibration.
+    let footprint_sum: usize = corpus
+        .iter()
+        .map(|(_, bytes)| {
+            let mut s = IncrementalSession::new(StreamOptions::default());
+            s.push(bytes).expect("valid trace");
+            s.footprint_bytes()
+        })
+        .sum();
+    let budget = (footprint_sum / 3).max(4096);
+
+    let dir = std::env::temp_dir().join(format!("cafa-bench-serve-{}", std::process::id()));
+    // Unmeasured warmup so neither measured run pays one-time costs
+    // (page cache, allocator growth, lazy statics).
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = framed_run(corpus, &dir, None);
+    let _ = std::fs::remove_dir_all(&dir);
+    let (unbudgeted_wall, _) = framed_run(corpus, &dir, None);
+    let _ = std::fs::remove_dir_all(&dir);
+    let (budgeted_wall, totals) = framed_run(corpus, &dir, Some(budget));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert!(totals.evictions > 0, "budget forces evictions");
+    assert!(totals.restores > 0, "cold sessions get restored");
+    assert!(
+        totals.settled_peak_bytes <= budget,
+        "settled peak {} within budget {budget}",
+        totals.settled_peak_bytes
+    );
+    EvictionRun {
+        budget,
+        footprint_sum,
+        sessions: corpus.len(),
+        unbudgeted_wall,
+        budgeted_wall,
+        totals,
+    }
+}
+
+/// Runs the benchmark and writes `BENCH_serve.json`.
+///
+/// # Panics
+///
+/// Panics if recording, the server, or the JSON write fails.
+pub fn main() {
+    let corpus: Vec<(String, Vec<u8>)> = cafa_apps::all_apps()
+        .iter()
+        .map(|app| {
+            let outcome = app.record(0).expect("workload records cleanly");
+            let trace = outcome.trace.expect("instrumentation is on");
+            (app.name.to_owned(), to_binary_vec(&trace))
+        })
+        .collect();
+
+    println!("Fleet ingest server benchmark — {} sessions", corpus.len());
+    let sweeps: Vec<Throughput> = [1usize, 2, 0]
+        .iter()
+        .map(|&t| {
+            let m = measure_throughput(&corpus, t);
+            println!(
+                "throughput at {} workers: {:.1} sessions/s, {:.1} MiB/s ({:.3}s wall)",
+                m.threads,
+                m.sessions_per_s(),
+                m.mib_per_s(),
+                m.wall.as_secs_f64()
+            );
+            m
+        })
+        .collect();
+
+    let heaviest = corpus
+        .iter()
+        .max_by_key(|(_, b)| b.len())
+        .expect("non-empty corpus");
+    let restore = measure_restore(&heaviest.1);
+    println!(
+        "restore {} journaled bytes: {:.4}s vs {:.4}s full rebuild of {} bytes — {:.2}x",
+        restore.bytes_replayed,
+        restore.restore.as_secs_f64(),
+        restore.rebuild.as_secs_f64(),
+        restore.bytes_full,
+        restore.ratio()
+    );
+
+    let eviction = measure_eviction(&corpus);
+    println!(
+        "eviction overhead: {:.3}s budgeted vs {:.3}s unbudgeted — {:.2}x \
+         ({} evictions, {} restores)",
+        eviction.budgeted_wall.as_secs_f64(),
+        eviction.unbudgeted_wall.as_secs_f64(),
+        eviction.overhead(),
+        eviction.totals.evictions,
+        eviction.totals.restores
+    );
+    println!(
+        "memory bound held: settled peak {} <= budget {} while {} sessions \
+         ({} total footprint bytes) were live",
+        eviction.totals.settled_peak_bytes,
+        eviction.budget,
+        eviction.sessions,
+        eviction.footprint_sum
+    );
+
+    let json = render_json(&sweeps, &restore, &eviction);
+    std::fs::write("BENCH_serve.json", json).expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
+}
+
+/// Renders the measurements as a stable JSON document.
+fn render_json(sweeps: &[Throughput], restore: &RestoreCost, eviction: &EvictionRun) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"throughput\": [");
+    for (i, m) in sweeps.iter().enumerate() {
+        let comma = if i + 1 < sweeps.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"threads\": {}, \"sessions\": {}, \"bytes\": {}, \
+             \"wall_s\": {:.6}, \"sessions_per_s\": {:.3}, \"mib_per_s\": {:.3}}}{comma}",
+            m.threads,
+            m.sessions,
+            m.bytes,
+            m.wall.as_secs_f64(),
+            m.sessions_per_s(),
+            m.mib_per_s()
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"restore\": {{");
+    let _ = writeln!(out, "    \"bytes_replayed\": {},", restore.bytes_replayed);
+    let _ = writeln!(
+        out,
+        "    \"restore_s\": {:.6},",
+        restore.restore.as_secs_f64()
+    );
+    let _ = writeln!(out, "    \"bytes_full\": {},", restore.bytes_full);
+    let _ = writeln!(
+        out,
+        "    \"rebuild_s\": {:.6},",
+        restore.rebuild.as_secs_f64()
+    );
+    let _ = writeln!(out, "    \"restore_vs_rebuild\": {:.4}", restore.ratio());
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"eviction\": {{");
+    let _ = writeln!(out, "    \"memory_budget_bytes\": {},", eviction.budget);
+    let _ = writeln!(
+        out,
+        "    \"live_footprint_bytes\": {},",
+        eviction.footprint_sum
+    );
+    let _ = writeln!(out, "    \"sessions_live\": {},", eviction.sessions);
+    let _ = writeln!(
+        out,
+        "    \"settled_peak_bytes\": {},",
+        eviction.totals.settled_peak_bytes
+    );
+    let _ = writeln!(out, "    \"evictions\": {},", eviction.totals.evictions);
+    let _ = writeln!(out, "    \"restores\": {},", eviction.totals.restores);
+    let _ = writeln!(
+        out,
+        "    \"unbudgeted_wall_s\": {:.6},",
+        eviction.unbudgeted_wall.as_secs_f64()
+    );
+    let _ = writeln!(
+        out,
+        "    \"budgeted_wall_s\": {:.6},",
+        eviction.budgeted_wall.as_secs_f64()
+    );
+    let _ = writeln!(out, "    \"overhead\": {:.4}", eviction.overhead());
+    let _ = writeln!(out, "  }}");
+    out.push_str("}\n");
+    out
+}

@@ -7,7 +7,8 @@
 //! cafa analyze <trace> [opts]        detect use-free races in a trace
 //! cafa analyze --follow <trace>      tail a growing trace, analyze online
 //! cafa validate [app] [opts]         confirm reported races by replay
-//! cafa serve [opts]                  stream a trace from stdin or a socket
+//! cafa serve [opts]                  stream a trace from stdin or serve a fleet
+//! cafa push <trace> [opts]           send a trace to a running serve instance
 //! cafa stats <trace>                 print trace statistics
 //! ```
 //!
@@ -88,18 +89,41 @@ USAGE:
         golden file pins.
 
     cafa serve [--model M] [--chunk N] [--hwm BYTES] [--live]
-               [--threads N] [--listen ADDR]
-        Stream a trace from stdin (or one TCP connection with
-        --listen host:port) and analyze it incrementally, printing the
-        JSON report at end of stream — byte-identical to
-        `cafa analyze --json` of the same trace, for any chunking.
-        --chunk caps bytes ingested per read; --hwm bounds the staged
-        (un-derived) analysis backlog in bytes, pausing the reader
-        while it flushes (records are never dropped); --live also
-        emits one provisional JSON line per use-free candidate as
-        soon as both endpoint tasks close (concurrency evidence only
-        — a later suffix can still order or filter the pair; the
-        final report is the authority); --threads as in analyze.
+               [--threads N] [--listen ADDR] [--admin ADDR]
+               [--state-dir DIR] [--memory-budget SIZE]
+        Without --listen: stream one trace from stdin and analyze it
+        incrementally, printing the JSON report at end of stream —
+        byte-identical to `cafa analyze --json` of the same trace,
+        for any chunking. --chunk caps bytes ingested per read; --hwm
+        bounds the staged (un-derived) analysis backlog in bytes,
+        pausing the reader while it flushes (records are never
+        dropped); --live (stdin only) also emits one provisional JSON
+        line per use-free candidate as soon as both endpoint tasks
+        close (concurrency evidence only — a later suffix can still
+        order or filter the pair; the final report is the authority).
+
+        With --listen host:port: run the multi-tenant fleet ingest
+        server. Connections keep being accepted until the process is
+        killed; each carries one session (or, in framed mode, many —
+        see docs/SERVE.md) and receives its own report,
+        byte-identical to batch analysis regardless of --threads
+        (worker count) or how sessions interleave. --state-dir DIR
+        journals every session's bytes so a killed server resumes
+        mid-trace sessions after restart (`cafa push` re-sends from
+        the offset the server reports); --memory-budget SIZE (N, NK,
+        NM, NG) bounds resident analysis state by evicting cold
+        sessions to their journals (requires --state-dir); --admin
+        host:port serves per-session and aggregate metrics as JSON,
+        shaped like `cafa stats --format json`.
+
+    cafa push <trace> --connect ADDR --session ID [--chunk N]
+        Send a recorded trace file to a running `cafa serve --listen`
+        instance under the given session id and print the report the
+        server returns. If the server already holds a prefix of the
+        session (after a disconnect or server restart), only the
+        remainder is sent. A push that ends before the trace's end
+        marker leaves the session resumable and prints the durable
+        offset to stderr.
 
     cafa stats <trace> [--format text|json]
         Print trace statistics (tasks, events, records, frees, ...).
@@ -150,6 +174,7 @@ fn run_cli() -> ExitCode {
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("push") => cmd_push(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("order") => cmd_order(&args[1..]),
         Some("dump") => cmd_dump(&args[1..]),
@@ -686,6 +711,21 @@ fn provisional_line(p: &ProvisionalRace) -> String {
     )
 }
 
+/// Parses a byte size with an optional K/M/G suffix (binary units).
+fn parse_size(s: &str) -> Result<usize, String> {
+    let (digits, scale) = match s.as_bytes().last() {
+        Some(b'K' | b'k') => (&s[..s.len() - 1], 1usize << 10),
+        Some(b'M' | b'm') => (&s[..s.len() - 1], 1 << 20),
+        Some(b'G' | b'g') => (&s[..s.len() - 1], 1 << 30),
+        _ => (s, 1),
+    };
+    let n: usize = digits
+        .parse()
+        .map_err(|_| format!("bad size `{s}` (use N, NK, NM, or NG)"))?;
+    n.checked_mul(scale)
+        .ok_or_else(|| format!("size `{s}` overflows"))
+}
+
 fn cmd_serve(rest: &[String]) -> Result<(), String> {
     use std::io::Read;
     let mut args = rest.to_vec();
@@ -701,6 +741,11 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
     let live = opt_flag(&mut args, "--live");
     let threads = parse_threads(&mut args)?;
     let listen = opt_value(&mut args, "--listen")?;
+    let admin = opt_value(&mut args, "--admin")?;
+    let state_dir = opt_value(&mut args, "--state-dir")?;
+    let budget = opt_value(&mut args, "--memory-budget")?
+        .map(|s| parse_size(&s))
+        .transpose()?;
     if !args.is_empty() {
         return Err(format!(
             "unexpected argument `{}`; see `cafa help`",
@@ -718,21 +763,45 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
         opts.high_water = hwm;
     }
 
-    let mut reader: Box<dyn Read> = match listen {
-        Some(addr) => {
-            let listener = std::net::TcpListener::bind(&addr)
-                .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
-            let local = listener.local_addr().map_err(|e| e.to_string())?;
-            eprintln!("listening on {local}");
-            let (conn, peer) = listener
-                .accept()
-                .map_err(|e| format!("accept on {addr}: {e}"))?;
-            eprintln!("connection from {peer}");
-            Box::new(conn)
+    if let Some(addr) = listen {
+        // TCP mode: the multi-tenant ingest server. Each connection
+        // carries its own session; reports are per-session and
+        // byte-identical to `cafa analyze --format json`.
+        if live {
+            return Err(
+                "--live is stdin-only: per-session provisional lines would interleave \
+                 on a multi-tenant server's stdout"
+                    .to_owned(),
+            );
         }
-        None => Box::new(std::io::stdin().lock()),
-    };
+        let mut config = cafa_fleetserve::ServerConfig {
+            opts,
+            threads,
+            state_dir: state_dir.map(std::path::PathBuf::from),
+            memory_budget: budget,
+            read_chunk: chunk,
+        };
+        // Sessions are parallel across workers; each analysis runs
+        // single-threaded so reports stay worker-count-invariant.
+        config.opts.detector.threads = 1;
+        let server = cafa_fleetserve::Server::bind(&addr, admin.as_deref(), config)
+            .map_err(|e| e.to_string())?;
+        let local = server.local_addr().map_err(|e| e.to_string())?;
+        eprintln!("listening on {local}");
+        if let Ok(Some(a)) = server.admin_addr() {
+            eprintln!("admin on {a}");
+        }
+        // Runs until the process is killed; crash safety comes from
+        // the journals in --state-dir, not from a shutdown handler.
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        server.run(&stop);
+        return Ok(());
+    }
+    if admin.is_some() || state_dir.is_some() || budget.is_some() {
+        return Err("--admin/--state-dir/--memory-budget require --listen".to_owned());
+    }
 
+    let mut reader = std::io::stdin().lock();
     let mut session = IncrementalSession::new(opts);
     let mut buf = vec![0u8; chunk];
     let mut out = std::io::stdout().lock();
@@ -758,6 +827,39 @@ fn cmd_serve(rest: &[String]) -> Result<(), String> {
     )
     .map_err(|e| e.to_string())?;
     out.flush().map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+fn cmd_push(rest: &[String]) -> Result<(), String> {
+    let mut args = rest.to_vec();
+    let addr = opt_value(&mut args, "--connect")?
+        .ok_or_else(|| "cafa push requires --connect HOST:PORT".to_owned())?;
+    let session = opt_value(&mut args, "--session")?
+        .ok_or_else(|| "cafa push requires --session ID".to_owned())?;
+    let chunk = opt_value(&mut args, "--chunk")?
+        .map(|s| s.parse::<usize>().map_err(|_| format!("bad chunk `{s}`")))
+        .transpose()?
+        .unwrap_or(64 << 10);
+    let [path] = args.as_slice() else {
+        return Err("usage: cafa push <trace> --connect ADDR --session ID [--chunk N]".to_owned());
+    };
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let outcome =
+        cafa_fleetserve::push_trace(&addr, &session, &bytes, chunk).map_err(|e| e.to_string())?;
+    if outcome.resumed_at > 0 {
+        eprintln!("session {session}: resumed at byte {}", outcome.resumed_at);
+    }
+    match outcome.report {
+        Some(report) => {
+            let mut out = std::io::stdout().lock();
+            write!(out, "{report}").map_err(|e| e.to_string())?;
+            out.flush().map_err(|e| e.to_string())?;
+        }
+        None => eprintln!(
+            "session {session}: detached at byte {} (trace incomplete; push again to resume)",
+            outcome.durable
+        ),
+    }
     Ok(())
 }
 

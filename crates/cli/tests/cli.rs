@@ -397,3 +397,133 @@ fn order_command_explains() {
     assert!(!out.status.success());
     std::fs::remove_file(&path).ok();
 }
+
+/// Spawns `cafa serve --listen 127.0.0.1:0 [args]` and returns the
+/// child plus the bound address parsed from its stderr.
+fn spawn_serve(args: &[&str]) -> (std::process::Child, String) {
+    use std::io::{BufRead, BufReader};
+    use std::process::Stdio;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_cafa"))
+        .args(["serve", "--listen", "127.0.0.1:0"])
+        .args(args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    let stderr = child.stderr.take().expect("piped stderr");
+    let mut lines = BufReader::new(stderr).lines();
+    let line = lines
+        .next()
+        .expect("serve announces its address")
+        .expect("stderr is utf-8");
+    let addr = line
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected announcement: {line}"))
+        .to_owned();
+    (child, addr)
+}
+
+/// The PR 2 serve bug, pinned at the CLI: one server process keeps
+/// accepting connections, and every `cafa push` session's report is
+/// byte-identical to batch `analyze --format json`.
+#[test]
+fn serve_listen_handles_sequential_pushes_from_one_process() {
+    let path = tmp("serve-tcp.bin");
+    assert!(cafa(&[
+        "record",
+        "vlc",
+        "--format",
+        "binary",
+        "--out",
+        path.to_str().unwrap()
+    ])
+    .status
+    .success());
+    let batch = cafa(&["analyze", path.to_str().unwrap(), "--json"]);
+    assert!(batch.status.success());
+    let expected = stdout(&batch);
+
+    let (mut server, addr) = spawn_serve(&["--threads", "2"]);
+    for session in ["device-a", "device-b"] {
+        let out = cafa(&[
+            "push",
+            path.to_str().unwrap(),
+            "--connect",
+            &addr,
+            "--session",
+            session,
+        ]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert_eq!(stdout(&out), expected, "session {session}");
+    }
+    server.kill().ok();
+    server.wait().ok();
+    std::fs::remove_file(&path).ok();
+}
+
+/// Serve failures are typed errors carrying their context: binding an
+/// occupied port names the address and exits nonzero, and a memory
+/// budget without a state directory is rejected up front.
+#[test]
+fn serve_errors_carry_context_and_exit_nonzero() {
+    // Occupy a port, then ask serve to bind it.
+    let holder = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = holder.local_addr().expect("addr").to_string();
+    let out = cafa(&["serve", "--listen", &addr]);
+    assert!(!out.status.success(), "bind conflict must fail");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains(&format!("cannot listen on {addr}")),
+        "error names the address: {err}"
+    );
+
+    let out = cafa(&["serve", "--listen", "127.0.0.1:0", "--memory-budget", "1M"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--state-dir"), "{err}");
+
+    // TCP-only flags are refused in stdin mode rather than ignored.
+    let out = cafa(&["serve", "--memory-budget", "1M"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("require --listen"), "{err}");
+}
+
+/// `cafa push` against a dead address is a typed connect error naming
+/// the address, with a nonzero exit.
+#[test]
+fn push_to_unreachable_server_fails_with_address() {
+    let path = tmp("push-dead.bin");
+    assert!(cafa(&[
+        "record",
+        "vlc",
+        "--format",
+        "binary",
+        "--out",
+        path.to_str().unwrap()
+    ])
+    .status
+    .success());
+    // A port nothing listens on: bind-then-drop reserves and frees it.
+    let addr = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        l.local_addr().expect("addr").to_string()
+    };
+    let out = cafa(&[
+        "push",
+        path.to_str().unwrap(),
+        "--connect",
+        &addr,
+        "--session",
+        "dev",
+    ]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains(&addr), "error names the address: {err}");
+    std::fs::remove_file(&path).ok();
+}

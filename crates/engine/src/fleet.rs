@@ -69,6 +69,36 @@ where
         .collect()
 }
 
+/// Deterministic key→shard assignment for long-lived sharded pools
+/// (the fleet discipline applied to keyed streams): FNV-1a over the
+/// key's bytes, reduced modulo `shards`. The same key always lands on
+/// the same shard for a given shard count, on any machine — so a
+/// multi-tenant server that routes a session id through `shard_of`
+/// processes that session's bytes on one worker, in arrival order,
+/// and its output is independent of how many shards exist.
+///
+/// # Examples
+///
+/// ```
+/// let s = cafa_engine::fleet::shard_of("device-42", 8);
+/// assert_eq!(s, cafa_engine::fleet::shard_of("device-42", 8));
+/// assert!(s < 8);
+/// ```
+pub fn shard_of(key: &str, shards: usize) -> usize {
+    (fnv1a(key.as_bytes()) % shards.max(1) as u64) as usize
+}
+
+/// FNV-1a 64-bit over `bytes` — the same pinned constants the schedule
+/// explorer uses for trace fingerprints.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// The worker count to use: `CAFA_FLEET_THREADS` when set and
 /// positive, otherwise the machine's available parallelism.
 pub fn default_threads() -> usize {
@@ -123,5 +153,21 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        // Pinned FNV-1a values: a change here would silently re-home
+        // every journaled session of a live fleet server.
+        assert_eq!(super::fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(super::fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(shard_of("device-0", 1), 0);
+        for shards in [1, 2, 7, 8, 64] {
+            for key in ["", "a", "device-42", "anon-17", "gen:7:3"] {
+                let s = shard_of(key, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(key, shards), "stable for {key}/{shards}");
+            }
+        }
     }
 }

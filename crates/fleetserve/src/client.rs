@@ -1,0 +1,427 @@
+//! Client side of the ingest protocol: `cafa push`, the ci.sh serve
+//! gate, and the integration tests all drive the server through this
+//! module.
+//!
+//! The core call is [`push_trace`]: open a stream-mode session, learn
+//! the server's durable offset from the handshake reply, send the
+//! trace **from that offset**, and read back either the final report
+//! (trace complete — byte-identical to `cafa analyze --format json`)
+//! or the new durable offset (trace still incomplete; resume later).
+//! Calling it again after a disconnect — or after the server was
+//! killed and restarted on the same state directory — continues the
+//! session instead of starting over.
+
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use crate::proto::{encode_handshake, frame, Mode, OFFSET_MAGIC};
+
+/// A client-side failure, carrying the address or session involved.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connecting to the server failed.
+    Connect {
+        /// The address dialed.
+        addr: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// Socket I/O failed mid-conversation.
+    Io {
+        /// The server address.
+        addr: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The server's handshake reply was not `CAFO` + offset.
+    BadHandshakeReply {
+        /// The server address.
+        addr: String,
+    },
+    /// The durable offset the server reported exceeds the bytes we
+    /// hold — the journal belongs to a longer trace than ours.
+    OffsetBeyondTrace {
+        /// The session id.
+        session: String,
+        /// The server's durable offset.
+        durable: u64,
+        /// The trace length we were asked to push.
+        have: u64,
+    },
+    /// The server rejected the session with a typed error.
+    Rejected {
+        /// The session id.
+        session: String,
+        /// The server's message.
+        message: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Connect { addr, source } => write!(f, "connect {addr}: {source}"),
+            Self::Io { addr, source } => write!(f, "server {addr}: {source}"),
+            Self::BadHandshakeReply { addr } => {
+                write!(f, "server {addr}: malformed handshake reply")
+            }
+            Self::OffsetBeyondTrace {
+                session,
+                durable,
+                have,
+            } => write!(
+                f,
+                "session {session}: server already holds {durable} bytes but the local trace has {have}"
+            ),
+            Self::Rejected { session, message } => {
+                write!(f, "session {session}: server rejected: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Connect { source, .. } | Self::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// What one [`push_trace`] call achieved.
+#[derive(Clone, Debug)]
+pub struct PushOutcome {
+    /// The durable offset the server reported at handshake — the
+    /// number of trace bytes it already held.
+    pub resumed_at: u64,
+    /// The final report JSON, if the trace completed on this push.
+    /// `None` means the session detached mid-trace;
+    /// [`durable`](PushOutcome::durable) says where to resume.
+    pub report: Option<String>,
+    /// The server's durable offset when the connection closed.
+    pub durable: u64,
+}
+
+/// Pushes `trace` bytes for `session` to the server at `addr`,
+/// resuming from the server's durable offset, in writes of at most
+/// `chunk` bytes.
+///
+/// # Errors
+///
+/// [`ClientError`] on connection, I/O, or server-side rejection.
+pub fn push_trace(
+    addr: &str,
+    session: &str,
+    trace: &[u8],
+    chunk: usize,
+) -> Result<PushOutcome, ClientError> {
+    let chunk = chunk.max(1);
+    let mut conn = TcpStream::connect(addr).map_err(|source| ClientError::Connect {
+        addr: addr.to_owned(),
+        source,
+    })?;
+    let _ = conn.set_nodelay(true);
+    let io = |source| ClientError::Io {
+        addr: addr.to_owned(),
+        source,
+    };
+    conn.write_all(&encode_handshake(Mode::Stream, session))
+        .map_err(io)?;
+    let mut reply = [0u8; 12];
+    conn.read_exact(&mut reply).map_err(io)?;
+    if reply[0] == frame::ERROR {
+        // The server refused the handshake (e.g. session busy): an
+        // ERROR frame arrives in place of the CAFO offset reply.
+        let mut rest = Vec::new();
+        conn.read_to_end(&mut rest).map_err(io)?;
+        let mut body = reply[1..].to_vec();
+        body.extend_from_slice(&rest);
+        let (sess, message) = parse_error_frame(&body);
+        return Err(ClientError::Rejected {
+            session: if sess.is_empty() {
+                session.to_owned()
+            } else {
+                sess
+            },
+            message,
+        });
+    }
+    if reply[..4] != OFFSET_MAGIC {
+        return Err(ClientError::BadHandshakeReply {
+            addr: addr.to_owned(),
+        });
+    }
+    let resumed_at = u64::from_be_bytes(reply[4..12].try_into().expect("8 bytes"));
+    if resumed_at > trace.len() as u64 {
+        return Err(ClientError::OffsetBeyondTrace {
+            session: session.to_owned(),
+            durable: resumed_at,
+            have: trace.len() as u64,
+        });
+    }
+    for part in trace[resumed_at as usize..].chunks(chunk) {
+        conn.write_all(part).map_err(io)?;
+    }
+    conn.shutdown(std::net::Shutdown::Write).map_err(io)?;
+
+    // The reply body is either the raw report JSON, a second CAFO
+    // frame (detached: resume from its offset), or an ERROR frame.
+    let mut body = Vec::new();
+    conn.read_to_end(&mut body).map_err(io)?;
+    match body.first() {
+        Some(b'{') => Ok(PushOutcome {
+            resumed_at,
+            durable: trace.len() as u64,
+            report: Some(String::from_utf8_lossy(&body).into_owned()),
+        }),
+        Some(b'C') if body.len() >= 12 && body[..4] == OFFSET_MAGIC => {
+            let durable = u64::from_be_bytes(body[4..12].try_into().expect("8 bytes"));
+            Ok(PushOutcome {
+                resumed_at,
+                durable,
+                report: None,
+            })
+        }
+        Some(&t) if t == frame::ERROR => {
+            let (sess, message) = parse_error_frame(&body[1..]);
+            Err(ClientError::Rejected {
+                session: if sess.is_empty() {
+                    session.to_owned()
+                } else {
+                    sess
+                },
+                message,
+            })
+        }
+        _ => Err(ClientError::Rejected {
+            session: session.to_owned(),
+            message: "connection closed without a report".to_owned(),
+        }),
+    }
+}
+
+/// Best-effort decode of an ERROR frame body (after the tag byte).
+fn parse_error_frame(body: &[u8]) -> (String, String) {
+    if body.len() < 2 {
+        return (String::new(), String::from_utf8_lossy(body).into_owned());
+    }
+    let id_len = u16::from_be_bytes([body[0], body[1]]) as usize;
+    if body.len() < 2 + id_len + 4 {
+        return (String::new(), String::from_utf8_lossy(body).into_owned());
+    }
+    let session = String::from_utf8_lossy(&body[2..2 + id_len]).into_owned();
+    let msg_start = 2 + id_len + 4;
+    let message = String::from_utf8_lossy(&body[msg_start..]).into_owned();
+    (session, message)
+}
+
+/// A server-to-client frame, as read by [`FramedClient`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServerFrame {
+    /// A session's final report JSON.
+    Report {
+        /// The completed session.
+        session: String,
+        /// The report bytes (JSON).
+        payload: Vec<u8>,
+    },
+    /// The admin metrics document.
+    StatsReply {
+        /// The metrics JSON.
+        payload: Vec<u8>,
+    },
+    /// A durable-offset answer.
+    OffsetReply {
+        /// The queried session.
+        session: String,
+        /// Its durable offset.
+        durable: u64,
+    },
+    /// A per-session error.
+    Error {
+        /// The failed session.
+        session: String,
+        /// The server's message.
+        message: String,
+    },
+}
+
+/// A framed-mode (multiplexing) connection: one socket carrying many
+/// sessions, as a fleet proxy would hold.
+#[derive(Debug)]
+pub struct FramedClient {
+    conn: TcpStream,
+    addr: String,
+}
+
+impl FramedClient {
+    /// Opens a framed connection named `name` to the server at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] if the dial or handshake write fails.
+    pub fn connect(addr: &str, name: &str) -> Result<Self, ClientError> {
+        let mut conn = TcpStream::connect(addr).map_err(|source| ClientError::Connect {
+            addr: addr.to_owned(),
+            source,
+        })?;
+        let _ = conn.set_nodelay(true);
+        conn.write_all(&encode_handshake(Mode::Framed, name))
+            .map_err(|source| ClientError::Io {
+                addr: addr.to_owned(),
+                source,
+            })?;
+        Ok(Self {
+            conn,
+            addr: addr.to_owned(),
+        })
+    }
+
+    fn io(&self, source: std::io::Error) -> ClientError {
+        ClientError::Io {
+            addr: self.addr.clone(),
+            source,
+        }
+    }
+
+    /// Sends trace bytes for `session` (empty = poke).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] if the write fails.
+    pub fn send_data(&mut self, session: &str, payload: &[u8]) -> Result<(), ClientError> {
+        let frame = crate::proto::encode_data_frame(session, payload);
+        self.conn.write_all(&frame).map_err(|e| self.io(e))
+    }
+
+    /// Requests the metrics document.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] if the write fails.
+    pub fn request_stats(&mut self) -> Result<(), ClientError> {
+        let frame = crate::proto::encode_stats_frame();
+        self.conn.write_all(&frame).map_err(|e| self.io(e))
+    }
+
+    /// Queries `session`'s durable offset.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] if the write fails.
+    pub fn request_offset(&mut self, session: &str) -> Result<(), ClientError> {
+        let frame = crate::proto::encode_offset_frame(session);
+        self.conn.write_all(&frame).map_err(|e| self.io(e))
+    }
+
+    /// Half-closes the write side, so the server flushes pending
+    /// replies and closes once drained.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] if the shutdown fails.
+    pub fn finish_writes(&mut self) -> Result<(), ClientError> {
+        self.conn
+            .shutdown(std::net::Shutdown::Write)
+            .map_err(|e| self.io(e))
+    }
+
+    /// Reads one server frame; `None` at end of stream.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on I/O failure or a malformed frame.
+    pub fn read_frame(&mut self) -> Result<Option<ServerFrame>, ClientError> {
+        let mut tag = [0u8; 1];
+        match self.conn.read_exact(&mut tag) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(self.io(e)),
+        }
+        let frame = match tag[0] {
+            frame::REPORT => {
+                let session = self.read_id()?;
+                let payload = self.read_payload()?;
+                ServerFrame::Report { session, payload }
+            }
+            frame::STATS_REPLY => ServerFrame::StatsReply {
+                payload: self.read_payload()?,
+            },
+            frame::OFFSET_REPLY => {
+                let session = self.read_id()?;
+                let mut off = [0u8; 8];
+                self.conn.read_exact(&mut off).map_err(|e| self.io(e))?;
+                ServerFrame::OffsetReply {
+                    session,
+                    durable: u64::from_be_bytes(off),
+                }
+            }
+            frame::ERROR => {
+                let session = self.read_id()?;
+                let payload = self.read_payload()?;
+                ServerFrame::Error {
+                    session,
+                    message: String::from_utf8_lossy(&payload).into_owned(),
+                }
+            }
+            other => {
+                return Err(ClientError::Rejected {
+                    session: String::new(),
+                    message: format!("unexpected server frame type {other}"),
+                })
+            }
+        };
+        Ok(Some(frame))
+    }
+
+    /// Drains all remaining server frames until the stream closes.
+    ///
+    /// # Errors
+    ///
+    /// As for [`read_frame`](FramedClient::read_frame).
+    pub fn drain(&mut self) -> Result<Vec<ServerFrame>, ClientError> {
+        let mut frames = Vec::new();
+        while let Some(f) = self.read_frame()? {
+            frames.push(f);
+        }
+        Ok(frames)
+    }
+
+    fn read_id(&mut self) -> Result<String, ClientError> {
+        let mut len = [0u8; 2];
+        self.conn.read_exact(&mut len).map_err(|e| self.io(e))?;
+        let mut id = vec![0u8; u16::from_be_bytes(len) as usize];
+        self.conn.read_exact(&mut id).map_err(|e| self.io(e))?;
+        Ok(String::from_utf8_lossy(&id).into_owned())
+    }
+
+    fn read_payload(&mut self) -> Result<Vec<u8>, ClientError> {
+        let mut len = [0u8; 4];
+        self.conn.read_exact(&mut len).map_err(|e| self.io(e))?;
+        let mut payload = vec![0u8; u32::from_be_bytes(len) as usize];
+        self.conn.read_exact(&mut payload).map_err(|e| self.io(e))?;
+        Ok(payload)
+    }
+}
+
+/// Fetches the admin metrics document from a server's `--admin`
+/// listener (connect, read to close).
+///
+/// # Errors
+///
+/// [`ClientError`] if the dial or read fails.
+pub fn fetch_admin_metrics(addr: &str) -> Result<String, ClientError> {
+    let mut conn = TcpStream::connect(addr).map_err(|source| ClientError::Connect {
+        addr: addr.to_owned(),
+        source,
+    })?;
+    let mut body = String::new();
+    conn.read_to_string(&mut body)
+        .map_err(|source| ClientError::Io {
+            addr: addr.to_owned(),
+            source,
+        })?;
+    Ok(body)
+}

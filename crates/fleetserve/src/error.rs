@@ -1,0 +1,139 @@
+//! Typed server-path errors.
+//!
+//! Every failure carries its context — the listen address, the peer,
+//! the session id — so an operator reading one line knows *which*
+//! connection or tenant it concerns. The CLI surfaces these verbatim
+//! (and exits nonzero); the old stringly `map_err(|e| format!(...))`
+//! serve path is gone.
+
+use std::fmt;
+use std::path::PathBuf;
+
+use crate::journal::SnapshotError;
+use crate::proto::ProtoError;
+use cafa_stream::StreamError;
+
+/// A failure in the ingest server, with the context it occurred in.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Binding a listen or admin address failed.
+    Bind {
+        /// The address that could not be bound.
+        addr: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// Creating or scanning the state directory failed.
+    StateDir {
+        /// The directory involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// `--memory-budget` was configured without `--state-dir`:
+    /// eviction snapshots cold sessions to disk, so a budget without
+    /// a state directory could only enforce itself by dropping data.
+    BudgetNeedsStateDir,
+    /// Socket I/O with a peer failed.
+    Io {
+        /// The peer's address (or `stdin`).
+        peer: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A peer violated the wire protocol.
+    Proto {
+        /// The offending peer.
+        peer: String,
+        /// The typed violation, positioned at its exact byte offset.
+        source: ProtoError,
+    },
+    /// A second connection tried to attach a session already being
+    /// fed by another connection.
+    SessionBusy {
+        /// The contested session id.
+        session: String,
+    },
+    /// A session's trace bytes failed streaming analysis.
+    Session {
+        /// The session the bytes belong to.
+        session: String,
+        /// The underlying analysis error.
+        source: StreamError,
+    },
+    /// A session's snapshot journal failed.
+    Snapshot {
+        /// The session the journal belongs to.
+        session: String,
+        /// The underlying snapshot error.
+        source: SnapshotError,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Bind { addr, source } => write!(f, "cannot listen on {addr}: {source}"),
+            Self::StateDir { path, source } => {
+                write!(f, "state dir {}: {source}", path.display())
+            }
+            Self::BudgetNeedsStateDir => {
+                write!(f, "--memory-budget requires --state-dir (eviction snapshots cold sessions to disk)")
+            }
+            Self::Io { peer, source } => write!(f, "peer {peer}: {source}"),
+            Self::Proto { peer, source } => write!(f, "peer {peer}: protocol: {source}"),
+            Self::SessionBusy { session } => {
+                write!(
+                    f,
+                    "session {session}: already attached to another connection"
+                )
+            }
+            Self::Session { session, source } => write!(f, "session {session}: {source}"),
+            Self::Snapshot { session, source } => write!(f, "session {session}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Bind { source, .. } | Self::StateDir { source, .. } | Self::Io { source, .. } => {
+                Some(source)
+            }
+            Self::Proto { source, .. } => Some(source),
+            Self::Session { source, .. } => Some(source),
+            Self::Snapshot { source, .. } => Some(source),
+            Self::BudgetNeedsStateDir | Self::SessionBusy { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_their_context() {
+        let e = ServeError::Bind {
+            addr: "127.0.0.1:1".into(),
+            source: std::io::Error::new(std::io::ErrorKind::PermissionDenied, "denied"),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("127.0.0.1:1"), "{msg}");
+
+        let e = ServeError::SessionBusy {
+            session: "device-3".into(),
+        };
+        assert!(e.to_string().contains("device-3"));
+
+        let e = ServeError::Proto {
+            peer: "10.0.0.7:999".into(),
+            source: ProtoError::BadVersion { at: 4, found: 9 },
+        };
+        let msg = e.to_string();
+        assert!(
+            msg.contains("10.0.0.7:999") && msg.contains("byte 4"),
+            "{msg}"
+        );
+    }
+}

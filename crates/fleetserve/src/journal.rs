@@ -1,0 +1,471 @@
+//! Versioned on-disk session snapshots.
+//!
+//! A session's snapshot is a **journal** of the exact byte chunks fed
+//! to its [`IncrementalSession`](cafa_stream::IncrementalSession), in
+//! order. Because streaming analysis is chunk-invariant and its state
+//! is a pure function of the bytes ingested so far (pinned by the
+//! stream crate's tests), replaying the journal through a fresh
+//! session rebuilds state *equivalent* to what was dropped — so one
+//! format powers both cold-session eviction and crash-safe restart.
+//!
+//! Layout (all integers big-endian):
+//!
+//! ```text
+//! magic   "CFSJ"                      4 bytes
+//! version u16  (currently 1)          2 bytes
+//! flags   u16  (0; reserved)          2 bytes
+//! frames  (u32 payload_len, payload)  repeated
+//! ```
+//!
+//! Appends go straight to the file (page cache), so a journal survives
+//! `kill -9` of the server process; it is not powerloss-durable (no
+//! fsync on the hot path — a deliberate trade documented in
+//! `docs/SERVE.md`). A frame torn by a crash mid-write is detected on
+//! the next open and truncated away: the **durable offset** — the sum
+//! of complete-frame payload lengths — is the contract with clients,
+//! which re-send their trace from that offset.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every journal file.
+pub const JOURNAL_MAGIC: [u8; 4] = *b"CFSJ";
+/// Current journal format version.
+pub const JOURNAL_VERSION: u16 = 1;
+/// Bytes before the first frame.
+pub const JOURNAL_HEADER_LEN: u64 = 8;
+/// Upper bound on a single journal frame's payload. Server-side
+/// chunks are read-buffer sized (tens of KiB), so a length beyond
+/// this is corruption, not data.
+pub const MAX_JOURNAL_FRAME: u32 = 1 << 24;
+/// File extension for session journals.
+pub const JOURNAL_EXT: &str = "cfsj";
+
+/// A snapshot-layer failure, carrying the file it concerns.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Filesystem I/O failed.
+    Io {
+        /// The journal (or directory) involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The file does not begin with [`JOURNAL_MAGIC`].
+    BadMagic {
+        /// The offending file.
+        path: PathBuf,
+    },
+    /// The file's version is not [`JOURNAL_VERSION`].
+    BadVersion {
+        /// The offending file.
+        path: PathBuf,
+        /// The version found.
+        found: u16,
+    },
+    /// A frame length exceeds [`MAX_JOURNAL_FRAME`].
+    Corrupt {
+        /// The offending file.
+        path: PathBuf,
+        /// Offset of the bad length prefix.
+        at: u64,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io { path, source } => {
+                write!(f, "snapshot {}: {source}", path.display())
+            }
+            Self::BadMagic { path } => {
+                write!(f, "snapshot {}: not a CFSJ journal", path.display())
+            }
+            Self::BadVersion { path, found } => {
+                write!(
+                    f,
+                    "snapshot {}: journal version {found} (this build reads {JOURNAL_VERSION})",
+                    path.display()
+                )
+            }
+            Self::Corrupt { path, at } => {
+                write!(
+                    f,
+                    "snapshot {}: corrupt frame length at byte {at}",
+                    path.display()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// The journal path for `session` under `dir`. Session ids are
+/// restricted to `[A-Za-z0-9._:-]`, so the id is filesystem-safe
+/// as-is.
+pub fn journal_path(dir: &Path, session: &str) -> PathBuf {
+    dir.join(format!("{session}.{JOURNAL_EXT}"))
+}
+
+/// Session ids with a journal under `dir`, sorted (deterministic).
+///
+/// # Errors
+///
+/// [`SnapshotError::Io`] if the directory cannot be read.
+pub fn scan_dir(dir: &Path) -> Result<Vec<String>, SnapshotError> {
+    let entries = std::fs::read_dir(dir).map_err(|source| SnapshotError::Io {
+        path: dir.to_path_buf(),
+        source,
+    })?;
+    let mut ids = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|source| SnapshotError::Io {
+            path: dir.to_path_buf(),
+            source,
+        })?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(id) = name.strip_suffix(&format!(".{JOURNAL_EXT}")) {
+            if crate::proto::validate_session_id(id) {
+                ids.push(id.to_owned());
+            }
+        }
+    }
+    ids.sort();
+    Ok(ids)
+}
+
+/// An open, append-position journal for one session.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+    durable: u64,
+}
+
+impl Journal {
+    /// Opens (or creates) the journal for `session` under `dir`,
+    /// validating the header, truncating any crash-torn final frame,
+    /// and positioning for append.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] on I/O failure, foreign magic, or a version
+    /// this build does not read.
+    pub fn open(dir: &Path, session: &str) -> Result<Self, SnapshotError> {
+        let path = journal_path(dir, session);
+        let io = |source| SnapshotError::Io {
+            path: path.clone(),
+            source,
+        };
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(io)?;
+        let len = file.metadata().map_err(io)?.len();
+        if len == 0 {
+            let mut header = Vec::with_capacity(JOURNAL_HEADER_LEN as usize);
+            header.extend_from_slice(&JOURNAL_MAGIC);
+            header.extend_from_slice(&JOURNAL_VERSION.to_be_bytes());
+            header.extend_from_slice(&0u16.to_be_bytes());
+            file.write_all(&header).map_err(io)?;
+            return Ok(Self {
+                file,
+                path,
+                durable: 0,
+            });
+        }
+        let (durable, end) = Self::scan(&mut file, &path, len)?;
+        if end < len {
+            // Crash-torn tail: drop the partial frame so appends
+            // resume at a frame boundary.
+            file.set_len(end).map_err(io)?;
+        }
+        file.seek(SeekFrom::Start(end)).map_err(io)?;
+        Ok(Self {
+            file,
+            path,
+            durable,
+        })
+    }
+
+    /// Validates the header and walks complete frames, returning
+    /// `(durable payload bytes, file offset after the last complete
+    /// frame)`.
+    fn scan(file: &mut File, path: &Path, len: u64) -> Result<(u64, u64), SnapshotError> {
+        let io = |source| SnapshotError::Io {
+            path: path.to_path_buf(),
+            source,
+        };
+        if len < JOURNAL_HEADER_LEN {
+            return Err(SnapshotError::BadMagic {
+                path: path.to_path_buf(),
+            });
+        }
+        let mut header = [0u8; JOURNAL_HEADER_LEN as usize];
+        file.seek(SeekFrom::Start(0)).map_err(io)?;
+        file.read_exact(&mut header).map_err(io)?;
+        if header[..4] != JOURNAL_MAGIC {
+            return Err(SnapshotError::BadMagic {
+                path: path.to_path_buf(),
+            });
+        }
+        let version = u16::from_be_bytes([header[4], header[5]]);
+        if version != JOURNAL_VERSION {
+            return Err(SnapshotError::BadVersion {
+                path: path.to_path_buf(),
+                found: version,
+            });
+        }
+        let mut pos = JOURNAL_HEADER_LEN;
+        let mut durable = 0u64;
+        let mut prefix = [0u8; 4];
+        while pos + 4 <= len {
+            file.seek(SeekFrom::Start(pos)).map_err(io)?;
+            file.read_exact(&mut prefix).map_err(io)?;
+            let flen = u32::from_be_bytes(prefix);
+            if flen > MAX_JOURNAL_FRAME {
+                return Err(SnapshotError::Corrupt {
+                    path: path.to_path_buf(),
+                    at: pos,
+                });
+            }
+            if pos + 4 + u64::from(flen) > len {
+                break; // torn tail
+            }
+            durable += u64::from(flen);
+            pos += 4 + u64::from(flen);
+        }
+        Ok((durable, pos))
+    }
+
+    /// The journal's on-disk location.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Complete-frame payload bytes on disk — the offset clients
+    /// resume from.
+    pub fn durable_offset(&self) -> u64 {
+        self.durable
+    }
+
+    /// Appends one chunk as a frame. The write lands in the page
+    /// cache before this returns, so it survives abrupt process
+    /// death.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] if the write fails.
+    pub fn append(&mut self, payload: &[u8]) -> Result<(), SnapshotError> {
+        debug_assert!(payload.len() as u64 <= u64::from(MAX_JOURNAL_FRAME));
+        let mut frame = Vec::with_capacity(4 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        frame.extend_from_slice(payload);
+        self.file
+            .write_all(&frame)
+            .map_err(|source| SnapshotError::Io {
+                path: self.path.clone(),
+                source,
+            })?;
+        self.durable += payload.len() as u64;
+        Ok(())
+    }
+
+    /// Forces the journal to stable storage (used at graceful
+    /// shutdown, not per-append).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] if the sync fails.
+    pub fn sync(&mut self) -> Result<(), SnapshotError> {
+        self.file.sync_data().map_err(|source| SnapshotError::Io {
+            path: self.path.clone(),
+            source,
+        })
+    }
+
+    /// Deletes the journal (the session completed; its report has
+    /// been delivered).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] if the unlink fails.
+    pub fn delete(self) -> Result<(), SnapshotError> {
+        std::fs::remove_file(&self.path).map_err(|source| SnapshotError::Io {
+            path: self.path,
+            source,
+        })
+    }
+}
+
+/// Reads every complete frame of `session`'s journal under `dir`, in
+/// append order — the chunk sequence to replay through
+/// [`IncrementalSession::restore`](cafa_stream::IncrementalSession::restore).
+/// A crash-torn final frame is ignored, matching
+/// [`Journal::open`]'s truncation.
+///
+/// # Errors
+///
+/// [`SnapshotError`] on I/O failure or a malformed journal.
+pub fn read_frames(dir: &Path, session: &str) -> Result<Vec<Vec<u8>>, SnapshotError> {
+    let path = journal_path(dir, session);
+    let bytes = std::fs::read(&path).map_err(|source| SnapshotError::Io {
+        path: path.clone(),
+        source,
+    })?;
+    if bytes.len() < JOURNAL_HEADER_LEN as usize || bytes[..4] != JOURNAL_MAGIC {
+        return Err(SnapshotError::BadMagic { path });
+    }
+    let version = u16::from_be_bytes([bytes[4], bytes[5]]);
+    if version != JOURNAL_VERSION {
+        return Err(SnapshotError::BadVersion {
+            path,
+            found: version,
+        });
+    }
+    let mut frames = Vec::new();
+    let mut pos = JOURNAL_HEADER_LEN as usize;
+    while pos + 4 <= bytes.len() {
+        let flen = u32::from_be_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]]);
+        if flen > MAX_JOURNAL_FRAME {
+            return Err(SnapshotError::Corrupt {
+                path,
+                at: pos as u64,
+            });
+        }
+        let flen = flen as usize;
+        if pos + 4 + flen > bytes.len() {
+            break; // torn tail
+        }
+        frames.push(bytes[pos + 4..pos + 4 + flen].to_vec());
+        pos += 4 + flen;
+    }
+    Ok(frames)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cafa-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    #[test]
+    fn append_then_read_roundtrips_chunk_boundaries() {
+        let dir = tmp_dir("roundtrip");
+        let mut j = Journal::open(&dir, "s1").expect("open");
+        j.append(b"alpha").expect("append");
+        j.append(b"").expect("append empty");
+        j.append(b"beta-gamma").expect("append");
+        assert_eq!(j.durable_offset(), 15);
+        drop(j);
+        let frames = read_frames(&dir, "s1").expect("read");
+        assert_eq!(
+            frames,
+            vec![b"alpha".to_vec(), Vec::new(), b"beta-gamma".to_vec()]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_resumes_at_durable_offset() {
+        let dir = tmp_dir("reopen");
+        {
+            let mut j = Journal::open(&dir, "s").expect("open");
+            j.append(b"one").expect("append");
+        }
+        {
+            let mut j = Journal::open(&dir, "s").expect("reopen");
+            assert_eq!(j.durable_offset(), 3);
+            j.append(b"two!").expect("append");
+            assert_eq!(j.durable_offset(), 7);
+        }
+        assert_eq!(
+            read_frames(&dir, "s").expect("read"),
+            vec![b"one".to_vec(), b"two!".to_vec()]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let dir = tmp_dir("torn");
+        {
+            let mut j = Journal::open(&dir, "s").expect("open");
+            j.append(b"whole").expect("append");
+        }
+        // Simulate a crash mid-append: length prefix promises more
+        // bytes than the file holds.
+        let path = journal_path(&dir, "s");
+        let mut f = OpenOptions::new().append(true).open(&path).expect("open");
+        f.write_all(&100u32.to_be_bytes()).expect("write");
+        f.write_all(b"part").expect("write");
+        drop(f);
+
+        assert_eq!(
+            read_frames(&dir, "s").expect("read"),
+            vec![b"whole".to_vec()],
+            "torn frame is invisible to readers"
+        );
+        let j = Journal::open(&dir, "s").expect("reopen");
+        assert_eq!(j.durable_offset(), 5);
+        let len = std::fs::metadata(&path).expect("meta").len();
+        assert_eq!(len, JOURNAL_HEADER_LEN + 4 + 5, "tail truncated");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_and_future_files_are_rejected_typed() {
+        let dir = tmp_dir("reject");
+        std::fs::write(journal_path(&dir, "alien"), b"NOPE....").expect("write");
+        let err = Journal::open(&dir, "alien").expect_err("rejects");
+        assert!(matches!(err, SnapshotError::BadMagic { .. }), "{err}");
+
+        let mut future = JOURNAL_MAGIC.to_vec();
+        future.extend_from_slice(&2u16.to_be_bytes());
+        future.extend_from_slice(&0u16.to_be_bytes());
+        std::fs::write(journal_path(&dir, "v2"), &future).expect("write");
+        let err = Journal::open(&dir, "v2").expect_err("rejects");
+        assert!(
+            matches!(err, SnapshotError::BadVersion { found: 2, .. }),
+            "{err}"
+        );
+        let err = read_frames(&dir, "v2").expect_err("rejects");
+        assert!(
+            matches!(err, SnapshotError::BadVersion { found: 2, .. }),
+            "{err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scan_dir_lists_sessions_sorted() {
+        let dir = tmp_dir("scan");
+        for id in ["zeta", "alpha", "mid.dle"] {
+            Journal::open(&dir, id).expect("open");
+        }
+        std::fs::write(dir.join("not-a-journal.txt"), b"x").expect("write");
+        assert_eq!(
+            scan_dir(&dir).expect("scan"),
+            vec!["alpha".to_owned(), "mid.dle".to_owned(), "zeta".to_owned()]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,54 @@
+//! Fleet-scale multi-tenant ingest server for streaming race
+//! analysis.
+//!
+//! A production fleet does not hand the analyzer one trace at a time:
+//! thousands of devices stream event/operation logs concurrently, in
+//! arbitrary chunk sizes, over connections that drop and resume, on a
+//! collector whose memory is finite. This crate turns the
+//! chunk-invariant [`cafa_stream::IncrementalSession`] into that
+//! collector:
+//!
+//! * **Sessions** — every connection (or frame, in multiplexed proxy
+//!   mode) names a session id; each session is one device's trace and
+//!   yields exactly the report batch `cafa analyze --format json`
+//!   would produce, byte for byte.
+//! * **Deterministic sharding** — session ids route through
+//!   [`cafa_engine::fleet::shard_of`] to a fixed worker, so a
+//!   session's bytes are analyzed single-threaded in arrival order:
+//!   output is independent of worker count and connection
+//!   interleaving (the `fleet` discipline extended from batch jobs to
+//!   long-lived keyed streams).
+//! * **Bounded memory** — sessions account their modeled footprint
+//!   ([`cafa_stream::IncrementalSession::footprint_bytes`]); under a
+//!   budget, cold sessions are evicted LRU by snapshotting to a
+//!   versioned on-disk journal and restored transparently on their
+//!   next byte.
+//! * **Crash-safe restart** — the same journal format survives
+//!   `kill -9`: reopening the state directory resumes every mid-trace
+//!   session, and clients re-send from the durable offset the
+//!   handshake reply reports.
+//! * **Observability** — an admin listener (and the in-band STATS
+//!   frame) serves per-session and aggregate metrics as the same flat
+//!   JSON shape `cafa stats --format json` uses.
+//!
+//! Module map: [`proto`] (wire grammar + incremental parser),
+//! [`server`] (shard workers, eviction, restart), [`journal`]
+//! (snapshot format), [`registry`] (attach guard, accounting,
+//! metrics), [`client`] (`cafa push` and test drivers), [`error`]
+//! (typed, context-carrying failures).
+
+pub mod client;
+pub mod error;
+pub mod journal;
+pub mod proto;
+pub mod registry;
+pub mod server;
+
+pub use client::{
+    fetch_admin_metrics, push_trace, ClientError, FramedClient, PushOutcome, ServerFrame,
+};
+pub use error::ServeError;
+pub use journal::{Journal, SnapshotError, JOURNAL_MAGIC, JOURNAL_VERSION};
+pub use proto::{Mode, ProtoError, ProtoItem, ProtoReader};
+pub use registry::{Registry, SessionMetrics, SessionPhase, Totals};
+pub use server::{Server, ServerConfig};

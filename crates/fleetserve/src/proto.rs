@@ -1,0 +1,853 @@
+//! Wire protocol for multi-tenant ingest connections.
+//!
+//! A connection to the ingest port speaks one of three dialects,
+//! distinguished by its first bytes:
+//!
+//! * **Raw passthrough** — anything that does not start with the
+//!   `CAFS` handshake magic is treated as a bare trace stream (the
+//!   PR 2 `cafa serve` behavior): the whole connection is one
+//!   anonymous session, and malformed bytes are rejected by the trace
+//!   decoder with its own typed error at the exact offset.
+//! * **Stream mode** — a `CAFS` handshake naming a session id,
+//!   followed by raw trace bytes for that session. The server replies
+//!   with the session's durable offset (`CAFO` + u64) so a client can
+//!   resume mid-trace after a disconnect or a server restart.
+//! * **Framed mode** — a `CAFS` handshake with mode 1, followed by
+//!   length-prefixed frames each naming a session id. One connection
+//!   (e.g. a fleet proxy) can interleave many devices' traces, query
+//!   durable offsets, and request server metrics.
+//!
+//! Parsing is a pure, resumable state machine ([`ProtoReader`]):
+//! chunk-boundary independent, allocation-bounded (a hostile length
+//! prefix is rejected *before* any buffer is sized from it), and
+//! every rejection is a typed [`ProtoError`] carrying the exact byte
+//! offset of the offending input.
+//!
+//! All integers are big-endian. Frame layout (framed mode):
+//!
+//! ```text
+//! DATA        0x00  u16 id_len, id, u32 len, payload   client → server
+//! REPORT      0x01  u16 id_len, id, u32 len, payload   server → client
+//! STATS       0x02  (empty)                            client → server
+//! STATS_REPLY 0x03  u32 len, payload                   server → client
+//! OFFSET      0x04  u16 id_len, id                     client → server
+//! OFFSET_REPLY0x05  u16 id_len, id, u64 offset         server → client
+//! ```
+
+use std::fmt;
+
+/// Handshake magic: the first four bytes of a session-mode connection.
+pub const SESSION_MAGIC: [u8; 4] = *b"CAFS";
+/// Magic prefixing the server's durable-offset handshake reply.
+pub const OFFSET_MAGIC: [u8; 4] = *b"CAFO";
+/// Protocol version carried in the handshake.
+pub const PROTO_VERSION: u8 = 1;
+/// Longest accepted session id, in bytes.
+pub const MAX_SESSION_ID: usize = 64;
+/// Largest accepted DATA frame payload. A length prefix above this is
+/// rejected at its own offset, before any allocation is sized from it.
+pub const MAX_FRAME_LEN: u64 = 1 << 20;
+
+/// Frame type tags (framed mode).
+pub mod frame {
+    /// Trace bytes for a session.
+    pub const DATA: u8 = 0;
+    /// Final per-session report (server → client).
+    pub const REPORT: u8 = 1;
+    /// Metrics request.
+    pub const STATS: u8 = 2;
+    /// Metrics reply (server → client).
+    pub const STATS_REPLY: u8 = 3;
+    /// Durable-offset query for a session.
+    pub const OFFSET: u8 = 4;
+    /// Durable-offset reply (server → client).
+    pub const OFFSET_REPLY: u8 = 5;
+    /// Per-session error (server → client): `u16 id_len, id, u32
+    /// len, message`. Scoped to one session — a proxy multiplexing
+    /// many devices drops only the failed one.
+    pub const ERROR: u8 = 6;
+}
+
+/// How the connection carries trace bytes after the handshake.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// The rest of the connection is raw trace bytes for the
+    /// handshake's session.
+    Stream,
+    /// The rest of the connection is a sequence of frames, each
+    /// naming its session (multiplexing mode for proxies).
+    Framed,
+}
+
+/// A parsed protocol item, in connection order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtoItem {
+    /// A completed `CAFS` handshake.
+    Hello {
+        /// Connection dialect after the handshake.
+        mode: Mode,
+        /// Session id (stream mode) or connection name (framed mode).
+        session: String,
+    },
+    /// The connection is raw passthrough (no handshake): these bytes
+    /// belong to one anonymous session. Emitted for every chunk.
+    Raw(Vec<u8>),
+    /// Trace bytes for a session (stream-mode payload or DATA frame).
+    Data {
+        /// The session the bytes belong to.
+        session: String,
+        /// The bytes (possibly empty — an empty DATA frame is a
+        /// valid "poke" that forces restore/report delivery).
+        bytes: Vec<u8>,
+    },
+    /// A metrics request (STATS frame).
+    StatsRequest,
+    /// A durable-offset query (OFFSET frame).
+    OffsetRequest {
+        /// The session whose durable offset is asked for.
+        session: String,
+    },
+}
+
+/// A typed protocol rejection, positioned at the exact byte offset
+/// (from the start of the connection) of the offending input.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The handshake version byte is not [`PROTO_VERSION`].
+    BadVersion {
+        /// Offset of the version byte.
+        at: u64,
+        /// The byte found.
+        found: u8,
+    },
+    /// The handshake mode byte is not a known [`Mode`].
+    BadMode {
+        /// Offset of the mode byte.
+        at: u64,
+        /// The byte found.
+        found: u8,
+    },
+    /// A session id length of 0 or above [`MAX_SESSION_ID`].
+    BadSessionIdLength {
+        /// Offset of the length prefix.
+        at: u64,
+        /// The declared length.
+        len: usize,
+    },
+    /// A session id byte outside `[A-Za-z0-9._:-]`.
+    BadSessionIdByte {
+        /// Offset of the offending byte.
+        at: u64,
+        /// The byte found.
+        byte: u8,
+    },
+    /// An unknown frame type tag.
+    BadFrameType {
+        /// Offset of the tag byte.
+        at: u64,
+        /// The byte found.
+        found: u8,
+    },
+    /// A DATA length prefix above [`MAX_FRAME_LEN`] — rejected before
+    /// any allocation is sized from it.
+    FrameTooLong {
+        /// Offset of the length prefix.
+        at: u64,
+        /// The declared length.
+        len: u64,
+    },
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadVersion { at, found } => {
+                write!(
+                    f,
+                    "byte {at}: unsupported protocol version {found} (expected {PROTO_VERSION})"
+                )
+            }
+            Self::BadMode { at, found } => {
+                write!(
+                    f,
+                    "byte {at}: bad handshake mode {found} (0=stream 1=framed)"
+                )
+            }
+            Self::BadSessionIdLength { at, len } => {
+                write!(
+                    f,
+                    "byte {at}: session id length {len} out of range 1..={MAX_SESSION_ID}"
+                )
+            }
+            Self::BadSessionIdByte { at, byte } => {
+                write!(
+                    f,
+                    "byte {at}: session id byte 0x{byte:02x} outside [A-Za-z0-9._:-]"
+                )
+            }
+            Self::BadFrameType { at, found } => {
+                write!(f, "byte {at}: unknown frame type {found}")
+            }
+            Self::FrameTooLong { at, len } => {
+                write!(
+                    f,
+                    "byte {at}: frame length {len} exceeds the {MAX_FRAME_LEN}-byte bound"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// True for the characters a session id may contain.
+pub fn valid_id_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b':' | b'-')
+}
+
+/// Validates a session id string (length and charset).
+pub fn validate_session_id(id: &str) -> bool {
+    (1..=MAX_SESSION_ID).contains(&id.len()) && id.bytes().all(valid_id_byte)
+}
+
+#[derive(Clone, Debug)]
+enum State {
+    /// Deciding between handshake and raw passthrough.
+    Sniff,
+    /// `CAFS` seen; version, mode, id pending.
+    Handshake,
+    /// Handshake complete, stream mode: all further bytes are payload.
+    Streaming { session: String },
+    /// Handshake complete, framed mode: at a frame boundary or inside
+    /// a frame header.
+    Frame,
+    /// Frame header parsed; `remaining` payload bytes pending.
+    FramePayload { session: String, remaining: usize },
+    /// Raw passthrough: no handshake on this connection.
+    Raw,
+    /// A protocol error was reported; all further input is rejected.
+    Poisoned,
+}
+
+/// Resumable parser for one ingest connection.
+///
+/// Feed arbitrary chunks with [`feed`](ProtoReader::feed); parsing is
+/// chunk-boundary independent. At most one incomplete item is ever
+/// buffered, and a DATA payload is bounded by [`MAX_FRAME_LEN`], so a
+/// hostile peer cannot grow the buffer without bound. After an error
+/// the reader is poisoned and keeps rejecting input.
+#[derive(Debug)]
+pub struct ProtoReader {
+    state: State,
+    buf: Vec<u8>,
+    /// Offset (from connection start) of `buf[0]`.
+    consumed: u64,
+}
+
+impl Default for ProtoReader {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProtoReader {
+    /// A reader ready for the connection's first bytes.
+    pub fn new() -> Self {
+        Self {
+            state: State::Sniff,
+            buf: Vec::new(),
+            consumed: 0,
+        }
+    }
+
+    /// The dialect in effect, once known.
+    pub fn mode(&self) -> Option<Mode> {
+        match self.state {
+            State::Streaming { .. } => Some(Mode::Stream),
+            State::Frame | State::FramePayload { .. } => Some(Mode::Framed),
+            _ => None,
+        }
+    }
+
+    /// Bytes buffered waiting for the current item to complete.
+    pub fn buffered_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Consumes one chunk, appending completed items to `items`.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`ProtoError`] at the exact offset of the offending
+    /// byte, as soon as it arrives.
+    pub fn feed(&mut self, bytes: &[u8], items: &mut Vec<ProtoItem>) -> Result<(), ProtoError> {
+        // Fast paths that need no buffering: whole-chunk payload.
+        if self.buf.is_empty() {
+            match &self.state {
+                State::Raw => {
+                    if !bytes.is_empty() {
+                        self.consumed += bytes.len() as u64;
+                        items.push(ProtoItem::Raw(bytes.to_vec()));
+                    }
+                    return Ok(());
+                }
+                State::Streaming { session } => {
+                    if !bytes.is_empty() {
+                        self.consumed += bytes.len() as u64;
+                        items.push(ProtoItem::Data {
+                            session: session.clone(),
+                            bytes: bytes.to_vec(),
+                        });
+                    }
+                    return Ok(());
+                }
+                _ => {}
+            }
+        }
+        self.buf.extend_from_slice(bytes);
+        loop {
+            let made_progress = self.step(items)?;
+            if !made_progress {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Signals end of connection: flushes any undecided sniff bytes
+    /// as raw passthrough. A handshake or frame truncated mid-item is
+    /// not an error at this layer — the enclosing session simply never
+    /// completed (exactly like a trace stream that stops mid-record).
+    pub fn eof(&mut self, items: &mut Vec<ProtoItem>) {
+        if let State::Sniff = self.state {
+            if !self.buf.is_empty() {
+                let bytes = std::mem::take(&mut self.buf);
+                self.consumed += bytes.len() as u64;
+                self.state = State::Raw;
+                items.push(ProtoItem::Raw(bytes));
+            }
+        }
+    }
+
+    /// Attempts to complete one item from the buffer. Returns whether
+    /// progress was made (more steps may follow).
+    fn step(&mut self, items: &mut Vec<ProtoItem>) -> Result<bool, ProtoError> {
+        match std::mem::replace(&mut self.state, State::Poisoned) {
+            State::Sniff => {
+                if self.buf.first().is_some_and(|&b| b != SESSION_MAGIC[0]) {
+                    self.state = State::Raw;
+                    return Ok(true);
+                }
+                if self.buf.len() < 4 {
+                    self.state = State::Sniff;
+                    return Ok(false);
+                }
+                if self.buf[..4] == SESSION_MAGIC {
+                    self.drain(4);
+                    self.state = State::Handshake;
+                } else {
+                    self.state = State::Raw;
+                }
+                Ok(true)
+            }
+            State::Handshake => {
+                // version u8, mode u8, id_len u16, id bytes.
+                if self.buf.len() < 4 {
+                    self.state = State::Handshake;
+                    return Ok(false);
+                }
+                let version = self.buf[0];
+                if version != PROTO_VERSION {
+                    return Err(ProtoError::BadVersion {
+                        at: self.consumed,
+                        found: version,
+                    });
+                }
+                let mode = match self.buf[1] {
+                    0 => Mode::Stream,
+                    1 => Mode::Framed,
+                    found => {
+                        return Err(ProtoError::BadMode {
+                            at: self.consumed + 1,
+                            found,
+                        })
+                    }
+                };
+                let id_len = u16::from_be_bytes([self.buf[2], self.buf[3]]) as usize;
+                if id_len == 0 || id_len > MAX_SESSION_ID {
+                    return Err(ProtoError::BadSessionIdLength {
+                        at: self.consumed + 2,
+                        len: id_len,
+                    });
+                }
+                if self.buf.len() < 4 + id_len {
+                    self.state = State::Handshake;
+                    return Ok(false);
+                }
+                let session = self.take_id(4, id_len)?;
+                self.drain(4 + id_len);
+                items.push(ProtoItem::Hello {
+                    mode,
+                    session: session.clone(),
+                });
+                self.state = match mode {
+                    Mode::Stream => State::Streaming { session },
+                    Mode::Framed => State::Frame,
+                };
+                Ok(true)
+            }
+            State::Streaming { session } => {
+                if self.buf.is_empty() {
+                    self.state = State::Streaming { session };
+                    return Ok(false);
+                }
+                let bytes = std::mem::take(&mut self.buf);
+                self.consumed += bytes.len() as u64;
+                items.push(ProtoItem::Data {
+                    session: session.clone(),
+                    bytes,
+                });
+                self.state = State::Streaming { session };
+                Ok(false)
+            }
+            State::Raw => {
+                if self.buf.is_empty() {
+                    self.state = State::Raw;
+                    return Ok(false);
+                }
+                let bytes = std::mem::take(&mut self.buf);
+                self.consumed += bytes.len() as u64;
+                items.push(ProtoItem::Raw(bytes));
+                self.state = State::Raw;
+                Ok(false)
+            }
+            State::Frame => {
+                let Some(&tag) = self.buf.first() else {
+                    self.state = State::Frame;
+                    return Ok(false);
+                };
+                match tag {
+                    frame::DATA => {
+                        // tag u8, id_len u16, id, len u32.
+                        if self.buf.len() < 3 {
+                            self.state = State::Frame;
+                            return Ok(false);
+                        }
+                        let id_len = u16::from_be_bytes([self.buf[1], self.buf[2]]) as usize;
+                        if id_len == 0 || id_len > MAX_SESSION_ID {
+                            return Err(ProtoError::BadSessionIdLength {
+                                at: self.consumed + 1,
+                                len: id_len,
+                            });
+                        }
+                        if self.buf.len() < 3 + id_len + 4 {
+                            self.state = State::Frame;
+                            return Ok(false);
+                        }
+                        let session = self.take_id(3, id_len)?;
+                        let l = &self.buf[3 + id_len..3 + id_len + 4];
+                        let len = u64::from(u32::from_be_bytes([l[0], l[1], l[2], l[3]]));
+                        if len > MAX_FRAME_LEN {
+                            return Err(ProtoError::FrameTooLong {
+                                at: self.consumed + 3 + id_len as u64,
+                                len,
+                            });
+                        }
+                        self.drain(3 + id_len + 4);
+                        if len == 0 {
+                            items.push(ProtoItem::Data {
+                                session,
+                                bytes: Vec::new(),
+                            });
+                            self.state = State::Frame;
+                        } else {
+                            self.state = State::FramePayload {
+                                session,
+                                remaining: len as usize,
+                            };
+                        }
+                        Ok(true)
+                    }
+                    frame::STATS => {
+                        self.drain(1);
+                        items.push(ProtoItem::StatsRequest);
+                        self.state = State::Frame;
+                        Ok(true)
+                    }
+                    frame::OFFSET => {
+                        if self.buf.len() < 3 {
+                            self.state = State::Frame;
+                            return Ok(false);
+                        }
+                        let id_len = u16::from_be_bytes([self.buf[1], self.buf[2]]) as usize;
+                        if id_len == 0 || id_len > MAX_SESSION_ID {
+                            return Err(ProtoError::BadSessionIdLength {
+                                at: self.consumed + 1,
+                                len: id_len,
+                            });
+                        }
+                        if self.buf.len() < 3 + id_len {
+                            self.state = State::Frame;
+                            return Ok(false);
+                        }
+                        let session = self.take_id(3, id_len)?;
+                        self.drain(3 + id_len);
+                        items.push(ProtoItem::OffsetRequest { session });
+                        self.state = State::Frame;
+                        Ok(true)
+                    }
+                    found => Err(ProtoError::BadFrameType {
+                        at: self.consumed,
+                        found,
+                    }),
+                }
+            }
+            State::FramePayload { session, remaining } => {
+                if self.buf.is_empty() {
+                    self.state = State::FramePayload { session, remaining };
+                    return Ok(false);
+                }
+                let take = remaining.min(self.buf.len());
+                let bytes: Vec<u8> = self.buf[..take].to_vec();
+                self.drain(take);
+                items.push(ProtoItem::Data {
+                    session: session.clone(),
+                    bytes,
+                });
+                if take == remaining {
+                    self.state = State::Frame;
+                    Ok(true)
+                } else {
+                    self.state = State::FramePayload {
+                        session,
+                        remaining: remaining - take,
+                    };
+                    Ok(false)
+                }
+            }
+            State::Poisoned => panic!("ProtoReader used after a protocol error"),
+        }
+    }
+
+    /// Validates and extracts a session id at `buf[start..start+len]`.
+    fn take_id(&self, start: usize, len: usize) -> Result<String, ProtoError> {
+        let raw = &self.buf[start..start + len];
+        for (i, &b) in raw.iter().enumerate() {
+            if !valid_id_byte(b) {
+                return Err(ProtoError::BadSessionIdByte {
+                    at: self.consumed + (start + i) as u64,
+                    byte: b,
+                });
+            }
+        }
+        Ok(String::from_utf8(raw.to_vec()).expect("charset is ASCII"))
+    }
+
+    fn drain(&mut self, n: usize) {
+        self.buf.drain(..n);
+        self.consumed += n as u64;
+    }
+}
+
+// ---- encoding helpers (clients, proxies, and the server's replies) ----
+
+/// Encodes a `CAFS` handshake.
+pub fn encode_handshake(mode: Mode, session: &str) -> Vec<u8> {
+    assert!(validate_session_id(session), "invalid session id");
+    let mut out = Vec::with_capacity(8 + session.len());
+    out.extend_from_slice(&SESSION_MAGIC);
+    out.push(PROTO_VERSION);
+    out.push(match mode {
+        Mode::Stream => 0,
+        Mode::Framed => 1,
+    });
+    out.extend_from_slice(&(session.len() as u16).to_be_bytes());
+    out.extend_from_slice(session.as_bytes());
+    out
+}
+
+/// Encodes the server's durable-offset handshake reply.
+pub fn encode_offset_reply(offset: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12);
+    out.extend_from_slice(&OFFSET_MAGIC);
+    out.extend_from_slice(&offset.to_be_bytes());
+    out
+}
+
+/// Encodes a DATA frame.
+pub fn encode_data_frame(session: &str, payload: &[u8]) -> Vec<u8> {
+    assert!(validate_session_id(session), "invalid session id");
+    assert!(payload.len() as u64 <= MAX_FRAME_LEN, "payload too long");
+    let mut out = Vec::with_capacity(7 + session.len() + payload.len());
+    out.push(frame::DATA);
+    out.extend_from_slice(&(session.len() as u16).to_be_bytes());
+    out.extend_from_slice(session.as_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Encodes a REPORT / STATS_REPLY-style server frame.
+pub fn encode_report_frame(session: &str, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(7 + session.len() + payload.len());
+    out.push(frame::REPORT);
+    out.extend_from_slice(&(session.len() as u16).to_be_bytes());
+    out.extend_from_slice(session.as_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Encodes a per-session ERROR frame (server → client).
+pub fn encode_error_frame(session: &str, message: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(7 + session.len() + message.len());
+    out.push(frame::ERROR);
+    out.extend_from_slice(&(session.len() as u16).to_be_bytes());
+    out.extend_from_slice(session.as_bytes());
+    out.extend_from_slice(&(message.len() as u32).to_be_bytes());
+    out.extend_from_slice(message.as_bytes());
+    out
+}
+
+/// Encodes a STATS request frame.
+pub fn encode_stats_frame() -> Vec<u8> {
+    vec![frame::STATS]
+}
+
+/// Encodes a STATS_REPLY frame.
+pub fn encode_stats_reply(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(5 + payload.len());
+    out.push(frame::STATS_REPLY);
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Encodes an OFFSET query frame.
+pub fn encode_offset_frame(session: &str) -> Vec<u8> {
+    assert!(validate_session_id(session), "invalid session id");
+    let mut out = Vec::with_capacity(3 + session.len());
+    out.push(frame::OFFSET);
+    out.extend_from_slice(&(session.len() as u16).to_be_bytes());
+    out.extend_from_slice(session.as_bytes());
+    out
+}
+
+/// Encodes an OFFSET_REPLY frame.
+pub fn encode_offset_reply_frame(session: &str, offset: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(11 + session.len());
+    out.push(frame::OFFSET_REPLY);
+    out.extend_from_slice(&(session.len() as u16).to_be_bytes());
+    out.extend_from_slice(session.as_bytes());
+    out.extend_from_slice(&offset.to_be_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed_all(bytes: &[u8], chunk: usize) -> Result<Vec<ProtoItem>, ProtoError> {
+        let mut r = ProtoReader::new();
+        let mut items = Vec::new();
+        for c in bytes.chunks(chunk.max(1)) {
+            r.feed(c, &mut items)?;
+        }
+        r.eof(&mut items);
+        Ok(items)
+    }
+
+    /// Collapses consecutive Data items of one session (chunking
+    /// splits payloads arbitrarily).
+    fn coalesce(items: Vec<ProtoItem>) -> Vec<ProtoItem> {
+        let mut out: Vec<ProtoItem> = Vec::new();
+        for item in items {
+            match (out.last_mut(), item) {
+                (
+                    Some(ProtoItem::Data { session: s, bytes }),
+                    ProtoItem::Data {
+                        session,
+                        bytes: more,
+                    },
+                ) if *s == session => bytes.extend_from_slice(&more),
+                (Some(ProtoItem::Raw(bytes)), ProtoItem::Raw(more)) => {
+                    bytes.extend_from_slice(&more)
+                }
+                (_, item) => out.push(item),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn stream_handshake_roundtrips_at_any_chunking() {
+        let mut bytes = encode_handshake(Mode::Stream, "device-7");
+        bytes.extend_from_slice(b"trace-payload");
+        for chunk in [1, 2, 5, 64] {
+            let items = coalesce(feed_all(&bytes, chunk).expect("valid"));
+            assert_eq!(
+                items,
+                vec![
+                    ProtoItem::Hello {
+                        mode: Mode::Stream,
+                        session: "device-7".into()
+                    },
+                    ProtoItem::Data {
+                        session: "device-7".into(),
+                        bytes: b"trace-payload".to_vec()
+                    },
+                ],
+                "chunk {chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn framed_frames_roundtrip_interleaved() {
+        let mut bytes = encode_handshake(Mode::Framed, "proxy");
+        bytes.extend_from_slice(&encode_data_frame("a", b"xx"));
+        bytes.extend_from_slice(&encode_data_frame("b", b"yyy"));
+        bytes.extend_from_slice(&encode_data_frame("a", b""));
+        bytes.extend_from_slice(&encode_stats_frame());
+        bytes.extend_from_slice(&encode_offset_frame("b"));
+        for chunk in [1, 3, 7, 1024] {
+            let items = coalesce(feed_all(&bytes, chunk).expect("valid"));
+            assert_eq!(
+                items,
+                vec![
+                    ProtoItem::Hello {
+                        mode: Mode::Framed,
+                        session: "proxy".into()
+                    },
+                    ProtoItem::Data {
+                        session: "a".into(),
+                        bytes: b"xx".to_vec()
+                    },
+                    ProtoItem::Data {
+                        session: "b".into(),
+                        bytes: b"yyy".to_vec()
+                    },
+                    ProtoItem::Data {
+                        session: "a".into(),
+                        bytes: Vec::new()
+                    },
+                    ProtoItem::StatsRequest,
+                    ProtoItem::OffsetRequest {
+                        session: "b".into()
+                    },
+                ],
+                "chunk {chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_handshake_bytes_pass_through_raw() {
+        // A binary trace ("CAFT...") and arbitrary text both bypass
+        // the handshake path untouched.
+        for head in [&b"CAFT\x01rest"[..], b"# text trace", b"zz"] {
+            let items = coalesce(feed_all(head, 3).expect("valid"));
+            assert_eq!(items, vec![ProtoItem::Raw(head.to_vec())]);
+        }
+    }
+
+    #[test]
+    fn short_non_c_prefix_is_raw_immediately() {
+        let mut r = ProtoReader::new();
+        let mut items = Vec::new();
+        r.feed(b"x", &mut items).expect("valid");
+        assert_eq!(items, vec![ProtoItem::Raw(b"x".to_vec())]);
+    }
+
+    #[test]
+    fn truncated_sniff_flushes_at_eof() {
+        let mut r = ProtoReader::new();
+        let mut items = Vec::new();
+        r.feed(b"CA", &mut items).expect("valid");
+        assert!(items.is_empty(), "undecided prefix is buffered");
+        r.eof(&mut items);
+        assert_eq!(items, vec![ProtoItem::Raw(b"CA".to_vec())]);
+    }
+
+    #[test]
+    fn bad_version_is_rejected_at_offset_4() {
+        let mut bytes = SESSION_MAGIC.to_vec();
+        bytes.extend_from_slice(&[9, 0, 0, 1, b'a']);
+        let err = feed_all(&bytes, 1).expect_err("rejects");
+        assert!(
+            matches!(err, ProtoError::BadVersion { at: 4, found: 9 }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn zero_and_oversized_id_lengths_are_rejected() {
+        for len in [0u16, (MAX_SESSION_ID + 1) as u16, u16::MAX] {
+            let mut bytes = SESSION_MAGIC.to_vec();
+            bytes.push(PROTO_VERSION);
+            bytes.push(0);
+            bytes.extend_from_slice(&len.to_be_bytes());
+            let err = feed_all(&bytes, 3).expect_err("rejects");
+            assert!(
+                matches!(err, ProtoError::BadSessionIdLength { at: 6, .. }),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_frame_length_is_rejected_before_allocation() {
+        let mut bytes = encode_handshake(Mode::Framed, "p");
+        let at = bytes.len() as u64 + 1 + 2 + 1; // tag, id_len, id
+        bytes.push(frame::DATA);
+        bytes.extend_from_slice(&1u16.to_be_bytes());
+        bytes.push(b'a');
+        bytes.extend_from_slice(&u32::MAX.to_be_bytes());
+        let err = feed_all(&bytes, 2).expect_err("rejects");
+        match err {
+            ProtoError::FrameTooLong { at: a, len } => {
+                assert_eq!(a, at);
+                assert_eq!(len, u64::from(u32::MAX));
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn bad_id_byte_is_rejected_at_its_exact_offset() {
+        let mut bytes = SESSION_MAGIC.to_vec();
+        bytes.extend_from_slice(&[PROTO_VERSION, 0]);
+        bytes.extend_from_slice(&3u16.to_be_bytes());
+        bytes.extend_from_slice(b"a b");
+        let err = feed_all(&bytes, 1).expect_err("rejects");
+        assert!(
+            matches!(err, ProtoError::BadSessionIdByte { at: 9, byte: b' ' }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn unknown_frame_type_is_rejected() {
+        let mut bytes = encode_handshake(Mode::Framed, "p");
+        let at = bytes.len() as u64;
+        bytes.push(0x7f);
+        let err = feed_all(&bytes, 4).expect_err("rejects");
+        assert!(
+            matches!(err, ProtoError::BadFrameType { at: a, found: 0x7f } if a == at),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn buffered_bytes_stay_bounded_by_one_header() {
+        // Feeding a huge DATA payload byte-at-a-time never buffers it:
+        // payload chunks are forwarded as they arrive.
+        let mut bytes = encode_handshake(Mode::Framed, "p");
+        bytes.extend_from_slice(&encode_data_frame("s", &vec![0u8; 4096]));
+        let mut r = ProtoReader::new();
+        let mut items = Vec::new();
+        for &b in &bytes {
+            r.feed(&[b], &mut items).expect("valid");
+            assert!(r.buffered_bytes() <= 16, "header-sized buffer only");
+        }
+    }
+}

@@ -1,0 +1,451 @@
+//! Shared session registry: attach guard, memory accounting, and the
+//! admin metrics surface.
+//!
+//! One [`Registry`] is shared by every connection handler and shard
+//! worker. It owns three concerns:
+//!
+//! * **Attach guard** — at most one connection may feed a session at
+//!   a time ([`Registry::attach`] / [`Registry::detach`]); a second
+//!   attach is refused with [`ServeError::SessionBusy`], so a
+//!   session's journal and analysis see one totally-ordered byte
+//!   stream.
+//! * **Memory accounting** — the modeled resident footprint of every
+//!   live session (as reported by
+//!   [`IncrementalSession::footprint_bytes`](cafa_stream::IncrementalSession::footprint_bytes)),
+//!   summed globally, with both a raw peak and a *settled* peak
+//!   (sampled at job boundaries, after budget enforcement — the
+//!   number the eviction policy bounds).
+//! * **Metrics** — per-session counters and aggregate totals,
+//!   rendered as the same flat snake_case JSON shape `cafa stats
+//!   --format json` uses.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::error::ServeError;
+
+/// Where a session is in its lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionPhase {
+    /// Analysis state resident in memory.
+    Live,
+    /// Cold: state evicted to its snapshot journal; restored
+    /// transparently on the next byte.
+    Evicted,
+    /// Trace complete; report delivered; journal deleted.
+    Completed,
+    /// The session's bytes failed analysis (or its journal failed).
+    Failed,
+}
+
+impl SessionPhase {
+    fn as_str(self) -> &'static str {
+        match self {
+            Self::Live => "live",
+            Self::Evicted => "evicted",
+            Self::Completed => "completed",
+            Self::Failed => "failed",
+        }
+    }
+}
+
+/// Per-session counters, as exposed on the admin surface.
+#[derive(Clone, Debug)]
+pub struct SessionMetrics {
+    /// The shard (worker) the session is pinned to.
+    pub shard: usize,
+    /// Lifecycle phase.
+    pub phase: SessionPhase,
+    /// Trace bytes ingested (analysis-side).
+    pub bytes: u64,
+    /// Chunks ingested.
+    pub chunks: u64,
+    /// Journaled payload bytes on disk.
+    pub durable_bytes: u64,
+    /// Current modeled resident footprint.
+    pub footprint_bytes: usize,
+    /// Times this session's cold state was rebuilt from its journal.
+    pub restores: u64,
+    /// Times this session was evicted.
+    pub evictions: u64,
+    /// Whether a connection is currently feeding it.
+    pub attached: bool,
+}
+
+impl SessionMetrics {
+    fn new(shard: usize) -> Self {
+        Self {
+            shard,
+            phase: SessionPhase::Live,
+            bytes: 0,
+            chunks: 0,
+            durable_bytes: 0,
+            footprint_bytes: 0,
+            restores: 0,
+            evictions: 0,
+            attached: false,
+        }
+    }
+}
+
+/// Aggregate totals, for the bench harness and the admin surface.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Totals {
+    /// Sessions ever seen.
+    pub sessions: usize,
+    /// Sessions currently live in memory.
+    pub live: usize,
+    /// Sessions currently evicted to disk.
+    pub evicted: usize,
+    /// Sessions completed.
+    pub completed: usize,
+    /// Sessions failed.
+    pub failed: usize,
+    /// Trace bytes ingested across all sessions.
+    pub bytes: u64,
+    /// Eviction events across all sessions.
+    pub evictions: u64,
+    /// Restore events across all sessions.
+    pub restores: u64,
+    /// Current summed resident footprint.
+    pub footprint_bytes: usize,
+    /// Raw high-water mark of the summed footprint.
+    pub peak_bytes: usize,
+    /// High-water mark sampled at job boundaries after budget
+    /// enforcement — what the eviction policy bounds.
+    pub settled_peak_bytes: usize,
+}
+
+/// The shared registry. Cheap to reference from scoped threads.
+#[derive(Debug)]
+pub struct Registry {
+    sessions: Mutex<HashMap<String, SessionMetrics>>,
+    /// Summed modeled footprint of live sessions.
+    total: AtomicUsize,
+    /// Raw footprint high-water mark (includes the transient between
+    /// a push and the eviction it triggers).
+    peak: AtomicUsize,
+    /// Footprint high-water mark at settled points.
+    settled_peak: AtomicUsize,
+    /// Each shard's resident footprint as of its last
+    /// post-enforcement settle.
+    shard_resident: Vec<AtomicUsize>,
+    /// Monotonic recency clock for eviction (LRU) ordering.
+    clock: AtomicU64,
+    /// Configured memory budget, if any.
+    budget: Option<usize>,
+    /// Shard worker count (reported on the admin surface).
+    threads: usize,
+}
+
+impl Registry {
+    /// A registry for a server with `threads` shard workers and an
+    /// optional memory budget.
+    pub fn new(threads: usize, budget: Option<usize>) -> Self {
+        Self {
+            sessions: Mutex::new(HashMap::new()),
+            total: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+            settled_peak: AtomicUsize::new(0),
+            shard_resident: (0..threads.max(1)).map(|_| AtomicUsize::new(0)).collect(),
+            clock: AtomicU64::new(0),
+            budget,
+            threads,
+        }
+    }
+
+    /// The configured memory budget.
+    pub fn budget(&self) -> Option<usize> {
+        self.budget
+    }
+
+    /// Next recency tick (strictly increasing across all workers).
+    pub fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Claims `session` for one connection.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::SessionBusy`] if another connection holds it.
+    pub fn attach(&self, session: &str, shard: usize) -> Result<(), ServeError> {
+        let mut map = self.sessions.lock().expect("registry poisoned");
+        let m = map
+            .entry(session.to_owned())
+            .or_insert_with(|| SessionMetrics::new(shard));
+        if m.attached {
+            return Err(ServeError::SessionBusy {
+                session: session.to_owned(),
+            });
+        }
+        m.attached = true;
+        Ok(())
+    }
+
+    /// Releases `session` at connection close.
+    pub fn detach(&self, session: &str) {
+        let mut map = self.sessions.lock().expect("registry poisoned");
+        if let Some(m) = map.get_mut(session) {
+            m.attached = false;
+        }
+    }
+
+    /// Records a processed chunk and the session's new footprint.
+    pub fn on_push(&self, session: &str, shard: usize, bytes: usize, footprint: usize) {
+        let mut map = self.sessions.lock().expect("registry poisoned");
+        let m = map
+            .entry(session.to_owned())
+            .or_insert_with(|| SessionMetrics::new(shard));
+        m.bytes += bytes as u64;
+        m.chunks += 1;
+        let old = m.footprint_bytes;
+        m.footprint_bytes = footprint;
+        m.phase = SessionPhase::Live;
+        drop(map);
+        self.adjust_total(old, footprint);
+    }
+
+    /// Records journaled payload bytes for `session`.
+    pub fn on_durable(&self, session: &str, shard: usize, durable: u64) {
+        let mut map = self.sessions.lock().expect("registry poisoned");
+        map.entry(session.to_owned())
+            .or_insert_with(|| SessionMetrics::new(shard))
+            .durable_bytes = durable;
+    }
+
+    /// Records an eviction: the session's resident footprint drops to
+    /// zero and its phase flips to [`SessionPhase::Evicted`].
+    pub fn on_evict(&self, session: &str) {
+        let mut map = self.sessions.lock().expect("registry poisoned");
+        if let Some(m) = map.get_mut(session) {
+            let old = m.footprint_bytes;
+            m.footprint_bytes = 0;
+            m.evictions += 1;
+            m.phase = SessionPhase::Evicted;
+            drop(map);
+            self.adjust_total(old, 0);
+        }
+    }
+
+    /// Records a restore from journal: footprint returns, phase flips
+    /// back to [`SessionPhase::Live`].
+    pub fn on_restore(&self, session: &str, shard: usize, footprint: usize) {
+        let mut map = self.sessions.lock().expect("registry poisoned");
+        let m = map
+            .entry(session.to_owned())
+            .or_insert_with(|| SessionMetrics::new(shard));
+        let old = m.footprint_bytes;
+        m.footprint_bytes = footprint;
+        m.restores += 1;
+        m.phase = SessionPhase::Live;
+        drop(map);
+        self.adjust_total(old, footprint);
+    }
+
+    /// Records a terminal phase ([`Completed`](SessionPhase::Completed)
+    /// or [`Failed`](SessionPhase::Failed)); frees its footprint.
+    pub fn on_terminal(&self, session: &str, phase: SessionPhase) {
+        let mut map = self.sessions.lock().expect("registry poisoned");
+        if let Some(m) = map.get_mut(session) {
+            let old = m.footprint_bytes;
+            m.footprint_bytes = 0;
+            m.phase = phase;
+            drop(map);
+            self.adjust_total(old, 0);
+        }
+    }
+
+    /// Current summed resident footprint.
+    pub fn footprint_total(&self) -> usize {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// A worker's per-session budget share: the global budget divided
+    /// evenly across shards (each worker bounds its own residents to
+    /// this, so the settled sum is bounded by the whole budget).
+    pub fn shard_share(&self) -> Option<usize> {
+        self.budget
+            .map(|b| (b / self.shard_resident.len().max(1)).max(1))
+    }
+
+    /// Called by a worker at a job boundary *after* enforcing its
+    /// budget share: records the shard's post-enforcement resident
+    /// footprint and samples the settled high-water mark from the sum
+    /// of all shards' settled figures. Transients inside a push never
+    /// enter this gauge, so with a budget configured the settled peak
+    /// is bounded by it.
+    pub fn settle_shard(&self, shard: usize, resident: usize) {
+        if let Some(slot) = self.shard_resident.get(shard) {
+            slot.store(resident, Ordering::Relaxed);
+        }
+        let settled: usize = self
+            .shard_resident
+            .iter()
+            .map(|r| r.load(Ordering::Relaxed))
+            .sum();
+        self.settled_peak.fetch_max(settled, Ordering::Relaxed);
+    }
+
+    fn adjust_total(&self, old: usize, new: usize) {
+        let total = if new >= old {
+            self.total.fetch_add(new - old, Ordering::Relaxed) + (new - old)
+        } else {
+            self.total.fetch_sub(old - new, Ordering::Relaxed) - (old - new)
+        };
+        self.peak.fetch_max(total, Ordering::Relaxed);
+    }
+
+    /// Aggregate counters.
+    pub fn totals(&self) -> Totals {
+        let map = self.sessions.lock().expect("registry poisoned");
+        let mut t = Totals {
+            sessions: map.len(),
+            footprint_bytes: self.total.load(Ordering::Relaxed),
+            peak_bytes: self.peak.load(Ordering::Relaxed),
+            settled_peak_bytes: self.settled_peak.load(Ordering::Relaxed),
+            ..Totals::default()
+        };
+        for m in map.values() {
+            t.bytes += m.bytes;
+            t.evictions += m.evictions;
+            t.restores += m.restores;
+            match m.phase {
+                SessionPhase::Live => t.live += 1,
+                SessionPhase::Evicted => t.evicted += 1,
+                SessionPhase::Completed => t.completed += 1,
+                SessionPhase::Failed => t.failed += 1,
+            }
+        }
+        t
+    }
+
+    /// One session's counters, if known.
+    pub fn session(&self, session: &str) -> Option<SessionMetrics> {
+        self.sessions
+            .lock()
+            .expect("registry poisoned")
+            .get(session)
+            .cloned()
+    }
+
+    /// The admin metrics document: aggregate totals plus a
+    /// `per_session` array sorted by session id (deterministic), in
+    /// the flat snake_case shape of `cafa stats --format json`.
+    pub fn render_json(&self) -> String {
+        use std::fmt::Write as _;
+        let t = self.totals();
+        let map = self.sessions.lock().expect("registry poisoned");
+        let mut ids: Vec<&String> = map.keys().collect();
+        ids.sort();
+
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"threads\": {},", self.threads);
+        let _ = writeln!(
+            out,
+            "  \"memory_budget_bytes\": {},",
+            self.budget.unwrap_or(0)
+        );
+        let _ = writeln!(out, "  \"sessions\": {},", t.sessions);
+        let _ = writeln!(out, "  \"live\": {},", t.live);
+        let _ = writeln!(out, "  \"evicted\": {},", t.evicted);
+        let _ = writeln!(out, "  \"completed\": {},", t.completed);
+        let _ = writeln!(out, "  \"failed\": {},", t.failed);
+        let _ = writeln!(out, "  \"bytes_total\": {},", t.bytes);
+        let _ = writeln!(out, "  \"evictions\": {},", t.evictions);
+        let _ = writeln!(out, "  \"restores\": {},", t.restores);
+        let _ = writeln!(out, "  \"footprint_bytes\": {},", t.footprint_bytes);
+        let _ = writeln!(out, "  \"footprint_peak_bytes\": {},", t.peak_bytes);
+        let _ = writeln!(out, "  \"settled_peak_bytes\": {},", t.settled_peak_bytes);
+        out.push_str("  \"per_session\": [\n");
+        for (i, id) in ids.iter().enumerate() {
+            let m = &map[*id];
+            let comma = if i + 1 < ids.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"session\": \"{id}\", \"shard\": {}, \"phase\": \"{}\", \
+                 \"attached\": {}, \"bytes\": {}, \"chunks\": {}, \"durable_bytes\": {}, \
+                 \"footprint_bytes\": {}, \"restores\": {}, \"evictions\": {}}}{comma}",
+                m.shard,
+                m.phase.as_str(),
+                m.attached,
+                m.bytes,
+                m.chunks,
+                m.durable_bytes,
+                m.footprint_bytes,
+                m.restores,
+                m.evictions,
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attach_is_exclusive_until_detach() {
+        let r = Registry::new(2, None);
+        r.attach("s", 0).expect("first attach");
+        let err = r.attach("s", 0).expect_err("second refused");
+        assert!(matches!(err, ServeError::SessionBusy { session } if session == "s"));
+        r.detach("s");
+        r.attach("s", 0).expect("re-attach after detach");
+    }
+
+    #[test]
+    fn accounting_tracks_total_peak_and_settled_peak() {
+        let r = Registry::new(1, Some(1000));
+        r.on_push("a", 0, 10, 600);
+        r.on_push("b", 0, 10, 600);
+        assert_eq!(r.footprint_total(), 1200);
+        assert_eq!(
+            r.shard_share(),
+            Some(1000),
+            "one shard owns the whole budget"
+        );
+        // Worker enforces the budget: evicts `a`, then settles.
+        r.on_evict("a");
+        r.settle_shard(0, 600);
+        assert_eq!(r.footprint_total(), 600);
+        let t = r.totals();
+        assert_eq!(t.peak_bytes, 1200, "raw peak saw the transient");
+        assert_eq!(
+            t.settled_peak_bytes, 600,
+            "settled peak respects the budget"
+        );
+        assert_eq!(t.evictions, 1);
+        // Restore brings the footprint (and a counter) back.
+        r.on_restore("a", 0, 580);
+        assert_eq!(r.footprint_total(), 1180);
+        assert_eq!(r.totals().restores, 1);
+    }
+
+    #[test]
+    fn terminal_sessions_free_their_footprint() {
+        let r = Registry::new(1, None);
+        r.on_push("done", 0, 5, 300);
+        r.on_terminal("done", SessionPhase::Completed);
+        assert_eq!(r.footprint_total(), 0);
+        let t = r.totals();
+        assert_eq!((t.completed, t.live), (1, 0));
+    }
+
+    #[test]
+    fn metrics_json_is_sorted_and_flat() {
+        let r = Registry::new(4, Some(1 << 20));
+        r.on_push("zeta", 1, 7, 100);
+        r.on_push("alpha", 0, 9, 200);
+        let json = r.render_json();
+        let zeta = json.find("\"zeta\"").expect("zeta present");
+        let alpha = json.find("\"alpha\"").expect("alpha present");
+        assert!(alpha < zeta, "per_session sorted by id");
+        assert!(json.contains("\"memory_budget_bytes\": 1048576"));
+        assert!(json.contains("\"bytes_total\": 16"));
+    }
+}

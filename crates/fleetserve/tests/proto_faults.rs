@@ -1,0 +1,163 @@
+//! Fault injection against the framed ingest protocol.
+//!
+//! A fleet proxy's connection is untrusted input, exactly like a
+//! trace file: the parser must turn truncation, flipped bytes, and
+//! hostile length prefixes into typed [`ProtoError`]s at the
+//! offending offset, never panic, and never size an allocation (or
+//! grow its buffer) from an unchecked wire value. Mirrors the trace
+//! crate's `binary_faults` suite at the protocol layer.
+
+use proptest::prelude::*;
+
+use cafa_fleetserve::proto::{
+    encode_data_frame, encode_handshake, encode_offset_frame, encode_stats_frame, frame, Mode,
+    ProtoItem, ProtoReader, MAX_FRAME_LEN, MAX_SESSION_ID,
+};
+
+/// The parser buffers at most one incomplete header (bounded by the
+/// max session id plus a few fixed bytes) — payloads stream through.
+const HEADER_BOUND: usize = MAX_SESSION_ID + 16;
+
+/// A valid framed conversation: handshake, then data/stats/offset
+/// frames for a handful of sessions.
+fn valid_framed_stream(payloads: &[Vec<u8>]) -> Vec<u8> {
+    let mut bytes = encode_handshake(Mode::Framed, "proxy-0");
+    for (i, p) in payloads.iter().enumerate() {
+        let session = format!("device-{}", i % 3);
+        bytes.extend_from_slice(&encode_data_frame(&session, p));
+        if i % 4 == 1 {
+            bytes.extend_from_slice(&encode_stats_frame());
+        }
+        if i % 5 == 2 {
+            bytes.extend_from_slice(&encode_offset_frame(&session));
+        }
+    }
+    bytes
+}
+
+/// Feeds `bytes` at `chunk`, returning the items or the first error.
+fn feed(bytes: &[u8], chunk: usize) -> Result<Vec<ProtoItem>, cafa_fleetserve::ProtoError> {
+    let mut reader = ProtoReader::new();
+    let mut items = Vec::new();
+    for c in bytes.chunks(chunk.max(1)) {
+        reader.feed(c, &mut items)?;
+        assert!(
+            reader.buffered_bytes() <= HEADER_BOUND,
+            "parser buffered {} bytes",
+            reader.buffered_bytes()
+        );
+    }
+    reader.eof(&mut items);
+    Ok(items)
+}
+
+/// A DATA length prefix of `u32::MAX` is rejected at its exact
+/// offset, before any buffer is sized from it.
+#[test]
+fn hostile_data_length_is_rejected_before_allocation() {
+    let mut bytes = encode_handshake(Mode::Framed, "p");
+    let header = bytes.len() as u64;
+    bytes.push(frame::DATA);
+    bytes.extend_from_slice(&4u16.to_be_bytes());
+    bytes.extend_from_slice(b"dev1");
+    bytes.extend_from_slice(&u32::MAX.to_be_bytes());
+    bytes.extend_from_slice(&[0u8; 32]); // would-be payload
+    let err = feed(&bytes, 3).expect_err("must reject");
+    match err {
+        cafa_fleetserve::ProtoError::FrameTooLong { at, len } => {
+            assert_eq!(at, header + 1 + 2 + 4, "offset of the length prefix");
+            assert_eq!(len, u64::from(u32::MAX));
+            assert!(len > MAX_FRAME_LEN);
+        }
+        other => panic!("wrong error: {other}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Truncating a valid framed conversation anywhere, delivered at
+    /// any chunking, never panics and never errors: the complete
+    /// prefix parses, the torn item simply stays pending (exactly
+    /// like a trace stream cut mid-record).
+    #[test]
+    fn truncation_parses_the_complete_prefix(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..60), 1..6),
+        cut in any::<u32>(),
+        chunk in 1usize..40,
+    ) {
+        let bytes = valid_framed_stream(&payloads);
+        let cut = cut as usize % bytes.len();
+        let full = feed(&bytes, chunk).expect("valid stream");
+        let truncated = feed(&bytes[..cut], chunk).expect("truncation is not a protocol error");
+        prop_assert!(truncated.len() <= full.len());
+    }
+
+    /// Flipping any byte never panics the parser: it either still
+    /// parses (the flip landed in a payload) or fails with a typed
+    /// error whose offset is within the stream.
+    #[test]
+    fn byte_flips_yield_typed_errors_not_panics(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..40), 1..5),
+        flip in any::<(u32, u8)>(),
+        chunk in 1usize..32,
+    ) {
+        let mut bytes = valid_framed_stream(&payloads);
+        let idx = flip.0 as usize % bytes.len();
+        bytes[idx] ^= flip.1 | 1;
+        match feed(&bytes, chunk) {
+            Ok(_) => {}
+            Err(e) => {
+                let at = match e {
+                    cafa_fleetserve::ProtoError::BadVersion { at, .. }
+                    | cafa_fleetserve::ProtoError::BadMode { at, .. }
+                    | cafa_fleetserve::ProtoError::BadSessionIdLength { at, .. }
+                    | cafa_fleetserve::ProtoError::BadSessionIdByte { at, .. }
+                    | cafa_fleetserve::ProtoError::BadFrameType { at, .. }
+                    | cafa_fleetserve::ProtoError::FrameTooLong { at, .. } => at,
+                };
+                prop_assert!(at <= bytes.len() as u64, "error offset {at} beyond stream");
+            }
+        }
+    }
+
+    /// The parse is chunk-invariant: any chunking of a valid stream
+    /// coalesces to the same items as one whole-buffer feed.
+    #[test]
+    fn arbitrary_chunkings_match_the_whole_buffer_parse(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..50), 1..5),
+        chunk in 1usize..64,
+    ) {
+        fn coalesce(items: Vec<ProtoItem>) -> Vec<ProtoItem> {
+            let mut out: Vec<ProtoItem> = Vec::new();
+            for item in items {
+                match (out.last_mut(), item) {
+                    (Some(ProtoItem::Data { session: s, bytes }),
+                     ProtoItem::Data { session, bytes: more })
+                        if *s == session && !bytes.is_empty() && !more.is_empty() =>
+                        bytes.extend_from_slice(&more),
+                    (_, item) => out.push(item),
+                }
+            }
+            out
+        }
+        let bytes = valid_framed_stream(&payloads);
+        let whole = coalesce(feed(&bytes, bytes.len()).expect("valid"));
+        let chunked = coalesce(feed(&bytes, chunk).expect("valid"));
+        prop_assert_eq!(whole, chunked);
+    }
+
+    /// Random garbage (not a handshake) always degrades to raw
+    /// passthrough or a typed error — never a panic, never unbounded
+    /// buffering.
+    #[test]
+    fn random_garbage_never_panics(
+        garbage in proptest::collection::vec(any::<u8>(), 0..200),
+        chunk in 1usize..32,
+    ) {
+        let _ = feed(&garbage, chunk);
+    }
+}

@@ -1,0 +1,430 @@
+//! End-to-end ingest server tests: concurrent sessions over real TCP
+//! connections, byte-identical to batch analysis at every worker
+//! count; eviction under a memory budget; restart-and-resume from the
+//! state directory; session isolation; the admin metrics surface.
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cafa_apps::all_apps;
+use cafa_core::json::render_json;
+use cafa_core::Analyzer;
+use cafa_fleetserve::client::{push_trace, FramedClient, ServerFrame};
+use cafa_fleetserve::proto::{encode_handshake, Mode};
+use cafa_fleetserve::server::{Server, ServerConfig};
+use cafa_fleetserve::ClientError;
+use cafa_stream::{IncrementalSession, StreamOptions};
+use cafa_trace::{to_binary_vec, Trace};
+
+/// A server running on a background thread, stoppable from the test.
+struct TestServer {
+    server: Arc<Server>,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    addr: String,
+}
+
+impl TestServer {
+    fn start(config: ServerConfig, admin: bool) -> Self {
+        let admin_addr = admin.then_some("127.0.0.1:0");
+        let server =
+            Arc::new(Server::bind("127.0.0.1:0", admin_addr, config).expect("bind succeeds"));
+        let addr = server.local_addr().expect("bound").to_string();
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let server = Arc::clone(&server);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || server.run(&stop))
+        };
+        Self {
+            server,
+            stop,
+            handle: Some(handle),
+            addr,
+        }
+    }
+
+    fn admin_addr(&self) -> String {
+        self.server
+            .admin_addr()
+            .expect("addr readable")
+            .expect("admin configured")
+            .to_string()
+    }
+
+    fn stop(mut self) -> Arc<Server> {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            h.join().expect("server thread");
+        }
+        Arc::clone(&self.server)
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Records every catalog app once per process: (name, wire bytes,
+/// batch report). Shared across tests — recording and batch-analyzing
+/// the ten apps is the expensive part of this suite.
+fn corpus() -> &'static [(String, Vec<u8>, String)] {
+    static CORPUS: std::sync::OnceLock<Vec<(String, Vec<u8>, String)>> = std::sync::OnceLock::new();
+    CORPUS.get_or_init(|| {
+        all_apps()
+            .iter()
+            .map(|app| {
+                let outcome = app.record(0).expect("workload records cleanly");
+                let trace = outcome.trace.expect("instrumentation is on");
+                (
+                    app.name.to_owned(),
+                    to_binary_vec(&trace),
+                    batch_json(&trace),
+                )
+            })
+            .collect()
+    })
+}
+
+fn batch_json(trace: &Trace) -> String {
+    let report = Analyzer::new().analyze(trace).expect("analysis succeeds");
+    render_json(&report, trace)
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cafa-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Ten concurrent sessions — one per catalog app, each on its own
+/// connection with its own adversarial chunk size — produce reports
+/// byte-identical to batch `analyze`, at 1, 2, and 8 workers.
+#[test]
+fn concurrent_sessions_match_batch_at_every_worker_count() {
+    let corpus = corpus();
+    assert_eq!(corpus.len(), 10, "the full paper catalog");
+    for threads in [1usize, 2, 8] {
+        let server = TestServer::start(
+            ServerConfig {
+                threads,
+                ..ServerConfig::default()
+            },
+            false,
+        );
+        std::thread::scope(|scope| {
+            for (i, (name, bytes, expected)) in corpus.iter().enumerate() {
+                let addr = server.addr.clone();
+                // Deliberately misaligned chunk sizes per session.
+                let chunk = [7usize, 64, 389, 1024, 4096][i % 5];
+                scope.spawn(move || {
+                    let outcome = push_trace(&addr, name, bytes, chunk).expect("push succeeds");
+                    assert_eq!(outcome.resumed_at, 0, "{name}: fresh session");
+                    let report = outcome.report.expect("trace is complete");
+                    assert_eq!(
+                        report, *expected,
+                        "{name} at {threads} workers, chunk {chunk}"
+                    );
+                });
+            }
+        });
+        server.stop();
+    }
+}
+
+/// Stopping the server mid-trace and starting a new one on the same
+/// state directory resumes every session: the client re-sends from
+/// the durable offset the handshake reports, and the final report is
+/// byte-identical to an uninterrupted batch analysis.
+#[test]
+fn restart_resumes_mid_trace_sessions_byte_identically() {
+    let corpus = corpus();
+    let dir = tmp_dir("restart");
+    let config = || ServerConfig {
+        threads: 2,
+        state_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    };
+    let picks: Vec<_> = corpus.iter().take(3).collect();
+    let cuts: Vec<usize> = picks.iter().map(|(_, b, _)| b.len() / 2).collect();
+
+    let server = TestServer::start(config(), false);
+    for ((name, bytes, _), &cut) in picks.iter().zip(&cuts) {
+        let mut conn = TcpStream::connect(&server.addr).expect("connect");
+        conn.write_all(&encode_handshake(Mode::Stream, name))
+            .expect("handshake");
+        let mut reply = [0u8; 12];
+        conn.read_exact(&mut reply).expect("offset reply");
+        conn.write_all(&bytes[..cut]).expect("partial trace");
+        // Drop mid-trace: the session must survive on disk.
+    }
+    // Wait until every partial byte is journaled.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    for ((name, _, _), &cut) in picks.iter().zip(&cuts) {
+        loop {
+            let durable = server
+                .server
+                .registry()
+                .session(name)
+                .map_or(0, |m| m.durable_bytes);
+            if durable == cut as u64 {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "{name}: journal never reached {cut}"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    server.stop();
+
+    let revived = TestServer::start(config(), false);
+    for ((name, bytes, expected), &cut) in picks.iter().zip(&cuts) {
+        let outcome = push_trace(&revived.addr, name, bytes, 1024).expect("resumed push");
+        assert_eq!(
+            outcome.resumed_at, cut as u64,
+            "{name}: server reports the journaled prefix"
+        );
+        let report = outcome.report.expect("trace completes after resume");
+        assert_eq!(report, *expected, "{name}: resumed report");
+    }
+    revived.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Under a memory budget, cold sessions are evicted to their journals
+/// and restored transparently on their next byte: every report stays
+/// byte-identical, evictions and restores actually happen, and the
+/// settled resident footprint never exceeds the budget.
+#[test]
+fn eviction_under_budget_keeps_reports_identical() {
+    let corpus = corpus();
+    // The three smallest traces: each restore replays the session's
+    // whole journal, so eviction thrash is quadratic in trace length.
+    let mut picks: Vec<_> = corpus.iter().collect();
+    picks.sort_by_key(|(_, bytes, _)| bytes.len());
+    picks.truncate(3);
+    // Self-calibrating budget: a third of the summed final footprints,
+    // so the sessions cannot all stay resident together.
+    let sum: usize = picks
+        .iter()
+        .map(|(_, bytes, _)| {
+            let mut s = IncrementalSession::new(StreamOptions::default());
+            s.push(bytes).expect("valid trace");
+            s.footprint_bytes()
+        })
+        .sum();
+    let budget = (sum / 3).max(4096);
+
+    let dir = tmp_dir("evict");
+    let server = TestServer::start(
+        ServerConfig {
+            threads: 2,
+            state_dir: Some(dir.clone()),
+            memory_budget: Some(budget),
+            ..ServerConfig::default()
+        },
+        false,
+    );
+
+    // One multiplexed proxy connection interleaving all sessions
+    // chunk by chunk — the access pattern that forces evict/restore
+    // cycling.
+    let mut client = FramedClient::connect(&server.addr, "proxy").expect("connect");
+    let chunk = 16384usize;
+    let mut offsets = vec![0usize; picks.len()];
+    loop {
+        let mut progressed = false;
+        for (i, (name, bytes, _)) in picks.iter().enumerate() {
+            if offsets[i] < bytes.len() {
+                let end = (offsets[i] + chunk).min(bytes.len());
+                client
+                    .send_data(name, &bytes[offsets[i]..end])
+                    .expect("send");
+                offsets[i] = end;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    client.finish_writes().expect("half-close");
+    let frames = client.drain().expect("drain replies");
+
+    for (name, _, expected) in &picks {
+        let report = frames.iter().find_map(|f| match f {
+            ServerFrame::Report { session, payload } if session == name => {
+                Some(String::from_utf8_lossy(payload).into_owned())
+            }
+            _ => None,
+        });
+        assert_eq!(
+            report.as_deref(),
+            Some(expected.as_str()),
+            "{name}: report under eviction pressure"
+        );
+    }
+
+    let server = server.stop();
+    let totals = server.registry().totals();
+    assert!(totals.evictions > 0, "budget forced evictions: {totals:?}");
+    assert!(
+        totals.restores > 0,
+        "cold sessions were restored: {totals:?}"
+    );
+    assert!(
+        totals.settled_peak_bytes <= budget,
+        "settled resident footprint {} exceeds budget {budget}",
+        totals.settled_peak_bytes
+    );
+    assert!(
+        sum > budget,
+        "calibration: more session state existed ({sum}) than the budget ({budget})"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// One session's malformed bytes fail that session alone: the same
+/// multiplexed connection still completes its healthy session, and
+/// the failure comes back as a typed, session-scoped ERROR frame.
+#[test]
+fn a_failing_session_leaves_others_unaffected() {
+    let corpus = corpus();
+    let (name, bytes, expected) = &corpus[0];
+    let server = TestServer::start(ServerConfig::default(), false);
+
+    let mut client = FramedClient::connect(&server.addr, "proxy").expect("connect");
+    // A hostile trace header: version varint that overflows u32 —
+    // rejected by the decoder at a typed offset.
+    let mut garbage = b"CAFT".to_vec();
+    garbage.extend_from_slice(&[0xff; 9]);
+    garbage.push(0x01);
+    client.send_data("bad-device", &garbage).expect("send");
+    for part in bytes.chunks(1024) {
+        client.send_data(name, part).expect("send");
+    }
+    client.finish_writes().expect("half-close");
+    let frames = client.drain().expect("drain");
+
+    let error = frames.iter().find_map(|f| match f {
+        ServerFrame::Error { session, message } if session == "bad-device" => Some(message.clone()),
+        _ => None,
+    });
+    let message = error.expect("bad session fails with a typed error");
+    assert!(
+        message.contains("bad-device"),
+        "error names the session: {message}"
+    );
+    let report = frames.iter().find_map(|f| match f {
+        ServerFrame::Report { session, payload } if session == name => {
+            Some(String::from_utf8_lossy(payload).into_owned())
+        }
+        _ => None,
+    });
+    assert_eq!(
+        report.as_deref(),
+        Some(expected.as_str()),
+        "healthy session is unaffected"
+    );
+    server.stop();
+}
+
+/// A second connection for an attached session is refused with a
+/// session-scoped error; the first connection keeps working.
+#[test]
+fn second_attach_of_a_live_session_is_refused() {
+    let corpus = corpus();
+    let (name, bytes, expected) = &corpus[1];
+    let server = TestServer::start(ServerConfig::default(), false);
+
+    let mut first = TcpStream::connect(&server.addr).expect("connect");
+    first
+        .write_all(&encode_handshake(Mode::Stream, name))
+        .expect("handshake");
+    let mut reply = [0u8; 12];
+    first.read_exact(&mut reply).expect("offset reply");
+    first.write_all(&bytes[..bytes.len() / 2]).expect("prefix");
+
+    let err = push_trace(&server.addr, name, bytes, 4096).expect_err("busy session");
+    match err {
+        ClientError::Rejected { session, message } => {
+            assert_eq!(session, *name);
+            assert!(message.contains("already attached"), "{message}");
+        }
+        other => panic!("expected a session-busy rejection, got {other}"),
+    }
+
+    // The original connection finishes unharmed.
+    first.write_all(&bytes[bytes.len() / 2..]).expect("suffix");
+    first
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let mut report = String::new();
+    first.read_to_string(&mut report).expect("report");
+    assert_eq!(report, *expected);
+    server.stop();
+}
+
+/// The admin listener serves per-session and aggregate metrics as
+/// JSON; the in-band STATS frame returns the same document shape.
+#[test]
+fn admin_surface_reports_session_metrics() {
+    let corpus = corpus();
+    let (name, bytes, _) = &corpus[2];
+    let server = TestServer::start(ServerConfig::default(), true);
+    let outcome = push_trace(&server.addr, name, bytes, 4096).expect("push");
+    assert!(outcome.report.is_some());
+
+    let metrics =
+        cafa_fleetserve::fetch_admin_metrics(&server.admin_addr()).expect("admin metrics");
+    assert!(metrics.contains("\"per_session\""), "{metrics}");
+    assert!(
+        metrics.contains(&format!("\"session\": \"{name}\"")),
+        "{metrics}"
+    );
+    assert!(metrics.contains("\"phase\": \"completed\""), "{metrics}");
+    assert!(metrics.contains("\"completed\": 1"), "{metrics}");
+
+    let mut client = FramedClient::connect(&server.addr, "probe").expect("connect");
+    client.request_stats().expect("stats request");
+    client.finish_writes().expect("half-close");
+    let frames = client.drain().expect("drain");
+    let stats = frames.iter().find_map(|f| match f {
+        ServerFrame::StatsReply { payload } => Some(String::from_utf8_lossy(payload).into_owned()),
+        _ => None,
+    });
+    let stats = stats.expect("stats reply arrives");
+    assert!(stats.contains("\"per_session\""), "{stats}");
+    server.stop();
+}
+
+/// The PR 2 regression: the listener must keep accepting — two
+/// sequential raw (anonymous passthrough) connections each get a
+/// full report from one server process.
+#[test]
+fn listener_accepts_connections_in_sequence_not_just_one() {
+    let corpus = corpus();
+    let (_, bytes, expected) = &corpus[0];
+    let server = TestServer::start(ServerConfig::default(), false);
+    for round in 0..2 {
+        let mut conn = TcpStream::connect(&server.addr).expect("connect");
+        conn.write_all(bytes).expect("raw trace");
+        conn.shutdown(std::net::Shutdown::Write)
+            .expect("half-close");
+        let mut report = String::new();
+        conn.read_to_string(&mut report).expect("report");
+        assert_eq!(report, *expected, "round {round}");
+    }
+    server.stop();
+}

@@ -1,0 +1,142 @@
+//! Snapshot/restore equivalence: journaling a session's chunks,
+//! dropping the in-memory state, restoring from the journal, and
+//! pushing the rest of the trace must produce a final report
+//! byte-identical to an uninterrupted analysis — for every catalog
+//! app and sampled generated apps, with the cut placed mid-chunk,
+//! mid-task, and on a sealed-task boundary.
+//!
+//! This is the property the server's eviction and crash-restart
+//! paths lean on; here it is pinned directly against the journal
+//! format, without a socket in the way.
+
+use std::path::PathBuf;
+
+use cafa_apps::{all_apps, resolve};
+use cafa_core::json::render_json;
+use cafa_core::Analyzer;
+use cafa_fleetserve::journal::{read_frames, Journal};
+use cafa_stream::{IncrementalSession, StreamOptions};
+use cafa_trace::{to_binary_vec, Trace};
+
+const CHUNK: usize = 512;
+
+fn batch_json(trace: &Trace) -> String {
+    let report = Analyzer::new().analyze(trace).expect("analysis succeeds");
+    render_json(&report, trace)
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cafa-snap-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// The cut points exercised for each trace: mid-chunk (not a multiple
+/// of the journal chunk size), mid-task, and the first chunk boundary
+/// after a task sealed.
+fn cut_points(bytes: &[u8]) -> Vec<(String, usize)> {
+    let mut cuts = vec![
+        // Mid-chunk AND mid-record: one third, nudged off alignment.
+        ("mid-chunk".to_owned(), (bytes.len() / 3) | 1),
+        // Mid-task: half way through the stream.
+        ("mid-task".to_owned(), bytes.len() / 2),
+    ];
+    // Sealed-task boundary: feed in journal-sized chunks and stop at
+    // the first boundary where the sealed-task count increased.
+    let mut probe = IncrementalSession::new(StreamOptions::default());
+    let mut sealed = 0usize;
+    let mut fed = 0usize;
+    for chunk in bytes.chunks(CHUNK) {
+        probe.push(chunk).expect("valid trace");
+        fed += chunk.len();
+        let now = probe.progress().tasks_sealed;
+        if now > sealed && fed < bytes.len() {
+            cuts.push(("sealed-boundary".to_owned(), fed));
+            break;
+        }
+        sealed = now;
+    }
+    cuts
+}
+
+/// Journals the prefix chunk-by-chunk, drops all live state, restores
+/// from the journal alone, pushes the remainder, and checks the final
+/// report against the uninterrupted batch analysis.
+fn check_restore_roundtrip(dir: &std::path::Path, name: &str, bytes: &[u8], expected: &str) {
+    for (kind, cut) in cut_points(bytes) {
+        let session_id = format!("{name}-{kind}");
+        {
+            let mut journal = Journal::open(dir, &session_id).expect("journal opens");
+            let mut live = IncrementalSession::new(StreamOptions::default());
+            let mut fed = 0usize;
+            while fed < cut {
+                let end = (fed + CHUNK).min(cut);
+                journal.append(&bytes[fed..end]).expect("append");
+                live.push(&bytes[fed..end]).expect("valid prefix");
+                fed = end;
+            }
+            assert_eq!(
+                journal.durable_offset(),
+                cut as u64,
+                "{session_id}: journal covers the prefix"
+            );
+            // `live` and `journal` drop here: the eviction moment.
+        }
+
+        let frames = read_frames(dir, &session_id).expect("journal reads back");
+        assert_eq!(
+            frames.iter().map(Vec::len).sum::<usize>(),
+            cut,
+            "{session_id}: frames reproduce the prefix bytes"
+        );
+        let mut restored =
+            IncrementalSession::restore(StreamOptions::default(), frames.iter().map(Vec::as_slice))
+                .expect("restore replays cleanly");
+        assert_eq!(
+            restored.progress().bytes,
+            cut as u64,
+            "{session_id}: restored session resumes at the cut"
+        );
+
+        for chunk in bytes[cut..].chunks(CHUNK) {
+            restored.push(chunk).expect("valid suffix");
+        }
+        assert!(restored.is_complete(), "{session_id}: trace ends cleanly");
+        let outcome = restored.finish().expect("finish succeeds");
+        let json = render_json(&outcome.report, &outcome.trace);
+        assert_eq!(
+            json, expected,
+            "{session_id}: report after evict/restore at byte {cut}"
+        );
+    }
+}
+
+/// Every app in the paper catalog survives evict-and-restore at all
+/// three cut kinds with a byte-identical report.
+#[test]
+fn catalog_apps_restore_byte_identically_at_every_cut() {
+    let dir = tmp_dir("catalog");
+    for app in all_apps() {
+        let outcome = app.record(0).expect("workload records cleanly");
+        let trace = outcome.trace.expect("instrumentation is on");
+        let bytes = to_binary_vec(&trace);
+        check_restore_roundtrip(&dir, &app.name, &bytes, &batch_json(&trace));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Sampled slots of the generated corpus get the same treatment —
+/// the property is not special to the hand-built catalog.
+#[test]
+fn generated_corpus_samples_restore_byte_identically() {
+    let dir = tmp_dir("gen");
+    for spec in ["gen:1:0", "gen:2:5", "gen:3:9"] {
+        let app = resolve(spec).expect("generated slot resolves");
+        let outcome = app.record(0).expect("generated app records");
+        let trace = outcome.trace.expect("instrumentation is on");
+        let bytes = to_binary_vec(&trace);
+        check_restore_roundtrip(&dir, spec, &bytes, &batch_json(&trace));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -190,6 +190,27 @@ impl IncrementalHb {
         self.stats
     }
 
+    /// Modeled resident footprint of the builder's state, in bytes:
+    /// graph nodes and edges, the persistent fixpoint rows (one
+    /// reachability row triple per node), and the cached reachability
+    /// index. An accounting estimate for memory budgeting — not an
+    /// allocator measurement — but it scales with the real cost and is
+    /// deterministic, so an eviction threshold expressed against it
+    /// behaves identically on every run.
+    pub fn footprint_estimate(&self) -> usize {
+        // Node metadata + adjacency entries (succ + pred per edge) +
+        // the chronological edge log + dedup set.
+        let nodes = self.graph.node_count() * 64;
+        let edges = self.graph.edge_count() * 80;
+        // Fixpoint reachability rows: three bitset rows per node.
+        let rows = self.graph.node_count() * (self.graph.node_count() / 8).clamp(8, 1 << 12);
+        let oracle = self
+            .oracle
+            .as_ref()
+            .map_or(0, |_| self.graph.node_count() * 40);
+        nodes + edges + rows + oracle
+    }
+
     /// Appends `task`'s records beyond what was already ingested:
     /// creates sync nodes and installs their base edges against every
     /// previously ingested counterpart.

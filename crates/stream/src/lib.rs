@@ -75,6 +75,11 @@ use cafa_trace::{OpRef, Pc, ReadError, StreamDecoder, StreamEvent, TaskId, Trace
 /// high-water check.
 const STAGED_RECORD_COST: usize = 64;
 
+/// Approximate in-memory cost of one decoded trace record held by the
+/// growing [`Trace`]: the record itself plus its share of the body
+/// vector. Used by [`IncrementalSession::footprint_bytes`].
+const TRACE_RECORD_COST: usize = 48;
+
 /// Configuration for an [`IncrementalSession`].
 #[derive(Clone, Copy, Debug)]
 pub struct StreamOptions {
@@ -257,6 +262,50 @@ impl IncrementalSession {
     /// True once the full trace has been received.
     pub fn is_complete(&self) -> bool {
         self.decoder.is_complete()
+    }
+
+    /// Modeled resident footprint of the whole session, in bytes: the
+    /// decoder's buffer, the decoded trace so far, and the incremental
+    /// happens-before state (graph, fixpoint rows, reachability
+    /// index). A deterministic accounting estimate — the currency a
+    /// multi-tenant server's memory budget and eviction policy are
+    /// denominated in — not an allocator measurement.
+    pub fn footprint_bytes(&self) -> usize {
+        self.decoder.buffered_bytes()
+            + self.progress.records as usize * TRACE_RECORD_COST
+            + self
+                .hb
+                .as_ref()
+                .map_or(0, cafa_hb::IncrementalHb::footprint_estimate)
+    }
+
+    /// Rebuilds a session by replaying the exact byte chunks a
+    /// previous session ingested (e.g. from an on-disk journal), then
+    /// continues accepting new chunks.
+    ///
+    /// Because analysis is chunk-invariant and happens-before state is
+    /// a pure function of the bytes ingested so far, the restored
+    /// session is *equivalent* to the one that was dropped: feeding
+    /// both the same suffix produces byte-identical final reports, and
+    /// replaying the original chunk boundaries reproduces the progress
+    /// counters too. Provisional candidates found during the replay
+    /// are discarded (they were already emitted by the original
+    /// session); the internal dedup set is retained, so the
+    /// continuation does not re-emit them either.
+    ///
+    /// # Errors
+    ///
+    /// As for [`push`](IncrementalSession::push) — a journal that
+    /// replays with an error was recorded from a malformed stream.
+    pub fn restore<'a, I>(opts: StreamOptions, chunks: I) -> Result<Self, StreamError>
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        let mut session = Self::new(opts);
+        for chunk in chunks {
+            session.push(chunk)?;
+        }
+        Ok(session)
     }
 
     /// Consumes one chunk: decodes it, extends the incremental

@@ -89,6 +89,36 @@ fn chunk_size_and_format_never_change_the_report() {
     }
 }
 
+/// Dropping a session mid-trace and rebuilding it with
+/// [`IncrementalSession::restore`] from the exact chunks it had
+/// ingested yields an equivalent session: pushing the same suffix
+/// produces a byte-identical final report, and the progress counters
+/// resume where the original left off.
+#[test]
+fn restore_replays_to_an_equivalent_session() {
+    for app in all_apps().into_iter().take(3) {
+        let outcome = app.record(0).expect("workload records cleanly");
+        let trace = outcome.trace.expect("instrumentation is on");
+        let expected = batch_json(&trace);
+        let bytes = to_binary_vec(&trace);
+        let cut = bytes.len() / 2;
+        let prefix: Vec<&[u8]> = bytes[..cut].chunks(700).collect();
+        let mut session = IncrementalSession::restore(StreamOptions::default(), prefix)
+            .expect("journal replays cleanly");
+        assert_eq!(session.progress().bytes, cut as u64, "app {}", app.name);
+        for c in bytes[cut..].chunks(700) {
+            session.push(c).expect("valid suffix");
+        }
+        let out = session.finish().expect("valid trace");
+        assert_eq!(
+            render_json(&out.report, &out.trace),
+            expected,
+            "app {} restored at byte {cut}",
+            app.name
+        );
+    }
+}
+
 /// Live provisional reporting never perturbs the authoritative report.
 #[test]
 fn live_mode_keeps_the_final_report_identical() {

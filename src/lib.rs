@@ -15,6 +15,7 @@
 //! | [`engine`] | `cafa-engine` | analysis sessions, cached models, passes, fleet runner |
 //! | [`detect`] | `cafa-core` | use-free race detector (§4) + baselines |
 //! | [`stream`] | `cafa-stream` | streaming ingestion + incremental analysis |
+//! | [`fleetserve`] | `cafa-fleetserve` | multi-tenant ingest server: sessions, eviction, crash-safe restart |
 //! | [`sim`] | `cafa-sim` | Android-like runtime simulator (§5 substitute) |
 //! | [`apps`] | `cafa-apps` | the ten evaluated app workloads + ground truth |
 //! | [`replay`] | `cafa-replay` | directed schedule synthesis + replay validation of reports |
@@ -46,6 +47,7 @@
 pub use cafa_apps as apps;
 pub use cafa_core as detect;
 pub use cafa_engine as engine;
+pub use cafa_fleetserve as fleetserve;
 pub use cafa_hb as hb;
 pub use cafa_replay as replay;
 pub use cafa_sim as sim;
