@@ -23,6 +23,12 @@ cargo test -p cafa-hb --test oracle_differential -q
 echo "==> fixpoint engine differential suite (semi-naive vs naive)"
 cargo test -p cafa-hb --test fixpoint_differential -q
 
+echo "==> demand engine differential suite (lazy queries vs eager reference)"
+cargo test -p cafa-hb --test demand_differential -q
+
+echo "==> scale sweep smoke (demand engine, 100k tier)"
+./target/release/analysis_scaling --scale --quick > /dev/null
+
 echo "==> fleet determinism (table1 at 1 vs 4 workers)"
 out1="$(CAFA_FLEET_THREADS=1 ./target/release/table1)"
 out4="$(CAFA_FLEET_THREADS=4 ./target/release/table1)"
@@ -73,6 +79,14 @@ for app in connectbot mytracks zxing todolist browser firefox vlc fbreader camer
             > "$tmpdir/$app.t$threads.json"
         if ! cmp -s "$tmpdir/$app.batch.json" "$tmpdir/$app.t$threads.json"; then
             echo "FAIL: $app analyzed with --threads $threads differs from default" >&2
+            exit 1
+        fi
+        # The demand-driven query engine must reproduce every golden
+        # report byte-for-byte, at every thread count.
+        CAFA_HB_ENGINE=demand ./target/release/cafa analyze "$trace" --format json \
+            --threads "$threads" > "$tmpdir/$app.demand.t$threads.json"
+        if ! cmp -s "$tmpdir/$app.batch.json" "$tmpdir/$app.demand.t$threads.json"; then
+            echo "FAIL: $app under CAFA_HB_ENGINE=demand differs at --threads $threads" >&2
             exit 1
         fi
     done

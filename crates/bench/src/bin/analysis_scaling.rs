@@ -4,7 +4,8 @@
 //! with `--catalog`, the generated-corpus precision/recall +
 //! throughput sweep (`BENCH_catalog.json`); with `--serve`, the fleet
 //! ingest server throughput/eviction/restore sweep
-//! (`BENCH_serve.json`).
+//! (`BENCH_serve.json`); with `--scale [--quick]`, the demand-engine
+//! fleet-island scaling sweep (`BENCH_scale.json`).
 fn main() {
     if std::env::args().any(|a| a == "--fixpoint") {
         cafa_bench::fixpoint::main();
@@ -14,6 +15,9 @@ fn main() {
         cafa_bench::catalog::main();
     } else if std::env::args().any(|a| a == "--serve") {
         cafa_bench::serve::main();
+    } else if std::env::args().any(|a| a == "--scale") {
+        let quick = std::env::args().any(|a| a == "--quick");
+        cafa_bench::scale::main(quick);
     } else {
         cafa_bench::scaling::main();
     }

@@ -1,0 +1,181 @@
+//! Scale-tier sweep: the demand-driven query engine on 100k–1M-event
+//! fleet-island traces (CLI: `analysis_scaling --scale [--quick]`).
+//!
+//! Each tier generates a labeled [`cafa_model::scale`] trace and runs
+//! the full detector through an [`AnalysisSession`], recording wall
+//! time and the demand engine's own counters: queries answered, rule
+//! premises evaluated, and derived edges actually materialized. The
+//! headline property is *sub-linear rule work per event*: islands keep
+//! happens-before cones bounded, so premises-per-event must stay flat
+//! (or fall) as the event count grows 10× — the eager fixpoint, by
+//! contrast, materializes every derivable edge whether or not any
+//! query ever looks at it. Writes `BENCH_scale.json`.
+
+use std::time::Instant;
+
+use cafa_core::{Analyzer, DetectorConfig};
+use cafa_engine::AnalysisSession;
+use cafa_hb::DemandStats;
+use cafa_model::scale::{generate_scale, ScaleConfig};
+
+/// Sweep seed; the corpus is a pure function of (seed, tier).
+const SEED: u64 = 42;
+
+/// Full sweep tiers; `--quick` keeps only the first.
+const TIERS: [usize; 3] = [100_000, 300_000, 1_000_000];
+
+/// One tier's measurements.
+#[derive(Clone, Debug)]
+pub struct ScaleRow {
+    /// Tier label (`scale/100000`).
+    pub label: String,
+    /// Exact event count.
+    pub events: usize,
+    /// Islands in the trace.
+    pub islands: usize,
+    /// Trace generation wall time (seconds) — not part of analysis.
+    pub generate_s: f64,
+    /// Full detector wall time (seconds), model build included.
+    pub analyze_s: f64,
+    /// Races reported.
+    pub races: usize,
+    /// Demand-engine counters of the primary (CAFA-config) model.
+    pub demand: DemandStats,
+}
+
+impl ScaleRow {
+    /// Rule premises evaluated per trace event — the sub-linearity
+    /// headline.
+    pub fn premises_per_event(&self) -> f64 {
+        self.demand.premises as f64 / self.events.max(1) as f64
+    }
+}
+
+/// Measures one tier.
+///
+/// # Panics
+///
+/// Panics if analysis fails or the primary model did not use the
+/// demand backend (the tiers are far past the auto threshold).
+pub fn measure(target_events: usize) -> ScaleRow {
+    let t = Instant::now();
+    let app = generate_scale(ScaleConfig::new(SEED, target_events));
+    let generate_s = t.elapsed().as_secs_f64();
+
+    let config = DetectorConfig::cafa();
+    let session = AnalysisSession::new(&app.trace);
+    let t = Instant::now();
+    let report = Analyzer::with_config(config)
+        .analyze_with(&session)
+        .expect("scale traces are acyclic by construction");
+    let analyze_s = t.elapsed().as_secs_f64();
+    let demand = session
+        .model(config.causality)
+        .expect("analysis built this model")
+        .demand_stats()
+        .expect("scale tiers are past the demand auto-threshold");
+    ScaleRow {
+        label: format!("scale/{target_events}"),
+        events: app.events,
+        islands: app.islands,
+        generate_s,
+        analyze_s,
+        races: report.races.len(),
+        demand,
+    }
+}
+
+/// Runs the sweep and writes `BENCH_scale.json`.
+///
+/// # Panics
+///
+/// Panics if analysis or the JSON write fails.
+pub fn main(quick: bool) {
+    let tiers: &[usize] = if quick { &TIERS[..1] } else { &TIERS };
+    println!("scale sweep — demand-driven query engine on fleet-island traces");
+    println!(
+        "{:>14} {:>9} {:>8} {:>8} {:>10} {:>12} {:>12} {:>10} {:>8}",
+        "tier",
+        "events",
+        "islands",
+        "gen (s)",
+        "wall (s)",
+        "queries",
+        "premises",
+        "edges",
+        "prem/ev"
+    );
+    let mut rows = Vec::new();
+    for &tier in tiers {
+        let row = measure(tier);
+        println!(
+            "{:>14} {:>9} {:>8} {:>8.2} {:>10.3} {:>12} {:>12} {:>10} {:>8.2}",
+            row.label,
+            row.events,
+            row.islands,
+            row.generate_s,
+            row.analyze_s,
+            row.demand.queries,
+            row.demand.premises,
+            row.demand.edges_materialized,
+            row.premises_per_event()
+        );
+        rows.push(row);
+    }
+    for pair in rows.windows(2) {
+        let (small, large) = (&pair[0], &pair[1]);
+        // Flat-or-decreasing with a 10% noise allowance.
+        assert!(
+            large.premises_per_event() <= small.premises_per_event() * 1.10,
+            "rule work per event grew {} → {}: {:.2} → {:.2}",
+            small.label,
+            large.label,
+            small.premises_per_event(),
+            large.premises_per_event()
+        );
+    }
+
+    if quick {
+        // Smoke mode (CI): one tier only — don't clobber the full
+        // sweep's BENCH_scale.json with a truncated document.
+        println!("\nquick smoke ok (BENCH_scale.json left untouched)");
+    } else {
+        let json = render_json(&rows);
+        std::fs::write("BENCH_scale.json", json).expect("write BENCH_scale.json");
+        println!("\nwrote BENCH_scale.json");
+    }
+}
+
+/// Renders the sweep as a stable JSON document.
+fn render_json(rows: &[ScaleRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"seed\": {SEED},");
+    out.push_str("  \"tiers\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"label\": \"{}\",", r.label);
+        let _ = writeln!(out, "      \"events\": {},", r.events);
+        let _ = writeln!(out, "      \"islands\": {},", r.islands);
+        let _ = writeln!(out, "      \"generate_s\": {:.4},", r.generate_s);
+        let _ = writeln!(out, "      \"analyze_s\": {:.4},", r.analyze_s);
+        let _ = writeln!(out, "      \"races\": {},", r.races);
+        let _ = writeln!(out, "      \"queries\": {},", r.demand.queries);
+        let _ = writeln!(out, "      \"premises\": {},", r.demand.premises);
+        let _ = writeln!(
+            out,
+            "      \"edges_materialized\": {},",
+            r.demand.edges_materialized
+        );
+        let _ = writeln!(
+            out,
+            "      \"premises_per_event\": {:.4}",
+            r.premises_per_event()
+        );
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

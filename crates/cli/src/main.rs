@@ -485,6 +485,13 @@ fn cmd_analyze(rest: &[String]) -> Result<(), String> {
         println!("pass timings:");
         print!("{}", report.stats.passes.render());
         print_fixpoint_stats(&report.stats.derivation);
+        let demand = session
+            .model(config.causality)
+            .ok()
+            .and_then(|m| m.demand_stats());
+        if let Some(d) = demand {
+            print_demand_stats(&d);
+        }
         let s = session.stats();
         println!(
             "session: {} ops extraction(s), {} model build(s), {} cache hit(s)",
@@ -500,6 +507,16 @@ fn print_fixpoint_stats(d: &cafa_hb::DerivationStats) {
     println!("  fixpoint rounds          {:>10}", d.rounds);
     println!("  rule instances evaluated {:>10}", d.instances);
     println!("  edges derived            {:>10}", d.derived_edges());
+}
+
+/// Demand query-engine counters printed under `--timings` when the
+/// lazy backend answered the analysis: how many `hb` queries it saw,
+/// how many rule premises those queries forced, and how few edges it
+/// actually materialized along the way.
+fn print_demand_stats(d: &cafa_hb::DemandStats) {
+    println!("  demand queries answered  {:>10}", d.queries);
+    println!("  rule premises evaluated  {:>10}", d.premises);
+    println!("  edges materialized       {:>10}", d.edges_materialized);
 }
 
 /// The shared text rendering of `analyze` (batch and `--follow`).
@@ -569,6 +586,7 @@ fn analyze_follow(
             .push(&buf[..n])
             .map_err(|e| format!("analyzing {path}: {e}"))?;
     }
+    let demand = session.demand_stats();
     let outcome = session
         .finish()
         .map_err(|e| format!("analyzing {path}: {e}"))?;
@@ -584,6 +602,9 @@ fn analyze_follow(
         println!("pass timings:");
         print!("{}", outcome.report.stats.passes.render());
         print_fixpoint_stats(&outcome.report.stats.derivation);
+        if let Some(d) = demand {
+            print_demand_stats(&d);
+        }
         println!("streaming passes:");
         print!("{}", outcome.passes.render());
         let p = outcome.progress;

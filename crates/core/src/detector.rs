@@ -208,14 +208,16 @@ impl Analyzer {
             ..DetectStats::default()
         };
 
-        // Constant-time reachability index: every happens_before query
-        // below — candidates and classification — becomes array
-        // lookups instead of a DFS. Item count (graph nodes) and all
-        // downstream answers are thread-count-independent.
+        // Reachability preparation: the eager backend builds its
+        // constant-time oracle here so every happens_before query below
+        // — candidates and classification — becomes array lookups
+        // instead of a DFS; the demand backend settles cones per query
+        // instead. Item count (graph nodes) and all downstream answers
+        // are thread-count-independent either way.
         let threads = cafa_hb::resolve_threads(self.config.threads);
         passes.run("reachability", || {
-            let oracle = model.ensure_oracle(threads);
-            ((), oracle.node_count())
+            let nodes = model.ensure_reachability(threads);
+            ((), nodes)
         });
 
         let candidates = passes.run("candidates", || {
@@ -255,7 +257,7 @@ impl Analyzer {
             }
             match session.model(CausalityConfig::conventional()) {
                 Ok(m) => {
-                    m.ensure_oracle(threads);
+                    m.ensure_reachability(threads);
                     let events = m.events().len();
                     (Ok(Some(m)), events)
                 }

@@ -28,7 +28,10 @@ pub(crate) fn base_graph_with_sends(
     trace: &Trace,
     config: &CausalityConfig,
 ) -> (SyncGraph, Vec<SendSite>) {
-    let mut g = SyncGraph::from_trace(trace);
+    // Defer adjacency: every edge below goes only to the log, and one
+    // compaction at the end builds the flat CSR — on large traces the
+    // per-edge adjacency writes otherwise dominate construction.
+    let mut g = SyncGraph::from_trace_deferred(trace);
     let mut sends: Vec<SendSite> = Vec::new();
 
     // Pairing tables filled in one sweep.
@@ -186,6 +189,7 @@ pub(crate) fn base_graph_with_sends(
         }
     }
 
+    g.compact();
     (g, sends)
 }
 

@@ -54,7 +54,7 @@ pub fn render(graph: &SyncGraph, trace: &Trace) -> String {
 
     // Edges, styled by kind.
     for n in 0..graph.node_count() as u32 {
-        for &(to, kind) in graph.succs(n) {
+        for (to, kind) in graph.succs(n) {
             let (style, label) = match kind {
                 EdgeKind::Program => ("solid, color=gray", String::new()),
                 EdgeKind::Atomicity => ("dashed, color=red", "atomicity".to_owned()),

@@ -8,7 +8,8 @@
 //! task ([`SyncGraph::bracket_after`] / [`SyncGraph::bracket_before`]),
 //! which is exact because program order within a task is total.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::hash::BuildHasherDefault;
 
 use cafa_trace::{OpRef, TaskId, Trace};
 
@@ -16,6 +17,35 @@ use crate::bitset::BitSet;
 
 /// Index of a node in a [`SyncGraph`].
 pub type NodeId = u32;
+
+/// Multiplicative hasher for the dense packed edge keys. Edge dedup is
+/// one hash-set insert per edge, so on million-edge graphs the default
+/// SipHash dominates construction time; edge keys are attacker-free
+/// internal indices and only ever hashed as a single `u64`.
+#[derive(Default)]
+struct EdgeHasher(u64);
+
+impl std::hash::Hasher for EdgeHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _: &[u8]) {
+        unreachable!("edge keys hash as one u64");
+    }
+
+    fn write_u64(&mut self, key: u64) {
+        // Fibonacci multiply + fold: spreads the low node bits into the
+        // high bits hashbrown picks its control bytes from.
+        let h = key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        self.0 = h ^ (h >> 29);
+    }
+}
+
+/// Packs an edge into the `u64` key the dedup set stores.
+fn edge_key(from: NodeId, to: NodeId) -> u64 {
+    (u64::from(from) << 32) | u64::from(to)
+}
 
 /// Where a node sits within its task.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -67,6 +97,19 @@ pub enum EdgeKind {
     Queue(u8),
 }
 
+/// Compressed-sparse-row adjacency over a frozen prefix of the edge
+/// log. Million-node graphs cannot afford one heap block per node: on
+/// the fleet-scale tiers the per-node `Vec` representation cost more in
+/// page faults than the whole analysis, so batch construction compacts
+/// the log into two flat arrays per direction instead.
+#[derive(Clone, Debug, Default)]
+struct CsrAdj {
+    succ_off: Vec<u32>,
+    succ: Vec<(NodeId, EdgeKind)>,
+    pred_off: Vec<u32>,
+    pred: Vec<NodeId>,
+}
+
 /// The operation-level happens-before graph of one trace.
 #[derive(Clone, Debug)]
 pub struct SyncGraph {
@@ -75,9 +118,17 @@ pub struct SyncGraph {
     record_nodes: Vec<Vec<(u32, NodeId)>>,
     begin_nodes: Vec<NodeId>,
     end_nodes: Vec<NodeId>,
-    succs: Vec<Vec<(NodeId, EdgeKind)>>,
-    preds: Vec<Vec<NodeId>>,
-    edge_set: HashSet<(NodeId, NodeId)>,
+    /// Flat adjacency for every edge logged before the last
+    /// [`compact`](SyncGraph::compact); `None` while a batch
+    /// construction is still appending (deferred mode — the log is the
+    /// only record and per-node queries are not served yet).
+    csr: Option<CsrAdj>,
+    /// Sparse adjacency overlay for edges added after compaction (rule
+    /// derivation, streaming appends). Keyed by source (`over_succ`) or
+    /// target (`over_pred`) node.
+    over_succ: HashMap<NodeId, Vec<(NodeId, EdgeKind)>>,
+    over_pred: HashMap<NodeId, Vec<NodeId>>,
+    edge_set: HashSet<u64, BuildHasherDefault<EdgeHasher>>,
     edge_kind_counts: Vec<(EdgeKind, usize)>,
     /// Chronological log of every edge ever added (the dedup in
     /// [`SyncGraph::add_edge`] guarantees each appears once). Consumers
@@ -90,15 +141,25 @@ impl SyncGraph {
     /// Builds the node set and program-order chains for `trace`. No
     /// cross-task edges are added; see `cafa_hb::build` for those.
     pub fn from_trace(trace: &Trace) -> Self {
+        let mut g = Self::from_trace_deferred(trace);
+        g.compact();
+        g
+    }
+
+    /// [`from_trace`](SyncGraph::from_trace) without the final
+    /// compaction — for batch callers (`cafa_hb::build`) that append
+    /// cross-task edges next and compact once at the end.
+    pub(crate) fn from_trace_deferred(trace: &Trace) -> Self {
         let task_count = trace.task_count();
         let mut g = SyncGraph {
             nodes: Vec::new(),
             record_nodes: vec![Vec::new(); task_count],
             begin_nodes: Vec::with_capacity(task_count),
             end_nodes: Vec::with_capacity(task_count),
-            succs: Vec::new(),
-            preds: Vec::new(),
-            edge_set: HashSet::new(),
+            csr: None,
+            over_succ: HashMap::new(),
+            over_pred: HashMap::new(),
+            edge_set: HashSet::default(),
             edge_kind_counts: Vec::new(),
             edge_log: Vec::new(),
         };
@@ -146,9 +207,13 @@ impl SyncGraph {
             record_nodes: vec![Vec::new(); task_count],
             begin_nodes: Vec::with_capacity(task_count),
             end_nodes: Vec::with_capacity(task_count),
-            succs: Vec::new(),
-            preds: Vec::new(),
-            edge_set: HashSet::new(),
+            // Streaming appends interleave edge insertion with queries,
+            // so the skeleton starts "compacted" (an empty CSR) and
+            // every edge lands in the sparse overlay.
+            csr: Some(CsrAdj::default()),
+            over_succ: HashMap::new(),
+            over_pred: HashMap::new(),
+            edge_set: HashSet::default(),
             edge_kind_counts: Vec::new(),
             edge_log: Vec::new(),
         };
@@ -208,24 +273,87 @@ impl SyncGraph {
     fn push_node(&mut self, info: NodeInfo) -> NodeId {
         let id = self.nodes.len() as NodeId;
         self.nodes.push(info);
-        self.succs.push(Vec::new());
-        self.preds.push(Vec::new());
         id
     }
 
     /// Adds an edge if absent; returns true if newly added.
     pub fn add_edge(&mut self, from: NodeId, to: NodeId, kind: EdgeKind) -> bool {
-        if from == to || !self.edge_set.insert((from, to)) {
+        if from == to || !self.edge_set.insert(edge_key(from, to)) {
             return false;
         }
-        self.succs[from as usize].push((to, kind));
-        self.preds[to as usize].push(from);
+        if self.csr.is_some() {
+            self.over_succ.entry(from).or_default().push((to, kind));
+            self.over_pred.entry(to).or_default().push(from);
+        }
         self.edge_log.push((from, to, kind));
         match self.edge_kind_counts.iter_mut().find(|(k, _)| *k == kind) {
             Some((_, n)) => *n += 1,
             None => self.edge_kind_counts.push((kind, 1)),
         }
         true
+    }
+
+    /// Rebuilds the flat CSR adjacency from the full edge log and
+    /// clears the overlay. Two counting passes over the log — no
+    /// per-node allocation.
+    pub(crate) fn compact(&mut self) {
+        let n = self.nodes.len();
+        let m = self.edge_log.len();
+        let mut succ_off = vec![0u32; n + 1];
+        let mut pred_off = vec![0u32; n + 1];
+        for &(from, to, _) in &self.edge_log {
+            succ_off[from as usize + 1] += 1;
+            pred_off[to as usize + 1] += 1;
+        }
+        for i in 0..n {
+            succ_off[i + 1] += succ_off[i];
+            pred_off[i + 1] += pred_off[i];
+        }
+        let mut succ = vec![(0 as NodeId, EdgeKind::Program); m];
+        let mut pred = vec![0 as NodeId; m];
+        let mut succ_cur = succ_off.clone();
+        let mut pred_cur = pred_off.clone();
+        for &(from, to, kind) in &self.edge_log {
+            let s = &mut succ_cur[from as usize];
+            succ[*s as usize] = (to, kind);
+            *s += 1;
+            let p = &mut pred_cur[to as usize];
+            pred[*p as usize] = from;
+            *p += 1;
+        }
+        self.csr = Some(CsrAdj {
+            succ_off,
+            succ,
+            pred_off,
+            pred,
+        });
+        self.over_succ.clear();
+        self.over_pred.clear();
+    }
+
+    /// The compacted successor slice of `n` (empty when `n` postdates
+    /// the last compaction).
+    fn csr_succs(&self, n: NodeId) -> &[(NodeId, EdgeKind)] {
+        let Some(c) = &self.csr else {
+            panic!("adjacency queried on a deferred graph (missing compact())");
+        };
+        let i = n as usize;
+        if i + 1 >= c.succ_off.len() {
+            return &[];
+        }
+        &c.succ[c.succ_off[i] as usize..c.succ_off[i + 1] as usize]
+    }
+
+    /// The compacted predecessor slice of `n`.
+    fn csr_preds(&self, n: NodeId) -> &[NodeId] {
+        let Some(c) = &self.csr else {
+            panic!("adjacency queried on a deferred graph (missing compact())");
+        };
+        let i = n as usize;
+        if i + 1 >= c.pred_off.len() {
+            return &[];
+        }
+        &c.pred[c.pred_off[i] as usize..c.pred_off[i + 1] as usize]
     }
 
     /// The chronological edge log: every edge of the graph, in the
@@ -303,14 +431,18 @@ impl SyncGraph {
         }
     }
 
-    /// Successors of `n`, with the kind of the connecting edge.
-    pub fn succs(&self, n: NodeId) -> &[(NodeId, EdgeKind)] {
-        &self.succs[n as usize]
+    /// Successors of `n`, with the kind of the connecting edge:
+    /// the compacted CSR slice followed by any overlay edges added
+    /// since the last compaction (chronological within each part).
+    pub fn succs(&self, n: NodeId) -> impl Iterator<Item = (NodeId, EdgeKind)> + '_ {
+        let over = self.over_succ.get(&n).map_or(&[][..], Vec::as_slice);
+        self.csr_succs(n).iter().chain(over).copied()
     }
 
-    /// Predecessors of `n`.
-    pub fn preds(&self, n: NodeId) -> &[NodeId] {
-        &self.preds[n as usize]
+    /// Predecessors of `n` (CSR slice, then overlay).
+    pub fn preds(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let over = self.over_pred.get(&n).map_or(&[][..], Vec::as_slice);
+        self.csr_preds(n).iter().chain(over).copied()
     }
 
     /// All nodes in a topological order, or `Err` with the nodes of some
@@ -320,7 +452,7 @@ impl SyncGraph {
     pub fn topo_order(&self) -> Result<Vec<NodeId>, Vec<NodeId>> {
         let n = self.nodes.len();
         let mut indegree: Vec<u32> = vec![0; n];
-        for &(_, to) in &self.edge_set {
+        for &(_, to, _) in &self.edge_log {
             indegree[to as usize] += 1;
         }
         let mut stack: Vec<NodeId> = (0..n as NodeId)
@@ -329,7 +461,7 @@ impl SyncGraph {
         let mut order = Vec::with_capacity(n);
         while let Some(node) = stack.pop() {
             order.push(node);
-            for &(s, _) in &self.succs[node as usize] {
+            for (s, _) in self.succs(node) {
                 indegree[s as usize] -= 1;
                 if indegree[s as usize] == 0 {
                     stack.push(s);
@@ -356,7 +488,7 @@ impl SyncGraph {
         scratch.clear();
         let mut stack = vec![from];
         while let Some(n) = stack.pop() {
-            for &(s, _) in &self.succs[n as usize] {
+            for (s, _) in self.succs(n) {
                 if s == to {
                     return true;
                 }
@@ -381,7 +513,7 @@ impl SyncGraph {
         let mut seen = BitSet::new(self.nodes.len());
         seen.insert(from as usize);
         while let Some(n) = queue.pop_front() {
-            for &(s, kind) in &self.succs[n as usize] {
+            for (s, kind) in self.succs(n) {
                 if !seen.insert(s as usize) {
                     continue;
                 }

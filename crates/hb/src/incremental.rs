@@ -36,6 +36,7 @@ use std::collections::HashMap;
 use cafa_trace::{ListenerId, MonitorId, OpRef, Record, TaskId, Trace, TxnId};
 
 use crate::config::CausalityConfig;
+use crate::demand::{DemandCore, DemandStats};
 use crate::error::HbError;
 use crate::graph::{EdgeKind, SyncGraph};
 use crate::model::HbModel;
@@ -77,6 +78,13 @@ pub struct IncrementalHb {
     /// Cached reachability index over the graph-so-far; refreshed on
     /// demand by [`refresh_oracle`](IncrementalHb::refresh_oracle).
     oracle: Option<ReachOracle>,
+    /// Lazy rule-query engine over the graph-so-far, created on the
+    /// first `demand_*` query. Unlike [`derive_now`], it materializes
+    /// no edges into the graph and pays only for the cones queries
+    /// probe — the live-mode path of a streaming session.
+    ///
+    /// [`derive_now`]: IncrementalHb::derive_now
+    demand: Option<DemandCore>,
 }
 
 impl IncrementalHb {
@@ -130,7 +138,61 @@ impl IncrementalHb {
             sealed: vec![false; task_count],
             staged: 0,
             oracle: None,
+            demand: None,
         })
+    }
+
+    /// Creates the demand engine on first use and follows graph growth:
+    /// newly appended nodes/edges extend its mark arrays and invalidate
+    /// its cone memos and settlement stamps (growth is monotone, so
+    /// previously derived edges are kept). Must run before every
+    /// `demand_*` query. Public so streaming callers can charge the
+    /// extension cost to the right pass instead of the first query.
+    pub fn sync_demand(&mut self) {
+        if self.demand.is_none() {
+            let core = DemandCore::new(&self.graph, self.fix.table.clone(), self.config);
+            self.demand = Some(core);
+        }
+        let core = self.demand.as_mut().expect("created above");
+        core.sync_graph(&self.graph);
+        core.register_sends(&self.graph, &self.fix.sends);
+    }
+
+    /// Answers `end(e1) ≺ begin(e2)` over the graph-so-far through the
+    /// demand engine — the full §3.3 relation restricted to what has
+    /// been ingested, without materializing edges. An unsealed task's
+    /// `end` is still disconnected from its chain, so orders that
+    /// depend on a task being complete correctly stay unreported until
+    /// [`seal`](IncrementalHb::seal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either task is not an event.
+    pub fn demand_event_before(&mut self, e1: TaskId, e2: TaskId) -> bool {
+        let i1 = self.fix.table.dense(e1).expect("e1 must be an event");
+        let i2 = self.fix.table.dense(e2).expect("e2 must be an event");
+        self.sync_demand();
+        let core = self.demand.as_mut().expect("synced above");
+        core.event_before(&self.graph, i1, i2)
+    }
+
+    /// Operation-level happens-before over the graph-so-far through the
+    /// demand engine (strict; see
+    /// [`demand_event_before`](IncrementalHb::demand_event_before)).
+    pub fn demand_happens_before(&mut self, a: OpRef, b: OpRef) -> bool {
+        if a.task == b.task {
+            return a.index < b.index;
+        }
+        let from = self.graph.bracket_after(a);
+        let to = self.graph.bracket_before(b);
+        self.sync_demand();
+        let core = self.demand.as_mut().expect("synced above");
+        core.reaches(&self.graph, from, to)
+    }
+
+    /// Work counters of the demand engine, if any `demand_*` query ran.
+    pub fn demand_stats(&self) -> Option<DemandStats> {
+        self.demand.as_ref().map(DemandCore::stats)
     }
 
     /// Brings the cached reachability index up to date with the graph:

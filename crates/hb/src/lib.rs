@@ -55,6 +55,7 @@
 pub mod bitset;
 mod build;
 mod config;
+mod demand;
 pub mod dot;
 mod error;
 mod graph;
@@ -67,6 +68,7 @@ pub mod vc_online;
 
 pub use build::base_graph;
 pub use config::CausalityConfig;
+pub use demand::DemandStats;
 pub use error::HbError;
 pub use graph::{EdgeKind, NodeId, NodeInfo, NodePoint, SyncGraph};
 pub use incremental::IncrementalHb;
@@ -75,4 +77,4 @@ pub use model::{BatchReach, CauseStep, HbModel, OpOrder};
 pub use oracle::{resolve_threads, ReachOracle};
 #[doc(hidden)]
 pub use rules::derive_naive;
-pub use rules::{derive, DerivationStats, EventTable};
+pub use rules::{derive, derive_eager_reference, DerivationStats, EventTable};

@@ -1,16 +1,32 @@
 //! The [`HbModel`] facade: build once per trace, query happens-before.
 
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
 use cafa_trace::{OpRef, TaskId, Trace};
 
 use crate::bitset::BitSet;
 use crate::build::base_graph_with_sends;
 use crate::config::CausalityConfig;
+use crate::demand::{DemandCore, DemandStats};
 use crate::error::HbError;
 use crate::graph::{NodeId, SyncGraph};
 use crate::oracle::ReachOracle;
 use crate::rules::{fixpoint, flow, DerivationStats, EventTable, FixpointState};
+
+/// Event count at and above which [`HbModel::build`] switches from the
+/// eager fixpoint (which materializes the full event-order closure —
+/// quadratic memory) to the demand-driven engine. Overridable with
+/// `CAFA_HB_ENGINE=eager|demand`.
+const DEMAND_AUTO_THRESHOLD: usize = 32_768;
+
+/// Engine choice for a build of `ev_count` events.
+fn use_demand(ev_count: usize) -> bool {
+    match std::env::var("CAFA_HB_ENGINE").ok().as_deref() {
+        Some("eager") => false,
+        Some("demand") => true,
+        _ => ev_count >= DEMAND_AUTO_THRESHOLD,
+    }
+}
 
 /// Relative order of two operations under a causality model.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -73,14 +89,41 @@ pub struct HbModel<'t> {
     config: CausalityConfig,
     graph: SyncGraph,
     table: EventTable,
-    /// Per dense event `e`: events `e'` with `end(e') ≺ begin(e)`.
-    before_begin: Vec<BitSet>,
     stats: DerivationStats,
     topo: Vec<NodeId>,
-    /// Lazily built constant-time reachability index; once present,
-    /// operation-level queries skip the DFS. Answers are identical
-    /// either way, so building it never changes a report.
-    oracle: OnceLock<ReachOracle>,
+    backend: Backend,
+}
+
+/// How a model answers derived-order queries. Both backends compute the
+/// same least fixpoint of the §3.3 rules, so every query answers
+/// identically; they differ only in when the work happens.
+#[derive(Debug)]
+enum Backend {
+    /// All derived edges materialized at build time (the graph holds
+    /// the fixpoint), with the event-order closure as a bit matrix.
+    Eager {
+        /// Per dense event `e`: events `e'` with `end(e') ≺ begin(e)`.
+        before_begin: Vec<BitSet>,
+        /// Lazily built constant-time reachability index; once present,
+        /// operation-level queries skip the DFS. Answers are identical
+        /// either way, so building it never changes a report.
+        oracle: OnceLock<Box<ReachOracle>>,
+    },
+    /// Rules evaluated lazily per query (see `demand.rs`); the
+    /// graph holds only base edges. The mutex keeps the model `Sync`
+    /// so detector passes can fan queries across threads; answers are
+    /// pure functions of the unique least fixpoint, so results do not
+    /// depend on thread count or interleaving.
+    Demand(Box<Mutex<DemandCore>>),
+}
+
+impl Backend {
+    fn demand(&self) -> Option<std::sync::MutexGuard<'_, DemandCore>> {
+        match self {
+            Backend::Demand(core) => Some(core.lock().unwrap_or_else(|poison| poison.into_inner())),
+            Backend::Eager { .. } => None,
+        }
+    }
 }
 
 impl<'t> HbModel<'t> {
@@ -91,6 +134,18 @@ impl<'t> HbModel<'t> {
     /// Returns [`HbError`] if the trace implies a cyclic happens-before
     /// relation or the rule fixpoint diverges.
     pub fn build(trace: &'t Trace, config: CausalityConfig) -> Result<Self, HbError> {
+        let table = EventTable::new(trace)?;
+        if use_demand(table.len()) {
+            return Self::build_demand(trace, config);
+        }
+        Self::build_eager(trace, config)
+    }
+
+    /// Builds a model with the eager backend regardless of trace size
+    /// or `CAFA_HB_ENGINE`. Exposed (hidden) so the differential suite
+    /// can pin one engine on each side of a comparison.
+    #[doc(hidden)]
+    pub fn build_eager(trace: &'t Trace, config: CausalityConfig) -> Result<Self, HbError> {
         let (mut graph, sends) = base_graph_with_sends(trace, &config);
         let mut st = FixpointState::new(trace)?;
         st.add_sends(&sends);
@@ -99,6 +154,30 @@ impl<'t> HbModel<'t> {
         // closure; reuse them instead of re-sweeping the graph.
         let closure = st.converged_closure(&graph);
         Self::from_parts(trace, config, graph, stats, closure)
+    }
+
+    /// Builds a model with the demand-driven backend regardless of
+    /// trace size. [`build`](HbModel::build) selects this automatically
+    /// above [`DEMAND_AUTO_THRESHOLD`] events; exposed (hidden) so the
+    /// differential suite can force the choice.
+    #[doc(hidden)]
+    pub fn build_demand(trace: &'t Trace, config: CausalityConfig) -> Result<Self, HbError> {
+        let (graph, sends) = base_graph_with_sends(trace, &config);
+        let topo = graph
+            .topo_order()
+            .map_err(|nodes| HbError::cyclic(&graph, &nodes))?;
+        let table = EventTable::new(trace)?;
+        let mut core = DemandCore::new(&graph, table.clone(), config);
+        core.register_sends(&graph, &sends);
+        Ok(Self {
+            trace,
+            config,
+            graph,
+            table,
+            stats: DerivationStats::default(),
+            topo,
+            backend: Backend::Demand(Box::new(Mutex::new(core))),
+        })
     }
 
     /// Assembles a model from an already-derived graph (the incremental
@@ -142,10 +221,12 @@ impl<'t> HbModel<'t> {
             config,
             graph,
             table,
-            before_begin,
             stats,
             topo,
-            oracle: OnceLock::new(),
+            backend: Backend::Eager {
+                before_begin,
+                oracle: OnceLock::new(),
+            },
         })
     }
 
@@ -154,15 +235,53 @@ impl<'t> HbModel<'t> {
     /// (`0` = auto; see [`crate::resolve_threads`]). Subsequent
     /// [`happens_before`](HbModel::happens_before) queries use the
     /// index instead of a DFS.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a demand-backend model: its graph holds only base
+    /// edges, so an oracle over it would answer without the derived
+    /// orders. Use [`ensure_reachability`](HbModel::ensure_reachability)
+    /// for backend-agnostic preparation.
     pub fn ensure_oracle(&self, threads: usize) -> &ReachOracle {
-        self.oracle
-            .get_or_init(|| ReachOracle::build_with_topo(&self.graph, &self.topo, threads))
+        match &self.backend {
+            Backend::Eager { oracle, .. } => oracle.get_or_init(|| {
+                Box::new(ReachOracle::build_with_topo(
+                    &self.graph,
+                    &self.topo,
+                    threads,
+                ))
+            }),
+            Backend::Demand(_) => {
+                panic!("ensure_oracle is eager-only; demand models answer queries lazily")
+            }
+        }
+    }
+
+    /// Prepares whatever reachability index the backend uses for bulk
+    /// operation-level queries and reports its node coverage: the
+    /// [`ReachOracle`] (built with `threads` workers) on the eager
+    /// backend; a no-op on the demand backend, whose queries settle
+    /// their own cones. Both return the graph's node count, so pass
+    /// accounting is backend-independent.
+    pub fn ensure_reachability(&self, threads: usize) -> usize {
+        match &self.backend {
+            Backend::Eager { .. } => self.ensure_oracle(threads).node_count(),
+            Backend::Demand(_) => self.graph.node_count(),
+        }
     }
 
     /// The reachability index, if [`ensure_oracle`](HbModel::ensure_oracle)
-    /// has been called.
+    /// has been called (never on the demand backend).
     pub fn oracle(&self) -> Option<&ReachOracle> {
-        self.oracle.get()
+        match &self.backend {
+            Backend::Eager { oracle, .. } => oracle.get().map(Box::as_ref),
+            Backend::Demand(_) => None,
+        }
+    }
+
+    /// Work counters of the demand engine, when this model uses it.
+    pub fn demand_stats(&self) -> Option<DemandStats> {
+        self.backend.demand().map(|core| core.stats())
     }
 
     /// The analyzed trace.
@@ -199,7 +318,13 @@ impl<'t> HbModel<'t> {
     pub fn event_before(&self, e1: TaskId, e2: TaskId) -> bool {
         let i1 = self.table.dense(e1).expect("e1 must be an event");
         let i2 = self.table.dense(e2).expect("e2 must be an event");
-        self.before_begin[i2 as usize].contains(i1 as usize)
+        match &self.backend {
+            Backend::Eager { before_begin, .. } => before_begin[i2 as usize].contains(i1 as usize),
+            Backend::Demand(_) => {
+                let mut core = self.backend.demand().expect("demand backend");
+                core.event_before(&self.graph, i1, i2)
+            }
+        }
     }
 
     /// True when two distinct events are logically concurrent (neither
@@ -223,10 +348,20 @@ impl<'t> HbModel<'t> {
         if a.task == b.task {
             return a.index < b.index;
         }
+        let Backend::Eager {
+            before_begin,
+            oracle,
+        } = &self.backend
+        else {
+            let from = self.graph.bracket_after(a);
+            let to = self.graph.bracket_before(b);
+            let mut core = self.backend.demand().expect("demand backend");
+            return core.reaches(&self.graph, from, to);
+        };
         // Event-level fast path: full order between the containing events
         // orders every operation pair.
         if let (Some(i1), Some(i2)) = (self.table.dense(a.task), self.table.dense(b.task)) {
-            if self.before_begin[i2 as usize].contains(i1 as usize) {
+            if before_begin[i2 as usize].contains(i1 as usize) {
                 return true;
             }
             // The converse ordering rules out a forward path only if the
@@ -236,7 +371,7 @@ impl<'t> HbModel<'t> {
         }
         let from = self.graph.bracket_after(a);
         let to = self.graph.bracket_before(b);
-        if let Some(oracle) = self.oracle.get() {
+        if let Some(oracle) = oracle.get() {
             return oracle.reaches(from, to);
         }
         let mut scratch = BitSet::new(self.graph.node_count());
@@ -298,7 +433,12 @@ impl<'t> HbModel<'t> {
         }
         let from = self.graph.bracket_after(a);
         let to = self.graph.bracket_before(b);
-        let path = self.graph.find_path(from, to)?;
+        // The demand backend's derived edges are not in the graph;
+        // its path finder walks base and derived adjacency together.
+        let path = match self.backend.demand() {
+            Some(mut core) => core.find_path(&self.graph, from, to)?,
+            None => self.graph.find_path(from, to)?,
+        };
         Some(
             path.into_iter()
                 .map(|(f, kind, t)| CauseStep {
@@ -316,6 +456,18 @@ impl<'t> HbModel<'t> {
     /// source and any `b` — the detector uses this with all use/free
     /// sites as sources.
     pub fn batch(&self, sources: &[OpRef]) -> BatchReach<'_, 't> {
+        if matches!(self.backend, Backend::Demand(_)) {
+            // The flow sweep below reads the materialized relation; the
+            // demand backend answers each pair through its query engine
+            // instead (still one settled fixpoint — just no bulk index).
+            return BatchReach {
+                model: self,
+                sources: sources.to_vec(),
+                group: Vec::new(),
+                acc: Vec::new(),
+                pointwise: true,
+            };
+        }
         let mut marks: Vec<Option<u32>> = vec![None; self.graph.node_count()];
         // Multiple sources may share a bracket node; give each node the
         // list position of one representative and remap afterwards.
@@ -339,6 +491,7 @@ impl<'t> HbModel<'t> {
             sources: sources.to_vec(),
             group: node_group,
             acc,
+            pointwise: false,
         }
     }
 }
@@ -350,6 +503,8 @@ pub struct BatchReach<'m, 't> {
     sources: Vec<OpRef>,
     group: Vec<u32>,
     acc: Vec<BitSet>,
+    /// Demand-backend mode: answer per pair via the query engine.
+    pointwise: bool,
 }
 
 impl BatchReach<'_, '_> {
@@ -367,6 +522,9 @@ impl BatchReach<'_, '_> {
         let a = self.sources[i];
         if a.task == b.task {
             return a.index < b.index;
+        }
+        if self.pointwise {
+            return self.model.happens_before(a, b);
         }
         let to = self.model.graph.bracket_before(b);
         self.acc[to as usize].contains(self.group[i] as usize)

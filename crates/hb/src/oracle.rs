@@ -215,7 +215,7 @@ impl ReachOracle {
         let mut end_index = vec![NO_ROW; chains];
         let mut end_chains: Vec<u32> = Vec::new();
         for u in 0..v {
-            for &(s, kind) in graph.succs(u as NodeId) {
+            for (s, kind) in graph.succs(u as NodeId) {
                 let s = s as usize;
                 let c = chain[s];
                 if pos[s] == END_POS {
@@ -246,7 +246,7 @@ impl ReachOracle {
                 let mut acc = [0u64; BLOCK_WORDS];
                 for &u in topo.iter().rev() {
                     acc[..width].fill(0);
-                    for &(s, _) in graph.succs(u) {
+                    for (s, _) in graph.succs(u) {
                         let si = s as usize;
                         if pos[si] == 0 {
                             let c = chain[si] as usize;
@@ -274,7 +274,7 @@ impl ReachOracle {
                 let c = mid_chains[m];
                 for &u in topo.iter().rev() {
                     let mut e = NO_ROW;
-                    for &(s, _) in graph.succs(u) {
+                    for (s, _) in graph.succs(u) {
                         let si = s as usize;
                         if chain[si] == c && pos[si] != END_POS {
                             e = e.min(pos[si]);
@@ -298,8 +298,7 @@ impl ReachOracle {
                 for &u in topo.iter().rev() {
                     let hit = graph
                         .succs(u)
-                        .iter()
-                        .any(|&(s, _)| s == target || (row[s as usize / 64] >> (s % 64)) & 1 == 1);
+                        .any(|(s, _)| s == target || (row[s as usize / 64] >> (s % 64)) & 1 == 1);
                     if hit {
                         row[u as usize / 64] |= 1u64 << (u % 64);
                     }
@@ -460,15 +459,14 @@ impl ReachOracle {
             // Sealed means the program tail → end edge exists (kind
             // checked: a forged non-program edge into the end is not a
             // seal, and forces a rebuild via the cross-count check).
-            let sealed = graph.preds(end).iter().any(|&p| {
+            let sealed = graph.preds(end).any(|p| {
                 at(p as usize).0 as usize == c
                     && graph
                         .succs(p)
-                        .iter()
-                        .any(|&(s, k)| s == end && k == EdgeKind::Program)
+                        .any(|(s, k)| s == end && k == EdgeKind::Program)
             });
             if sealed {
-                if self.linked_until[c] != END_POS && !graph.succs(end).is_empty() {
+                if self.linked_until[c] != END_POS && graph.succs(end).next().is_some() {
                     return false; // newly sealed, end has out-edges
                 }
                 linked[c] = END_POS;

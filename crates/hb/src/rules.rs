@@ -47,6 +47,18 @@ use crate::graph::{EdgeKind, NodeId, SyncGraph};
 /// Upper bound on fixpoint rounds; real traces converge in a handful.
 const MAX_ROUNDS: u32 = 64;
 
+/// Below this many events the semi-naive engine skips its frontier
+/// propagation machinery (worklist heap, dirty-anchor filtering) and
+/// refreshes rows with plain full sweeps each round, like the naive
+/// engine — at small sizes the per-round heap overhead costs more than
+/// the sweeps it avoids (the `synthetic/500` tier of
+/// `BENCH_fixpoint.json` ran 0.6× naive speed before this cutoff).
+/// Rows, memos, and fired edges are identical either way: a full sweep
+/// computes the same exact reachability rows propagation maintains, and
+/// re-evaluating a clean anchor finds no fresh candidates (its premise
+/// row is unchanged and everything in it is memoized).
+const SMALL_EVENT_CUTOFF: usize = 768;
+
 /// Dense numbering of the event tasks of a trace.
 #[derive(Clone, Debug)]
 pub struct EventTable {
@@ -322,7 +334,7 @@ pub(crate) fn flow(
     let mut acc: Vec<BitSet> = vec![BitSet::new(0); g.node_count()];
     for &n in topo {
         let mut row = BitSet::new(width);
-        for &p in g.preds(n) {
+        for p in g.preds(n) {
             row.union_with(&acc[p as usize]);
             if let Some(m) = mark_of[p as usize] {
                 row.insert(m as usize);
@@ -375,6 +387,20 @@ pub fn derive(
     let mut st = FixpointState::new(trace)?;
     st.add_sends(&collect_sends(g, trace));
     fixpoint(g, config, &mut st)
+}
+
+/// The eager reference engine under its differential-testing name:
+/// materializes every derived edge of the §3.3 fixpoint into `g`, like
+/// [`derive`]. Production query paths go through the demand engine
+/// (`demand.rs`) on large traces; this entry point exists so
+/// differential suites can compare the demand engine's lazy answers
+/// against the fully materialized relation.
+pub fn derive_eager_reference(
+    g: &mut SyncGraph,
+    trace: &Trace,
+    config: &CausalityConfig,
+) -> Result<DerivationStats, HbError> {
+    derive(g, trace, config)
 }
 
 /// The naive reference derivation: identical signature and result to
@@ -773,7 +799,7 @@ fn propagate_rows(
             row = BitSet::new(width);
         }
         let mut grew = false;
-        for &p in g.preds(n) {
+        for p in g.preds(n) {
             grew |= row.union_with(&rows[p as usize]);
             if let Some(m) = marks[p as usize] {
                 grew |= row.insert(m as usize);
@@ -782,7 +808,7 @@ fn propagate_rows(
         rows[n as usize] = row;
         if grew {
             on_changed(n);
-            for &(s, _) in g.succs(n) {
+            for (s, _) in g.succs(n) {
                 if queued.insert(s as usize) {
                     heap.push(Reverse((topo_pos[s as usize], s)));
                 }
@@ -1016,6 +1042,21 @@ pub(crate) fn fixpoint_with_limit(
         // of the *current* graph (required by [`propagate_rows`]).
         {
             let rows = rows_slot.as_mut().expect("rows built above");
+            if rows.edges_applied < g.edge_log().len() && ev_count < SMALL_EVENT_CUTOFF {
+                // Small-trace path: full sweeps, every anchor re-checked
+                // (see [`SMALL_EVENT_CUTOFF`]); results are identical.
+                rows.acc_end = flow(g, &topo, &marks.end_marks, ev_count);
+                if rows.acc_begin.is_some() {
+                    rows.acc_begin = Some(flow(g, &topo, &marks.begin_marks, ev_count));
+                }
+                if track_send {
+                    rows.acc_send = Some(flow(g, &topo, &marks.send_marks, sends.len()));
+                    rows.send_width = sends.len();
+                }
+                rows.node_count = g.node_count();
+                rows.edges_applied = g.edge_log().len();
+                dirty_all = true;
+            }
             if rows.edges_applied < g.edge_log().len() {
                 arena.dirty.clear();
                 let suffix = &g.edge_log()[rows.edges_applied..];

@@ -1,0 +1,130 @@
+//! Deterministic edge-case units for the demand-driven query engine —
+//! the cases the differential proptest suites cover only by accident:
+//! self-queries, queries probing still-unsealed tasks, and memo
+//! invalidation when an [`IncrementalHb`] extends the graph under a
+//! live query index. No proptest here: every trace is built by hand so
+//! a failure names its scenario.
+
+use cafa_hb::{CausalityConfig, HbModel, IncrementalHb};
+use cafa_trace::{DerefKind, ObjId, Pc, TaskId, Trace, TraceBuilder, VarId};
+
+/// A one-process app where the main thread posts `first` and `second`
+/// back-to-back with equal delays (queue rule 1 orders them), and
+/// `first` itself posts `nested` (atomicity orders `first` before it).
+fn chain_trace() -> (Trace, TaskId, TaskId, TaskId, TaskId) {
+    let mut b = TraceBuilder::new("demand-units");
+    let p = b.add_process();
+    let q = b.add_queue(p);
+    let t = b.add_thread(p, "main");
+    let first = b.post(t, q, "first", 2);
+    let second = b.post(t, q, "second", 2);
+    b.process_event(first);
+    b.obj_read(first, VarId::new(0), Some(ObjId::new(1)), Pc::new(0x1010));
+    b.deref(first, ObjId::new(1), Pc::new(0x1014), DerefKind::Field);
+    let nested = b.post(first, q, "nested", 0);
+    b.process_event(second);
+    b.obj_write(second, VarId::new(0), None, Pc::new(0x2010));
+    b.process_event(nested);
+    (b.finish().unwrap(), t, first, second, nested)
+}
+
+#[test]
+fn self_query_is_never_ordered() {
+    let (trace, _, first, second, nested) = chain_trace();
+    let model =
+        HbModel::build_demand(&trace, CausalityConfig::cafa()).expect("chain trace is acyclic");
+    for e in [first, second, nested] {
+        assert!(
+            !model.event_before(e, e),
+            "event {e} must not precede itself"
+        );
+    }
+    // Operation-level hb(a, a) is false too — same task, same index.
+    for (op, _) in trace.iter_ops() {
+        assert!(!model.happens_before(op, op), "op {op:?} preceding itself");
+    }
+    // ...while genuinely ordered pairs still answer true.
+    assert!(model.event_before(first, second), "rule 1 orders the posts");
+}
+
+/// An unsealed task's `end` is disconnected, so no rule premise can
+/// complete around it: the atomicity edge `end(first) ≺ begin(nested)`
+/// needs `begin(first) ≺ end(nested)`, and that premise probes the
+/// *unsealed* `nested`'s end. The demand engine must answer false —
+/// lazily evaluating the rule is not allowed to peek past the seal.
+#[test]
+fn queries_against_unsealed_tasks_stay_unordered() {
+    let (trace, t, first, second, nested) = chain_trace();
+    let config = CausalityConfig::cafa();
+    let mut inc = IncrementalHb::new(&trace, config).expect("well-formed trace");
+
+    // Nothing sealed: no send is registered, nothing is ordered.
+    assert!(!inc.demand_event_before(first, second));
+    assert!(!inc.demand_event_before(first, nested));
+
+    // Sender sealed: both top-level sends are registered, so rule 1
+    // orders first ≺ second even though neither event body is sealed —
+    // the premises live entirely in the sealed sender.
+    inc.seal(&trace, t);
+    assert!(inc.demand_event_before(first, second));
+
+    // But first ≺ nested still needs the atomicity premise through
+    // end(nested), and `nested` is unsealed: must stay unordered.
+    inc.seal(&trace, first);
+    inc.seal(&trace, second);
+    assert!(
+        !inc.demand_event_before(first, nested),
+        "atomicity premise completed through an unsealed task's end"
+    );
+
+    inc.seal(&trace, nested);
+    assert!(
+        inc.demand_event_before(first, nested),
+        "sealing nested completes the atomicity premise"
+    );
+}
+
+/// Extending the graph must invalidate exactly the memoized state the
+/// new edges can reach: a query answered `false` before a seal flips
+/// to `true` after it, and a repeated query with no extension in
+/// between is a pure memo hit (no new premise evaluations).
+#[test]
+fn memos_invalidate_across_incremental_extension() {
+    let (trace, t, first, second, nested) = chain_trace();
+    let config = CausalityConfig::cafa();
+    let mut inc = IncrementalHb::new(&trace, config).expect("well-formed trace");
+    inc.seal(&trace, t);
+    inc.seal(&trace, first);
+    inc.seal(&trace, second);
+
+    // Settle the (currently-false) answer and memoize it.
+    assert!(!inc.demand_event_before(first, nested));
+    let before = inc.demand_stats().expect("queries ran");
+
+    // Re-asking the settled query costs no rule work.
+    assert!(!inc.demand_event_before(first, nested));
+    let repeat = inc.demand_stats().expect("queries ran");
+    assert_eq!(repeat.queries, before.queries + 1);
+    assert_eq!(
+        repeat.premises, before.premises,
+        "memoized query re-evaluated premises"
+    );
+
+    // Sealing `nested` adds its bracket edges; the invalidation sweep
+    // must reach the memoized root and flip the answer.
+    inc.seal(&trace, nested);
+    assert!(
+        inc.demand_event_before(first, nested),
+        "stale memo survived the extension"
+    );
+    let after = inc.demand_stats().expect("queries ran");
+    assert!(
+        after.premises > repeat.premises,
+        "the flipped answer must come from re-evaluated rules"
+    );
+
+    // And the refreshed answer memoizes again.
+    assert!(inc.demand_event_before(first, nested));
+    let settled = inc.demand_stats().expect("queries ran");
+    assert_eq!(settled.premises, after.premises);
+}

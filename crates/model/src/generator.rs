@@ -16,7 +16,7 @@ use crate::lower::{lower, AppSpec};
 
 /// SplitMix64's output mix (Steele et al.); also used to whiten the
 /// per-app seed derivation.
-fn mix(mut z: u64) -> u64 {
+pub(crate) fn mix(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
@@ -24,29 +24,29 @@ fn mix(mut z: u64) -> u64 {
 
 /// A tiny deterministic PRNG (SplitMix64). Hand-rolled so corpus
 /// identity depends on nothing but this file.
-struct Rng {
+pub(crate) struct Rng {
     state: u64,
 }
 
 impl Rng {
-    fn new(seed: u64) -> Self {
+    pub(crate) fn new(seed: u64) -> Self {
         Self { state: seed }
     }
 
-    fn next(&mut self) -> u64 {
+    pub(crate) fn next(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
         mix(self.state)
     }
 
     /// Uniform-ish integer in `lo..=hi` (modulo bias is irrelevant
     /// here: only determinism matters, and ranges are tiny).
-    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+    pub(crate) fn range(&mut self, lo: u64, hi: u64) -> u64 {
         debug_assert!(lo <= hi);
         lo + self.next() % (hi - lo + 1)
     }
 
     /// True with probability `num`/`den`.
-    fn chance(&mut self, num: u64, den: u64) -> bool {
+    pub(crate) fn chance(&mut self, num: u64, den: u64) -> bool {
         self.next() % den < num
     }
 }

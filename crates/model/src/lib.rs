@@ -39,6 +39,7 @@ mod generator;
 mod lower;
 pub mod patterns;
 mod pipelines;
+pub mod scale;
 pub mod text;
 mod truth;
 

@@ -1,0 +1,407 @@
+//! Scale-tier synthetic fleet traces (100k–1M events).
+//!
+//! The catalog generator ([`crate::generate`]) lowers DSL models
+//! through `cafa-sim`, which is faithful but far too slow (and far too
+//! densely connected) for million-event scaling studies. This module
+//! builds traces directly on [`TraceBuilder`], shaped the way a fleet
+//! of independent app sessions looks to a multi-tenant ingest server:
+//! many small **islands**, each with its own process, event queue, and
+//! a couple of driver threads, plus a pump thread padding the queue
+//! with empty ticks. Islands share nothing — no cross-island posts,
+//! joins, or RPC — so happens-before cones stay island-sized no matter
+//! how many islands the trace holds. That is precisely the workload
+//! the demand-driven query engine is built for: rule work per query is
+//! bounded by an island, not the trace, so total rule work stays
+//! linear in the number of *planted patterns* while the event count
+//! scales freely with filler.
+//!
+//! Every island plants labeled patterns drawn from the Table 1
+//! taxonomy, each on a fresh pointer variable so the oracle join in
+//! the scale-corpus tests is exact:
+//!
+//! * **harmful (a)** — two same-looper events, posted by independent
+//!   drivers, racing use against free (intra-thread; invisible to
+//!   thread-based detectors);
+//! * **harmful (b)** — a driver-thread use racing an event free that
+//!   the conventional total event order *would* serialize (the column
+//!   only CAFA's relaxed order exposes);
+//! * **harmful (c)** — a plain thread-vs-thread race the conventional
+//!   model also reports;
+//! * **fp** — the harmful (a) shape on a commutative flag the
+//!   heuristics cannot prove safe (§6.3 Type II): reported, benign;
+//! * **filtered** — a same-looper candidate the §4.3 heuristics
+//!   suppress (intra-event allocation or an if-guard, alternating);
+//! * **ordered** — sequential equal-delay posts from one driver, so
+//!   queue rule 1 orders the pair and nothing is reported.
+//!
+//! Determinism is absolute: the trace and label table are a pure
+//! function of [`ScaleConfig`], built with the crate's private
+//! SplitMix64 stream — same config, same bytes, on any machine.
+
+use cafa_trace::{
+    BranchKind, DerefKind, ObjId, Pc, ProcessId, QueueId, TaskId, Trace, TraceBuilder, VarId,
+};
+
+use crate::generator::{mix, Rng};
+use crate::truth::{FpType, GroundTruth, Label, TrueClass};
+
+/// Parameters of one scale-tier trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScaleConfig {
+    /// Corpus seed; every byte of the trace derives from it.
+    pub seed: u64,
+    /// Generation stops at the first island boundary at or past this
+    /// many events.
+    pub target_events: usize,
+}
+
+impl ScaleConfig {
+    /// A tier of `target_events` under `seed`.
+    pub fn new(seed: u64, target_events: usize) -> Self {
+        Self {
+            seed,
+            target_events,
+        }
+    }
+}
+
+/// A generated scale-tier workload: the trace plus its label oracle.
+#[derive(Debug)]
+pub struct ScaleApp {
+    /// The recorded trace.
+    pub trace: Trace,
+    /// Ground-truth labels, one per planted pattern variable.
+    pub truth: GroundTruth,
+    /// Number of independent islands the trace contains.
+    pub islands: usize,
+    /// Exact event count (≥ the configured target).
+    pub events: usize,
+}
+
+/// Monotone id/address allocator shared by all islands, so every
+/// pattern gets a fresh variable, a fresh object, and its own 4 KiB
+/// method block (if-guard regions never alias across patterns).
+struct Alloc {
+    next_var: u32,
+    next_obj: u32,
+    next_block: u32,
+}
+
+impl Alloc {
+    fn var(&mut self) -> VarId {
+        self.next_var += 1;
+        VarId::new(self.next_var - 1)
+    }
+
+    fn obj(&mut self) -> ObjId {
+        self.next_obj += 1;
+        ObjId::new(self.next_obj - 1)
+    }
+
+    /// Base address of a fresh method block.
+    fn block(&mut self) -> Pc {
+        self.next_block += 1;
+        Pc::new((self.next_block - 1) * Pc::METHOD_BLOCK)
+    }
+}
+
+/// One island's fixed cast.
+struct Island {
+    queue: QueueId,
+    /// Independent driver threads; mutually concurrent.
+    t1: TaskId,
+    t2: TaskId,
+    /// Filler-only thread, never referenced by a pattern.
+    pump: TaskId,
+}
+
+/// Generates a labeled scale-tier trace.
+///
+/// # Examples
+///
+/// ```
+/// use cafa_model::scale::{generate_scale, ScaleConfig};
+///
+/// let app = generate_scale(ScaleConfig::new(42, 2_000));
+/// assert!(app.events >= 2_000);
+/// assert!(app.truth.len() >= app.islands); // ≥ one pattern per island
+/// ```
+///
+/// # Panics
+///
+/// Panics if the generated trace fails validation — impossible by
+/// construction; a panic indicates a bug in this module.
+pub fn generate_scale(config: ScaleConfig) -> ScaleApp {
+    let mut b = TraceBuilder::new(format!("scale-s{}-e{}", config.seed, config.target_events));
+    b.set_seed(config.seed);
+    let mut truth = GroundTruth::new();
+    let mut rng = Rng::new(mix(config.seed ^ 0x5ca1_ab1e));
+    let mut ids = Alloc {
+        next_var: 0,
+        next_obj: 0,
+        next_block: 1,
+    };
+    let mut events = 0usize;
+    let mut islands = 0usize;
+    while events < config.target_events {
+        events += build_island(&mut b, &mut truth, &mut rng, &mut ids, islands);
+        islands += 1;
+    }
+    let trace = b.finish().expect("generated scale trace is well-formed");
+    ScaleApp {
+        trace,
+        truth,
+        islands,
+        events,
+    }
+}
+
+/// Builds one island and returns how many events it added.
+fn build_island(
+    b: &mut TraceBuilder,
+    truth: &mut GroundTruth,
+    rng: &mut Rng,
+    ids: &mut Alloc,
+    index: usize,
+) -> usize {
+    let p = b.add_process();
+    let island = Island {
+        queue: b.add_queue(p),
+        t1: b.add_thread(p, "driver-0"),
+        t2: b.add_thread(p, "driver-1"),
+        pump: b.add_thread(p, "pump"),
+    };
+    let mut events = 0usize;
+
+    // Rotate the harmful class so every tier carries all three
+    // Table 1 columns regardless of where generation stops.
+    events += match index % 3 {
+        0 => plant_harmful_a(b, truth, ids, &island),
+        1 => plant_harmful_b(b, truth, ids, &island),
+        _ => plant_harmful_c(b, truth, ids, &island, p),
+    };
+    if rng.chance(1, 2) {
+        events += plant_fp(b, truth, ids, &island);
+    }
+    if rng.chance(1, 2) {
+        let guard_variant = rng.chance(1, 2);
+        events += plant_filtered(b, truth, ids, &island, guard_variant);
+    }
+    if rng.chance(1, 2) {
+        events += plant_ordered(b, truth, ids, &island);
+    }
+
+    // Empty queue ticks: volume without rule work. Nothing reads or
+    // writes in them, so no query ever probes their cones.
+    let filler = rng.range(40, 170) as usize;
+    for _ in 0..filler {
+        let e = b.post(island.pump, island.queue, "pump-tick", 0);
+        b.process_event(e);
+    }
+    events + filler
+}
+
+/// Harmful (a): use and free in two events of the island's looper,
+/// posted by independent drivers — no queue rule fires (the sends are
+/// unordered), so CAFA reports the pair; both endpoints share the
+/// looper, so the class is intra-thread.
+fn plant_harmful_a(
+    b: &mut TraceBuilder,
+    truth: &mut GroundTruth,
+    ids: &mut Alloc,
+    i: &Island,
+) -> usize {
+    let (var, obj, pc) = (ids.var(), ids.obj(), ids.block());
+    let e_use = b.post(i.t1, i.queue, "a-use", 0);
+    let e_free = b.post(i.t2, i.queue, "a-free", 0);
+    b.process_event(e_use);
+    b.obj_read(e_use, var, Some(obj), pc.offset(0x10));
+    b.deref(e_use, obj, pc.offset(0x14), DerefKind::Invoke);
+    b.process_event(e_free);
+    b.obj_write(e_free, var, None, pc.offset(0x20));
+    truth.insert(
+        var,
+        Label::Harmful {
+            class: TrueClass::IntraThread,
+            known: false,
+        },
+    );
+    2
+}
+
+/// Harmful (b): the driver uses the pointer, *then* posts an event;
+/// an independent driver's later-processed event frees it. The
+/// conventional total event order chains the two events, serializing
+/// use before free — only CAFA's relaxed order exposes the race.
+fn plant_harmful_b(
+    b: &mut TraceBuilder,
+    truth: &mut GroundTruth,
+    ids: &mut Alloc,
+    i: &Island,
+) -> usize {
+    let (var, obj, pc) = (ids.var(), ids.obj(), ids.block());
+    b.obj_read(i.t1, var, Some(obj), pc.offset(0x10));
+    b.deref(i.t1, obj, pc.offset(0x14), DerefKind::Field);
+    let e_anchor = b.post(i.t1, i.queue, "b-anchor", 5);
+    let e_free = b.post(i.t2, i.queue, "b-free", 5);
+    b.process_event(e_anchor);
+    b.process_event(e_free);
+    b.obj_write(e_free, var, None, pc.offset(0x20));
+    truth.insert(
+        var,
+        Label::Harmful {
+            class: TrueClass::InterThread,
+            known: false,
+        },
+    );
+    2
+}
+
+/// Harmful (c): a plain thread-vs-thread race on a child the island
+/// forks — concurrent under the conventional model too.
+fn plant_harmful_c(
+    b: &mut TraceBuilder,
+    truth: &mut GroundTruth,
+    ids: &mut Alloc,
+    i: &Island,
+    p: ProcessId,
+) -> usize {
+    let (var, obj, pc) = (ids.var(), ids.obj(), ids.block());
+    let worker = b.fork(i.t1, p, "worker");
+    b.obj_read(worker, var, Some(obj), pc.offset(0x10));
+    b.deref(worker, obj, pc.offset(0x14), DerefKind::Field);
+    b.obj_write(i.t2, var, None, pc.offset(0x20));
+    truth.insert(
+        var,
+        Label::Harmful {
+            class: TrueClass::Conventional,
+            known: false,
+        },
+    );
+    0
+}
+
+/// False positive (§6.3 Type II): structurally identical to harmful
+/// (a), but the raced value is a commutative flag — the detector
+/// reports it, the oracle knows better.
+fn plant_fp(b: &mut TraceBuilder, truth: &mut GroundTruth, ids: &mut Alloc, i: &Island) -> usize {
+    let (var, obj, pc) = (ids.var(), ids.obj(), ids.block());
+    let e_use = b.post(i.t1, i.queue, "fp-use", 0);
+    let e_free = b.post(i.t2, i.queue, "fp-free", 0);
+    b.process_event(e_use);
+    b.obj_read(e_use, var, Some(obj), pc.offset(0x10));
+    b.deref(e_use, obj, pc.offset(0x14), DerefKind::Invoke);
+    b.process_event(e_free);
+    b.obj_write(e_free, var, None, pc.offset(0x20));
+    truth.insert(
+        var,
+        Label::Benign {
+            fp: FpType::ImpreciseCommutativity,
+        },
+    );
+    2
+}
+
+/// Filtered: a same-looper concurrent pair the §4.3 heuristics
+/// suppress — either an intra-event allocation feeding the use, or an
+/// if-eqz guard whose safe region covers it.
+fn plant_filtered(
+    b: &mut TraceBuilder,
+    truth: &mut GroundTruth,
+    ids: &mut Alloc,
+    i: &Island,
+    guard_variant: bool,
+) -> usize {
+    let (var, obj, pc) = (ids.var(), ids.obj(), ids.block());
+    let e_use = b.post(i.t1, i.queue, "filtered-use", 0);
+    let e_free = b.post(i.t2, i.queue, "filtered-free", 0);
+    b.process_event(e_use);
+    if guard_variant {
+        // `if (p != null) p.run();` — the guarded read at +0x18 sits
+        // inside the if-eqz fall-through region (+0x14, +0x40).
+        b.obj_read(e_use, var, Some(obj), pc.offset(0x10));
+        b.guard(
+            e_use,
+            BranchKind::IfEqz,
+            pc.offset(0x14),
+            pc.offset(0x40),
+            obj,
+        );
+        b.obj_read(e_use, var, Some(obj), pc.offset(0x18));
+        b.deref(e_use, obj, pc.offset(0x1c), DerefKind::Invoke);
+    } else {
+        // Allocation before use within the event.
+        b.obj_write(e_use, var, Some(obj), pc.offset(0x10));
+        b.obj_read(e_use, var, Some(obj), pc.offset(0x14));
+        b.deref(e_use, obj, pc.offset(0x18), DerefKind::Invoke);
+    }
+    b.process_event(e_free);
+    b.obj_write(e_free, var, None, pc.offset(0x20));
+    truth.insert(var, Label::Filtered);
+    2
+}
+
+/// Ordered: one driver posts use-event then free-event with equal
+/// delays, so queue rule 1 derives `end(use) ≺ begin(free)` and the
+/// pair never becomes a candidate. (An EventRacer-style model without
+/// queue rules would report it — the §7.1.1 comparison.)
+fn plant_ordered(
+    b: &mut TraceBuilder,
+    truth: &mut GroundTruth,
+    ids: &mut Alloc,
+    i: &Island,
+) -> usize {
+    let (var, obj, pc) = (ids.var(), ids.obj(), ids.block());
+    let e_use = b.post(i.t1, i.queue, "ordered-use", 3);
+    let e_free = b.post(i.t1, i.queue, "ordered-free", 3);
+    b.process_event(e_use);
+    b.obj_read(e_use, var, Some(obj), pc.offset(0x10));
+    b.deref(e_use, obj, pc.offset(0x14), DerefKind::Invoke);
+    b.process_event(e_free);
+    b.obj_write(e_free, var, None, pc.offset(0x20));
+    truth.insert(var, Label::Ordered);
+    2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_config_is_byte_identical() {
+        let a = generate_scale(ScaleConfig::new(7, 3_000));
+        let b = generate_scale(ScaleConfig::new(7, 3_000));
+        assert_eq!(
+            cafa_trace::to_binary_vec(&a.trace),
+            cafa_trace::to_binary_vec(&b.trace)
+        );
+        assert_eq!(a.islands, b.islands);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_scale(ScaleConfig::new(7, 3_000));
+        let b = generate_scale(ScaleConfig::new(8, 3_000));
+        assert_ne!(
+            cafa_trace::to_binary_vec(&a.trace),
+            cafa_trace::to_binary_vec(&b.trace)
+        );
+    }
+
+    #[test]
+    fn meets_target_and_labels_every_island() {
+        let app = generate_scale(ScaleConfig::new(42, 5_000));
+        assert!(app.events >= 5_000);
+        assert_eq!(app.events, app.trace.stats().events);
+        assert!(app.truth.len() >= app.islands, "≥ one pattern per island");
+        // All three harmful classes appear.
+        for class in [
+            TrueClass::IntraThread,
+            TrueClass::InterThread,
+            TrueClass::Conventional,
+        ] {
+            assert!(app.truth.harmful_count(class) > 0, "{class:?} missing");
+        }
+    }
+}

@@ -65,8 +65,7 @@ use std::time::Instant;
 
 use cafa_core::{Analyzer, DetectorConfig, RaceReport};
 use cafa_engine::{extract_task, AnalysisSession, MemoryOps, PassStats};
-use cafa_hb::bitset::BitSet;
-use cafa_hb::{resolve_threads, HbError, IncrementalHb, ReachOracle, SyncGraph};
+use cafa_hb::{HbError, IncrementalHb};
 use cafa_trace::{OpRef, Pc, ReadError, StreamDecoder, StreamEvent, TaskId, Trace, VarId};
 
 /// Approximate in-memory cost of one staged (un-derived) sync record:
@@ -250,6 +249,13 @@ impl IncrementalSession {
         self.progress
     }
 
+    /// Demand query-engine counters (queries answered, rule premises
+    /// evaluated, derived edges materialized) accumulated by the live
+    /// watcher, if live mode has issued any queries yet.
+    pub fn demand_stats(&self) -> Option<cafa_hb::DemandStats> {
+        self.hb.as_ref().and_then(|hb| hb.demand_stats())
+    }
+
     /// Current staging footprint in bytes: decoder buffer plus the
     /// un-derived record backlog. [`push`](IncrementalSession::push)
     /// keeps this at or under [`StreamOptions::high_water`] between
@@ -362,21 +368,26 @@ impl IncrementalSession {
 
         let mut found = Vec::new();
         if self.opts.live && !sealed.is_empty() {
-            self.derive("hb-derive")?;
-            // Refresh the O(1) reachability index over the freshly
-            // derived graph: extended in place for pure suffix appends,
-            // rebuilt when new cross-task edges invalidated it. On a
-            // cyclic prefix the cache is dropped and the watcher falls
-            // back to per-pair DFS; `finish` reports the cycle.
-            if let Some(hb) = self.hb.as_mut() {
-                hb.refresh_oracle(resolve_threads(self.opts.detector.threads));
-            }
+            // Extend the demand query index over the freshly sealed
+            // suffix instead of materializing the fixpoint: the
+            // watcher's queries settle only the cones they probe, so
+            // per-push cost tracks the new tasks, not the trace so
+            // far. (A cyclic prefix cannot be detected here — demand
+            // answers are computed without a topological order;
+            // `finish` still reports the cycle authoritatively.)
             let t2 = Instant::now();
+            let demand_synced = self.hb.as_mut().map(|hb| {
+                hb.sync_demand();
+            });
+            self.passes
+                .accumulate("hb-demand", t2.elapsed(), sealed.len());
+            debug_assert!(demand_synced.is_some(), "sealed tasks imply hb state");
+            let t3 = Instant::now();
             for task in sealed {
                 self.watch_task(task, &mut found);
             }
             let emitted = found.len();
-            self.passes.accumulate("watch", t2.elapsed(), emitted);
+            self.passes.accumulate("watch", t3.elapsed(), emitted);
         }
 
         if self.staging_bytes() > self.opts.high_water {
@@ -407,14 +418,11 @@ impl IncrementalSession {
     /// them against everything already watched.
     fn watch_task(&mut self, task: TaskId, found: &mut Vec<ProvisionalRace>) {
         let trace = self.decoder.trace().expect("sealed implies tables");
-        let hb = self.hb.as_ref().expect("sealed implies tables");
         let old_uses = self.ops.uses.len();
         let old_frees = self.ops.frees.len();
         extract_task(trace, task, &mut self.ops);
 
-        let graph = hb.graph();
-        let oracle = hb.oracle();
-        let mut scratch = BitSet::new(graph.node_count());
+        let hb = self.hb.as_mut().expect("sealed implies tables");
         // New uses pair against every free seen so far (old and new);
         // new frees only against *old* uses, so a pair of two
         // newcomers is examined exactly once.
@@ -425,9 +433,7 @@ impl IncrementalSession {
             for &fi in &vo.frees {
                 let f = self.ops.frees[fi];
                 emit(
-                    graph,
-                    oracle,
-                    &mut scratch,
+                    hb,
                     &mut self.emitted,
                     found,
                     u.var,
@@ -446,9 +452,7 @@ impl IncrementalSession {
                 }
                 let u = self.ops.uses[ui];
                 emit(
-                    graph,
-                    oracle,
-                    &mut scratch,
+                    hb,
                     &mut self.emitted,
                     found,
                     f.var,
@@ -500,12 +504,12 @@ impl IncrementalSession {
 }
 
 /// Records a provisional candidate if the pair is cross-task, unseen,
-/// and unordered in the graph so far.
-#[allow(clippy::too_many_arguments)]
+/// and unordered under the demand query engine so far. Each direction
+/// is one `hb(a, b)` query; the engine settles only the cones those
+/// two answers need, so a sealed suffix costs rule work proportional
+/// to what the watcher actually probes.
 fn emit(
-    graph: &SyncGraph,
-    oracle: Option<&ReachOracle>,
-    scratch: &mut BitSet,
+    hb: &mut IncrementalHb,
     emitted: &mut HashSet<(VarId, Pc, Pc)>,
     found: &mut Vec<ProvisionalRace>,
     var: VarId,
@@ -519,9 +523,7 @@ fn emit(
     if emitted.contains(&key) {
         return;
     }
-    if ordered(graph, oracle, scratch, use_at, free_at)
-        || ordered(graph, oracle, scratch, free_at, use_at)
-    {
+    if hb.demand_happens_before(use_at, free_at) || hb.demand_happens_before(free_at, use_at) {
         return;
     }
     emitted.insert(key);
@@ -532,26 +534,6 @@ fn emit(
         free_at,
         free_pc,
     });
-}
-
-/// Graph-level happens-before between two operations of different
-/// tasks, as of the edges derived so far. Answered in O(1) by the
-/// incremental reachability oracle when one is current, otherwise by
-/// per-pair DFS over the sync graph.
-fn ordered(
-    graph: &SyncGraph,
-    oracle: Option<&ReachOracle>,
-    scratch: &mut BitSet,
-    a: OpRef,
-    b: OpRef,
-) -> bool {
-    let from = graph.bracket_after(a);
-    let to = graph.bracket_before(b);
-    if let Some(oracle) = oracle {
-        return oracle.reaches(from, to);
-    }
-    scratch.clear();
-    graph.reaches(from, to, scratch)
 }
 
 #[cfg(test)]

@@ -1,0 +1,123 @@
+//! Scale-tier corpus gate: the demand-driven engine analyzing
+//! 100k-event fleet-island traces, checked label-by-label against the
+//! generator's ground truth.
+//!
+//! Three apps (seeds 42/43/44, 100k events each) go through the full
+//! detector. The assertions are *exact*, not statistical: every
+//! harmful label must come back as a race of the matching Table 1
+//! class, every planted false positive must be reported, every
+//! filtered pattern must be suppressed by a §4.3 heuristic, every
+//! rule-1-ordered pattern must vanish entirely, and nothing unlabeled
+//! may appear. The per-app counts lines are pinned by
+//! `tests/golden/scale_counts.txt`, and the full JSON report must be
+//! byte-identical at `--threads` 1, 2, and 8.
+
+use cafa_core::{Analyzer, DetectorConfig, FilterReason, RaceClass, RaceReport};
+use cafa_model::eval::Score;
+use cafa_model::scale::{generate_scale, ScaleApp, ScaleConfig};
+use cafa_model::{Label, TrueClass};
+
+const TIER: usize = 100_000;
+
+fn trio() -> Vec<ScaleApp> {
+    (0..3)
+        .map(|i| generate_scale(ScaleConfig::new(42 + i, TIER)))
+        .collect()
+}
+
+fn analyze(app: &ScaleApp, threads: usize) -> RaceReport {
+    let mut config = DetectorConfig::cafa();
+    config.threads = threads;
+    Analyzer::with_config(config)
+        .analyze(&app.trace)
+        .expect("scale traces are acyclic by construction")
+}
+
+fn class_of(label: TrueClass) -> RaceClass {
+    match label {
+        TrueClass::IntraThread => RaceClass::IntraThread,
+        TrueClass::InterThread => RaceClass::InterThread,
+        TrueClass::Conventional => RaceClass::Conventional,
+    }
+}
+
+#[test]
+fn labels_are_recalled_exactly_at_scale() {
+    let mut lines = Vec::new();
+    let mut total = Score::new();
+    for app in &trio() {
+        let report = analyze(app, 0);
+        assert!(app.events >= TIER);
+        assert_eq!(report.stats.events, app.events);
+
+        for (var, label) in app.truth.iter() {
+            let races: Vec<_> = report.races.iter().filter(|r| r.var == var).collect();
+            let filtered: Vec<_> = report.filtered.iter().filter(|f| f.var == var).collect();
+            match label {
+                Label::Harmful { class, .. } => {
+                    assert_eq!(races.len(), 1, "harmful {var} must be reported once");
+                    assert_eq!(
+                        races[0].class,
+                        class_of(class),
+                        "harmful {var} classified into the wrong Table 1 column"
+                    );
+                }
+                Label::Benign { .. } => {
+                    assert_eq!(races.len(), 1, "planted FP {var} must be reported");
+                }
+                Label::Filtered => {
+                    assert!(races.is_empty(), "filtered {var} leaked into the report");
+                    assert_eq!(filtered.len(), 1, "filtered {var} must be suppressed");
+                    assert!(
+                        matches!(
+                            filtered[0].reason,
+                            FilterReason::AllocBeforeUse | FilterReason::IfGuard
+                        ),
+                        "filtered {var} suppressed for the wrong reason: {:?}",
+                        filtered[0].reason
+                    );
+                }
+                Label::Ordered => {
+                    assert!(races.is_empty(), "rule-1-ordered {var} was reported");
+                    assert!(
+                        filtered.is_empty(),
+                        "rule-1-ordered {var} reached the filters: it should \
+                         never become a candidate"
+                    );
+                }
+            }
+        }
+        for race in &report.races {
+            assert!(
+                app.truth.get(race.var).is_some(),
+                "unlabeled variable {} reported",
+                race.var
+            );
+        }
+
+        let mut score = Score::new();
+        score.tally_app(&app.truth, report.races.iter().map(|r| r.var));
+        lines.push(score.counts_line(&app.trace.meta().app));
+        total.merge(&score);
+    }
+    lines.push(total.counts_line("TOTAL"));
+    let got = format!("{}\n", lines.join("\n"));
+    let want = include_str!("golden/scale_counts.txt");
+    assert_eq!(got, want, "scale counts drifted from the pinned golden");
+}
+
+#[test]
+fn reports_are_byte_identical_across_thread_counts() {
+    for app in &trio() {
+        let baseline = analyze(app, 1);
+        let bytes = cafa_core::json::render_json(&baseline, &app.trace);
+        for threads in [2, 8] {
+            let report = analyze(app, threads);
+            assert_eq!(
+                bytes,
+                cafa_core::json::render_json(&report, &app.trace),
+                "scale report differs between --threads 1 and --threads {threads}"
+            );
+        }
+    }
+}
