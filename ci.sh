@@ -26,6 +26,9 @@ cargo test -p cafa-hb --test fixpoint_differential -q
 echo "==> demand engine differential suite (lazy queries vs eager reference)"
 cargo test -p cafa-hb --test demand_differential -q
 
+echo "==> partition differential suite (islanded vs monolithic, byte-identical)"
+cargo test -p cafa-core --test partition_differential -q
+
 echo "==> scale sweep smoke (demand engine, 100k tier)"
 ./target/release/analysis_scaling --scale --quick > /dev/null
 
@@ -89,6 +92,17 @@ for app in connectbot mytracks zxing todolist browser firefox vlc fbreader camer
             echo "FAIL: $app under CAFA_HB_ENGINE=demand differs at --threads $threads" >&2
             exit 1
         fi
+        # Island-partitioned analysis must also reproduce every golden
+        # report byte-for-byte, at every thread count and in both the
+        # auto-policy and forced configurations.
+        for mode in auto force; do
+            ./target/release/cafa analyze "$trace" --format json --threads "$threads" \
+                --partition "$mode" > "$tmpdir/$app.part.$mode.t$threads.json"
+            if ! cmp -s "$tmpdir/$app.batch.json" "$tmpdir/$app.part.$mode.t$threads.json"; then
+                echo "FAIL: $app under --partition $mode differs at --threads $threads" >&2
+                exit 1
+            fi
+        done
     done
     for chunk in 1 13 4096; do
         ./target/release/cafa serve --chunk "$chunk" < "$trace" > "$tmpdir/$app.stream.json"
@@ -98,6 +112,30 @@ for app in connectbot mytracks zxing todolist browser firefox vlc fbreader camer
         fi
     done
 done
+
+echo "==> island partition gate (scale corpus: auto/force vs monolithic at --threads 1/2/8)"
+./target/release/cafa record scale:42:100000 --format binary --out "$tmpdir/scale42.bin" > /dev/null
+./target/release/cafa analyze "$tmpdir/scale42.bin" --format json --partition off \
+    > "$tmpdir/scale42.off.json"
+for threads in 1 2 8; do
+    for mode in auto force; do
+        ./target/release/cafa analyze "$tmpdir/scale42.bin" --format json \
+            --partition "$mode" --threads "$threads" > "$tmpdir/scale42.part.json"
+        if ! cmp -s "$tmpdir/scale42.off.json" "$tmpdir/scale42.part.json"; then
+            echo "FAIL: scale corpus --partition $mode differs at --threads $threads" >&2
+            exit 1
+        fi
+    done
+done
+# Pin the corpus-level counts so a partition bug that shifts both paths
+# in lockstep still trips the gate.
+grep -E '"events"|"candidate_vars"|"pairs_checked"' "$tmpdir/scale42.off.json" \
+    | tr -d ' ' > "$tmpdir/scale42.counts.txt"
+if ! cmp -s "$tmpdir/scale42.counts.txt" tests/golden/scale42_counts.txt; then
+    echo "FAIL: scale corpus counts differ from tests/golden/scale42_counts.txt" >&2
+    diff tests/golden/scale42_counts.txt "$tmpdir/scale42.counts.txt" >&2 || true
+    exit 1
+fi
 
 echo "==> fleet ingest server gate (10 concurrent sessions at --threads 1/2/8)"
 apps=(connectbot mytracks zxing todolist browser firefox vlc fbreader camera music)

@@ -1,19 +1,28 @@
-//! Scale-tier sweep: the demand-driven query engine on 100k–1M-event
-//! fleet-island traces (CLI: `analysis_scaling --scale [--quick]`).
+//! Scale-tier sweep: the demand-driven query engine and the
+//! island-partitioned pipeline on 100k–1M-event fleet-island traces
+//! (CLI: `analysis_scaling --scale [--quick]`).
 //!
 //! Each tier generates a labeled [`cafa_model::scale`] trace and runs
-//! the full detector through an [`AnalysisSession`], recording wall
-//! time and the demand engine's own counters: queries answered, rule
-//! premises evaluated, and derived edges actually materialized. The
-//! headline property is *sub-linear rule work per event*: islands keep
-//! happens-before cones bounded, so premises-per-event must stay flat
-//! (or fall) as the event count grows 10× — the eager fixpoint, by
-//! contrast, materializes every derivable edge whether or not any
-//! query ever looks at it. Writes `BENCH_scale.json`.
+//! the detector two ways:
+//!
+//! 1. **Monolithic reference** (`--partition off`): the full pipeline
+//!    on one model, recording the demand engine's own counters —
+//!    queries answered, rule premises evaluated, edges materialized.
+//!    The headline property is *sub-linear rule work per event*:
+//!    premises-per-event must stay flat (or fall) as the event count
+//!    grows 10×.
+//! 2. **Partitioned thread sweep** (`--partition auto` at 1/2/8
+//!    workers): islands analyzed concurrently, merged back. Every
+//!    sweep run's JSON report is asserted byte-identical to the
+//!    reference; on multi-core hosts the best multi-threaded wall
+//!    time must beat the single-threaded one.
+//!
+//! Writes `BENCH_scale.json`, including `host_cpus` so flat scaling
+//! on single-core machines is attributable to hardware, not code.
 
 use std::time::Instant;
 
-use cafa_core::{Analyzer, DetectorConfig};
+use cafa_core::{json::render_json, Analyzer, DetectorConfig, PartitionMode};
 use cafa_engine::AnalysisSession;
 use cafa_hb::DemandStats;
 use cafa_model::scale::{generate_scale, ScaleConfig};
@@ -24,6 +33,18 @@ const SEED: u64 = 42;
 /// Full sweep tiers; `--quick` keeps only the first.
 const TIERS: [usize; 3] = [100_000, 300_000, 1_000_000];
 
+/// Worker counts for the partitioned sweep; `--quick` keeps only one.
+const SWEEP_THREADS: [usize; 3] = [1, 2, 8];
+
+/// One partitioned run's wall time at a given worker count.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadTiming {
+    /// Worker threads requested.
+    pub threads: usize,
+    /// Partitioned analyze wall time (seconds).
+    pub analyze_s: f64,
+}
+
 /// One tier's measurements.
 #[derive(Clone, Debug)]
 pub struct ScaleRow {
@@ -31,16 +52,24 @@ pub struct ScaleRow {
     pub label: String,
     /// Exact event count.
     pub events: usize,
-    /// Islands in the trace.
+    /// Islands in the trace (generator's own count).
     pub islands: usize,
     /// Trace generation wall time (seconds) — not part of analysis.
     pub generate_s: f64,
-    /// Full detector wall time (seconds), model build included.
+    /// Monolithic (`--partition off`) detector wall time (seconds),
+    /// model build included.
     pub analyze_s: f64,
     /// Races reported.
     pub races: usize,
-    /// Demand-engine counters of the primary (CAFA-config) model.
+    /// Demand-engine counters of the monolithic CAFA-config model.
     pub demand: DemandStats,
+    /// Partitioned (`--partition auto`) wall times per worker count.
+    /// Every run's report is byte-identical to the monolithic one.
+    pub scaling: Vec<ThreadTiming>,
+    /// Islands the partition pass found (skeleton components).
+    pub partition_islands: usize,
+    /// Batches those islands were packed into.
+    pub partition_batches: usize,
 }
 
 impl ScaleRow {
@@ -49,20 +78,44 @@ impl ScaleRow {
     pub fn premises_per_event(&self) -> f64 {
         self.demand.premises as f64 / self.events.max(1) as f64
     }
+
+    /// Best partitioned wall time across multi-threaded runs.
+    fn best_parallel_s(&self) -> Option<f64> {
+        self.scaling
+            .iter()
+            .filter(|t| t.threads > 1)
+            .map(|t| t.analyze_s)
+            .min_by(f64::total_cmp)
+    }
+
+    /// The single-threaded partitioned wall time, if measured.
+    fn single_thread_s(&self) -> Option<f64> {
+        self.scaling
+            .iter()
+            .find(|t| t.threads == 1)
+            .map(|t| t.analyze_s)
+    }
 }
 
-/// Measures one tier.
+/// Measures one tier: the monolithic demand-engine reference plus the
+/// partitioned thread sweep (byte-equality asserted per run).
 ///
 /// # Panics
 ///
-/// Panics if analysis fails or the primary model did not use the
-/// demand backend (the tiers are far past the auto threshold).
-pub fn measure(target_events: usize) -> ScaleRow {
+/// Panics if analysis fails, the monolithic model did not use the
+/// demand backend (the tiers are far past the auto threshold), a
+/// partitioned run's report drifts from the reference, or the
+/// partition pass did not engage.
+pub fn measure(target_events: usize, quick: bool) -> ScaleRow {
     let t = Instant::now();
     let app = generate_scale(ScaleConfig::new(SEED, target_events));
     let generate_s = t.elapsed().as_secs_f64();
 
-    let config = DetectorConfig::cafa();
+    // Monolithic reference: partitioning off, demand backend counters.
+    let config = DetectorConfig {
+        partition: PartitionMode::Off,
+        ..DetectorConfig::cafa()
+    };
     let session = AnalysisSession::new(&app.trace);
     let t = Instant::now();
     let report = Analyzer::with_config(config)
@@ -74,6 +127,46 @@ pub fn measure(target_events: usize) -> ScaleRow {
         .expect("analysis built this model")
         .demand_stats()
         .expect("scale tiers are past the demand auto-threshold");
+    let reference = render_json(&report, &app.trace);
+
+    // Partitioned sweep: byte-identical report at every worker count.
+    let sweep: &[usize] = if quick {
+        &SWEEP_THREADS[1..2]
+    } else {
+        &SWEEP_THREADS
+    };
+    let mut scaling = Vec::new();
+    let mut partition_islands = 0;
+    let mut partition_batches = 0;
+    for &threads in sweep {
+        let cfg = DetectorConfig {
+            threads,
+            partition: PartitionMode::Auto,
+            ..DetectorConfig::cafa()
+        };
+        let session = AnalysisSession::new(&app.trace);
+        let t = Instant::now();
+        let partitioned = Analyzer::with_config(cfg)
+            .analyze_with(&session)
+            .expect("scale traces are acyclic by construction");
+        let wall = t.elapsed().as_secs_f64();
+        let stats = partitioned
+            .stats
+            .partition
+            .expect("auto partitioning engages on multi-island scale tiers");
+        partition_islands = stats.islands;
+        partition_batches = stats.batches;
+        assert_eq!(
+            render_json(&partitioned, &app.trace),
+            reference,
+            "partitioned report drifted from monolithic at {threads} thread(s)"
+        );
+        scaling.push(ThreadTiming {
+            threads,
+            analyze_s: wall,
+        });
+    }
+
     ScaleRow {
         label: format!("scale/{target_events}"),
         events: app.events,
@@ -82,44 +175,57 @@ pub fn measure(target_events: usize) -> ScaleRow {
         analyze_s,
         races: report.races.len(),
         demand,
+        scaling,
+        partition_islands,
+        partition_batches,
     }
+}
+
+/// The host's available parallelism, as recorded in the JSON.
+fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 /// Runs the sweep and writes `BENCH_scale.json`.
 ///
 /// # Panics
 ///
-/// Panics if analysis or the JSON write fails.
+/// Panics if analysis fails, any partitioned report drifts from the
+/// monolithic reference, rule work per event grows with trace size,
+/// multi-threaded analysis is not faster on a multi-core host, or the
+/// JSON write fails.
 pub fn main(quick: bool) {
+    let cpus = host_cpus();
     let tiers: &[usize] = if quick { &TIERS[..1] } else { &TIERS };
-    println!("scale sweep — demand-driven query engine on fleet-island traces");
+    println!("scale sweep — demand engine + island partitioning ({cpus} host cpu(s))");
     println!(
-        "{:>14} {:>9} {:>8} {:>8} {:>10} {:>12} {:>12} {:>10} {:>8}",
-        "tier",
-        "events",
-        "islands",
-        "gen (s)",
-        "wall (s)",
-        "queries",
-        "premises",
-        "edges",
-        "prem/ev"
+        "{:>14} {:>9} {:>8} {:>8} {:>10} {:>12} {:>8} {:>10}",
+        "tier", "events", "islands", "gen (s)", "mono (s)", "premises", "prem/ev", "part (s)"
     );
     let mut rows = Vec::new();
     for &tier in tiers {
-        let row = measure(tier);
+        let row = measure(tier, quick);
+        let best = row
+            .best_parallel_s()
+            .or_else(|| row.single_thread_s())
+            .unwrap_or(row.analyze_s);
         println!(
-            "{:>14} {:>9} {:>8} {:>8.2} {:>10.3} {:>12} {:>12} {:>10} {:>8.2}",
+            "{:>14} {:>9} {:>8} {:>8.2} {:>10.3} {:>12} {:>8.2} {:>10.3}",
             row.label,
             row.events,
             row.islands,
             row.generate_s,
             row.analyze_s,
-            row.demand.queries,
             row.demand.premises,
-            row.demand.edges_materialized,
-            row.premises_per_event()
+            row.premises_per_event(),
+            best,
         );
+        for t in &row.scaling {
+            println!(
+                "{:>14}   --partition auto --threads {}: {:.3}s",
+                "", t.threads, t.analyze_s
+            );
+        }
         rows.push(row);
     }
     for pair in rows.windows(2) {
@@ -134,24 +240,40 @@ pub fn main(quick: bool) {
             large.premises_per_event()
         );
     }
+    if !quick && cpus >= 2 {
+        // On a multi-core host the partitioned sweep must actually
+        // scale: best multi-threaded wall time strictly below the
+        // single-threaded one on the largest tier.
+        let largest = rows.last().expect("at least one tier");
+        let single = largest
+            .single_thread_s()
+            .expect("full sweep measures 1 thread");
+        let best = largest.best_parallel_s().expect("full sweep measures 2/8");
+        assert!(
+            best < single,
+            "{}: multi-threaded partitioned analyze ({best:.3}s) not below single-threaded ({single:.3}s) on a {cpus}-cpu host",
+            largest.label
+        );
+    }
 
     if quick {
         // Smoke mode (CI): one tier only — don't clobber the full
         // sweep's BENCH_scale.json with a truncated document.
         println!("\nquick smoke ok (BENCH_scale.json left untouched)");
     } else {
-        let json = render_json(&rows);
+        let json = render_bench_json(&rows, cpus);
         std::fs::write("BENCH_scale.json", json).expect("write BENCH_scale.json");
         println!("\nwrote BENCH_scale.json");
     }
 }
 
 /// Renders the sweep as a stable JSON document.
-fn render_json(rows: &[ScaleRow]) -> String {
+fn render_bench_json(rows: &[ScaleRow], cpus: usize) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"seed\": {SEED},");
+    let _ = writeln!(out, "  \"host_cpus\": {cpus},");
     out.push_str("  \"tiers\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
@@ -171,9 +293,21 @@ fn render_json(rows: &[ScaleRow]) -> String {
         );
         let _ = writeln!(
             out,
-            "      \"premises_per_event\": {:.4}",
+            "      \"premises_per_event\": {:.4},",
             r.premises_per_event()
         );
+        let _ = writeln!(out, "      \"partition_islands\": {},", r.partition_islands);
+        let _ = writeln!(out, "      \"partition_batches\": {},", r.partition_batches);
+        out.push_str("      \"scaling\": [\n");
+        for (j, t) in r.scaling.iter().enumerate() {
+            let comma = if j + 1 < r.scaling.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "        {{\"threads\": {}, \"analyze_s\": {:.4}}}{comma}",
+                t.threads, t.analyze_s
+            );
+        }
+        out.push_str("      ]\n");
         let _ = writeln!(out, "    }}{comma}");
     }
     out.push_str("  ]\n}\n");

@@ -48,25 +48,35 @@ USAGE:
                       [--coverage paper|full]
         Simulate the named app workload with instrumentation on and
         write the recorded trace (default: <app>.trace, text format).
-        <app> is a catalog name from `cafa apps` or a generated app
-        `gen:<seed>:<index>`. --coverage paper limits listener
+        <app> is a catalog name from `cafa apps`, a generated app
+        `gen:<seed>:<index>`, or a synthetic fleet corpus
+        `scale:<seed>:<events>` (which carries its own seed; --seed
+        and --coverage do not apply). --coverage paper limits listener
         instrumentation to the four framework packages of the paper
         (the Table 1 configuration).
 
     cafa analyze <trace> [--model cafa|conventional|no-queue-rules]
                          [--no-if-guard] [--no-intra-alloc] [--no-lockset]
                          [--json | --format text|json] [--verbose] [--timings]
-                         [--threads N] [--follow [--poll-ms N]]
+                         [--threads N] [--partition auto|off|force]
+                         [--follow [--poll-ms N]]
         Run the race detector over a trace file (text or binary,
         auto-detected) and print the report. --json (or --format
         json) emits a stable machine-readable format; --verbose adds
         happens-before derivation statistics; --timings adds a
         per-pass wall-time breakdown (extract, hb-build,
-        reachability, candidates, filters, baseline-hb, classify)
-        and model-cache counters. --threads sets the worker count
-        for the parallel reachability index and candidate pass
-        (default 0 = CAFA_THREADS env, else all cores); the report
-        is byte-identical at any setting. --follow tails a growing
+        reachability, candidates, filters, baseline-hb, classify,
+        and — when partitioned — partition/merge) and model-cache
+        counters. --threads sets the worker count for every analysis
+        pool: the parallel reachability index, the candidate pass,
+        and the island-partition fan-out (precedence: --threads,
+        then the CAFA_THREADS env var, then all cores); the report
+        is byte-identical at any setting. --partition controls
+        island partitioning: auto (default) splits multi-island
+        traces above a size threshold into causally independent
+        sub-traces analyzed concurrently, off forces the monolithic
+        path, force partitions any multi-island trace — all three
+        produce byte-identical reports. --follow tails a growing
         trace file, analyzing incrementally as records arrive
         (polling every --poll-ms, default 50) until the trace's end
         marker; the report is identical to a batch analyze of the
@@ -283,11 +293,7 @@ fn cmd_gen(rest: &[String]) -> Result<(), String> {
         }
         "counts" => {
             let specs = catalog.specs().map_err(|e| e.to_string())?;
-            let threads = if threads == 0 {
-                cafa_engine::fleet::default_threads()
-            } else {
-                threads
-            };
+            let threads = cafa_hb::resolve_threads(threads);
             // Compute in parallel, print in corpus order: the output
             // is byte-identical at any worker count.
             let scores = cafa_engine::fleet::map(&specs, threads, |app| {
@@ -363,6 +369,38 @@ fn cmd_record(rest: &[String]) -> Result<(), String> {
     let [name] = args.as_slice() else {
         return Err("usage: cafa record <app> [--seed N] [--out FILE] ...".to_owned());
     };
+
+    // `scale:<seed>:<events>` — the synthetic fleet-island corpus of
+    // `cafa_model::scale` (the benchmark and CI scale-gate input). The
+    // spec carries its own seed; --seed and --coverage do not apply.
+    if let Some(spec) = name.strip_prefix("scale:") {
+        use cafa_model::scale::{generate_scale, ScaleConfig};
+        let (seed_s, events_s) = spec
+            .split_once(':')
+            .ok_or_else(|| format!("bad scale spec `{name}` (scale:<seed>:<events>)"))?;
+        let scale_seed: u64 = seed_s
+            .parse()
+            .map_err(|_| format!("bad scale seed `{seed_s}`"))?;
+        let events: usize = events_s
+            .parse()
+            .map_err(|_| format!("bad scale events `{events_s}`"))?;
+        let app = generate_scale(ScaleConfig::new(scale_seed, events));
+        let path = out.unwrap_or_else(|| format!("scale-{scale_seed}-{events}.trace"));
+        let file = File::create(&path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        let mut w = BufWriter::new(file);
+        match format.as_str() {
+            "text" => cafa_trace::write_text(&app.trace, &mut w).map_err(|e| e.to_string())?,
+            "binary" => cafa_trace::write_binary(&app.trace, &mut w).map_err(|e| e.to_string())?,
+            other => return Err(format!("bad format `{other}` (text|binary)")),
+        }
+        w.flush().map_err(|e| e.to_string())?;
+        let s = app.trace.stats();
+        println!(
+            "recorded scale corpus (seed {scale_seed}): {} events, {} records, {} island(s) -> {path} ({format})",
+            s.events, s.records, app.islands
+        );
+        return Ok(());
+    }
 
     let app = cafa_apps::resolve(name).map_err(|e| e.to_string())?;
 
@@ -451,6 +489,13 @@ fn cmd_analyze(rest: &[String]) -> Result<(), String> {
     let verbose = opt_flag(&mut args, "--verbose");
     let timings = opt_flag(&mut args, "--timings");
     let threads = parse_threads(&mut args)?;
+    let partition = opt_value(&mut args, "--partition")?
+        .map(|s| {
+            cafa_core::PartitionMode::parse(&s)
+                .ok_or_else(|| format!("bad partition `{s}` (auto|off|force)"))
+        })
+        .transpose()?
+        .unwrap_or_default();
     let follow = opt_flag(&mut args, "--follow");
     let poll_ms = opt_value(&mut args, "--poll-ms")?
         .map(|s| s.parse::<u64>().map_err(|_| format!("bad poll-ms `{s}`")))
@@ -466,6 +511,7 @@ fn cmd_analyze(rest: &[String]) -> Result<(), String> {
     config.intra_event_alloc = !no_intra_alloc;
     config.lockset_filter = !no_lockset;
     config.threads = threads;
+    config.partition = partition;
 
     if follow {
         return analyze_follow(path, config, json, verbose, timings, poll_ms);
@@ -484,10 +530,20 @@ fn cmd_analyze(rest: &[String]) -> Result<(), String> {
     if timings {
         println!("pass timings:");
         print!("{}", report.stats.passes.render());
+        if let Some(p) = report.stats.partition {
+            println!(
+                "  partition: {} island(s) in {} batch(es), largest island {} record(s)",
+                p.islands, p.batches, p.largest_island_records
+            );
+        }
         print_fixpoint_stats(&report.stats.derivation);
+        // Only read cached models: after a partitioned run the session
+        // holds no monolithic model, and building one here just to
+        // print its counters would redo the whole derivation.
         let demand = session
-            .model(config.causality)
-            .ok()
+            .has_model(config.causality)
+            .then(|| session.model(config.causality).ok())
+            .flatten()
             .and_then(|m| m.demand_stats());
         if let Some(d) = demand {
             print_demand_stats(&d);
@@ -649,11 +705,7 @@ fn cmd_validate(rest: &[String]) -> Result<(), String> {
     };
     let validations: Vec<AppValidation> = match args.as_slice() {
         [] => {
-            let threads = if threads == 0 {
-                cafa_engine::fleet::default_threads()
-            } else {
-                threads
-            };
+            let threads = cafa_hb::resolve_threads(threads);
             validate_apps(&cfg, threads).map_err(|e| format!("validation failed: {e}"))?
         }
         [name] => {

@@ -20,6 +20,7 @@ use cafa_hb::{CausalityConfig, HbError, HbModel, LockSets};
 use cafa_trace::{Pc, Trace, VarId};
 
 use crate::filters::{alloc_after_free, alloc_before_use, if_guarded, FilterReason};
+use crate::partition::PartitionMode;
 use crate::report::{DetectStats, FilteredCandidate, RaceClass, RaceReport, UseFreeRace};
 use crate::usefree::{FreeSite, MemoryOps, UseSite};
 
@@ -46,11 +47,16 @@ pub struct DetectorConfig {
     /// implements the §6.3 suggestion of resolving the match precisely
     /// (trading those false positives for potential false negatives).
     pub drop_ambiguous_uses: bool,
-    /// Worker threads for the reachability index build and the
-    /// candidate pass (`0` = auto: `CAFA_THREADS`, else the machine's
-    /// parallelism). Reports are byte-identical at any setting; this
-    /// only trades wall time.
+    /// Worker threads for the reachability index build, the candidate
+    /// pass, and the island-partitioned pipeline (`0` = auto:
+    /// `CAFA_THREADS`, else the machine's parallelism). Reports are
+    /// byte-identical at any setting; this only trades wall time.
     pub threads: usize,
+    /// Island partitioning policy (see [`crate::PartitionMode`]):
+    /// split the trace into causally independent sub-traces and
+    /// analyze them concurrently, merging findings back into the
+    /// monolithic order.
+    pub partition: PartitionMode,
 }
 
 impl DetectorConfig {
@@ -65,6 +71,7 @@ impl DetectorConfig {
             max_pairs_per_var: 10_000,
             drop_ambiguous_uses: false,
             threads: 0,
+            partition: PartitionMode::Auto,
         }
     }
 
@@ -185,6 +192,14 @@ impl Analyzer {
     /// Returns [`HbError`] if a required happens-before model cannot
     /// be built.
     pub fn analyze_with(&self, session: &AnalysisSession<'_>) -> Result<RaceReport, HbError> {
+        // Multi-island traces can take the partitioned path: analyze
+        // each causally independent sub-trace on its own worker, then
+        // merge back into the monolithic order (byte-identical JSON;
+        // see `crate::partition`).
+        if let Some(report) = crate::partition::try_partitioned(self, session)? {
+            return Ok(report);
+        }
+
         let trace = session.trace();
         let start = Instant::now();
         let mut passes = PassStats::default();

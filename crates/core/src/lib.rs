@@ -53,6 +53,7 @@
 
 mod detector;
 mod filters;
+mod partition;
 mod report;
 
 pub mod context;
@@ -67,5 +68,6 @@ pub use cafa_engine::{AnalysisSession, PassRecord, PassStats, SessionStats};
 
 pub use detector::{Analyzer, DetectorConfig};
 pub use filters::FilterReason;
+pub use partition::{PartitionMode, PartitionStats, AUTO_MIN_RECORDS, MAX_BATCHES};
 pub use report::{DetectStats, FilteredCandidate, RaceClass, RaceReport, UseFreeRace};
 pub use usefree::{extract, AllocSite, FreeSite, GuardSite, MemoryOps, UseSite, VarOps};

@@ -8,6 +8,7 @@ use cafa_hb::DerivationStats;
 use cafa_trace::{Trace, VarId};
 
 use crate::filters::FilterReason;
+use crate::partition::PartitionStats;
 use crate::usefree::{FreeSite, UseSite};
 
 /// How a reported race relates to the conventional baseline — the three
@@ -77,8 +78,12 @@ pub struct DetectStats {
     /// Variables whose instance pairs hit the per-variable cap; coverage
     /// for those variables is partial.
     pub truncated_vars: Vec<VarId>,
-    /// Fixpoint statistics from the happens-before derivation.
+    /// Fixpoint statistics from the happens-before derivation. On the
+    /// partitioned path: summed over islands (rounds take the max).
     pub derivation: DerivationStats,
+    /// Island-partitioning counters; `None` when the monolithic path
+    /// ran.
+    pub partition: Option<PartitionStats>,
     /// Per-pass wall time and item counts (equality ignores the wall
     /// times; see [`PassStats`]). Rendered by `cafa analyze --timings`.
     pub passes: PassStats,

@@ -1,0 +1,152 @@
+//! Differential suite: island-partitioned analysis ≡ monolithic.
+//!
+//! The partitioned pipeline (`PartitionMode::Auto`/`Force`) must
+//! produce **byte-identical** JSON reports to the monolithic path
+//! (`PartitionMode::Off`) on every corpus we have — the ten paper
+//! apps, a sampled slice of the generated DSL corpus, the seeded
+//! scale trio, and arbitrary proptest tapes — at worker counts 1, 2,
+//! and 8. Byte equality (not just equal race sets) is the contract
+//! the CI golden-report gates rely on.
+
+use proptest::prelude::*;
+
+use cafa_core::{json::render_json, Analyzer, DetectorConfig, PartitionMode};
+use cafa_model::scale::{generate_scale, ScaleConfig};
+use cafa_model::{GenConfig, GeneratedCatalog, SizeClass};
+use cafa_trace::arbitrary::trace_from_tape;
+use cafa_trace::Trace;
+
+const SWEEP_THREADS: [usize; 3] = [1, 2, 8];
+
+/// The monolithic reference report for `trace`, as JSON bytes.
+fn monolithic_json(trace: &Trace) -> String {
+    let config = DetectorConfig {
+        partition: PartitionMode::Off,
+        ..DetectorConfig::cafa()
+    };
+    let report = Analyzer::with_config(config)
+        .analyze(trace)
+        .expect("monolithic analysis succeeds on corpus traces");
+    render_json(&report, trace)
+}
+
+/// Asserts Auto and Force match the monolithic bytes at every sweep
+/// worker count.
+fn assert_partition_matches(trace: &Trace, label: &str) {
+    let reference = monolithic_json(trace);
+    for mode in [PartitionMode::Auto, PartitionMode::Force] {
+        for threads in SWEEP_THREADS {
+            let config = DetectorConfig {
+                threads,
+                partition: mode,
+                ..DetectorConfig::cafa()
+            };
+            let report = Analyzer::with_config(config)
+                .analyze(trace)
+                .expect("partitioned analysis succeeds wherever monolithic does");
+            assert_eq!(
+                render_json(&report, trace),
+                reference,
+                "{label}: {mode:?} at {threads} thread(s) drifted from monolithic"
+            );
+        }
+    }
+}
+
+/// Every paper app (the Table 1 catalog, golden-report seed 0):
+/// partitioned ≡ monolithic. The apps chain external events into one
+/// island, so this pins the single-island fallback too.
+#[test]
+fn paper_apps_partitioned_equals_monolithic() {
+    for app in cafa_apps::all_apps() {
+        let outcome = app.record(0).expect("catalog apps record clean");
+        let trace = outcome.trace.expect("instrumented runs produce a trace");
+        assert_partition_matches(&trace, &app.name);
+    }
+}
+
+/// A sampled slice of the generated DSL corpus (every size class
+/// appears under `Mixed`): partitioned ≡ monolithic.
+#[test]
+fn generated_corpus_partitioned_equals_monolithic() {
+    let catalog = GeneratedCatalog::new(GenConfig {
+        seed: 11,
+        count: 12,
+        size: SizeClass::Mixed,
+    });
+    for spec in catalog.specs().expect("generated models lower") {
+        let outcome = spec.record(0).expect("generated apps record clean");
+        let trace = outcome.trace.expect("instrumented runs produce a trace");
+        assert_partition_matches(&trace, &spec.name);
+    }
+}
+
+/// The seed-42/43/44 scale trio at 50k events: partitioned ≡
+/// monolithic, and Auto genuinely engages (multi-island fleet traces
+/// are past the record threshold).
+#[test]
+fn scale_trio_partitioned_equals_monolithic() {
+    for seed in [42, 43, 44] {
+        let app = generate_scale(ScaleConfig::new(seed, 50_000));
+        let reference = monolithic_json(&app.trace);
+        for threads in SWEEP_THREADS {
+            let config = DetectorConfig {
+                threads,
+                partition: PartitionMode::Auto,
+                ..DetectorConfig::cafa()
+            };
+            let report = Analyzer::with_config(config)
+                .analyze(&app.trace)
+                .expect("scale traces are acyclic by construction");
+            assert!(
+                report.stats.partition.is_some(),
+                "seed {seed}: auto partitioning must engage on a fleet trace"
+            );
+            assert_eq!(
+                render_json(&report, &app.trace),
+                reference,
+                "seed {seed}: partitioned drifted from monolithic at {threads} thread(s)"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Arbitrary tapes, partitioning forced: byte-identical reports
+    /// (or the identical error) at every sweep worker count.
+    #[test]
+    fn arbitrary_traces_partitioned_equals_monolithic(
+        tape in proptest::collection::vec(any::<u8>(), 0..400)
+    ) {
+        let trace = trace_from_tape(&tape);
+        let off = DetectorConfig {
+            partition: PartitionMode::Off,
+            ..DetectorConfig::cafa()
+        };
+        let reference = Analyzer::with_config(off).analyze(&trace);
+        for threads in SWEEP_THREADS {
+            let config = DetectorConfig {
+                threads,
+                partition: PartitionMode::Force,
+                ..DetectorConfig::cafa()
+            };
+            let forced = Analyzer::with_config(config).analyze(&trace);
+            match (&reference, &forced) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(
+                    render_json(a, &trace),
+                    render_json(b, &trace),
+                    "forced partition drifted at {} thread(s)",
+                    threads
+                ),
+                (Err(_), Err(_)) => {}
+                _ => prop_assert!(
+                    false,
+                    "partitioned and monolithic disagree on success at {} thread(s)",
+                    threads
+                ),
+            }
+        }
+    }
+}

@@ -44,10 +44,12 @@
 #![warn(missing_debug_implementations)]
 
 pub mod fleet;
+pub mod partition;
 mod passes;
 mod session;
 pub mod usefree;
 
+pub use partition::TracePartition;
 pub use passes::{PassRecord, PassStats};
 pub use session::{AnalysisSession, SessionStats};
 pub use usefree::{

@@ -1,0 +1,426 @@
+//! Causality-skeleton partitioning: weakly-connected components of a
+//! trace's task graph.
+//!
+//! Two tasks can only ever be related — by any [`CausalityConfig`]'s
+//! happens-before relation, by the conventional per-queue total order
+//! used for classification, or by a candidate use/free pair — if they
+//! are connected in a conservative *skeleton* graph whose edges
+//! over-approximate every rule the engine knows:
+//!
+//! * **fork/join** — `Fork`/`Join` records and a thread's `forked_at`
+//!   back-pointer;
+//! * **posting** — `Send`/`SendAtFront` records and an event's origin
+//!   send site;
+//! * **queue co-membership** — all events of one queue (queue rules
+//!   1–4, atomicity, and the conventional total order relate events of
+//!   the same queue regardless of direct posts);
+//! * **monitors** — `Wait`/`Notify` (signal-and-wait rule) and
+//!   `Lock`/`Unlock` (lockset filter, FastTrack-style baselines);
+//! * **listeners** — `Register`/`Perform` (listener rule);
+//! * **RPC transactions** — the four `Rpc*` records (RPC rules);
+//! * **externals** — *all* external events, pairwise: the
+//!   external-input rule chains every external in global sequence
+//!   order (§3.3), so they form one clique;
+//! * **shared variables** — any two tasks accessing the same `VarId`
+//!   (a use/free candidate pair needs both ends; keeping each
+//!   variable's accesses on one island means per-island candidate
+//!   enumeration is exhaustive).
+//!
+//! The skeleton is deliberately config-independent: a partition
+//! computed once per session is sound for every causality ablation and
+//! for the lazy conventional baseline. Dereferences, guards, and
+//! method markers need no edges — the analyzer matches them strictly
+//! within a task.
+//!
+//! Components are closed under [`Trace::project`]'s requirements by
+//! construction, so each one can be analyzed as a standalone sub-trace
+//! and the findings merged (see `cafa-core`'s partition pass).
+//!
+//! [`CausalityConfig`]: cafa_hb::CausalityConfig
+//! [`Trace::project`]: cafa_trace::Trace::project
+
+use std::collections::HashMap;
+
+use cafa_trace::{Record, TaskId, TaskKind, Trace};
+
+/// The weakly-connected components of a trace's causality skeleton.
+///
+/// Components are ordered by their smallest source task id; the tasks
+/// inside each component are sorted ascending. Both orders are pure
+/// functions of the trace, independent of thread counts.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TracePartition {
+    /// Task sets, each sorted ascending, ordered by minimum task id.
+    pub components: Vec<Vec<TaskId>>,
+    /// Total body records per component (same indexing).
+    pub records: Vec<usize>,
+}
+
+impl TracePartition {
+    /// Number of islands.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True when the trace has no tasks at all.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Records in the largest island (0 for an empty trace).
+    pub fn largest_records(&self) -> usize {
+        self.records.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total records across all islands.
+    pub fn total_records(&self) -> usize {
+        self.records.iter().sum()
+    }
+}
+
+/// Union-find over task indexes with path halving and union by size.
+struct DisjointSets {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl DisjointSets {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+    }
+}
+
+/// Computes the weakly-connected components of `trace`'s causality
+/// skeleton (see the [module docs](self)).
+pub fn partition(trace: &Trace) -> TracePartition {
+    let n = trace.task_count();
+    let mut sets = DisjointSets::new(n);
+
+    // Anchor maps: the first task touching a given shared id; later
+    // toucher tasks union with the anchor.
+    let mut monitors: HashMap<u32, u32> = HashMap::new();
+    let mut listeners: HashMap<u32, u32> = HashMap::new();
+    let mut txns: HashMap<u32, u32> = HashMap::new();
+    let mut vars: HashMap<u32, u32> = HashMap::new();
+    let anchor =
+        |map: &mut HashMap<u32, u32>, id: u32, task: u32, sets: &mut DisjointSets| match map
+            .get(&id)
+        {
+            Some(&first) => sets.union(first, task),
+            None => {
+                map.insert(id, task);
+            }
+        };
+
+    for info in trace.tasks() {
+        let t = info.id.as_u32();
+        match info.kind {
+            TaskKind::Thread { forked_at, .. } => {
+                if let Some(at) = forked_at {
+                    sets.union(t, at.task.as_u32());
+                }
+            }
+            // Origins are covered again below via the sender's
+            // Send/SendAtFront record; queue co-membership is handled
+            // per queue afterwards.
+            TaskKind::Event { .. } => {}
+        }
+        for record in trace.body(info.id) {
+            match *record {
+                Record::Fork { child } | Record::Join { child } => {
+                    sets.union(t, child.as_u32());
+                }
+                Record::Send { event, .. } | Record::SendAtFront { event, .. } => {
+                    sets.union(t, event.as_u32());
+                }
+                Record::Wait { monitor, .. }
+                | Record::Notify { monitor, .. }
+                | Record::Lock { monitor, .. }
+                | Record::Unlock { monitor, .. } => {
+                    anchor(&mut monitors, monitor.as_u32(), t, &mut sets);
+                }
+                Record::Register { listener } | Record::Perform { listener } => {
+                    anchor(&mut listeners, listener.as_u32(), t, &mut sets);
+                }
+                Record::RpcCall { txn }
+                | Record::RpcHandle { txn }
+                | Record::RpcReply { txn }
+                | Record::RpcReceive { txn } => {
+                    anchor(&mut txns, txn.as_u32(), t, &mut sets);
+                }
+                Record::Read { var }
+                | Record::Write { var }
+                | Record::ObjRead { var, .. }
+                | Record::ObjWrite { var, .. } => {
+                    anchor(&mut vars, var.as_u32(), t, &mut sets);
+                }
+                Record::Deref { .. }
+                | Record::Guard { .. }
+                | Record::MethodEnter { .. }
+                | Record::MethodExit { .. } => {}
+            }
+        }
+    }
+
+    // Queue co-membership: every event of a queue in one component.
+    for (_, queue) in trace.queues() {
+        let mut events = queue.events.iter();
+        if let Some(first) = events.next() {
+            let first = first.as_u32();
+            for event in events {
+                sets.union(first, event.as_u32());
+            }
+        }
+    }
+
+    // External-input rule: all externals chain in sequence order.
+    let mut externals = trace.external_events().iter();
+    if let Some(first) = externals.next() {
+        let first = first.as_u32();
+        for event in externals {
+            sets.union(first, event.as_u32());
+        }
+    }
+
+    // Group by root; first-seen order over ascending task ids yields
+    // components ordered by minimum task id with sorted members.
+    let mut component_of_root: HashMap<u32, usize> = HashMap::new();
+    let mut components: Vec<Vec<TaskId>> = Vec::new();
+    let mut records: Vec<usize> = Vec::new();
+    for i in 0..n as u32 {
+        let root = sets.find(i);
+        let slot = *component_of_root.entry(root).or_insert_with(|| {
+            components.push(Vec::new());
+            records.push(0);
+            components.len() - 1
+        });
+        let task = TaskId::new(i);
+        components[slot].push(task);
+        records[slot] += trace.body_len(task) as usize;
+    }
+    TracePartition {
+        components,
+        records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cafa_trace::{MonitorId, Pc, TraceBuilder, VarId};
+
+    #[test]
+    fn empty_trace_has_no_components() {
+        let trace = TraceBuilder::new("empty").finish().unwrap();
+        let p = partition(&trace);
+        assert!(p.is_empty());
+        assert_eq!(p.largest_records(), 0);
+    }
+
+    #[test]
+    fn single_task_trace_is_one_island() {
+        let mut b = TraceBuilder::new("one");
+        let pr = b.add_process();
+        let t = b.add_thread(pr, "main");
+        b.write(t, VarId::new(0));
+        let trace = b.finish().unwrap();
+        let p = partition(&trace);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.components[0], vec![t]);
+        assert_eq!(p.total_records(), 1);
+    }
+
+    #[test]
+    fn fully_connected_trace_is_one_island() {
+        let mut b = TraceBuilder::new("connected");
+        let pr = b.add_process();
+        let q = b.add_queue(pr);
+        let t = b.add_thread(pr, "main");
+        let w = b.fork(t, pr, "worker");
+        let e = b.post(w, q, "ev", 0);
+        b.process_event(e);
+        b.join(t, w);
+        let trace = b.finish().unwrap();
+        let p = partition(&trace);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.components[0].len(), trace.task_count());
+    }
+
+    /// Builds two islands plus an optional bridging record, returning
+    /// the component count.
+    fn islands_with(bridge: impl FnOnce(&mut TraceBuilder, TaskId, TaskId)) -> usize {
+        let mut b = TraceBuilder::new("bridge");
+        let p1 = b.add_process();
+        let t1 = b.add_thread(p1, "a");
+        b.obj_write(t1, VarId::new(0), None, Pc::new(0x10));
+        let p2 = b.add_process();
+        let t2 = b.add_thread(p2, "b");
+        b.obj_write(t2, VarId::new(1), None, Pc::new(0x20));
+        bridge(&mut b, t1, t2);
+        let trace = b.finish().unwrap();
+        partition(&trace).len()
+    }
+
+    #[test]
+    fn disconnected_tasks_stay_separate() {
+        assert_eq!(islands_with(|_, _, _| {}), 2);
+    }
+
+    #[test]
+    fn shared_variable_merges_components() {
+        assert_eq!(
+            islands_with(|b, t1, t2| {
+                b.write(t1, VarId::new(7));
+                b.read(t2, VarId::new(7));
+            }),
+            1
+        );
+    }
+
+    #[test]
+    fn shared_monitor_merges_components() {
+        assert_eq!(
+            islands_with(|b, t1, t2| {
+                b.lock(t1, MonitorId::new(0), 0);
+                b.unlock(t1, MonitorId::new(0), 0);
+                b.lock(t2, MonitorId::new(0), 1);
+                b.unlock(t2, MonitorId::new(0), 1);
+            }),
+            1
+        );
+    }
+
+    #[test]
+    fn shared_listener_merges_components() {
+        assert_eq!(
+            islands_with(|b, t1, t2| {
+                let l = b.add_listener("com.example.Listener");
+                b.register(t1, l);
+                b.perform(t2, l);
+            }),
+            1
+        );
+        // Distinct listeners do not.
+        assert_eq!(
+            islands_with(|b, t1, t2| {
+                let la = b.add_listener("com.example.A");
+                let lb = b.add_listener("com.example.B");
+                b.register(t1, la);
+                b.perform(t2, lb);
+            }),
+            2
+        );
+    }
+
+    /// Two self-contained islands — a driver posting to its own queue
+    /// each — with an optional cross-island post from A into B's queue.
+    fn two_queue_islands(cross: bool) -> usize {
+        let mut b = TraceBuilder::new("post");
+        let p1 = b.add_process();
+        let q1 = b.add_queue(p1);
+        let t1 = b.add_thread(p1, "a");
+        let e1 = b.post(t1, q1, "ev-a", 0);
+        b.process_event(e1);
+        let p2 = b.add_process();
+        let q2 = b.add_queue(p2);
+        let t2 = b.add_thread(p2, "b");
+        let e2 = b.post(t2, q2, "ev-b", 0);
+        b.process_event(e2);
+        if cross {
+            let c = b.post(t1, q2, "cross", 0);
+            b.process_event(c);
+        }
+        partition(&b.finish().unwrap()).len()
+    }
+
+    #[test]
+    fn cross_island_post_merges_components() {
+        assert_eq!(two_queue_islands(false), 2);
+        // A post into the other island's queue fuses them: the send
+        // edge reaches the event, queue co-membership the rest.
+        assert_eq!(two_queue_islands(true), 1);
+    }
+
+    #[test]
+    fn cross_island_join_merges_components() {
+        let mut b = TraceBuilder::new("join");
+        let p1 = b.add_process();
+        let t1 = b.add_thread(p1, "a");
+        let p2 = b.add_process();
+        let t2 = b.add_thread(p2, "b");
+        let w = b.fork(t2, p2, "w");
+        b.join(t1, w);
+        let trace = b.finish().unwrap();
+        assert_eq!(partition(&trace).len(), 1);
+    }
+
+    #[test]
+    fn queue_comembership_merges_unrelated_posters() {
+        let mut b = TraceBuilder::new("queue");
+        let pr = b.add_process();
+        let q = b.add_queue(pr);
+        let t1 = b.add_thread(pr, "a");
+        let t2 = b.add_thread(pr, "b");
+        let e1 = b.post(t1, q, "e1", 0);
+        let e2 = b.post(t2, q, "e2", 0);
+        b.process_event(e1);
+        b.process_event(e2);
+        let trace = b.finish().unwrap();
+        // t1 and t2 never interact directly, but their events share a
+        // queue, whose atomicity/order rules relate them.
+        assert_eq!(partition(&trace).len(), 1);
+    }
+
+    #[test]
+    fn externals_form_one_clique() {
+        let mut b = TraceBuilder::new("ext");
+        let p1 = b.add_process();
+        let q1 = b.add_queue(p1);
+        let p2 = b.add_process();
+        let q2 = b.add_queue(p2);
+        let e1 = b.external(q1, "ext-1");
+        let e2 = b.external(q2, "ext-2");
+        b.process_event(e1);
+        b.process_event(e2);
+        let trace = b.finish().unwrap();
+        // The external-input rule chains e1 → e2 across queues.
+        assert_eq!(partition(&trace).len(), 1);
+    }
+
+    #[test]
+    fn components_ordered_by_min_task_with_sorted_members() {
+        let mut b = TraceBuilder::new("order");
+        let pr = b.add_process();
+        let a = b.add_thread(pr, "a"); // t0, island 1
+        let c = b.add_thread(pr, "b"); // t1, island 2
+        let d = b.fork(a, pr, "a2"); // t2, island 1
+        b.write(c, VarId::new(9));
+        let trace = b.finish().unwrap();
+        let p = partition(&trace);
+        assert_eq!(p.components, vec![vec![a, d], vec![c]]);
+        assert_eq!(p.records, vec![1, 1]);
+    }
+}

@@ -17,6 +17,7 @@ use std::rc::Rc;
 use cafa_hb::{CausalityConfig, HbError, HbModel};
 use cafa_trace::Trace;
 
+use crate::partition::{partition, TracePartition};
 use crate::usefree::{extract, MemoryOps};
 
 /// Counters exposing what a session computed versus reused.
@@ -59,6 +60,8 @@ pub struct AnalysisSession<'t> {
     trace: &'t Trace,
     ops: OnceCell<MemoryOps>,
     models: RefCell<HashMap<CausalityConfig, Rc<HbModel<'t>>>>,
+    partition: OnceCell<Rc<TracePartition>>,
+    islanded: bool,
     stats: Cell<SessionStats>,
 }
 
@@ -69,7 +72,23 @@ impl<'t> AnalysisSession<'t> {
             trace,
             ops: OnceCell::new(),
             models: RefCell::new(HashMap::new()),
+            partition: OnceCell::new(),
+            islanded: false,
             stats: Cell::new(SessionStats::default()),
+        }
+    }
+
+    /// Creates a session over a projected island sub-trace. Identical
+    /// to [`new`](AnalysisSession::new) except that models are built
+    /// with [`HbModel::build_islanded`]: sub-traces fall below the
+    /// demand engine's per-event auto-threshold while keeping the
+    /// many-island shape it is built for, so the size heuristic
+    /// mispredicts. Answers are engine-independent; only wall time
+    /// changes.
+    pub fn new_islanded(trace: &'t Trace) -> Self {
+        Self {
+            islanded: true,
+            ..Self::new(trace)
         }
     }
 
@@ -103,7 +122,11 @@ impl<'t> AnalysisSession<'t> {
             self.stats.set(stats);
             return Ok(Rc::clone(model));
         }
-        let model = Rc::new(HbModel::build(self.trace, config)?);
+        let model = Rc::new(if self.islanded {
+            HbModel::build_islanded(self.trace, config)?
+        } else {
+            HbModel::build(self.trace, config)?
+        });
         let mut stats = self.stats.get();
         stats.model_builds += 1;
         self.stats.set(stats);
@@ -122,6 +145,17 @@ impl<'t> AnalysisSession<'t> {
         stats.model_builds += 1;
         self.stats.set(stats);
         self.models.borrow_mut().insert(config, Rc::new(model));
+    }
+
+    /// The causality-skeleton partition of the trace, computed on
+    /// first call and cached for the session's lifetime. The skeleton
+    /// is config-independent, so one partition serves every
+    /// [`CausalityConfig`] (see [`crate::partition`]).
+    pub fn partition(&self) -> Rc<TracePartition> {
+        Rc::clone(
+            self.partition
+                .get_or_init(|| Rc::new(partition(self.trace))),
+        )
     }
 
     /// Whether a model for `config` is already cached.

@@ -141,6 +141,25 @@ impl<'t> HbModel<'t> {
         Self::build_eager(trace, config)
     }
 
+    /// Builds the model preferring the demand-driven backend whatever
+    /// the event count (an explicit `CAFA_HB_ENGINE=eager` still
+    /// wins). Island-partitioned analysis projects a fleet trace into
+    /// sub-traces that each fall below [`DEMAND_AUTO_THRESHOLD`], yet
+    /// keep the many-small-islands shape the lazy engine dominates on
+    /// — the per-event heuristic of [`build`](HbModel::build)
+    /// mispredicts there by an order of magnitude.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HbError`] if the trace implies a cyclic happens-before
+    /// relation or the rule fixpoint diverges.
+    pub fn build_islanded(trace: &'t Trace, config: CausalityConfig) -> Result<Self, HbError> {
+        match std::env::var("CAFA_HB_ENGINE").ok().as_deref() {
+            Some("eager") => Self::build_eager(trace, config),
+            _ => Self::build_demand(trace, config),
+        }
+    }
+
     /// Builds a model with the eager backend regardless of trace size
     /// or `CAFA_HB_ENGINE`. Exposed (hidden) so the differential suite
     /// can pin one engine on each side of a comparison.

@@ -62,6 +62,21 @@ const NO_ROW: u32 = u32::MAX;
 /// Resolves a requested thread count: `0` means "auto" — the
 /// `CAFA_THREADS` environment variable if set to a positive integer,
 /// otherwise the machine's available parallelism.
+///
+/// This is **the** worker-count precedence order for every analysis
+/// pool — the reachability index build, the candidate pass, the
+/// island-partition fan-out, and the per-app pools of `cafa gen
+/// --format counts` and `cafa validate`:
+///
+/// 1. an explicit request (`--threads N` with N > 0, or a config's
+///    `threads` field);
+/// 2. `CAFA_THREADS` (positive integer);
+/// 3. the machine's available parallelism.
+///
+/// (`CAFA_FLEET_THREADS` is separate: it only steers
+/// `cafa_engine::fleet::default_threads`, the bench harnesses' own
+/// default, and is not consulted here.) Reports are byte-identical at
+/// any resolved count; the setting trades wall time only.
 pub fn resolve_threads(requested: usize) -> usize {
     if requested > 0 {
         return requested;

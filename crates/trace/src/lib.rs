@@ -66,6 +66,7 @@ mod trace;
 pub mod arbitrary;
 pub mod binary;
 pub mod pretty;
+pub mod project;
 pub mod serialize;
 pub mod stream;
 pub mod validate;
@@ -76,6 +77,7 @@ pub use ids::{
     ListenerId, MonitorId, NameId, ObjId, OpRef, Pc, ProcessId, QueueId, TaskId, TxnId, VarId,
 };
 pub use interner::Interner;
+pub use project::Projection;
 pub use record::{BranchKind, DerefKind, Record};
 pub use task::{EventOrigin, ListenerInfo, QueueInfo, TaskInfo, TaskKind};
 pub use trace::{Trace, TraceMeta, TraceStats};

@@ -1,0 +1,318 @@
+//! Projection of a trace onto a subset of its tasks.
+//!
+//! The island-partitioned analysis pass splits a trace into causally
+//! independent sub-traces and analyzes each on its own worker. A
+//! sub-trace must be a real [`Trace`] — the happens-before engine and
+//! the detector know nothing about partitions — so this module builds
+//! one: the selected tasks keep their bodies verbatim and are densely
+//! renumbered in id order, every task-, queue-, and position-valued
+//! reference is rewritten to the new coordinates, and everything
+//! id-stable across the cut (names, listeners, monitors, variables,
+//! processes) is carried over unchanged.
+//!
+//! The caller must hand over a **closed** task set: every task named by
+//! a record of a selected task (fork/join children, send targets),
+//! every fork site of a selected thread, and every event of every
+//! queue that any selected event runs on must itself be selected.
+//! Closure violations are a caller bug and panic. The weakly-connected
+//! components of the causality skeleton (see `cafa-engine`) are closed
+//! by construction.
+
+use crate::ids::{OpRef, QueueId, TaskId};
+use crate::record::Record;
+use crate::task::{EventOrigin, QueueInfo, TaskInfo, TaskKind};
+use crate::trace::Trace;
+
+/// A sub-trace plus the maps back to the original coordinates.
+#[derive(Clone, Debug)]
+pub struct Projection {
+    /// The projected trace. Task and queue ids are dense and ordered
+    /// the same way as in the source trace; record bodies, names,
+    /// listeners, and all other ids are unchanged.
+    pub trace: Trace,
+    /// For each projected task id (by index), the source [`TaskId`].
+    pub tasks: Vec<TaskId>,
+    /// For each projected queue id (by index), the source [`QueueId`].
+    pub queues: Vec<QueueId>,
+}
+
+impl Projection {
+    /// Maps a position in the projected trace back to the source
+    /// trace. Record indexes are unchanged by projection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task is out of range for the projection.
+    pub fn unproject(&self, at: OpRef) -> OpRef {
+        OpRef::new(self.tasks[at.task.index()], at.index)
+    }
+}
+
+impl Trace {
+    /// Projects the trace onto `tasks`, producing a self-contained
+    /// sub-trace (see the [module docs](self::super::project)).
+    ///
+    /// `tasks` must be strictly increasing source task ids, closed
+    /// under record references and queue co-membership.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks` is unsorted, contains duplicates or
+    /// out-of-range ids, or is not closed.
+    pub fn project(&self, tasks: &[TaskId]) -> Projection {
+        assert!(
+            tasks.windows(2).all(|w| w[0] < w[1]),
+            "projection task set must be strictly increasing"
+        );
+        if let Some(&last) = tasks.last() {
+            assert!(last.index() < self.task_count(), "task {last} out of range");
+        }
+
+        // Dense task remap, old index -> new id.
+        const UNMAPPED: u32 = u32::MAX;
+        let mut task_map = vec![UNMAPPED; self.task_count()];
+        for (new, &old) in tasks.iter().enumerate() {
+            task_map[old.index()] = new as u32;
+        }
+        let map_task = |t: TaskId| -> TaskId {
+            let new = task_map[t.index()];
+            assert!(new != UNMAPPED, "projection not closed: {t} not selected");
+            TaskId::new(new)
+        };
+        let map_at = |at: OpRef| OpRef::new(map_task(at.task), at.index);
+
+        // Queues: a queue is included iff any selected event runs on
+        // it, and then all of its events must be selected (the queue
+        // rules and the conventional total order relate every pair).
+        let mut queue_included = vec![false; self.queue_count()];
+        for &t in tasks {
+            if let Some(q) = self.task(t).queue() {
+                queue_included[q.index()] = true;
+            }
+        }
+        let mut queue_map = vec![UNMAPPED; self.queue_count()];
+        let mut queues: Vec<QueueId> = Vec::new();
+        let mut new_queues: Vec<QueueInfo> = Vec::new();
+        for (i, included) in queue_included.iter().enumerate() {
+            if !included {
+                continue;
+            }
+            let old = QueueId::from_usize(i);
+            queue_map[i] = queues.len() as u32;
+            queues.push(old);
+            let q = self.queue(old);
+            new_queues.push(QueueInfo {
+                process: q.process,
+                events: q.events.iter().map(|&e| map_task(e)).collect(),
+            });
+        }
+        let map_queue = |q: QueueId| -> QueueId {
+            let new = queue_map[q.index()];
+            assert!(new != UNMAPPED, "projection not closed: {q} not selected");
+            QueueId::new(new)
+        };
+
+        let mut new_tasks: Vec<TaskInfo> = Vec::with_capacity(tasks.len());
+        let mut new_bodies: Vec<Vec<Record>> = Vec::with_capacity(tasks.len());
+        for (new, &old) in tasks.iter().enumerate() {
+            let info = self.task(old);
+            let kind = match info.kind {
+                TaskKind::Thread { process, forked_at } => TaskKind::Thread {
+                    process,
+                    forked_at: forked_at.map(map_at),
+                },
+                TaskKind::Event {
+                    queue,
+                    seq,
+                    origin,
+                    delay_ms,
+                } => TaskKind::Event {
+                    queue: map_queue(queue),
+                    seq,
+                    origin: match origin {
+                        EventOrigin::Sent { send } => EventOrigin::Sent { send: map_at(send) },
+                        EventOrigin::SentAtFront { send } => {
+                            EventOrigin::SentAtFront { send: map_at(send) }
+                        }
+                        EventOrigin::External { sequence } => EventOrigin::External { sequence },
+                    },
+                    delay_ms,
+                },
+            };
+            new_tasks.push(TaskInfo {
+                id: TaskId::from_usize(new),
+                kind,
+                name: info.name,
+            });
+            let body = self
+                .body(old)
+                .iter()
+                .map(|r| match *r {
+                    Record::Fork { child } => Record::Fork {
+                        child: map_task(child),
+                    },
+                    Record::Join { child } => Record::Join {
+                        child: map_task(child),
+                    },
+                    Record::Send {
+                        event,
+                        queue,
+                        delay_ms,
+                    } => Record::Send {
+                        event: map_task(event),
+                        queue: map_queue(queue),
+                        delay_ms,
+                    },
+                    Record::SendAtFront { event, queue } => Record::SendAtFront {
+                        event: map_task(event),
+                        queue: map_queue(queue),
+                    },
+                    ref other => other.clone(),
+                })
+                .collect();
+            new_bodies.push(body);
+        }
+
+        // External events keep their global sequence numbers; only the
+        // selected ones appear, in the original generation order.
+        let external_order: Vec<TaskId> = self
+            .external_order
+            .iter()
+            .filter(|t| task_map[t.index()] != UNMAPPED)
+            .map(|&t| map_task(t))
+            .collect();
+
+        let trace = Trace {
+            meta: self.meta.clone(),
+            names: self.names.clone(),
+            tasks: new_tasks,
+            bodies: new_bodies,
+            queues: new_queues,
+            listeners: self.listeners.clone(),
+            external_order,
+            process_count: self.process_count,
+        };
+        Projection {
+            trace,
+            tasks: tasks.to_vec(),
+            queues,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+    use crate::ids::{ObjId, Pc, VarId};
+    use crate::record::DerefKind;
+    use crate::validate::validate;
+
+    /// Two independent islands: a thread+queue pair each.
+    fn two_island_trace() -> Trace {
+        let mut b = TraceBuilder::new("two-islands");
+        let p1 = b.add_process();
+        let q1 = b.add_queue(p1);
+        let t1 = b.add_thread(p1, "driver-a");
+        let e1 = b.post(t1, q1, "ev-a", 0);
+        b.process_event(e1);
+        b.obj_read(e1, VarId::new(0), Some(ObjId::new(1)), Pc::new(0x10));
+        b.deref(e1, ObjId::new(1), Pc::new(0x14), DerefKind::Field);
+
+        let p2 = b.add_process();
+        let q2 = b.add_queue(p2);
+        let t2 = b.add_thread(p2, "driver-b");
+        let w = b.fork(t2, p2, "worker-b");
+        let e2 = b.post(w, q2, "ev-b", 0);
+        b.process_event(e2);
+        b.obj_write(e2, VarId::new(1), None, Pc::new(0x20));
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn projected_islands_validate_and_keep_bodies() {
+        let trace = two_island_trace();
+        // Island A = {t1 (thread), e1 (event)} — ids 0 and 1.
+        let a = trace.project(&[TaskId::new(0), TaskId::new(1)]);
+        assert_eq!(validate(&a.trace), Ok(()));
+        assert_eq!(a.trace.task_count(), 2);
+        assert_eq!(a.trace.queue_count(), 1);
+        assert_eq!(a.trace.stats().derefs, 1);
+        assert_eq!(a.unproject(OpRef::new(TaskId::new(1), 0)), {
+            OpRef::new(TaskId::new(1), 0)
+        });
+
+        // Island B = the remaining three tasks.
+        let b = trace.project(&[TaskId::new(2), TaskId::new(3), TaskId::new(4)]);
+        assert_eq!(validate(&b.trace), Ok(()));
+        assert_eq!(b.trace.task_count(), 3);
+        assert_eq!(b.trace.queue_count(), 1);
+        assert_eq!(b.trace.stats().frees, 1);
+        // The worker's fork back-pointer survived the renumbering.
+        let forked = b
+            .trace
+            .threads()
+            .find(|t| b.trace.task_name(t.id) == "worker-b")
+            .unwrap();
+        assert!(matches!(
+            forked.kind,
+            TaskKind::Thread {
+                forked_at: Some(_),
+                ..
+            }
+        ));
+        // Original names resolve through the shared interner.
+        assert_eq!(b.trace.task_name(TaskId::new(0)), "driver-b");
+        assert_eq!(b.unproject(OpRef::new(TaskId::new(0), 1)).task, {
+            TaskId::new(2)
+        });
+    }
+
+    #[test]
+    fn full_projection_is_isomorphic() {
+        let trace = two_island_trace();
+        let all: Vec<TaskId> = (0..trace.task_count()).map(TaskId::from_usize).collect();
+        let p = trace.project(&all);
+        assert_eq!(p.trace, trace);
+    }
+
+    #[test]
+    fn external_order_is_filtered_in_order() {
+        let mut b = TraceBuilder::new("externals");
+        let p = b.add_process();
+        let q = b.add_queue(p);
+        let e1 = b.external(q, "ext-1");
+        let e2 = b.external(q, "ext-2");
+        b.process_event(e1);
+        b.process_event(e2);
+        let trace = b.finish().unwrap();
+        let all: Vec<TaskId> = (0..trace.task_count()).map(TaskId::from_usize).collect();
+        let p = trace.project(&all);
+        assert_eq!(p.trace.external_events().len(), 2);
+        assert_eq!(validate(&p.trace), Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "projection not closed")]
+    fn unclosed_set_panics() {
+        let trace = two_island_trace();
+        // t1 without its posted event e1: the Send record dangles.
+        let _ = trace.project(&[TaskId::new(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_set_panics() {
+        let trace = two_island_trace();
+        let _ = trace.project(&[TaskId::new(1), TaskId::new(0)]);
+    }
+
+    #[test]
+    fn empty_trace_projects_to_empty() {
+        let trace = TraceBuilder::new("empty").finish().unwrap();
+        let p = trace.project(&[]);
+        assert_eq!(p.trace.task_count(), 0);
+        assert_eq!(p.trace.queue_count(), 0);
+        assert_eq!(validate(&p.trace), Ok(()));
+    }
+}
