@@ -29,6 +29,9 @@ cargo test -p cafa-hb --test demand_differential -q
 echo "==> partition differential suite (islanded vs monolithic, byte-identical)"
 cargo test -p cafa-core --test partition_differential -q
 
+echo "==> predictive differential suite (predictive ⊆ HB, byte-stable, hb section untouched)"
+cargo test -p cafa-predict --test predictive_differential -q
+
 echo "==> scale sweep smoke (demand engine, 100k tier)"
 ./target/release/analysis_scaling --scale --quick > /dev/null
 
@@ -66,6 +69,27 @@ for threads in 1 2 8; do
 done
 rm -f /tmp/gen_counts.txt /tmp/gen_counts.t*.txt
 
+echo "==> predictive corpus gate (gen --detector both, replay-adjudicated, vs pinned counts)"
+./target/release/cafa gen --seed 7 --count 50 --detector both --format counts \
+    > /tmp/predict_counts.txt
+if ! cmp -s /tmp/predict_counts.txt tests/golden/predict_counts.txt; then
+    echo "FAIL: cafa gen --detector both counts differ from tests/golden/predict_counts.txt" >&2
+    diff tests/golden/predict_counts.txt /tmp/predict_counts.txt >&2 || true
+    exit 1
+fi
+for threads in 1 2 8; do
+    ./target/release/cafa gen --seed 7 --count 50 --detector both --format counts \
+        --threads "$threads" > /tmp/predict_counts.t$threads.txt
+    if ! cmp -s /tmp/predict_counts.t$threads.txt tests/golden/predict_counts.txt; then
+        echo "FAIL: cafa gen --detector both counts differ at --threads $threads" >&2
+        exit 1
+    fi
+done
+rm -f /tmp/predict_counts.txt /tmp/predict_counts.t*.txt
+
+echo "==> predictive bench (BENCH_predict.json: extras/confirmed/FP/overhead)"
+./target/release/analysis_scaling --predict > /dev/null
+
 echo "==> streaming chunk invariance + thread determinism (all apps)"
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
@@ -75,6 +99,13 @@ for app in connectbot mytracks zxing todolist browser firefox vlc fbreader camer
     ./target/release/cafa analyze "$trace" --format json > "$tmpdir/$app.batch.json"
     if ! cmp -s "$tmpdir/$app.batch.json" "tests/golden/reports/$app.json"; then
         echo "FAIL: $app batch report differs from pinned golden report" >&2
+        exit 1
+    fi
+    # The default backend and an explicit --detector hb are the same
+    # code path: both must stay bit-identical to the pinned goldens.
+    ./target/release/cafa analyze "$trace" --format json --detector hb > "$tmpdir/$app.hb.json"
+    if ! cmp -s "$tmpdir/$app.hb.json" "tests/golden/reports/$app.json"; then
+        echo "FAIL: $app --detector hb report differs from pinned golden report" >&2
         exit 1
     fi
     for threads in 1 2 8; do

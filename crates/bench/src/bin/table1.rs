@@ -1,4 +1,24 @@
-//! Regenerates Table 1 of the paper.
+//! Regenerates Table 1 of the paper. With `--detector both`, appends
+//! the per-backend comparison (HB vs predictive, replay-adjudicated)
+//! instead of the plain table.
 fn main() {
-    cafa_bench::table1::main();
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        None => cafa_bench::table1::main(),
+        Some("--detector") => match args.next().as_deref() {
+            Some("hb") => cafa_bench::table1::main(),
+            Some("both") | Some("predictive") => cafa_bench::table1::main_both(),
+            other => {
+                eprintln!(
+                    "error: bad detector `{}` (valid backends: hb|predictive|both)",
+                    other.unwrap_or("")
+                );
+                std::process::exit(1);
+            }
+        },
+        Some(other) => {
+            eprintln!("error: unknown argument `{other}` (usage: table1 [--detector hb|both])");
+            std::process::exit(1);
+        }
+    }
 }

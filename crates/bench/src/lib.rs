@@ -20,6 +20,7 @@ pub mod confirm;
 pub mod fig8;
 pub mod fixpoint;
 pub mod lowlevel;
+pub mod predict;
 pub mod scale;
 pub mod scaling;
 pub mod serve;

@@ -72,7 +72,12 @@ pub fn classify(app: &AppSpec, report: &RaceReport) -> Row {
                 FpType::ImpreciseCommutativity => row.fp2 += 1,
                 FpType::DerefMismatch => row.fp3 += 1,
             },
-            Some(Label::Filtered) | Some(Label::Ordered) | None => row.unlabeled += 1,
+            // Predictive-only labels must stay out of the HB report, so
+            // one leaking in is as wrong as an unlabeled variable.
+            Some(Label::Filtered)
+            | Some(Label::Ordered)
+            | Some(Label::Predictive { .. })
+            | None => row.unlabeled += 1,
         }
     }
     row
@@ -212,6 +217,52 @@ pub fn main() {
     std::fs::write("BENCH_table1.json", render_json(&results, &tot))
         .expect("write BENCH_table1.json");
     println!("wrote BENCH_table1.json");
+}
+
+/// `table1 --detector both`: the Table-1-style per-backend comparison.
+///
+/// Same ten apps and seed as the plain table, but each row carries
+/// both backends' report counts side by side plus the replay verdicts
+/// on the predictive extras. The catalog plants no predictive-only
+/// patterns, so the expected steady state is `extra = 0` on every row
+/// — the HB column equality with the plain table is the regression
+/// signal this mode exists for.
+pub fn main_both() {
+    println!("Table 1 per-backend comparison — HB vs predictive (replay-adjudicated)");
+    println!(
+        "{:<12} | {:>6} | {:>4} {:>4} | {:>5} {:>9} {:>4} | {:>8}",
+        "App", "events", "hb", "pred", "extra", "confirmed", "fp", "overhead"
+    );
+    let apps = all_apps();
+    let rows: Vec<_> = apps
+        .iter()
+        .map(|app| crate::predict::measure_app(app, 0))
+        .collect();
+    let mut hb = 0;
+    let mut extra = 0;
+    let mut confirmed = 0;
+    let mut fp = 0;
+    for r in &rows {
+        println!(
+            "{:<12} | {:>6} | {:>4} {:>4} | {:>5} {:>9} {:>4} | {:>7.2}x",
+            r.app,
+            r.events,
+            r.hb_reported,
+            r.pred_reported,
+            r.extra,
+            r.confirmed,
+            r.false_positives,
+            r.overhead(),
+        );
+        hb += r.hb_reported;
+        extra += r.extra;
+        confirmed += r.confirmed;
+        fp += r.false_positives;
+    }
+    println!(
+        "\nhb reported: {hb} (paper: 115); predictive extras: {extra} \
+         ({confirmed} confirmed, {fp} false positive(s))"
+    );
 }
 
 /// Renders the measured table as a stable JSON document.

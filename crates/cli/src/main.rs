@@ -33,16 +33,21 @@ USAGE:
         List the bundled application workloads and their Table 1 rows.
 
     cafa gen [--seed N] [--count N] [--size small|medium|large|mixed]
-             [--format summary|text|counts] [--out FILE] [--threads N]
+             [--format summary|text|counts] [--detector hb|predictive|both]
+             [--out FILE] [--threads N]
         Generate a deterministic corpus of labeled app models from the
-        pattern space (race kinds a/b/c, FP types I/II/III, filtered
-        and HB-ordered patterns, Binder/pipeline plumbing). --format
-        summary (default) prints one line per app plus totals; text
-        emits the corpus in the model DSL (parseable back with
-        identical lowering); counts records and analyzes every app and
-        prints its report joined against the embedded ground truth —
-        the format the CI golden file pins. Same --seed/--count/--size
-        produce byte-identical output on any machine at any --threads.
+        pattern space (race kinds a/b/c, FP types I/II/III, filtered,
+        HB-ordered, and predictive-only patterns, Binder/pipeline
+        plumbing). --format summary (default) prints one line per app
+        plus totals; text emits the corpus in the model DSL (parseable
+        back with identical lowering); counts records and analyzes
+        every app and prints its report joined against the embedded
+        ground truth — the format the CI golden file pins. --detector
+        predictive|both (counts only) also runs the predictive backend
+        on every app, adjudicates each predictive-only report by
+        replay, and appends pred_extra/pred_confirmed/pred_fp columns.
+        Same --seed/--count/--size produce byte-identical output on
+        any machine at any --threads.
 
     cafa record <app> [--seed N] [--out FILE] [--format text|binary]
                       [--coverage paper|full]
@@ -55,19 +60,32 @@ USAGE:
         instrumentation to the four framework packages of the paper
         (the Table 1 configuration).
 
-    cafa analyze <trace> [--model cafa|conventional|no-queue-rules]
+    cafa analyze <trace> [--detector hb|predictive|both]
+                         [--model cafa|conventional|no-queue-rules]
                          [--no-if-guard] [--no-intra-alloc] [--no-lockset]
                          [--json | --format text|json] [--verbose] [--timings]
                          [--threads N] [--partition auto|off|force]
                          [--follow [--poll-ms N]]
         Run the race detector over a trace file (text or binary,
-        auto-detected) and print the report. --json (or --format
+        auto-detected) and print the report. --detector hb (default)
+        runs the paper's happens-before pipeline alone; predictive
+        additionally builds the weaker predictive relation
+        (cafa-predict) over the same session; both does the same and
+        classifies every predictive report as both/predictive-only
+        against the HB report set. In text mode each predictive-only
+        report is then adjudicated: replayed through the directed →
+        guided → random ladder against the traced app's stress
+        variant (catalog and gen:<seed>:<index> traces) and printed
+        as a replay-confirmed witness or a counted false positive.
+        The default backend's output is byte-identical to earlier
+        releases. --json (or --format
         json) emits a stable machine-readable format; --verbose adds
         happens-before derivation statistics; --timings adds a
         per-pass wall-time breakdown (extract, hb-build,
         reachability, candidates, filters, baseline-hb, classify,
-        and — when partitioned — partition/merge) and model-cache
-        counters. --threads sets the worker count for every analysis
+        predict-build/predict-candidates and adjudicate under a
+        predictive detector, and — when partitioned —
+        partition/merge) and model-cache counters. --threads sets the worker count for every analysis
         pool: the parallel reachability index, the candidate pass,
         and the island-partition fan-out (precedence: --threads,
         then the CAFA_THREADS env var, then all cores); the report
@@ -242,12 +260,26 @@ fn cmd_gen(rest: &[String]) -> Result<(), String> {
         .unwrap_or(SizeClass::Mixed);
     let format = opt_value(&mut args, "--format")?.unwrap_or_else(|| "summary".to_owned());
     let out = opt_value(&mut args, "--out")?;
+    let detector = opt_value(&mut args, "--detector")?
+        .map(|s| {
+            cafa_core::DetectorKind::parse(&s).ok_or_else(|| {
+                format!(
+                    "bad detector `{s}` (valid backends: {})",
+                    cafa_core::DetectorKind::VALID.join("|")
+                )
+            })
+        })
+        .transpose()?
+        .unwrap_or_default();
     let threads = parse_threads(&mut args)?;
     if !args.is_empty() {
         return Err(format!(
             "unexpected argument `{}`; see `cafa help`",
             args[0]
         ));
+    }
+    if detector.runs_predictive() && format != "counts" {
+        return Err("--detector predictive|both requires --format counts".to_owned());
     }
 
     let catalog = GeneratedCatalog::new(GenConfig { seed, count, size });
@@ -294,25 +326,62 @@ fn cmd_gen(rest: &[String]) -> Result<(), String> {
         "counts" => {
             let specs = catalog.specs().map_err(|e| e.to_string())?;
             let threads = cafa_hb::resolve_threads(threads);
+            let mut config = DetectorConfig::cafa();
+            config.detector = detector;
             // Compute in parallel, print in corpus order: the output
-            // is byte-identical at any worker count.
+            // is byte-identical at any worker count. With a predictive
+            // detector every predictive-only report is adjudicated by
+            // the replay ladder, and three extra columns land on each
+            // line: pred_extra (reports beyond HB), pred_confirmed
+            // (replay-verified witnesses), pred_fp (counted false
+            // positives).
             let scores = cafa_engine::fleet::map(&specs, threads, |app| {
                 let outcome = app.record(seed).expect("generated workloads run clean");
                 let trace = outcome.trace.expect("instrumentation is on");
-                let report = Analyzer::new()
+                let report = Analyzer::with_config(config)
                     .analyze_with(&AnalysisSession::new(&trace))
                     .expect("analysis succeeds");
                 let mut s = Score::new();
                 s.tally_app(&app.truth, report.races.iter().map(|r| r.var));
-                s
+                let pred = report.predictive.as_ref().map(|p| {
+                    let only: Vec<_> = p
+                        .races
+                        .iter()
+                        .filter(|r| r.class == cafa_core::PredictClass::PredictiveOnly)
+                        .map(|r| r.var)
+                        .collect();
+                    let adj = cafa_replay::adjudicate_races(
+                        app,
+                        &only,
+                        &cafa_replay::ReplayConfig::default(),
+                    )
+                    .expect("generated workloads replay clean");
+                    (only.len(), adj.confirmed(), adj.false_positives())
+                });
+                (s, pred)
             });
             let mut totals = Score::new();
-            for (app, score) in specs.iter().zip(&scores) {
+            let mut pred_totals = (0usize, 0usize, 0usize);
+            for (app, (score, pred)) in specs.iter().zip(&scores) {
                 output.push_str(&score.counts_line(&app.name));
+                if let Some((extra, confirmed, fp)) = pred {
+                    output.push_str(&format!(
+                        " pred_extra={extra} pred_confirmed={confirmed} pred_fp={fp}"
+                    ));
+                    pred_totals.0 += extra;
+                    pred_totals.1 += confirmed;
+                    pred_totals.2 += fp;
+                }
                 output.push('\n');
                 totals.merge(score);
             }
             output.push_str(&totals.counts_line("TOTAL"));
+            if detector.runs_predictive() {
+                output.push_str(&format!(
+                    " pred_extra={} pred_confirmed={} pred_fp={}",
+                    pred_totals.0, pred_totals.1, pred_totals.2
+                ));
+            }
             output.push('\n');
             output.push_str(&format!(
                 "precision={:.3} harmful-recall={:.3} benign-recall={:.3}\n",
@@ -496,6 +565,17 @@ fn cmd_analyze(rest: &[String]) -> Result<(), String> {
         })
         .transpose()?
         .unwrap_or_default();
+    let detector = opt_value(&mut args, "--detector")?
+        .map(|s| {
+            cafa_core::DetectorKind::parse(&s).ok_or_else(|| {
+                format!(
+                    "bad detector `{s}` (valid backends: {})",
+                    cafa_core::DetectorKind::VALID.join("|")
+                )
+            })
+        })
+        .transpose()?
+        .unwrap_or_default();
     let follow = opt_flag(&mut args, "--follow");
     let poll_ms = opt_value(&mut args, "--poll-ms")?
         .map(|s| s.parse::<u64>().map_err(|_| format!("bad poll-ms `{s}`")))
@@ -512,14 +592,21 @@ fn cmd_analyze(rest: &[String]) -> Result<(), String> {
     config.lockset_filter = !no_lockset;
     config.threads = threads;
     config.partition = partition;
+    config.detector = detector;
 
     if follow {
+        if detector.runs_predictive() {
+            return Err(format!(
+                "--follow only supports the hb backend (got --detector {detector}): \
+                 the incremental engine derives the observed-trace relation only"
+            ));
+        }
         return analyze_follow(path, config, json, verbose, timings, poll_ms);
     }
 
     let trace = load_trace(path)?;
     let session = AnalysisSession::new(&trace);
-    let report = Analyzer::with_config(config)
+    let mut report = Analyzer::with_config(config)
         .analyze_with(&session)
         .map_err(|e| format!("analysis failed: {e}"))?;
     if json {
@@ -527,6 +614,7 @@ fn cmd_analyze(rest: &[String]) -> Result<(), String> {
         return Ok(());
     }
     print_text_report(&report, &trace, verbose);
+    adjudicate_predictive(&mut report, &trace)?;
     if timings {
         println!("pass timings:");
         print!("{}", report.stats.passes.render());
@@ -608,6 +696,101 @@ fn print_text_report(report: &cafa_core::RaceReport, trace: &Trace, verbose: boo
             .count(),
     );
     println!("analysis time: {:.3}s", report.elapsed.as_secs_f64());
+}
+
+/// Resolves the app name a trace was recorded under back to its spec.
+///
+/// Catalog traces carry the Table 1 name; generated traces stamp
+/// `gen<seed>-<index>` into the metadata, which maps onto the
+/// resolver's `gen:<seed>:<index>` coordinate scheme. Foreign traces
+/// (converted, synthetic) resolve to `None`.
+fn resolve_traced_app(name: &str) -> Option<cafa_apps::AppSpec> {
+    if let Ok(app) = cafa_apps::resolve(name) {
+        return Some(app);
+    }
+    let coords = name.strip_prefix("gen")?;
+    let (seed, index) = coords.split_once('-')?;
+    let spec = format!(
+        "gen:{}:{}",
+        seed.parse::<u64>().ok()?,
+        index.parse::<usize>().ok()?
+    );
+    cafa_apps::resolve(&spec).ok()
+}
+
+/// Pushes every `predictive-only` report through the replay ladder
+/// (directed → guided → random) against the traced app's stress
+/// variant, printing one verdict line per report: a replay-confirmed
+/// witness or a counted false positive. The predictive relation is
+/// deliberately weaker than the observed-trace order, so this is the
+/// step that restores soundness to its extra reports.
+///
+/// Appends an `adjudicate` row to the report's pass table so
+/// `--timings` accounts for the replay time.
+fn adjudicate_predictive(report: &mut cafa_core::RaceReport, trace: &Trace) -> Result<(), String> {
+    let only: Vec<cafa_trace::VarId> = report
+        .predictive
+        .as_ref()
+        .map(|p| {
+            p.races
+                .iter()
+                .filter(|r| r.class == cafa_core::PredictClass::PredictiveOnly)
+                .map(|r| r.var)
+                .collect()
+        })
+        .unwrap_or_default();
+    if only.is_empty() {
+        return Ok(());
+    }
+    let Some(app) = resolve_traced_app(&trace.meta().app) else {
+        println!(
+            "adjudication skipped: `{}` is not a catalog or generated workload, \
+             so the predictive-only report(s) above are unjudged claims",
+            trace.meta().app
+        );
+        return Ok(());
+    };
+    let cfg = cafa_replay::ReplayConfig::default();
+    let count = only.len();
+    let adj = report
+        .stats
+        .passes
+        .run("adjudicate", || {
+            (cafa_replay::adjudicate_races(&app, &only, &cfg), count)
+        })
+        .map_err(|e| format!("adjudication failed: {e}"))?;
+    println!(
+        "adjudication: {count} predictive-only report(s) replayed against {}",
+        adj.app
+    );
+    for r in &adj.reports {
+        let v = &r.validation;
+        if r.confirmed() {
+            let method = v
+                .method
+                .as_ref()
+                .map(|m| m.to_string())
+                .unwrap_or_else(|| "unknown".to_owned());
+            println!(
+                "  {:<6} CONFIRMED       witness via {method} in {} run(s), replay-verified",
+                v.var.to_string(),
+                v.runs_to_witness,
+            );
+        } else {
+            let why = match &r.infeasible {
+                Some(reason) => format!("directed synthesis: {reason}"),
+                None => format!("budget exhausted after {} run(s)", v.total_runs),
+            };
+            println!("  {:<6} false positive  {why}", v.var.to_string(),);
+        }
+    }
+    println!(
+        "  {} confirmed, {} false positive(s), {} stress run(s)",
+        adj.confirmed(),
+        adj.false_positives(),
+        adj.total_runs()
+    );
+    Ok(())
 }
 
 /// `cafa analyze --follow`: tail a growing trace file, ingesting and

@@ -1,0 +1,137 @@
+//! End-to-end tests of `--detector`: backend selection, the typed
+//! error for unknown backends, and the replay adjudication of
+//! predictive-only reports.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn cafa(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_cafa"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("cafa-detector-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn unknown_detector_is_a_typed_error() {
+    // The value is validated before the trace path is touched, so a
+    // nonexistent path after it never masks the message.
+    let out = cafa(&["analyze", "--detector", "bogus", "no-such.trace"]);
+    assert!(!out.status.success(), "unknown backend must fail");
+    let err = stderr(&out);
+    assert!(err.contains("bad detector `bogus`"), "{err}");
+    assert!(err.contains("hb|predictive|both"), "{err}");
+
+    let out = cafa(&["gen", "--detector", "bogus", "--format", "counts"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("bad detector `bogus`"));
+}
+
+#[test]
+fn follow_rejects_predictive_backends() {
+    let out = cafa(&["analyze", "--follow", "--detector", "both", "x.trace"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(
+        err.contains("--follow only supports the hb backend"),
+        "{err}"
+    );
+}
+
+#[test]
+fn gen_detector_requires_counts_format() {
+    let out = cafa(&["gen", "--detector", "both", "--count", "1"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("requires --format counts"));
+}
+
+#[test]
+fn both_mode_reports_and_adjudicates_a_predictive_only_race() {
+    // gen7-0000 plants a lock-handoff: HB-concurrent but suppressed by
+    // the strict lockset filter, re-reported by the predictive
+    // relation, and feasible — directed replay confirms it.
+    let path = tmp("g70.trace");
+    let out = cafa(&["record", "gen:7:0", "--out", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    // Default backend: no predictive section, no adjudication.
+    let out = cafa(&["analyze", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(!text.contains("predictive"), "{text}");
+    assert!(!text.contains("adjudication"), "{text}");
+
+    let out = cafa(&["analyze", path.to_str().unwrap(), "--detector", "both"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("predictive-only"), "{text}");
+    assert!(text.contains("adjudication: 1 predictive-only"), "{text}");
+    assert!(text.contains("CONFIRMED"), "{text}");
+    assert!(text.contains("replay-verified"), "{text}");
+
+    // The adjudication replay rounds land in the pass table.
+    let out = cafa(&[
+        "analyze",
+        path.to_str().unwrap(),
+        "--detector",
+        "both",
+        "--timings",
+    ]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for pass in ["predict-build", "predict-candidates", "adjudicate"] {
+        assert!(text.contains(pass), "missing {pass} row: {text}");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn infeasible_predictive_report_is_a_counted_false_positive() {
+    // gen7-0001 plants a fifo-handoff: the flip would invert a FIFO
+    // queue order no schedule can produce, so directed synthesis
+    // proves it infeasible and the ladder counts a false positive.
+    let path = tmp("g71.trace");
+    let out = cafa(&["record", "gen:7:1", "--out", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    let out = cafa(&["analyze", path.to_str().unwrap(), "--detector", "both"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("false positive"), "{text}");
+    assert!(text.contains("directed synthesis:"), "{text}");
+    assert!(text.contains("0 confirmed, 1 false positive(s)"), "{text}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn hb_report_bytes_are_unchanged_by_the_flag_spelled_explicitly() {
+    let path = tmp("music.trace");
+    let out = cafa(&["record", "music", "--out", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    let default = cafa(&["analyze", path.to_str().unwrap(), "--json"]);
+    let explicit = cafa(&[
+        "analyze",
+        path.to_str().unwrap(),
+        "--detector",
+        "hb",
+        "--json",
+    ]);
+    assert!(default.status.success() && explicit.status.success());
+    assert_eq!(stdout(&default), stdout(&explicit));
+    std::fs::remove_file(&path).ok();
+}

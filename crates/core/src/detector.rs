@@ -13,16 +13,72 @@
 //! one trace reuse it.
 
 use std::collections::HashSet;
+use std::fmt;
 use std::time::Instant;
 
 use cafa_engine::{AnalysisSession, PassStats};
 use cafa_hb::{CausalityConfig, HbError, HbModel, LockSets};
+use cafa_predict::PredictModel;
 use cafa_trace::{Pc, Trace, VarId};
 
 use crate::filters::{alloc_after_free, alloc_before_use, if_guarded, FilterReason};
 use crate::partition::PartitionMode;
-use crate::report::{DetectStats, FilteredCandidate, RaceClass, RaceReport, UseFreeRace};
+use crate::report::{
+    DetectStats, FilteredCandidate, PredictClass, PredictiveRace, PredictiveSection,
+    PredictiveStats, RaceClass, RaceReport, UseFreeRace,
+};
 use crate::usefree::{FreeSite, MemoryOps, UseSite};
+
+/// Which detection backend(s) a run uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DetectorKind {
+    /// The paper's single-trace happens-before pipeline (default).
+    /// Output is byte-identical to every release before the predictive
+    /// backend existed.
+    #[default]
+    Hb,
+    /// Additionally build the predictive (weaker-than-HB) relation of
+    /// `cafa-predict` over the same session and attach its findings as
+    /// the report's predictive section.
+    Predictive,
+    /// Run both relations in one pass and classify every predictive
+    /// report as `both` or `predictive-only` against the HB report set
+    /// — the per-backend comparison mode. Computationally identical to
+    /// [`DetectorKind::Predictive`]; renderers may present the two
+    /// differently.
+    Both,
+}
+
+impl DetectorKind {
+    /// The CLI spellings, in the order `--detector` documents them.
+    pub const VALID: [&'static str; 3] = ["hb", "predictive", "both"];
+
+    /// Parses a CLI value (`hb` / `predictive` / `both`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "hb" => Some(Self::Hb),
+            "predictive" => Some(Self::Predictive),
+            "both" => Some(Self::Both),
+            _ => None,
+        }
+    }
+
+    /// True when the predictive backend runs (`Predictive` or `Both`).
+    pub fn runs_predictive(self) -> bool {
+        !matches!(self, Self::Hb)
+    }
+}
+
+impl fmt::Display for DetectorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DetectorKind::Hb => "hb",
+            DetectorKind::Predictive => "predictive",
+            DetectorKind::Both => "both",
+        };
+        f.write_str(s)
+    }
+}
 
 /// Detector configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -57,6 +113,11 @@ pub struct DetectorConfig {
     /// analyze them concurrently, merging findings back into the
     /// monolithic order.
     pub partition: PartitionMode,
+    /// Which backend(s) run: the HB pipeline alone (default), or the
+    /// HB pipeline plus the predictive relation of `cafa-predict`.
+    /// Non-default kinds force the monolithic path — the island fast
+    /// path only implements the HB pipeline.
+    pub detector: DetectorKind,
 }
 
 impl DetectorConfig {
@@ -72,6 +133,7 @@ impl DetectorConfig {
             drop_ambiguous_uses: false,
             threads: 0,
             partition: PartitionMode::Auto,
+            detector: DetectorKind::Hb,
         }
     }
 
@@ -195,9 +257,12 @@ impl Analyzer {
         // Multi-island traces can take the partitioned path: analyze
         // each causally independent sub-trace on its own worker, then
         // merge back into the monolithic order (byte-identical JSON;
-        // see `crate::partition`).
-        if let Some(report) = crate::partition::try_partitioned(self, session)? {
-            return Ok(report);
+        // see `crate::partition`). The island fast path implements the
+        // HB pipeline only; predictive runs stay monolithic.
+        if self.config.detector == DetectorKind::Hb {
+            if let Some(report) = crate::partition::try_partitioned(self, session)? {
+                return Ok(report);
+            }
         }
 
         let trace = session.trace();
@@ -297,12 +362,36 @@ impl Analyzer {
             (races, count)
         });
 
+        // The predictive backend, sharing the session's extracted ops
+        // and the already-built HB model (for same-looper topology and
+        // the both/predictive-only classification).
+        let predictive = if self.config.detector.runs_predictive() {
+            let pmodel = passes.run("predict-build", || {
+                match PredictModel::build(trace, self.config.threads) {
+                    Ok(m) => {
+                        let edges = m.stats().derived_edges;
+                        (Ok(m), edges)
+                    }
+                    Err(e) => (Err(HbError::from(e)), 0),
+                }
+            })?;
+            let section = passes.run("predict-candidates", || {
+                let s = predictive_section(&self.config, ops, &model, &pmodel, trace, &races);
+                let count = s.races.len();
+                (s, count)
+            });
+            Some(section)
+        } else {
+            None
+        };
+
         stats.passes = passes;
         Ok(RaceReport {
             app: trace.meta().app.clone(),
             races,
             filtered,
             stats,
+            predictive,
             elapsed: start.elapsed(),
         })
     }
@@ -437,6 +526,161 @@ fn enumerate_candidates(
         found.extend(r.found);
     }
     found
+}
+
+/// The `predict-candidates` pass: enumerates predictively-concurrent
+/// (use, free) pairs, applies the predictive filter discipline, and
+/// classifies each survivor against the HB report set.
+///
+/// Enumeration mirrors [`enumerate_candidates`] — per-variable fan-out
+/// over the fleet pool, (use pc, free pc) dedup, the per-variable pair
+/// cap — but asks the predictive order instead of HB, so the result is
+/// identical at any thread count for the same reasons. Filtering
+/// differs in exactly one rule: a common monitor suppresses a pair
+/// only when the two tasks also conflict on state *beyond* the racing
+/// variable ([`PredictModel::tasks_conflict_besides`]) — a lock whose
+/// sections touch only the racing pointer does not pin their order, so
+/// the pair stays reportable and replay adjudicates. The same-looper
+/// if-guard and intra-event-allocation heuristics apply unchanged:
+/// they reason about event atomicity, which the predictive relation
+/// preserves.
+fn predictive_section(
+    config: &DetectorConfig,
+    ops: &MemoryOps,
+    model: &HbModel,
+    pmodel: &PredictModel,
+    trace: &Trace,
+    hb_races: &[UseFreeRace],
+) -> PredictiveSection {
+    let p = pmodel.stats();
+    let mut stats = PredictiveStats {
+        rounds: p.rounds,
+        derived_edges: p.derived_edges,
+        gated: p.gated,
+        external_edges: p.external_edges,
+        ..PredictiveStats::default()
+    };
+    let hb_keys: HashSet<(VarId, Pc, Pc)> = hb_races
+        .iter()
+        .map(|r| (r.var, r.use_site.read_pc, r.free_site.pc))
+        .collect();
+    let locks = LockSets::new(trace);
+
+    let candidate_vars: Vec<VarId> = {
+        let mut v: Vec<VarId> = ops.candidate_vars().collect();
+        v.sort_unstable();
+        v
+    };
+
+    /// One variable's predictive enumeration result.
+    struct VarResult {
+        found: Vec<PredictiveRace>,
+        pairs_checked: usize,
+        filtered: usize,
+        truncated: bool,
+    }
+
+    let threads = cafa_hb::resolve_threads(config.threads);
+    let per_var = cafa_engine::fleet::map(&candidate_vars, threads, |&var| {
+        let vo = ops.var_ops(var).expect("candidate var has ops");
+        let mut found: Vec<PredictiveRace> = Vec::new();
+        let mut seen: HashSet<(Pc, Pc)> = HashSet::new();
+        let mut pairs_checked = 0usize;
+        let mut filtered = 0usize;
+        let mut truncated = false;
+        'pairs: for &ui in &vo.uses {
+            for &fi in &vo.frees {
+                let use_site = ops.uses[ui];
+                let free_site = ops.frees[fi];
+                if use_site.at.task == free_site.at.task {
+                    continue;
+                }
+                if config.drop_ambiguous_uses && use_site.ambiguous {
+                    continue;
+                }
+                if pairs_checked >= config.max_pairs_per_var {
+                    truncated = true;
+                    break 'pairs;
+                }
+                pairs_checked += 1;
+
+                let key = (use_site.read_pc, free_site.pc);
+                if seen.contains(&key) {
+                    continue;
+                }
+                if pmodel.happens_before(use_site.at, free_site.at)
+                    || pmodel.happens_before(free_site.at, use_site.at)
+                {
+                    continue; // predictive-ordered: no feasible flip
+                }
+                seen.insert(key);
+                if predictive_filtered(
+                    config, model, pmodel, &locks, ops, var, &use_site, &free_site,
+                ) {
+                    filtered += 1;
+                    continue;
+                }
+                let class = if hb_keys.contains(&(var, use_site.read_pc, free_site.pc)) {
+                    PredictClass::Both
+                } else {
+                    PredictClass::PredictiveOnly
+                };
+                found.push(PredictiveRace {
+                    var,
+                    use_site,
+                    free_site,
+                    class,
+                });
+            }
+        }
+        VarResult {
+            found,
+            pairs_checked,
+            filtered,
+            truncated,
+        }
+    });
+
+    let mut races: Vec<PredictiveRace> = Vec::new();
+    for r in per_var {
+        stats.pairs_checked += r.pairs_checked;
+        stats.filtered += r.filtered;
+        if r.truncated {
+            stats.truncated_vars += 1;
+        }
+        races.extend(r.found);
+    }
+    PredictiveSection { races, stats }
+}
+
+/// The predictive filter discipline for one predictively-concurrent
+/// pair (see [`predictive_section`]).
+#[allow(clippy::too_many_arguments)]
+fn predictive_filtered(
+    config: &DetectorConfig,
+    model: &HbModel,
+    pmodel: &PredictModel,
+    locks: &LockSets,
+    ops: &MemoryOps,
+    var: VarId,
+    use_site: &UseSite,
+    free_site: &FreeSite,
+) -> bool {
+    if config.lockset_filter
+        && locks.common(use_site.at, free_site.at).is_some()
+        && pmodel.tasks_conflict_besides(use_site.at.task, free_site.at.task, var)
+    {
+        return true;
+    }
+    if !model.same_looper(use_site.at.task, free_site.at.task) {
+        return false;
+    }
+    if config.intra_event_alloc
+        && (alloc_before_use(ops, use_site) || alloc_after_free(ops, free_site))
+    {
+        return true;
+    }
+    config.if_guard && if_guarded(ops, use_site)
 }
 
 /// The `classify` step for one surviving candidate: relate it to the
@@ -670,6 +914,132 @@ mod tests {
         let report = Analyzer::new().analyze(&trace).unwrap();
         assert_eq!(report.races.len(), 1, "same statement pair reported once");
         assert!(report.stats.pairs_checked > 1);
+    }
+
+    /// `--detector` spellings round-trip; unknown values are rejected.
+    #[test]
+    fn detector_kind_parses_and_displays() {
+        for (s, k) in [
+            ("hb", DetectorKind::Hb),
+            ("predictive", DetectorKind::Predictive),
+            ("both", DetectorKind::Both),
+        ] {
+            assert_eq!(DetectorKind::parse(s), Some(k));
+            assert_eq!(k.to_string(), s);
+            assert!(DetectorKind::VALID.contains(&s));
+        }
+        assert_eq!(DetectorKind::parse("wcp"), None);
+        assert_eq!(DetectorConfig::cafa().detector, DetectorKind::Hb);
+        assert!(!DetectorKind::Hb.runs_predictive());
+        assert!(DetectorKind::Both.runs_predictive());
+    }
+
+    /// The default HB detector attaches no predictive section — its
+    /// report (and JSON) is byte-identical to pre-predictive builds.
+    #[test]
+    fn hb_detector_has_no_predictive_section() {
+        let mut b = TraceBuilder::new("plain");
+        let p = b.add_process();
+        let t = b.add_thread(p, "main");
+        b.write(t, VarId::new(0));
+        let trace = b.finish().unwrap();
+        let report = Analyzer::new().analyze(&trace).unwrap();
+        assert!(report.predictive.is_none());
+        let json = crate::json::render_json(&report, &trace);
+        assert!(!json.contains("predictive"));
+    }
+
+    /// Every HB race is also predictively concurrent (the predictive
+    /// order is a subset of HB), so under `--detector both` it shows
+    /// up in the predictive section classified `both`.
+    #[test]
+    fn hb_races_classify_as_both() {
+        let mut b = TraceBuilder::new("shared");
+        let p = b.add_process();
+        let q = b.add_queue(p);
+        let svc = b.add_process();
+        let ipc = b.add_thread(svc, "binder");
+        let connected = b.post(ipc, q, "onServiceConnected", 0);
+        let destroy = b.external(q, "onDestroy");
+        b.process_event(connected);
+        b.obj_read(
+            connected,
+            VarId::new(0),
+            Some(ObjId::new(1)),
+            Pc::new(0x1010),
+        );
+        b.deref(connected, ObjId::new(1), Pc::new(0x1014), DerefKind::Invoke);
+        b.process_event(destroy);
+        b.obj_write(destroy, VarId::new(0), None, Pc::new(0x2010));
+        let trace = b.finish().unwrap();
+
+        let mut cfg = DetectorConfig::cafa();
+        cfg.detector = DetectorKind::Both;
+        let report = Analyzer::with_config(cfg).analyze(&trace).unwrap();
+        assert_eq!(report.races.len(), 1);
+        let section = report.predictive.expect("both runs the backend");
+        assert_eq!(section.races.len(), 1);
+        assert_eq!(section.races[0].class, crate::report::PredictClass::Both);
+        // The passes ran and were recorded for `--timings`.
+        let names: Vec<&str> = report.stats.passes.records.iter().map(|r| r.name).collect();
+        assert!(names.contains(&"predict-build"));
+        assert!(names.contains(&"predict-candidates"));
+    }
+
+    /// The predictive lockset relaxation: a monitor whose critical
+    /// sections touch only the racing pointer does not order them, so
+    /// the HB-filtered pair resurfaces as `predictive-only`; add a
+    /// second shared variable to the sections and the suppression
+    /// comes back.
+    #[test]
+    fn lock_handoff_is_predictive_only() {
+        let build = |extra_shared: bool| {
+            let mut b = TraceBuilder::new("handoff");
+            let p = b.add_process();
+            let a = b.add_thread(p, "a");
+            let c = b.add_thread(p, "c");
+            let v = VarId::new(0);
+            let noise = VarId::new(1);
+            let o = ObjId::new(1);
+            let m = MonitorId::new(0);
+            b.lock(a, m, 0);
+            b.obj_read(a, v, Some(o), Pc::new(0x1010));
+            b.deref(a, o, Pc::new(0x1014), DerefKind::Invoke);
+            if extra_shared {
+                b.write(a, noise);
+            }
+            b.unlock(a, m, 0);
+            b.lock(c, m, 1);
+            b.obj_write(c, v, None, Pc::new(0x2010));
+            if extra_shared {
+                b.write(c, noise);
+            }
+            b.unlock(c, m, 1);
+            b.finish().unwrap()
+        };
+
+        let mut cfg = DetectorConfig::cafa();
+        cfg.detector = DetectorKind::Both;
+
+        let trace = build(false);
+        let report = Analyzer::with_config(cfg).analyze(&trace).unwrap();
+        assert!(report.races.is_empty(), "HB keeps the lockset filter");
+        assert_eq!(report.filtered.len(), 1);
+        let section = report.predictive.as_ref().unwrap();
+        assert_eq!(section.races.len(), 1);
+        assert_eq!(
+            section.races[0].class,
+            crate::report::PredictClass::PredictiveOnly
+        );
+
+        let trace = build(true);
+        let report = Analyzer::with_config(cfg).analyze(&trace).unwrap();
+        let section = report.predictive.as_ref().unwrap();
+        assert!(
+            section.races.is_empty(),
+            "sections conflicting beyond the racing var keep the filter"
+        );
+        assert_eq!(section.stats.filtered, 1);
     }
 
     /// The pair cap is honored and recorded, never silent.

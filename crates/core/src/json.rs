@@ -50,6 +50,11 @@ fn escape(s: &str) -> String {
 ///   "truncated_vars": ["v9"]
 /// }
 /// ```
+///
+/// Under `--detector predictive|both` a `"predictive"` object follows
+/// `truncated_vars`: the predictive backend's races (each tagged
+/// `both` or `predictive-only`) and its fixpoint/enumeration stats.
+/// The default HB rendering is byte-for-byte unchanged.
 pub fn render_json(report: &RaceReport, trace: &Trace) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -109,7 +114,55 @@ pub fn render_json(report: &RaceReport, trace: &Trace) -> String {
         .iter()
         .map(|v| format!("\"{v}\""))
         .collect();
-    let _ = writeln!(out, "  \"truncated_vars\": [{}]", trunc.join(", "));
+    // The predictive section is appended only when that backend ran,
+    // so default (`--detector hb`) output stays byte-identical.
+    match &report.predictive {
+        None => {
+            let _ = writeln!(out, "  \"truncated_vars\": [{}]", trunc.join(", "));
+        }
+        Some(p) => {
+            let _ = writeln!(out, "  \"truncated_vars\": [{}],", trunc.join(", "));
+            out.push_str("  \"predictive\": {\n");
+            out.push_str("    \"races\": [\n");
+            for (i, r) in p.races.iter().enumerate() {
+                let comma = if i + 1 < p.races.len() { "," } else { "" };
+                let _ = writeln!(
+                    out,
+                    "      {{\"var\": \"{}\", \"class\": \"{}\", \
+                     \"use\": {{\"task\": \"{}\", \"index\": {}, \"pc\": \"{}\", \
+                     \"handler\": \"{}\"}}, \
+                     \"free\": {{\"task\": \"{}\", \"index\": {}, \"pc\": \"{}\", \
+                     \"handler\": \"{}\"}}}}{comma}",
+                    r.var,
+                    r.class,
+                    r.use_site.at.task,
+                    r.use_site.at.index,
+                    r.use_site.read_pc,
+                    escape(trace.task_name(r.use_site.at.task)),
+                    r.free_site.at.task,
+                    r.free_site.at.index,
+                    r.free_site.pc,
+                    escape(trace.task_name(r.free_site.at.task)),
+                );
+            }
+            out.push_str("    ],\n");
+            let s = &p.stats;
+            let _ = writeln!(
+                out,
+                "    \"stats\": {{\"rounds\": {}, \"derived_edges\": {}, \
+                 \"gated\": {}, \"external_edges\": {}, \"pairs_checked\": {}, \
+                 \"filtered\": {}, \"truncated_vars\": {}}}",
+                s.rounds,
+                s.derived_edges,
+                s.gated,
+                s.external_edges,
+                s.pairs_checked,
+                s.filtered,
+                s.truncated_vars,
+            );
+            out.push_str("  }\n");
+        }
+    }
     out.push_str("}\n");
     out
 }

@@ -66,8 +66,11 @@ pub mod lowlevel;
 pub use cafa_engine::usefree;
 pub use cafa_engine::{AnalysisSession, PassRecord, PassStats, SessionStats};
 
-pub use detector::{Analyzer, DetectorConfig};
+pub use detector::{Analyzer, DetectorConfig, DetectorKind};
 pub use filters::FilterReason;
 pub use partition::{PartitionMode, PartitionStats, AUTO_MIN_RECORDS, MAX_BATCHES};
-pub use report::{DetectStats, FilteredCandidate, RaceClass, RaceReport, UseFreeRace};
+pub use report::{
+    DetectStats, FilteredCandidate, PredictClass, PredictiveRace, PredictiveSection,
+    PredictiveStats, RaceClass, RaceReport, UseFreeRace,
+};
 pub use usefree::{extract, AllocSite, FreeSite, GuardSite, MemoryOps, UseSite, VarOps};

@@ -211,6 +211,9 @@ pub(crate) fn try_partitioned(
         races,
         filtered,
         stats,
+        // Only reached under the default HB detector (`analyze_with`
+        // keeps predictive runs monolithic).
+        predictive: None,
         elapsed: start.elapsed(),
     }))
 }

@@ -39,6 +39,88 @@ impl fmt::Display for RaceClass {
     }
 }
 
+/// How a race reported by the predictive backend relates to the HB
+/// backend — the per-backend comparison columns of `--detector both`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PredictClass {
+    /// Reported by both backends: the HB relation also leaves the pair
+    /// unordered and unfiltered.
+    Both,
+    /// Only the predictive relation exposes the pair (HB orders it, or
+    /// the strict lockset filter suppresses it): an *extra* report that
+    /// must be adjudicated by replay — confirmed witness or counted
+    /// false positive.
+    PredictiveOnly,
+}
+
+impl fmt::Display for PredictClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PredictClass::Both => "both",
+            PredictClass::PredictiveOnly => "predictive-only",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One race reported by the predictive backend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PredictiveRace {
+    /// The pointer variable raced on.
+    pub var: VarId,
+    /// The racing use.
+    pub use_site: UseSite,
+    /// The racing free.
+    pub free_site: FreeSite,
+    /// Relation to the HB backend's report set.
+    pub class: PredictClass,
+}
+
+/// Counters from the predictive fixpoint and enumeration, mirrored
+/// from `cafa_predict::PredictStats` plus the enumeration's own
+/// counts. No wall times — the JSON rendering stays a pure function
+/// of trace and configuration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PredictiveStats {
+    /// Rounds until the conflict-gated fixpoint converged.
+    pub rounds: u32,
+    /// Atomicity/queue edges the gated fixpoint materialized.
+    pub derived_edges: usize,
+    /// Rule conclusions suppressed by the conflict gate — orderings HB
+    /// keeps that the predictive relation deliberately drops.
+    pub gated: u64,
+    /// Conflict-scoped external-input edges (gesture pairs whose
+    /// handlers share state).
+    pub external_edges: usize,
+    /// Dynamic (use, free) instance pairs the predictive enumeration
+    /// examined.
+    pub pairs_checked: usize,
+    /// Candidates suppressed by the predictive filter set (the relaxed
+    /// lockset plus the same-looper heuristics).
+    pub filtered: usize,
+    /// Variables whose predictive pair enumeration hit the cap.
+    pub truncated_vars: usize,
+}
+
+/// The predictive backend's findings, attached to a [`RaceReport`]
+/// when the detector runs with `--detector predictive|both`; `None`
+/// under the default HB backend, keeping its output byte-identical.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PredictiveSection {
+    /// Predictively-concurrent races, same (variable, use pc, free pc)
+    /// deduplication and ordering discipline as [`RaceReport::races`].
+    pub races: Vec<PredictiveRace>,
+    /// Fixpoint + enumeration counters.
+    pub stats: PredictiveStats,
+}
+
+impl PredictiveSection {
+    /// Races of a given predictive class.
+    pub fn count(&self, class: PredictClass) -> usize {
+        self.races.iter().filter(|r| r.class == class).count()
+    }
+}
+
 /// One reported use-free race.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct UseFreeRace {
@@ -100,6 +182,10 @@ pub struct RaceReport {
     pub filtered: Vec<FilteredCandidate>,
     /// Run counters.
     pub stats: DetectStats,
+    /// The predictive backend's findings; `None` unless the detector
+    /// ran with [`DetectorKind`](crate::DetectorKind) `Predictive` or
+    /// `Both`.
+    pub predictive: Option<PredictiveSection>,
     /// Wall-clock analysis time.
     pub elapsed: Duration,
 }
@@ -150,6 +236,32 @@ impl RaceReport {
                 "  note: pair cap hit for {} variable(s); coverage partial there",
                 self.stats.truncated_vars.len()
             );
+        }
+        if let Some(p) = &self.predictive {
+            let _ = writeln!(
+                out,
+                "  predictive: {} race(s), {} predictive-only ({} round(s), {} edge(s) derived, {} gated)",
+                p.races.len(),
+                p.count(PredictClass::PredictiveOnly),
+                p.stats.rounds,
+                p.stats.derived_edges,
+                p.stats.gated,
+            );
+            for (i, r) in p.races.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "  p#{:<2} {:<15} var {:<6} use {} @{} in {}  <->  free {} @{} in {}",
+                    i + 1,
+                    r.class.to_string(),
+                    r.var.to_string(),
+                    r.use_site.at,
+                    r.use_site.read_pc,
+                    trace.task_name(r.use_site.at.task),
+                    r.free_site.at,
+                    r.free_site.pc,
+                    trace.task_name(r.free_site.at.task),
+                );
+            }
         }
         out
     }

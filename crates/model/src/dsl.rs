@@ -83,6 +83,19 @@ pub enum Stmt {
         /// Resume/pause round trips.
         cycles: u32,
     },
+    // ---- predictive-only patterns ----------------------------------------
+    /// A monitor-guarded use/free handoff where the lock protects
+    /// *nothing but the racing pointer*: the HB backend's lockset
+    /// filter suppresses the pair, the predictive backend re-reports
+    /// it, and a directed replay can flip the critical sections to
+    /// confirm the violation ([`Label::Predictive`], confirmable).
+    LockHandoff,
+    /// A use/free pair ordered only through a FIFO posting chain the
+    /// predictive relation relaxes away: predictive-only report whose
+    /// flip the queue discipline makes infeasible — adjudication must
+    /// count it as a false positive ([`Label::Predictive`], not
+    /// confirmable).
+    FifoHandoff,
     // ---- low-level texture -----------------------------------------------
     /// Figure 2's scalar read-write race (`onPause` vs `onLayout`).
     Fig2ScalarRw,
@@ -183,6 +196,8 @@ impl Stmt {
             Stmt::FilteredAlloc => "filtered-alloc",
             Stmt::QueueProtected => "queue-protected",
             Stmt::LifecycleChurn { .. } => "lifecycle-churn",
+            Stmt::LockHandoff => "lock-handoff",
+            Stmt::FifoHandoff => "fifo-handoff",
             Stmt::Fig2ScalarRw => "fig2-scalar-rw",
             Stmt::ScalarBurst { .. } => "scalar-burst",
             Stmt::ServicePoll { .. } => "service-poll",
@@ -219,6 +234,8 @@ impl Stmt {
             Stmt::FilteredAlloc => 2,
             Stmt::QueueProtected => 2,
             Stmt::LifecycleChurn { cycles } => 2 * cycles as usize,
+            Stmt::LockHandoff => 0,
+            Stmt::FifoHandoff => 3,
             Stmt::Fig2ScalarRw => 2,
             Stmt::ScalarBurst { writers, readers } => (writers + readers) as usize,
             Stmt::ServicePoll { .. } => 2,
@@ -272,6 +289,8 @@ impl Stmt {
             }),
             Stmt::FilteredGuard | Stmt::FilteredAlloc => Some(Label::Filtered),
             Stmt::QueueProtected | Stmt::LifecycleChurn { .. } => Some(Label::Ordered),
+            Stmt::LockHandoff => Some(Label::Predictive { confirmable: true }),
+            Stmt::FifoHandoff => Some(Label::Predictive { confirmable: false }),
             _ => None,
         }
     }
@@ -367,6 +386,21 @@ impl AppModel {
         self.stmts
             .iter()
             .filter(|s| matches!(s.label(), Some(Label::Benign { fp: f }) if f == fp))
+            .count()
+    }
+
+    /// Count of embedded predictive-only labels; `confirmable` filters
+    /// to one adjudication outcome when `Some`. These do not enter the
+    /// Table 1 row: the HB backend must stay silent on them.
+    pub fn predictive_count(&self, confirmable: Option<bool>) -> usize {
+        self.stmts
+            .iter()
+            .filter(|s| match s.label() {
+                Some(Label::Predictive { confirmable: c }) => {
+                    confirmable.map_or(true, |want| c == want)
+                }
+                _ => false,
+            })
             .count()
     }
 

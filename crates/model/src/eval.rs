@@ -67,6 +67,11 @@ pub struct Score {
     pub filtered: Tally,
     /// Patterns the happens-before rules must order.
     pub ordered: Tally,
+    /// Predictive-only patterns: silent under the HB backend (this
+    /// tally's `reported` counts any that leak into its report, and
+    /// must stay 0); the predictive backend's extra reports on them
+    /// are scored by the replay adjudication harness, not here.
+    pub predictive: Tally,
     /// Reported races with no ground-truth label (must stay 0: the
     /// workloads label every variable a correct detector can report).
     pub unlabeled: usize,
@@ -130,10 +135,11 @@ impl Score {
             } => &mut self.fp3,
             Label::Filtered => &mut self.filtered,
             Label::Ordered => &mut self.ordered,
+            Label::Predictive { .. } => &mut self.predictive,
         }
     }
 
-    fn buckets(&self) -> [Tally; 8] {
+    fn buckets(&self) -> [Tally; 9] {
         [
             self.a,
             self.b,
@@ -143,10 +149,11 @@ impl Score {
             self.fp3,
             self.filtered,
             self.ordered,
+            self.predictive,
         ]
     }
 
-    fn buckets_mut(&mut self) -> [&mut Tally; 8] {
+    fn buckets_mut(&mut self) -> [&mut Tally; 9] {
         [
             &mut self.a,
             &mut self.b,
@@ -156,6 +163,7 @@ impl Score {
             &mut self.fp3,
             &mut self.filtered,
             &mut self.ordered,
+            &mut self.predictive,
         ]
     }
 
@@ -213,7 +221,7 @@ impl Score {
     pub fn counts_line(&self, name: &str) -> String {
         format!(
             "{name} reported={} a={}/{} b={}/{} c={}/{} fp1={}/{} fp2={}/{} fp3={}/{} \
-             filtered={}/{} ordered={}/{} unlabeled={}",
+             filtered={}/{} ordered={}/{} predictive={}/{} unlabeled={}",
             self.reported,
             self.a.reported,
             self.a.planted,
@@ -231,6 +239,8 @@ impl Score {
             self.filtered.planted,
             self.ordered.reported,
             self.ordered.planted,
+            self.predictive.reported,
+            self.predictive.planted,
             self.unlabeled,
         )
     }
@@ -261,6 +271,7 @@ mod tests {
         );
         t.insert(var(3), Label::Filtered);
         t.insert(var(4), Label::Ordered);
+        t.insert(var(5), Label::Predictive { confirmable: true });
         t
     }
 
@@ -293,6 +304,13 @@ mod tests {
         );
         assert_eq!(
             s.ordered,
+            Tally {
+                planted: 1,
+                reported: 0
+            }
+        );
+        assert_eq!(
+            s.predictive,
             Tally {
                 planted: 1,
                 reported: 0
@@ -353,7 +371,7 @@ mod tests {
         assert_eq!(
             s.counts_line("demo"),
             "demo reported=2 a=1/1 b=0/0 c=0/0 fp1=0/0 fp2=1/1 fp3=0/0 \
-             filtered=0/1 ordered=0/1 unlabeled=0"
+             filtered=0/1 ordered=0/1 predictive=0/1 unlabeled=0"
         );
     }
 }

@@ -305,12 +305,28 @@ fn gen_app(seed: u64, index: usize, size: SizeClass) -> AppModel {
         });
     }
 
+    // Filler and compute draws come before the predictive draws so
+    // every pre-existing (seed, index) keeps its original statement
+    // population, filler budget, and compute knob.
+    let filler = rng.range(k.filler_lo, k.filler_hi) as usize;
+    let compute_units = rng.range(1, 50) as u32;
+
+    // Predictive-only patterns: a lock handoff whose flip replay can
+    // confirm, and a FIFO handoff whose flip is infeasible (adjudicated
+    // as a false positive).
+    if rng.chance(1, 2) {
+        stmts.push(Stmt::LockHandoff);
+    }
+    if rng.chance(1, 3) {
+        stmts.push(Stmt::FifoHandoff);
+    }
+
     let planted: usize = stmts.iter().map(Stmt::events).sum();
-    let events = planted + rng.range(k.filler_lo, k.filler_hi) as usize;
+    let events = planted + filler;
     let model = AppModel {
         name: format!("gen{seed}-{index:04}"),
         events,
-        compute_units: rng.range(1, 50) as u32,
+        compute_units,
         lowlevel_pairs: None,
         stmts,
     };
@@ -438,6 +454,21 @@ mod tests {
         assert!(rows.iter().any(|r| r.fp1 > 0));
         assert!(rows.iter().any(|r| r.fp2 > 0));
         assert!(rows.iter().any(|r| r.fp3 > 0));
+        let confirmable: usize = specs
+            .models
+            .iter()
+            .map(|m| m.predictive_count(Some(true)))
+            .sum();
+        let fp: usize = specs
+            .models
+            .iter()
+            .map(|m| m.predictive_count(Some(false)))
+            .sum();
+        assert!(
+            confirmable > 0,
+            "corpus plants no confirmable predictive race"
+        );
+        assert!(fp > 0, "corpus plants no predictive false positive");
     }
 
     #[test]

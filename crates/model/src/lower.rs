@@ -131,6 +131,8 @@ fn exec(stmt: &Stmt, pats: &mut Patterns<'_>) {
         Stmt::FilteredAlloc => pats.filtered_alloc(),
         Stmt::QueueProtected => pats.queue_protected(),
         Stmt::LifecycleChurn { cycles } => pats.lifecycle_churn(cycles),
+        Stmt::LockHandoff => pats.lock_handoff(),
+        Stmt::FifoHandoff => pats.fifo_handoff(),
         Stmt::Fig2ScalarRw => pats.fig2_scalar_rw(),
         Stmt::ScalarBurst { writers, readers } => {
             pats.scalar_burst(writers as usize, readers as usize);

@@ -603,6 +603,92 @@ impl<'a> Patterns<'a> {
         self.truth.insert(Self::var_id(ptr), Label::Ordered);
     }
 
+    // ---- predictive-only patterns ----------------------------------------------
+
+    /// A monitor-guarded handoff the lock does not actually protect:
+    /// two plain threads take the same monitor, one dereferencing a
+    /// pointer, the other freeing it — and the critical sections share
+    /// *nothing except the racing pointer itself*, so mutual exclusion
+    /// pins no order between them. The HB backend's lockset filter
+    /// suppresses the pair (common lock held at both sites); the
+    /// predictive backend re-reports it because no other conflicting
+    /// access fixes which section runs first, and a directed replay of
+    /// the stress variant can run the freeing section first to confirm
+    /// the violation.
+    pub fn lock_handoff(&mut self) {
+        let t = self.next_slot();
+        let tag = self.tag("lh");
+        let ptr = self.p.ptr_var_alloc();
+        let m = self.p.monitor();
+        self.thread_at(
+            &format!("{tag}:worker"),
+            t,
+            vec![
+                Action::Lock(m),
+                Action::UsePtr {
+                    var: ptr,
+                    kind: DerefKind::Invoke,
+                    catch_npe: false,
+                },
+                Action::Unlock(m),
+            ],
+        );
+        self.thread_at(
+            &format!("{tag}:closer"),
+            t + self.gap(30),
+            vec![Action::Lock(m), Action::FreePtr(ptr), Action::Unlock(m)],
+        );
+        self.truth
+            .insert(Self::var_id(ptr), Label::Predictive { confirmable: true });
+    }
+
+    /// A use/free pair whose only ordering is a FIFO posting chain the
+    /// predictive relation relaxes away: one thread posts the using
+    /// event and then a flush event with equal delays (queue rule 1
+    /// orders them in HB, but the two events conflict on nothing, so
+    /// the predictive conflict gate drops the edge); the flush event
+    /// touches a private scalar and posts the freeing event. HB chains
+    /// use ≺ flush ≺ free and stays silent; the predictive backend
+    /// reports the pair — but the queue's FIFO discipline means no
+    /// real schedule can run the free first, so adjudication must
+    /// count the report as a false positive.
+    pub fn fifo_handoff(&mut self) {
+        let t = self.next_slot();
+        let tag = self.tag("fh");
+        let ptr = self.p.ptr_var_alloc();
+        let noise = self.p.scalar_var(0);
+        let use_h = self
+            .p
+            .handler(&format!("{tag}:onShow"), Body::new().use_ptr(ptr));
+        let free_h = self
+            .p
+            .handler(&format!("{tag}:onTeardown"), Body::new().free(ptr));
+        let flush_h = self.p.handler(
+            &format!("{tag}:onFlush"),
+            Body::new().write(noise, 1).post(self.looper, free_h, 0),
+        );
+        let (l, u, fl) = (self.looper, use_h, flush_h);
+        self.thread_at(
+            &format!("{tag}:src"),
+            t,
+            vec![
+                Action::Post {
+                    looper: l,
+                    handler: u,
+                    delay_ms: 2,
+                },
+                Action::Post {
+                    looper: l,
+                    handler: fl,
+                    delay_ms: 2,
+                },
+            ],
+        );
+        self.events += 3;
+        self.truth
+            .insert(Self::var_id(ptr), Label::Predictive { confirmable: false });
+    }
+
     // ---- low-level-race texture -----------------------------------------------
 
     /// Figure 2's ConnectBot pattern: a scalar read-write race between

@@ -92,6 +92,8 @@ pub fn to_text(model: &AppModel) -> String {
                 let _ = write!(out, " turns={turns}");
             }
             Stmt::Conv
+            | Stmt::LockHandoff
+            | Stmt::FifoHandoff
             | Stmt::FpBoolGuard
             | Stmt::FpAlias
             | Stmt::FilteredGuard
@@ -435,6 +437,8 @@ fn parse_stmt(keyword: &str, tokens: &[Token], line: usize) -> Result<Stmt, Mode
         "lifecycle-churn" => Stmt::LifecycleChurn {
             cycles: args.num("cycles")?,
         },
+        "lock-handoff" => Stmt::LockHandoff,
+        "fifo-handoff" => Stmt::FifoHandoff,
         "fig2-scalar-rw" => Stmt::Fig2ScalarRw,
         "scalar-burst" => Stmt::ScalarBurst {
             writers: args.num("writers")?,
@@ -612,6 +616,8 @@ mod tests {
                 Stmt::FilteredAlloc,
                 Stmt::QueueProtected,
                 Stmt::LifecycleChurn { cycles: 2 },
+                Stmt::LockHandoff,
+                Stmt::FifoHandoff,
                 Stmt::Fig2ScalarRw,
                 Stmt::ScalarBurst {
                     writers: 1,

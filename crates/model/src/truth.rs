@@ -57,6 +57,15 @@ pub enum Label {
     /// model without queue rules (the §7.1.1 comparison; exercised by
     /// the ablation bench).
     Ordered,
+    /// A pattern the HB backend keeps silent on (ordered or filtered in
+    /// the observed trace) that the *predictive* backend reports:
+    /// `confirmable` says whether the claimed reordering is actually
+    /// feasible — replay adjudication must confirm it with a witness
+    /// when `true` and count it as a false positive when `false`.
+    Predictive {
+        /// The flip is feasible and a directed replay can witness it.
+        confirmable: bool,
+    },
 }
 
 /// Label table for one workload.
@@ -115,6 +124,18 @@ impl GroundTruth {
         self.labels
             .values()
             .filter(|l| matches!(l, Label::Benign { fp: f } if *f == fp))
+            .count()
+    }
+
+    /// Count of predictive-only labels; `confirmable` filters to one
+    /// adjudication outcome when `Some`.
+    pub fn predictive_count(&self, confirmable: Option<bool>) -> usize {
+        self.labels
+            .values()
+            .filter(|l| match **l {
+                Label::Predictive { confirmable: c } => confirmable.map_or(true, |want| c == want),
+                _ => false,
+            })
             .count()
     }
 

@@ -1,0 +1,830 @@
+//! Predictive (weaker-than-HB) partial order for event-driven traces.
+//!
+//! The PLDI'14 happens-before model orders exactly what the *observed*
+//! execution proves ordered: the §3.3 atomicity and queue rules fire
+//! unconditionally, and the external-input rule chains every pair of
+//! user gestures. That relation is sound for the observed trace, but it
+//! also orders event pairs that could legitimately run the other way in
+//! a feasible reordering — races the single-trace model can never
+//! report. Predictive detectors (WCP, DC, SmartTrack — see PAPERS.md)
+//! weaken the order so that only *conflicting* operations keep their
+//! observed ordering, then lean on a secondary judge to discharge the
+//! unsound remainder.
+//!
+//! [`PredictModel`] is that weaker relation for the CAFA event model:
+//!
+//! * base edges (program order, fork/join, wait/notify, post→begin,
+//!   RPC, listener registration) are kept as hard causality;
+//! * the **external-input rule** is *conflict-scoped*: two gestures are
+//!   ordered only when their handlers access a common variable —
+//!   independent gestures could arrive in either order;
+//! * the **atomicity and queue rules** are *conflict-gated*: a derived
+//!   `end(e₁) → begin(e₂)` edge is kept only when `e₁` and `e₂` access
+//!   a common variable. A FIFO ordering between events that share no
+//!   state is an accident of the observed schedule, not causality —
+//!   dropping it is exactly the DC-style "doesn't-commute" relaxation.
+//!
+//! Every fact of this relation is implied by the paper's model, so the
+//! predictive order is a subset of HB (`predictive ⊆ HB`, pinned by
+//! `tests/predictive_differential.rs`): anything HB-concurrent stays
+//! concurrent here, and some HB-ordered pairs become concurrent — those
+//! are the *predictive-only* race candidates. The relation is
+//! deliberately unsound in isolation; `cafa-replay`'s directed→guided→
+//! random ladder adjudicates every extra report into a replay-confirmed
+//! witness or a counted false positive (see `docs/PREDICT.md`).
+//!
+//! Lock treatment mirrors the same philosophy. The detector's lockset
+//! filter suppresses any racing pair covered by a common monitor; the
+//! predictive backend honors that suppression only when the two tasks
+//! conflict on state *beyond the racing variable*
+//! ([`PredictModel::tasks_conflict_besides`]) — a WCP-style
+//! release-acquire trust limited to critical sections that demonstrably
+//! sequence other shared data. A lock whose sections touch only the
+//! racing pointer does not decide the order of its sections, so the
+//! pair stays reportable and replay decides.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::fmt;
+
+use cafa_hb::bitset::BitSet;
+use cafa_hb::{
+    base_graph, resolve_threads, CausalityConfig, EdgeKind, EventTable, HbError, NodeId,
+    ReachOracle, SyncGraph,
+};
+use cafa_trace::{OpRef, QueueId, Record, TaskId, Trace, VarId};
+
+/// Upper bound on fixpoint rounds, same safety net as the HB engine.
+const MAX_ROUNDS: u32 = 64;
+
+/// A failure while building the predictive model.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PredictError {
+    /// The underlying graph machinery failed (malformed trace, cycle).
+    Hb(HbError),
+    /// The conflict-gated fixpoint failed to converge within the round
+    /// limit. The gate only removes rule firings, so this can only
+    /// happen on traces where the HB fixpoint diverges too.
+    Diverged {
+        /// Rounds executed before giving up.
+        rounds: u32,
+    },
+}
+
+impl fmt::Display for PredictError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredictError::Hb(e) => write!(f, "predictive model: {e}"),
+            PredictError::Diverged { rounds } => write!(
+                f,
+                "predictive rule fixpoint failed to converge after {rounds} rounds"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PredictError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PredictError::Hb(e) => Some(e),
+            PredictError::Diverged { .. } => None,
+        }
+    }
+}
+
+impl From<HbError> for PredictError {
+    fn from(e: HbError) -> Self {
+        PredictError::Hb(e)
+    }
+}
+
+impl From<PredictError> for HbError {
+    fn from(e: PredictError) -> Self {
+        match e {
+            PredictError::Hb(e) => e,
+            PredictError::Diverged { rounds } => HbError::diverged_after(rounds),
+        }
+    }
+}
+
+/// Statistics about a completed predictive-model build.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PredictStats {
+    /// Event tasks in the trace.
+    pub events: usize,
+    /// Send sites feeding the queue rules.
+    pub sends: usize,
+    /// Conflict-scoped external-input edges added (gesture pairs whose
+    /// handlers conflict).
+    pub external_edges: usize,
+    /// Rounds until the gated fixpoint converged (≥ 1).
+    pub rounds: u32,
+    /// Rule instances evaluated (premise candidates + side-condition
+    /// checks), the naive re-test-everything count.
+    pub instances: u64,
+    /// Rule conclusions suppressed by the conflict gate: orderings the
+    /// HB model materializes that this relation deliberately drops.
+    pub gated: u64,
+    /// Atomicity/queue edges actually added.
+    pub derived_edges: usize,
+}
+
+/// One `send`/`sendAtFront` occurrence (the HB crate's equivalent
+/// structure is crate-private).
+#[derive(Clone, Copy, Debug)]
+struct SendSite {
+    node: NodeId,
+    event: TaskId,
+    queue: QueueId,
+    delay_ms: u64,
+    front: bool,
+}
+
+/// The predictive partial order over one trace, queryable per
+/// operation pair through the same chain-decomposition oracle the HB
+/// model uses.
+#[derive(Debug)]
+pub struct PredictModel {
+    graph: SyncGraph,
+    oracle: ReachOracle,
+    /// Per task: the variables its body accesses.
+    access: Vec<BitSet>,
+    stats: PredictStats,
+}
+
+impl PredictModel {
+    /// Builds the predictive order for `trace`: hard base edges, the
+    /// conflict-scoped external rule, then the conflict-gated §3.3
+    /// fixpoint, closed into a [`ReachOracle`] using up to `threads`
+    /// workers (0 = auto). Deterministic at every thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`PredictError::Hb`] on malformed traces or a cyclic relation
+    /// (impossible for recorded executions), [`PredictError::Diverged`]
+    /// if the fixpoint exceeds its round limit.
+    pub fn build(trace: &Trace, threads: usize) -> Result<Self, PredictError> {
+        let mut config = CausalityConfig::cafa();
+        config.external_rule = false;
+        let mut g = base_graph(trace, &config);
+        let table = EventTable::new(trace)?;
+        let access = access_sets(trace);
+        let mut stats = PredictStats {
+            events: table.len(),
+            ..PredictStats::default()
+        };
+
+        // Conflict-scoped external-input rule: order a gesture pair
+        // only when the handlers share state. The HB chain orders all
+        // pairs transitively, so every edge added here is HB-implied.
+        let ext = trace.external_events();
+        for (i, &a) in ext.iter().enumerate() {
+            for &b in &ext[i + 1..] {
+                if conflicts(&access, a, b) && g.add_edge(g.end(a), g.begin(b), EdgeKind::External)
+                {
+                    stats.external_edges += 1;
+                }
+            }
+        }
+
+        let sends = collect_sends(&g, trace);
+        stats.sends = sends.len();
+        fixpoint(&mut g, trace, &table, &sends, &access, &mut stats)?;
+
+        let oracle = ReachOracle::build(&g, resolve_threads(threads))
+            .map_err(|nodes| PredictError::Hb(HbError::cyclic(&g, &nodes)))?;
+        Ok(Self {
+            graph: g,
+            oracle,
+            access,
+            stats,
+        })
+    }
+
+    /// Does `a` happen before `b` under the predictive order? Same-task
+    /// operations follow program order; cross-task pairs are bracketed
+    /// to their surrounding sync nodes and answered by the oracle —
+    /// the exact query discipline of `HbModel::happens_before`.
+    pub fn happens_before(&self, a: OpRef, b: OpRef) -> bool {
+        if a.task == b.task {
+            return a.index < b.index;
+        }
+        self.oracle
+            .reaches(self.graph.bracket_after(a), self.graph.bracket_before(b))
+    }
+
+    /// True when neither operation is predictive-ordered before the
+    /// other.
+    pub fn concurrent(&self, a: OpRef, b: OpRef) -> bool {
+        !self.happens_before(a, b) && !self.happens_before(b, a)
+    }
+
+    /// Do the bodies of `a` and `b` access a common variable other than
+    /// `var`? The predictive lockset relaxation: a common monitor
+    /// suppresses a racing pair only when this holds — critical
+    /// sections that sequence no state beyond the racing variable do
+    /// not pin their own order, so the pair stays reportable.
+    pub fn tasks_conflict_besides(&self, a: TaskId, b: TaskId, var: VarId) -> bool {
+        let (sa, sb) = (&self.access[a.index()], &self.access[b.index()]);
+        let skip = var.index();
+        let (skip_word, skip_bit) = (skip / 64, 1u64 << (skip % 64));
+        sa.words()
+            .iter()
+            .zip(sb.words())
+            .enumerate()
+            .any(|(w, (x, y))| {
+                let mut both = x & y;
+                if w == skip_word {
+                    both &= !skip_bit;
+                }
+                both != 0
+            })
+    }
+
+    /// Build statistics.
+    pub fn stats(&self) -> PredictStats {
+        self.stats
+    }
+}
+
+/// Per task: the set of variables its body reads or writes (scalar or
+/// pointer). The conflict relation of the gate.
+fn access_sets(trace: &Trace) -> Vec<BitSet> {
+    let width = trace
+        .iter_ops()
+        .filter_map(|(_, r)| r.accessed_var())
+        .map(|v| v.index() + 1)
+        .max()
+        .unwrap_or(0);
+    let mut sets = vec![BitSet::new(width); trace.task_count()];
+    for (at, r) in trace.iter_ops() {
+        if let Some(var) = r.accessed_var() {
+            sets[at.task.index()].insert(var.index());
+        }
+    }
+    sets
+}
+
+/// Do two tasks access a common variable?
+fn conflicts(access: &[BitSet], a: TaskId, b: TaskId) -> bool {
+    access[a.index()]
+        .words()
+        .iter()
+        .zip(access[b.index()].words())
+        .any(|(x, y)| x & y != 0)
+}
+
+/// Collects the send sites of `trace` (nodes resolved against `g`).
+fn collect_sends(g: &SyncGraph, trace: &Trace) -> Vec<SendSite> {
+    let mut sends = Vec::new();
+    for (at, r) in trace.iter_ops() {
+        let (event, queue, delay_ms, front) = match *r {
+            Record::Send {
+                event,
+                queue,
+                delay_ms,
+            } => (event, queue, delay_ms, false),
+            Record::SendAtFront { event, queue } => (event, queue, 0, true),
+            _ => continue,
+        };
+        let node = g.node_of(at).expect("send records are sync nodes");
+        sends.push(SendSite {
+            node,
+            event,
+            queue,
+            delay_ms,
+            front,
+        });
+    }
+    sends
+}
+
+/// Computes, for every node, which marked nodes reach it (strictly,
+/// through at least one edge) — the naive full-sweep reachability the
+/// HB reference engine uses per round.
+fn flow(g: &SyncGraph, topo: &[NodeId], mark_of: &[Option<u32>], width: usize) -> Vec<BitSet> {
+    let mut acc: Vec<BitSet> = vec![BitSet::new(0); g.node_count()];
+    for &n in topo {
+        let mut row = BitSet::new(width);
+        for p in g.preds(n) {
+            row.union_with(&acc[p as usize]);
+            if let Some(m) = mark_of[p as usize] {
+                row.insert(m as usize);
+            }
+        }
+        acc[n as usize] = row;
+    }
+    acc
+}
+
+/// Immutable per-build rule indices.
+struct RuleCtx<'a> {
+    table: &'a EventTable,
+    sends: &'a [SendSite],
+    access: &'a [BitSet],
+    /// Per queue: dense-event membership mask.
+    queue_mask: Vec<BitSet>,
+    /// Per queue: send-site membership mask.
+    queue_send_mask: Vec<BitSet>,
+    /// `begin(e)` / `end(e)` node per dense event.
+    event_begin: Vec<NodeId>,
+    event_end: Vec<NodeId>,
+    /// Dense event → its (unique) posting send site, if any.
+    send_of_event: Vec<Option<u32>>,
+    /// Node → dense source marks for the three flow families.
+    begin_marks: Vec<Option<u32>>,
+    end_marks: Vec<Option<u32>>,
+    send_marks: Vec<Option<u32>>,
+}
+
+impl<'a> RuleCtx<'a> {
+    fn new(
+        g: &SyncGraph,
+        trace: &Trace,
+        table: &'a EventTable,
+        sends: &'a [SendSite],
+        access: &'a [BitSet],
+    ) -> Self {
+        let ev_count = table.len();
+        let mut queue_mask = vec![BitSet::new(ev_count); trace.queue_count()];
+        for (i, &q) in table.queue_of.iter().enumerate() {
+            queue_mask[q.index()].insert(i);
+        }
+        let mut queue_send_mask = vec![BitSet::new(sends.len()); trace.queue_count()];
+        for (i, s) in sends.iter().enumerate() {
+            queue_send_mask[s.queue.index()].insert(i);
+        }
+        let mut begin_marks: Vec<Option<u32>> = vec![None; g.node_count()];
+        let mut end_marks: Vec<Option<u32>> = vec![None; g.node_count()];
+        for (i, &e) in table.events.iter().enumerate() {
+            begin_marks[g.begin(e) as usize] = Some(i as u32);
+            end_marks[g.end(e) as usize] = Some(i as u32);
+        }
+        let event_begin: Vec<NodeId> = table.events.iter().map(|&e| g.begin(e)).collect();
+        let event_end: Vec<NodeId> = table.events.iter().map(|&e| g.end(e)).collect();
+        let mut send_marks: Vec<Option<u32>> = vec![None; g.node_count()];
+        let mut send_of_event: Vec<Option<u32>> = vec![None; ev_count];
+        for (i, s) in sends.iter().enumerate() {
+            send_marks[s.node as usize] = Some(i as u32);
+            // Each event is posted by at most one send (trace validation).
+            if let Some(d) = table.dense(s.event) {
+                send_of_event[d as usize] = Some(i as u32);
+            }
+        }
+        Self {
+            table,
+            sends,
+            access,
+            queue_mask,
+            queue_send_mask,
+            event_begin,
+            event_end,
+            send_of_event,
+            begin_marks,
+            end_marks,
+            send_marks,
+        }
+    }
+
+    /// The conflict gate on a dense event pair.
+    fn gate(&self, i: usize, j: usize) -> bool {
+        conflicts(self.access, self.table.events[i], self.table.events[j])
+    }
+}
+
+/// Round-start reachability facts.
+struct Rows {
+    acc_end: Vec<BitSet>,
+    acc_begin: Vec<BitSet>,
+    acc_send: Option<Vec<BitSet>>,
+}
+
+/// Round-local working-set scratch (the chain-folding discipline of the
+/// HB engine, without its memo/delta machinery).
+struct Scratch {
+    /// Saved working set per anchor that fired this round.
+    evord: Vec<BitSet>,
+    fired: Vec<u32>,
+    fired_mask: BitSet,
+    set: BitSet,
+    fresh: Vec<usize>,
+    empty: BitSet,
+    empty_send: BitSet,
+}
+
+impl Scratch {
+    fn new(ev_count: usize, send_count: usize) -> Self {
+        Self {
+            evord: vec![BitSet::new(0); ev_count],
+            fired: Vec::new(),
+            fired_mask: BitSet::new(ev_count),
+            set: BitSet::new(ev_count),
+            fresh: Vec::new(),
+            empty: BitSet::new(ev_count),
+            empty_send: BitSet::new(send_count),
+        }
+    }
+}
+
+/// Absorbs a fired conclusion `end(e_i1) → begin(e_j)` into the
+/// anchor's working set, folding `e_i1`'s own prior when it is ordered
+/// earlier this round — so an already-ordered chain materializes only
+/// its frontier edges instead of all O(n²) transitive pairs.
+#[allow(clippy::too_many_arguments)]
+fn absorb(
+    set: &mut BitSet,
+    evord: &[BitSet],
+    fired_mask: &BitSet,
+    empty: &BitSet,
+    rows: &Rows,
+    ctx: &RuleCtx<'_>,
+    order_pos: &[u32],
+    i1: usize,
+    j: usize,
+) {
+    set.insert(i1);
+    if order_pos[i1] >= order_pos[j] {
+        return;
+    }
+    // Folding i1's prior claims end(x) ≺ begin(i1) ≺ end(i1) ≺ begin(j);
+    // the middle link is i1's own begin→end chain, present once sealed.
+    if !rows.acc_begin[ctx.event_end[i1] as usize].contains(i1) {
+        return;
+    }
+    if fired_mask.contains(i1) {
+        set.union_with(&evord[i1]);
+        return;
+    }
+    set.union_with(&rows.acc_end[ctx.event_begin[i1] as usize]);
+    // i1's fired begin-predecessors: end(x) ≺ begin(k) ≺ begin(i1)
+    // ≺ end(i1) ≺ begin(j) for every x in their saved sets.
+    let row = &rows.acc_begin[ctx.event_begin[i1] as usize];
+    row.for_each_in_diff(fired_mask, empty, |k| {
+        set.union_with(&evord[k]);
+    });
+}
+
+/// One round of the conflict-gated rules over round-start facts: the
+/// atomicity rule and queue rules 1/3 at every anchor (event order),
+/// then the memo-less front-send rules 2/4. Identical premise and
+/// side-condition logic to the HB engine's round core; the only
+/// difference is the gate applied to each conclusion's event pair.
+fn run_round(
+    g: &mut SyncGraph,
+    ctx: &RuleCtx<'_>,
+    rows: &Rows,
+    anchors: &[u32],
+    positions: (&[u32], &[u32]),
+    sc: &mut Scratch,
+    stats: &mut PredictStats,
+) {
+    let (topo_pos, order_pos) = positions;
+    let Scratch {
+        evord,
+        fired,
+        fired_mask,
+        set,
+        fresh,
+        empty,
+        empty_send,
+    } = sc;
+    fired.clear();
+    fired_mask.clear();
+
+    for &j32 in anchors {
+        let j = j32 as usize;
+        let begin_j = ctx.event_begin[j];
+
+        // Working set: events whose end ≺ begin(e_j) at round start,
+        // plus this round's conclusions at begin-predecessors.
+        set.copy_from(&rows.acc_end[begin_j as usize]);
+        rows.acc_begin[begin_j as usize].for_each_in_diff(fired_mask, empty, |k| {
+            set.union_with(&evord[k]);
+        });
+        let mut anchor_fired = false;
+
+        // Atomicity rule: same-looper e1 with begin(e1) ≺ end(e_j).
+        {
+            let reach_end = &rows.acc_begin[ctx.event_end[j] as usize];
+            let mask = &ctx.queue_mask[ctx.table.queue_of[j].index()];
+            fresh.clear();
+            reach_end.for_each_in_diff(mask, empty, |i1| {
+                if i1 != j {
+                    fresh.push(i1);
+                }
+            });
+            stats.instances += fresh.len() as u64;
+            // Latest predecessors first, as in the HB engine: firing
+            // the nearest pair first lets its absorbed set imply the
+            // earlier ones, keeping materialized edges near-linear.
+            fresh.sort_by_key(|&i1| std::cmp::Reverse(topo_pos[ctx.event_begin[i1] as usize]));
+            for &i1 in fresh.iter() {
+                if set.contains(i1) {
+                    continue; // already implied
+                }
+                if !ctx.gate(i1, j) {
+                    stats.gated += 1;
+                    continue; // HB would order this pair; we drop it
+                }
+                if g.add_edge(g.end(ctx.table.events[i1]), begin_j, EdgeKind::Atomicity) {
+                    stats.derived_edges += 1;
+                    anchor_fired = true;
+                    absorb(set, evord, fired_mask, empty, rows, ctx, order_pos, i1, j);
+                }
+            }
+        }
+
+        // Queue rules 1 and 3, with e_j as the later-sent event.
+        if let (Some(acc_send), Some(sj)) = (rows.acc_send.as_ref(), ctx.send_of_event[j]) {
+            let sj = sj as usize;
+            let s2 = ctx.sends[sj];
+            if !s2.front {
+                let reach = &acc_send[s2.node as usize];
+                let mask = &ctx.queue_send_mask[s2.queue.index()];
+                fresh.clear();
+                reach.for_each_in_diff(mask, empty_send, |i| {
+                    if i != sj {
+                        fresh.push(i);
+                    }
+                });
+                stats.instances += fresh.len() as u64;
+                fresh.sort_by_key(|&i| {
+                    ctx.table
+                        .dense(ctx.sends[i].event)
+                        .map(|d| std::cmp::Reverse(topo_pos[ctx.event_begin[d as usize] as usize]))
+                        .unwrap_or(std::cmp::Reverse(0))
+                });
+                for &i in fresh.iter() {
+                    let s1 = &ctx.sends[i];
+                    if !(s1.front || s1.delay_ms <= s2.delay_ms) {
+                        continue;
+                    }
+                    let i1 = ctx.table.dense(s1.event).expect("sent tasks are events") as usize;
+                    if set.contains(i1) {
+                        continue; // already implied
+                    }
+                    if !ctx.gate(i1, j) {
+                        stats.gated += 1;
+                        continue;
+                    }
+                    let rule = if s1.front { 3u8 } else { 1 };
+                    if g.add_edge(g.end(s1.event), begin_j, EdgeKind::Queue(rule)) {
+                        stats.derived_edges += 1;
+                        anchor_fired = true;
+                        absorb(set, evord, fired_mask, empty, rows, ctx, order_pos, i1, j);
+                    }
+                }
+            }
+        }
+
+        if anchor_fired {
+            evord[j].copy_from(set);
+            fired_mask.insert(j);
+            fired.push(j32);
+        }
+    }
+
+    // Queue rules 2 and 4: a front-send s2 ordered after s1, with
+    // s2 ≺ begin(e1) — the conclusion reverses (e2 runs first).
+    if let Some(acc_send) = rows.acc_send.as_ref() {
+        for (j, s2) in ctx.sends.iter().enumerate() {
+            if !s2.front {
+                continue;
+            }
+            let reach = &acc_send[s2.node as usize];
+            let mask = &ctx.queue_send_mask[s2.queue.index()];
+            for i in reach.iter() {
+                if i == j || !mask.contains(i) {
+                    continue;
+                }
+                stats.instances += 1;
+                let s1 = &ctx.sends[i];
+                let begin_e1 = g.begin(s1.event);
+                if !acc_send[begin_e1 as usize].contains(j) {
+                    continue; // side condition s2 ≺ begin(e1) not met
+                }
+                let i1 = ctx.table.dense(s1.event).expect("sent tasks are events") as usize;
+                let i2 = ctx.table.dense(s2.event).expect("sent tasks are events") as usize;
+                if rows.acc_end[ctx.event_begin[i1] as usize].contains(i2)
+                    || (fired_mask.contains(i1) && evord[i1].contains(i2))
+                    || fired.iter().any(|&k| {
+                        rows.acc_begin[ctx.event_begin[i1] as usize].contains(k as usize)
+                            && evord[k as usize].contains(i2)
+                    })
+                {
+                    continue; // already implied
+                }
+                if !ctx.gate(i2, i1) {
+                    stats.gated += 1;
+                    continue;
+                }
+                let rule = if s1.front { 4u8 } else { 2 };
+                if g.add_edge(g.end(s2.event), begin_e1, EdgeKind::Queue(rule)) {
+                    stats.derived_edges += 1;
+                }
+            }
+        }
+    }
+}
+
+/// The naive round loop: full flow sweeps, re-test every rule instance,
+/// stop when no new edge appears. Matches the HB reference engine's
+/// naive fixpoint structure; the conflict gate only removes firings,
+/// so convergence is inherited.
+fn fixpoint(
+    g: &mut SyncGraph,
+    trace: &Trace,
+    table: &EventTable,
+    sends: &[SendSite],
+    access: &[BitSet],
+    stats: &mut PredictStats,
+) -> Result<(), PredictError> {
+    let ev_count = table.len();
+    if ev_count == 0 {
+        g.topo_order()
+            .map_err(|nodes| PredictError::Hb(HbError::cyclic(g, &nodes)))?;
+        stats.rounds = 1;
+        return Ok(());
+    }
+    let ctx = RuleCtx::new(g, trace, table, sends, access);
+
+    let track_send = !sends.is_empty();
+    let mut topo_pos: Vec<u32> = vec![0; g.node_count()];
+    let mut event_order: Vec<u32> = (0..ev_count as u32).collect();
+    let mut order_pos: Vec<u32> = vec![0; ev_count];
+    let mut sc = Scratch::new(ev_count, sends.len());
+
+    loop {
+        stats.rounds += 1;
+        if stats.rounds > MAX_ROUNDS {
+            return Err(PredictError::Diverged {
+                rounds: stats.rounds - 1,
+            });
+        }
+        let topo = g
+            .topo_order()
+            .map_err(|nodes| PredictError::Hb(HbError::cyclic(g, &nodes)))?;
+
+        let acc_end = flow(g, &topo, &ctx.end_marks, ev_count);
+        let acc_begin = flow(g, &topo, &ctx.begin_marks, ev_count);
+        let acc_send = track_send.then(|| flow(g, &topo, &ctx.send_marks, sends.len()));
+
+        for (pos, &n) in topo.iter().enumerate() {
+            topo_pos[n as usize] = pos as u32;
+        }
+        event_order.sort_by_key(|&i| topo_pos[ctx.event_begin[i as usize] as usize]);
+        for (pos, &i) in event_order.iter().enumerate() {
+            order_pos[i as usize] = pos as u32;
+        }
+
+        let rows = Rows {
+            acc_end,
+            acc_begin,
+            acc_send,
+        };
+        let before = g.edge_log().len();
+        run_round(
+            g,
+            &ctx,
+            &rows,
+            &event_order,
+            (&topo_pos, &order_pos),
+            &mut sc,
+            stats,
+        );
+        if g.edge_log().len() == before {
+            return Ok(());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cafa_trace::TraceBuilder;
+
+    /// Two externally posted gestures whose handlers conflict stay
+    /// ordered; an unrelated pair becomes concurrent (HB orders both).
+    #[test]
+    fn external_rule_is_conflict_scoped() {
+        let mut b = TraceBuilder::new("ext");
+        let p = b.add_process();
+        let q = b.add_queue(p);
+        let t1 = b.external(q, "tap1");
+        let t2 = b.external(q, "tap2");
+        let t3 = b.external(q, "tap3");
+        b.process_event(t1);
+        b.process_event(t2);
+        b.process_event(t3);
+        let shared = VarId::new(0);
+        let lonely = VarId::new(1);
+        let u1 = b.write(t1, shared);
+        let u2 = b.read(t2, shared);
+        let u3 = b.read(t3, lonely);
+        let trace = b.finish().unwrap();
+
+        let m = PredictModel::build(&trace, 1).unwrap();
+        assert!(
+            m.happens_before(u1, u2),
+            "conflicting gestures stay ordered"
+        );
+        assert!(m.concurrent(u1, u3), "independent gestures decouple");
+        assert!(m.concurrent(u2, u3));
+        assert_eq!(m.stats().external_edges, 1);
+    }
+
+    /// The queue rules still fire between conflicting events but are
+    /// gated off for disjoint ones.
+    #[test]
+    fn queue_rule_is_conflict_gated() {
+        let shared = VarId::new(0);
+        let other = VarId::new(1);
+
+        // Conflicting pair: ordered sends, equal delays → rule 1 fires.
+        let mut b = TraceBuilder::new("gated");
+        let p = b.add_process();
+        let q = b.add_queue(p);
+        let src = b.add_thread(p, "src");
+        let e1 = b.post(src, q, "e1", 5);
+        let e2 = b.post(src, q, "e2", 5);
+        b.process_event(e1);
+        b.process_event(e2);
+        let a1 = b.write(e1, shared);
+        let a2 = b.read(e2, shared);
+        let trace = b.finish().unwrap();
+        let m = PredictModel::build(&trace, 1).unwrap();
+        assert!(m.happens_before(a1, a2), "conflicting FIFO pair kept");
+        assert!(m.stats().derived_edges >= 1);
+
+        // Disjoint pair: same shape, no shared variable → concurrent.
+        let mut b = TraceBuilder::new("gated2");
+        let p = b.add_process();
+        let q = b.add_queue(p);
+        let src = b.add_thread(p, "src");
+        let e1 = b.post(src, q, "e1", 5);
+        let e2 = b.post(src, q, "e2", 5);
+        b.process_event(e1);
+        b.process_event(e2);
+        let a1 = b.write(e1, shared);
+        let a2 = b.read(e2, other);
+        let trace = b.finish().unwrap();
+        let m = PredictModel::build(&trace, 1).unwrap();
+        assert!(m.concurrent(a1, a2), "disjoint FIFO pair decoupled");
+        assert!(m.stats().gated >= 1);
+    }
+
+    /// Hard causality (post→begin) is never relaxed.
+    #[test]
+    fn base_edges_are_hard() {
+        let mut b = TraceBuilder::new("base");
+        let p = b.add_process();
+        let q = b.add_queue(p);
+        let src = b.add_thread(p, "src");
+        let v = VarId::new(0);
+        let w = b.write(src, v);
+        let e = b.post(src, q, "e", 0);
+        b.process_event(e);
+        let r = b.read(e, v);
+        let trace = b.finish().unwrap();
+        let m = PredictModel::build(&trace, 1).unwrap();
+        assert!(m.happens_before(w, r));
+    }
+
+    /// The lockset relaxation: conflict beyond the racing variable.
+    #[test]
+    fn conflict_besides_excludes_the_racing_var() {
+        let mut b = TraceBuilder::new("locks");
+        let p = b.add_process();
+        let t1 = b.add_thread(p, "a");
+        let t2 = b.add_thread(p, "b");
+        let ptr = VarId::new(0);
+        let flag = VarId::new(1);
+        b.write(t1, ptr);
+        b.write(t2, ptr);
+        b.write(t1, flag);
+        let trace = b.finish().unwrap();
+        let m = PredictModel::build(&trace, 1).unwrap();
+        assert!(
+            !m.tasks_conflict_besides(t1, t2, ptr),
+            "only the pair's var"
+        );
+
+        let mut b = TraceBuilder::new("locks2");
+        let p = b.add_process();
+        let t1 = b.add_thread(p, "a");
+        let t2 = b.add_thread(p, "b");
+        b.write(t1, ptr);
+        b.write(t2, ptr);
+        b.write(t1, flag);
+        b.write(t2, flag);
+        let trace = b.finish().unwrap();
+        let m = PredictModel::build(&trace, 1).unwrap();
+        assert!(
+            m.tasks_conflict_besides(t1, t2, ptr),
+            "flag conflicts beyond ptr"
+        );
+    }
+}

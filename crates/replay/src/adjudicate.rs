@@ -1,0 +1,143 @@
+//! Batch adjudication of predictive-only reports.
+//!
+//! The predictive backend (`cafa-predict`) is deliberately unsound in
+//! isolation: it weakens the observed-trace happens-before relation,
+//! so every report it makes *beyond* the HB backend's is a claim about
+//! an execution nobody observed. This module is the judge the design
+//! defers that soundness to: each `predictive-only` report is pushed
+//! through the same directed → guided → random search ladder as
+//! [`validate_app`](crate::validate::validate_app) uses, and lands as
+//! either a **replay-confirmed witness** (the reordering is feasible
+//! and fires the violation) or a **counted false positive** (the
+//! search budget exhausted without a witness — often because directed
+//! synthesis already proved the flip infeasible, e.g. a FIFO ordering
+//! the simulator can never invert).
+//!
+//! Unlike `validate_app`, the caller supplies the variables to judge —
+//! the detector already classified the reports — so no second analysis
+//! runs; the pipeline is record-full-coverage → synthesize per var →
+//! search ladder against the stress variant.
+
+use cafa_apps::AppSpec;
+use cafa_core::{AnalysisSession, PassStats};
+use cafa_hb::CausalityConfig;
+use cafa_trace::VarId;
+
+use crate::driver::{validate_race, RaceValidation, ReplayConfig};
+use crate::synth::{synthesize, synthesize_guided, Infeasible};
+use crate::ReplayError;
+
+/// The adjudicated fate of one predictive-only report.
+#[derive(Clone, Debug)]
+pub struct Adjudication {
+    /// The raced variable.
+    pub var: VarId,
+    /// The full search outcome (witness, method, run counts).
+    pub validation: RaceValidation,
+    /// `Some` when directed synthesis proved the flip infeasible — the
+    /// strongest false-positive evidence (the guided/random rungs still
+    /// ran, as a safety net against synthesis being wrong).
+    pub infeasible: Option<Infeasible>,
+}
+
+impl Adjudication {
+    /// True when the report was confirmed: a witness schedule was
+    /// found *and* replaying it reproduced the violation.
+    pub fn confirmed(&self) -> bool {
+        self.validation.confirmed() && self.validation.replay_verified
+    }
+}
+
+/// The adjudication outcome for one app's predictive-only reports.
+#[derive(Debug)]
+pub struct AppAdjudication {
+    /// Application name from the spec.
+    pub app: String,
+    /// One entry per judged variable, input order.
+    pub reports: Vec<Adjudication>,
+    /// Wall-clock accounting per pipeline pass.
+    pub stats: PassStats,
+}
+
+impl AppAdjudication {
+    /// Reports confirmed with a replay-verified witness.
+    pub fn confirmed(&self) -> usize {
+        self.reports.iter().filter(|r| r.confirmed()).count()
+    }
+
+    /// Reports the ladder could not confirm: counted false positives.
+    pub fn false_positives(&self) -> usize {
+        self.reports.len() - self.confirmed()
+    }
+
+    /// Total stress runs across all reports.
+    pub fn total_runs(&self) -> u64 {
+        self.reports.iter().map(|r| r.validation.total_runs).sum()
+    }
+}
+
+/// Adjudicates `vars` — an app's `predictive-only` reports — through
+/// the directed → guided → random ladder against the app's stress
+/// variant. Deterministic: recording, synthesis, and the ladder's
+/// seed plan are all seed-stable.
+///
+/// # Errors
+///
+/// Propagates simulator and happens-before failures; the bundled
+/// catalog and generated corpus run clean.
+pub fn adjudicate_races(
+    app: &AppSpec,
+    vars: &[VarId],
+    cfg: &ReplayConfig,
+) -> Result<AppAdjudication, ReplayError> {
+    let mut stats = PassStats::default();
+
+    // The trace + HB model synthesis works on: the reference program
+    // under full coverage, for the same reasons as `validate_app` —
+    // the benign order executes every racing use, and platform
+    // causality invisible to the detector still constrains real
+    // schedules.
+    let synth_rec = stats.run("synth-record", || (app.record_full_coverage(0), 1))?;
+    let synth_trace = synth_rec
+        .trace
+        .expect("full instrumentation records a trace");
+    let synth_session = AnalysisSession::new(&synth_trace);
+    let model = stats.run("synth-model", || {
+        (synth_session.model(CausalityConfig::cafa()), 1)
+    })?;
+    let ops = synth_session.ops();
+
+    let mut reports = Vec::with_capacity(vars.len());
+    for &var in vars {
+        let directed = stats.run_accumulating("synthesize", || {
+            (synthesize(&synth_trace, &model, ops, var), 1)
+        });
+        let (directed, infeasible) = match directed {
+            Ok(spec) => (Some(spec), None),
+            Err(why) => (None, Some(why)),
+        };
+        let guided = synthesize_guided(&synth_trace, ops, var);
+        let validation = stats.run_accumulating("search", || {
+            let v = validate_race(
+                &app.stress_program,
+                var,
+                directed.as_ref(),
+                guided.as_ref(),
+                cfg,
+            );
+            let n = v.as_ref().map_or(0, |v| v.total_runs as usize);
+            (v, n)
+        })?;
+        reports.push(Adjudication {
+            var,
+            validation,
+            infeasible,
+        });
+    }
+
+    Ok(AppAdjudication {
+        app: app.name.clone(),
+        reports,
+        stats,
+    })
+}

@@ -155,12 +155,14 @@ pub fn search_witness(
 
 /// Validates one race end to end: synthesis already done by the
 /// caller, this runs the ladder, optionally minimizes, and verifies
-/// the witness replays.
+/// the witness replays. Public so batch adjudication callers (the
+/// predictive backend's `predictive-only` reports) can drive the
+/// ladder against vars the HB pipeline never reported.
 ///
 /// # Errors
 ///
 /// Propagates simulator failures.
-pub(crate) fn validate_race(
+pub fn validate_race(
     stress: &Program,
     var: VarId,
     directed: Option<&DirectedSpec>,

@@ -34,12 +34,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod adjudicate;
 pub mod driver;
 pub mod minimize;
 pub mod synth;
 pub mod validate;
 
-pub use driver::{search_witness, Method, RaceValidation, ReplayConfig};
+pub use adjudicate::{adjudicate_races, Adjudication, AppAdjudication};
+pub use driver::{search_witness, validate_race, Method, RaceValidation, ReplayConfig};
 pub use minimize::minimize_witness;
 pub use synth::{dispatch_chain, synthesize, synthesize_guided, Infeasible};
 pub use validate::{validate_app, validate_apps, AppValidation};

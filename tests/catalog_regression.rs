@@ -73,8 +73,14 @@ fn generated_corpus_precision_recall() {
         );
     }
 
-    // Suppressed labels: zero leakage.
-    for (name, t) in [("filtered", total.filtered), ("ordered", total.ordered)] {
+    // Suppressed labels: zero leakage. Predictive-only labels are HB
+    // silent by definition — the predictive backend's extra reports on
+    // them are scored by the adjudication harness, not this suite.
+    for (name, t) in [
+        ("filtered", total.filtered),
+        ("ordered", total.ordered),
+        ("predictive", total.predictive),
+    ] {
         assert!(t.planted > 0, "{name}: corpus plants none — no coverage");
         assert_eq!(
             t.reported,
@@ -97,6 +103,6 @@ fn generated_corpus_precision_recall() {
     assert_eq!(
         total.counts_line("TOTAL"),
         "TOTAL reported=1417 a=258/258 b=248/248 c=291/291 fp1=205/205 fp2=199/199 \
-         fp3=216/216 filtered=0/206 ordered=0/393 unlabeled=0"
+         fp3=216/216 filtered=0/206 ordered=0/393 predictive=0/163 unlabeled=0"
     );
 }

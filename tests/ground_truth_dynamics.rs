@@ -54,7 +54,7 @@ fn every_harmful_label_is_a_planted_pattern_var() {
             match label {
                 Label::Harmful { .. } => harmful += 1,
                 Label::Benign { .. } => benign += 1,
-                Label::Filtered | Label::Ordered => aux += 1,
+                Label::Filtered | Label::Ordered | Label::Predictive { .. } => aux += 1,
             }
         }
         assert_eq!(harmful, app.expected.true_races(), "{}", app.name);

@@ -85,6 +85,12 @@ fn labels_are_recalled_exactly_at_scale() {
                          never become a candidate"
                     );
                 }
+                Label::Predictive { .. } => {
+                    assert!(
+                        races.is_empty(),
+                        "predictive-only {var} leaked into the HB report"
+                    );
+                }
             }
         }
         for race in &report.races {
